@@ -1,0 +1,225 @@
+(* vmbp: command-line driver for the reproduction.
+
+   Subcommands:
+     list                      workloads, techniques, CPUs, experiments
+     run <vm> <workload>       one benchmark under one technique
+     trace <vm> <workload>     BTB dispatch trace (Tables I-IV style)
+     experiment <id>           regenerate one paper table/figure
+     report                    regenerate everything (EXPERIMENTS.md body) *)
+
+open Cmdliner
+open Vmbp_core
+
+let print_table s = print_string s
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let doc = "List workloads, techniques, CPU profiles and experiments." in
+  let run () =
+    print_endline "Workloads:";
+    List.iter
+      (fun (w : Vmbp_workloads.t) ->
+        Printf.printf "  %-6s %-10s %s\n"
+          (Vmbp_workloads.vm_name w.Vmbp_workloads.vm)
+          w.Vmbp_workloads.name w.Vmbp_workloads.description)
+      Vmbp_workloads.all;
+    print_endline "\nTechniques:";
+    List.iter
+      (fun t -> Printf.printf "  %s\n" (Technique.name t))
+      (Technique.switch :: Technique.paper_gforth_variants
+      @ [ Technique.with_static_across_bb (); Technique.subroutine ]);
+    print_endline "\nCPU profiles:";
+    List.iter
+      (fun (c : Vmbp_machine.Cpu_model.t) ->
+        Printf.printf "  %-20s %d MHz, mispredict %d cycles\n"
+          c.Vmbp_machine.Cpu_model.name c.Vmbp_machine.Cpu_model.mhz
+          c.Vmbp_machine.Cpu_model.mispredict_penalty)
+      Vmbp_machine.Cpu_model.all;
+    print_endline "\nExperiments:";
+    List.iter
+      (fun (e : Vmbp_report.Experiments.t) ->
+        Printf.printf "  %-16s %s\n" e.Vmbp_report.Experiments.id
+          e.Vmbp_report.Experiments.title)
+      Vmbp_report.Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ---------------- run ---------------- *)
+
+let vm_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "forth" -> Ok Vmbp_workloads.Forth
+    | "jvm" -> Ok Vmbp_workloads.Jvm
+    | _ -> Error (`Msg "vm must be 'forth' or 'jvm'")
+  in
+  Arg.conv (parse, fun ppf vm -> Fmt.string ppf (Vmbp_workloads.vm_name vm))
+
+let technique_arg =
+  let parse s =
+    match Technique.of_name s with
+    | Some t -> Ok t
+    | None -> Error (`Msg ("unknown technique: " ^ s))
+  in
+  Arg.conv (parse, fun ppf t -> Fmt.string ppf (Technique.name t))
+
+let cpu_arg =
+  let parse s =
+    match Vmbp_machine.Cpu_model.find s with
+    | Some c -> Ok c
+    | None -> Error (`Msg ("unknown cpu: " ^ s))
+  in
+  Arg.conv
+    (parse, fun ppf c -> Fmt.string ppf c.Vmbp_machine.Cpu_model.name)
+
+let run_cmd =
+  let doc = "Run one workload under one interpreter technique." in
+  let vm =
+    Arg.(required & pos 0 (some vm_arg) None & info [] ~docv:"VM")
+  in
+  let workload =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let technique =
+    Arg.(
+      value
+      & opt technique_arg Technique.plain
+      & info [ "t"; "technique" ] ~docv:"TECHNIQUE")
+  in
+  let cpu =
+    Arg.(
+      value
+      & opt cpu_arg Vmbp_machine.Cpu_model.pentium4_northwood
+      & info [ "cpu" ] ~docv:"CPU")
+  in
+  let scale =
+    Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N")
+  in
+  let show_output =
+    Arg.(value & flag & info [ "output" ] ~doc:"print the program's output")
+  in
+  let run vm workload technique cpu scale show_output =
+    match Vmbp_workloads.find ~vm workload with
+    | None ->
+        Printf.eprintf "unknown workload %s/%s\n"
+          (Vmbp_workloads.vm_name vm) workload;
+        exit 1
+    | Some w ->
+        let r = Vmbp_report.Runner.run ~scale ~cpu ~technique w in
+        let result = r.Vmbp_report.Runner.result in
+        let m = result.Engine.metrics in
+        Printf.printf "%s/%s under '%s' on %s (scale %d)\n"
+          (Vmbp_workloads.vm_name vm) workload (Technique.name technique)
+          cpu.Vmbp_machine.Cpu_model.name scale;
+        Printf.printf "  cycles      %.0f (%.1f ms modelled)\n" result.Engine.cycles
+          (result.Engine.seconds *. 1e3);
+        Printf.printf "  VM instrs   %d\n" m.Vmbp_machine.Metrics.vm_instrs;
+        Printf.printf "  native      %d\n" m.Vmbp_machine.Metrics.native_instrs;
+        Printf.printf "  dispatches  %d\n" m.Vmbp_machine.Metrics.dispatches;
+        Printf.printf "  mispredicts %d (%.1f%% of indirect)\n"
+          m.Vmbp_machine.Metrics.mispredicts
+          (100. *. Vmbp_machine.Metrics.misprediction_rate m);
+        Printf.printf "  icache miss %d\n" m.Vmbp_machine.Metrics.icache_misses;
+        Printf.printf "  code bytes  %d\n" m.Vmbp_machine.Metrics.code_bytes;
+        Printf.printf "  quickenings %d\n" m.Vmbp_machine.Metrics.quickenings;
+        if show_output then
+          Printf.printf "  output: %s\n" r.Vmbp_report.Runner.output
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ vm $ workload $ technique $ cpu $ scale $ show_output)
+
+(* ---------------- trace ---------------- *)
+
+let trace_cmd =
+  let doc =
+    "Trace the first dispatches of a workload through an idealised BTB."
+  in
+  let vm = Arg.(required & pos 0 (some vm_arg) None & info [] ~docv:"VM") in
+  let workload =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let technique =
+    Arg.(
+      value
+      & opt technique_arg Technique.plain
+      & info [ "t"; "technique" ] ~docv:"TECHNIQUE")
+  in
+  let skip = Arg.(value & opt int 0 & info [ "skip" ] ~docv:"N") in
+  let take = Arg.(value & opt int 24 & info [ "take" ] ~docv:"N") in
+  let run vm workload technique skip take =
+    match Vmbp_workloads.find ~vm workload with
+    | None ->
+        Printf.eprintf "unknown workload %s/%s\n"
+          (Vmbp_workloads.vm_name vm) workload;
+        exit 1
+    | Some w ->
+        let loaded = w.Vmbp_workloads.load ~scale:1 in
+        let session = loaded.Vmbp_workloads.fresh_session () in
+        let profile =
+          if Technique.uses_static_selection technique then
+            Some
+              (Vmbp_workloads.training_profile ~vm ~target:workload ~scale:1 ())
+          else None
+        in
+        let rows =
+          Vmbp_report.Dispatch_trace.trace ~technique ?profile
+            ~program:loaded.Vmbp_workloads.program
+            ~exec:session.Vmbp_workloads.exec ~skip ~take ()
+        in
+        print_string (Vmbp_report.Dispatch_trace.render rows)
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ vm $ workload $ technique $ skip $ take)
+
+(* ---------------- experiment ---------------- *)
+
+let experiment_cmd =
+  let doc = "Regenerate one of the paper's tables or figures." in
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let scale =
+    Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N")
+  in
+  let run id scale =
+    match Vmbp_report.Experiments.find id with
+    | None ->
+        Printf.eprintf "unknown experiment %s (try 'vmbp list')\n" id;
+        exit 1
+    | Some e ->
+        let scale =
+          Option.value scale ~default:e.Vmbp_report.Experiments.default_scale
+        in
+        Printf.printf "== %s ==\n%s\n\n" e.Vmbp_report.Experiments.title
+          e.Vmbp_report.Experiments.paper_claim;
+        print_table (e.Vmbp_report.Experiments.run ~scale)
+  in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id $ scale)
+
+(* ---------------- report ---------------- *)
+
+let report_cmd =
+  let doc = "Run every experiment and print the full reproduction report." in
+  let scale =
+    Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N")
+  in
+  let run scale =
+    List.iter
+      (fun (e : Vmbp_report.Experiments.t) ->
+        let s =
+          Option.value scale ~default:e.Vmbp_report.Experiments.default_scale
+        in
+        Printf.printf "== %s ==\n" e.Vmbp_report.Experiments.title;
+        Printf.printf "Paper: %s\n\n" e.Vmbp_report.Experiments.paper_claim;
+        print_table (e.Vmbp_report.Experiments.run ~scale:s);
+        print_newline ())
+      Vmbp_report.Experiments.all
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ scale)
+
+let () =
+  let doc =
+    "Reproduction of 'Optimizing Indirect Branch Prediction Accuracy in \
+     Virtual Machine Interpreters'"
+  in
+  let info = Cmd.info "vmbp" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; experiment_cmd; report_cmd ]))

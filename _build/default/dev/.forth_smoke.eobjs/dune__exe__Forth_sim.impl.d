@@ -1,0 +1,1 @@
+dev/forth_sim.ml: Array Format Option Printf Sys Unix Vmbp_core Vmbp_forth Vmbp_machine Vmbp_vm

@@ -1,0 +1,1 @@
+dev/forth_sim.mli:

@@ -1,0 +1,1 @@
+dev/forth_smoke.ml: Array Printf Sys Unix Vmbp_core Vmbp_forth Vmbp_vm

@@ -1,0 +1,1 @@
+dev/jvm_smoke.ml: Array Option Printf Sys Unix Vmbp_core Vmbp_jvm Vmbp_vm

@@ -1,0 +1,1 @@
+dev/jvm_smoke.mli:

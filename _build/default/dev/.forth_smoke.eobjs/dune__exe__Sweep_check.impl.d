@@ -1,0 +1,1 @@
+dev/sweep_check.ml: Array Config Engine List Option Printf Technique Vmbp_core Vmbp_machine Vmbp_toyvm Vmbp_vm

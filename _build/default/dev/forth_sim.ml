@@ -1,0 +1,24 @@
+(* Development: run one Forth workload under a full simulation config. *)
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "gray" in
+  let scale = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1 in
+  let tname = if Array.length Sys.argv > 3 then Sys.argv.(3) else "plain" in
+  let technique = Option.get (Vmbp_core.Technique.of_name tname) in
+  let wl = Option.get (Vmbp_forth.Forth_workloads.find name) in
+  let source = wl.Vmbp_forth.Forth_workloads.source ~scale in
+  let program = Vmbp_forth.Compiler.compile ~name source in
+  let profile = Vmbp_vm.Profile.empty ~max_seq_len:4 in
+  Vmbp_vm.Profile.add_program profile program;
+  let config = Vmbp_core.Config.make ~cpu:Vmbp_machine.Cpu_model.pentium4_northwood technique in
+  let layout = Vmbp_core.Config.build_layout ~profile config ~program in
+  let state = Vmbp_forth.State.create () in
+  let t0 = Unix.gettimeofday () in
+  let r = Vmbp_core.Engine.run ~config ~layout ~exec:(Vmbp_forth.Instruction_set.exec state) ~fuel:500_000_000 () in
+  let dt = Unix.gettimeofday () -. t0 in
+  let m = r.Vmbp_core.Engine.metrics in
+  Printf.printf "%s/%s: steps=%d (%.2f Mvm/s) cycles=%.0f trap=%s\n  %s\n  output=%s\n"
+    name tname r.Vmbp_core.Engine.steps (float_of_int r.Vmbp_core.Engine.steps /. 1e6 /. dt)
+    r.Vmbp_core.Engine.cycles
+    (match r.Vmbp_core.Engine.trapped with Some m -> m | None -> "-")
+    (Format.asprintf "%a" Vmbp_machine.Metrics.pp m)
+    (Vmbp_forth.State.output state)

@@ -1,0 +1,28 @@
+(* Development smoke runner: compile and execute one Forth workload
+   functionally, printing its output, step count and timing. *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "gray" in
+  let scale =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1
+  in
+  match Vmbp_forth.Forth_workloads.find name with
+  | None ->
+      prerr_endline ("unknown workload: " ^ name);
+      exit 1
+  | Some wl ->
+      let source = wl.Vmbp_forth.Forth_workloads.source ~scale in
+      let program = Vmbp_forth.Compiler.compile ~name source in
+      Printf.printf "%s: %d slots\n%!" name (Vmbp_vm.Program.length program);
+      let state = Vmbp_forth.State.create () in
+      let t0 = Unix.gettimeofday () in
+      let steps, trap =
+        Vmbp_core.Engine.run_functional ~program
+          ~exec:(Vmbp_forth.Instruction_set.exec state)
+          ~fuel:200_000_000 ()
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "steps=%d (%.2f Mvm/s) trap=%s\noutput: %s\n" steps
+        (float_of_int steps /. 1e6 /. dt)
+        (match trap with Some m -> m | None -> "-")
+        (Vmbp_forth.State.output state)

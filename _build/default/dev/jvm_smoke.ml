@@ -1,0 +1,19 @@
+(* Development smoke runner for JVM workloads. *)
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "compress" in
+  let scale = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1 in
+  let wl = Option.get (Vmbp_jvm.Jvm_workloads.find name) in
+  let image = wl.Vmbp_jvm.Jvm_workloads.build ~scale in
+  let program = Vmbp_vm.Program.copy image.Vmbp_jvm.Runtime.program in
+  Printf.printf "%s: %d slots\n%!" name (Vmbp_vm.Program.length program);
+  let state = Vmbp_jvm.Runtime.create image in
+  let t0 = Unix.gettimeofday () in
+  let steps, trap =
+    Vmbp_core.Engine.run_functional ~program
+      ~exec:(Vmbp_jvm.Semantics.exec state) ~fuel:500_000_000 ()
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "steps=%d (%.2f Mvm/s) trap=%s\noutput: %s\n" steps
+    (float_of_int steps /. 1e6 /. dt)
+    (match trap with Some m -> m | None -> "-")
+    (Vmbp_jvm.Runtime.output state)

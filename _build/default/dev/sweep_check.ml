@@ -1,0 +1,50 @@
+(* One-off wide randomized equivalence sweep across all techniques. *)
+open Vmbp_core
+module T = Vmbp_toyvm.Toy_vm
+
+let techniques =
+  [
+    Technique.switch; Technique.plain;
+    Technique.static_repl ~n:64 ();
+    Technique.static_super ~n:64 ();
+    Technique.static_both ~supers:16 ~replicas:48 ();
+    Technique.Static (Technique.static_params ~superinstrs:32 ~parse:Technique.Optimal ());
+    Technique.Static (Technique.static_params ~replicas:32 ~strategy:(Technique.Random 7) ());
+    Technique.dynamic_repl; Technique.dynamic_super; Technique.dynamic_both;
+    Technique.across_bb;
+    Technique.with_static_super ~n:24 ();
+    Technique.with_static_across_bb ~n:24 ();
+    Technique.subroutine;
+  ]
+
+let () =
+  let failures = ref 0 in
+  for seed = 1 to 200 do
+    let program = T.random_program ~seed ~size:(20 + (seed mod 60)) in
+    let reference =
+      let p = Vmbp_vm.Program.copy program in
+      let st = T.create_state ~counters:(Array.make 16 (5 + (seed mod 40))) () in
+      let _ = Engine.run_functional ~program:p ~exec:(T.exec st) ~fuel:20_000_000 () in
+      T.checksum st
+    in
+    let profile = Vmbp_vm.Profile.empty ~max_seq_len:4 in
+    Vmbp_vm.Profile.add_program profile program;
+    List.iter
+      (fun technique ->
+        List.iter
+          (fun cpu ->
+            let config = Config.make ~cpu technique in
+            let layout = Config.build_layout ~profile config ~program in
+            let st = T.create_state ~counters:(Array.make 16 (5 + (seed mod 40))) () in
+            let r = Engine.run ~config ~layout ~exec:(T.exec st) ~fuel:20_000_000 () in
+            if r.Engine.trapped <> None || T.checksum st <> reference then begin
+              incr failures;
+              Printf.printf "MISMATCH seed=%d technique=%s cpu=%s trap=%s\n"
+                seed (Technique.name technique) cpu.Vmbp_machine.Cpu_model.name
+                (Option.value r.Engine.trapped ~default:"-")
+            end)
+          [ Vmbp_machine.Cpu_model.ideal; Vmbp_machine.Cpu_model.celeron_800 ])
+      techniques
+  done;
+  Printf.printf "sweep done: %d failures over 200 seeds x %d techniques x 2 cpus\n"
+    !failures (List.length techniques)

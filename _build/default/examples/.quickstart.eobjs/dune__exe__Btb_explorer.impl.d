@@ -1,0 +1,1 @@
+examples/btb_explorer.ml: Btb Cpu_model Engine List Metrics Option Predictor Printf Technique Two_level Vmbp_core Vmbp_machine Vmbp_report Vmbp_workloads

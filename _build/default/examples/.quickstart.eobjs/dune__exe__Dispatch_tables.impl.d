@@ -1,0 +1,1 @@
+examples/dispatch_tables.ml: Array Printf Technique Vmbp_core Vmbp_report Vmbp_toyvm Vmbp_vm

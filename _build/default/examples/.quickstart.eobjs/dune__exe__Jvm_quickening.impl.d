@@ -1,0 +1,1 @@
+examples/jvm_quickening.ml: Codegen Config Engine Format Minijava Printf Runtime Semantics Technique Vmbp_core Vmbp_jvm Vmbp_machine Vmbp_vm

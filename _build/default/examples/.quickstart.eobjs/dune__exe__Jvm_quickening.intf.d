@@ -1,0 +1,1 @@
+examples/jvm_quickening.mli:

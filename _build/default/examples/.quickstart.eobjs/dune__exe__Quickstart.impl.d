@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Cpu_model Engine Metrics Printf Technique Vmbp_core Vmbp_forth Vmbp_machine Vmbp_vm

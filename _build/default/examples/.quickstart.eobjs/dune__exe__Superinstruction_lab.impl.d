@@ -1,0 +1,1 @@
+examples/superinstruction_lab.ml: Array Block_parse Config Engine List Printf String Super_set Superinstr_select Technique Vmbp_core Vmbp_forth Vmbp_machine Vmbp_vm

@@ -1,0 +1,1 @@
+examples/superinstruction_lab.mli:

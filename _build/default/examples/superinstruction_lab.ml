@@ -1,0 +1,75 @@
+(* Static superinstruction selection and parsing, step by step: profile a
+   program, pick a superinstruction set, and compare greedy vs optimal
+   parsing of its basic blocks (Section 5.1 of the paper).
+
+     dune exec examples/superinstruction_lab.exe *)
+
+open Vmbp_core
+module Program = Vmbp_vm.Program
+module Profile = Vmbp_vm.Profile
+
+let source =
+  {|
+: sum-sq ( n -- s ) 0 swap 1+ 1 do i i * + loop ;
+: main 0 100 0 do i sum-sq + loop . ;
+main
+|}
+
+let () =
+  let program = Vmbp_forth.Compiler.compile ~name:"lab" source in
+  let iset = program.Program.iset in
+  (* 1. Profile: which opcode sequences appear? *)
+  let profile = Profile.empty ~max_seq_len:4 in
+  Profile.add_program profile program;
+  print_endline "most frequent instruction sequences:";
+  List.iter
+    (fun seq ->
+      let names =
+        Array.to_list seq
+        |> List.map (fun opcode ->
+               (Vmbp_vm.Instr_set.get iset opcode).Vmbp_vm.Instr.name)
+      in
+      Printf.printf "  %-28s x%d\n"
+        (String.concat " " names)
+        (Profile.sequence_count profile seq))
+    (Profile.top_sequences profile ~n:8 ());
+  (* 2. Select a superinstruction set and parse the program's blocks. *)
+  let params = Technique.static_params ~superinstrs:8 () in
+  let supers = Superinstr_select.select ~profile ~params in
+  Printf.printf "\nselected %d superinstructions\n" (Super_set.size supers);
+  let bb = Vmbp_vm.Basic_block.analyze program in
+  let opcodes i = program.Program.code.(i).Program.opcode in
+  let eligible i =
+    match (Program.instr_at program i).Vmbp_vm.Instr.branch with
+    | Vmbp_vm.Instr.Straight -> true
+    | _ -> false
+  in
+  let count parse =
+    Array.fold_left
+      (fun acc (blk : Vmbp_vm.Basic_block.block) ->
+        acc
+        + Block_parse.group_count
+            (parse supers ~opcodes ~eligible ~start:blk.Vmbp_vm.Basic_block.start
+               ~stop:blk.Vmbp_vm.Basic_block.stop))
+      0 bb.Vmbp_vm.Basic_block.blocks
+  in
+  Printf.printf "program slots:   %d\n" (Program.length program);
+  Printf.printf "greedy parse:    %d dispatch groups\n" (count Block_parse.greedy);
+  Printf.printf "optimal parse:   %d dispatch groups\n" (count Block_parse.optimal);
+  (* 3. And the end-to-end effect on the simulated machine. *)
+  let run technique =
+    let config =
+      Config.make ~cpu:Vmbp_machine.Cpu_model.pentium4_northwood technique
+    in
+    let layout = Config.build_layout ~profile config ~program in
+    let state = Vmbp_forth.State.create () in
+    let r =
+      Engine.run ~config ~layout ~exec:(Vmbp_forth.Instruction_set.exec state) ()
+    in
+    r.Engine.cycles
+  in
+  let plain = run Technique.plain in
+  let super = run (Technique.static_super ~n:8 ()) in
+  Printf.printf "\nplain threaded:  %.0f modelled cycles\n" plain;
+  Printf.printf "8 static supers: %.0f modelled cycles (%.2fx)\n" super
+    (plain /. super)

@@ -1,0 +1,1 @@
+lib/core/block_parse.ml: Array Format List Super_set

@@ -1,0 +1,1 @@
+lib/core/block_parse.mli: Format Super_set

@@ -1,0 +1,1 @@
+lib/core/code_layout.ml: Array Costs Program Technique Vmbp_vm

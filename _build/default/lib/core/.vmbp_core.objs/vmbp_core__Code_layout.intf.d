@@ -1,0 +1,1 @@
+lib/core/code_layout.mli: Costs Technique Vmbp_vm

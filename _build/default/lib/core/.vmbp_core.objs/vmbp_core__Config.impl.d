@@ -1,0 +1,1 @@
+lib/core/config.ml: Costs Dynamic_opt Static_opt Subroutine_opt Technique Vmbp_machine

@@ -1,0 +1,1 @@
+lib/core/config.mli: Code_layout Costs Technique Vmbp_machine Vmbp_vm

@@ -1,0 +1,1 @@
+lib/core/dynamic_opt.ml: Array Basic_block Block_parse Code_layout Costs Hashtbl Instr Instr_set List Memory_layout Program Superinstr_select Technique Vmbp_machine Vmbp_vm

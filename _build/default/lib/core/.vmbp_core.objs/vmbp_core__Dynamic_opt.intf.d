@@ -1,0 +1,1 @@
+lib/core/dynamic_opt.mli: Code_layout Costs Technique Vmbp_vm

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Code_layout Config Control Costs Cpu_model Icache Instr Metrics Predictor Program Vmbp_machine Vmbp_vm

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Code_layout Config Vmbp_machine Vmbp_vm

@@ -1,0 +1,1 @@
+lib/core/replica_select.ml: Array Hashtbl Random Technique

@@ -1,0 +1,1 @@
+lib/core/replica_select.mli: Technique

@@ -1,0 +1,1 @@
+lib/core/static_opt.mli: Code_layout Costs Technique Vmbp_vm

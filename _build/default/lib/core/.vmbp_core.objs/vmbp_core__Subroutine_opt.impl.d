@@ -1,0 +1,1 @@
+lib/core/subroutine_opt.ml: Array Code_layout Hashtbl Instr Instr_set Memory_layout Program Technique Vmbp_machine Vmbp_vm

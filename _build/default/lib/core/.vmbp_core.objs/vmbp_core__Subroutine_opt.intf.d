@@ -1,0 +1,1 @@
+lib/core/subroutine_opt.mli: Code_layout Costs Vmbp_vm

@@ -1,0 +1,1 @@
+lib/core/super_set.mli:

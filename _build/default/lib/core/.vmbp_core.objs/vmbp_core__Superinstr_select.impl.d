@@ -1,0 +1,1 @@
+lib/core/superinstr_select.ml: Instr Instr_set List Profile Super_set Technique Vmbp_vm

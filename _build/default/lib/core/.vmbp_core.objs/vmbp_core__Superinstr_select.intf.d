@@ -1,0 +1,1 @@
+lib/core/superinstr_select.mli: Super_set Technique Vmbp_vm

@@ -1,0 +1,64 @@
+type group = { start : int; len : int }
+
+let greedy set ~opcodes ~eligible ~start ~stop =
+  (* A superinstruction may not extend past the first ineligible slot. *)
+  let eligible_limit pos =
+    let rec loop i = if i > stop || not (eligible i) then i - 1 else loop (i + 1) in
+    loop pos
+  in
+  let rec loop pos acc =
+    if pos > stop then List.rev acc
+    else if not (eligible pos) then
+      loop (pos + 1) ({ start = pos; len = 1 } :: acc)
+    else
+      let limit = eligible_limit pos in
+      match Super_set.match_lengths set ~opcodes ~pos ~limit with
+      | longest :: _ -> loop (pos + longest) ({ start = pos; len = longest } :: acc)
+      | [] -> loop (pos + 1) ({ start = pos; len = 1 } :: acc)
+  in
+  loop start []
+
+let optimal set ~opcodes ~eligible ~start ~stop =
+  let n = stop - start + 1 in
+  if n <= 0 then []
+  else begin
+    (* best.(i) = minimal group count for slots [start+i .. stop];
+       step.(i) = length of the first group in an optimal split. *)
+    let best = Array.make (n + 1) 0 in
+    let step = Array.make n 1 in
+    let eligible_limit pos =
+      let rec loop i = if i > stop || not (eligible i) then i - 1 else loop (i + 1) in
+      loop pos
+    in
+    for i = n - 1 downto 0 do
+      let pos = start + i in
+      best.(i) <- 1 + best.(i + 1);
+      step.(i) <- 1;
+      if eligible pos then begin
+        let limit = eligible_limit pos in
+        List.iter
+          (fun l ->
+            (* Longest-first iteration plus strict improvement test breaks
+               ties towards longer first groups. *)
+            if 1 + best.(i + l) < best.(i) then begin
+              best.(i) <- 1 + best.(i + l);
+              step.(i) <- l
+            end)
+          (Super_set.match_lengths set ~opcodes ~pos ~limit)
+      end
+    done;
+    let rec rebuild i acc =
+      if i >= n then List.rev acc
+      else rebuild (i + step.(i)) ({ start = start + i; len = step.(i) } :: acc)
+    in
+    rebuild 0 []
+  end
+
+let group_count groups = List.length groups
+
+let pp ppf groups =
+  List.iter
+    (fun g ->
+      if g.len = 1 then Format.fprintf ppf "[%d]" g.start
+      else Format.fprintf ppf "[%d..%d]" g.start (g.start + g.len - 1))
+    groups

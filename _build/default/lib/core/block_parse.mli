@@ -1,0 +1,39 @@
+(** Partitioning an instruction range into superinstructions and singles.
+
+    Given the set of available static superinstructions, a stretch of VM
+    code must be split into groups, each group either a single instruction
+    or a known superinstruction.  This is the "dictionary-based compression
+    with a static dictionary" problem of Section 5.1.  Both algorithms the
+    paper examines are provided: greedy (maximum munch) and optimal
+    (dynamic programming, minimising the number of groups and hence of
+    dispatches). *)
+
+type group = {
+  start : int;  (** first slot of the group *)
+  len : int;  (** number of component slots; 1 = single instruction *)
+}
+
+val greedy :
+  Super_set.t ->
+  opcodes:(int -> int) ->
+  eligible:(int -> bool) ->
+  start:int ->
+  stop:int ->
+  group list
+(** Maximum munch left to right.  A superinstruction may only cover slots
+    for which [eligible] holds (non-quickable, straight-line, and for the
+    dynamic combinations relocatable); ineligible slots become singleton
+    groups. *)
+
+val optimal :
+  Super_set.t ->
+  opcodes:(int -> int) ->
+  eligible:(int -> bool) ->
+  start:int ->
+  stop:int ->
+  group list
+(** Minimum number of groups via dynamic programming.  Ties are broken
+    towards the greedy solution's structure (prefer longer first match). *)
+
+val group_count : group list -> int
+val pp : Format.formatter -> group list -> unit

@@ -1,0 +1,27 @@
+type t = {
+  technique : Technique.t;
+  cpu : Vmbp_machine.Cpu_model.t;
+  predictor_override : Vmbp_machine.Predictor.kind option;
+  costs : Costs.t;
+}
+
+let make ?(cpu = Vmbp_machine.Cpu_model.pentium4_northwood) ?predictor
+    ?(costs = Costs.default) technique =
+  { technique; cpu; predictor_override = predictor; costs }
+
+let predictor_kind t =
+  match t.predictor_override with
+  | Some kind -> kind
+  | None -> t.cpu.Vmbp_machine.Cpu_model.predictor
+
+let build_layout ?profile t ~program =
+  match t.technique with
+  | Technique.Switch | Technique.Plain | Technique.Static _ ->
+      Static_opt.build ?profile ~costs:t.costs ~technique:t.technique ~program
+        ()
+  | Technique.Dynamic_repl | Technique.Dynamic_super | Technique.Dynamic_both
+  | Technique.Across_bb | Technique.With_static_super _
+  | Technique.With_static_across_bb _ ->
+      Dynamic_opt.build ?profile ~costs:t.costs ~technique:t.technique ~program
+        ()
+  | Technique.Subroutine -> Subroutine_opt.build ~costs:t.costs ~program ()

@@ -1,0 +1,26 @@
+(** One experiment configuration: a technique on a CPU profile. *)
+
+type t = {
+  technique : Technique.t;
+  cpu : Vmbp_machine.Cpu_model.t;
+  predictor_override : Vmbp_machine.Predictor.kind option;
+      (** replace the CPU's predictor, e.g. to sweep BTB sizes *)
+  costs : Costs.t;
+}
+
+val make :
+  ?cpu:Vmbp_machine.Cpu_model.t ->
+  ?predictor:Vmbp_machine.Predictor.kind ->
+  ?costs:Costs.t ->
+  Technique.t ->
+  t
+(** Defaults: the Pentium 4 Northwood profile and the default costs. *)
+
+val predictor_kind : t -> Vmbp_machine.Predictor.kind
+
+val build_layout :
+  ?profile:Vmbp_vm.Profile.t ->
+  t ->
+  program:Vmbp_vm.Program.t ->
+  Code_layout.t
+(** Dispatch to the static or dynamic layout builder. *)

@@ -1,0 +1,22 @@
+type t = {
+  threaded_dispatch_instrs : int;
+  threaded_dispatch_bytes : int;
+  switch_dispatch_instrs : int;
+  switch_dispatch_bytes : int;
+  ip_inc_instrs : int;
+  ip_inc_bytes : int;
+  static_super_saving_instrs : int;
+  static_super_saving_bytes : int;
+}
+
+let default =
+  {
+    threaded_dispatch_instrs = 3;
+    threaded_dispatch_bytes = 10;
+    switch_dispatch_instrs = 9;
+    switch_dispatch_bytes = 24;
+    ip_inc_instrs = 1;
+    ip_inc_bytes = 3;
+    static_super_saving_instrs = 1;
+    static_super_saving_bytes = 3;
+  }

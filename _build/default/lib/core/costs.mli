@@ -1,0 +1,30 @@
+(** Native-code cost constants of the simulated interpreter.
+
+    These calibrate the layout model against the numbers reported in the
+    paper: threaded-code dispatch is 3 native instructions (Figure 2: load
+    next VM instruction, increment the VM instruction pointer, indirect
+    jump), switch dispatch executes considerably more (bounds check, table
+    lookup, shared indirect jump, plus the break's jump back), and static
+    superinstructions save extra work at every component boundary by keeping
+    stack items in registers and combining stack-pointer updates
+    (Section 5.3). *)
+
+type t = {
+  threaded_dispatch_instrs : int;  (** native instrs of the NEXT sequence *)
+  threaded_dispatch_bytes : int;
+  switch_dispatch_instrs : int;  (** per-dispatch cost of switch dispatch *)
+  switch_dispatch_bytes : int;
+  ip_inc_instrs : int;
+      (** kept VM-instruction-pointer increment when the rest of the
+          dispatch is elided inside a dynamic superinstruction *)
+  ip_inc_bytes : int;
+  static_super_saving_instrs : int;
+      (** native instructions saved per component boundary by compiler
+          optimization across the components of a static superinstruction *)
+  static_super_saving_bytes : int;
+}
+
+val default : t
+(** Calibrated for x86: 3-instruction threaded dispatch, 9-instruction
+    switch dispatch, 1-instruction kept ip increment, 1 instruction saved
+    per static-superinstruction boundary. *)

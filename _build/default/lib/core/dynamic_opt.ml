@@ -1,0 +1,463 @@
+open Vmbp_vm
+open Vmbp_machine
+
+(* What kind of dynamic layout is being built. *)
+type mode = {
+  technique : Technique.t;
+  per_slot_dispatch : bool;  (* dynamic replication: dispatch after every slot *)
+  across_bb : bool;  (* elide fall-through dispatches at block ends *)
+  share_blocks : bool;  (* share code of identical basic blocks *)
+  static_params : Technique.static_params option;  (* fold static supers *)
+  supers_cross_leaders : bool;  (* With_static_across_bb *)
+}
+
+let mode_of_technique technique =
+  let base =
+    {
+      technique;
+      per_slot_dispatch = false;
+      across_bb = false;
+      share_blocks = false;
+      static_params = None;
+      supers_cross_leaders = false;
+    }
+  in
+  match technique with
+  | Technique.Dynamic_repl -> { base with per_slot_dispatch = true }
+  | Technique.Dynamic_super -> { base with share_blocks = true }
+  | Technique.Dynamic_both -> base
+  | Technique.Across_bb -> { base with across_bb = true }
+  | Technique.With_static_super params ->
+      { base with across_bb = true; static_params = Some params }
+  | Technique.With_static_across_bb params ->
+      {
+        base with
+        across_bb = true;
+        static_params = Some params;
+        supers_cross_leaders = true;
+      }
+  | Technique.Switch | Technique.Plain | Technique.Static _
+  | Technique.Subroutine ->
+      invalid_arg "Dynamic_opt.build: unsupported technique"
+
+(* Shared original routines (the base interpreter): one per opcode,
+   allocated outside the runtime code region. *)
+type originals = {
+  iset : Instr_set.t;
+  costs : Costs.t;
+  static_alloc : Memory_layout.t;
+  table : (int, int) Hashtbl.t;  (* opcode -> routine address *)
+}
+
+let original_addr o opcode =
+  match Hashtbl.find_opt o.table opcode with
+  | Some addr -> addr
+  | None ->
+      let instr = Instr_set.get o.iset opcode in
+      let addr =
+        Memory_layout.alloc o.static_alloc
+          ~bytes:(instr.Instr.work_bytes + o.costs.Costs.threaded_dispatch_bytes)
+      in
+      Hashtbl.replace o.table opcode addr;
+      addr
+
+let original_branch o opcode =
+  original_addr o opcode + (Instr_set.get o.iset opcode).Instr.work_bytes
+
+(* Per-slot classification. *)
+type cls =
+  | Copied  (* relocatable, copied into the runtime code *)
+  | Original  (* non-relocatable: executes the shared original routine *)
+  | Quickable  (* gap in the copy; original routine until quickened *)
+
+let classify (p : Program.t) i =
+  let instr = Program.instr_at p i in
+  if instr.Instr.quickable then Quickable
+  else if instr.Instr.relocatable then Copied
+  else Original
+
+(* Grouping: each slot belongs to a group of [len] components starting at
+   [start]; groups of length > 1 are static superinstructions folded into
+   the dynamic code. *)
+type grouping = { group_start : int array; group_len : int array }
+
+let trivial_grouping n =
+  { group_start = Array.init n (fun i -> i); group_len = Array.make n 1 }
+
+let grouping_of_parse n groups =
+  let g = trivial_grouping n in
+  List.iter
+    (fun { Block_parse.start; len } ->
+      for k = 0 to len - 1 do
+        g.group_start.(start + k) <- start;
+        g.group_len.(start + k) <- len
+      done)
+    groups;
+  g
+
+(* Compute static-superinstruction grouping for the whole program.  Runs of
+   eligible slots (straight-line, relocatable, not quickable) are parsed
+   with the configured algorithm; runs stop at basic-block ends and --
+   unless [supers_cross_leaders] -- at block leaders. *)
+let compute_grouping mode ?profile (p : Program.t) (bb : Basic_block.t) =
+  let n = Program.length p in
+  match mode.static_params with
+  | None -> trivial_grouping n
+  | Some params ->
+      let profile =
+        match profile with
+        | Some prof -> prof
+        | None ->
+            invalid_arg "Dynamic_opt.build: static superinstructions need a profile"
+      in
+      let supers = Superinstr_select.select ~profile ~params in
+      let opcodes i = p.Program.code.(i).Program.opcode in
+      let parse =
+        match params.Technique.parse with
+        | Technique.Greedy -> Block_parse.greedy
+        | Technique.Optimal -> Block_parse.optimal
+      in
+      let groups = ref [] in
+      let component_ok i =
+        let instr = Program.instr_at p i in
+        (not instr.Instr.quickable)
+        && instr.Instr.relocatable
+        && match instr.Instr.branch with Instr.Straight -> true | _ -> false
+      in
+      let run_stop start =
+        (* Extend the run while slots remain plain components and, when
+           supers must respect block boundaries, while no leader is crossed. *)
+        let rec loop i =
+          if i >= n || not (component_ok i) then i - 1
+          else if (not mode.supers_cross_leaders) && bb.Basic_block.leader.(i)
+                  && i > start then i - 1
+          else loop (i + 1)
+        in
+        loop start
+      in
+      let i = ref 0 in
+      while !i < n do
+        if component_ok !i then begin
+          let stop = run_stop !i in
+          groups := parse supers ~opcodes ~eligible:component_ok ~start:!i ~stop
+                    :: !groups;
+          i := stop + 1
+        end
+        else incr i
+      done;
+      grouping_of_parse n (List.concat !groups)
+
+(* Whether, in steady state (after quickening), the fall-through path of
+   group-final slot [i] still executes a dispatch. *)
+let fall_dispatch mode (p : Program.t) (bb : Basic_block.t) i =
+  let n = Program.length p in
+  let next_not_contiguous = i + 1 < n && classify p (i + 1) = Original in
+  if mode.per_slot_dispatch then true
+  else if mode.across_bb then next_not_contiguous
+  else
+    (* Within-block superinstructions: dispatch at every block end and
+       before any non-copied slot. *)
+    i = bb.Basic_block.blocks.(bb.Basic_block.block_of_slot.(i)).Basic_block.stop
+    || next_not_contiguous
+
+(* Per-slot plan retained for quickening. *)
+type plan = {
+  gap_addr : int;  (* -1 when the slot has no gap *)
+  fall_dispatches : bool;  (* steady-state fall-through dispatch *)
+}
+
+type builder = {
+  mode : mode;
+  costs : Costs.t;
+  originals : originals;
+  plans : plan array;
+}
+
+let dispatch o ~branch_addr =
+  Some
+    {
+      Code_layout.branch_addr;
+      instrs = o.costs.Costs.threaded_dispatch_instrs;
+    }
+
+(* Install the steady-state site of a quickened slot: the quick routine
+   patched into the gap. *)
+let install_quick b (layout : Code_layout.t) slot =
+  let p = layout.Code_layout.program in
+  let plan = b.plans.(slot) in
+  let instr = Program.instr_at p slot in
+  let costs = b.costs in
+  let site = layout.Code_layout.sites.(slot) in
+  let branch_addr = plan.gap_addr + instr.Instr.work_bytes in
+  site.Code_layout.entry_addr <- plan.gap_addr;
+  site.Code_layout.fetch_addr <- plan.gap_addr;
+  site.Code_layout.work_instrs <- instr.Instr.work_instrs;
+  site.Code_layout.pre_dispatch <- None;
+  site.Code_layout.post_taken <- dispatch b ~branch_addr;
+  if plan.fall_dispatches then begin
+    site.Code_layout.post_fall <- dispatch b ~branch_addr;
+    site.Code_layout.fetch_bytes <-
+      instr.Instr.work_bytes + costs.Costs.threaded_dispatch_bytes;
+    site.Code_layout.fall_extra_instrs <- 0
+  end
+  else begin
+    site.Code_layout.post_fall <- None;
+    site.Code_layout.fetch_bytes <-
+      instr.Instr.work_bytes + costs.Costs.ip_inc_bytes;
+    site.Code_layout.fall_extra_instrs <- costs.Costs.ip_inc_instrs
+  end;
+  (* Keep the non-replicated fallback in sync when it is distinct. *)
+  if layout.Code_layout.shadow != layout.Code_layout.sites then begin
+    let sh = layout.Code_layout.shadow.(slot) in
+    let opcode = p.Program.code.(slot).Program.opcode in
+    let addr = original_addr b.originals opcode in
+    sh.Code_layout.entry_addr <- addr;
+    sh.Code_layout.fetch_addr <- addr;
+    sh.Code_layout.fetch_bytes <-
+      instr.Instr.work_bytes + costs.Costs.threaded_dispatch_bytes;
+    sh.Code_layout.work_instrs <- instr.Instr.work_instrs;
+    sh.Code_layout.pre_dispatch <- None;
+    let d = dispatch b ~branch_addr:(original_branch b.originals opcode) in
+    sh.Code_layout.post_fall <- d;
+    sh.Code_layout.post_taken <- d;
+    sh.Code_layout.fall_extra_instrs <- 0
+  end
+
+let build ?profile ~costs ~technique ~program () =
+  let mode = mode_of_technique technique in
+  let program = Program.copy program in
+  let iset = program.Program.iset in
+  let n = Program.length program in
+  let bb = Basic_block.analyze program in
+  let originals =
+    {
+      iset;
+      costs;
+      static_alloc = Memory_layout.create ();
+      table = Hashtbl.create 256;
+    }
+  in
+  (* Reserve original routines for every opcode up front so static and
+     runtime regions do not interleave. *)
+  Instr_set.iter iset (fun instr -> ignore (original_addr originals instr.Instr.opcode));
+  let dyn_alloc = Memory_layout.create ~base:0x4000000 ~align:4 () in
+  let grouping = compute_grouping mode ?profile program bb in
+  let plans = Array.make n { gap_addr = -1; fall_dispatches = true } in
+  let sites =
+    Array.init n (fun _ -> Code_layout.make_site ~entry:0 ~fetch:0 ~bytes:0 ~instrs:0)
+  in
+  let shadow_needed = mode.supers_cross_leaders in
+  let shadow =
+    if shadow_needed then
+      Array.init n (fun _ ->
+          Code_layout.make_site ~entry:0 ~fetch:0 ~bytes:0 ~instrs:0)
+    else sites
+  in
+  let shadow_until = Array.make n (-1) in
+  let b = { mode; costs; originals; plans } in
+  (* Fill a shadow site with the shared original routine of the slot. *)
+  let fill_shadow i =
+    let opcode = program.Program.code.(i).Program.opcode in
+    let instr = Instr_set.get iset opcode in
+    let addr = original_addr originals opcode in
+    let sh = shadow.(i) in
+    sh.Code_layout.entry_addr <- addr;
+    sh.Code_layout.fetch_addr <- addr;
+    sh.Code_layout.fetch_bytes <-
+      instr.Instr.work_bytes + costs.Costs.threaded_dispatch_bytes;
+    sh.Code_layout.work_instrs <- instr.Instr.work_instrs;
+    let d = dispatch b ~branch_addr:(original_branch originals opcode) in
+    sh.Code_layout.post_fall <- d;
+    sh.Code_layout.post_taken <- d;
+    sh.Code_layout.fall_extra_instrs <- 0
+  in
+  if shadow_needed then
+    for i = 0 to n - 1 do
+      fill_shadow i
+    done;
+
+  (* Lay out the copied code of one slot range [lo..hi] contiguously,
+     returning the bytes allocated.  Used both for private block copies and
+     for the single copy of a set of identical shared blocks. *)
+  let layout_range lo hi =
+    let bytes_before = Memory_layout.used_bytes dyn_alloc in
+    let i = ref lo in
+    while !i <= hi do
+      let slot = !i in
+      let instr = Program.instr_at program slot in
+      let glen = grouping.group_len.(slot) in
+      let gstart = grouping.group_start.(slot) in
+      (match classify program slot with
+      | Original ->
+          let opcode = program.Program.code.(slot).Program.opcode in
+          let addr = original_addr originals opcode in
+          let site = sites.(slot) in
+          site.Code_layout.entry_addr <- addr;
+          site.Code_layout.fetch_addr <- addr;
+          site.Code_layout.fetch_bytes <-
+            instr.Instr.work_bytes + costs.Costs.threaded_dispatch_bytes;
+          site.Code_layout.work_instrs <- instr.Instr.work_instrs;
+          let d = dispatch b ~branch_addr:(original_branch originals opcode) in
+          site.Code_layout.post_fall <- d;
+          site.Code_layout.post_taken <- d;
+          site.Code_layout.fall_extra_instrs <- 0;
+          i := slot + 1
+      | Quickable ->
+          (* Gap sized for the largest quick version plus a dispatch; the
+             gap starts with dispatch code jumping to the original. *)
+          let gap_bytes =
+            Instr_set.max_quick_bytes iset instr.Instr.opcode
+            + costs.Costs.threaded_dispatch_bytes
+          in
+          let gap_addr = Memory_layout.alloc dyn_alloc ~bytes:gap_bytes in
+          let fall_dispatches = fall_dispatch mode program bb slot in
+          plans.(slot) <- { gap_addr; fall_dispatches };
+          let opcode = instr.Instr.opcode in
+          let orig = original_addr originals opcode in
+          let site = sites.(slot) in
+          let d = dispatch b ~branch_addr:(original_branch originals opcode) in
+          if mode.per_slot_dispatch then begin
+            (* Dynamic replication jumps straight to the original routine;
+               the gap is only space for the later patch. *)
+            site.Code_layout.entry_addr <- orig;
+            site.Code_layout.pre_dispatch <- None
+          end
+          else begin
+            (* Inside a dynamic superinstruction the gap begins with
+               dispatch code that jumps to the original routine. *)
+            site.Code_layout.entry_addr <- gap_addr;
+            site.Code_layout.pre_dispatch <-
+              Some
+                {
+                  Code_layout.branch_addr = gap_addr;
+                  instrs = costs.Costs.threaded_dispatch_instrs;
+                }
+          end;
+          site.Code_layout.fetch_addr <- orig;
+          site.Code_layout.fetch_bytes <-
+            instr.Instr.work_bytes + costs.Costs.threaded_dispatch_bytes;
+          site.Code_layout.work_instrs <- instr.Instr.work_instrs;
+          site.Code_layout.post_fall <- d;
+          site.Code_layout.post_taken <- d;
+          site.Code_layout.fall_extra_instrs <- 0;
+          i := slot + 1
+      | Copied ->
+          (* Lay out the whole group (a single instruction or a folded
+             static superinstruction) at once. *)
+          assert (gstart = slot);
+          let last = gstart + glen - 1 in
+          for k = 0 to glen - 1 do
+            let s = gstart + k in
+            let comp = Program.instr_at program s in
+            let body_bytes, body_instrs =
+              if k = 0 then (comp.Instr.work_bytes, comp.Instr.work_instrs)
+              else
+                ( max 1
+                    (comp.Instr.work_bytes - costs.Costs.static_super_saving_bytes),
+                  max 1
+                    (comp.Instr.work_instrs
+                    - costs.Costs.static_super_saving_instrs) )
+            in
+            let fall_dispatches = k = glen - 1 && fall_dispatch mode program bb last in
+            let is_branchy =
+              match comp.Instr.branch with
+              | Instr.Straight -> false
+              | _ -> true
+            in
+            let tail_bytes =
+              if k < glen - 1 then 0
+              else if fall_dispatches || is_branchy then
+                costs.Costs.threaded_dispatch_bytes
+              else costs.Costs.ip_inc_bytes
+            in
+            let addr =
+              Memory_layout.alloc dyn_alloc ~bytes:(body_bytes + tail_bytes)
+            in
+            let site = sites.(s) in
+            site.Code_layout.entry_addr <- addr;
+            site.Code_layout.fetch_addr <- addr;
+            site.Code_layout.fetch_bytes <- body_bytes + tail_bytes;
+            site.Code_layout.work_instrs <- body_instrs;
+            site.Code_layout.pre_dispatch <- None;
+            if k < glen - 1 then begin
+              site.Code_layout.post_fall <- None;
+              site.Code_layout.post_taken <- None;
+              site.Code_layout.fall_extra_instrs <- 0
+            end
+            else begin
+              let branch_addr = addr + body_bytes in
+              site.Code_layout.post_taken <- dispatch b ~branch_addr;
+              if fall_dispatches then begin
+                site.Code_layout.post_fall <- dispatch b ~branch_addr;
+                site.Code_layout.fall_extra_instrs <- 0
+              end
+              else begin
+                (* Dispatch elided but the ip increment is kept
+                   (Section 6.1). *)
+                site.Code_layout.post_fall <- None;
+                site.Code_layout.fall_extra_instrs <- costs.Costs.ip_inc_instrs
+              end
+            end;
+            (* Interior components that are branch targets need the shadow
+               path: a side entry runs non-replicated code to group end. *)
+            if k > 0 && bb.Basic_block.leader.(s) then shadow_until.(s) <- last
+          done;
+          i := last + 1);
+      ()
+    done;
+    Memory_layout.used_bytes dyn_alloc - bytes_before
+  in
+
+  (* Dynamic superinstructions without replication share the code of
+     identical basic blocks (all-relocatable, quickable-free ones). *)
+  let shared : (string, Code_layout.site array) Hashtbl.t = Hashtbl.create 64 in
+  let block_shareable (blk : Basic_block.block) =
+    mode.share_blocks
+    && (let ok = ref true in
+        for i = blk.Basic_block.start to blk.Basic_block.stop do
+          if classify program i <> Copied then ok := false
+        done;
+        !ok)
+  in
+  (* Identical-block sharing needs per-block layout; every other mode lays
+     the whole program out contiguously so that fall-through between blocks
+     stays inside the copied code (across-bb superinstructions, Figure 5). *)
+  if mode.share_blocks then
+    Array.iter
+      (fun (blk : Basic_block.block) ->
+        let lo = blk.Basic_block.start and hi = blk.Basic_block.stop in
+        if block_shareable blk then begin
+          let key = Basic_block.opcode_key program blk in
+          match Hashtbl.find_opt shared key with
+          | Some master_sites ->
+              for k = 0 to hi - lo do
+                Code_layout.copy_site_into ~src:master_sites.(k)
+                  ~dst:sites.(lo + k)
+              done
+          | None ->
+              ignore (layout_range lo hi);
+              Hashtbl.replace shared key
+                (Array.init (hi - lo + 1) (fun k -> sites.(lo + k)))
+        end
+        else ignore (layout_range lo hi))
+      bb.Basic_block.blocks
+  else if n > 0 then ignore (layout_range 0 (n - 1));
+
+  let layout =
+    {
+      Code_layout.program;
+      technique;
+      costs;
+      sites;
+      shadow;
+      shadow_until;
+      runtime_code_bytes = Memory_layout.used_bytes dyn_alloc;
+      on_quicken = (fun _ ~slot:_ -> ());
+    }
+  in
+  layout.Code_layout.on_quicken <-
+    (fun l ~slot ->
+      if b.plans.(slot).gap_addr >= 0 then install_quick b l slot
+      else
+        invalid_arg "Dynamic_opt: quickening a slot without a gap");
+  layout

@@ -1,0 +1,25 @@
+(** Layout builder for the run-time code-copying techniques (Section 5.2).
+
+    Dynamic replication copies the executable routine of every VM
+    instruction instance; dynamic superinstructions concatenate the
+    routines of a basic block, eliding interior dispatches (and, across
+    basic blocks, all dispatches except taken VM branches, calls and
+    returns).  Non-relocatable instructions are not copied: the threaded
+    code jumps to the single original routine.  Quickable instructions
+    leave a gap in the copied code, initially holding a dispatch to the
+    original routine; quickening patches the quick routine into the gap
+    (Section 5.4). *)
+
+val build :
+  ?profile:Vmbp_vm.Profile.t ->
+  costs:Costs.t ->
+  technique:Technique.t ->
+  program:Vmbp_vm.Program.t ->
+  unit ->
+  Code_layout.t
+(** [technique] must be one of [Dynamic_repl], [Dynamic_super],
+    [Dynamic_both], [Across_bb], [With_static_super _] or
+    [With_static_across_bb _]; the latter two require a [profile] for
+    superinstruction selection.  The returned layout owns a private copy
+    of [program].
+    @raise Invalid_argument on a static technique or missing profile. *)

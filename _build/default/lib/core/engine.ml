@@ -1,0 +1,190 @@
+open Vmbp_vm
+open Vmbp_machine
+
+type exec = Program.t -> int -> Control.t
+
+type result = {
+  metrics : Metrics.t;
+  cycles : float;
+  seconds : float;
+  steps : int;
+  trapped : string option;
+}
+
+exception Out_of_fuel
+
+type stop_reason = Finished | Trapped of string
+
+let run ?(fuel = max_int) ?exec_counts ~config ~layout ~exec () =
+  let program = layout.Code_layout.program in
+  let sites = layout.Code_layout.sites in
+  let shadow = layout.Code_layout.shadow in
+  let shadow_until = layout.Code_layout.shadow_until in
+  let costs = layout.Code_layout.costs in
+  let cpu = config.Config.cpu in
+  let m = Metrics.create () in
+  let predictor = Predictor.create (Config.predictor_kind config) in
+  let icache = Icache.create cpu.Cpu_model.icache in
+  let hits = ref 0 and misses = ref 0 in
+  let pending = ref (-1) in
+  let pending_from_transfer = ref false in
+  (* side-entry emulation for static superinstructions crossing basic
+     blocks: while [shadow_lo <= pc <= shadow_hi], non-replicated code
+     runs (Figure 6) *)
+  let shadow_lo = ref 0 and shadow_hi = ref (-1) in
+  let pc = ref program.Program.entry in
+  let steps = ref 0 in
+  let stop = ref None in
+  while !stop = None do
+    let i = !pc in
+    if !shadow_hi >= 0 && (i < !shadow_lo || i > !shadow_hi) then
+      shadow_hi := -1;
+    let site = if !shadow_hi >= 0 then shadow.(i) else sites.(i) in
+    (* Capture the site before executing: quickening rewrites it. *)
+    let entry_addr = site.Code_layout.entry_addr in
+    let fetch_addr = site.Code_layout.fetch_addr in
+    let fetch_bytes = site.Code_layout.fetch_bytes in
+    let work_instrs = site.Code_layout.work_instrs in
+    let pre_dispatch = site.Code_layout.pre_dispatch in
+    let post_fall = site.Code_layout.post_fall in
+    let post_taken = site.Code_layout.post_taken in
+    let fall_extra = site.Code_layout.fall_extra_instrs in
+    let opcode = program.Program.code.(i).Program.opcode in
+    let is_transfer =
+      match (Program.instr_at program i).Instr.branch with
+      | Instr.Straight -> false
+      | Instr.Cond_branch _ | Instr.Uncond_branch _ | Instr.Indirect_branch
+      | Instr.Call _ | Instr.Indirect_call | Instr.Return | Instr.Stop ->
+          true
+    in
+    (* Resolve the dispatch that brought control here. *)
+    if !pending >= 0 then begin
+      m.Metrics.dispatches <- m.Metrics.dispatches + 1;
+      m.Metrics.indirect_branches <- m.Metrics.indirect_branches + 1;
+      if
+        not
+          (Predictor.access predictor ~branch:!pending ~target:entry_addr
+             ~opcode)
+      then begin
+        m.Metrics.mispredicts <- m.Metrics.mispredicts + 1;
+        if !pending_from_transfer then
+          m.Metrics.vm_branch_mispredicts <- m.Metrics.vm_branch_mispredicts + 1
+      end
+    end;
+    (* Gap dispatch of a not-yet-quickened instruction inside a dynamic
+       superinstruction: jumps from the gap to the original routine. *)
+    (match pre_dispatch with
+    | Some d ->
+        Icache.fetch icache ~addr:entry_addr
+          ~bytes:costs.Costs.threaded_dispatch_bytes ~hits ~misses;
+        m.Metrics.native_instrs <-
+          m.Metrics.native_instrs + d.Code_layout.instrs;
+        m.Metrics.dispatches <- m.Metrics.dispatches + 1;
+        m.Metrics.indirect_branches <- m.Metrics.indirect_branches + 1;
+        if
+          not
+            (Predictor.access predictor ~branch:d.Code_layout.branch_addr
+               ~target:fetch_addr ~opcode)
+        then m.Metrics.mispredicts <- m.Metrics.mispredicts + 1
+    | None -> ());
+    if site.Code_layout.call_fetch_bytes > 0 then
+      Icache.fetch icache ~addr:site.Code_layout.call_fetch_addr
+        ~bytes:site.Code_layout.call_fetch_bytes ~hits ~misses;
+    Icache.fetch icache ~addr:fetch_addr ~bytes:fetch_bytes ~hits ~misses;
+    m.Metrics.native_instrs <- m.Metrics.native_instrs + work_instrs;
+    m.Metrics.vm_instrs <- m.Metrics.vm_instrs + 1;
+    incr steps;
+    if !steps > fuel then raise Out_of_fuel;
+    (match exec_counts with
+    | Some counts -> counts.(i) <- counts.(i) + 1
+    | None -> ());
+    let control =
+      match exec program i with
+      | Control.Quicken q ->
+          Code_layout.quicken layout ~slot:i ~new_opcode:q.Control.new_opcode
+            ~new_operands:q.Control.new_operands;
+          m.Metrics.quickenings <- m.Metrics.quickenings + 1;
+          q.Control.after
+      | control -> control
+    in
+    match control with
+    | Control.Next ->
+        (match post_fall with
+        | Some d ->
+            m.Metrics.native_instrs <-
+              m.Metrics.native_instrs + d.Code_layout.instrs;
+            pending := d.Code_layout.branch_addr;
+            pending_from_transfer := is_transfer
+        | None ->
+            m.Metrics.native_instrs <- m.Metrics.native_instrs + fall_extra;
+            pending := -1);
+        pc := i + 1
+    | Control.Jump target ->
+        (match post_taken with
+        | Some d ->
+            m.Metrics.native_instrs <-
+              m.Metrics.native_instrs + d.Code_layout.instrs;
+            pending := d.Code_layout.branch_addr;
+            pending_from_transfer := is_transfer
+        | None ->
+            (* A layout must provide a dispatch on every taken path. *)
+            assert false);
+        if shadow_until.(target) >= 0 then begin
+          shadow_lo := target;
+          shadow_hi := shadow_until.(target)
+        end
+        else shadow_hi := -1;
+        pc := target
+    | Control.Halt -> stop := Some Finished
+    | Control.Trap msg -> stop := Some (Trapped msg)
+    | Control.Quicken _ ->
+        (* [exec] resolved the outer quickening above; nested quickening is
+           not meaningful. *)
+        stop := Some (Trapped "nested quickening")
+  done;
+  m.Metrics.icache_fetches <- !hits + !misses;
+  m.Metrics.icache_misses <- !misses;
+  m.Metrics.code_bytes <- layout.Code_layout.runtime_code_bytes;
+  let cycles = Cpu_model.cycles cpu m in
+  {
+    metrics = m;
+    cycles;
+    seconds = Cpu_model.seconds cpu m;
+    steps = !steps;
+    trapped =
+      (match !stop with
+      | Some (Trapped msg) -> Some msg
+      | Some Finished | None -> None);
+  }
+
+let run_functional ?(fuel = max_int) ?exec_counts ~program ~exec () =
+  let pc = ref program.Program.entry in
+  let steps = ref 0 in
+  let stop = ref None in
+  while !stop = None do
+    let i = !pc in
+    incr steps;
+    if !steps > fuel then raise Out_of_fuel;
+    (match exec_counts with
+    | Some counts -> counts.(i) <- counts.(i) + 1
+    | None -> ());
+    let control =
+      match exec program i with
+      | Control.Quicken q ->
+          let slot = program.Program.code.(i) in
+          slot.Program.opcode <- q.Control.new_opcode;
+          slot.Program.operands <- q.Control.new_operands;
+          q.Control.after
+      | control -> control
+    in
+    match control with
+    | Control.Next -> pc := i + 1
+    | Control.Jump target -> pc := target
+    | Control.Halt -> stop := Some Finished
+    | Control.Trap msg -> stop := Some (Trapped msg)
+    | Control.Quicken _ -> stop := Some (Trapped "nested quickening")
+  done;
+  ( !steps,
+    match !stop with
+    | Some (Trapped msg) -> Some msg
+    | Some Finished | None -> None )

@@ -1,0 +1,52 @@
+(** The simulating interpreter engine.
+
+    The engine executes a VM program for real -- the front end's semantics
+    computes actual results -- while simultaneously driving the simulated
+    hardware: every executed code range goes through the I-cache, every
+    dispatch indirect branch through the branch predictor, and all event
+    counts into {!Vmbp_machine.Metrics}.  Which dispatches exist, at which
+    addresses, is entirely determined by the {!Code_layout}, so the same
+    engine serves every technique. *)
+
+type exec = Vmbp_vm.Program.t -> int -> Vmbp_vm.Control.t
+(** [exec program pc] runs the semantics of the instruction in slot [pc].
+    The function reads the (possibly quickened) opcode and operands from the
+    program itself. *)
+
+type result = {
+  metrics : Vmbp_machine.Metrics.t;
+  cycles : float;  (** pipeline cost model applied to the metrics *)
+  seconds : float;
+  steps : int;  (** executed VM instructions *)
+  trapped : string option;  (** [Some msg] when the program trapped *)
+}
+
+exception Out_of_fuel
+
+val run :
+  ?fuel:int ->
+  ?exec_counts:int array ->
+  config:Config.t ->
+  layout:Code_layout.t ->
+  exec:exec ->
+  unit ->
+  result
+(** Execute the layout's program to completion.
+
+    [fuel] bounds the number of executed VM instructions (default
+    unlimited); exceeding it raises {!Out_of_fuel}.  When [exec_counts] is
+    given, the engine increments one counter per executed slot, which is how
+    training runs collect dynamic profiles. *)
+
+val run_functional :
+  ?fuel:int ->
+  ?exec_counts:int array ->
+  program:Vmbp_vm.Program.t ->
+  exec:exec ->
+  unit ->
+  int * string option
+(** Run the program without any hardware simulation (and without a layout):
+    returns the executed VM instruction count and the trap message, if any.
+    Used by tests to establish reference behaviour, and by training runs
+    that only need quickening to reach a fixed point.  The program is
+    mutated in place by quickening. *)

@@ -1,0 +1,46 @@
+type chooser =
+  | Round_robin of (int, int ref) Hashtbl.t
+  | Random of Random.State.t
+
+let make_chooser = function
+  | Technique.Round_robin -> Round_robin (Hashtbl.create 64)
+  | Technique.Random seed -> Random (Random.State.make [| seed |])
+
+let choose t ~item ~copies =
+  if copies <= 0 then invalid_arg "Replica_select.choose: no copies";
+  match t with
+  | Round_robin counters ->
+      let counter =
+        match Hashtbl.find_opt counters item with
+        | Some r -> r
+        | None ->
+            let r = ref 0 in
+            Hashtbl.replace counters item r;
+            r
+      in
+      let k = !counter mod copies in
+      incr counter;
+      k
+  | Random state -> Random.State.int state copies
+
+(* Highest-averages apportionment: hand out one copy at a time to the item
+   whose weight/copies ratio is currently largest.  A simple priority scan
+   is fine at the scale of an instruction set (a few hundred items). *)
+let apportion ~weights ~budget =
+  if weights = [] then []
+  else begin
+  let items = Array.of_list weights in
+  let copies = Array.make (Array.length items) 1 in
+  let ratio i =
+    let w, c = (float_of_int (snd items.(i)), float_of_int copies.(i)) in
+    w /. c
+  in
+  for _ = 1 to budget do
+    let best = ref 0 in
+    for i = 1 to Array.length items - 1 do
+      if ratio i > ratio !best then best := i
+    done;
+    if snd items.(!best) > 0 then copies.(!best) <- copies.(!best) + 1
+  done;
+  Array.to_list (Array.mapi (fun i (item, _) -> (item, copies.(i))) items)
+  end

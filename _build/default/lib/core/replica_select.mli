@@ -1,0 +1,26 @@
+(** Apportioning replicas over instructions and choosing a copy per code
+    site (Section 5.1).
+
+    Two concerns live here: deciding how many copies each (super)instruction
+    receives out of a fixed budget of additional routines, and picking a
+    concrete copy for each static occurrence.  The paper found round-robin
+    (statically least-recently-used) selection better than random because of
+    spatial locality in the code. *)
+
+type chooser
+
+val make_chooser : Technique.replica_strategy -> chooser
+
+val choose : chooser -> item:int -> copies:int -> int
+(** Pick a copy index in [0, copies) for the next static occurrence of
+    [item] (an arbitrary caller-chosen key: an opcode, or a superinstruction
+    id offset past the opcodes).  Round-robin counts per item; random draws
+    from the seeded generator. *)
+
+val apportion : weights:('a * int) list -> budget:int -> ('a * int) list
+(** [apportion ~weights ~budget] distributes [budget] additional copies
+    over the items, proportionally to their weights, one copy at a time to
+    the item with the largest weight-per-copy (highest-averages
+    apportionment).  Returns [(item, total_copies)] with
+    [total_copies >= 1] for every item present in [weights]; items with
+    zero weight keep exactly one copy. *)

@@ -1,0 +1,341 @@
+open Vmbp_vm
+open Vmbp_machine
+
+(* One simulated executable routine: the native code for one copy of a
+   single VM instruction or of a superinstruction. *)
+type component = { offset : int; bytes : int; instrs : int }
+
+type routine = {
+  addr : int;
+  components : component array;
+  branch_addr : int;  (* address of the routine's dispatch branch *)
+}
+
+type item_key = int
+(* Singles are keyed by opcode; superinstructions by [iset size + index]. *)
+
+type builder = {
+  iset : Instr_set.t;
+  costs : Costs.t;
+  alloc : Memory_layout.t;
+  technique : Technique.t;
+  params : Technique.static_params option;  (* None for Switch/Plain *)
+  supers : Super_set.t;
+  super_ids : (string, int) Hashtbl.t;  (* sequence key -> item key *)
+  copies : (item_key, routine array) Hashtbl.t;
+  chooser : Replica_select.chooser;
+  switch_branch : int option;  (* the single shared branch, Switch only *)
+  dispatch_instrs : int;
+  (* Per-basic-block bookkeeping for quickening-driven re-parsing. *)
+  mutable bb : Basic_block.t;
+  mutable quickable_left : int array;  (* per block id *)
+}
+
+let seq_key seq = String.concat "," (List.map string_of_int (Array.to_list seq))
+
+let super_item b seq =
+  match Hashtbl.find_opt b.super_ids (seq_key seq) with
+  | Some id -> id
+  | None -> invalid_arg "Static_opt: unknown superinstruction"
+
+(* Allocate the native code of one routine.  [bodies] lists per-component
+   (bytes, instrs) after any cross-component optimization savings. *)
+let alloc_routine b ~bodies ~dispatch_bytes =
+  let total_body = List.fold_left (fun acc (bytes, _) -> acc + bytes) 0 bodies in
+  let addr = Memory_layout.alloc b.alloc ~bytes:(total_body + dispatch_bytes) in
+  let components =
+    let offset = ref 0 in
+    List.map
+      (fun (bytes, instrs) ->
+        let c = { offset = !offset; bytes; instrs } in
+        offset := !offset + bytes;
+        c)
+      bodies
+    |> Array.of_list
+  in
+  let branch_addr =
+    match b.switch_branch with
+    | Some shared -> shared
+    | None -> addr + total_body
+  in
+  { addr; components; branch_addr }
+
+let single_bodies b opcode =
+  let instr = Instr_set.get b.iset opcode in
+  [ (instr.Instr.work_bytes, instr.Instr.work_instrs) ]
+
+(* Component costs of a static superinstruction: the compiler optimizes
+   across components, saving work at every component boundary
+   (Section 5.3). *)
+let super_bodies b seq =
+  List.mapi
+    (fun i opcode ->
+      let instr = Instr_set.get b.iset opcode in
+      if i = 0 then (instr.Instr.work_bytes, instr.Instr.work_instrs)
+      else
+        ( max 1 (instr.Instr.work_bytes - b.costs.Costs.static_super_saving_bytes),
+          max 1 (instr.Instr.work_instrs - b.costs.Costs.static_super_saving_instrs)
+        ))
+    (Array.to_list seq)
+
+let dispatch_bytes b =
+  match b.technique with
+  | Technique.Switch -> b.costs.Costs.switch_dispatch_bytes
+  | _ -> b.costs.Costs.threaded_dispatch_bytes
+
+(* Ensure at least one routine exists for an item and return the copies. *)
+let copies_of b item ~bodies =
+  match Hashtbl.find_opt b.copies item with
+  | Some rs -> rs
+  | None ->
+      let r = alloc_routine b ~bodies ~dispatch_bytes:(dispatch_bytes b) in
+      let rs = [| r |] in
+      Hashtbl.replace b.copies item rs;
+      rs
+
+let single_copies b opcode = copies_of b opcode ~bodies:(single_bodies b opcode)
+
+let super_copies b seq =
+  copies_of b (super_item b seq) ~bodies:(super_bodies b seq)
+
+(* Pre-create the apportioned number of copies for every item. *)
+let preallocate_copies b ~profile =
+  match b.params with
+  | None -> ()
+  | Some params when params.Technique.replicas = 0 -> ()
+  | Some params ->
+      let profile =
+        match profile with
+        | Some p -> p
+        | None -> invalid_arg "Static_opt.build: replicas need a profile"
+      in
+      let weights =
+        Superinstr_select.replica_weights ~profile ~iset:b.iset ~supers:b.supers
+        |> List.map (fun (item, w) ->
+               match item with
+               | Superinstr_select.Single opcode -> ((`S opcode), w)
+               | Superinstr_select.Super seq -> ((`X seq), w))
+      in
+      let allocation =
+        Replica_select.apportion ~weights ~budget:params.Technique.replicas
+      in
+      List.iter
+        (fun (tagged, n) ->
+          let item, bodies =
+            match tagged with
+            | `S opcode -> (opcode, single_bodies b opcode)
+            | `X seq -> (super_item b seq, super_bodies b seq)
+          in
+          let rs =
+            Array.init n (fun _ ->
+                alloc_routine b ~bodies ~dispatch_bytes:(dispatch_bytes b))
+          in
+          Hashtbl.replace b.copies item rs)
+        allocation
+
+(* Whether a slot's current instruction may be a superinstruction
+   component: straight-line and not (or no longer) quickable. *)
+let eligible (p : Program.t) i =
+  let instr = Program.instr_at p i in
+  (not instr.Instr.quickable)
+  && match instr.Instr.branch with Instr.Straight -> true | _ -> false
+
+let parse_block b (p : Program.t) (blk : Basic_block.block) =
+  let opcodes i = p.Program.code.(i).Program.opcode in
+  let eligible i = eligible p i in
+  let parse =
+    match b.params with
+    | Some { Technique.parse = Technique.Optimal; _ } -> Block_parse.optimal
+    | _ -> Block_parse.greedy
+  in
+  parse b.supers ~opcodes ~eligible ~start:blk.Basic_block.start
+    ~stop:blk.Basic_block.stop
+
+(* Build or rebuild the sites of one basic block from a fresh parse. *)
+let assemble_block b (p : Program.t) (sites : Code_layout.site array)
+    (blk : Basic_block.block) =
+  let groups = parse_block b p blk in
+  List.iter
+    (fun { Block_parse.start; len } ->
+      let routine =
+        if len = 1 then begin
+          let opcode = p.Program.code.(start).Program.opcode in
+          let rs = single_copies b opcode in
+          let k =
+            if Array.length rs = 1 then 0
+            else Replica_select.choose b.chooser ~item:opcode
+                   ~copies:(Array.length rs)
+          in
+          rs.(k)
+        end
+        else begin
+          let seq =
+            Array.init len (fun i -> p.Program.code.(start + i).Program.opcode)
+          in
+          let rs = super_copies b seq in
+          let k =
+            if Array.length rs = 1 then 0
+            else Replica_select.choose b.chooser ~item:(super_item b seq)
+                   ~copies:(Array.length rs)
+          in
+          rs.(k)
+        end
+      in
+      let dispatch =
+        Some
+          {
+            Code_layout.branch_addr = routine.branch_addr;
+            instrs = b.dispatch_instrs;
+          }
+      in
+      for i = 0 to len - 1 do
+        let c = routine.components.(i) in
+        let site = sites.(start + i) in
+        site.Code_layout.entry_addr <- routine.addr + c.offset;
+        site.Code_layout.fetch_addr <- routine.addr + c.offset;
+        site.Code_layout.fetch_bytes <-
+          (if i = len - 1 then c.bytes + dispatch_bytes b else c.bytes);
+        site.Code_layout.work_instrs <- c.instrs;
+        site.Code_layout.pre_dispatch <- None;
+        site.Code_layout.fall_extra_instrs <- 0;
+        if i = len - 1 then begin
+          site.Code_layout.post_fall <- dispatch;
+          site.Code_layout.post_taken <- dispatch
+        end
+        else begin
+          site.Code_layout.post_fall <- None;
+          site.Code_layout.post_taken <- None
+        end
+      done)
+    groups
+
+let count_quickables (p : Program.t) (bb : Basic_block.t) =
+  let counts = Array.make (Array.length bb.Basic_block.blocks) 0 in
+  Array.iteri
+    (fun i _ ->
+      if (Program.instr_at p i).Instr.quickable then begin
+        let blk = bb.Basic_block.block_of_slot.(i) in
+        counts.(blk) <- counts.(blk) + 1
+      end)
+    p.Program.code;
+  counts
+
+let on_quicken b (layout : Code_layout.t) ~slot =
+  let p = layout.Code_layout.program in
+  let blk_id = b.bb.Basic_block.block_of_slot.(slot) in
+  b.quickable_left.(blk_id) <- b.quickable_left.(blk_id) - 1;
+  if b.quickable_left.(blk_id) = 0 && Super_set.size b.supers > 0 then
+    (* All quickables of the block are resolved: re-parse so the quick
+       instructions can join superinstructions. *)
+    assemble_block b p layout.Code_layout.sites
+      b.bb.Basic_block.blocks.(blk_id)
+  else begin
+    (* Point just this slot at a copy of its quick routine. *)
+    let opcode = p.Program.code.(slot).Program.opcode in
+    let rs = single_copies b opcode in
+    let k =
+      if Array.length rs = 1 then 0
+      else Replica_select.choose b.chooser ~item:opcode ~copies:(Array.length rs)
+    in
+    let routine = rs.(k) in
+    let c = routine.components.(0) in
+    let site = layout.Code_layout.sites.(slot) in
+    site.Code_layout.entry_addr <- routine.addr;
+    site.Code_layout.fetch_addr <- routine.addr;
+    site.Code_layout.fetch_bytes <- c.bytes + dispatch_bytes b;
+    site.Code_layout.work_instrs <- c.instrs;
+    site.Code_layout.pre_dispatch <- None;
+    site.Code_layout.fall_extra_instrs <- 0;
+    let dispatch =
+      Some
+        {
+          Code_layout.branch_addr = routine.branch_addr;
+          instrs = b.dispatch_instrs;
+        }
+    in
+    site.Code_layout.post_fall <- dispatch;
+    site.Code_layout.post_taken <- dispatch
+  end
+
+let build ?profile ~costs ~technique ~program () =
+  let params =
+    match technique with
+    | Technique.Switch | Technique.Plain -> None
+    | Technique.Static params -> Some params
+    | Technique.Dynamic_repl | Technique.Dynamic_super | Technique.Dynamic_both
+    | Technique.Across_bb | Technique.With_static_super _
+    | Technique.With_static_across_bb _ | Technique.Subroutine ->
+        invalid_arg "Static_opt.build: dynamic technique"
+  in
+  let program = Program.copy program in
+  let iset = program.Program.iset in
+  let alloc = Memory_layout.create () in
+  let supers =
+    match params with
+    | Some ({ Technique.superinstrs; _ } as p) when superinstrs > 0 -> (
+        match profile with
+        | Some prof -> Superinstr_select.select ~profile:prof ~params:p
+        | None -> invalid_arg "Static_opt.build: superinstructions need a profile"
+        )
+    | _ -> Super_set.empty
+  in
+  let super_ids = Hashtbl.create 64 in
+  List.iteri
+    (fun i seq ->
+      Hashtbl.replace super_ids (seq_key seq) (Instr_set.size iset + i))
+    (Super_set.to_list supers);
+  let switch_branch =
+    match technique with
+    | Technique.Switch -> Some (Memory_layout.alloc alloc ~bytes:costs.Costs.switch_dispatch_bytes)
+    | _ -> None
+  in
+  let dispatch_instrs =
+    match technique with
+    | Technique.Switch -> costs.Costs.switch_dispatch_instrs
+    | _ -> costs.Costs.threaded_dispatch_instrs
+  in
+  let chooser =
+    Replica_select.make_chooser
+      (match params with
+      | Some p -> p.Technique.strategy
+      | None -> Technique.Round_robin)
+  in
+  let bb = Basic_block.analyze program in
+  let b =
+    {
+      iset;
+      costs;
+      alloc;
+      technique;
+      params;
+      supers;
+      super_ids;
+      copies = Hashtbl.create 256;
+      chooser;
+      switch_branch;
+      dispatch_instrs;
+      bb;
+      quickable_left = [||];
+    }
+  in
+  b.quickable_left <- count_quickables program bb;
+  preallocate_copies b ~profile;
+  let n = Program.length program in
+  let sites =
+    Array.init n (fun _ -> Code_layout.make_site ~entry:0 ~fetch:0 ~bytes:0 ~instrs:0)
+  in
+  Array.iter (assemble_block b program sites) bb.Basic_block.blocks;
+  let layout =
+    {
+      Code_layout.program;
+      technique;
+      costs;
+      sites;
+      shadow = sites;
+      shadow_until = Array.make n (-1);
+      runtime_code_bytes = 0;
+      on_quicken = (fun _ ~slot:_ -> ());
+    }
+  in
+  layout.Code_layout.on_quicken <- (fun l ~slot -> on_quicken b l ~slot);
+  layout

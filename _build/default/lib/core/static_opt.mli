@@ -1,0 +1,25 @@
+(** Layout builder for the build-time techniques: switch dispatch, plain
+    threaded code, and static replication / superinstructions
+    (Section 5.1).
+
+    The builder creates one simulated routine per instruction copy --
+    singles, replicas, and superinstructions -- and assigns every program
+    slot to a copy, using round-robin or random selection.  Quickable
+    instructions are not replicated; their quick versions are, and the
+    replica is chosen when the instruction quickens.  When the last
+    quickable instruction of a basic block has quickened, the block is
+    re-parsed so quick instructions can join superinstructions
+    (Section 5.4). *)
+
+val build :
+  ?profile:Vmbp_vm.Profile.t ->
+  costs:Costs.t ->
+  technique:Technique.t ->
+  program:Vmbp_vm.Program.t ->
+  unit ->
+  Code_layout.t
+(** [technique] must be [Switch], [Plain] or [Static _].  A [profile] is
+    required when the static parameters request replicas or
+    superinstructions.  The returned layout owns a private copy of
+    [program].
+    @raise Invalid_argument on a dynamic technique or a missing profile. *)

@@ -1,0 +1,74 @@
+open Vmbp_vm
+open Vmbp_machine
+
+(* Native call instruction emitted per VM code slot (x86 call rel32). *)
+let call_bytes = 5
+
+(* Call + return overhead executed around every routine body. *)
+let call_ret_instrs = 2
+
+let build ~costs ~program () =
+  let program = Program.copy program in
+  let iset = program.Program.iset in
+  let static_alloc = Memory_layout.create () in
+  (* Shared routines, one per opcode, ending in a native return. *)
+  let routine = Hashtbl.create 64 in
+  Instr_set.iter iset (fun instr ->
+      let addr =
+        Memory_layout.alloc static_alloc
+          ~bytes:(instr.Instr.work_bytes + 4 (* ret + branch glue *))
+      in
+      Hashtbl.replace routine instr.Instr.opcode addr);
+  let n = Program.length program in
+  (* The generated call-site stream: one call per slot, contiguous. *)
+  let dyn_alloc = Memory_layout.create ~base:0x4000000 ~align:1 () in
+  let call_site = Array.init n (fun _ -> Memory_layout.alloc dyn_alloc ~bytes:call_bytes) in
+  let sites =
+    Array.init n (fun _ -> Code_layout.make_site ~entry:0 ~fetch:0 ~bytes:0 ~instrs:0)
+  in
+  let fill slot =
+    let instr = Program.instr_at program slot in
+    let orig = Hashtbl.find routine instr.Instr.opcode in
+    let site = sites.(slot) in
+    site.Code_layout.entry_addr <- call_site.(slot);
+    site.Code_layout.call_fetch_addr <- call_site.(slot);
+    site.Code_layout.call_fetch_bytes <- call_bytes;
+    site.Code_layout.fetch_addr <- orig;
+    site.Code_layout.fetch_bytes <- instr.Instr.work_bytes + 4;
+    site.Code_layout.work_instrs <- instr.Instr.work_instrs + call_ret_instrs;
+    site.Code_layout.pre_dispatch <- None;
+    (* Fall-through is the next native call: direct, no BTB event. *)
+    site.Code_layout.post_fall <- None;
+    site.Code_layout.fall_extra_instrs <- 0;
+    (* Taken VM transfers redirect the call-stream pointer with an indirect
+       jump inside the transfer routine: one BTB event, keyed per call
+       site (the routine reads its return address). *)
+    site.Code_layout.post_taken <-
+      (match instr.Instr.branch with
+      | Instr.Straight -> None
+      | Instr.Cond_branch _ | Instr.Uncond_branch _ | Instr.Indirect_branch
+      | Instr.Call _ | Instr.Indirect_call | Instr.Return | Instr.Stop ->
+          Some
+            {
+              Code_layout.branch_addr = call_site.(slot) + 1;
+              instrs = 2;
+            })
+  in
+  for slot = 0 to n - 1 do
+    fill slot
+  done;
+  let layout =
+    {
+      Code_layout.program;
+      technique = Technique.Subroutine;
+      costs;
+      sites;
+      shadow = sites;
+      shadow_until = Array.make n (-1);
+      runtime_code_bytes = Memory_layout.used_bytes dyn_alloc;
+      on_quicken = (fun _ ~slot:_ -> ());
+    }
+  in
+  (* Quickening simply retargets the slot's call at the quick routine. *)
+  layout.Code_layout.on_quicken <- (fun _l ~slot -> fill slot);
+  layout

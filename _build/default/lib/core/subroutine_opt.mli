@@ -1,0 +1,14 @@
+(** Subroutine threading (Berndl et al. 2005; the paper's Section 8).
+
+    A minimal JIT: the "VM code" is a sequence of native call instructions,
+    one per VM instruction, each calling the shared routine for its opcode.
+    Dispatch therefore executes no indirect branch at all -- calls are
+    direct and returns are predicted by the hardware return-address stack.
+    Only taken VM-level control transfers (branches, VM calls and returns,
+    [execute]/[invokevirtual]) still go through the BTB, via an indirect
+    jump in the transfer routine.  The price is call/return overhead on
+    every VM instruction and the generated call-site code. *)
+
+val build :
+  costs:Costs.t -> program:Vmbp_vm.Program.t -> unit -> Code_layout.t
+(** The returned layout owns a private copy of [program]. *)

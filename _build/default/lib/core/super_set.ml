@@ -1,0 +1,38 @@
+type t = {
+  table : (string, int array) Hashtbl.t;
+  max_len : int;
+}
+
+let key seq = String.concat "," (List.map string_of_int (Array.to_list seq))
+
+let empty = { table = Hashtbl.create 1; max_len = 0 }
+
+let of_list seqs =
+  let table = Hashtbl.create (List.length seqs * 2) in
+  let max_len =
+    List.fold_left
+      (fun acc seq ->
+        if Array.length seq < 2 then acc
+        else begin
+          Hashtbl.replace table (key seq) seq;
+          max acc (Array.length seq)
+        end)
+      0 seqs
+  in
+  { table; max_len }
+
+let size t = Hashtbl.length t.table
+let max_len t = t.max_len
+let mem t seq = Hashtbl.mem t.table (key seq)
+let to_list t = Hashtbl.fold (fun _ seq acc -> seq :: acc) t.table []
+
+let match_lengths t ~opcodes ~pos ~limit =
+  let longest = min t.max_len (limit - pos + 1) in
+  (* Scan lengths downwards so the result is longest-first. *)
+  let rec scan l acc =
+    if l < 2 then List.rev acc
+    else
+      let seq = Array.init l (fun i -> opcodes (pos + i)) in
+      scan (l - 1) (if mem t seq then l :: acc else acc)
+  in
+  scan longest []

@@ -1,0 +1,19 @@
+(** A set of superinstruction opcode sequences, with fast longest-match
+    lookup for the basic-block parsers. *)
+
+type t
+
+val empty : t
+val of_list : int array list -> t
+(** Duplicate sequences and sequences shorter than 2 are dropped. *)
+
+val size : t -> int
+val max_len : t -> int
+val mem : t -> int array -> bool
+val to_list : t -> int array list
+
+val match_lengths : t -> opcodes:(int -> int) -> pos:int -> limit:int ->
+  int list
+(** All lengths [l >= 2] such that the sequence
+    [opcodes pos, ..., opcodes (pos+l-1)] is in the set and
+    [pos + l - 1 <= limit]; longest first. *)

@@ -1,0 +1,35 @@
+open Vmbp_vm
+
+type item = Single of int | Super of int array
+
+let select ~profile ~params =
+  let n = params.Technique.superinstrs in
+  if n = 0 then Super_set.empty
+  else
+    Super_set.of_list
+      (Profile.top_sequences profile ~prefer_short:params.Technique.prefer_short
+         ~n ())
+
+let replica_weights ~profile ~iset ~supers =
+  let single_weights = ref [] in
+  Instr_set.iter iset (fun instr ->
+      let opcode = instr.Instr.opcode in
+      let weight = Profile.opcode_count profile opcode in
+      (* Quickable originals run once per code site and are never
+         replicated; push their frequency onto the quick versions. *)
+      if instr.Instr.quickable then
+        List.iter
+          (fun quick ->
+            single_weights :=
+              (Single quick,
+               weight + Profile.opcode_count profile quick)
+              :: !single_weights)
+          instr.Instr.quick_targets
+      else if instr.Instr.quick_of = None then
+        single_weights := (Single opcode, weight) :: !single_weights);
+  let super_weights =
+    List.map
+      (fun seq -> (Super seq, Profile.sequence_count profile seq))
+      (Super_set.to_list supers)
+  in
+  List.rev !single_weights @ super_weights

@@ -1,0 +1,26 @@
+(** Choosing the static superinstruction set from a training profile
+    (Sections 5.1 and 7.1).
+
+    For Gforth the paper selects the most frequently executed sequences from
+    a training run; for the JVM it selects statically frequent sequences
+    while favouring shorter ones.  Both policies reduce to ranking the
+    profile's sequences. *)
+
+type item =
+  | Single of int  (** an opcode *)
+  | Super of int array  (** a superinstruction's component opcodes *)
+
+val select :
+  profile:Vmbp_vm.Profile.t -> params:Technique.static_params -> Super_set.t
+(** The top [params.superinstrs] sequences, scored per
+    [params.prefer_short]. *)
+
+val replica_weights :
+  profile:Vmbp_vm.Profile.t ->
+  iset:Vmbp_vm.Instr_set.t ->
+  supers:Super_set.t ->
+  (item * int) list
+(** Frequency weights for apportioning replicas over single instructions
+    and the selected superinstructions.  Quickable originals contribute
+    their weight to their quick versions, which are the routines actually
+    replicated (Section 5.4). *)

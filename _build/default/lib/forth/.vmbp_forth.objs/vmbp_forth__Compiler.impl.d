@@ -1,0 +1,1 @@
+lib/forth/compiler.ml: Array Char Hashtbl Instr Instr_set Instruction_set List Printf Program String Vmbp_vm

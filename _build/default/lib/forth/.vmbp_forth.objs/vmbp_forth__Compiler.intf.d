@@ -1,0 +1,1 @@
+lib/forth/compiler.mli: Vmbp_vm

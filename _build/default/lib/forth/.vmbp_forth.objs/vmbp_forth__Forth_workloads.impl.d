@@ -1,0 +1,1 @@
+lib/forth/forth_workloads.ml: List Wl_bench_gc Wl_brainless Wl_brew Wl_cross Wl_gray Wl_tscp Wl_vmgen

@@ -1,0 +1,1 @@
+lib/forth/forth_workloads.mli:

@@ -1,0 +1,1 @@
+lib/forth/instruction_set.ml: Array Control Instr_set Prim Program State Vmbp_core Vmbp_vm

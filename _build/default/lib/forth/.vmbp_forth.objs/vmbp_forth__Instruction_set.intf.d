@@ -1,0 +1,1 @@
+lib/forth/instruction_set.mli: State Vmbp_core Vmbp_vm

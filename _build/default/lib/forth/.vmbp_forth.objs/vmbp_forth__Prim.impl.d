@@ -1,0 +1,1 @@
+lib/forth/prim.ml: Array Buffer Char Control Instr Program State Vmbp_vm

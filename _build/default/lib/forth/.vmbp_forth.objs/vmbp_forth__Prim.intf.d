@@ -1,0 +1,1 @@
+lib/forth/prim.mli: State Vmbp_vm

@@ -1,0 +1,1 @@
+lib/forth/state.mli: Buffer

@@ -1,0 +1,1 @@
+lib/forth/wl_bench_gc.ml: Buffer Printf

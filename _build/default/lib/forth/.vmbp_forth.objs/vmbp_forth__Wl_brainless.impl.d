@@ -1,0 +1,1 @@
+lib/forth/wl_brainless.ml: Array Buffer Printf

@@ -1,0 +1,1 @@
+lib/forth/wl_cross.ml: Printf

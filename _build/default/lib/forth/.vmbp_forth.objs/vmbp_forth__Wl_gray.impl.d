@@ -1,0 +1,1 @@
+lib/forth/wl_gray.ml: Buffer List Printf Random

@@ -1,0 +1,1 @@
+lib/forth/wl_tscp.ml: Buffer List Printf

@@ -1,0 +1,1 @@
+lib/forth/wl_vmgen.ml: Printf

@@ -1,0 +1,347 @@
+open Vmbp_vm
+
+exception Error of string
+
+type unit_ = { program : Program.t; words : (string * int) list }
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
+(* ---------------------------------------------------------------- *)
+(* Lexer: whitespace-separated tokens, line comments with [\ ], inline
+   comments with [( ... )], and the [." ..."] string form which must keep
+   its spaces. *)
+
+type token = Word of string | Str of string  (* payload of ." ... " *)
+
+let tokenize source =
+  let tokens = ref [] in
+  let lines = String.split_on_char '\n' source in
+  List.iter
+    (fun line ->
+      let n = String.length line in
+      let i = ref 0 in
+      let in_paren = ref false in
+      while !i < n do
+        (* skip whitespace *)
+        while !i < n && (line.[!i] = ' ' || line.[!i] = '\t' || line.[!i] = '\r')
+        do
+          incr i
+        done;
+        if !i < n then begin
+          let start = !i in
+          while
+            !i < n && line.[!i] <> ' ' && line.[!i] <> '\t' && line.[!i] <> '\r'
+          do
+            incr i
+          done;
+          let tok = String.sub line start (!i - start) in
+          if !in_paren then begin
+            if String.contains tok ')' then in_paren := false
+          end
+          else
+            match tok with
+            | "\\" -> i := n  (* rest of line is a comment *)
+            | "(" -> in_paren := true
+            | ".\"" ->
+                (* Read the raw text up to the closing quote. *)
+                let rec find_quote j =
+                  if j >= n then error "unterminated .\""
+                  else if line.[j] = '"' then j
+                  else find_quote (j + 1)
+                in
+                (* [!i] sits on the separating space after the dot-quote
+                   token; the string payload starts one character later. *)
+                let stop = find_quote !i in
+                let text =
+                  if stop > !i + 1 then String.sub line (!i + 1) (stop - !i - 1)
+                  else ""
+                in
+                tokens := Str text :: !tokens;
+                i := stop + 1
+            | _ -> tokens := Word tok :: !tokens
+        end
+      done;
+      if !in_paren then () (* parenthesised comments may not span lines *))
+    lines;
+  List.rev !tokens
+
+(* ---------------------------------------------------------------- *)
+(* Compiler state *)
+
+type dict_entry =
+  | Colon of int  (* entry slot *)
+  | Constant of int
+  | Address of int  (* data-space address of a variable or array *)
+
+type t = {
+  iset : Instr_set.t;
+  mutable code : Program.slot array;
+  mutable len : int;
+  dict : (string, dict_entry) Hashtbl.t;
+  mutable dp : int;  (* compile-time data-space pointer *)
+  mutable word_list : (string * int) list;
+}
+
+(* Compile-time control-flow stack entries. *)
+type do_frame = { start : int; mutable leaves : int list }
+type case_frame = { mutable exits : int list }
+
+type cf =
+  | CF_if of int
+  | CF_else of int
+  | CF_begin of int
+  | CF_while of { begin_ : int; exit_slot : int }
+  | CF_do of do_frame
+  | CF_case of case_frame
+  | CF_of of { pending : int; frame : case_frame }
+
+let create () =
+  {
+    iset = Instruction_set.iset;
+    code = Array.make 256 { Program.opcode = 0; operands = [||] };
+    len = 0;
+    dict = Hashtbl.create 64;
+    dp = 16;  (* must match State.create's initial [here] *)
+    word_list = [];
+  }
+
+let emit c opcode operands =
+  if c.len >= Array.length c.code then begin
+    let bigger =
+      Array.make (2 * Array.length c.code)
+        { Program.opcode = 0; operands = [||] }
+    in
+    Array.blit c.code 0 bigger 0 c.len;
+    c.code <- bigger
+  end;
+  c.code.(c.len) <- { Program.opcode; operands };
+  c.len <- c.len + 1;
+  c.len - 1
+
+let patch c slot target =
+  let s = c.code.(slot) in
+  s.Program.operands <- Array.map (fun v -> if v = -1 then target else v)
+      s.Program.operands
+
+let op c name = Instr_set.find_exn c.iset name
+let emit_lit c v = ignore (emit c (op c "lit") [| v |])
+
+let is_number tok =
+  match int_of_string_opt tok with Some _ -> true | None -> false
+
+(* ---------------------------------------------------------------- *)
+(* Token-stream compilation *)
+
+let rec compile_tokens c ~in_def ~entry tokens cf_stack =
+  match tokens with
+  | [] ->
+      if cf_stack <> [] then error "unterminated control structure";
+      if in_def then error "unterminated colon definition";
+      []
+  | Str text :: rest ->
+      (* ." ... " -- print each character *)
+      String.iter
+        (fun ch ->
+          emit_lit c (Char.code ch);
+          ignore (emit c (op c "emit") [||]))
+        text;
+      compile_tokens c ~in_def ~entry rest cf_stack
+  | Word tok :: rest -> (
+      let continue rest cf = compile_tokens c ~in_def ~entry rest cf in
+      match tok with
+      | ";" ->
+          if not in_def then error "; outside a definition";
+          if cf_stack <> [] then error "unterminated control structure in word";
+          ignore (emit c (op c "exit") [||]);
+          rest
+      | ":" -> error "nested colon definition"
+      | "if" ->
+          let slot = emit c (op c "?branch") [| -1 |] in
+          continue rest (CF_if slot :: cf_stack)
+      | "else" -> (
+          match cf_stack with
+          | CF_if slot :: up ->
+              let jump = emit c (op c "branch") [| -1 |] in
+              patch c slot c.len;
+              continue rest (CF_else jump :: up)
+          | _ -> error "else without if")
+      | "then" -> (
+          match cf_stack with
+          | (CF_if slot | CF_else slot) :: up ->
+              patch c slot c.len;
+              continue rest up
+          | _ -> error "then without if")
+      | "begin" -> continue rest (CF_begin c.len :: cf_stack)
+      | "until" -> (
+          match cf_stack with
+          | CF_begin target :: up ->
+              ignore (emit c (op c "?branch") [| target |]);
+              continue rest up
+          | _ -> error "until without begin")
+      | "again" -> (
+          match cf_stack with
+          | CF_begin target :: up ->
+              ignore (emit c (op c "branch") [| target |]);
+              continue rest up
+          | _ -> error "again without begin")
+      | "while" -> (
+          match cf_stack with
+          | CF_begin begin_ :: up ->
+              let exit_slot = emit c (op c "?branch") [| -1 |] in
+              continue rest (CF_while { begin_; exit_slot } :: up)
+          | _ -> error "while without begin")
+      | "repeat" -> (
+          match cf_stack with
+          | CF_while { begin_; exit_slot } :: up ->
+              ignore (emit c (op c "branch") [| begin_ |]);
+              patch c exit_slot c.len;
+              continue rest up
+          | _ -> error "repeat without while")
+      | "do" ->
+          ignore (emit c (op c "(do)") [||]);
+          continue rest (CF_do { start = c.len; leaves = [] } :: cf_stack)
+      | "loop" | "+loop" -> (
+          match cf_stack with
+          | CF_do { start; leaves } :: up ->
+              let prim = if tok = "loop" then "(loop)" else "(+loop)" in
+              ignore (emit c (op c prim) [| start |]);
+              List.iter (fun slot -> patch c slot c.len) leaves;
+              continue rest up
+          | _ -> error "%s without do" tok)
+      | "leave" -> (
+          (* Find the innermost do and register a forward branch. *)
+          let rec find = function
+            | [] -> error "leave outside a do loop"
+            | CF_do frame :: _ -> frame
+            | _ :: up -> find up
+          in
+          let frame = find cf_stack in
+          ignore (emit c (op c "unloop") [||]);
+          let slot = emit c (op c "branch") [| -1 |] in
+          frame.leaves <- slot :: frame.leaves;
+          continue rest cf_stack)
+      | "case" -> continue rest (CF_case { exits = [] } :: cf_stack)
+      | "of" -> (
+          (* runtime: ( sel x -- sel ) on no match, ( ) on match *)
+          match cf_stack with
+          | CF_case frame :: up ->
+              ignore (emit c (op c "over") [||]);
+              ignore (emit c (op c "=") [||]);
+              let pending = emit c (op c "?branch") [| -1 |] in
+              ignore (emit c (op c "drop") [||]);
+              continue rest (CF_of { pending; frame } :: up)
+          | _ -> error "of outside a case")
+      | "endof" -> (
+          match cf_stack with
+          | CF_of { pending; frame } :: up ->
+              frame.exits <- emit c (op c "branch") [| -1 |] :: frame.exits;
+              patch c pending c.len;
+              continue rest (CF_case frame :: up)
+          | _ -> error "endof without of")
+      | "endcase" -> (
+          match cf_stack with
+          | CF_case frame :: up ->
+              (* drop the unmatched selector on the default path *)
+              ignore (emit c (op c "drop") [||]);
+              List.iter (fun slot -> patch c slot c.len) frame.exits;
+              continue rest up
+          | _ -> error "endcase without case")
+      | "recurse" ->
+          (match entry with
+          | Some e -> ignore (emit c (op c "call") [| e |])
+          | None -> error "recurse outside a definition");
+          continue rest cf_stack
+      | "'" -> (
+          match rest with
+          | Word name :: rest' -> (
+              match Hashtbl.find_opt c.dict name with
+              | Some (Colon e) ->
+                  emit_lit c e;
+                  continue rest' cf_stack
+              | Some _ -> error "' expects a colon definition: %s" name
+              | None -> error "' of unknown word %s" name)
+          | _ -> error "' at end of input")
+      | "char" -> (
+          match rest with
+          | Word s :: rest' when String.length s >= 1 ->
+              emit_lit c (Char.code s.[0]);
+              continue rest' cf_stack
+          | _ -> error "char expects a character")
+      | _ when is_number tok ->
+          emit_lit c (int_of_string tok);
+          continue rest cf_stack
+      | _ -> (
+          match Hashtbl.find_opt c.dict tok with
+          | Some (Colon e) ->
+              ignore (emit c (op c "call") [| e |]);
+              continue rest cf_stack
+          | Some (Constant v) ->
+              emit_lit c v;
+              continue rest cf_stack
+          | Some (Address a) ->
+              emit_lit c a;
+              continue rest cf_stack
+          | None -> (
+              match Instr_set.find c.iset tok with
+              | Some opcode ->
+                  let instr = Instr_set.get c.iset opcode in
+                  if instr.Instr.operand_count > 0 then
+                    error "%s cannot be used directly" tok
+                  else begin
+                    ignore (emit c opcode [||]);
+                    continue rest cf_stack
+                  end
+              | None -> error "unknown word: %s" tok)))
+
+(* Scan the top level: definitions compile immediately, defining words
+   update the dictionary, everything else is deferred into [main]. *)
+let rec scan_top c tokens main_rev =
+  match tokens with
+  | [] -> List.rev main_rev
+  | Word ":" :: Word name :: rest ->
+      let entry = c.len in
+      Hashtbl.replace c.dict name (Colon entry);
+      c.word_list <- (name, entry) :: c.word_list;
+      let rest = compile_tokens c ~in_def:true ~entry:(Some entry) rest [] in
+      scan_top c rest main_rev
+  | Word ":" :: _ -> error ": at end of input"
+  | Word "variable" :: Word name :: rest ->
+      Hashtbl.replace c.dict name (Address c.dp);
+      c.dp <- c.dp + 1;
+      scan_top c rest main_rev
+  | Word "constant" :: Word name :: rest -> (
+      (* [value constant name]: the value is the previous main token. *)
+      match main_rev with
+      | Word v :: main' when is_number v ->
+          Hashtbl.replace c.dict name (Constant (int_of_string v));
+          scan_top c rest main'
+      | _ -> error "constant %s: needs a literal value before it" name)
+  | Word "array" :: Word name :: Word size :: rest when is_number size ->
+      Hashtbl.replace c.dict name (Address c.dp);
+      c.dp <- c.dp + int_of_string size;
+      scan_top c rest main_rev
+  | Word "array" :: _ -> error "array needs a name and a literal size"
+  | tok :: rest -> scan_top c rest (tok :: main_rev)
+
+let compile_unit ~name source =
+  let c = create () in
+  let tokens = tokenize source in
+  let main_tokens = scan_top c tokens [] in
+  let main_entry = c.len in
+  (* Prologue: advance the runtime allocation pointer past the cells the
+     compiler handed out to variables and arrays. *)
+  if c.dp > 16 then begin
+    emit_lit c (c.dp - 16);
+    ignore (emit c (op c "allot") [||])
+  end;
+  let rest = compile_tokens c ~in_def:false ~entry:None main_tokens [] in
+  (match rest with [] -> () | _ -> error "trailing tokens after main");
+  ignore (emit c (op c "halt") [||]);
+  let code = Array.sub c.code 0 c.len in
+  let entries = List.map snd c.word_list in
+  let program =
+    Program.make ~name ~iset:c.iset ~code ~entry:main_entry ~entries ()
+  in
+  { program; words = c.word_list }
+
+let compile ~name source = (compile_unit ~name source).program

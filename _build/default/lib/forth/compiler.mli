@@ -1,0 +1,38 @@
+(** Compiler from a Forth subset to VM code.
+
+    This is the interpreter front end in the paper's architecture
+    (Section 2.1): it runs once, producing flat VM code that the dispatch
+    techniques then optimize.  The accepted language:
+
+    - colon definitions [: name ... ;] with [recurse] and [exit]
+    - control flow: [if]/[else]/[then], [begin]/[until], [begin]/[again],
+      [begin]/[while]/[repeat], [do]/[loop]/[+loop]/[leave], [i], [j],
+      [case]/[of]/[endof]/[endcase]
+    - defining words (top level only): [variable name],
+      [value constant name] (the value must be a literal),
+      [array name size] (size cells of data space)
+    - [' name] pushes a word's execution token for [execute]
+    - [char c] pushes a character code; [." text"] prints text
+    - decimal number literals; [\ ] and [( ... )] comments
+    - every primitive in {!Prim.all}
+
+    Top-level code becomes the program's [main]; definitions must precede
+    their first use. *)
+
+exception Error of string
+(** Compilation error with a human-readable message. *)
+
+type unit_ = {
+  program : Vmbp_vm.Program.t;
+  words : (string * int) list;  (** colon-definition entry slots *)
+}
+
+val compile_unit : name:string -> string -> unit_
+(** Compile a source string.  The generated program starts with a prologue
+    reserving the compiler's data space, runs the top-level code and halts.
+    All word entry points are exposed as program entries (they are
+    [execute] targets).
+    @raise Error on malformed source. *)
+
+val compile : name:string -> string -> Vmbp_vm.Program.t
+(** [compile_unit] keeping only the program. *)

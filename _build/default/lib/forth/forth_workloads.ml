@@ -1,0 +1,39 @@
+type t = {
+  name : string;
+  description : string;
+  source : scale:int -> string;
+}
+
+let prelude =
+  {|
+\ ---- shared prelude: PRNG and checksum ---------------------------
+variable seed
+12345 seed !
+: rnd ( n -- r )  \ linear congruential; result in [0,n)
+  seed @ 1103515245 * 12345 + 2147483647 and dup seed ! swap mod ;
+variable chk
+: mix ( n -- ) chk @ 31 * + 1073741823 and chk ! ;
+: .chk chk @ . ;
+|}
+
+let wrap ~source ~scale = prelude ^ source ~scale
+
+let all =
+  [
+    { name = Wl_gray.name; description = Wl_gray.description;
+      source = (fun ~scale -> wrap ~source:Wl_gray.source ~scale) };
+    { name = Wl_bench_gc.name; description = Wl_bench_gc.description;
+      source = (fun ~scale -> wrap ~source:Wl_bench_gc.source ~scale) };
+    { name = Wl_tscp.name; description = Wl_tscp.description;
+      source = (fun ~scale -> wrap ~source:Wl_tscp.source ~scale) };
+    { name = Wl_vmgen.name; description = Wl_vmgen.description;
+      source = (fun ~scale -> wrap ~source:Wl_vmgen.source ~scale) };
+    { name = Wl_cross.name; description = Wl_cross.description;
+      source = (fun ~scale -> wrap ~source:Wl_cross.source ~scale) };
+    { name = Wl_brainless.name; description = Wl_brainless.description;
+      source = (fun ~scale -> wrap ~source:Wl_brainless.source ~scale) };
+    { name = Wl_brew.name; description = Wl_brew.description;
+      source = (fun ~scale -> wrap ~source:Wl_brew.source ~scale) };
+  ]
+
+let find name = List.find_opt (fun w -> w.name = name) all

@@ -1,0 +1,25 @@
+(** The Forth benchmark programs (paper Table VI substitutes).
+
+    Each workload is a self-contained Forth program with the same workload
+    character as the corresponding Gforth benchmark: [gray] (parser
+    generator), [bench-gc] (garbage collector), [tscp] and [brainless]
+    (game-tree search), [vmgen] (interpreter generator running a generated
+    interpreter), [cross] (compiler to a synthetic target), [brew]
+    (evolutionary programming).  Forth style is deliberately idiomatic --
+    many short colon definitions -- so that basic blocks stay short, as the
+    paper observes for real Forth code (Section 7.3). *)
+
+type t = {
+  name : string;
+  description : string;
+  source : scale:int -> string;
+      (** Forth source; [scale] controls iteration counts.  Scale 1 suits
+          unit tests, scale 10 the benchmark harness. *)
+}
+
+val all : t list
+val find : string -> t option
+
+val prelude : string
+(** Shared utility words (PRNG, checksum mixing) prepended to every
+    workload. *)

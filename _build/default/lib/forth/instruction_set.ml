@@ -1,0 +1,26 @@
+open Vmbp_vm
+
+let iset = Instr_set.create ~name:"forth"
+
+let runners : (State.t -> Program.t -> int -> int array -> Control.t) array =
+  let table = Array.of_list Prim.all in
+  Array.iter
+    (fun (p : Prim.t) ->
+      let opcode =
+        Instr_set.register iset ~name:p.Prim.name
+          ~work_instrs:p.Prim.work_instrs ~work_bytes:p.Prim.work_bytes
+          ~relocatable:p.Prim.relocatable ~branch:p.Prim.branch
+          ~operand_count:p.Prim.operand_count ()
+      in
+      (* Registration order defines opcodes 0..n-1; keep them aligned. *)
+      assert (opcode >= 0))
+    table;
+  Array.map (fun (p : Prim.t) -> p.Prim.run) table
+
+let opcode name = Instr_set.find_exn iset name
+
+let exec state : Vmbp_core.Engine.exec =
+ fun program pc ->
+  let slot = program.Program.code.(pc) in
+  try runners.(slot.Program.opcode) state program pc slot.Program.operands
+  with State.Trap msg -> Control.Trap msg

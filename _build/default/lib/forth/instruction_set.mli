@@ -1,0 +1,10 @@
+(** The Forth instruction set, registered once per process, plus the
+    semantics dispatcher. *)
+
+val iset : Vmbp_vm.Instr_set.t
+val opcode : string -> int
+(** Opcode of a primitive by name. @raise Invalid_argument if unknown. *)
+
+val exec : State.t -> Vmbp_core.Engine.exec
+(** Semantics closure over a machine state.  {!State.Trap} exceptions are
+    converted into {!Vmbp_vm.Control.Trap}. *)

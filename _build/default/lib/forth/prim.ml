@@ -1,0 +1,283 @@
+open Vmbp_vm
+
+type t = {
+  name : string;
+  work_instrs : int;
+  work_bytes : int;
+  relocatable : bool;
+  branch : Instr.branch_kind;
+  operand_count : int;
+  run : State.t -> Program.t -> int -> int array -> Control.t;
+}
+
+let next = Control.Next
+
+(* Helpers for the common primitive shapes. *)
+let simple ?(work = 3) ?(reloc = true) name f =
+  {
+    name;
+    work_instrs = work;
+    work_bytes = work * 3;
+    relocatable = reloc;
+    branch = Instr.Straight;
+    operand_count = 0;
+    run = (fun st _p _pc _ops -> f st; next);
+  }
+
+let unop ?(work = 3) name f =
+  simple ~work name (fun st -> State.push st (f (State.pop st)))
+
+let binop ?(work = 3) name f =
+  simple ~work name (fun st ->
+      let b = State.pop st in
+      let a = State.pop st in
+      State.push st (f a b))
+
+let cmp name f = binop ~work:5 name (fun a b -> if f a b then -1 else 0)
+
+let div_guard name f =
+  binop ~work:6 name (fun a b ->
+      if b = 0 then raise (State.Trap (name ^ ": division by zero")) else f a b)
+
+let all =
+  [
+    (* --- literals and memory ------------------------------------- *)
+    {
+      name = "lit";
+      work_instrs = 3;
+      work_bytes = 9;
+      relocatable = true;
+      branch = Instr.Straight;
+      operand_count = 1;
+      run = (fun st _p _pc ops -> State.push st ops.(0); next);
+    };
+    simple ~work:3 "@" (fun st -> State.push st (State.load st (State.pop st)));
+    simple ~work:4 "!" (fun st ->
+        let addr = State.pop st in
+        let v = State.pop st in
+        State.store st addr v);
+    simple ~work:5 "+!" (fun st ->
+        let addr = State.pop st in
+        let v = State.pop st in
+        State.store st addr (State.load st addr + v));
+    simple ~work:4 "allot" (fun st ->
+        let n = State.pop st in
+        ignore (State.allot st n));
+    simple ~work:3 "here" (fun st -> State.push st st.State.here);
+    (* --- data stack ----------------------------------------------- *)
+    simple ~work:3 "dup" (fun st -> State.push st (State.peek st));
+    simple ~work:2 "drop" (fun st -> ignore (State.pop st));
+    simple ~work:4 "swap" (fun st ->
+        let b = State.pop st in
+        let a = State.pop st in
+        State.push st b;
+        State.push st a);
+    simple ~work:4 "over" (fun st -> State.push st (State.pick st 1));
+    simple ~work:5 "rot" (fun st ->
+        let c = State.pop st in
+        let b = State.pop st in
+        let a = State.pop st in
+        State.push st b;
+        State.push st c;
+        State.push st a);
+    simple ~work:5 "-rot" (fun st ->
+        let c = State.pop st in
+        let b = State.pop st in
+        let a = State.pop st in
+        State.push st c;
+        State.push st a;
+        State.push st b);
+    simple ~work:4 "nip" (fun st ->
+        let b = State.pop st in
+        ignore (State.pop st);
+        State.push st b);
+    simple ~work:5 "tuck" (fun st ->
+        let b = State.pop st in
+        let a = State.pop st in
+        State.push st b;
+        State.push st a;
+        State.push st b);
+    simple ~work:5 "pick" (fun st ->
+        let n = State.pop st in
+        State.push st (State.pick st n));
+    simple ~work:4 "2dup" (fun st ->
+        let b = State.pick st 0 in
+        let a = State.pick st 1 in
+        State.push st a;
+        State.push st b);
+    simple ~work:3 "2drop" (fun st ->
+        ignore (State.pop st);
+        ignore (State.pop st));
+    simple ~work:4 "?dup" (fun st ->
+        let v = State.peek st in
+        if v <> 0 then State.push st v);
+    simple ~work:3 "depth" (fun st -> State.push st (State.depth st));
+    (* --- return stack --------------------------------------------- *)
+    simple ~work:3 ">r" (fun st -> State.rpush st (State.pop st));
+    simple ~work:3 "r>" (fun st -> State.push st (State.rpop st));
+    simple ~work:3 "r@" (fun st -> State.push st (State.rpeek st 0));
+    (* --- arithmetic ------------------------------------------------ *)
+    binop "+" ( + );
+    binop "-" ( - );
+    binop ~work:4 "*" ( * );
+    div_guard "/" ( / );
+    div_guard "mod" (fun a b -> ((a mod b) + b) mod b);
+    unop "1+" (fun a -> a + 1);
+    unop "1-" (fun a -> a - 1);
+    unop "2*" (fun a -> a * 2);
+    unop "2/" (fun a -> a asr 1);
+    unop "negate" (fun a -> -a);
+    unop ~work:4 "abs" abs;
+    binop ~work:5 "min" min;
+    binop ~work:5 "max" max;
+    (* --- logic ------------------------------------------------------ *)
+    binop "and" ( land );
+    binop "or" ( lor );
+    binop "xor" ( lxor );
+    unop "invert" lnot;
+    binop ~work:4 "lshift" (fun a b -> a lsl b);
+    binop ~work:4 "rshift" (fun a b -> a lsr b);
+    (* --- comparison ------------------------------------------------- *)
+    cmp "=" ( = );
+    cmp "<>" ( <> );
+    cmp "<" ( < );
+    cmp ">" ( > );
+    cmp "<=" ( <= );
+    cmp ">=" ( >= );
+    unop ~work:4 "0=" (fun a -> if a = 0 then -1 else 0);
+    unop ~work:4 "0<" (fun a -> if a < 0 then -1 else 0);
+    unop ~work:4 "0>" (fun a -> if a > 0 then -1 else 0);
+    (* --- control flow ----------------------------------------------- *)
+    {
+      name = "branch";
+      work_instrs = 3;
+      work_bytes = 9;
+      relocatable = true;
+      branch = Instr.Uncond_branch 0;
+      operand_count = 1;
+      run = (fun _st _p _pc ops -> Control.Jump ops.(0));
+    };
+    {
+      name = "?branch";
+      work_instrs = 5;
+      work_bytes = 15;
+      relocatable = true;
+      branch = Instr.Cond_branch 0;
+      operand_count = 1;
+      run =
+        (fun st _p _pc ops ->
+          if State.pop st = 0 then Control.Jump ops.(0) else next);
+    };
+    {
+      name = "call";
+      work_instrs = 5;
+      work_bytes = 15;
+      relocatable = true;
+      branch = Instr.Call 0;
+      operand_count = 1;
+      run =
+        (fun st _p pc ops ->
+          State.rpush st (pc + 1);
+          Control.Jump ops.(0));
+    };
+    {
+      name = "exit";
+      work_instrs = 4;
+      work_bytes = 12;
+      relocatable = true;
+      branch = Instr.Return;
+      operand_count = 0;
+      run = (fun st _p _pc _ops -> Control.Jump (State.rpop st));
+    };
+    {
+      name = "execute";
+      work_instrs = 6;
+      work_bytes = 18;
+      relocatable = false;
+      branch = Instr.Indirect_call;
+      operand_count = 0;
+      run =
+        (fun st _p pc _ops ->
+          let xt = State.pop st in
+          State.rpush st (pc + 1);
+          Control.Jump xt);
+    };
+    {
+      name = "halt";
+      work_instrs = 1;
+      work_bytes = 3;
+      relocatable = true;
+      branch = Instr.Stop;
+      operand_count = 0;
+      run = (fun _st _p _pc _ops -> Control.Halt);
+    };
+    (* --- counted loops ---------------------------------------------- *)
+    simple ~work:5 "(do)" (fun st ->
+        let start = State.pop st in
+        let limit = State.pop st in
+        State.rpush st limit;
+        State.rpush st start);
+    {
+      name = "(loop)";
+      work_instrs = 6;
+      work_bytes = 18;
+      relocatable = true;
+      branch = Instr.Cond_branch 0;
+      operand_count = 1;
+      run =
+        (fun st _p _pc ops ->
+          let index = State.rpop st + 1 in
+          let limit = State.rpeek st 0 in
+          if index < limit then begin
+            State.rpush st index;
+            Control.Jump ops.(0)
+          end
+          else begin
+            ignore (State.rpop st);
+            next
+          end);
+    };
+    {
+      name = "(+loop)";
+      work_instrs = 7;
+      work_bytes = 21;
+      relocatable = true;
+      branch = Instr.Cond_branch 0;
+      operand_count = 1;
+      run =
+        (fun st _p _pc ops ->
+          let step = State.pop st in
+          let index = State.rpop st + step in
+          let limit = State.rpeek st 0 in
+          let continue = if step >= 0 then index < limit else index > limit in
+          if continue then begin
+            State.rpush st index;
+            Control.Jump ops.(0)
+          end
+          else begin
+            ignore (State.rpop st);
+            next
+          end);
+    };
+    simple ~work:3 "i" (fun st -> State.push st (State.rpeek st 0));
+    simple ~work:4 "j" (fun st -> State.push st (State.rpeek st 2));
+    simple ~work:3 "unloop" (fun st ->
+        ignore (State.rpop st);
+        ignore (State.rpop st));
+    (* --- output (non-relocatable: library calls) --------------------- *)
+    simple ~work:12 ~reloc:false "emit" (fun st ->
+        Buffer.add_char st.State.out (Char.chr (State.pop st land 0xff)));
+    simple ~work:14 ~reloc:false "." (fun st ->
+        Buffer.add_string st.State.out (string_of_int (State.pop st));
+        Buffer.add_char st.State.out ' ');
+    simple ~work:10 ~reloc:false "cr" (fun st ->
+        Buffer.add_char st.State.out '\n');
+    simple ~work:16 ~reloc:false "type" (fun st ->
+        let len = State.pop st in
+        let addr = State.pop st in
+        for k = 0 to len - 1 do
+          Buffer.add_char st.State.out
+            (Char.chr (State.load st (addr + k) land 0xff))
+        done);
+    simple ~work:2 "noop" (fun _st -> ());
+  ]

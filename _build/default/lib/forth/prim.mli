@@ -1,0 +1,20 @@
+(** The Forth VM's primitive instruction set.
+
+    Each primitive bundles its native-code shape (for the layout model,
+    calibrated against Gforth's x86 routines) with its execution semantics.
+    Primitives performing I/O or calling complex external code are marked
+    non-relocatable, as in Gforth (Section 5.2). *)
+
+type t = {
+  name : string;
+  work_instrs : int;
+  work_bytes : int;
+  relocatable : bool;
+  branch : Vmbp_vm.Instr.branch_kind;
+  operand_count : int;
+  run : State.t -> Vmbp_vm.Program.t -> int -> int array -> Vmbp_vm.Control.t;
+      (** [run state program pc operands] *)
+}
+
+val all : t list
+(** Every primitive, in registration order. *)

@@ -1,0 +1,75 @@
+exception Trap of string
+
+type t = {
+  stack : int array;
+  mutable sp : int;
+  rstack : int array;
+  mutable rsp : int;
+  memory : int array;
+  mutable here : int;
+  out : Buffer.t;
+}
+
+let create ?(stack_cells = 4096) ?(rstack_cells = 4096)
+    ?(memory_cells = 1 lsl 20) () =
+  {
+    stack = Array.make stack_cells 0;
+    sp = 0;
+    rstack = Array.make rstack_cells 0;
+    rsp = 0;
+    memory = Array.make memory_cells 0;
+    here = 16;  (* a small red zone so address 0 stays invalid-ish *)
+    out = Buffer.create 256;
+  }
+
+let push t v =
+  if t.sp >= Array.length t.stack then raise (Trap "data stack overflow");
+  t.stack.(t.sp) <- v;
+  t.sp <- t.sp + 1
+
+let pop t =
+  if t.sp = 0 then raise (Trap "data stack underflow");
+  t.sp <- t.sp - 1;
+  t.stack.(t.sp)
+
+let peek t =
+  if t.sp = 0 then raise (Trap "data stack underflow");
+  t.stack.(t.sp - 1)
+
+let pick t n =
+  if n < 0 || n >= t.sp then raise (Trap "pick out of range");
+  t.stack.(t.sp - 1 - n)
+
+let rpush t v =
+  if t.rsp >= Array.length t.rstack then raise (Trap "return stack overflow");
+  t.rstack.(t.rsp) <- v;
+  t.rsp <- t.rsp + 1
+
+let rpop t =
+  if t.rsp = 0 then raise (Trap "return stack underflow");
+  t.rsp <- t.rsp - 1;
+  t.rstack.(t.rsp)
+
+let rpeek t n =
+  if n < 0 || n >= t.rsp then raise (Trap "return stack peek out of range");
+  t.rstack.(t.rsp - 1 - n)
+
+let load t addr =
+  if addr < 0 || addr >= Array.length t.memory then
+    raise (Trap (Printf.sprintf "load out of range: %d" addr));
+  t.memory.(addr)
+
+let store t addr v =
+  if addr < 0 || addr >= Array.length t.memory then
+    raise (Trap (Printf.sprintf "store out of range: %d" addr));
+  t.memory.(addr) <- v
+
+let allot t n =
+  if n < 0 then raise (Trap "allot: negative size");
+  if t.here + n > Array.length t.memory then raise (Trap "data space exhausted");
+  let addr = t.here in
+  t.here <- t.here + n;
+  addr
+
+let output t = Buffer.contents t.out
+let depth t = t.sp

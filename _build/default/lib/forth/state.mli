@@ -1,0 +1,51 @@
+(** Run-time state of the Forth virtual machine: data stack, return stack,
+    cell-addressed memory and an output buffer.
+
+    The return stack holds both return addresses (VM slot indices pushed by
+    calls) and user values ([>r] and the do-loop parameters), exactly as in
+    a traditional Forth. *)
+
+exception Trap of string
+(** Raised by stack/memory violations; the semantics layer converts it into
+    {!Vmbp_vm.Control.Trap}. *)
+
+type t = {
+  stack : int array;
+  mutable sp : int;  (** next free data-stack cell *)
+  rstack : int array;
+  mutable rsp : int;
+  memory : int array;  (** cell-addressed data space *)
+  mutable here : int;  (** data-space allocation pointer *)
+  out : Buffer.t;  (** captured output of [emit], [.] and friends *)
+}
+
+val create : ?stack_cells:int -> ?rstack_cells:int -> ?memory_cells:int ->
+  unit -> t
+
+val push : t -> int -> unit
+val pop : t -> int
+val peek : t -> int
+(** Top of the data stack without popping. *)
+
+val pick : t -> int -> int
+(** [pick st n] is the [n]-th stack cell from the top, [pick st 0 = peek]. *)
+
+val rpush : t -> int -> unit
+val rpop : t -> int
+val rpeek : t -> int -> int
+(** [rpeek st n] reads the [n]-th return-stack cell from the top. *)
+
+val load : t -> int -> int
+(** Cell read with bounds check. *)
+
+val store : t -> int -> int -> unit
+(** [store st addr v] writes cell [addr]. *)
+
+val allot : t -> int -> int
+(** Reserve [n] cells of data space, returning the first address. *)
+
+val output : t -> string
+(** Everything printed so far. *)
+
+val depth : t -> int
+(** Data stack depth. *)

@@ -1,0 +1,113 @@
+(* bench-gc: garbage-collector workload (paper Table VI).
+
+   A cons-cell heap with a free list and a mark-sweep collector; the
+   mutator builds and drops random lists through a root set, so collections
+   trigger naturally from allocation pressure. *)
+
+let name = "bench-gc"
+let description = "mark-sweep garbage collector over a cons-cell heap"
+
+let source ~scale =
+  let b = Buffer.create 8192 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  addf
+    {|
+\ ---- bench-gc: mark-sweep collector ------------------------------
+2000 constant heap#
+8 constant roots#
+array car# 2000
+array cdr# 2000
+array mark# 2000
+array root# 8
+variable tmp-root         \ roots the list being built, so a collection
+                          \ triggered mid-construction cannot reclaim it
+variable freelist
+variable gc-count
+variable live-count
+
+: init-heap ( -- )
+  heap# 0 do i 1+ i cdr# + ! loop
+  -1 heap# 1- cdr# + !
+  0 freelist !
+  0 gc-count !
+  -1 tmp-root !
+  roots# 0 do -1 i root# + ! loop ;
+
+: mark-list ( cell -- )
+  begin dup -1 <> while
+    dup mark# + @ if drop -1 else
+      1 over mark# + !
+      cdr# + @
+    then
+  repeat drop ;
+
+: sweep ( -- )
+  -1 freelist !
+  0 live-count !
+  heap# 0 do
+    i mark# + @ if
+      0 i mark# + !  1 live-count +!
+    else
+      freelist @ i cdr# + !  i freelist !
+    then
+  loop ;
+
+: gc ( -- )
+  1 gc-count +!
+  roots# 0 do i root# + @ mark-list loop
+  tmp-root @ mark-list
+  sweep ;
+
+: alloc ( -- cell )
+  freelist @ -1 = if gc then
+  freelist @
+  dup cdr# + @ freelist ! ;
+
+: cons ( v tail -- cell )
+  alloc
+  tuck cdr# + !
+  tuck car# + ! ;
+
+: build-list ( len -- cell )
+  -1 tmp-root !
+  -1 swap
+  0 do 100 rnd swap cons dup tmp-root ! loop
+  -1 tmp-root ! ;
+|};
+  (* Generated allocation-site words: one builder per object shape, as a
+     real mutator has many distinct allocation sites. *)
+  for k = 0 to 11 do
+    addf
+      ": build-shape%d ( -- cell ) -1 tmp-root ! -1 %d 0 do %d %d rnd + swap        cons dup tmp-root ! loop -1 tmp-root ! ;\n"
+      k
+      (4 + (k * 3))
+      (k * 10)
+      (10 + k)
+  done;
+  addf ": build-any ( sel -- cell ) 12 mod";
+  for k = 0 to 11 do
+    addf "\n  dup %d = if drop build-shape%d exit then" k k
+  done;
+  addf "\n  drop build-shape0 ;\n";
+  addf
+    {|
+
+: sum-list ( cell -- sum )
+  0 swap
+  begin dup -1 <> while
+    dup car# + @ rot + swap cdr# + @
+  repeat drop ;
+
+: churn ( -- )
+  3 rnd 0= if 49 rnd 1+ build-list else 100 rnd build-any then
+  roots# rnd root# + !
+  roots# rnd root# + @ sum-list mix
+  4 rnd 0= if -1 roots# rnd root# + ! then ;
+
+init-heap
+%d 0 do churn loop
+gc-count @ mix live-count @ mix
+.chk
+|}
+    (160 * scale);
+  Buffer.contents b

@@ -1,0 +1,167 @@
+(* brainless: second game-search workload (paper Table VI).
+
+   Connect-four on a 7x6 board: negamax with win detection on the last
+   move, per-depth move state, and a weighted-occupancy evaluation.  The
+   two sides search to different depths, so full games stay cheap while
+   still exercising deep recursive call chains. *)
+
+let name = "brainless"
+let description = "game-tree search: connect-four negamax with win detection"
+
+let source ~scale =
+  let b = Buffer.create 8192 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  addf
+    {|
+\ ---- brainless: connect four -------------------------------------
+array b7 42               \ column-major: cell = col*6 + row
+array h7 7                \ column heights
+array colw 7              \ column weights for the evaluation
+array mv# 8
+array best# 8
+variable nodes
+variable wc variable wr variable ws variable wdc variable wdr
+variable turn variable bestmv variable bv variable moves#
+
+: init-w ( -- )
+  1 0 colw + ! 2 1 colw + ! 3 2 colw + ! 4 3 colw + !
+  3 4 colw + ! 2 5 colw + ! 1 6 colw + ! ;
+
+: wside ( depth -- s ) 1 and if 1 else 2 then ;
+
+: cell ( c r -- v ) swap 6 * + b7 + @ ;
+
+: inb? ( c r -- c r f )
+  over 0 >= over 0 >= and
+  2 pick 7 < and
+  over 6 < and ;
+
+: ray ( -- n )              \ own stones from (wc+wdc, wr+wdr) onward
+  0  wc @ wdc @ +  wr @ wdr @ +
+  begin
+    inb? if 2dup cell ws @ = else 0 then
+  while
+    rot 1+ -rot
+    swap wdc @ + swap wdr @ +
+  repeat
+  2drop ;
+
+: dir-win? ( dc dr -- f )
+  wdr ! wdc ! ray
+  wdc @ negate wdc !  wdr @ negate wdr !  ray
+  + 1+ 4 >= ;
+
+: win? ( c r s -- f )
+  ws ! wr ! wc !
+  1 0 dir-win?
+  0 1 dir-win? or
+  1 1 dir-win? or
+  1 -1 dir-win? or ;
+
+|};
+  (* Generated unrolled evaluation: one word per column, weights inline. *)
+  let weights = [| 1; 2; 3; 4; 3; 2; 1 |] in
+  for col = 0 to 6 do
+    addf ": evcol%d ( s -- n ) 0" col;
+    for row = 0 to 5 do
+      let idx = (col * 6) + row in
+      let w = weights.(col) in
+      match (col + row) mod 2 with
+      | 0 ->
+          addf
+            "\n  %d b7 + @ dup 0= if drop else 2 pick = if %d + else %d - then then"
+            idx w w
+      | _ ->
+          addf
+            "\n  %d b7 + @ ?dup 0= if else 2 pick = if %d + else %d - then then"
+            idx w w
+    done;
+    addf "\n  nip ;\n"
+  done;
+  addf ": ev ( depth -- score ) wside dup evcol0";
+  for col = 1 to 6 do
+    addf " over evcol%d +" col
+  done;
+  addf " nip ;\n";
+  addf
+    {|
+
+: domove ( depth -- )
+  dup mv# + @ over wside     ( depth c s )
+  over h7 + @                ( depth c s r )
+  rot 6 * + b7 + !           ( depth )
+  dup mv# + @ h7 + dup @ 1+ swap !
+  drop ;
+
+: undomove ( depth -- )
+  mv# + @ dup                ( c c )
+  h7 + dup @ 1- dup rot !    ( c r )
+  swap 6 * + b7 + 0 swap ! ;
+
+: c4search ( depth -- score )
+  1 nodes +!
+  dup 0= if ev exit then
+  -100000 over best# + !
+  7 0 do
+    i h7 + @ 6 < if
+      i over mv# + !
+      dup domove
+      i  i h7 + @ 1-  2 pick wside  win? if
+        9000 over + over best# + !
+        dup undomove
+      else
+        dup 1- recurse negate
+        over best# + dup @ rot max swap !
+        dup undomove
+      then
+    then
+  loop
+  best# + @ ;
+
+: choose ( rootdepth -- c )
+  -1 bestmv !  -200000 bv !
+  7 0 do
+    i h7 + @ 6 < if
+      i over mv# + !
+      dup domove
+      i  i h7 + @ 1-  2 pick wside  win? if
+        9999
+      else
+        dup 1- c4search negate
+      then                       ( d score )
+      dup bv @ > if dup bv ! i bestmv ! then
+      drop
+      dup undomove
+    then
+  loop
+  drop bestmv @ ;
+
+: game ( -- )
+  begin
+    moves# @ 42 <
+  while
+    2 choose                              ( c )
+    dup 0 < if drop exit then
+    dup h7 + @                            ( c r )
+    over 6 * over + b7 + turn @ swap !    \ b7[c*6+r] = turn
+    over h7 + dup @ 1+ swap !             ( c r )
+    turn @ win? if turn @ mix 1000 mix exit then
+    1 moves# +!
+    turn @ 3 swap - turn !
+  repeat ;
+
+: play ( k -- )
+  7919 * 77 + seed !
+  42 0 do 0 i b7 + ! loop
+  7 0 do 0 i h7 + ! loop
+  1 turn !  0 moves# !
+  game
+  moves# @ mix nodes @ mix ;
+
+init-w
+0 nodes !
+%d 0 do i play loop
+.chk
+|}
+    scale;
+  Buffer.contents b

@@ -1,0 +1,100 @@
+(* brew: evolutionary-programming workload (paper Table VI).
+
+   The largest Forth program, like the 30000-line original: the fitness
+   evaluator is *generated per individual* -- sixteen fully unrolled words
+   with the genome and target addresses inline -- and evaluation is
+   incremental (only the replaced individual is re-scored each
+   generation), so at any moment a small fraction of the program is hot
+   while the bulk is cold, as in real generated code. *)
+
+let name = "brew"
+
+let description =
+  "evolutionary programming: generated per-individual evaluators, incremental scoring"
+
+let pop = 16
+let glen = 64
+
+let source ~scale =
+  let b = Buffer.create (64 * 1024) in
+  let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  addf
+    {|
+\ ---- brew: genetic algorithm (generated evaluators) --------------
+%d constant pop#
+%d constant glen
+array genes %d
+array target %d
+array fit# %d
+array ftab %d
+variable best variable worst
+
+: gaddr ( ind pos -- addr ) swap glen * + genes + ;
+
+: init-pop ( -- )
+  glen 0 do 2 rnd i target + ! loop
+  pop# 0 do
+    glen 0 do 2 rnd j i gaddr ! loop
+  loop ;
+|}
+    pop glen (pop * glen) glen pop pop;
+  (* One fully unrolled evaluator per individual. *)
+  for ind = 0 to pop - 1 do
+    addf ": fit-ind%d ( -- n ) 0" ind;
+    for g = 0 to glen - 1 do
+      let addr = (ind * glen) + g in
+      match (ind + g) mod 3 with
+      | 0 -> addf "\n  %d genes + @ %d target + @ = if 1+ then" addr g
+      | 1 -> addf "\n  %d genes + @ %d target + @ = 1 and +" addr g
+      | _ -> addf "\n  %d genes + @ %d target + @ xor 0= if 1+ then" addr g
+    done;
+    addf " ;\n"
+  done;
+  addf ": init-ftab";
+  for ind = 0 to pop - 1 do
+    addf " ' fit-ind%d %d ftab + !" ind ind
+  done;
+  addf " ;\n";
+  addf
+    {|
+: score ( ind -- )        \ recompute one individual's cached fitness
+  dup ftab + @ execute swap fit# + ! ;
+
+: eval-all ( -- )
+  pop# 0 do i score loop ;
+
+: find-extremes ( -- )
+  0 best ! 0 worst !
+  pop# 0 do
+    i fit# + @ best @ fit# + @ > if i best ! then
+    i fit# + @ worst @ fit# + @ < if i worst ! then
+  loop ;
+
+: breed ( -- )            \ child of (best x random mate) replaces worst
+  pop# rnd
+  glen rnd                 ( mate cut )
+  glen 0 do
+    i over < if best @ else over then
+    i gaddr @
+    worst @ i gaddr !
+    50 rnd 0= if worst @ i gaddr dup @ 1 swap - swap ! then
+  loop
+  2drop ;
+
+: generation ( -- )
+  find-extremes breed
+  worst @ score            \ incremental: only the new child is re-scored
+  best @ fit# + @ mix ;
+
+: epoch ( k -- )
+  7919 * 5 + seed !
+  init-pop
+  eval-all
+  80 0 do generation loop ;
+
+init-ftab
+%d 0 do i epoch loop
+.chk
+|}
+    (2 * scale);
+  Buffer.contents b

@@ -1,0 +1,164 @@
+(* cross: compiler workload (paper Table VI).
+
+   Compiles randomly generated well-formed RPN expressions into a
+   three-address target code with lazy constant folding and stack-slot
+   register allocation, then checks the compiler against a direct RPN
+   evaluator by simulating the emitted code.  The emit/fold/simulate loops
+   are the instruction mix of a small compiler back end. *)
+
+let name = "cross"
+let description = "compiler: RPN to three-address code with constant folding"
+
+let source ~scale =
+  Printf.sprintf
+    {|
+\ ---- cross: expression compiler ----------------------------------
+array rpn 128
+array tcode 1024
+array kstk 64             \ per stack slot: constant value or -1 (in reg)
+array regs 32
+array estk 32
+array acode 2048          \ second backend: accumulator machine
+array amem 64             \ its spill slots
+variable rlen
+variable tlen
+variable alen
+variable asp
+variable acc'
+variable vsp
+variable esp
+
+\ random well-formed RPN: 0..9 literals, 10 +, 11 -, 12 *
+: gen-rpn ( -- )
+  0 rlen ! 0
+  begin
+    dup 24 < rlen @ 120 < and
+  while
+    dup 2 < 4 rnd 0= or if
+      10 rnd rlen @ rpn + ! 1 rlen +! 1+
+    else
+      3 rnd 10 + rlen @ rpn + ! 1 rlen +! 1-
+    then
+  repeat
+  begin dup 1 > while 10 rlen @ rpn + ! 1 rlen +! 1- repeat
+  drop ;
+
+: emit-t ( w -- ) tlen @ tcode + ! 1 tlen +! ;
+
+: c-lit ( v -- ) vsp @ kstk + ! 1 vsp +! ;
+
+\ ensure the value at stack slot [pos] is materialised in register [pos]
+: force ( pos -- )
+  dup kstk + @ dup 0 >= if
+    over 256 * + 65536 + emit-t
+    -1 swap kstk + !
+  else 2drop then ;
+
+: c-op ( opid -- )        \ 2 add, 3 sub, 4 mul
+  vsp @ 2 - vsp @ 1-      ( opid p1 p2 )
+  dup kstk + @ 0 >= 2 pick kstk + @ 0 >= and if
+    over kstk + @ over kstk + @     ( opid p1 p2 k1 k2 )
+    4 pick 2 = if + else 4 pick 3 = if - else * then then
+    swap drop                       ( opid p1 kr )
+    swap kstk + !
+    drop
+  else
+    over force dup force
+    swap 256 * + swap 65536 * + emit-t
+  then
+  -1 vsp +! ;
+
+: compile-rpn ( -- )
+  0 vsp ! 0 tlen !
+  rlen @ 0 do
+    i rpn + @ dup 10 < if c-lit else 8 - c-op then
+  loop ;
+
+: simulate ( -- )
+  tlen @ 0> if
+    tlen @ 0 do
+      i tcode + @
+      dup 65536 / swap 65535 and
+      dup 256 / swap 255 and          ( op a b )
+      2 pick case
+        1 of swap regs + ! drop endof
+        2 of regs + @ swap regs + dup @ rot + swap ! drop endof
+        3 of regs + @ swap regs + dup @ rot - swap ! drop endof
+        4 of regs + @ swap regs + dup @ rot * swap ! drop endof
+      endcase
+    loop
+  then ;
+
+: result ( -- v )
+  0 kstk + @ dup 0 >= if else drop 0 regs + @ then ;
+
+\ ---- backend B: single-accumulator machine --------------------------
+\ ops: 1 load-imm, 2 load-slot, 3 store-slot, 4 add-slot, 5 sub-slot,
+\ 6 mul-slot; operand in the low byte.
+: emit-a ( w -- ) alen @ acode + ! 1 alen +! ;
+
+: a-lit ( v -- )             \ spill current acc, load the literal
+  asp @ 0> if then
+  1 256 * swap + emit-a
+  3 256 * asp @ + emit-a     \ store into the next slot
+  1 asp +! ;
+
+: a-op ( opid -- )           \ 4 add, 5 sub, 6 mul on the top two slots
+  -1 asp +!
+  2 256 * asp @ 1- + emit-a  \ load left operand
+  256 * asp @ + emit-a       \ apply with the right operand
+  3 256 * asp @ 1- + emit-a  \ store result over the left slot
+  ;
+
+: compile-a ( -- )
+  0 asp ! 0 alen !
+  rlen @ 0 do
+    i rpn + @ dup 10 < if a-lit else 6 - a-op then
+  loop ;
+
+: run-a ( -- v )
+  0 acc' !
+  alen @ 0> if
+    alen @ 0 do
+      i acode + @
+      dup 256 / swap 255 and   ( op arg )
+      over 1 = if nip acc' ! else
+      over 2 = if nip amem + @ acc' ! else
+      over 3 = if nip amem + acc' @ swap ! else
+      over 4 = if nip amem + @ acc' @ + acc' ! else
+      over 5 = if nip amem + @ acc' @ swap - acc' ! else
+        nip amem + @ acc' @ * acc' !
+      then then then then then
+    loop
+  then
+  acc' @ ;
+
+: epush ( v -- ) esp @ estk + ! 1 esp +! ;
+: epop ( -- v ) -1 esp +! esp @ estk + @ ;
+
+: rpn-eval ( -- v )
+  0 esp !
+  rlen @ 0 do
+    i rpn + @ dup 10 < if epush else
+      epop epop swap                  ( tok v1 v2 )
+      2 pick 10 = if + else
+      2 pick 11 = if - else * then then
+      nip epush
+    then
+  loop
+  epop ;
+
+: xround ( k -- )
+  7919 * 13 + seed !
+  gen-rpn compile-rpn simulate
+  compile-a
+  result rpn-eval
+  2dup - mix                          \ 0 whenever the compiler is correct
+  + mix
+  run-a rpn-eval - mix                \ backend B must agree as well
+  tlen @ mix  alen @ mix ;
+
+%d 0 do i xround loop
+.chk
+|}
+    (30 * scale)

@@ -1,0 +1,148 @@
+(* gray: parser-generator workload (paper Table VI).
+
+   Like a real parser generator's output, most of this program is
+   *generated code*: the OCaml side draws a random grammar and emits one
+   Forth word per rule (pushing the rule's right-hand side) plus the rule
+   tables' initialisation code.  At run time the program computes FIRST
+   sets by fixpoint iteration, builds an LL-style action table, and drives
+   bounded leftmost derivations, dispatching to the per-rule words through
+   an execution-token table ([execute]), as table-driven generated parsers
+   do. *)
+
+let name = "gray"
+
+let description =
+  "parser generator: generated per-rule words, FIRST fixpoints, derivations"
+
+let n_nt = 12
+let n_t = 12
+let n_rules = 48
+let rhs_max = 4
+
+(* The grammar is fixed at generation time (the 'grammar file'). *)
+let grammar seed =
+  let rng = Random.State.make [| seed |] in
+  List.init n_rules (fun r ->
+      if r < n_nt then
+        (* guarantee progress: rule r < n_nt derives nonterminal r into a
+           terminal-headed rhs *)
+        ( r,
+          [
+            n_nt + Random.State.int rng n_t;
+            Random.State.int rng n_nt;
+          ] )
+      else
+        let lhs = Random.State.int rng n_nt in
+        let len = 1 + Random.State.int rng (rhs_max - 1) in
+        (lhs, List.init len (fun _ -> Random.State.int rng (n_nt + n_t))))
+
+let source ~scale =
+  let rules = grammar 0xC0FFEE in
+  let b = Buffer.create 8192 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  addf
+    {|
+\ ---- gray: parser generator (generated code) ---------------------
+%d constant #nt
+%d constant #t
+%d constant #rules
+array lhs# %d
+array len# %d
+array rhs# %d
+array first# %d
+array act# %d
+array rtab %d
+array dstack 512
+variable dsp
+variable changed
+
+: terminal? ( sym -- f ) #nt >= ;
+: tbit ( t -- bit ) #nt - 1 swap lshift ;
+
+: dpush ( sym -- )
+  dsp @ 500 < if dstack dsp @ + !  1 dsp +! else drop then ;
+|}
+    n_nt n_t n_rules n_rules n_rules (n_rules * rhs_max) n_nt (n_nt * n_t)
+    n_rules;
+  (* Generated rule tables: one initialisation word per rule. *)
+  List.iteri
+    (fun r (lhs, rhs) ->
+      addf ": init-rule%d %d %d lhs# + ! %d %d len# + !" r lhs r
+        (List.length rhs) r;
+      List.iteri
+        (fun k sym -> addf " %d %d rhs# + !" sym ((r * rhs_max) + k))
+        rhs;
+      addf " ;\n")
+    rules;
+  addf ": init-rules";
+  List.iteri (fun r _ -> addf " init-rule%d" r) rules;
+  addf " ;\n\n";
+  (* Generated per-rule expansion words: push the rhs, last symbol first,
+     exactly what a generated table-driven parser contains. *)
+  List.iteri
+    (fun r (_lhs, rhs) ->
+      addf ": rule%d" r;
+      List.iter (fun sym -> addf " %d dpush" sym) (List.rev rhs);
+      addf " ;\n")
+    rules;
+  addf ": init-rtab";
+  List.iteri (fun r _ -> addf " ' rule%d %d rtab + !" r r) rules;
+  addf " ;\n";
+  addf
+    {|
+: sym-first ( sym -- bits )
+  dup terminal? if tbit else first# + @ then ;
+
+: first-pass ( -- )
+  0 changed !
+  #rules 0 do
+    i 4 * rhs# + @ sym-first
+    i lhs# + @ first# +
+    dup @
+    rot over or
+    2dup <> if 1 changed ! then
+    nip swap !
+  loop ;
+
+: compute-first ( -- )
+  #nt 0 do 0 i first# + ! loop
+  begin first-pass changed @ 0= until ;
+
+: build-actions ( -- )
+  #nt #t * 0 do -1 i act# + ! loop
+  #rules 0 do
+    i 4 * rhs# + @ sym-first
+    #t 0 do
+      dup 1 i lshift and if
+        j  j lhs# + @ #t * i +  act# + !
+      then
+    loop
+    drop
+  loop ;
+
+: derive ( start steps -- )
+  0 dsp !
+  swap dpush
+  0 do
+    dsp @ 0= if leave then
+    -1 dsp +!  dstack dsp @ + @
+    dup terminal? if mix
+    else
+      dup #t * #t rnd + act# + @
+      dup 0< if drop mix else nip rtab + @ execute then
+    then
+  loop ;
+
+: round ( k -- )
+  7919 * 1+ seed !
+  compute-first build-actions
+  #nt 0 do i first# + @ mix loop
+  #nt #t * 0 do i act# + @ 255 and mix loop
+  0 900 derive ;
+
+init-rules init-rtab
+%d 0 do i round loop
+.chk
+|}
+    (20 * scale);
+  Buffer.contents b

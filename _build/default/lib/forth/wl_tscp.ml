@@ -1,0 +1,237 @@
+(* tscp: chess-search workload (paper Table VI).
+
+   A small but real chess-like searcher: three piece types (knight, king,
+   rook), per-type table-driven move generators with captures, per-depth
+   move lists, make/unmake, and a one-pass material + centralisation +
+   knight-mobility evaluation.  The move and bonus tables are emitted as
+   generated initialisation code (cold at run time, like a real program's
+   setup), while the hot search/eval code is ordinary looping Forth. *)
+
+let name = "tscp"
+let description = "game-tree search: 3-piece chess-lite negamax with captures"
+
+(* Piece encoding: 0 empty; 1/2 knight, 3/4 king, 5/6 rook (odd = white). *)
+
+let on_board r c = r >= 0 && r < 8 && c >= 0 && c < 8
+
+let step_targets offsets sq =
+  let r = sq / 8 and c = sq mod 8 in
+  List.filter_map
+    (fun (dr, dc) ->
+      if on_board (r + dr) (c + dc) then Some (((r + dr) * 8) + c + dc)
+      else None)
+    offsets
+
+let knight_targets =
+  step_targets
+    [ (-2, -1); (-2, 1); (-1, -2); (-1, 2); (1, -2); (1, 2); (2, -1); (2, 1) ]
+
+let king_targets =
+  step_targets
+    [ (-1, -1); (-1, 0); (-1, 1); (0, -1); (0, 1); (1, -1); (1, 0); (1, 1) ]
+
+(* Rook rays: for each square and direction, the squares in sliding order. *)
+let ray sq (dr, dc) =
+  let rec go r c acc =
+    let r = r + dr and c = c + dc in
+    if on_board r c then go r c (((r * 8) + c) :: acc) else List.rev acc
+  in
+  go (sq / 8) (sq mod 8) []
+
+let rook_dirs = [ (-1, 0); (1, 0); (0, -1); (0, 1) ]
+
+let centre_bonus sq =
+  let d a = min a (7 - a) in
+  d (sq / 8) + d (sq mod 8)
+
+let source ~scale =
+  let b = Buffer.create (32 * 1024) in
+  let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  addf
+    {|
+\ ---- tscp: chess-lite negamax ------------------------------------
+array brd 64
+array ktab 576            \ knight moves: 64 * 9 (count, targets)
+array gtab 576            \ king moves, same layout
+array rays 2048           \ rook rays: (sq*4 + dir) * 8 (count, targets)
+array cbon 64             \ centralisation bonus
+array mvf 512             \ move lists, 64 slots per depth
+array mvt 512
+array mc# 8
+array from# 8
+array to# 8
+array cap# 8
+array best# 8
+variable nodes
+variable gside
+variable gdepth
+variable gfrom variable gaddr variable gleft
+variable mcount
+
+: side ( depth -- s ) 1 and if 1 else 2 then ;
+: opp ( s -- s' ) 3 swap - ;
+: pside ( p -- s ) dup if 1 and if 1 else 2 then else then ;
+: ptype ( p -- t ) 1+ 2/ ;
+: pval ( t -- v ) dup 1 = if drop 34 else 2 = if 0 else 54 then then ;
+
+: mine? ( sq -- f ) brd + @ pside gside @ = ;
+: takeable? ( sq -- f ) brd + @ dup 0= swap pside gside @ opp = or ;
+
+: push-move ( from to -- )
+  gdepth @ 64 * mc# gdepth @ + @ +   ( from to idx )
+  dup >r mvt + ! r> mvf + !
+  1 mc# gdepth @ + +! ;
+
+: gen-table ( sq base -- )  \ stepping pieces via a 64*9 table
+  dup @ 0> if
+    dup @ 0 do
+      dup i 1+ + @           ( sq base tgt )
+      dup takeable? if 2 pick swap push-move else drop then
+    loop
+  then 2drop ;
+
+: gen-ray ( sq base -- )    \ sliding ray with blocking and captures
+  dup @ gleft !  1+ gaddr !  gfrom !
+  begin gleft @ 0> while
+    -1 gleft +!
+    gaddr @ @  1 gaddr +!    ( tgt )
+    dup brd + @ 0= if
+      gfrom @ swap push-move
+    else
+      dup brd + @ pside gside @ opp = if
+        gfrom @ swap push-move
+      else drop then
+      0 gleft !
+    then
+  repeat ;
+
+: gen-rook ( sq -- )
+  4 0 do
+    dup  dup 4 * i + 8 * rays +  gen-ray
+  loop drop ;
+
+: genmoves ( depth s -- )
+  gside ! gdepth !
+  0 mc# gdepth @ + !
+  64 0 do
+    i mine? if
+      i brd + @ ptype
+      dup 1 = if drop i dup 9 * ktab + gen-table else
+      dup 2 = if drop i dup 9 * gtab + gen-table else
+      drop i gen-rook
+      then then
+    then
+  loop ;
+
+: count-empty ( sq -- n )   \ empty knight-targets, for mobility
+  0 mcount !
+  9 * ktab +
+  dup @ 0> if
+    dup @ 0 do
+      dup i 1+ + @ brd + @ 0= if 1 mcount +! then
+    loop
+  then drop mcount @ ;
+
+: eval ( depth -- score )   \ one board pass: material + centre + mobility
+  side 0
+  64 0 do
+    i brd + @ ?dup if       ( s acc p )
+      dup pside 3 pick = if
+        dup ptype pval i cbon + @ +
+        over ptype 1 = if i count-empty + then
+        rot + nip
+      else
+        dup ptype pval i cbon + @ +
+        over ptype 1 = if i count-empty + then
+        rot swap - nip
+      then
+    then
+  loop nip ;
+
+: domove ( depth -- )
+  dup to# + @ brd + @ over cap# + !
+  dup from# + @ brd + @
+  over to# + @ brd + !
+  0 over from# + @ brd + !
+  drop ;
+
+: undomove ( depth -- )
+  dup to# + @ brd + @
+  over from# + @ brd + !
+  dup cap# + @
+  over to# + @ brd + !
+  drop ;
+
+: search ( depth -- score )
+  1 nodes +!
+  dup 0= if eval exit then
+  dup dup side genmoves
+  -100000 over best# + !
+  dup mc# + @ 0> if
+    dup mc# + @ 0 do
+      dup 64 * i +           ( d idx )
+      dup mvf + @ 2 pick from# + !
+      mvt + @ over to# + !
+      dup domove
+      dup 1- recurse negate
+      over best# + dup @ rot max swap !
+      dup undomove
+    loop
+  then
+  best# + @ ;
+
+: place-piece ( p -- )
+  begin
+    64 rnd dup brd + @ 0=
+    if over swap brd + ! 1 else drop 0 then
+  until drop ;
+
+: position ( k -- )
+  7919 * 31 + seed !
+  64 0 do 0 i brd + ! loop
+  1 place-piece 1 place-piece 3 place-piece 5 place-piece
+  2 place-piece 2 place-piece 4 place-piece 6 place-piece
+  2 search mix
+  nodes @ mix ;
+|};
+  (* Generated table initialisation. *)
+  let emit_table name9 targets_of =
+    addf ": init-%s" name9;
+    for sq = 0 to 63 do
+      let ts = targets_of sq in
+      addf "\n  %d %d %s + !" (List.length ts) (sq * 9) name9;
+      List.iteri
+        (fun k t -> addf " %d %d %s + !" t ((sq * 9) + 1 + k) name9)
+        ts
+    done;
+    addf " ;\n"
+  in
+  emit_table "ktab" knight_targets;
+  emit_table "gtab" king_targets;
+  addf ": init-rays";
+  for sq = 0 to 63 do
+    List.iteri
+      (fun d dir ->
+        let ts = ray sq dir in
+        let base = ((sq * 4) + d) * 8 in
+        addf "\n  %d %d rays + !" (List.length ts) base;
+        List.iteri
+          (fun k t -> addf " %d %d rays + !" t (base + 1 + k))
+          ts)
+      rook_dirs
+  done;
+  addf " ;\n";
+  addf ": init-cbon";
+  for sq = 0 to 63 do
+    addf " %d %d cbon + !" (centre_bonus sq) sq
+  done;
+  addf " ;\n";
+  addf
+    {|
+init-ktab init-gtab init-rays init-cbon
+0 nodes !
+%d 0 do i position loop
+.chk
+|}
+    scale;
+  Buffer.contents b

@@ -1,0 +1,122 @@
+(* vmgen: interpreter-generator workload (paper Table VI).
+
+   Meta-circular flavour: builds a dispatch table of execution tokens for a
+   ten-instruction stack bytecode, generates bytecode programs (a counted
+   sum-of-squares loop and random straight-line arithmetic), and interprets
+   them with [execute] -- so the hosted interpreter's dispatch runs through
+   the host VM's indirect-call machinery. *)
+
+let name = "vmgen"
+let description = "interpreter generator: table-driven bytecode interpreter via execute"
+
+let source ~scale =
+  Printf.sprintf
+    {|
+\ ---- vmgen: hosted bytecode interpreter --------------------------
+array vcode 256
+array vstk 64
+array vtab 16
+variable vsp'
+variable vip
+variable vrunning
+variable vsteps
+variable gp
+
+: vpush ( n -- ) vsp' @ vstk + ! 1 vsp' +! ;
+: vpop ( -- n ) -1 vsp' +! vsp' @ vstk + @ ;
+: varg ( -- n ) vip @ vcode + @ 1 vip +! ;
+
+: op-push varg vpush ;
+: op-add vpop vpop + vpush ;
+: op-sub vpop vpop swap - vpush ;
+: op-mul vpop vpop * vpush ;
+: op-dup vpop dup vpush vpush ;
+: op-swap vpop vpop swap vpush vpush ;
+: op-rot vpop vpop vpop swap vpush swap vpush vpush ;
+: op-drop vpop drop ;
+: op-jnz varg vpop 0= if drop else vip ! then ;
+: op-halt 0 vrunning ! ;
+: op-neg vpop negate vpush ;
+: op-inc vpop 1+ vpush ;
+: op-dec vpop 1- vpush ;
+: op-and vpop vpop and vpush ;
+: op-or vpop vpop or vpush ;
+: op-xor vpop vpop xor vpush ;
+
+: init-vtab ( -- )
+  ' op-push 0 vtab + !
+  ' op-add  1 vtab + !
+  ' op-sub  2 vtab + !
+  ' op-mul  3 vtab + !
+  ' op-dup  4 vtab + !
+  ' op-swap 5 vtab + !
+  ' op-rot  6 vtab + !
+  ' op-drop 7 vtab + !
+  ' op-jnz  8 vtab + !
+  ' op-halt 9 vtab + !
+  ' op-neg 10 vtab + !
+  ' op-inc 11 vtab + !
+  ' op-dec 12 vtab + !
+  ' op-and 13 vtab + !
+  ' op-or  14 vtab + !
+  ' op-xor 15 vtab + ! ;
+
+: vrun ( -- )
+  0 vip ! 0 vsp' ! 1 vrunning ! 0 vsteps !
+  begin vrunning @ vsteps @ 20000 < and while
+    vip @ vcode + @ 1 vip +!
+    vtab + @ execute
+    1 vsteps +!
+  repeat ;
+
+: g, ( w -- ) gp @ vcode + ! 1 gp +! ;
+
+\ bytecode for: acc = sum of i*i for i = n downto 1
+: gen-sum ( n -- )
+  0 gp !
+  0 g, 0 g,          \ push 0      (acc)
+  0 g, g,            \ push n      (counter)
+  gp @               ( loopstart )
+  4 g, 4 g,          \ dup dup
+  3 g,               \ mul
+  6 g,               \ rot
+  1 g,               \ add
+  5 g,               \ swap
+  0 g, 1 g,          \ push 1
+  2 g,               \ sub
+  4 g,               \ dup
+  8 g, g,            \ jnz loopstart
+  7 g,               \ drop
+  9 g, ;             \ halt
+
+\ random well-formed straight-line arithmetic, tracked stack depth
+: gen-rand ( -- )
+  0 gp !  0
+  begin dup 20 < gp @ 200 < and while
+    dup 2 < 3 rnd 0= or if
+      0 g, 10 rnd g, 1+
+    else
+      4 rnd 0= if
+        10 6 rnd 2 mod + g,        \ a unary op: neg or inc (keep depth)
+      else
+        6 rnd dup 3 < if 1+ else 10 + then g, 1-
+      then
+    then
+  repeat
+  begin dup 1 > while 1 g, 1- repeat
+  drop
+  9 g, ;
+
+: vres ( -- v )
+  vsp' @ 0> if vsp' @ 1- vstk + @ else 0 then ;
+
+: vround ( k -- )
+  dup 7919 * 21 + seed !
+  30 mod 5 + gen-sum vrun vres mix vsteps @ mix
+  gen-rand vrun vres mix ;
+
+init-vtab
+%d 0 do i vround loop
+.chk
+|}
+    (25 * scale)

@@ -1,0 +1,1 @@
+lib/jvm/codegen.ml: Array Classfile Hashtbl List Minijava Opcode Printf Program Runtime Vmbp_vm

@@ -1,0 +1,1 @@
+lib/jvm/codegen.mli: Minijava Runtime

@@ -1,0 +1,1 @@
+lib/jvm/jvm_workloads.ml: List Runtime Wl_compress Wl_db Wl_jack Wl_javac Wl_jess Wl_mpeg Wl_mtrt

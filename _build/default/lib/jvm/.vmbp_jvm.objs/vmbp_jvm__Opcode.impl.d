@@ -1,0 +1,1 @@
+lib/jvm/opcode.ml: Instr Instr_set Option Vmbp_vm

@@ -1,0 +1,1 @@
+lib/jvm/opcode.mli: Vmbp_vm

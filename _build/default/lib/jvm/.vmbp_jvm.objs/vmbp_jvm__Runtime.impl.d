@@ -1,0 +1,1 @@
+lib/jvm/runtime.ml: Array Buffer Classfile Hashtbl List Opcode Program Vmbp_vm

@@ -1,0 +1,1 @@
+lib/jvm/runtime.mli: Classfile Hashtbl Vmbp_vm

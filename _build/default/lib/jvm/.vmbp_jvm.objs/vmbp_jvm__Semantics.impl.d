@@ -1,0 +1,1 @@
+lib/jvm/semantics.ml: Array Classfile Control Hashtbl Instr_set Opcode Printf Program Runtime Vmbp_core Vmbp_vm

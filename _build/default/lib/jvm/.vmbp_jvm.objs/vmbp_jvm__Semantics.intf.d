@@ -1,0 +1,1 @@
+lib/jvm/semantics.mli: Runtime Vmbp_core

@@ -1,0 +1,1 @@
+lib/jvm/wl_compress.ml: Codegen Minijava Workload_lib

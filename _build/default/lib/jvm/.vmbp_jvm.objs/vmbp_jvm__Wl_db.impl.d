@@ -1,0 +1,1 @@
+lib/jvm/wl_db.ml: Codegen Minijava Workload_lib

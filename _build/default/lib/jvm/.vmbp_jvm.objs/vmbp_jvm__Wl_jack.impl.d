@@ -1,0 +1,1 @@
+lib/jvm/wl_jack.ml: Codegen Minijava Workload_lib

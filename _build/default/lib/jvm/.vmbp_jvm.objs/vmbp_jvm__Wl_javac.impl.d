@@ -1,0 +1,1 @@
+lib/jvm/wl_javac.ml: Codegen Minijava Workload_lib

@@ -1,0 +1,1 @@
+lib/jvm/wl_jess.ml: Codegen Minijava Workload_lib

@@ -1,0 +1,1 @@
+lib/jvm/wl_mpeg.ml: Codegen List Minijava Printf Workload_lib

@@ -1,0 +1,1 @@
+lib/jvm/wl_mtrt.ml: Codegen Minijava Workload_lib

@@ -1,0 +1,1 @@
+lib/jvm/workload_lib.ml: Minijava

@@ -1,0 +1,33 @@
+type cp_entry =
+  | CP_int of int
+  | CP_field of { cls : string; field : string }
+  | CP_static of string
+  | CP_method of string
+  | CP_virtual of string
+  | CP_class of string
+  | CP_switch of { lo : int; targets : int array }
+
+type method_decl = {
+  m_name : string;
+  m_is_virtual : bool;
+  m_class : string option;
+  m_nargs : int;
+  m_nlocals : int;
+  m_entry : int;
+}
+
+type class_decl = {
+  c_name : string;
+  c_super : string option;
+  c_fields : string list;
+}
+
+let pp_cp ppf = function
+  | CP_int v -> Format.fprintf ppf "int %d" v
+  | CP_field { cls; field } -> Format.fprintf ppf "field %s.%s" cls field
+  | CP_static name -> Format.fprintf ppf "static %s" name
+  | CP_method name -> Format.fprintf ppf "method %s" name
+  | CP_virtual name -> Format.fprintf ppf "virtual %s" name
+  | CP_class name -> Format.fprintf ppf "class %s" name
+  | CP_switch { lo; targets } ->
+      Format.fprintf ppf "switch lo=%d cases=%d" lo (Array.length targets - 1)

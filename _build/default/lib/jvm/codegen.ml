@@ -1,0 +1,317 @@
+open Vmbp_vm
+module MJ = Minijava
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+let o = Opcode.ops
+
+type gen = {
+  mutable code : Program.slot array;
+  mutable len : int;
+  cp_ids : (Classfile.cp_entry, int) Hashtbl.t;
+  mutable cp_rev : Classfile.cp_entry list;
+  mutable cp_len : int;
+  mutable methods : Classfile.method_decl list;  (* reversed *)
+}
+
+let create () =
+  {
+    code = Array.make 1024 { Program.opcode = 0; operands = [||] };
+    len = 0;
+    cp_ids = Hashtbl.create 64;
+    cp_rev = [];
+    cp_len = 0;
+    methods = [];
+  }
+
+let emit g opcode operands =
+  if g.len >= Array.length g.code then begin
+    let bigger =
+      Array.make (2 * Array.length g.code) { Program.opcode = 0; operands = [||] }
+    in
+    Array.blit g.code 0 bigger 0 g.len;
+    g.code <- bigger
+  end;
+  g.code.(g.len) <- { Program.opcode; operands };
+  g.len <- g.len + 1;
+  g.len - 1
+
+let cp g entry =
+  match Hashtbl.find_opt g.cp_ids entry with
+  | Some id -> id
+  | None ->
+      let id = g.cp_len in
+      Hashtbl.replace g.cp_ids entry id;
+      g.cp_rev <- entry :: g.cp_rev;
+      g.cp_len <- id + 1;
+      id
+
+(* Forward branches emit -1 and are patched when the label is placed. *)
+let patch g slot target =
+  let s = g.code.(slot) in
+  s.Program.operands <-
+    Array.map (fun v -> if v = -1 then target else v) s.Program.operands
+
+(* Per-method compilation environment. *)
+type env = {
+  g : gen;
+  locals : (string, int) Hashtbl.t;
+  mutable nlocals : int;
+}
+
+let local_id env name =
+  match Hashtbl.find_opt env.locals name with
+  | Some id -> id
+  | None -> error "unknown local %s" name
+
+let declare_local env name =
+  match Hashtbl.find_opt env.locals name with
+  | Some id -> id
+  | None ->
+      let id = env.nlocals in
+      Hashtbl.replace env.locals name id;
+      env.nlocals <- id + 1;
+      id
+
+(* Normalise comparisons to {Eq, Ne, Lt, Ge} by swapping operands. *)
+let normalise_cmp op a b =
+  match op with
+  | MJ.Gt -> (MJ.Lt, b, a)
+  | MJ.Le -> (MJ.Ge, b, a)
+  | MJ.Eq | MJ.Ne | MJ.Lt | MJ.Ge -> (op, a, b)
+  | _ -> assert false
+
+(* The opcode that branches when the comparison is FALSE. *)
+let false_branch = function
+  | MJ.Eq -> o.Opcode.if_icmpne
+  | MJ.Ne -> o.Opcode.if_icmpeq
+  | MJ.Lt -> o.Opcode.if_icmpge
+  | MJ.Ge -> o.Opcode.if_icmplt
+  | _ -> assert false
+
+let true_branch = function
+  | MJ.Eq -> o.Opcode.if_icmpeq
+  | MJ.Ne -> o.Opcode.if_icmpne
+  | MJ.Lt -> o.Opcode.if_icmplt
+  | MJ.Ge -> o.Opcode.if_icmpge
+  | _ -> assert false
+
+let is_cmp = function
+  | MJ.Eq | MJ.Ne | MJ.Lt | MJ.Le | MJ.Gt | MJ.Ge -> true
+  | MJ.Add | MJ.Sub | MJ.Mul | MJ.Div | MJ.Rem | MJ.Shl | MJ.Shr | MJ.And
+  | MJ.Or | MJ.Xor ->
+      false
+
+let arith_opcode = function
+  | MJ.Add -> o.Opcode.iadd
+  | MJ.Sub -> o.Opcode.isub
+  | MJ.Mul -> o.Opcode.imul
+  | MJ.Div -> o.Opcode.idiv
+  | MJ.Rem -> o.Opcode.irem
+  | MJ.Shl -> o.Opcode.ishl
+  | MJ.Shr -> o.Opcode.ishr
+  | MJ.And -> o.Opcode.iand
+  | MJ.Or -> o.Opcode.ior
+  | MJ.Xor -> o.Opcode.ixor
+  | _ -> assert false
+
+let rec compile_expr env (e : MJ.expr) =
+  let g = env.g in
+  match e with
+  | MJ.Int v -> ignore (emit g o.Opcode.iconst [| v |])
+  | MJ.Big v -> ignore (emit g o.Opcode.ldc [| cp g (Classfile.CP_int v) |])
+  | MJ.Local name -> ignore (emit g o.Opcode.iload [| local_id env name |])
+  | MJ.StaticVar name ->
+      ignore (emit g o.Opcode.getstatic [| cp g (Classfile.CP_static name) |])
+  | MJ.Field (recv, cls, field) ->
+      compile_expr env recv;
+      ignore
+        (emit g o.Opcode.getfield [| cp g (Classfile.CP_field { cls; field }) |])
+  | MJ.Bin (op, a, b) when is_cmp op ->
+      (* Produce 0/1 via a short branch diamond. *)
+      let op, a, b = normalise_cmp op a b in
+      compile_expr env a;
+      compile_expr env b;
+      let jtrue = emit g (true_branch op) [| -1 |] in
+      ignore (emit g o.Opcode.iconst [| 0 |]);
+      let jend = emit g o.Opcode.goto [| -1 |] in
+      patch g jtrue g.len;
+      ignore (emit g o.Opcode.iconst [| 1 |]);
+      patch g jend g.len
+  | MJ.Bin (op, a, b) ->
+      compile_expr env a;
+      compile_expr env b;
+      ignore (emit g (arith_opcode op) [||])
+  | MJ.Neg a ->
+      compile_expr env a;
+      ignore (emit g o.Opcode.ineg [||])
+  | MJ.CallS (name, args) ->
+      List.iter (compile_expr env) args;
+      ignore
+        (emit g o.Opcode.invokestatic [| cp g (Classfile.CP_method name) |])
+  | MJ.CallV (recv, name, args) ->
+      compile_expr env recv;
+      List.iter (compile_expr env) args;
+      ignore
+        (emit g o.Opcode.invokevirtual
+           [| cp g (Classfile.CP_virtual name); List.length args |])
+  | MJ.New cls -> ignore (emit g o.Opcode.new_ [| cp g (Classfile.CP_class cls) |])
+  | MJ.NewArray len ->
+      compile_expr env len;
+      ignore (emit g o.Opcode.newarray [||])
+  | MJ.Index (arr, idx) ->
+      compile_expr env arr;
+      compile_expr env idx;
+      ignore (emit g o.Opcode.iaload [||])
+  | MJ.Length arr ->
+      compile_expr env arr;
+      ignore (emit g o.Opcode.arraylength [||])
+
+(* Compile a condition so that control falls through when it holds and
+   branches to the returned slot (to patch) when it fails. *)
+and compile_cond_false env (e : MJ.expr) =
+  let g = env.g in
+  match e with
+  | MJ.Bin (op, a, b) when is_cmp op ->
+      let op, a, b = normalise_cmp op a b in
+      compile_expr env a;
+      compile_expr env b;
+      emit g (false_branch op) [| -1 |]
+  | _ ->
+      compile_expr env e;
+      emit g o.Opcode.ifeq [| -1 |]
+
+let rec compile_stmt env (s : MJ.stmt) =
+  let g = env.g in
+  match s with
+  | MJ.Decl (name, e) ->
+      compile_expr env e;
+      let id = declare_local env name in
+      ignore (emit g o.Opcode.istore [| id |])
+  | MJ.Assign (name, e) -> (
+      (* iinc peephole: x = x + const *)
+      match e with
+      | MJ.Bin (MJ.Add, MJ.Local n', MJ.Int d)
+        when n' = name && d >= -128 && d <= 127 ->
+          ignore (emit g o.Opcode.iinc [| local_id env name; d |])
+      | _ ->
+          compile_expr env e;
+          ignore (emit g o.Opcode.istore [| local_id env name |]))
+  | MJ.SetStatic (name, e) ->
+      compile_expr env e;
+      ignore (emit g o.Opcode.putstatic [| cp g (Classfile.CP_static name) |])
+  | MJ.SetField (recv, cls, field, e) ->
+      compile_expr env recv;
+      compile_expr env e;
+      ignore
+        (emit g o.Opcode.putfield [| cp g (Classfile.CP_field { cls; field }) |])
+  | MJ.SetIndex (arr, idx, e) ->
+      compile_expr env arr;
+      compile_expr env idx;
+      compile_expr env e;
+      ignore (emit g o.Opcode.iastore [||])
+  | MJ.If (cond, then_, else_) ->
+      let jelse = compile_cond_false env cond in
+      List.iter (compile_stmt env) then_;
+      if else_ = [] then patch g jelse g.len
+      else begin
+        let jend = emit g o.Opcode.goto [| -1 |] in
+        patch g jelse g.len;
+        List.iter (compile_stmt env) else_;
+        patch g jend g.len
+      end
+  | MJ.While (cond, body) ->
+      let top = g.len in
+      let jend = compile_cond_false env cond in
+      List.iter (compile_stmt env) body;
+      ignore (emit g o.Opcode.goto [| top |]);
+      patch g jend g.len
+  | MJ.Switch (scrutinee, cases, default) ->
+      if cases = [] then begin
+        (* degenerate: evaluate for effect, run the default *)
+        compile_expr env scrutinee;
+        ignore (emit g o.Opcode.pop [||]);
+        List.iter (compile_stmt env) default
+      end
+      else begin
+        let keys = List.map fst cases in
+        let lo = List.fold_left min (List.hd keys) keys in
+        let hi = List.fold_left max (List.hd keys) keys in
+        if hi - lo > 4096 then error "switch: key range too sparse";
+        (* targets.(0) = default; filled in as the branches compile *)
+        let targets = Array.make (hi - lo + 2) (-1) in
+        let cp_idx = cp g (Classfile.CP_switch { lo; targets }) in
+        compile_expr env scrutinee;
+        ignore (emit g o.Opcode.tableswitch [| cp_idx |]);
+        let jumps_to_end = ref [] in
+        List.iter
+          (fun (key, body) ->
+            targets.(key - lo + 1) <- g.len;
+            List.iter (compile_stmt env) body;
+            jumps_to_end := emit g o.Opcode.goto [| -1 |] :: !jumps_to_end)
+          cases;
+        targets.(0) <- g.len;
+        List.iter (compile_stmt env) default;
+        (* keys absent from the case list fall to the default *)
+        Array.iteri
+          (fun k t -> if k > 0 && t = -1 then targets.(k) <- targets.(0))
+          targets;
+        List.iter (fun slot -> patch g slot g.len) !jumps_to_end
+      end
+  | MJ.Return e ->
+      compile_expr env e;
+      ignore (emit g o.Opcode.ireturn [||])
+  | MJ.Expr e ->
+      compile_expr env e;
+      ignore (emit g o.Opcode.pop [||])
+  | MJ.Print e ->
+      compile_expr env e;
+      ignore (emit g o.Opcode.print_int [||])
+
+let compile_method g ~owner (m : MJ.mthd) =
+  let env = { g; locals = Hashtbl.create 8; nlocals = 0 } in
+  let is_virtual = owner <> None in
+  if is_virtual then ignore (declare_local env "this");
+  List.iter (fun p -> ignore (declare_local env p)) m.MJ.params;
+  let entry = g.len in
+  List.iter (compile_stmt env) m.MJ.body;
+  (* Fallback return for bodies that can run off the end. *)
+  ignore (emit g o.Opcode.iconst [| 0 |]);
+  ignore (emit g o.Opcode.ireturn [||]);
+  {
+    Classfile.m_name = m.MJ.mname;
+    m_is_virtual = is_virtual;
+    m_class = owner;
+    m_nargs = List.length m.MJ.params + if is_virtual then 1 else 0;
+    m_nlocals = env.nlocals;
+    m_entry = entry;
+  }
+
+let compile ~name (p : MJ.prog) =
+  let g = create () in
+  let methods = ref [] in
+  List.iter
+    (fun (c : MJ.cls) ->
+      List.iter
+        (fun m -> methods := compile_method g ~owner:(Some c.MJ.cname) m :: !methods)
+        c.MJ.cmethods)
+    p.MJ.classes;
+  List.iter
+    (fun m -> methods := compile_method g ~owner:None m :: !methods)
+    p.MJ.funcs;
+  let classes =
+    List.map
+      (fun (c : MJ.cls) ->
+        {
+          Classfile.c_name = c.MJ.cname;
+          c_super = c.MJ.super;
+          c_fields = c.MJ.fields;
+        })
+      p.MJ.classes
+  in
+  let code = Array.sub g.code 0 g.len in
+  Runtime.link ~name ~classes ~methods:(List.rev !methods)
+    ~cp:(Array.of_list (List.rev g.cp_rev))
+    ~code ~main:"main"

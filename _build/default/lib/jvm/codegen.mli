@@ -1,0 +1,11 @@
+(** MiniJava to mini-JVM bytecode compiler.
+
+    Produces a linked {!Runtime.image}: flat VM code for every method,
+    a deduplicated constant pool (all symbolic references go through it, so
+    the quickable instructions have something to resolve), and the class
+    table. *)
+
+exception Error of string
+
+val compile : name:string -> Minijava.prog -> Runtime.image
+(** @raise Error on references to unknown locals or a missing [main]. *)

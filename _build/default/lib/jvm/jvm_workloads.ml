@@ -1,0 +1,27 @@
+(* Registry of the JVM benchmark programs (paper Table VII substitutes). *)
+
+type t = {
+  name : string;
+  description : string;
+  build : scale:int -> Runtime.image;
+}
+
+let all =
+  [
+    { name = Wl_jack.name; description = Wl_jack.description;
+      build = Wl_jack.build };
+    { name = Wl_mpeg.name; description = Wl_mpeg.description;
+      build = Wl_mpeg.build };
+    { name = Wl_compress.name; description = Wl_compress.description;
+      build = Wl_compress.build };
+    { name = Wl_javac.name; description = Wl_javac.description;
+      build = Wl_javac.build };
+    { name = Wl_jess.name; description = Wl_jess.description;
+      build = Wl_jess.build };
+    { name = Wl_db.name; description = Wl_db.description;
+      build = Wl_db.build };
+    { name = Wl_mtrt.name; description = Wl_mtrt.description;
+      build = Wl_mtrt.build };
+  ]
+
+let find name = List.find_opt (fun w -> w.name = name) all

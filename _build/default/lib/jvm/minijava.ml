@@ -1,0 +1,61 @@
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Shl | Shr | And | Or | Xor
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Int of int
+  | Big of int
+  | Local of string
+  | StaticVar of string
+  | Field of expr * string * string
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | CallS of string * expr list
+  | CallV of expr * string * expr list
+  | New of string
+  | NewArray of expr
+  | Index of expr * expr
+  | Length of expr
+
+type stmt =
+  | Decl of string * expr
+  | Assign of string * expr
+  | SetStatic of string * expr
+  | SetField of expr * string * string * expr
+  | SetIndex of expr * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Switch of expr * (int * stmt list) list * stmt list
+  | Return of expr
+  | Expr of expr
+  | Print of expr
+
+type mthd = {
+  mname : string;
+  params : string list;
+  body : stmt list;
+}
+
+type cls = {
+  cname : string;
+  super : string option;
+  fields : string list;
+  cmethods : mthd list;
+}
+
+type prog = { classes : cls list; funcs : mthd list }
+
+let ( +: ) a b = Bin (Add, a, b)
+let ( -: ) a b = Bin (Sub, a, b)
+let ( *: ) a b = Bin (Mul, a, b)
+let ( /: ) a b = Bin (Div, a, b)
+let ( %: ) a b = Bin (Rem, a, b)
+let ( <: ) a b = Bin (Lt, a, b)
+let ( >: ) a b = Bin (Gt, a, b)
+let ( <=: ) a b = Bin (Le, a, b)
+let ( >=: ) a b = Bin (Ge, a, b)
+let ( =: ) a b = Bin (Eq, a, b)
+let ( <>: ) a b = Bin (Ne, a, b)
+let i n = Int n
+let l name = Local name

@@ -1,0 +1,80 @@
+(** MiniJava: a small, explicitly-typed-by-name object language compiled to
+    mini-JVM bytecode.
+
+    The JVM workloads are written as MiniJava ASTs so that their bytecode
+    has the shape of compiled Java: locals-heavy, field accesses through
+    the constant pool (quickable), static and virtual calls, and longer
+    basic blocks than idiomatic Forth -- the structural differences the
+    paper highlights in Section 7.3.  Field accesses carry the class name
+    explicitly; there is no type checker. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Shl | Shr | And | Or | Xor
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Int of int  (** small literal: compiles to [iconst] *)
+  | Big of int  (** constant-pool literal: compiles to quickable [ldc] *)
+  | Local of string
+  | StaticVar of string
+  | Field of expr * string * string  (** receiver, class, field *)
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | CallS of string * expr list  (** static call *)
+  | CallV of expr * string * expr list  (** virtual call: receiver, name *)
+  | New of string
+  | NewArray of expr
+  | Index of expr * expr
+  | Length of expr
+
+type stmt =
+  | Decl of string * expr  (** declare and initialise a local *)
+  | Assign of string * expr
+  | SetStatic of string * expr
+  | SetField of expr * string * string * expr
+      (** receiver, class, field, value *)
+  | SetIndex of expr * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Switch of expr * (int * stmt list) list * stmt list
+      (** compiles to [tableswitch] over the contiguous key range; the last
+          list is the default branch.  No fall-through between cases. *)
+  | Return of expr
+  | Expr of expr  (** evaluate for effect, drop the value *)
+  | Print of expr
+
+type mthd = {
+  mname : string;
+  params : string list;  (** excluding the implicit [this]; virtual methods
+                             get [this] as local 0 automatically *)
+  body : stmt list;
+}
+
+type cls = {
+  cname : string;
+  super : string option;
+  fields : string list;
+  cmethods : mthd list;
+}
+
+type prog = {
+  classes : cls list;
+  funcs : mthd list;  (** static methods; must include [main] *)
+}
+
+(* Convenience constructors used heavily by the workloads. *)
+
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val ( %: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( >: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+val ( =: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val i : int -> expr
+val l : string -> expr

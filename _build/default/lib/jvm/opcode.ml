@@ -1,0 +1,202 @@
+open Vmbp_vm
+
+type t = {
+  iconst : int;
+  ldc : int;
+  ldc_quick : int;
+  iload : int;
+  istore : int;
+  iinc : int;
+  pop : int;
+  dup : int;
+  dup_x1 : int;
+  swap : int;
+  iadd : int;
+  isub : int;
+  imul : int;
+  idiv : int;
+  irem : int;
+  ineg : int;
+  ishl : int;
+  ishr : int;
+  iand : int;
+  ior : int;
+  ixor : int;
+  goto : int;
+  tableswitch : int;
+  ifeq : int;
+  ifne : int;
+  iflt : int;
+  ifge : int;
+  if_icmpeq : int;
+  if_icmpne : int;
+  if_icmplt : int;
+  if_icmpge : int;
+  new_ : int;
+  new_quick : int;
+  getfield : int;
+  getfield_quick : int;
+  putfield : int;
+  putfield_quick : int;
+  getstatic : int;
+  getstatic_quick : int;
+  putstatic : int;
+  putstatic_quick : int;
+  newarray : int;
+  iaload : int;
+  iastore : int;
+  arraylength : int;
+  invokestatic : int;
+  invokestatic_quick : int;
+  invokevirtual : int;
+  invokevirtual_quick : int;
+  return_ : int;
+  ireturn : int;
+  print_int : int;
+}
+
+let iset = Instr_set.create ~name:"jvm"
+
+let ops =
+  let reg ?(work = 4) ?(reloc = true) ?(operands = 0) ?branch ?(quickable = false)
+      ?quick_of name =
+    Instr_set.register iset ~name ~work_instrs:work ~work_bytes:(work * 3)
+      ~relocatable:reloc
+      ?branch:(Option.map (fun b -> b) branch)
+      ~operand_count:operands ~quickable ?quick_of ()
+  in
+  let iconst = reg ~work:5 ~operands:1 "iconst" in
+  (* Quickable originals model the cost of symbolic resolution: string
+     lookups in the constant pool and class tables. *)
+  let ldc = reg ~work:40 ~reloc:false ~operands:1 ~quickable:true "ldc" in
+  let ldc_quick = reg ~work:5 ~operands:1 ~quick_of:ldc "ldc_quick" in
+  let iload = reg ~work:6 ~operands:1 "iload" in
+  let istore = reg ~work:6 ~operands:1 "istore" in
+  let iinc = reg ~work:7 ~operands:2 "iinc" in
+  let pop = reg ~work:4 "pop" in
+  let dup = reg ~work:6 "dup" in
+  let dup_x1 = reg ~work:9 "dup_x1" in
+  let swap = reg ~work:8 "swap" in
+  let iadd = reg ~work:6 "iadd" in
+  let isub = reg ~work:6 "isub" in
+  let imul = reg ~work:7 "imul" in
+  let idiv = reg ~work:12 "idiv" in
+  let irem = reg ~work:12 "irem" in
+  let ineg = reg ~work:5 "ineg" in
+  let ishl = reg ~work:7 "ishl" in
+  let ishr = reg ~work:7 "ishr" in
+  let iand = reg ~work:6 "iand" in
+  let ior = reg ~work:6 "ior" in
+  let ixor = reg ~work:6 "ixor" in
+  let branch_op ?(work = 8) name = reg ~work ~operands:1 ~branch:(Instr.Cond_branch 0) name in
+  let goto = reg ~work:5 ~operands:1 ~branch:(Instr.Uncond_branch 0) "goto" in
+  let tableswitch =
+    reg ~work:9 ~operands:1 ~branch:Instr.Indirect_branch "tableswitch"
+  in
+  let ifeq = branch_op "ifeq" in
+  let ifne = branch_op "ifne" in
+  let iflt = branch_op "iflt" in
+  let ifge = branch_op "ifge" in
+  let if_icmpeq = branch_op ~work:10 "if_icmpeq" in
+  let if_icmpne = branch_op ~work:10 "if_icmpne" in
+  let if_icmplt = branch_op ~work:10 "if_icmplt" in
+  let if_icmpge = branch_op ~work:10 "if_icmpge" in
+  let new_ = reg ~work:80 ~reloc:false ~operands:1 ~quickable:true "new" in
+  let new_quick = reg ~work:35 ~operands:1 ~quick_of:new_ "new_quick" in
+  let getfield = reg ~work:60 ~reloc:false ~operands:1 ~quickable:true "getfield" in
+  let getfield_quick = reg ~work:8 ~operands:1 ~quick_of:getfield "getfield_quick" in
+  let putfield = reg ~work:60 ~reloc:false ~operands:1 ~quickable:true "putfield" in
+  let putfield_quick = reg ~work:9 ~operands:1 ~quick_of:putfield "putfield_quick" in
+  let getstatic = reg ~work:50 ~reloc:false ~operands:1 ~quickable:true "getstatic" in
+  let getstatic_quick = reg ~work:6 ~operands:1 ~quick_of:getstatic "getstatic_quick" in
+  let putstatic = reg ~work:50 ~reloc:false ~operands:1 ~quickable:true "putstatic" in
+  let putstatic_quick = reg ~work:6 ~operands:1 ~quick_of:putstatic "putstatic_quick" in
+  let newarray = reg ~work:40 ~reloc:false "newarray" in
+  let iaload = reg ~work:11 "iaload" in
+  let iastore = reg ~work:13 "iastore" in
+  let arraylength = reg ~work:6 "arraylength" in
+  let invokestatic =
+    reg ~work:70 ~reloc:false ~operands:1 ~quickable:true
+      ~branch:Instr.Indirect_call "invokestatic"
+  in
+  let invokestatic_quick =
+    reg ~work:28 ~operands:1 ~quick_of:invokestatic ~branch:Instr.Indirect_call
+      "invokestatic_quick"
+  in
+  let invokevirtual =
+    reg ~work:90 ~reloc:false ~operands:2 ~quickable:true
+      ~branch:Instr.Indirect_call "invokevirtual"
+  in
+  let invokevirtual_quick =
+    reg ~work:34 ~operands:2 ~quick_of:invokevirtual ~branch:Instr.Indirect_call
+      "invokevirtual_quick"
+  in
+  let return_ = reg ~work:16 ~branch:Instr.Return "return" in
+  let ireturn = reg ~work:18 ~branch:Instr.Return "ireturn" in
+  let print_int = reg ~work:40 ~reloc:false "print_int" in
+  Instr_set.set_quick_family iset ~original:ldc ~quicks:[ ldc_quick ];
+  Instr_set.set_quick_family iset ~original:new_ ~quicks:[ new_quick ];
+  Instr_set.set_quick_family iset ~original:getfield ~quicks:[ getfield_quick ];
+  Instr_set.set_quick_family iset ~original:putfield ~quicks:[ putfield_quick ];
+  Instr_set.set_quick_family iset ~original:getstatic
+    ~quicks:[ getstatic_quick ];
+  Instr_set.set_quick_family iset ~original:putstatic
+    ~quicks:[ putstatic_quick ];
+  Instr_set.set_quick_family iset ~original:invokestatic
+    ~quicks:[ invokestatic_quick ];
+  Instr_set.set_quick_family iset ~original:invokevirtual
+    ~quicks:[ invokevirtual_quick ];
+  {
+    iconst;
+    ldc;
+    ldc_quick;
+    iload;
+    istore;
+    iinc;
+    pop;
+    dup;
+    dup_x1;
+    swap;
+    iadd;
+    isub;
+    imul;
+    idiv;
+    irem;
+    ineg;
+    ishl;
+    ishr;
+    iand;
+    ior;
+    ixor;
+    goto;
+    tableswitch;
+    ifeq;
+    ifne;
+    iflt;
+    ifge;
+    if_icmpeq;
+    if_icmpne;
+    if_icmplt;
+    if_icmpge;
+    new_;
+    new_quick;
+    getfield;
+    getfield_quick;
+    putfield;
+    putfield_quick;
+    getstatic;
+    getstatic_quick;
+    putstatic;
+    putstatic_quick;
+    newarray;
+    iaload;
+    iastore;
+    arraylength;
+    invokestatic;
+    invokestatic_quick;
+    invokevirtual;
+    invokevirtual_quick;
+    return_;
+    ireturn;
+    print_int;
+  }

@@ -1,0 +1,79 @@
+(** The mini-JVM instruction set.
+
+    Closely follows the JVM's integer subset plus the object model
+    instructions whose first execution must resolve symbolic references:
+    [getfield], [putfield], [getstatic], [putstatic], [new], [ldc],
+    [invokestatic] and [invokevirtual] are {e quickable} -- they rewrite
+    themselves into their [_quick] versions at run time (Section 5.4 of the
+    paper).  Quickable originals are non-relocatable (their routines call
+    the resolver); quick versions are relocatable, as the paper arranges
+    for its JVM. *)
+
+type t = {
+  (* constants and locals *)
+  iconst : int;  (** operand: the value *)
+  ldc : int;  (** operand: constant-pool index; quickable *)
+  ldc_quick : int;  (** operand: resolved value *)
+  iload : int;  (** operand: local index *)
+  istore : int;
+  iinc : int;  (** operands: local index, increment *)
+  (* operand stack *)
+  pop : int;
+  dup : int;
+  dup_x1 : int;
+  swap : int;
+  (* arithmetic *)
+  iadd : int;
+  isub : int;
+  imul : int;
+  idiv : int;
+  irem : int;
+  ineg : int;
+  ishl : int;
+  ishr : int;
+  iand : int;
+  ior : int;
+  ixor : int;
+  (* control *)
+  goto : int;  (** operand: target slot *)
+  tableswitch : int;
+      (** operand: cp index of a [CP_switch]; a multi-target indirect VM
+          branch -- the dispatch after it stays hard to predict under every
+          technique, as the paper notes for VM-level indirect branches *)
+  ifeq : int;
+  ifne : int;
+  iflt : int;
+  ifge : int;
+  if_icmpeq : int;
+  if_icmpne : int;
+  if_icmplt : int;
+  if_icmpge : int;
+  (* objects *)
+  new_ : int;  (** operand: cp index; quickable *)
+  new_quick : int;  (** operand: class id *)
+  getfield : int;  (** operand: cp index; quickable *)
+  getfield_quick : int;  (** operand: field offset *)
+  putfield : int;
+  putfield_quick : int;
+  getstatic : int;
+  getstatic_quick : int;  (** operand: static cell *)
+  putstatic : int;
+  putstatic_quick : int;
+  (* arrays *)
+  newarray : int;
+  iaload : int;
+  iastore : int;
+  arraylength : int;
+  (* calls *)
+  invokestatic : int;  (** operand: cp index; quickable *)
+  invokestatic_quick : int;  (** operand: method id *)
+  invokevirtual : int;  (** operands: cp index, argc; quickable *)
+  invokevirtual_quick : int;  (** operands: vtable index, argc *)
+  return_ : int;
+  ireturn : int;
+  (* misc *)
+  print_int : int;  (** non-relocatable: library call *)
+}
+
+val iset : Vmbp_vm.Instr_set.t
+val ops : t

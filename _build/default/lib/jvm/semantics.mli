@@ -1,0 +1,9 @@
+(** Execution semantics of the mini-JVM, including the lazy resolution that
+    drives quickening (Section 5.4): the first execution of a quickable
+    instruction resolves its constant-pool entry, performs the operation,
+    and asks the engine to rewrite the code slot to the quick version with
+    resolved operands. *)
+
+val exec : Runtime.state -> Vmbp_core.Engine.exec
+(** Semantics closure over a machine state; {!Runtime.Trap} becomes
+    {!Vmbp_vm.Control.Trap}. *)

@@ -1,0 +1,214 @@
+(* compress: LZW compression over skewed synthetic data, verified by
+   expanding every emitted code against the source (SPECjvm98 _201_compress
+   substitute).  Array- and hash-chain-heavy with long basic blocks. *)
+
+open Minijava
+
+let name = "compress"
+let description = "LZW compression with hash-chained dictionary and verification"
+
+let fill_func =
+  {
+    mname = "fill";
+    params = [ "src" ];
+    body =
+      [
+        Decl ("prev", i 0);
+        Decl ("k", i 0);
+        While
+          ( l "k" <: Length (l "src"),
+            [
+              If
+                ( CallS ("rnd", [ i 4 ]) >: i 0,
+                  [ SetIndex (l "src", l "k", l "prev") ],
+                  [
+                    Assign ("prev", CallS ("rnd", [ i 16 ]));
+                    SetIndex (l "src", l "k", l "prev");
+                  ] );
+              Assign ("k", l "k" +: i 1);
+            ] );
+        Return (i 0);
+      ];
+  }
+
+(* Find the dictionary entry for (w, c); -1 if absent. *)
+let find_func =
+  {
+    mname = "find";
+    params = [ "w"; "c"; "prefix"; "ch"; "head"; "nxt" ];
+    body =
+      [
+        Decl ("h", Bin (And, (l "w" *: i 31) +: l "c", i 1023));
+        Decl ("e", Index (l "head", l "h"));
+        Decl ("found", Neg (i 1));
+        While
+          ( l "e" <>: i 0,
+            [
+              If
+                ( Bin
+                    ( And,
+                      Index (l "prefix", l "e" -: i 1) =: l "w",
+                      Index (l "ch", l "e" -: i 1) =: l "c" ),
+                  [ Assign ("found", l "e" -: i 1); Assign ("e", i 0) ],
+                  [ Assign ("e", Index (l "nxt", l "e" -: i 1)) ] );
+            ] );
+        Return (l "found");
+      ];
+  }
+
+let compress_func =
+  {
+    mname = "compress";
+    params = [ "src"; "out"; "prefix"; "ch"; "head"; "nxt" ];
+    body =
+      [
+        Decl ("dsize", i 16);
+        Decl ("w", Index (l "src", i 0));
+        Decl ("outlen", i 0);
+        Decl ("k", i 1);
+        While
+          ( l "k" <: Length (l "src"),
+            [
+              Decl ("c", Index (l "src", l "k"));
+              Decl
+                ( "f",
+                  CallS
+                    ( "find",
+                      [ l "w"; l "c"; l "prefix"; l "ch"; l "head"; l "nxt" ]
+                    ) );
+              If
+                ( l "f" >=: i 0,
+                  [ Assign ("w", l "f") ],
+                  [
+                    SetIndex (l "out", l "outlen", l "w");
+                    Assign ("outlen", l "outlen" +: i 1);
+                    If
+                      ( l "dsize" <: i 4096,
+                        [
+                          SetIndex (l "prefix", l "dsize", l "w");
+                          SetIndex (l "ch", l "dsize", l "c");
+                          Decl
+                            ( "h",
+                              Bin (And, (l "w" *: i 31) +: l "c", i 1023) );
+                          SetIndex
+                            (l "nxt", l "dsize", Index (l "head", l "h"));
+                          SetIndex (l "head", l "h", l "dsize" +: i 1);
+                          Assign ("dsize", l "dsize" +: i 1);
+                        ],
+                        [] );
+                    Assign ("w", l "c");
+                  ] );
+              Assign ("k", l "k" +: i 1);
+            ] );
+        SetIndex (l "out", l "outlen", l "w");
+        Return (l "outlen" +: i 1);
+      ];
+  }
+
+(* Expand a code into tmp (in order); returns the length. *)
+let expand_func =
+  {
+    mname = "expand";
+    params = [ "code"; "tmp"; "prefix"; "ch" ];
+    body =
+      [
+        Decl ("len", i 0);
+        Decl ("c", l "code");
+        While
+          ( l "c" >=: i 16,
+            [
+              SetIndex (l "tmp", l "len", Index (l "ch", l "c"));
+              Assign ("len", l "len" +: i 1);
+              Assign ("c", Index (l "prefix", l "c"));
+            ] );
+        SetIndex (l "tmp", l "len", l "c");
+        Assign ("len", l "len" +: i 1);
+        (* reverse tmp[0..len) in place *)
+        Decl ("a", i 0);
+        Decl ("b", l "len" -: i 1);
+        While
+          ( l "a" <: l "b",
+            [
+              Decl ("t", Index (l "tmp", l "a"));
+              SetIndex (l "tmp", l "a", Index (l "tmp", l "b"));
+              SetIndex (l "tmp", l "b", l "t");
+              Assign ("a", l "a" +: i 1);
+              Assign ("b", l "b" -: i 1);
+            ] );
+        Return (l "len");
+      ];
+  }
+
+let verify_func =
+  {
+    mname = "verify";
+    params = [ "src"; "out"; "outlen"; "prefix"; "ch" ];
+    body =
+      [
+        Decl ("tmp", NewArray (i 64));
+        Decl ("pos", i 0);
+        Decl ("j", i 0);
+        While
+          ( l "j" <: l "outlen",
+            [
+              Decl
+                ( "len",
+                  CallS
+                    ("expand", [ Index (l "out", l "j"); l "tmp"; l "prefix"; l "ch" ])
+                );
+              Decl ("t", i 0);
+              While
+                ( l "t" <: l "len",
+                  [
+                    If
+                      ( Index (l "tmp", l "t")
+                        <>: Index (l "src", l "pos" +: l "t"),
+                        [ Expr (CallS ("mix", [ i 999999 ])) ],
+                        [] );
+                    Assign ("t", l "t" +: i 1);
+                  ] );
+              Assign ("pos", l "pos" +: l "len");
+              Assign ("j", l "j" +: i 1);
+            ] );
+        If
+          ( l "pos" =: Length (l "src"),
+            [ Expr (CallS ("mix", [ i 1 ])) ],
+            [ Expr (CallS ("mix", [ i 777 ])) ] );
+        Return (i 0);
+      ];
+  }
+
+let round_func =
+  {
+    mname = "round";
+    params = [ "k" ];
+    body =
+      [
+        Workload_lib.reseed (l "k");
+        Decl ("src", NewArray (i 600));
+        Expr (CallS ("fill", [ l "src" ]));
+        Decl ("prefix", NewArray (i 4096));
+        Decl ("ch", NewArray (i 4096));
+        Decl ("head", NewArray (i 1024));
+        Decl ("nxt", NewArray (i 4096));
+        Decl ("out", NewArray (i 700));
+        Decl
+          ( "outlen",
+            CallS
+              ( "compress",
+                [ l "src"; l "out"; l "prefix"; l "ch"; l "head"; l "nxt" ] )
+          );
+        Expr (CallS ("mix", [ l "outlen" ]));
+        Expr
+          (CallS ("verify", [ l "src"; l "out"; l "outlen"; l "prefix"; l "ch" ]));
+        Expr (CallS ("mix", [ Index (l "out", l "outlen" -: i 1) ]));
+        Return (i 0);
+      ];
+  }
+
+let build ~scale =
+  Codegen.compile ~name
+    (Workload_lib.program
+       ~funcs:[ fill_func; find_func; compress_func; expand_func; verify_func;
+                round_func ]
+       ~rounds:(6 * scale) ~round_name:"round" ())

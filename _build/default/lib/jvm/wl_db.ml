@@ -1,0 +1,236 @@
+(* db: in-memory database (SPECjvm98 _209_db substitute).
+
+   Records are heap objects chained into hash buckets; the workload mixes
+   inserts, point lookups, updates and full scans -- pointer chasing through
+   getfield_quick-heavy code. *)
+
+open Minijava
+
+let name = "db"
+let description = "hash-indexed record store: inserts, lookups, updates, scans"
+
+let rec_class =
+  {
+    cname = "Rec";
+    super = None;
+    fields = [ "key"; "bal"; "age"; "nxt" ];
+    cmethods =
+      [
+        {
+          mname = "score";
+          params = [];
+          body =
+            [
+              Return
+                (Field (l "this", "Rec", "bal")
+                +: (Field (l "this", "Rec", "age") *: i 3));
+            ];
+        };
+        {
+          mname = "credit";
+          params = [ "amount" ];
+          body =
+            [
+              SetField
+                ( l "this",
+                  "Rec",
+                  "bal",
+                  Field (l "this", "Rec", "bal") +: l "amount" );
+              Return (Field (l "this", "Rec", "bal"));
+            ];
+        };
+      ];
+  }
+
+let insert_func =
+  {
+    mname = "insert";
+    params = [ "tab"; "key" ];
+    body =
+      [
+        Decl ("r", New "Rec");
+        SetField (l "r", "Rec", "key", l "key");
+        SetField (l "r", "Rec", "bal", CallS ("rnd", [ i 1000 ]));
+        SetField (l "r", "Rec", "age", CallS ("rnd", [ i 80 ]));
+        Decl ("h", l "key" %: Length (l "tab"));
+        SetField (l "r", "Rec", "nxt", Index (l "tab", l "h"));
+        SetIndex (l "tab", l "h", l "r");
+        Return (i 0);
+      ];
+  }
+
+let lookup_func =
+  {
+    mname = "lookup";
+    params = [ "tab"; "key" ];
+    body =
+      [
+        Decl ("r", Index (l "tab", l "key" %: Length (l "tab")));
+        While
+          ( l "r" <>: i 0,
+            [
+              If
+                (Field (l "r", "Rec", "key") =: l "key", [ Return (l "r") ], []);
+              Assign ("r", Field (l "r", "Rec", "nxt"));
+            ] );
+        Return (i 0);
+      ];
+  }
+
+let scan_func =
+  {
+    mname = "scan";
+    params = [ "tab" ];
+    body =
+      [
+        Decl ("acc", i 0);
+        Decl ("b", i 0);
+        While
+          ( l "b" <: Length (l "tab"),
+            [
+              Decl ("r", Index (l "tab", l "b"));
+              While
+                ( l "r" <>: i 0,
+                  [
+                    Assign ("acc", l "acc" +: CallV (l "r", "score", []));
+                    Assign ("r", Field (l "r", "Rec", "nxt"));
+                  ] );
+              Assign ("b", l "b" +: i 1);
+            ] );
+        Return (l "acc");
+      ];
+  }
+
+(* Secondary index: a sorted key array maintained by insertion sort,
+   searched by binary search -- the classic database index pair. *)
+let index_insert_func =
+  {
+    mname = "indexInsert";
+    params = [ "idx"; "count"; "key" ];
+    body =
+      [
+        Decl ("j", l "count");
+        (* no short-circuit And in MiniJava: guard the index explicitly *)
+        Decl ("go", i 1);
+        While
+          ( Bin (And, l "go" =: i 1, l "j" >: i 0),
+            [
+              If
+                ( Index (l "idx", l "j" -: i 1) >: l "key",
+                  [
+                    SetIndex (l "idx", l "j", Index (l "idx", l "j" -: i 1));
+                    Assign ("j", l "j" -: i 1);
+                  ],
+                  [ Assign ("go", i 0) ] );
+            ] );
+        SetIndex (l "idx", l "j", l "key");
+        Return (l "count" +: i 1);
+      ];
+  }
+
+let index_search_func =
+  {
+    mname = "indexSearch";
+    params = [ "idx"; "count"; "key" ];
+    body =
+      [
+        Decl ("lo", i 0);
+        Decl ("hi", l "count");
+        While
+          ( l "lo" <: l "hi",
+            [
+              Decl ("mid", (l "lo" +: l "hi") /: i 2);
+              If
+                ( Index (l "idx", l "mid") <: l "key",
+                  [ Assign ("lo", l "mid" +: i 1) ],
+                  [ Assign ("hi", l "mid") ] );
+            ] );
+        Return (l "lo");
+      ];
+  }
+
+let range_count_func =
+  {
+    mname = "rangeCount";
+    params = [ "idx"; "count"; "lo"; "hi" ];
+    body =
+      [
+        Return
+          (CallS ("indexSearch", [ l "idx"; l "count"; l "hi" ])
+          -: CallS ("indexSearch", [ l "idx"; l "count"; l "lo" ]));
+      ];
+  }
+
+let round_func =
+  {
+    mname = "round";
+    params = [ "k" ];
+    body =
+      [
+        Workload_lib.reseed (l "k");
+        Decl ("tab", NewArray (i 128));
+        Decl ("idx", NewArray (i 512));
+        Decl ("icount", i 0);
+        Decl ("j", i 0);
+        While
+          ( l "j" <: i 300,
+            [
+              Decl ("key", CallS ("rnd", [ i 10000 ]));
+              Expr (CallS ("insert", [ l "tab"; l "key" ]));
+              (* the index covers every other record *)
+              If
+                ( l "j" %: i 2 =: i 0,
+                  [
+                    Assign
+                      ( "icount",
+                        CallS ("indexInsert", [ l "idx"; l "icount"; l "key" ])
+                      );
+                  ],
+                  [] );
+              Assign ("j", l "j" +: i 1);
+            ] );
+        (* point queries and updates *)
+        Decl ("hits", i 0);
+        Assign ("j", i 0);
+        While
+          ( l "j" <: i 500,
+            [
+              Decl ("r", CallS ("lookup", [ l "tab"; CallS ("rnd", [ i 10000 ]) ]));
+              If
+                ( l "r" <>: i 0,
+                  [
+                    Assign ("hits", l "hits" +: i 1);
+                    Expr (CallV (l "r", "credit", [ i 7 ]));
+                  ],
+                  [] );
+              Assign ("j", l "j" +: i 1);
+            ] );
+        Expr (CallS ("mix", [ l "hits" ]));
+        Expr (CallS ("mix", [ CallS ("scan", [ l "tab" ]) ]));
+        (* range queries over the sorted index *)
+        Assign ("j", i 0);
+        While
+          ( l "j" <: i 40,
+            [
+              Decl ("lo2", CallS ("rnd", [ i 9000 ]));
+              Expr
+                (CallS
+                   ( "mix",
+                     [
+                       CallS
+                         ("rangeCount",
+                          [ l "idx"; l "icount"; l "lo2"; l "lo2" +: i 800 ]);
+                     ] ));
+              Assign ("j", l "j" +: i 1);
+            ] );
+        Return (i 0);
+      ];
+  }
+
+let build ~scale =
+  Codegen.compile ~name
+    (Workload_lib.program ~classes:[ rec_class ]
+       ~funcs:
+         [ insert_func; lookup_func; scan_func; index_insert_func;
+           index_search_func; range_count_func; round_func ]
+       ~rounds:(6 * scale) ~round_name:"round" ())

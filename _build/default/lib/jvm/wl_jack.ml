@@ -1,0 +1,203 @@
+(* jack: parser-generator workload (SPECjvm98 _228_jack substitute).
+
+   Lexes a synthetic source text with a character-class state machine,
+   then checks the token stream with a recursive-descent expression parser
+   (balanced parentheses, alternating operands/operators).  Scanner loops
+   plus a recursive parser -- the instruction mix of lexical analysis. *)
+
+open Minijava
+
+let name = "jack"
+let description = "lexer and recursive-descent checker over synthetic source text"
+
+(* Character classes: 0 space, 1 letter, 2 digit, 3 open paren, 4 close
+   paren, 5 operator. *)
+let gen_text_func =
+  {
+    mname = "genText";
+    params = [ "text" ];
+    body =
+      [
+        (* Generate plausible token soup with nesting kept balanced. *)
+        Decl ("k", i 0);
+        Decl ("depth", i 0);
+        While
+          ( l "k" <: Length (l "text") -: i 1,
+            [
+              Decl ("c", CallS ("rnd", [ i 10 ]));
+              Decl ("cls", i 0);
+              (* character-class selection is a textbook tableswitch *)
+              Switch
+                ( l "c",
+                  [
+                    (0, [ Assign ("cls", i 0) ]);
+                    (1, [ Assign ("cls", i 1) ]);
+                    (2, [ Assign ("cls", i 1) ]);
+                    (3, [ Assign ("cls", i 1) ]);
+                    (4, [ Assign ("cls", i 2) ]);
+                    (5, [ Assign ("cls", i 2) ]);
+                    (6,
+                     [ Assign ("cls", i 3); Assign ("depth", l "depth" +: i 1) ]);
+                    (7,
+                     [
+                       If
+                         ( l "depth" >: i 0,
+                           [
+                             Assign ("cls", i 4);
+                             Assign ("depth", l "depth" -: i 1);
+                           ],
+                           [ Assign ("cls", i 0) ] );
+                     ]);
+                  ],
+                  [ Assign ("cls", i 5) ] );
+              SetIndex (l "text", l "k", l "cls");
+              Assign ("k", l "k" +: i 1);
+            ] );
+        (* close any remaining nesting *)
+        SetIndex (l "text", Length (l "text") -: i 1, i 0);
+        Return (l "depth");
+      ];
+  }
+
+(* Tokenise: runs of letters are identifiers, runs of digits numbers;
+   stores token codes into [toks], returns the count. *)
+let lex_func =
+  {
+    mname = "lex";
+    params = [ "text"; "toks" ];
+    body =
+      [
+        Decl ("n", i 0);
+        Decl ("k", i 0);
+        While
+          ( l "k" <: Length (l "text"),
+            [
+              Decl ("cls", Index (l "text", l "k"));
+              If
+                ( l "cls" =: i 0,
+                  [ Assign ("k", l "k" +: i 1) ],
+                  [
+                    If
+                      ( Bin (Or, l "cls" =: i 1, l "cls" =: i 2),
+                        [
+                          (* absorb the run *)
+                          Decl ("start", l "k");
+                          While
+                            ( Bin
+                                ( And,
+                                  l "k" <: Length (l "text"),
+                                  Index (l "text", l "k") =: l "cls" ),
+                              [ Assign ("k", l "k" +: i 1) ] );
+                          SetIndex (l "toks", l "n", l "cls");
+                          Assign ("n", l "n" +: i 1);
+                          Expr (CallS ("mix", [ l "k" -: l "start" ]));
+                        ],
+                        [
+                          SetIndex (l "toks", l "n", l "cls");
+                          Assign ("n", l "n" +: i 1);
+                          Assign ("k", l "k" +: i 1);
+                        ] );
+                  ] );
+            ] );
+        Return (l "n");
+      ];
+  }
+
+(* Recursive-descent well-formedness check over the token stream.
+   Grammar: expr := atom (op atom)* ; atom := ident | number | '(' expr ')'.
+   Position is threaded through the static "pos"; returns 1 on success. *)
+let parse_atom_func =
+  {
+    mname = "parseAtom";
+    params = [ "toks"; "n" ];
+    body =
+      [
+        If (StaticVar "pos" >=: l "n", [ Return (i 0) ], []);
+        Decl ("t", Index (l "toks", StaticVar "pos"));
+        If
+          ( Bin (Or, l "t" =: i 1, l "t" =: i 2),
+            [ SetStatic ("pos", StaticVar "pos" +: i 1); Return (i 1) ],
+            [] );
+        If
+          ( l "t" =: i 3,
+            [
+              SetStatic ("pos", StaticVar "pos" +: i 1);
+              If (CallS ("parseExpr", [ l "toks"; l "n" ]) =: i 0, [ Return (i 0) ], []);
+              If
+                ( Bin
+                    ( And,
+                      StaticVar "pos" <: l "n",
+                      Index (l "toks", StaticVar "pos") =: i 4 ),
+                  [ SetStatic ("pos", StaticVar "pos" +: i 1); Return (i 1) ],
+                  [ Return (i 0) ] );
+            ],
+            [] );
+        Return (i 0);
+      ];
+  }
+
+let parse_expr_func =
+  {
+    mname = "parseExpr";
+    params = [ "toks"; "n" ];
+    body =
+      [
+        If (CallS ("parseAtom", [ l "toks"; l "n" ]) =: i 0, [ Return (i 0) ], []);
+        While
+          ( Bin
+              ( And,
+                StaticVar "pos" <: l "n",
+                Index (l "toks", StaticVar "pos") =: i 5 ),
+            [
+              SetStatic ("pos", StaticVar "pos" +: i 1);
+              If
+                ( CallS ("parseAtom", [ l "toks"; l "n" ]) =: i 0,
+                  [ Return (i 0) ],
+                  [] );
+            ] );
+        Return (i 1);
+      ];
+  }
+
+let round_func =
+  {
+    mname = "round";
+    params = [ "k" ];
+    body =
+      [
+        Workload_lib.reseed (l "k");
+        Decl ("text", NewArray (i 800));
+        Decl ("toks", NewArray (i 800));
+        Expr (CallS ("mix", [ CallS ("genText", [ l "text" ]) ]));
+        Decl ("n", CallS ("lex", [ l "text"; l "toks" ]));
+        Expr (CallS ("mix", [ l "n" ]));
+        (* Parse as many expressions as the stream yields. *)
+        SetStatic ("pos", i 0);
+        Decl ("good", i 0);
+        Decl ("bad", i 0);
+        While
+          ( StaticVar "pos" <: l "n",
+            [
+              Decl ("before", StaticVar "pos");
+              If
+                ( CallS ("parseExpr", [ l "toks"; l "n" ]) =: i 1,
+                  [ Assign ("good", l "good" +: i 1) ],
+                  [ Assign ("bad", l "bad" +: i 1) ] );
+              (* always make progress *)
+              If
+                ( StaticVar "pos" =: l "before",
+                  [ SetStatic ("pos", StaticVar "pos" +: i 1) ],
+                  [] );
+            ] );
+        Expr (CallS ("mix", [ l "good" ]));
+        Expr (CallS ("mix", [ l "bad" ]));
+        Return (i 0);
+      ];
+  }
+
+let build ~scale =
+  Codegen.compile ~name
+    (Workload_lib.program
+       ~funcs:[ gen_text_func; lex_func; parse_atom_func; parse_expr_func;
+                round_func ]
+       ~rounds:(8 * scale) ~round_name:"round" ())

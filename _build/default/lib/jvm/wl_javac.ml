@@ -1,0 +1,241 @@
+(* javac: compiler workload (SPECjvm98 _213_javac substitute).
+
+   Builds random expression ASTs as a class hierarchy with virtual [eval]
+   and [emit] methods, compiles them to a small stack code, executes that
+   code, and cross-checks interpreter against compiler -- the polymorphic
+   tree walking at the heart of a compiler front end. *)
+
+open Minijava
+
+let name = "javac"
+let description = "expression compiler: polymorphic AST eval/emit plus stack VM"
+
+(* Node kinds: 0 literal, 1 add, 2 sub, 3 mul.  A single class keeps field
+   resolution simple; [eval]/[emit] are virtual and overridden by the
+   binary-operation subclasses, so invokevirtual sees multiple receivers. *)
+let node_class =
+  {
+    cname = "Node";
+    super = None;
+    fields = [ "v"; "lhs"; "rhs" ];
+    cmethods =
+      [
+        {
+          mname = "eval";
+          params = [];
+          body = [ Return (Field (l "this", "Node", "v")) ];
+        };
+        {
+          mname = "emit";
+          params = [ "code"; "len" ];
+          body =
+            [
+              (* push-const v *)
+              SetIndex (l "code", l "len", i 0);
+              SetIndex
+                (l "code", l "len" +: i 1, Field (l "this", "Node", "v"));
+              Return (l "len" +: i 2);
+            ];
+        };
+      ];
+  }
+
+let binop_class ~cname ~opcode ~eval_body =
+  {
+    cname;
+    super = Some "Node";
+    fields = [];
+    cmethods =
+      [
+        { mname = "eval"; params = []; body = eval_body };
+        {
+          mname = "emit";
+          params = [ "code"; "len" ];
+          body =
+            [
+              Decl
+                ( "len2",
+                  CallV
+                    ( Field (l "this", "Node", "lhs"),
+                      "emit",
+                      [ l "code"; l "len" ] ) );
+              Decl
+                ( "len3",
+                  CallV
+                    ( Field (l "this", "Node", "rhs"),
+                      "emit",
+                      [ l "code"; l "len2" ] ) );
+              SetIndex (l "code", l "len3", i opcode);
+              Return (l "len3" +: i 1);
+            ];
+        };
+      ];
+  }
+
+let lhs_eval = CallV (Field (l "this", "Node", "lhs"), "eval", [])
+let rhs_eval = CallV (Field (l "this", "Node", "rhs"), "eval", [])
+
+let add_class =
+  binop_class ~cname:"AddNode" ~opcode:1 ~eval_body:[ Return (lhs_eval +: rhs_eval) ]
+
+let sub_class =
+  binop_class ~cname:"SubNode" ~opcode:2 ~eval_body:[ Return (lhs_eval -: rhs_eval) ]
+
+let mul_class =
+  binop_class ~cname:"MulNode" ~opcode:3
+    ~eval_body:[ Return (Bin (And, lhs_eval *: rhs_eval, Big 1048575)) ]
+
+let and_class =
+  binop_class ~cname:"AndNode" ~opcode:4
+    ~eval_body:[ Return (Bin (And, lhs_eval, rhs_eval)) ]
+
+let or_class =
+  binop_class ~cname:"OrNode" ~opcode:5
+    ~eval_body:[ Return (Bin (Or, lhs_eval, rhs_eval)) ]
+
+let xor_class =
+  binop_class ~cname:"XorNode" ~opcode:6
+    ~eval_body:[ Return (Bin (Xor, lhs_eval, rhs_eval)) ]
+
+let min_class =
+  binop_class ~cname:"MinNode" ~opcode:7
+    ~eval_body:
+      [
+        Decl ("a", lhs_eval);
+        Decl ("b", rhs_eval);
+        If (l "a" <: l "b", [ Return (l "a") ], [ Return (l "b") ]);
+      ]
+
+let max_class =
+  binop_class ~cname:"MaxNode" ~opcode:8
+    ~eval_body:
+      [
+        Decl ("a", lhs_eval);
+        Decl ("b", rhs_eval);
+        If (l "a" >: l "b", [ Return (l "a") ], [ Return (l "b") ]);
+      ]
+
+(* Build a random tree of the given depth budget. *)
+let build_tree_func =
+  {
+    mname = "buildTree";
+    params = [ "depth" ];
+    body =
+      [
+        If
+          ( Bin (Or, l "depth" <=: i 0, CallS ("rnd", [ i 4 ]) =: i 0),
+            [
+              Decl ("leaf", New "Node");
+              SetField (l "leaf", "Node", "v", CallS ("rnd", [ i 100 ]));
+              Return (l "leaf");
+            ],
+            [] );
+        Decl ("kind", CallS ("rnd", [ i 8 ]));
+        Decl ("node", i 0);
+        If (l "kind" =: i 0, [ Assign ("node", New "AddNode") ], []);
+        If (l "kind" =: i 1, [ Assign ("node", New "SubNode") ], []);
+        If (l "kind" =: i 2, [ Assign ("node", New "MulNode") ], []);
+        If (l "kind" =: i 3, [ Assign ("node", New "AndNode") ], []);
+        If (l "kind" =: i 4, [ Assign ("node", New "OrNode") ], []);
+        If (l "kind" =: i 5, [ Assign ("node", New "XorNode") ], []);
+        If (l "kind" =: i 6, [ Assign ("node", New "MinNode") ], []);
+        If (l "kind" =: i 7, [ Assign ("node", New "MaxNode") ], []);
+        SetField
+          (l "node", "Node", "lhs", CallS ("buildTree", [ l "depth" -: i 1 ]));
+        SetField
+          (l "node", "Node", "rhs", CallS ("buildTree", [ l "depth" -: i 1 ]));
+        Return (l "node");
+      ];
+  }
+
+(* Execute the emitted stack code. *)
+let run_code_func =
+  {
+    mname = "runCode";
+    params = [ "code"; "len"; "stk" ];
+    body =
+      [
+        Decl ("sp", i 0);
+        Decl ("ip", i 0);
+        While
+          ( l "ip" <: l "len",
+            [
+              Decl ("op", Index (l "code", l "ip"));
+              If
+                ( l "op" =: i 0,
+                  [
+                    SetIndex (l "stk", l "sp", Index (l "code", l "ip" +: i 1));
+                    Assign ("sp", l "sp" +: i 1);
+                    Assign ("ip", l "ip" +: i 2);
+                  ],
+                  [
+                    Decl ("b", Index (l "stk", l "sp" -: i 1));
+                    Decl ("a", Index (l "stk", l "sp" -: i 2));
+                    Decl ("r", i 0);
+                    (* the hosted VM's own dispatch: a tableswitch *)
+                    Switch
+                      ( l "op",
+                        [
+                          (1, [ Assign ("r", l "a" +: l "b") ]);
+                          (2, [ Assign ("r", l "a" -: l "b") ]);
+                          (3,
+                           [
+                             Assign
+                               ("r", Bin (And, l "a" *: l "b", Big 1048575));
+                           ]);
+                          (4, [ Assign ("r", Bin (And, l "a", l "b")) ]);
+                          (5, [ Assign ("r", Bin (Or, l "a", l "b")) ]);
+                          (6, [ Assign ("r", Bin (Xor, l "a", l "b")) ]);
+                          (7,
+                           [
+                             If
+                               ( l "a" <: l "b",
+                                 [ Assign ("r", l "a") ],
+                                 [ Assign ("r", l "b") ] );
+                           ]);
+                          (8,
+                           [
+                             If
+                               ( l "a" >: l "b",
+                                 [ Assign ("r", l "a") ],
+                                 [ Assign ("r", l "b") ] );
+                           ]);
+                        ],
+                        [] );
+                    SetIndex (l "stk", l "sp" -: i 2, l "r");
+                    Assign ("sp", l "sp" -: i 1);
+                    Assign ("ip", l "ip" +: i 1);
+                  ] );
+            ] );
+        Return (Index (l "stk", i 0));
+      ];
+  }
+
+let round_func =
+  {
+    mname = "round";
+    params = [ "k" ];
+    body =
+      [
+        Workload_lib.reseed (l "k");
+        Decl ("tree", CallS ("buildTree", [ i 7 ]));
+        Decl ("direct", CallV (l "tree", "eval", []));
+        Decl ("code", NewArray (i 2048));
+        Decl ("stk", NewArray (i 256));
+        Decl ("len", CallV (l "tree", "emit", [ l "code"; i 0 ]));
+        Decl ("compiled", CallS ("runCode", [ l "code"; l "len"; l "stk" ]));
+        Expr (CallS ("mix", [ l "direct" -: l "compiled" ]));
+        Expr (CallS ("mix", [ l "direct" ]));
+        Expr (CallS ("mix", [ l "len" ]));
+        Return (i 0);
+      ];
+  }
+
+let build ~scale =
+  Codegen.compile ~name
+    (Workload_lib.program
+       ~classes:
+         [ node_class; add_class; sub_class; mul_class; and_class; or_class;
+           xor_class; min_class; max_class ]
+       ~funcs:[ build_tree_func; run_code_func; round_func ]
+       ~rounds:(30 * scale) ~round_name:"round" ())

@@ -1,0 +1,133 @@
+(* jess: rule-engine workload (SPECjvm98 _202_jess substitute).
+
+   Forward-chaining transitive closure: facts are heap objects on a
+   worklist; the single rule edge(a,b) & edge(b,c) => edge(a,c) fires until
+   fixpoint, with an adjacency matrix for duplicate suppression -- the
+   working-memory pattern of a production system. *)
+
+open Minijava
+
+let name = "jess"
+let description = "forward-chaining rule engine: transitive closure to fixpoint"
+
+let fact_class =
+  {
+    cname = "Fact";
+    super = None;
+    fields = [ "a"; "b"; "nxt" ];
+    cmethods =
+      [
+        {
+          mname = "tag";
+          params = [];
+          body =
+            [
+              Return
+                ((Field (l "this", "Fact", "a") *: i 64)
+                +: Field (l "this", "Fact", "b"));
+            ];
+        };
+      ];
+  }
+
+(* assertFact: add edge (a,b) if new; push on the worklist head held in
+   static "agenda"; returns 1 when a new fact was asserted. *)
+let assert_func =
+  {
+    mname = "assertFact";
+    params = [ "adj"; "n"; "a"; "b" ];
+    body =
+      [
+        Decl ("idx", (l "a" *: l "n") +: l "b");
+        If (Index (l "adj", l "idx") <>: i 0, [ Return (i 0) ], []);
+        SetIndex (l "adj", l "idx", i 1);
+        Decl ("f", New "Fact");
+        SetField (l "f", "Fact", "a", l "a");
+        SetField (l "f", "Fact", "b", l "b");
+        SetField (l "f", "Fact", "nxt", StaticVar "agenda");
+        SetStatic ("agenda", l "f");
+        SetStatic ("nfacts", StaticVar "nfacts" +: i 1);
+        Return (i 1);
+      ];
+  }
+
+let run_rules_func =
+  {
+    mname = "runRules";
+    params = [ "adj"; "n" ];
+    body =
+      [
+        While
+          ( StaticVar "agenda" <>: i 0,
+            [
+              Decl ("f", StaticVar "agenda");
+              SetStatic ("agenda", Field (l "f", "Fact", "nxt"));
+              Decl ("a", Field (l "f", "Fact", "a"));
+              Decl ("b", Field (l "f", "Fact", "b"));
+              (* rule 1: (a,b) joined with (b,c) gives (a,c) *)
+              Decl ("c", i 0);
+              While
+                ( l "c" <: l "n",
+                  [
+                    If
+                      ( Index (l "adj", (l "b" *: l "n") +: l "c") <>: i 0,
+                        [
+                          Expr
+                            (CallS ("assertFact", [ l "adj"; l "n"; l "a"; l "c" ]));
+                        ],
+                        [] );
+                    Assign ("c", l "c" +: i 1);
+                  ] );
+              (* rule 2: (x,a) joined with (a,b) gives (x,b) *)
+              Decl ("x", i 0);
+              While
+                ( l "x" <: l "n",
+                  [
+                    If
+                      ( Index (l "adj", (l "x" *: l "n") +: l "a") <>: i 0,
+                        [
+                          Expr
+                            (CallS ("assertFact", [ l "adj"; l "n"; l "x"; l "b" ]));
+                        ],
+                        [] );
+                    Assign ("x", l "x" +: i 1);
+                  ] );
+              Expr (CallS ("mix", [ CallV (l "f", "tag", []) ]));
+            ] );
+        Return (i 0);
+      ];
+  }
+
+let round_func =
+  {
+    mname = "round";
+    params = [ "k" ];
+    body =
+      [
+        Workload_lib.reseed (l "k");
+        Decl ("n", i 24);
+        Decl ("adj", NewArray (l "n" *: l "n"));
+        SetStatic ("agenda", i 0);
+        SetStatic ("nfacts", i 0);
+        Decl ("j", i 0);
+        While
+          ( l "j" <: i 40,
+            [
+              Expr
+                (CallS
+                   ( "assertFact",
+                     [ l "adj"; l "n"; CallS ("rnd", [ l "n" ]);
+                       CallS ("rnd", [ l "n" ]) ] ));
+              Assign ("j", l "j" +: i 1);
+            ] );
+        Expr (CallS ("runRules", [ l "adj"; l "n" ]));
+        Expr (CallS ("mix", [ StaticVar "nfacts" ]));
+        Return (i 0);
+      ];
+  }
+
+let build ~scale =
+  Codegen.compile ~name
+    (Workload_lib.program ~classes:[ fact_class ]
+       ~funcs:[ assert_func; run_rules_func; round_func ]
+       ~rounds:(20 * scale) ~round_name:"round" ())

@@ -1,0 +1,214 @@
+(* mpeg: audio-decoder workload (SPECjvm98 _222_mpegaudio substitute).
+
+   Fixed-point subband synthesis: windowed dot products over a PCM buffer,
+   butterfly passes, and quantisation.  Long, regular basic blocks of
+   integer arithmetic -- the opposite instruction mix to the pointer-chasing
+   workloads, matching mpegaudio's role in the paper's figures. *)
+
+open Minijava
+
+let name = "mpeg"
+let description = "fixed-point subband filter: dot products, butterflies, quantisation"
+
+let fill_window_func =
+  {
+    mname = "fillWindow";
+    params = [ "w" ];
+    body =
+      [
+        Decl ("k", i 0);
+        While
+          ( l "k" <: Length (l "w"),
+            [
+              (* a deterministic pseudo-window, roughly a raised cosine *)
+              SetIndex
+                ( l "w",
+                  l "k",
+                  i 512
+                  -: ((l "k" -: i 16) *: (l "k" -: i 16)) );
+              Assign ("k", l "k" +: i 1);
+            ] );
+        Return (i 0);
+      ];
+  }
+
+let fill_pcm_func =
+  {
+    mname = "fillPcm";
+    params = [ "pcm" ];
+    body =
+      [
+        Decl ("k", i 0);
+        Decl ("acc", i 0);
+        While
+          ( l "k" <: Length (l "pcm"),
+            [
+              (* smoothed noise: previous sample plus a random step *)
+              Assign ("acc", l "acc" +: (CallS ("rnd", [ i 65 ]) -: i 32));
+              SetIndex (l "pcm", l "k", l "acc");
+              Assign ("k", l "k" +: i 1);
+            ] );
+        Return (i 0);
+      ];
+  }
+
+(* One subband sample: windowed dot product of 32 samples. *)
+let subband_func =
+  {
+    mname = "subband";
+    params = [ "pcm"; "w"; "base" ];
+    body =
+      [
+        Decl ("acc", i 0);
+        Decl ("k", i 0);
+        While
+          ( l "k" <: i 32,
+            [
+              Assign
+                ( "acc",
+                  l "acc"
+                  +: (Index (l "pcm", l "base" +: l "k") *: Index (l "w", l "k"))
+                );
+              Assign ("k", l "k" +: i 1);
+            ] );
+        Return (Bin (Shr, l "acc", i 8));
+      ];
+  }
+
+(* In-place butterfly passes over a 32-entry band array. *)
+let butterfly_func =
+  {
+    mname = "butterfly";
+    params = [ "band" ];
+    body =
+      [
+        Decl ("span", i 16);
+        While
+          ( l "span" >: i 0,
+            [
+              Decl ("j", i 0);
+              While
+                ( l "j" <: i 32,
+                  [
+                    Decl ("t", l "j" %: (l "span" *: i 2));
+                    If
+                      ( l "t" <: l "span",
+                        [
+                          Decl ("a", Index (l "band", l "j"));
+                          Decl ("b", Index (l "band", l "j" +: l "span"));
+                          SetIndex (l "band", l "j", l "a" +: l "b");
+                          SetIndex
+                            ( l "band",
+                              l "j" +: l "span",
+                              Bin (Shr, l "a" -: l "b", i 1) );
+                        ],
+                        [] );
+                    Assign ("j", l "j" +: i 1);
+                  ] );
+              Assign ("span", l "span" /: i 2);
+            ] );
+        Return (i 0);
+      ];
+  }
+
+let quantise_func =
+  {
+    mname = "quantise";
+    params = [ "band" ];
+    body =
+      [
+        Decl ("acc", i 0);
+        Decl ("k", i 0);
+        While
+          ( l "k" <: i 32,
+            [
+              Decl ("q", Index (l "band", l "k") /: (i 1 +: l "k"));
+              Assign ("acc", Bin (And, l "acc" +: (l "q" *: l "q"), Big 1073741823));
+              Assign ("k", l "k" +: i 1);
+            ] );
+        Return (l "acc");
+      ];
+  }
+
+(* Hand-specialised filters for the lowest eight subbands, as a tuned
+   decoder would have: fully unrolled windowed dot products, with the
+   unrolling idiom varying from band to band. *)
+let specialised_subband band =
+  let rec unrolled k =
+    if k >= 32 then []
+    else
+      match (band + k) mod 2 with
+      | 0 ->
+          Assign
+            ( "acc",
+              l "acc"
+              +: (Index (l "pcm", l "base" +: i k) *: Index (l "w", i k)) )
+          :: unrolled (k + 1)
+      | _ ->
+          Decl (Printf.sprintf "t%d" (k mod 4),
+                Index (l "pcm", l "base" +: i k) *: Index (l "w", i k))
+          :: Assign ("acc", l "acc" +: l (Printf.sprintf "t%d" (k mod 4)))
+          :: unrolled (k + 1)
+  in
+  {
+    mname = Printf.sprintf "subband%d" band;
+    params = [ "pcm"; "w"; "base" ];
+    body = (Decl ("acc", i 0) :: unrolled 0) @ [ Return (Bin (Shr, l "acc", i 8)) ];
+  }
+
+let specialised = List.init 8 specialised_subband
+
+let round_func =
+  {
+    mname = "round";
+    params = [ "k" ];
+    body =
+      [
+        Workload_lib.reseed (l "k");
+        Decl ("pcm", NewArray (i 1024));
+        Decl ("w", NewArray (i 32));
+        Decl ("band", NewArray (i 32));
+        Expr (CallS ("fillWindow", [ l "w" ]));
+        Expr (CallS ("fillPcm", [ l "pcm" ]));
+        Decl ("frame", i 0);
+        While
+          ( l "frame" <: i 30,
+            [
+              (* the eight specialised low bands, then the generic loop *)
+              Decl ("base", l "frame" *: i 32);
+              SetIndex (l "band", i 0, CallS ("subband0", [ l "pcm"; l "w"; l "base" ]));
+              SetIndex (l "band", i 1, CallS ("subband1", [ l "pcm"; l "w"; l "base" +: i 1 ]));
+              SetIndex (l "band", i 2, CallS ("subband2", [ l "pcm"; l "w"; l "base" +: i 2 ]));
+              SetIndex (l "band", i 3, CallS ("subband3", [ l "pcm"; l "w"; l "base" +: i 3 ]));
+              SetIndex (l "band", i 4, CallS ("subband4", [ l "pcm"; l "w"; l "base" +: i 4 ]));
+              SetIndex (l "band", i 5, CallS ("subband5", [ l "pcm"; l "w"; l "base" +: i 5 ]));
+              SetIndex (l "band", i 6, CallS ("subband6", [ l "pcm"; l "w"; l "base" +: i 6 ]));
+              SetIndex (l "band", i 7, CallS ("subband7", [ l "pcm"; l "w"; l "base" +: i 7 ]));
+              Decl ("b", i 8);
+              While
+                ( l "b" <: i 32,
+                  [
+                    SetIndex
+                      ( l "band",
+                        l "b",
+                        CallS
+                          ("subband", [ l "pcm"; l "w"; l "base" +: l "b" ])
+                      );
+                    Assign ("b", l "b" +: i 1);
+                  ] );
+              Expr (CallS ("butterfly", [ l "band" ]));
+              Expr (CallS ("mix", [ CallS ("quantise", [ l "band" ]) ]));
+              Assign ("frame", l "frame" +: i 1);
+            ] );
+        Return (i 0);
+      ];
+  }
+
+let build ~scale =
+  Codegen.compile ~name
+    (Workload_lib.program
+       ~funcs:
+         ([ fill_window_func; fill_pcm_func; subband_func; butterfly_func;
+            quantise_func; round_func ]
+         @ specialised)
+       ~rounds:(2 * scale) ~round_name:"round" ())

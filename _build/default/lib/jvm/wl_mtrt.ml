@@ -1,0 +1,221 @@
+(* mtrt: ray-tracer workload (SPECjvm98 _227_mtrt substitute).
+
+   Fixed-point (10-bit) sphere tracing: spheres are heap objects with a
+   virtual [hit] method, rays sweep a small image plane, and shading uses
+   the integer square root.  Virtual dispatch over a scene list plus
+   arithmetic-heavy intersection math. *)
+
+open Minijava
+
+let name = "mtrt"
+let description = "fixed-point ray tracer: virtual intersections over a scene list"
+
+let fx = 1024
+
+(* Sphere: centre (cx,cy,cz), radius r, colour, and a [nxt] scene link.
+   hit(ox,oy,oz,dx,dy,dz) returns the fixed-point ray parameter, or -1. *)
+let sphere_class =
+  {
+    cname = "Sphere";
+    super = None;
+    fields = [ "cx"; "cy"; "cz"; "r"; "colour"; "nxt" ];
+    cmethods =
+      [
+        {
+          mname = "hit";
+          params = [ "ox"; "oy"; "oz"; "dx"; "dy"; "dz" ];
+          body =
+            [
+              Decl ("lx", Field (l "this", "Sphere", "cx") -: l "ox");
+              Decl ("ly", Field (l "this", "Sphere", "cy") -: l "oy");
+              Decl ("lz", Field (l "this", "Sphere", "cz") -: l "oz");
+              (* tca = L . D  (fixed point) *)
+              Decl
+                ( "tca",
+                  Bin
+                    ( Shr,
+                      (l "lx" *: l "dx") +: (l "ly" *: l "dy")
+                      +: (l "lz" *: l "dz"),
+                      i 10 ) );
+              If (l "tca" <: i 0, [ Return (Neg (i 1)) ], []);
+              Decl
+                ( "d2",
+                  Bin
+                    ( Shr,
+                      (l "lx" *: l "lx") +: (l "ly" *: l "ly")
+                      +: (l "lz" *: l "lz"),
+                      i 10 )
+                  -: Bin (Shr, l "tca" *: l "tca", i 10) );
+              Decl
+                ( "r2",
+                  Bin
+                    ( Shr,
+                      Field (l "this", "Sphere", "r")
+                      *: Field (l "this", "Sphere", "r"),
+                      i 10 ) );
+              If (l "d2" >: l "r2", [ Return (Neg (i 1)) ], []);
+              Decl
+                ( "thc",
+                  CallS ("isqrt", [ Bin (Shl, l "r2" -: l "d2", i 10) ]) );
+              Return (l "tca" -: l "thc");
+            ];
+        };
+        {
+          mname = "shade";
+          params = [ "t" ];
+          body =
+            [
+              (* simple distance attenuation of the sphere's colour *)
+              Decl ("att", i 4096 -: Bin (Shr, l "t", i 2));
+              If (l "att" <: i 0, [ Assign ("att", i 0) ], []);
+              Return
+                (Bin
+                   ( Shr,
+                     Field (l "this", "Sphere", "colour") *: l "att",
+                     i 12 ));
+            ];
+        };
+      ];
+  }
+
+(* Material subclasses override [shade]: the scene list is heterogeneous,
+   so invokevirtual sees polymorphic receivers, as in the real mtrt. *)
+let material_class ~cname ~shade_body =
+  {
+    cname;
+    super = Some "Sphere";
+    fields = [];
+    cmethods = [ { mname = "shade"; params = [ "t" ]; body = shade_body } ];
+  }
+
+let matte_class =
+  material_class ~cname:"MatteSphere"
+    ~shade_body:
+      [
+        Decl ("att", i 3000 -: Bin (Shr, l "t", i 3));
+        If (l "att" <: i 0, [ Assign ("att", i 0) ], []);
+        Return
+          (Bin (Shr, Field (l "this", "Sphere", "colour") *: l "att", i 12));
+      ]
+
+let shiny_class =
+  material_class ~cname:"ShinySphere"
+    ~shade_body:
+      [
+        (* specular-ish: quadratic falloff via isqrt *)
+        Decl ("a", i 8192 -: Bin (Shr, l "t", i 1));
+        If (l "a" <: i 0, [ Assign ("a", i 0) ], []);
+        Decl ("spec", CallS ("isqrt", [ l "a" ]));
+        Return
+          (Bin
+             ( Shr,
+               Field (l "this", "Sphere", "colour") *: (l "a" +: (l "spec" *: i 16)),
+               i 13 ));
+      ]
+
+let glow_class =
+  material_class ~cname:"GlowSphere"
+    ~shade_body:
+      [ Return (Field (l "this", "Sphere", "colour") +: Bin (And, l "t", i 63)) ]
+
+let make_scene_func =
+  {
+    mname = "makeScene";
+    params = [ "count" ];
+    body =
+      [
+        Decl ("head", i 0);
+        Decl ("j", i 0);
+        While
+          ( l "j" <: l "count",
+            [
+              Decl ("kind", CallS ("rnd", [ i 4 ]));
+              Decl ("s", i 0);
+              If (l "kind" =: i 0, [ Assign ("s", New "Sphere") ], []);
+              If (l "kind" =: i 1, [ Assign ("s", New "MatteSphere") ], []);
+              If (l "kind" =: i 2, [ Assign ("s", New "ShinySphere") ], []);
+              If (l "kind" =: i 3, [ Assign ("s", New "GlowSphere") ], []);
+              SetField
+                ( l "s", "Sphere", "cx",
+                  (CallS ("rnd", [ i 2048 ]) -: i 1024) *: i 4 );
+              SetField
+                ( l "s", "Sphere", "cy",
+                  (CallS ("rnd", [ i 2048 ]) -: i 1024) *: i 4 );
+              SetField
+                ( l "s", "Sphere", "cz",
+                  (CallS ("rnd", [ i 2048 ]) +: i 2048) *: i 4 );
+              SetField
+                ("s" |> l, "Sphere", "r", (CallS ("rnd", [ i 512 ]) +: i 512) *: i 2);
+              SetField (l "s", "Sphere", "colour", CallS ("rnd", [ i 256 ]));
+              SetField (l "s", "Sphere", "nxt", l "head");
+              Assign ("head", l "s");
+              Assign ("j", l "j" +: i 1);
+            ] );
+        Return (l "head");
+      ];
+  }
+
+(* Trace one ray through the scene list; returns the shaded colour. *)
+let trace_func =
+  {
+    mname = "trace";
+    params = [ "scene"; "dx"; "dy"; "dz" ];
+    body =
+      [
+        Decl ("best", Big 1073741823);
+        Decl ("hitobj", i 0);
+        Decl ("s", l "scene");
+        While
+          ( l "s" <>: i 0,
+            [
+              Decl
+                ( "t",
+                  CallV
+                    (l "s", "hit", [ i 0; i 0; i 0; l "dx"; l "dy"; l "dz" ]) );
+              If
+                ( Bin (And, l "t" >=: i 0, l "t" <: l "best"),
+                  [ Assign ("best", l "t"); Assign ("hitobj", l "s") ],
+                  [] );
+              Assign ("s", Field (l "s", "Sphere", "nxt"));
+            ] );
+        If (l "hitobj" =: i 0, [ Return (i 0) ], []);
+        Return (CallV (l "hitobj", "shade", [ l "best" ]));
+      ];
+  }
+
+let round_func =
+  {
+    mname = "round";
+    params = [ "k" ];
+    body =
+      [
+        Workload_lib.reseed (l "k");
+        Decl ("scene", CallS ("makeScene", [ i 12 ]));
+        Decl ("py", i 0);
+        While
+          ( l "py" <: i 18,
+            [
+              Decl ("px", i 0);
+              While
+                ( l "px" <: i 24,
+                  [
+                    Decl ("dx", (l "px" -: i 12) *: i 64);
+                    Decl ("dy", (l "py" -: i 9) *: i 64);
+                    Decl ("dz", i fx);
+                    Expr
+                      (CallS
+                         ("mix", [ CallS ("trace", [ l "scene"; l "dx"; l "dy"; l "dz" ]) ]));
+                    Assign ("px", l "px" +: i 1);
+                  ] );
+              Assign ("py", l "py" +: i 1);
+            ] );
+        Return (i 0);
+      ];
+  }
+
+let build ~scale =
+  Codegen.compile ~name
+    (Workload_lib.program
+       ~classes:[ sphere_class; matte_class; shiny_class; glow_class ]
+       ~funcs:[ make_scene_func; trace_func; round_func ]
+       ~rounds:scale ~round_name:"round" ())

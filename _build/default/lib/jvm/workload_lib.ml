@@ -1,0 +1,80 @@
+(* Shared MiniJava fragments for the JVM workloads: deterministic PRNG,
+   checksum mixing, integer square root, and the driver skeleton. *)
+
+open Minijava
+
+(* seed = (seed * 1103515245 + 12345) & 0x7fffffff; return seed %% n *)
+let rnd_func =
+  {
+    mname = "rnd";
+    params = [ "n" ];
+    body =
+      [
+        SetStatic
+          ( "seed",
+            Bin
+              ( And,
+                (StaticVar "seed" *: Big 1103515245) +: Big 12345,
+                Big 2147483647 ) );
+        Return (StaticVar "seed" %: l "n");
+      ];
+  }
+
+(* chk = (chk * 31 + v) & 0x3fffffff *)
+let mix_func =
+  {
+    mname = "mix";
+    params = [ "v" ];
+    body =
+      [
+        SetStatic
+          ("chk", Bin (And, (StaticVar "chk" *: i 31) +: l "v", Big 1073741823));
+        Return (i 0);
+      ];
+  }
+
+(* Newton integer square root. *)
+let isqrt_func =
+  {
+    mname = "isqrt";
+    params = [ "v" ];
+    body =
+      [
+        If (l "v" <=: i 0, [ Return (i 0) ], []);
+        Decl ("x", l "v");
+        Decl ("y", (l "x" +: i 1) /: i 2);
+        While
+          ( l "y" <: l "x",
+            [
+              Assign ("x", l "y");
+              Assign ("y", (l "x" +: (l "v" /: l "x")) /: i 2);
+            ] );
+        Return (l "x");
+      ];
+  }
+
+let prelude_funcs = [ rnd_func; mix_func; isqrt_func ]
+
+(* A standard driver: seed the PRNG, run [round k] for k in 0..rounds-1,
+   print the checksum. *)
+let driver ~rounds ~round_name =
+  [
+    SetStatic ("seed", i 12345);
+    SetStatic ("chk", i 0);
+    Decl ("k", i 0);
+    While
+      ( l "k" <: i rounds,
+        [ Expr (CallS (round_name, [ l "k" ])); Assign ("k", l "k" +: i 1) ] );
+    Print (StaticVar "chk");
+  ]
+
+(* Re-seed per round so rounds are independent of each other's history. *)
+let reseed k_expr = SetStatic ("seed", (k_expr *: Big 7919) +: i 1)
+
+let program ?(classes = []) ~funcs ~rounds ~round_name () =
+  {
+    classes;
+    funcs =
+      { mname = "main"; params = []; body = driver ~rounds ~round_name }
+      :: (prelude_funcs @ funcs);
+  }

@@ -1,0 +1,1 @@
+lib/machine/case_block_table.mli:

@@ -1,0 +1,1 @@
+lib/machine/cpu_model.ml: Btb Icache List Metrics Predictor Two_level

@@ -1,0 +1,1 @@
+lib/machine/cpu_model.mli: Icache Metrics Predictor

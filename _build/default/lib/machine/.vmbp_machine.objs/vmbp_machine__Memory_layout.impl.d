@@ -1,0 +1,1 @@
+lib/machine/memory_layout.ml:

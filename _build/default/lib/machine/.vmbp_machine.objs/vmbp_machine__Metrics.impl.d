@@ -1,0 +1,1 @@
+lib/machine/metrics.ml: Format

@@ -1,0 +1,1 @@
+lib/machine/predictor.ml: Btb Case_block_table Two_level

@@ -1,0 +1,1 @@
+lib/machine/two_level.ml: Array

@@ -1,0 +1,132 @@
+type config = {
+  entries : int;
+  associativity : int;
+  two_bit_counters : bool;
+}
+
+let ideal = { entries = 0; associativity = 1; two_bit_counters = false }
+
+let classic ~entries ~associativity =
+  { entries; associativity; two_bit_counters = false }
+
+let with_counters ~entries ~associativity =
+  { entries; associativity; two_bit_counters = true }
+
+(* One way of one set.  [tag] is the full branch address (-1 = invalid);
+   [counter] implements the two-bit hysteresis (3..2 = strong, replace only
+   below 2); [stamp] is a per-set LRU timestamp. *)
+type way = { mutable tag : int; mutable target : int; mutable counter : int;
+             mutable stamp : int }
+
+type t = {
+  cfg : config;
+  sets : way array array;  (* finite configuration *)
+  unbounded : (int, int * int ref) Hashtbl.t;  (* branch -> target, counter *)
+  mutable tick : int;
+}
+
+let create cfg =
+  let sets =
+    if cfg.entries = 0 then [||]
+    else begin
+      if cfg.entries mod cfg.associativity <> 0 then
+        invalid_arg "Btb.create: entries must be a multiple of associativity";
+      let nsets = cfg.entries / cfg.associativity in
+      Array.init nsets (fun _ ->
+          Array.init cfg.associativity (fun _ ->
+              { tag = -1; target = 0; counter = 0; stamp = 0 }))
+    end
+  in
+  { cfg; sets; unbounded = Hashtbl.create 1024; tick = 0 }
+
+let config t = t.cfg
+
+let set_index t branch =
+  let nsets = Array.length t.sets in
+  (* Branch addresses are byte addresses; drop low bits so neighbouring
+     branches do not all collide in set 0. *)
+  (branch lsr 2) mod nsets
+
+let find_way t branch =
+  let set = t.sets.(set_index t branch) in
+  let rec loop i =
+    if i >= Array.length set then None
+    else if set.(i).tag = branch then Some set.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+let predict t ~branch =
+  if t.cfg.entries = 0 then
+    match Hashtbl.find_opt t.unbounded branch with
+    | Some (target, _) -> Some target
+    | None -> None
+  else
+    match find_way t branch with Some w -> Some w.target | None -> None
+
+(* Train one entry on the actual target.  With two-bit counters a correct
+   prediction saturates the counter at 3; an incorrect one decrements it and
+   only replaces the target once the counter drops below 2. *)
+let train_counter ~two_bit ~stored ~target ~counter =
+  if stored = target then (stored, min 3 (counter + 1))
+  else if not two_bit then (target, 0)
+  else if counter >= 2 then (stored, counter - 1)
+  else (target, 2)
+
+let access_unbounded t ~branch ~target =
+  match Hashtbl.find_opt t.unbounded branch with
+  | None ->
+      Hashtbl.replace t.unbounded branch (target, ref 2);
+      false
+  | Some (stored, counter) ->
+      let correct = stored = target in
+      let stored', counter' =
+        train_counter ~two_bit:t.cfg.two_bit_counters ~stored ~target
+          ~counter:!counter
+      in
+      if stored' <> stored then Hashtbl.replace t.unbounded branch (stored', ref counter')
+      else counter := counter';
+      correct
+
+let access_finite t ~branch ~target =
+  t.tick <- t.tick + 1;
+  let set = t.sets.(set_index t branch) in
+  match find_way t branch with
+  | Some w ->
+      let correct = w.target = target in
+      let stored', counter' =
+        train_counter ~two_bit:t.cfg.two_bit_counters ~stored:w.target ~target
+          ~counter:w.counter
+      in
+      w.target <- stored';
+      w.counter <- counter';
+      w.stamp <- t.tick;
+      correct
+  | None ->
+      (* Miss: allocate the LRU way of the set. *)
+      let victim = ref set.(0) in
+      Array.iter (fun w -> if w.stamp < !victim.stamp then victim := w) set;
+      let w = !victim in
+      w.tag <- branch;
+      w.target <- target;
+      w.counter <- 2;
+      w.stamp <- t.tick;
+      false
+
+let access t ~branch ~target =
+  if t.cfg.entries = 0 then access_unbounded t ~branch ~target
+  else access_finite t ~branch ~target
+
+let reset t =
+  Hashtbl.reset t.unbounded;
+  t.tick <- 0;
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun w ->
+          w.tag <- -1;
+          w.target <- 0;
+          w.counter <- 0;
+          w.stamp <- 0)
+        set)
+    t.sets

@@ -1,0 +1,14 @@
+type t = { table : int array; mask : int }
+
+let create ~entries =
+  if entries <= 0 || entries land (entries - 1) <> 0 then
+    invalid_arg "Case_block_table.create: entries must be a power of two";
+  { table = Array.make entries (-1); mask = entries - 1 }
+
+let access t ~opcode ~target =
+  let i = opcode land t.mask in
+  let correct = t.table.(i) = target in
+  t.table.(i) <- target;
+  correct
+
+let reset t = Array.fill t.table 0 (Array.length t.table) (-1)

@@ -1,0 +1,18 @@
+(** Case block table (Kaeli and Emma 1994, 1997).
+
+    A history-based predictor designed for switch statements: the target
+    table is indexed by the switch operand -- for a VM interpreter, the
+    opcode of the next VM instruction -- rather than by the branch address.
+    This gives near-perfect prediction for a switch-based interpreter
+    because the opcode determines the target exactly (Section 8). *)
+
+type t
+
+val create : entries:int -> t
+(** [entries] must be a positive power of two. *)
+
+val access : t -> opcode:int -> target:int -> bool
+(** Predict the target for the dispatch on [opcode] and train the table;
+    returns [true] on a correct prediction. *)
+
+val reset : t -> unit

@@ -1,0 +1,84 @@
+type t = {
+  name : string;
+  mhz : int;
+  ipc : float;
+  mispredict_penalty : int;
+  icache_miss_penalty : int;
+  predictor : Predictor.kind;
+  icache : Icache.config;
+}
+
+let celeron_800 =
+  {
+    name = "celeron-800";
+    mhz = 800;
+    ipc = 1.6;
+    mispredict_penalty = 10;
+    (* An L1 I-cache miss on the Celeron usually hits the on-die L2, a
+       handful of cycles away. *)
+    icache_miss_penalty = 5;
+    predictor = Predictor.Btb (Btb.classic ~entries:512 ~associativity:4);
+    icache =
+      Icache.make_config ~size_bytes:(16 * 1024) ~line_bytes:32
+        ~associativity:4;
+  }
+
+let pentium4_northwood =
+  {
+    name = "pentium4-northwood";
+    mhz = 2260;
+    ipc = 1.8;
+    mispredict_penalty = 20;
+    icache_miss_penalty = 27;
+    predictor = Predictor.Btb (Btb.classic ~entries:4096 ~associativity:4);
+    icache =
+      (* The 12K-uop trace cache is modelled as a 96KB conventional cache
+         (about 8 bytes of x86 code per cached uop). *)
+      Icache.make_config ~size_bytes:(96 * 1024) ~line_bytes:64
+        ~associativity:8;
+  }
+
+let pentium4_prescott =
+  {
+    pentium4_northwood with
+    name = "pentium4-prescott";
+    mhz = 3000;
+    mispredict_penalty = 30;
+  }
+
+let pentium_m =
+  {
+    name = "pentium-m";
+    mhz = 1600;
+    ipc = 1.8;
+    mispredict_penalty = 12;
+    icache_miss_penalty = 12;
+    predictor = Predictor.Two_level Two_level.default;
+    icache =
+      Icache.make_config ~size_bytes:(32 * 1024) ~line_bytes:64
+        ~associativity:8;
+  }
+
+let ideal =
+  {
+    name = "ideal";
+    mhz = 1000;
+    ipc = 1.0;
+    mispredict_penalty = 10;
+    icache_miss_penalty = 0;
+    predictor = Predictor.Btb Btb.ideal;
+    icache = Icache.infinite;
+  }
+
+let all = [ celeron_800; pentium4_northwood; pentium4_prescott; pentium_m; ideal ]
+
+let find name = List.find_opt (fun t -> t.name = name) all
+
+let with_predictor t predictor = { t with predictor }
+
+let cycles t (m : Metrics.t) =
+  (float_of_int m.native_instrs /. t.ipc)
+  +. float_of_int (m.mispredicts * t.mispredict_penalty)
+  +. float_of_int (m.icache_misses * t.icache_miss_penalty)
+
+let seconds t m = cycles t m /. (float_of_int t.mhz *. 1e6)

@@ -1,0 +1,53 @@
+(** CPU profiles used in the paper's evaluation (Section 6.2).
+
+    A profile bundles the branch predictor configuration, the I-cache
+    geometry, and the pipeline cost constants needed to turn event counts
+    into cycles.  The two machines the paper reports on are the Celeron-800
+    (small caches, 512-entry BTB, ~10-cycle misprediction penalty) and the
+    Pentium 4 Northwood (trace cache, 4096-entry BTB, ~20-cycle penalty,
+    ~27-cycle trace-cache miss penalty after Zhou and Ross 2004). *)
+
+type t = {
+  name : string;
+  mhz : int;  (** nominal clock, only used for time displays *)
+  ipc : float;  (** sustained native instructions per cycle, sans stalls *)
+  mispredict_penalty : int;  (** cycles lost per mispredicted branch *)
+  icache_miss_penalty : int;  (** cycles lost per I-cache line miss *)
+  predictor : Predictor.kind;
+  icache : Icache.config;
+}
+
+val celeron_800 : t
+(** Pentium-III-class: 16KB I-cache, 512-entry BTB, 10-cycle penalty. *)
+
+val pentium4_northwood : t
+(** 12K-uop trace cache (modelled as 96KB, 8-way), 4096-entry BTB,
+    20-cycle misprediction penalty, 27-cycle trace-cache miss penalty. *)
+
+val pentium4_prescott : t
+(** Like Northwood but with the ~30-cycle misprediction penalty of the
+    Prescott core. *)
+
+val pentium_m : t
+(** Laptop processor with a two-level indirect predictor (Section 8). *)
+
+val ideal : t
+(** Unbounded BTB and infinite I-cache: isolates the pure prediction
+    behaviour, as the paper's simulator experiments do. *)
+
+val all : t list
+(** Every built-in profile, for CLI listings. *)
+
+val find : string -> t option
+(** Look a profile up by [name]. *)
+
+val with_predictor : t -> Predictor.kind -> t
+(** Replace the predictor, e.g. for predictor-comparison ablations. *)
+
+val cycles : t -> Metrics.t -> float
+(** Pipeline cost model:
+    [native_instrs / ipc + mispredicts * mispredict_penalty +
+     icache_misses * icache_miss_penalty]. *)
+
+val seconds : t -> Metrics.t -> float
+(** [cycles] divided by the profile's clock rate. *)

@@ -1,0 +1,88 @@
+type config = { size_bytes : int; line_bytes : int; associativity : int }
+
+let infinite = { size_bytes = 0; line_bytes = 32; associativity = 1 }
+
+let make_config ~size_bytes ~line_bytes ~associativity =
+  if line_bytes <= 0 || line_bytes land (line_bytes - 1) <> 0 then
+    invalid_arg "Icache.make_config: line_bytes must be a power of two";
+  if size_bytes <> 0 then begin
+    let lines = size_bytes / line_bytes in
+    if lines * line_bytes <> size_bytes then
+      invalid_arg "Icache.make_config: size must be a multiple of line size";
+    if lines mod associativity <> 0 then
+      invalid_arg "Icache.make_config: lines must divide by associativity"
+  end;
+  { size_bytes; line_bytes; associativity }
+
+type t = {
+  cfg : config;
+  nsets : int;
+  tags : int array;  (* nsets * associativity, -1 = invalid *)
+  stamps : int array;
+  mutable tick : int;
+  (* One-entry fetch memo: consecutive fetches of the same line (straight-
+     line execution inside a block) hit without a full set scan. *)
+  mutable last_line : int;
+}
+
+let create cfg =
+  let nsets =
+    if cfg.size_bytes = 0 then 0
+    else cfg.size_bytes / cfg.line_bytes / cfg.associativity
+  in
+  {
+    cfg;
+    nsets;
+    tags = Array.make (max 1 (nsets * cfg.associativity)) (-1);
+    stamps = Array.make (max 1 (nsets * cfg.associativity)) 0;
+    tick = 0;
+    last_line = -1;
+  }
+
+let config t = t.cfg
+
+let touch_line t line =
+  let assoc = t.cfg.associativity in
+  let set = line mod t.nsets in
+  let base = set * assoc in
+  t.tick <- t.tick + 1;
+  let rec find i = if i >= assoc then None
+    else if t.tags.(base + i) = line then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+      t.stamps.(base + i) <- t.tick;
+      true
+  | None ->
+      let victim = ref 0 in
+      for i = 1 to assoc - 1 do
+        if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
+      done;
+      t.tags.(base + !victim) <- line;
+      t.stamps.(base + !victim) <- t.tick;
+      false
+
+let fetch t ~addr ~bytes ~hits ~misses =
+  if t.cfg.size_bytes = 0 then begin
+    let lines = ((addr + max 1 bytes - 1) / t.cfg.line_bytes)
+                - (addr / t.cfg.line_bytes) + 1 in
+    hits := !hits + lines
+  end
+  else begin
+    let first = addr / t.cfg.line_bytes in
+    let last = (addr + max 1 bytes - 1) / t.cfg.line_bytes in
+    for line = first to last do
+      if line = t.last_line then incr hits
+      else begin
+        t.last_line <- line;
+        if touch_line t line then incr hits else incr misses
+      end
+    done
+  end
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.tick <- 0;
+  t.last_line <- -1

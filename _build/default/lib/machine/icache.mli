@@ -1,0 +1,30 @@
+(** Instruction-cache simulator.
+
+    Code growth is the price of replication (Section 7.4): more executable
+    copies mean more I-cache misses.  The engine reports every executed code
+    range through [fetch]; the cache counts line misses, which the pipeline
+    model converts into cycles.  A configuration with [size_bytes = 0]
+    disables the cache (no misses), modelling an infinite I-cache. *)
+
+type config = {
+  size_bytes : int;  (** total capacity; [0] = infinite (never misses) *)
+  line_bytes : int;  (** line size, a power of two *)
+  associativity : int;  (** ways per set *)
+}
+
+val infinite : config
+
+val make_config :
+  size_bytes:int -> line_bytes:int -> associativity:int -> config
+(** Validates that the geometry divides evenly. *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val fetch : t -> addr:int -> bytes:int -> hits:int ref -> misses:int ref -> unit
+(** Touch every line overlapping [addr, addr+bytes); adds the line hit and
+    miss counts into the given accumulators. *)
+
+val reset : t -> unit

@@ -1,0 +1,17 @@
+type t = { base : int; align : int; mutable next : int }
+
+let create ?(base = 0x400000) ?(align = 16) () =
+  if align <= 0 || align land (align - 1) <> 0 then
+    invalid_arg "Memory_layout.create: align must be a power of two";
+  { base; align; next = base }
+
+let round_up align n = (n + align - 1) land lnot (align - 1)
+
+let alloc t ~bytes =
+  if bytes < 0 then invalid_arg "Memory_layout.alloc: negative size";
+  let addr = t.next in
+  t.next <- round_up t.align (t.next + bytes);
+  addr
+
+let used_bytes t = t.next - t.base
+let limit t = t.next

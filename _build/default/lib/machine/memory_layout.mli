@@ -1,0 +1,21 @@
+(** Simple bump allocator for simulated code addresses.
+
+    Every executable copy of a VM instruction routine lives at a unique
+    address in a flat simulated address space; the BTB keys on branch
+    addresses inside these blocks and the I-cache maps them to lines, so the
+    allocator's only obligations are uniqueness and realistic packing. *)
+
+type t
+
+val create : ?base:int -> ?align:int -> unit -> t
+(** [base] defaults to 0x400000 (a typical text-segment start); [align] to
+    16 bytes, matching common routine alignment. *)
+
+val alloc : t -> bytes:int -> int
+(** Reserve [bytes] and return the block's start address. *)
+
+val used_bytes : t -> int
+(** Total bytes allocated so far (including alignment padding). *)
+
+val limit : t -> int
+(** The next address that would be returned by [alloc]. *)

@@ -1,0 +1,52 @@
+type kind =
+  | Btb of Btb.config
+  | Two_level of Two_level.config
+  | Case_block of int
+  | Perfect
+  | Never
+
+let kind_name = function
+  | Btb { two_bit_counters = false; entries = 0; _ } -> "btb-ideal"
+  | Btb { two_bit_counters = false; _ } -> "btb"
+  | Btb { two_bit_counters = true; _ } -> "btb-2bc"
+  | Two_level _ -> "two-level"
+  | Case_block _ -> "case-block-table"
+  | Perfect -> "perfect"
+  | Never -> "never"
+
+type state =
+  | S_btb of Btb.t
+  | S_two_level of Two_level.t
+  | S_case_block of Case_block_table.t
+  | S_perfect
+  | S_never
+
+type t = { kind : kind; state : state }
+
+let create kind =
+  let state =
+    match kind with
+    | Btb cfg -> S_btb (Btb.create cfg)
+    | Two_level cfg -> S_two_level (Two_level.create cfg)
+    | Case_block entries -> S_case_block (Case_block_table.create ~entries)
+    | Perfect -> S_perfect
+    | Never -> S_never
+  in
+  { kind; state }
+
+let kind t = t.kind
+
+let access t ~branch ~target ~opcode =
+  match t.state with
+  | S_btb b -> Btb.access b ~branch ~target
+  | S_two_level p -> Two_level.access p ~branch ~target
+  | S_case_block c -> Case_block_table.access c ~opcode ~target
+  | S_perfect -> true
+  | S_never -> false
+
+let reset t =
+  match t.state with
+  | S_btb b -> Btb.reset b
+  | S_two_level p -> Two_level.reset p
+  | S_case_block c -> Case_block_table.reset c
+  | S_perfect | S_never -> ()

@@ -1,0 +1,28 @@
+(** Uniform interface over the indirect-branch predictors.
+
+    The interpreter engine feeds every executed dispatch through
+    [access]; the predictor kind selects which hardware model is simulated.
+    [Perfect] and [Never] bound the achievable accuracy from above and
+    below. *)
+
+type kind =
+  | Btb of Btb.config  (** branch target buffer, the paper's main subject *)
+  | Two_level of Two_level.config  (** Pentium-M-style two-level predictor *)
+  | Case_block of int  (** case block table with the given entry count *)
+  | Perfect  (** every branch predicted correctly *)
+  | Never  (** every branch mispredicted *)
+
+val kind_name : kind -> string
+
+type t
+
+val create : kind -> t
+val kind : t -> kind
+
+val access : t -> branch:int -> target:int -> opcode:int -> bool
+(** One predict-and-update step for an executed indirect branch at address
+    [branch] that actually went to [target]; [opcode] is the VM opcode being
+    dispatched to (used only by the case block table).  Returns [true] when
+    the prediction was correct. *)
+
+val reset : t -> unit

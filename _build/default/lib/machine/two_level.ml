@@ -1,0 +1,36 @@
+type config = { entries : int; history : int }
+
+let default = { entries = 1024; history = 4 }
+
+type t = {
+  cfg : config;
+  table : int array;  (* predicted targets, -1 = empty *)
+  mutable ghr : int;  (* hashed path history register *)
+}
+
+let create cfg =
+  if cfg.entries <= 0 || cfg.entries land (cfg.entries - 1) <> 0 then
+    invalid_arg "Two_level.create: entries must be a positive power of two";
+  { cfg; table = Array.make cfg.entries (-1); ghr = 0 }
+
+(* Fold the branch address and path history into a table index.  The
+   multiplicative hash spreads byte addresses that share low bits. *)
+let index t branch =
+  let h = (branch * 2654435761) lxor t.ghr in
+  (h lsr 4) land (t.cfg.entries - 1)
+
+let push_history t target =
+  let bits = 4 * t.cfg.history in
+  let mask = (1 lsl bits) - 1 in
+  t.ghr <- ((t.ghr lsl 4) lxor (target lsr 4) lxor target) land mask
+
+let access t ~branch ~target =
+  let i = index t branch in
+  let correct = t.table.(i) = target in
+  t.table.(i) <- target;
+  push_history t target;
+  correct
+
+let reset t =
+  Array.fill t.table 0 (Array.length t.table) (-1);
+  t.ghr <- 0

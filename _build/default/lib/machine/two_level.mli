@@ -1,0 +1,24 @@
+(** Two-level indirect branch predictor (Driesen and Hoelzle 1998).
+
+    Keeps a global history of recent indirect-branch targets and indexes the
+    target table with a hash of the branch address and that history.  The
+    paper's related-work section (Section 8) notes that such predictors --
+    first shipped in the Pentium M -- correctly predict most interpreter
+    dispatch branches even without replication; we implement one so the
+    benches can reproduce that comparison. *)
+
+type config = {
+  entries : int;  (** target table size (power of two) *)
+  history : int;  (** number of recent targets in the history register *)
+}
+
+val default : config
+(** 1024 entries, 4 targets of path history. *)
+
+type t
+
+val create : config -> t
+val access : t -> branch:int -> target:int -> bool
+(** Predict-and-update; returns [true] on a correct prediction. *)
+
+val reset : t -> unit

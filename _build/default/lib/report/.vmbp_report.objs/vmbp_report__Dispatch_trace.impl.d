@@ -1,0 +1,1 @@
+lib/report/dispatch_trace.ml: Array Btb Code_layout Config Control Cpu_model Hashtbl Instr List Option Printf Program String Table Technique Vmbp_core Vmbp_machine Vmbp_vm

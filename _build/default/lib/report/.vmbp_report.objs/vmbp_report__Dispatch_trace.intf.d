@@ -1,0 +1,1 @@
+lib/report/dispatch_trace.mli: Vmbp_core Vmbp_vm

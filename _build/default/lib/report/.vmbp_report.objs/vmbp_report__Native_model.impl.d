@@ -1,0 +1,1 @@
+lib/report/native_model.ml: Vmbp_core Vmbp_machine

@@ -1,0 +1,1 @@
+lib/report/native_model.mli: Vmbp_core Vmbp_machine

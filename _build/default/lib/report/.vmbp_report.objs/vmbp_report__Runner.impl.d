@@ -1,0 +1,1 @@
+lib/report/runner.ml: Config Engine List Printf Technique Vmbp_core Vmbp_machine Vmbp_workloads

@@ -1,0 +1,1 @@
+lib/report/runner.mli: Vmbp_core Vmbp_machine Vmbp_vm Vmbp_workloads

@@ -1,0 +1,125 @@
+open Vmbp_vm
+open Vmbp_machine
+open Vmbp_core
+
+type row = {
+  step : int;
+  vm_instr : string;
+  btb_entry : string;
+  prediction : string;
+  actual : string;
+  correct : bool;
+}
+
+(* Stable labels for code addresses: the first copy of "a" is "A", later
+   distinct copies are "A2", "A3", ... *)
+type labeller = {
+  by_addr : (int, string) Hashtbl.t;
+  next_index : (string, int) Hashtbl.t;
+}
+
+let make_labeller () =
+  { by_addr = Hashtbl.create 32; next_index = Hashtbl.create 32 }
+
+let label lab ~addr ~base =
+  match Hashtbl.find_opt lab.by_addr addr with
+  | Some s -> s
+  | None ->
+      let base = String.uppercase_ascii base in
+      let n = Option.value (Hashtbl.find_opt lab.next_index base) ~default:0 in
+      Hashtbl.replace lab.next_index base (n + 1);
+      let s = if n = 0 then base else Printf.sprintf "%s%d" base (n + 1) in
+      Hashtbl.replace lab.by_addr addr s;
+      s
+
+let trace ~technique ?profile ~program ~exec ~skip ~take () =
+  let config = Config.make ~cpu:Cpu_model.ideal technique in
+  let layout = Config.build_layout ?profile config ~program in
+  let program = layout.Code_layout.program in
+  let btb = Btb.create Btb.ideal in
+  let entry_labels = make_labeller () in
+  let branch_labels = make_labeller () in
+  let rows = ref [] in
+  let count = ref 0 in
+  let pending = ref (-1) in
+  let pending_instr = ref "" in
+  let pending_branch = ref "" in
+  let is_switch = technique = Technique.Switch in
+  (* Names of the slots executed since the last dispatch: a superinstruction
+     shows up as the joined names of its components, as in the paper's
+     Table IV ("B_A"). *)
+  let group = ref [] in
+  let pc = ref program.Program.entry in
+  let running = ref true in
+  while !running do
+    let i = !pc in
+    let site = layout.Code_layout.sites.(i) in
+    let name = (Program.instr_at program i).Instr.name in
+    let entry = site.Code_layout.entry_addr in
+    if !pending >= 0 then begin
+      let target_label = label entry_labels ~addr:entry ~base:name in
+      let prediction =
+        match Btb.predict btb ~branch:!pending with
+        | Some addr -> label entry_labels ~addr ~base:"?"
+        | None -> "-"
+      in
+      let correct = Btb.access btb ~branch:!pending ~target:entry in
+      if !count >= skip && !count < skip + take then
+        rows :=
+          {
+            step = !count - skip + 1;
+            vm_instr = !pending_instr;
+            btb_entry = "br-" ^ !pending_branch;
+            prediction;
+            actual = target_label;
+            correct;
+          }
+          :: !rows;
+      incr count;
+      if !count >= skip + take then running := false
+    end;
+    if !running then begin
+      group := name :: !group;
+      let issue (d : Code_layout.dispatch) =
+        pending := d.Code_layout.branch_addr;
+        let group_name = String.concat "_" (List.rev !group) in
+        pending_instr := String.uppercase_ascii group_name;
+        pending_branch :=
+          label branch_labels ~addr:d.Code_layout.branch_addr
+            ~base:(if is_switch then "switch" else group_name);
+        group := []
+      in
+      (match exec program i with
+      | Control.Next ->
+          (match site.Code_layout.post_fall with
+          | Some d -> issue d
+          | None -> pending := -1);
+          pc := i + 1
+      | Control.Jump target ->
+          (match site.Code_layout.post_taken with
+          | Some d -> issue d
+          | None ->
+              pending := -1;
+              group := []);
+          pc := target
+      | Control.Halt | Control.Trap _ -> running := false
+      | Control.Quicken _ -> running := false)
+    end
+  done;
+  List.rev !rows
+
+let render rows =
+  Table.render
+    ~headers:[ "#"; "VM instr"; "BTB entry"; "prediction"; "actual"; "" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             string_of_int r.step;
+             r.vm_instr;
+             r.btb_entry;
+             r.prediction;
+             r.actual;
+             (if r.correct then "hit" else "MISS");
+           ])
+         rows)

@@ -1,0 +1,78 @@
+type t = {
+  label : string;
+  work_quality : float;
+  compile_overhead_cycles_per_slot : float;
+  relative_to_plain : float;
+}
+
+(* Simple native Forth compilers: good code, negligible compile time. *)
+let bigforth =
+  {
+    label = "bigForth (model)";
+    work_quality = 0.55;
+    compile_overhead_cycles_per_slot = 40.;
+    relative_to_plain = 0.;
+  }
+
+let iforth =
+  {
+    label = "iForth (model)";
+    work_quality = 0.70;
+    compile_overhead_cycles_per_slot = 60.;
+    relative_to_plain = 0.;
+  }
+
+(* Kaffe JIT3: quick translation, moderate code quality. *)
+let kaffe_jit =
+  {
+    label = "Kaffe JIT (model)";
+    work_quality = 0.45;
+    compile_overhead_cycles_per_slot = 400.;
+    relative_to_plain = 0.;
+  }
+
+(* Kaffe's interpreter is an order of magnitude slower than a tuned
+   threaded-code interpreter (paper Table V: ~8.3x the base run time). *)
+let kaffe_interp =
+  {
+    label = "Kaffe interpreter (model)";
+    work_quality = 0.;
+    compile_overhead_cycles_per_slot = 0.;
+    relative_to_plain = 8.3;
+  }
+
+(* Hotspot's interpreter: dynamically generated, highly tuned assembly,
+   somewhat faster than a portable C interpreter (paper Table V: ~0.85x
+   the base run time). *)
+let hotspot_interp =
+  {
+    label = "Hotspot interpreter (model)";
+    work_quality = 0.;
+    compile_overhead_cycles_per_slot = 0.;
+    relative_to_plain = 0.85;
+  }
+
+(* Hotspot mixed mode: highly optimizing JIT on the hot code. *)
+let hotspot_mixed =
+  {
+    label = "Hotspot mixed (model)";
+    work_quality = 0.28;
+    compile_overhead_cycles_per_slot = 1500.;
+    relative_to_plain = 0.;
+  }
+
+let cycles t ~cpu ~costs ~plain ~slots =
+  if t.relative_to_plain > 0. then
+    plain.Vmbp_core.Engine.cycles *. t.relative_to_plain
+  else begin
+    let m = plain.Vmbp_core.Engine.metrics in
+    let dispatch_instrs =
+      m.Vmbp_machine.Metrics.dispatches
+      * costs.Vmbp_core.Costs.threaded_dispatch_instrs
+    in
+    let work =
+      float_of_int (m.Vmbp_machine.Metrics.native_instrs - dispatch_instrs)
+    in
+    let exec_cycles = work *. t.work_quality /. cpu.Vmbp_machine.Cpu_model.ipc in
+    exec_cycles +. (t.compile_overhead_cycles_per_slot *. float_of_int slots)
+  end

@@ -1,0 +1,55 @@
+open Vmbp_core
+
+type run = {
+  workload : Vmbp_workloads.t;
+  technique : Technique.t;
+  cpu : Vmbp_machine.Cpu_model.t;
+  result : Engine.result;
+  output : string;
+}
+
+exception Run_failed of string
+
+let run ?(scale = 1) ?predictor ?profile ~cpu ~technique
+    (workload : Vmbp_workloads.t) =
+  let loaded = workload.Vmbp_workloads.load ~scale in
+  let profile =
+    match profile with
+    | Some p -> Some p
+    | None ->
+        if Technique.uses_static_selection technique then
+          Some
+            (Vmbp_workloads.training_profile ~vm:workload.Vmbp_workloads.vm
+               ~target:workload.Vmbp_workloads.name ~scale ())
+        else None
+  in
+  let config = Config.make ~cpu ?predictor technique in
+  let layout = Config.build_layout ?profile config ~program:loaded.Vmbp_workloads.program in
+  let session = loaded.Vmbp_workloads.fresh_session () in
+  let result =
+    Engine.run ~fuel:2_000_000_000 ~config ~layout ~exec:session.Vmbp_workloads.exec
+      ()
+  in
+  (match result.Engine.trapped with
+  | Some msg ->
+      raise
+        (Run_failed
+           (Printf.sprintf "%s/%s under %s trapped: %s"
+              (Vmbp_workloads.vm_name workload.Vmbp_workloads.vm)
+              workload.Vmbp_workloads.name (Technique.name technique) msg))
+  | None -> ());
+  {
+    workload;
+    technique;
+    cpu;
+    result;
+    output = session.Vmbp_workloads.output ();
+  }
+
+let matrix ?scale ~cpu ~techniques workloads =
+  List.map
+    (fun w ->
+      (w, List.map (fun t -> (t, run ?scale ~cpu ~technique:t w)) techniques))
+    workloads
+
+let speedup ~baseline r = baseline.result.Engine.cycles /. r.result.Engine.cycles

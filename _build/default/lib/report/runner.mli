@@ -1,0 +1,37 @@
+(** Running one workload under one interpreter configuration, with the
+    paper's training-profile policy applied automatically. *)
+
+type run = {
+  workload : Vmbp_workloads.t;
+  technique : Vmbp_core.Technique.t;
+  cpu : Vmbp_machine.Cpu_model.t;
+  result : Vmbp_core.Engine.result;
+  output : string;
+}
+
+exception Run_failed of string
+(** Raised when a run traps: reproduction results from a trapped run would
+    be meaningless. *)
+
+val run :
+  ?scale:int ->
+  ?predictor:Vmbp_machine.Predictor.kind ->
+  ?profile:Vmbp_vm.Profile.t ->
+  cpu:Vmbp_machine.Cpu_model.t ->
+  technique:Vmbp_core.Technique.t ->
+  Vmbp_workloads.t ->
+  run
+(** Default scale 1.  When the technique needs static selection and no
+    [profile] is given, the paper's training policy for the workload's VM
+    is used (see {!Vmbp_workloads.training_profile}). *)
+
+val matrix :
+  ?scale:int ->
+  cpu:Vmbp_machine.Cpu_model.t ->
+  techniques:Vmbp_core.Technique.t list ->
+  Vmbp_workloads.t list ->
+  (Vmbp_workloads.t * (Vmbp_core.Technique.t * run) list) list
+(** The full benchmark-times-variant grid used by the speedup figures. *)
+
+val speedup : baseline:run -> run -> float
+(** Ratio of modelled cycles: how much faster than [baseline]. *)

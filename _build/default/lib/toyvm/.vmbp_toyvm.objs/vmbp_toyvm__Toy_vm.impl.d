@@ -1,0 +1,1 @@
+lib/toyvm/toy_vm.ml: Array Control Instr Instr_set List Printf Program Random Vmbp_core Vmbp_vm

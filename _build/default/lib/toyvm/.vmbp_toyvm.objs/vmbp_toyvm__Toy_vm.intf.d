@@ -1,0 +1,1 @@
+lib/toyvm/toy_vm.mli: Vmbp_core Vmbp_vm

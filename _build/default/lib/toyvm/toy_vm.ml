@@ -1,0 +1,243 @@
+open Vmbp_vm
+
+type opcodes = {
+  op_a : int;
+  op_b : int;
+  op_c : int;
+  op_d : int;
+  op_lit : int;
+  op_goto : int;
+  op_loop : int;
+  op_call : int;
+  op_ret : int;
+  op_halt : int;
+  op_heavy : int;
+  op_quickme : int;
+  op_quick_even : int;
+  op_quick_odd : int;
+}
+
+let iset = Instr_set.create ~name:"toy"
+
+let ops =
+  let reg = Instr_set.register iset in
+  let op_a = reg ~name:"a" ~work_instrs:3 ~work_bytes:12 () in
+  let op_b = reg ~name:"b" ~work_instrs:4 ~work_bytes:16 () in
+  let op_c = reg ~name:"c" ~work_instrs:5 ~work_bytes:20 () in
+  let op_d = reg ~name:"d" ~work_instrs:3 ~work_bytes:12 () in
+  let op_lit = reg ~name:"lit" ~work_instrs:2 ~work_bytes:8 ~operand_count:1 () in
+  let op_goto =
+    reg ~name:"goto" ~work_instrs:2 ~work_bytes:8 ~operand_count:1
+      ~branch:(Instr.Uncond_branch 0) ()
+  in
+  let op_loop =
+    reg ~name:"loop" ~work_instrs:4 ~work_bytes:16 ~operand_count:2
+      ~branch:(Instr.Cond_branch 1) ()
+  in
+  let op_call =
+    reg ~name:"call" ~work_instrs:4 ~work_bytes:16 ~operand_count:1
+      ~branch:(Instr.Call 0) ()
+  in
+  let op_ret =
+    reg ~name:"ret" ~work_instrs:3 ~work_bytes:12 ~branch:Instr.Return ()
+  in
+  let op_halt =
+    reg ~name:"halt" ~work_instrs:1 ~work_bytes:4 ~branch:Instr.Stop ()
+  in
+  let op_heavy =
+    reg ~name:"heavy" ~work_instrs:20 ~work_bytes:80 ~relocatable:false ()
+  in
+  let op_quickme =
+    reg ~name:"quickme" ~work_instrs:30 ~work_bytes:100 ~relocatable:false
+      ~operand_count:1 ~quickable:true ()
+  in
+  let op_quick_even =
+    reg ~name:"quick-even" ~work_instrs:3 ~work_bytes:12 ~operand_count:1
+      ~quick_of:op_quickme ()
+  in
+  let op_quick_odd =
+    reg ~name:"quick-odd" ~work_instrs:4 ~work_bytes:16 ~operand_count:1
+      ~quick_of:op_quickme ()
+  in
+  Instr_set.set_quick_family iset ~original:op_quickme
+    ~quicks:[ op_quick_even; op_quick_odd ];
+  {
+    op_a;
+    op_b;
+    op_c;
+    op_d;
+    op_lit;
+    op_goto;
+    op_loop;
+    op_call;
+    op_ret;
+    op_halt;
+    op_heavy;
+    op_quickme;
+    op_quick_even;
+    op_quick_odd;
+  }
+
+type state = {
+  mutable hash : int;
+  counters : int array;
+  rstack : int array;
+  mutable rsp : int;
+}
+
+let create_state ?counters () =
+  let counters =
+    match counters with Some c -> Array.copy c | None -> Array.make 16 10
+  in
+  { hash = 0x811c9dc5; counters; rstack = Array.make 1024 0; rsp = 0 }
+
+let checksum state = state.hash
+
+let mix state k =
+  state.hash <- ((state.hash * 16777619) lxor k) land 0x3FFFFFFFFFFFFFF
+
+let exec state : Vmbp_core.Engine.exec =
+ fun program pc ->
+  let slot = program.Program.code.(pc) in
+  let opcode = slot.Program.opcode in
+  let operands = slot.Program.operands in
+  if opcode = ops.op_a then (mix state 1; Control.Next)
+  else if opcode = ops.op_b then (mix state 2; Control.Next)
+  else if opcode = ops.op_c then (mix state 3; Control.Next)
+  else if opcode = ops.op_d then (mix state 4; Control.Next)
+  else if opcode = ops.op_lit then (mix state operands.(0); Control.Next)
+  else if opcode = ops.op_goto then Control.Jump operands.(0)
+  else if opcode = ops.op_loop then begin
+    let k = operands.(0) in
+    if state.counters.(k) > 0 then begin
+      state.counters.(k) <- state.counters.(k) - 1;
+      Control.Jump operands.(1)
+    end
+    else Control.Next
+  end
+  else if opcode = ops.op_call then begin
+    if state.rsp >= Array.length state.rstack then Control.Trap "call overflow"
+    else begin
+      state.rstack.(state.rsp) <- pc + 1;
+      state.rsp <- state.rsp + 1;
+      Control.Jump operands.(0)
+    end
+  end
+  else if opcode = ops.op_ret then begin
+    if state.rsp = 0 then Control.Trap "return underflow"
+    else begin
+      state.rsp <- state.rsp - 1;
+      Control.Jump state.rstack.(state.rsp)
+    end
+  end
+  else if opcode = ops.op_halt then Control.Halt
+  else if opcode = ops.op_heavy then (mix state 99; Control.Next)
+  else if opcode = ops.op_quickme then begin
+    let v = operands.(0) in
+    let quick = if v mod 2 = 0 then ops.op_quick_even else ops.op_quick_odd in
+    mix state ((2 * v) + if v mod 2 = 0 then 1 else 7);
+    Control.Quicken
+      { Control.new_opcode = quick; new_operands = [| v |]; after = Control.Next }
+  end
+  else if opcode = ops.op_quick_even then begin
+    let v = operands.(0) in
+    mix state ((2 * v) + 1);
+    Control.Next
+  end
+  else if opcode = ops.op_quick_odd then begin
+    let v = operands.(0) in
+    mix state ((2 * v) + 7);
+    Control.Next
+  end
+  else Control.Trap (Printf.sprintf "toy: unknown opcode %d" opcode)
+
+let slot opcode operands = { Program.opcode; operands }
+
+let program_of ~name ~code ~entry ?(entries = []) () =
+  Program.make ~name ~iset ~code:(Array.of_list code) ~entry ~entries ()
+
+let table1_loop () =
+  (* label: A ; B ; A ; loop label *)
+  program_of ~name:"table1"
+    ~code:
+      [
+        slot ops.op_a [||];
+        slot ops.op_b [||];
+        slot ops.op_a [||];
+        slot ops.op_loop [| 0; 0 |];
+        slot ops.op_halt [||];
+      ]
+    ~entry:0 ()
+
+let table3_loop () =
+  program_of ~name:"table3"
+    ~code:
+      [
+        slot ops.op_a [||];
+        slot ops.op_b [||];
+        slot ops.op_a [||];
+        slot ops.op_b [||];
+        slot ops.op_a [||];
+        slot ops.op_loop [| 0; 0 |];
+        slot ops.op_halt [||];
+      ]
+    ~entry:0 ()
+
+let random_program ~seed ~size =
+  let rng = Random.State.make [| seed |] in
+  let code = ref [] in
+  let len = ref 0 in
+  let emit s =
+    code := s :: !code;
+    incr len
+  in
+  (* Subroutines first. *)
+  let n_subs = 1 + Random.State.int rng 4 in
+  let sub_entries = ref [] in
+  for _ = 1 to n_subs do
+    sub_entries := !len :: !sub_entries;
+    let body = 2 + Random.State.int rng 5 in
+    for _ = 1 to body do
+      match Random.State.int rng 6 with
+      | 0 -> emit (slot ops.op_a [||])
+      | 1 -> emit (slot ops.op_b [||])
+      | 2 -> emit (slot ops.op_c [||])
+      | 3 -> emit (slot ops.op_d [||])
+      | 4 -> emit (slot ops.op_lit [| Random.State.int rng 100 |])
+      | _ -> emit (slot ops.op_heavy [||])
+    done;
+    emit (slot ops.op_ret [||])
+  done;
+  let subs = Array.of_list !sub_entries in
+  (* Main: a counted loop around a random body. *)
+  let main_entry = !len in
+  let body_start = !len in
+  let body_len = max 4 size in
+  let i = ref 0 in
+  while !i < body_len do
+    (match Random.State.int rng 12 with
+    | 0 | 1 | 2 -> emit (slot ops.op_a [||])
+    | 3 | 4 -> emit (slot ops.op_b [||])
+    | 5 -> emit (slot ops.op_c [||])
+    | 6 -> emit (slot ops.op_d [||])
+    | 7 -> emit (slot ops.op_lit [| Random.State.int rng 100 |])
+    | 8 -> emit (slot ops.op_call [| subs.(Random.State.int rng n_subs) |])
+    | 9 -> emit (slot ops.op_quickme [| Random.State.int rng 100 |])
+    | 10 ->
+        (* Forward skip over a couple of filler operations. *)
+        let skip = 1 + Random.State.int rng 2 in
+        emit (slot ops.op_goto [| !len + 1 + skip |]);
+        for _ = 1 to skip do
+          emit (slot ops.op_d [||]);
+          incr i
+        done
+    | _ -> emit (slot ops.op_heavy [||]));
+    incr i
+  done;
+  emit (slot ops.op_loop [| 0; body_start |]);
+  emit (slot ops.op_halt [||]);
+  Program.make ~name:(Printf.sprintf "toy-random-%d" seed) ~iset
+    ~code:(Array.of_list (List.rev !code))
+    ~entry:main_entry
+    ~entries:(Array.to_list subs)
+    ()

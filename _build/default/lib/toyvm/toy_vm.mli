@@ -1,0 +1,60 @@
+(** A miniature VM for the paper's worked examples (Tables I-IV) and for
+    property tests of the engine.
+
+    The instruction set has a handful of generic straight-line operations
+    that accumulate into a checksum (so tests can verify semantic
+    preservation), direct and conditional branches, calls and returns, a
+    non-relocatable operation, and a quickable operation with two quick
+    versions. *)
+
+type opcodes = {
+  op_a : int;  (** generic operation, updates the checksum *)
+  op_b : int;
+  op_c : int;
+  op_d : int;
+  op_lit : int;  (** operand: value folded into the checksum *)
+  op_goto : int;  (** operand: target slot *)
+  op_loop : int;
+      (** operands: counter index, target; decrements the counter and jumps
+          to the target while it stays positive *)
+  op_call : int;  (** operand: callee entry slot *)
+  op_ret : int;
+  op_halt : int;
+  op_heavy : int;  (** non-relocatable operation *)
+  op_quickme : int;
+      (** quickable; resolves to [op_quick_even] or [op_quick_odd] depending
+          on the parity of its operand, folding it into the checksum *)
+  op_quick_even : int;
+  op_quick_odd : int;
+}
+
+val iset : Vmbp_vm.Instr_set.t
+val ops : opcodes
+
+type state
+
+val create_state : ?counters:int array -> unit -> state
+(** [counters] seeds the loop counters (default: 16 counters of 10). *)
+
+val checksum : state -> int
+(** Deterministic function of every executed operation; equal checksums
+    mean equal observable behaviour. *)
+
+val exec : state -> Vmbp_core.Engine.exec
+(** Semantics closure over the given state. *)
+
+(** Program builders for the paper's example loops.  Loop iteration counts
+    come from the state's counters: the outer loop uses counter 0, so
+    [create_state ~counters:[| n; ... |] ()] runs each loop body [n]
+    times. *)
+
+val table1_loop : unit -> Vmbp_vm.Program.t
+(** [A; B; A; loop] -- the motivating example of Tables I, II and IV. *)
+
+val table3_loop : unit -> Vmbp_vm.Program.t
+(** [A; B; A; B; A; loop] -- the bad-replication example of Table III. *)
+
+val random_program : seed:int -> size:int -> Vmbp_vm.Program.t
+(** A random but always-terminating program: straight-line operations,
+    forward branches, calls to generated subroutines, quickable and
+    non-relocatable instructions, wrapped in a counted loop. *)

@@ -1,0 +1,1 @@
+lib/vm/basic_block.ml: Array Buffer Format Instr List Program

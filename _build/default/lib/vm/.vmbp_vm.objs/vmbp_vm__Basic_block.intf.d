@@ -1,0 +1,1 @@
+lib/vm/basic_block.mli: Format Program

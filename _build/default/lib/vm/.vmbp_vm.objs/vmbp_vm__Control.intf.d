@@ -1,0 +1,1 @@
+lib/vm/control.mli: Format

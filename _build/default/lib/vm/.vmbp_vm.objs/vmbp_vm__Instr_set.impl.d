@@ -1,0 +1,1 @@
+lib/vm/instr_set.ml: Array Hashtbl Instr List Printf

@@ -1,0 +1,1 @@
+lib/vm/instr_set.mli: Instr

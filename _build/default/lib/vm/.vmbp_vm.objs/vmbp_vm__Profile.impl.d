@@ -1,0 +1,1 @@
+lib/vm/profile.ml: Array Basic_block Hashtbl Instr List Program String

@@ -1,0 +1,1 @@
+lib/vm/profile.mli: Program

@@ -1,0 +1,1 @@
+lib/vm/program.ml: Array Format Instr Instr_set List Printf

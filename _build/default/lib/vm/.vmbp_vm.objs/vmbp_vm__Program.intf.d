@@ -1,0 +1,1 @@
+lib/vm/program.mli: Format Instr Instr_set

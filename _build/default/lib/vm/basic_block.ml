@@ -1,0 +1,56 @@
+type block = { id : int; start : int; stop : int }
+
+type t = {
+  blocks : block array;
+  block_of_slot : int array;
+  leader : bool array;
+}
+
+let analyze (p : Program.t) =
+  let n = Program.length p in
+  let leader = Array.make n false in
+  if n > 0 then leader.(0) <- true;
+  List.iter (fun e -> leader.(e) <- true) p.Program.entries;
+  for i = 0 to n - 1 do
+    let instr = Program.instr_at p i in
+    List.iter (fun tgt -> leader.(tgt) <- true) (Program.branch_targets p i);
+    if Instr.is_basic_block_end instr && i + 1 < n then leader.(i + 1) <- true
+  done;
+  let blocks = ref [] in
+  let nblocks = ref 0 in
+  let block_of_slot = Array.make n (-1) in
+  let start = ref 0 in
+  let flush stop =
+    let id = !nblocks in
+    blocks := { id; start = !start; stop } :: !blocks;
+    for i = !start to stop do
+      block_of_slot.(i) <- id
+    done;
+    incr nblocks;
+    start := stop + 1
+  in
+  for i = 0 to n - 1 do
+    if i + 1 >= n || leader.(i + 1) then flush i
+  done;
+  { blocks = Array.of_list (List.rev !blocks); block_of_slot; leader }
+
+let slots b = List.init (b.stop - b.start + 1) (fun i -> b.start + i)
+
+let opcode_key (p : Program.t) b =
+  let buf = Buffer.create 32 in
+  for i = b.start to b.stop do
+    Buffer.add_string buf (string_of_int p.Program.code.(i).Program.opcode);
+    Buffer.add_char buf ','
+  done;
+  Buffer.contents buf
+
+let pp p ppf t =
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "block %d: slots %d..%d:" b.id b.start b.stop;
+      List.iter
+        (fun i ->
+          Format.fprintf ppf " %s" (Program.instr_at p i).Instr.name)
+        (slots b);
+      Format.pp_print_newline ppf ())
+    t.blocks

@@ -1,0 +1,30 @@
+(** Basic-block decomposition of a VM program.
+
+    Dynamic superinstructions are formed per basic block (Section 5.2), so
+    block boundaries determine where dispatches survive.  A leader is the
+    program entry, any statically known entry point, any branch/call target,
+    or the slot following an instruction that ends a block. *)
+
+type block = {
+  id : int;
+  start : int;  (** first slot of the block *)
+  stop : int;  (** last slot of the block, inclusive *)
+}
+
+type t = {
+  blocks : block array;
+  block_of_slot : int array;  (** block id covering each slot *)
+  leader : bool array;  (** whether each slot starts a block *)
+}
+
+val analyze : Program.t -> t
+
+val slots : block -> int list
+(** Slot indices of the block, in order. *)
+
+val opcode_key : Program.t -> block -> string
+(** A hash key identifying the block's opcode sequence; identical basic
+    blocks (same key) share one dynamic superinstruction in the
+    [Dynamic_super] technique (Piumarta and Riccardi 1998). *)
+
+val pp : Program.t -> Format.formatter -> t -> unit

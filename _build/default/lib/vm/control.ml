@@ -1,0 +1,16 @@
+type t =
+  | Next
+  | Jump of int
+  | Halt
+  | Trap of string
+  | Quicken of quicken
+
+and quicken = { new_opcode : int; new_operands : int array; after : t }
+
+let rec pp ppf = function
+  | Next -> Format.pp_print_string ppf "next"
+  | Jump slot -> Format.fprintf ppf "jump %d" slot
+  | Halt -> Format.pp_print_string ppf "halt"
+  | Trap msg -> Format.fprintf ppf "trap %S" msg
+  | Quicken q ->
+      Format.fprintf ppf "quicken(#%d, then %a)" q.new_opcode pp q.after

@@ -1,0 +1,23 @@
+(** Control outcome of executing one VM instruction.
+
+    The front end's semantics returns one of these to the generic engine,
+    which uses it both to advance the VM instruction pointer and to decide
+    whether a dispatch indirect branch executes (taken VM branches dispatch,
+    fall-through inside an across-basic-blocks superinstruction does not --
+    Section 5.2). *)
+
+type t =
+  | Next  (** fall through to the following slot *)
+  | Jump of int  (** taken control transfer to an absolute slot index *)
+  | Halt  (** program finished normally *)
+  | Trap of string  (** VM-level error; aborts the run *)
+  | Quicken of quicken
+      (** the instruction rewrote itself: patch the code, then continue *)
+
+and quicken = {
+  new_opcode : int;  (** quick version to install at the current slot *)
+  new_operands : int array;  (** resolved operands (e.g. a field offset) *)
+  after : t;  (** control outcome of this first execution *)
+}
+
+val pp : Format.formatter -> t -> unit

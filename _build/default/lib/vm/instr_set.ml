@@ -1,0 +1,87 @@
+type t = {
+  set_name : string;
+  mutable instrs : Instr.t array;
+  mutable count : int;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let dummy =
+  {
+    Instr.opcode = -1;
+    name = "<none>";
+    work_instrs = 0;
+    work_bytes = 0;
+    relocatable = true;
+    branch = Instr.Straight;
+    operand_count = 0;
+    quickable = false;
+    quick_of = None;
+    quick_targets = [];
+  }
+
+let create ~name =
+  { set_name = name; instrs = Array.make 64 dummy; count = 0;
+    by_name = Hashtbl.create 64 }
+
+let register t ~name ~work_instrs ~work_bytes ?(relocatable = true)
+    ?(branch = Instr.Straight) ?(operand_count = 0) ?(quickable = false)
+    ?quick_of () =
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Instr_set.register: duplicate %S" name);
+  let opcode = t.count in
+  if opcode >= Array.length t.instrs then begin
+    let bigger = Array.make (2 * Array.length t.instrs) dummy in
+    Array.blit t.instrs 0 bigger 0 t.count;
+    t.instrs <- bigger
+  end;
+  t.instrs.(opcode) <-
+    {
+      Instr.opcode;
+      name;
+      work_instrs;
+      work_bytes;
+      relocatable;
+      branch;
+      operand_count;
+      quickable;
+      quick_of;
+      quick_targets = [];
+    };
+  t.count <- t.count + 1;
+  Hashtbl.replace t.by_name name opcode;
+  opcode
+
+let name t = t.set_name
+let size t = t.count
+
+let get t opcode =
+  if opcode < 0 || opcode >= t.count then
+    invalid_arg (Printf.sprintf "Instr_set.get: opcode %d out of range" opcode);
+  t.instrs.(opcode)
+
+let set_quick_family t ~original ~quicks =
+  let instr = get t original in
+  if not instr.Instr.quickable then
+    invalid_arg "Instr_set.set_quick_family: original is not quickable";
+  instr.Instr.quick_targets <- quicks
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let find_exn t n =
+  match find t n with
+  | Some opcode -> opcode
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Instr_set.find_exn: no instruction %S in %s" n
+           t.set_name)
+
+let iter t f =
+  for i = 0 to t.count - 1 do
+    f t.instrs.(i)
+  done
+
+let max_quick_bytes t opcode =
+  let instr = get t opcode in
+  List.fold_left
+    (fun acc q -> max acc (get t q).Instr.work_bytes)
+    instr.Instr.work_bytes instr.Instr.quick_targets

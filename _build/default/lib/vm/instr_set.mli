@@ -1,0 +1,45 @@
+(** A virtual machine's instruction set: the table of all its instruction
+    descriptors, indexed by opcode.
+
+    Front ends build their set once with [register] calls and then freeze it;
+    the Forth VM and the mini-JVM each own one instruction set. *)
+
+type t
+
+val create : name:string -> t
+
+val register :
+  t ->
+  name:string ->
+  work_instrs:int ->
+  work_bytes:int ->
+  ?relocatable:bool ->
+  ?branch:Instr.branch_kind ->
+  ?operand_count:int ->
+  ?quickable:bool ->
+  ?quick_of:int ->
+  unit ->
+  int
+(** Add one instruction and return its opcode.  [relocatable] defaults to
+    [true], [branch] to [Straight], [operand_count] to [0]. *)
+
+val set_quick_family : t -> original:int -> quicks:int list -> unit
+(** Declare the quick versions a quickable instruction may rewrite itself
+    to; used by the dynamic techniques to size the code gap left for the
+    quick routine (Section 5.4). *)
+
+val name : t -> string
+val size : t -> int
+val get : t -> int -> Instr.t
+(** @raise Invalid_argument on an unknown opcode. *)
+
+val find : t -> string -> int option
+(** Opcode of the instruction with the given name. *)
+
+val find_exn : t -> string -> int
+
+val iter : t -> (Instr.t -> unit) -> unit
+
+val max_quick_bytes : t -> int -> int
+(** For a quickable opcode, the largest routine size among its quick
+    versions and itself: the gap the dynamic techniques must reserve. *)

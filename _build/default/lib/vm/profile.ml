@@ -1,0 +1,93 @@
+type t = {
+  max_seq_len : int;
+  opcodes : (int, int ref) Hashtbl.t;
+  sequences : (string, int ref * int array) Hashtbl.t;
+      (* keyed by a string encoding; the value keeps the decoded sequence *)
+}
+
+let empty ~max_seq_len =
+  if max_seq_len < 2 then invalid_arg "Profile.empty: max_seq_len must be >= 2";
+  {
+    max_seq_len;
+    opcodes = Hashtbl.create 128;
+    sequences = Hashtbl.create 1024;
+  }
+
+let max_seq_len t = t.max_seq_len
+
+let key_of_sequence seq =
+  String.concat "," (Array.to_list (Array.map string_of_int seq))
+
+let bump table key make_payload weight =
+  match Hashtbl.find_opt table key with
+  | Some r -> fst r := !(fst r) + weight
+  | None -> Hashtbl.replace table key (ref weight, make_payload ())
+
+let bump_opcode t opcode weight =
+  match Hashtbl.find_opt t.opcodes opcode with
+  | Some r -> r := !r + weight
+  | None -> Hashtbl.replace t.opcodes opcode (ref weight)
+
+(* A slot may participate in a sequence when its instruction is plain
+   straight-line code that will still exist after quickening. *)
+let sequenceable (p : Program.t) i =
+  let instr = Program.instr_at p i in
+  (not instr.Instr.quickable)
+  && match instr.Instr.branch with Instr.Straight -> true | _ -> false
+
+let add_program ?weights t (p : Program.t) =
+  let bb = Basic_block.analyze p in
+  let weight_of i = match weights with None -> 1 | Some w -> w.(i) in
+  Array.iter
+    (fun (b : Basic_block.block) ->
+      for i = b.Basic_block.start to b.Basic_block.stop do
+        bump_opcode t p.Program.code.(i).Program.opcode (weight_of i);
+        if sequenceable p i then
+          (* All sequences starting at i, bounded by length, block end and
+             the first non-sequenceable slot. *)
+          let stop = min b.Basic_block.stop (i + t.max_seq_len - 1) in
+          let rec extend j =
+            if j <= stop && sequenceable p j then begin
+              if j > i then begin
+                let seq =
+                  Array.init (j - i + 1) (fun k ->
+                      p.Program.code.(i + k).Program.opcode)
+                in
+                bump t.sequences (key_of_sequence seq)
+                  (fun () -> seq)
+                  (weight_of i)
+              end;
+              extend (j + 1)
+            end
+          in
+          extend i
+      done)
+    bb.Basic_block.blocks
+
+let opcode_count t opcode =
+  match Hashtbl.find_opt t.opcodes opcode with Some r -> !r | None -> 0
+
+let sequence_count t seq =
+  match Hashtbl.find_opt t.sequences (key_of_sequence seq) with
+  | Some (r, _) -> !r
+  | None -> 0
+
+let top_opcodes t ~n =
+  Hashtbl.fold (fun opcode r acc -> (opcode, !r) :: acc) t.opcodes []
+  |> List.sort (fun (o1, c1) (o2, c2) ->
+         match compare c2 c1 with 0 -> compare o1 o2 | c -> c)
+  |> List.filteri (fun i _ -> i < n)
+  |> List.map fst
+
+let top_sequences t ?(prefer_short = false) ~n () =
+  let score count seq =
+    if prefer_short then float_of_int count /. float_of_int (Array.length seq - 1)
+    else float_of_int count
+  in
+  Hashtbl.fold
+    (fun _key (r, seq) acc -> (score !r seq, seq) :: acc)
+    t.sequences []
+  |> List.sort (fun (s1, q1) (s2, q2) ->
+         match compare s2 s1 with 0 -> compare q1 q2 | c -> c)
+  |> List.filteri (fun i _ -> i < n)
+  |> List.map snd

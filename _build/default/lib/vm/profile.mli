@@ -1,0 +1,32 @@
+(** Occurrence statistics used to choose static replicas and
+    superinstructions (Section 5.1 and 7.1).
+
+    A profile counts, per opcode and per instruction sequence, how often
+    each appears.  Counting can be static (each program slot counts once, as
+    used for the paper's JVM selection) or weighted by per-slot execution
+    counts from a training run (as used for Gforth).  Sequences never cross
+    basic-block boundaries and contain only [Straight], non-quickable
+    instructions, since superinstructions of quickable originals would be
+    executed at most once (Section 5.4). *)
+
+type t
+
+val empty : max_seq_len:int -> t
+
+val max_seq_len : t -> int
+
+val add_program : ?weights:int array -> t -> Program.t -> unit
+(** Accumulate counts from a program.  [weights.(i)] is the execution count
+    of slot [i]; omitted weights count each slot once (static profiling). *)
+
+val opcode_count : t -> int -> int
+val sequence_count : t -> int array -> int
+
+val top_opcodes : t -> n:int -> int list
+(** The [n] most frequent opcodes, most frequent first. *)
+
+val top_sequences : t -> ?prefer_short:bool -> n:int -> unit -> int array list
+(** The [n] best-scoring sequences (length at least 2).  With
+    [prefer_short] the count of a sequence is divided by its length-1, the
+    weighting the paper found most practical for the JVM: shorter sequences
+    are more likely to reappear in other programs (Section 7.3). *)

@@ -1,0 +1,88 @@
+type slot = { mutable opcode : int; mutable operands : int array }
+
+type t = {
+  name : string;
+  iset : Instr_set.t;
+  code : slot array;
+  entry : int;
+  entries : int list;
+}
+
+let validate t =
+  let n = Array.length t.code in
+  let check_slot_index what i =
+    if i < 0 || i >= n then
+      invalid_arg
+        (Printf.sprintf "Program.make(%s): %s %d out of range [0,%d)" t.name
+           what i n)
+  in
+  check_slot_index "entry" t.entry;
+  List.iter (check_slot_index "entry point") t.entries;
+  Array.iteri
+    (fun i slot ->
+      let instr =
+        try Instr_set.get t.iset slot.opcode
+        with Invalid_argument _ ->
+          invalid_arg
+            (Printf.sprintf "Program.make(%s): slot %d has bad opcode %d"
+               t.name i slot.opcode)
+      in
+      if Array.length slot.operands <> instr.Instr.operand_count then
+        invalid_arg
+          (Printf.sprintf
+             "Program.make(%s): slot %d (%s) has %d operands, expected %d"
+             t.name i instr.Instr.name
+             (Array.length slot.operands)
+             instr.Instr.operand_count);
+      match instr.Instr.branch with
+      | Instr.Cond_branch k | Instr.Uncond_branch k | Instr.Call k ->
+          check_slot_index
+            (Printf.sprintf "branch target of slot %d (%s)" i instr.Instr.name)
+            slot.operands.(k)
+      | Instr.Straight | Instr.Indirect_branch | Instr.Indirect_call
+      | Instr.Return | Instr.Stop ->
+          ())
+    t.code
+
+let make ~name ~iset ~code ~entry ?(entries = []) () =
+  let entries = if List.mem entry entries then entries else entry :: entries in
+  let t = { name; iset; code; entry; entries } in
+  validate t;
+  t
+
+let length t = Array.length t.code
+let instr_at t i = Instr_set.get t.iset t.code.(i).opcode
+
+let branch_targets t i =
+  let slot = t.code.(i) in
+  match (instr_at t i).Instr.branch with
+  | Instr.Cond_branch k | Instr.Uncond_branch k | Instr.Call k ->
+      [ slot.operands.(k) ]
+  | Instr.Straight | Instr.Indirect_branch | Instr.Indirect_call
+  | Instr.Return | Instr.Stop ->
+      []
+
+let copy t =
+  {
+    t with
+    code =
+      Array.map
+        (fun s -> { opcode = s.opcode; operands = Array.copy s.operands })
+        t.code;
+  }
+
+let slot_count_by_opcode t =
+  let counts = Array.make (Instr_set.size t.iset) 0 in
+  Array.iter (fun s -> counts.(s.opcode) <- counts.(s.opcode) + 1) t.code;
+  counts
+
+let pp_slot t ppf i =
+  let slot = t.code.(i) in
+  let instr = instr_at t i in
+  Format.fprintf ppf "%4d: %-16s" i instr.Instr.name;
+  Array.iter (fun op -> Format.fprintf ppf " %d" op) slot.operands
+
+let pp ppf t =
+  Format.fprintf ppf "program %s (%d slots, entry %d)@." t.name
+    (Array.length t.code) t.entry;
+  Array.iteri (fun i _ -> Format.fprintf ppf "%a@." (pp_slot t) i) t.code

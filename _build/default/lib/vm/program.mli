@@ -1,0 +1,48 @@
+(** A virtual-machine program: flat, sequential VM code, as produced by an
+    interpreter front end (Section 2.1).
+
+    Each slot holds one VM instruction with its inline immediate operands.
+    Branch operands are absolute slot indices.  Slots are mutable because
+    quickening (Section 5.4) rewrites instructions in place at run time. *)
+
+type slot = { mutable opcode : int; mutable operands : int array }
+
+type t = {
+  name : string;
+  iset : Instr_set.t;
+  code : slot array;
+  entry : int;  (** slot where execution starts *)
+  entries : int list;
+      (** all statically known entry points (program entry plus every
+          function/method entry that indirect calls may reach) *)
+}
+
+val make :
+  name:string ->
+  iset:Instr_set.t ->
+  code:slot array ->
+  entry:int ->
+  ?entries:int list ->
+  unit ->
+  t
+(** Validates opcodes, operand counts and branch targets.
+    @raise Invalid_argument when the code is malformed. *)
+
+val length : t -> int
+val instr_at : t -> int -> Instr.t
+(** Descriptor of the instruction currently in the given slot. *)
+
+val branch_targets : t -> int -> int list
+(** Statically known control successors of the slot via taken branches
+    (direct branch targets and direct call entries; indirect transfers
+    contribute nothing). *)
+
+val copy : t -> t
+(** Deep copy, so one run's quickening does not leak into the next. *)
+
+val slot_count_by_opcode : t -> int array
+(** Static occurrence count of every opcode, indexed by opcode. *)
+
+val pp_slot : t -> Format.formatter -> int -> unit
+val pp : Format.formatter -> t -> unit
+(** Disassembly listing of the whole program. *)

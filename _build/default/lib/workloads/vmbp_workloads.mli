@@ -1,0 +1,52 @@
+(** Unified registry of the benchmark programs of both VMs, with the
+    training-profile policies the paper uses for static selection
+    (Section 7.1): Gforth trains on a dynamic profile of [brainless]; the
+    JVM selects per benchmark from static profiles of the other six
+    programs, taken after quickening. *)
+
+type vm = Forth | Jvm
+
+val vm_name : vm -> string
+
+type session = {
+  exec : Vmbp_core.Engine.exec;  (** semantics bound to a fresh state *)
+  output : unit -> string;  (** captured program output *)
+}
+
+type loaded = {
+  program : Vmbp_vm.Program.t;
+      (** pristine, unquickened program; layout builders copy it *)
+  fresh_session : unit -> session;
+}
+
+type t = {
+  vm : vm;
+  name : string;
+  description : string;
+  load : scale:int -> loaded;
+}
+
+val all : t list
+val forth : t list
+(** In the paper's Table VI order. *)
+
+val jvm : t list
+(** In the paper's Figure 9 order. *)
+
+val find : vm:vm -> string -> t option
+
+val run_reference :
+  ?fuel:int -> loaded -> int * string option * string
+(** Functional run on a copy: (steps, trap, output). *)
+
+val quickened_program : ?fuel:int -> loaded -> Vmbp_vm.Program.t
+(** A copy of the program after running it to completion functionally, so
+    all reachable quickable instructions are in their quick form. *)
+
+val training_profile :
+  ?max_seq_len:int -> vm:vm -> target:string -> scale:int -> unit ->
+  Vmbp_vm.Profile.t
+(** The profile used to select static replicas/superinstructions when
+    optimizing [target]: for Forth, a dynamic profile from a training run
+    of [brainless] (halved scale); for the JVM, static profiles of every
+    quickened benchmark except [target]. *)

@@ -1,0 +1,767 @@
+(* Engine and optimizer tests built on the toy VM: the paper's worked
+   examples (Tables I-IV), semantic preservation across all techniques, and
+   the structural invariants of Section 7.3. *)
+
+open Vmbp_machine
+open Vmbp_core
+module Program = Vmbp_vm.Program
+module Profile = Vmbp_vm.Profile
+module T = Vmbp_toyvm.Toy_vm
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Run [program] under [technique] with an unbounded BTB and no icache
+   penalty, isolating pure prediction behaviour as in Tables I-IV. *)
+let run_ideal ?profile ~technique ~iterations program =
+  let config = Config.make ~cpu:Cpu_model.ideal technique in
+  let layout = Config.build_layout ?profile config ~program in
+  let state = T.create_state ~counters:(Array.make 16 iterations) () in
+  let result =
+    Engine.run ~config ~layout ~exec:(T.exec state) ~fuel:50_000_000 ()
+  in
+  (result, T.checksum state)
+
+let profile_of program =
+  let p = Profile.empty ~max_seq_len:4 in
+  Profile.add_program p program;
+  p
+
+(* Reference behaviour: run without any simulation. *)
+let reference_checksum ~iterations program =
+  let program = Program.copy program in
+  let state = T.create_state ~counters:(Array.make 16 iterations) () in
+  let _steps, trap =
+    Engine.run_functional ~program ~exec:(T.exec state) ~fuel:50_000_000 ()
+  in
+  Alcotest.(check (option string)) "reference run traps" None trap;
+  T.checksum state
+
+(* ---------------------------------------------------------------------- *)
+(* Tables I-IV *)
+
+let iterations = 1000
+
+let test_table1_threaded () =
+  (* Threaded code on [A B A loop]: A's dispatch branch alternates between
+     B and the loop and always mispredicts; B's and the loop's branches are
+     monomorphic.  2 mispredictions per iteration (Table I). *)
+  let result, _ =
+    run_ideal ~technique:Technique.plain ~iterations (T.table1_loop ())
+  in
+  let m = result.Engine.metrics in
+  let per_iter =
+    float_of_int m.Metrics.mispredicts /. float_of_int iterations
+  in
+  check_bool
+    (Printf.sprintf "threaded: ~2 mispredicts/iteration (got %.3f)" per_iter)
+    true
+    (per_iter > 1.9 && per_iter < 2.1)
+
+let test_table1_switch () =
+  (* Switch dispatch shares one branch: it always predicts that the current
+     instruction repeats, which is never true in this loop: 4
+     mispredictions per iteration (Table I). *)
+  let result, _ =
+    run_ideal ~technique:Technique.switch ~iterations (T.table1_loop ())
+  in
+  let m = result.Engine.metrics in
+  let per_iter =
+    float_of_int m.Metrics.mispredicts /. float_of_int iterations
+  in
+  check_bool
+    (Printf.sprintf "switch: ~4 mispredicts/iteration (got %.3f)" per_iter)
+    true
+    (per_iter > 3.9 && per_iter < 4.1)
+
+let test_table2_replication () =
+  (* With at least two round-robin replicas of A, each replica has a single
+     successor and prediction becomes perfect (Table II). *)
+  let program = T.table1_loop () in
+  let profile = profile_of program in
+  let result, _ =
+    run_ideal ~profile
+      ~technique:(Technique.static_repl ~n:8 ())
+      ~iterations program
+  in
+  let m = result.Engine.metrics in
+  check_bool
+    (Printf.sprintf "replication removes steady-state mispredicts (got %d)"
+       m.Metrics.mispredicts)
+    true
+    (m.Metrics.mispredicts < 10)
+
+let test_table4_superinstruction () =
+  (* A superinstruction covering part of the loop body leaves every
+     remaining dispatch monomorphic (Table IV). *)
+  let program = T.table1_loop () in
+  let profile = profile_of program in
+  let result, _ =
+    run_ideal ~profile
+      ~technique:(Technique.static_super ~n:4 ())
+      ~iterations program
+  in
+  let m = result.Engine.metrics in
+  check_bool
+    (Printf.sprintf "superinstructions remove mispredicts (got %d)"
+       m.Metrics.mispredicts)
+    true
+    (m.Metrics.mispredicts < 10)
+
+let test_table3_shape () =
+  (* The [A B A B A loop] body: threaded code mispredicts on two of the
+     three As (the middle A is followed by B both times it matters --
+     B's two instances share one branch, so B alternates too).  The paper's
+     point is that the original code has strictly fewer mispredictions than
+     a pathologically replicated version; here we check the baseline is
+     imperfect but below the switch bound. *)
+  let program = T.table3_loop () in
+  let plain, _ = run_ideal ~technique:Technique.plain ~iterations program in
+  let switch, _ = run_ideal ~technique:Technique.switch ~iterations program in
+  check_bool "plain beats switch" true
+    (plain.Engine.metrics.Metrics.mispredicts
+    < switch.Engine.metrics.Metrics.mispredicts);
+  check_bool "plain still mispredicts" true
+    (plain.Engine.metrics.Metrics.mispredicts > iterations)
+
+let test_dynamic_replication_perfect () =
+  (* Dynamic replication: every instance has its own branch; only the loop
+     exit mispredicts. *)
+  let program = T.table1_loop () in
+  let result, _ =
+    run_ideal ~technique:Technique.dynamic_repl ~iterations program
+  in
+  check_bool
+    (Printf.sprintf "dynamic repl (got %d)"
+       result.Engine.metrics.Metrics.mispredicts)
+    true
+    (result.Engine.metrics.Metrics.mispredicts < 10)
+
+let test_across_bb_fewest_dispatches () =
+  let program = T.table1_loop () in
+  let r_plain, _ = run_ideal ~technique:Technique.plain ~iterations program in
+  let r_super, _ =
+    run_ideal ~technique:Technique.dynamic_super ~iterations program
+  in
+  let r_across, _ =
+    run_ideal ~technique:Technique.across_bb ~iterations program
+  in
+  let d r = r.Engine.metrics.Metrics.dispatches in
+  check_bool "super < plain" true (d r_super < d r_plain);
+  check_bool "across <= super" true (d r_across <= d r_super);
+  (* In this loop the only dispatch left by across-bb is the taken loop
+     branch: one per iteration. *)
+  check_bool
+    (Printf.sprintf "across-bb leaves ~1 dispatch/iteration (got %.2f)"
+       (float_of_int (d r_across) /. float_of_int iterations))
+    true
+    (abs (d r_across - iterations) < 20)
+
+(* ---------------------------------------------------------------------- *)
+(* Semantic preservation and structural invariants *)
+
+let all_techniques profile_needed =
+  ignore profile_needed;
+  [
+    Technique.switch;
+    Technique.plain;
+    Technique.static_repl ~n:50 ();
+    Technique.static_super ~n:50 ();
+    Technique.static_both ~supers:10 ~replicas:40 ();
+    Technique.Static
+      (Technique.static_params ~superinstrs:20 ~parse:Technique.Optimal ());
+    Technique.Static
+      (Technique.static_params ~replicas:30
+         ~strategy:(Technique.Random 42) ());
+    Technique.dynamic_repl;
+    Technique.dynamic_super;
+    Technique.dynamic_both;
+    Technique.across_bb;
+    Technique.with_static_super ~n:20 ();
+    Technique.with_static_across_bb ~n:20 ();
+  ]
+
+let test_semantic_preservation_all_techniques () =
+  List.iter
+    (fun seed ->
+      let program = T.random_program ~seed ~size:40 in
+      let expected = reference_checksum ~iterations:50 program in
+      let profile = profile_of program in
+      List.iter
+        (fun technique ->
+          let result, checksum =
+            run_ideal ~profile ~technique ~iterations:50 program
+          in
+          Alcotest.(check (option string))
+            (Technique.name technique ^ " trap")
+            None result.Engine.trapped;
+          check_int
+            (Printf.sprintf "checksum under %s (seed %d)"
+               (Technique.name technique) seed)
+            expected checksum)
+        (all_techniques true))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_invariant_same_instructions () =
+  (* plain, static repl and dynamic repl execute exactly the same native
+     instructions and indirect branches (Section 7.3). *)
+  List.iter
+    (fun seed ->
+      let program = T.random_program ~seed ~size:30 in
+      let profile = profile_of program in
+      let r_plain, _ =
+        run_ideal ~profile ~technique:Technique.plain ~iterations:20 program
+      in
+      let r_srepl, _ =
+        run_ideal ~profile
+          ~technique:(Technique.static_repl ~n:64 ())
+          ~iterations:20 program
+      in
+      let r_drepl, _ =
+        run_ideal ~profile ~technique:Technique.dynamic_repl ~iterations:20
+          program
+      in
+      let instrs r = r.Engine.metrics.Metrics.native_instrs in
+      let branches r = r.Engine.metrics.Metrics.indirect_branches in
+      check_int "static repl instrs = plain" (instrs r_plain) (instrs r_srepl);
+      check_int "dynamic repl instrs = plain" (instrs r_plain) (instrs r_drepl);
+      check_int "static repl branches = plain" (branches r_plain)
+        (branches r_srepl);
+      check_int "dynamic repl branches = plain" (branches r_plain)
+        (branches r_drepl))
+    [ 11; 12; 13 ]
+
+let test_invariant_super_vs_both () =
+  (* dynamic super and dynamic both only differ in code sharing, not in the
+     executed instruction stream. *)
+  List.iter
+    (fun seed ->
+      let program = T.random_program ~seed ~size:30 in
+      let r_super, _ =
+        run_ideal ~technique:Technique.dynamic_super ~iterations:20 program
+      in
+      let r_both, _ =
+        run_ideal ~technique:Technique.dynamic_both ~iterations:20 program
+      in
+      let instrs r = r.Engine.metrics.Metrics.native_instrs in
+      let dispatches r = r.Engine.metrics.Metrics.dispatches in
+      check_int "instrs equal" (instrs r_super) (instrs r_both);
+      check_int "dispatches equal" (dispatches r_super) (dispatches r_both))
+    [ 21; 22; 23 ]
+
+let test_invariant_dispatch_ordering () =
+  List.iter
+    (fun seed ->
+      let program = T.random_program ~seed ~size:30 in
+      let d technique =
+        let r, _ = run_ideal ~technique ~iterations:20 program in
+        r.Engine.metrics.Metrics.dispatches
+      in
+      let plain = d Technique.plain in
+      let repl = d Technique.dynamic_repl in
+      let super = d Technique.dynamic_super in
+      let across = d Technique.across_bb in
+      check_int "dynamic repl keeps all dispatches" plain repl;
+      check_bool "super <= repl" true (super <= repl);
+      check_bool "across <= super" true (across <= super))
+    [ 31; 32; 33 ]
+
+let test_code_growth_ordering () =
+  (* Dynamic replication generates the most code; dynamic super the least
+     of the copying techniques (Section 7.4). *)
+  let program = T.random_program ~seed:7 ~size:60 in
+  let bytes technique =
+    let config = Config.make ~cpu:Cpu_model.ideal technique in
+    let layout = Config.build_layout config ~program in
+    layout.Code_layout.runtime_code_bytes
+  in
+  let static_bytes =
+    let config = Config.make ~cpu:Cpu_model.ideal Technique.plain in
+    let layout = Config.build_layout config ~program in
+    layout.Code_layout.runtime_code_bytes
+  in
+  check_int "static techniques generate no code at run time" 0 static_bytes;
+  check_bool "super <= both" true
+    (bytes Technique.dynamic_super <= bytes Technique.dynamic_both);
+  check_bool "both <= repl + slack" true
+    (bytes Technique.dynamic_both
+    <= bytes Technique.dynamic_repl + (bytes Technique.dynamic_repl / 2));
+  check_bool "all dynamic variants generate code" true
+    (bytes Technique.dynamic_super > 0)
+
+let test_quickening_happens_once_per_site () =
+  let program = T.random_program ~seed:5 ~size:40 in
+  (* Count quickable slots that are actually executed. *)
+  let config = Config.make ~cpu:Cpu_model.ideal Technique.dynamic_super in
+  let layout = Config.build_layout config ~program in
+  let state = T.create_state ~counters:(Array.make 16 30) () in
+  let result = Engine.run ~config ~layout ~exec:(T.exec state) ~fuel:10_000_000 () in
+  let m = result.Engine.metrics in
+  (* Every executed quickable site quickens exactly once; re-running the
+     same layout must quicken zero times. *)
+  let state2 = T.create_state ~counters:(Array.make 16 30) () in
+  let result2 =
+    Engine.run ~config ~layout ~exec:(T.exec state2) ~fuel:10_000_000 ()
+  in
+  check_bool "first run quickens" true (m.Metrics.quickenings > 0);
+  check_int "second run quickens nothing" 0
+    result2.Engine.metrics.Metrics.quickenings;
+  check_int "same checksum" (T.checksum state) (T.checksum state2)
+
+(* ---------------------------------------------------------------------- *)
+(* Parsers and selection *)
+
+let test_greedy_vs_optimal () =
+  (* Classic greedy pessimisation: with supers {AB, BCD} on ABCD, greedy
+     takes AB + C + D (3 groups), optimal takes A + BCD (2 groups). *)
+  let set = Super_set.of_list [ [| 0; 1 |]; [| 1; 2; 3 |] ] in
+  let opcodes = [| 0; 1; 2; 3 |] in
+  let eligible _ = true in
+  let greedy =
+    Block_parse.greedy set ~opcodes:(fun i -> opcodes.(i)) ~eligible ~start:0
+      ~stop:3
+  in
+  let optimal =
+    Block_parse.optimal set ~opcodes:(fun i -> opcodes.(i)) ~eligible ~start:0
+      ~stop:3
+  in
+  check_int "greedy groups" 3 (Block_parse.group_count greedy);
+  check_int "optimal groups" 2 (Block_parse.group_count optimal)
+
+let prop_optimal_never_worse =
+  QCheck.Test.make ~name:"optimal parse never uses more groups than greedy"
+    ~count:200
+    QCheck.(
+      pair (list_of_size Gen.(2 -- 12) (int_bound 4))
+        (list_of_size Gen.(0 -- 6) (list_of_size Gen.(2 -- 3) (int_bound 4))))
+    (fun (block, seqs) ->
+      QCheck.assume (block <> []);
+      let set = Super_set.of_list (List.map Array.of_list seqs) in
+      let opcodes = Array.of_list block in
+      let get i = opcodes.(i) in
+      let eligible _ = true in
+      let stop = Array.length opcodes - 1 in
+      let g = Block_parse.greedy set ~opcodes:get ~eligible ~start:0 ~stop in
+      let o = Block_parse.optimal set ~opcodes:get ~eligible ~start:0 ~stop in
+      let covers groups =
+        List.fold_left (fun acc { Block_parse.len; _ } -> acc + len) 0 groups
+        = Array.length opcodes
+      in
+      covers g && covers o
+      && Block_parse.group_count o <= Block_parse.group_count g)
+
+let prop_parse_partitions =
+  QCheck.Test.make ~name:"parses form a contiguous partition" ~count:200
+    QCheck.(
+      pair (list_of_size Gen.(1 -- 15) (int_bound 5))
+        (list_of_size Gen.(0 -- 8) (list_of_size Gen.(2 -- 4) (int_bound 5))))
+    (fun (block, seqs) ->
+      let set = Super_set.of_list (List.map Array.of_list seqs) in
+      let opcodes = Array.of_list block in
+      let get i = opcodes.(i) in
+      let eligible i = i mod 3 <> 2 (* some ineligible slots *) in
+      let stop = Array.length opcodes - 1 in
+      List.for_all
+        (fun parse ->
+          let groups = parse set ~opcodes:get ~eligible ~start:0 ~stop in
+          let rec contiguous pos = function
+            | [] -> pos = Array.length opcodes
+            | { Block_parse.start; len } :: rest ->
+                start = pos && len >= 1 && contiguous (pos + len) rest
+          in
+          contiguous 0 groups)
+        [ Block_parse.greedy; Block_parse.optimal ])
+
+let test_round_robin_chooser () =
+  let chooser = Replica_select.make_chooser Technique.Round_robin in
+  let picks = List.init 6 (fun _ -> Replica_select.choose chooser ~item:1 ~copies:3) in
+  Alcotest.(check (list int)) "cycles through copies" [ 0; 1; 2; 0; 1; 2 ] picks;
+  (* Independent items do not interfere. *)
+  check_int "other item starts at 0" 0
+    (Replica_select.choose chooser ~item:2 ~copies:3)
+
+let test_apportion () =
+  let allocation =
+    Replica_select.apportion ~weights:[ ("a", 100); ("b", 50); ("c", 0) ]
+      ~budget:3
+  in
+  let copies name = List.assoc name allocation in
+  check_int "total extra copies" 6
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 allocation);
+  check_bool "a gets most" true (copies "a" >= copies "b");
+  check_int "zero-weight item keeps one copy" 1 (copies "c")
+
+let test_profile_sequences () =
+  let program = T.table1_loop () in
+  let p = profile_of program in
+  let a = T.ops.T.op_a and b = T.ops.T.op_b in
+  check_int "A counted twice" 2 (Profile.opcode_count p a);
+  check_int "A-B occurs once" 1 (Profile.sequence_count p [| a; b |]);
+  check_int "B-A occurs once" 1 (Profile.sequence_count p [| b; a |]);
+  check_int "A-B-A occurs once" 1 (Profile.sequence_count p [| a; b; a |]);
+  (* The loop instruction is not straight-line, so no sequence reaches it. *)
+  check_int "no sequence with the branch" 0
+    (Profile.sequence_count p [| a; T.ops.T.op_loop |])
+
+let test_technique_names_roundtrip () =
+  List.iter
+    (fun t ->
+      match Technique.of_name (Technique.name t) with
+      | Some t' ->
+          Alcotest.(check string)
+            "roundtrip" (Technique.name t) (Technique.name t')
+      | None -> Alcotest.failf "no parse for %s" (Technique.name t))
+    (Technique.paper_gforth_variants @ [ Technique.switch ])
+
+(* ---------------------------------------------------------------------- *)
+(* Layout structural invariants, checked over random toy programs. *)
+
+let layouts_for program profile =
+  List.map
+    (fun technique ->
+      let config = Config.make ~cpu:Cpu_model.ideal technique in
+      (technique, Config.build_layout ~profile config ~program))
+    [
+      Technique.switch;
+      Technique.plain;
+      Technique.static_repl ~n:30 ();
+      Technique.static_super ~n:30 ();
+      Technique.dynamic_repl;
+      Technique.dynamic_super;
+      Technique.dynamic_both;
+      Technique.across_bb;
+      Technique.with_static_super ~n:10 ();
+      Technique.with_static_across_bb ~n:10 ();
+      Technique.subroutine;
+    ]
+
+let prop_layout_invariants =
+  QCheck.Test.make ~name:"layouts satisfy structural invariants" ~count:40
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let program = T.random_program ~seed ~size:30 in
+      let profile = profile_of program in
+      List.for_all
+        (fun (technique, (layout : Code_layout.t)) ->
+          let p = layout.Code_layout.program in
+          let ok = ref true in
+          Array.iteri
+            (fun i site ->
+              let instr = Vmbp_vm.Program.instr_at p i in
+              (* every site has positive fetch size and sane work *)
+              if site.Code_layout.fetch_bytes <= 0 then ok := false;
+              if site.Code_layout.work_instrs < 0 then ok := false;
+              (* block-ending instructions must be able to dispatch on the
+                 taken path (the engine asserts this dynamically too) *)
+              (match instr.Vmbp_vm.Instr.branch with
+              | Vmbp_vm.Instr.Straight | Vmbp_vm.Instr.Stop -> ()
+              | _ ->
+                  if site.Code_layout.post_taken = None then ok := false);
+              (* dispatch branch addresses are positive addresses *)
+              (match site.Code_layout.post_fall with
+              | Some d -> if d.Code_layout.branch_addr <= 0 then ok := false
+              | None -> ()))
+            layout.Code_layout.sites;
+          if not !ok then
+            QCheck.Test.fail_reportf "invariant broken under %s (seed %d)"
+              (Technique.name technique) seed;
+          true)
+        (layouts_for program profile))
+
+let prop_runtime_code_only_for_dynamic =
+  QCheck.Test.make ~name:"only dynamic techniques generate run-time code"
+    ~count:30
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let program = T.random_program ~seed ~size:25 in
+      let profile = profile_of program in
+      List.for_all
+        (fun (technique, (layout : Code_layout.t)) ->
+          let has_code = layout.Code_layout.runtime_code_bytes > 0 in
+          if Technique.is_dynamic technique then has_code else not has_code)
+        (layouts_for program profile))
+
+let test_shadow_sites_for_cross_bb_supers () =
+  (* A program whose branch targets the middle of a static-super run: the
+     With_static_across_bb layout must register a shadow range there. *)
+  let any_shadow = ref false in
+  List.iter
+    (fun seed ->
+      let program = T.random_program ~seed ~size:60 in
+      let profile = profile_of program in
+      let config =
+        Config.make ~cpu:Cpu_model.ideal
+          (Technique.with_static_across_bb ~n:30 ())
+      in
+      let layout = Config.build_layout ~profile config ~program in
+      Array.iteri
+        (fun i until ->
+          if until >= 0 then begin
+            any_shadow := true;
+            check_bool "shadow range is forward" true (until >= i);
+            (* entering the shadow must execute distinct fallback sites *)
+            check_bool "shadow site distinct" true
+              (layout.Code_layout.shadow.(i) != layout.Code_layout.sites.(i))
+          end)
+        layout.Code_layout.shadow_until)
+    [ 3; 7; 21; 33; 40; 55; 60; 71; 88; 99 ];
+  check_bool "at least one side entry exercised across seeds" true !any_shadow
+
+let test_engine_fuel () =
+  let program = T.table1_loop () in
+  let config = Config.make ~cpu:Cpu_model.ideal Technique.plain in
+  let layout = Config.build_layout config ~program in
+  let state = T.create_state ~counters:(Array.make 16 1_000_000) () in
+  match Engine.run ~fuel:1000 ~config ~layout ~exec:(T.exec state) () with
+  | exception Engine.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected Out_of_fuel"
+
+let test_subroutine_preserves_semantics () =
+  List.iter
+    (fun seed ->
+      let program = T.random_program ~seed ~size:40 in
+      let expected = reference_checksum ~iterations:30 program in
+      let result, checksum =
+        run_ideal ~technique:Technique.subroutine ~iterations:30 program
+      in
+      Alcotest.(check (option string)) "no trap" None result.Engine.trapped;
+      check_int "checksum" expected checksum;
+      (* no dispatch indirect branches except taken VM transfers *)
+      check_bool "fewer indirect branches than VM instructions" true
+        (result.Engine.metrics.Metrics.indirect_branches
+        < result.Engine.metrics.Metrics.vm_instrs))
+    [ 41; 42; 43 ]
+
+
+(* ---------------------------------------------------------------------- *)
+(* Exact accounting: hand-computed expectations on a three-instruction
+   straight-line program. *)
+
+let test_exact_accounting_plain () =
+  (* program: a; b; halt -- work 3+4+1, dispatch 3 instrs after a and b *)
+  let program =
+    Vmbp_vm.Program.make ~name:"tiny" ~iset:T.iset
+      ~code:
+        [|
+          { Program.opcode = T.ops.T.op_a; operands = [||] };
+          { Program.opcode = T.ops.T.op_b; operands = [||] };
+          { Program.opcode = T.ops.T.op_halt; operands = [||] };
+        |]
+      ~entry:0 ()
+  in
+  let config = Config.make ~cpu:Cpu_model.ideal Technique.plain in
+  let layout = Config.build_layout config ~program in
+  let state = T.create_state () in
+  let result = Engine.run ~config ~layout ~exec:(T.exec state) () in
+  let m = result.Engine.metrics in
+  check_int "vm instrs" 3 m.Metrics.vm_instrs;
+  check_int "dispatches" 2 m.Metrics.dispatches;
+  (* work: a=3, b=4, halt=1; dispatch: 2 * 3 *)
+  check_int "native instrs" (3 + 4 + 1 + 6) m.Metrics.native_instrs;
+  (* both dispatches are cold BTB misses *)
+  check_int "cold mispredicts" 2 m.Metrics.mispredicts;
+  check_int "no runtime code" 0 m.Metrics.code_bytes
+
+let test_exact_accounting_switch () =
+  let program =
+    Vmbp_vm.Program.make ~name:"tiny" ~iset:T.iset
+      ~code:
+        [|
+          { Program.opcode = T.ops.T.op_a; operands = [||] };
+          { Program.opcode = T.ops.T.op_b; operands = [||] };
+          { Program.opcode = T.ops.T.op_halt; operands = [||] };
+        |]
+      ~entry:0 ()
+  in
+  let config = Config.make ~cpu:Cpu_model.ideal Technique.switch in
+  let layout = Config.build_layout config ~program in
+  let state = T.create_state () in
+  let result = Engine.run ~config ~layout ~exec:(T.exec state) () in
+  let m = result.Engine.metrics in
+  (* switch dispatch costs 9 instructions instead of 3 *)
+  check_int "native instrs" (3 + 4 + 1 + 18) m.Metrics.native_instrs;
+  check_int "dispatches" 2 m.Metrics.dispatches
+
+let test_static_reparse_after_quickening () =
+  (* A loop over [quickme; a; b]: once quickme resolves, re-parsing lets the
+     quick version join a superinstruction with the following [a], removing
+     one dispatch per iteration. *)
+  let program =
+    Vmbp_vm.Program.make ~name:"requick" ~iset:T.iset
+      ~code:
+        [|
+          { Program.opcode = T.ops.T.op_quickme; operands = [| 4 |] };
+          { Program.opcode = T.ops.T.op_a; operands = [||] };
+          { Program.opcode = T.ops.T.op_b; operands = [||] };
+          { Program.opcode = T.ops.T.op_loop; operands = [| 0; 0 |] };
+          { Program.opcode = T.ops.T.op_halt; operands = [||] };
+        |]
+      ~entry:0 ()
+  in
+  (* Superinstruction set built from the quickened form of the block. *)
+  let quick_seq = [| T.ops.T.op_quick_even; T.ops.T.op_a; T.ops.T.op_b |] in
+  let profile = Profile.empty ~max_seq_len:4 in
+  (* Quicken a copy to profile the steady-state opcodes. *)
+  let pre = Program.copy program in
+  let st0 = T.create_state ~counters:(Array.make 16 2) () in
+  let _ = Engine.run_functional ~program:pre ~exec:(T.exec st0) () in
+  Profile.add_program profile pre;
+  Alcotest.(check int) "quick sequence profiled" 1
+    (Profile.sequence_count profile quick_seq);
+  let config =
+    Config.make ~cpu:Cpu_model.ideal (Technique.static_super ~n:8 ())
+  in
+  let layout = Config.build_layout ~profile config ~program in
+  let iterations = 100 in
+  let state = T.create_state ~counters:(Array.make 16 iterations) () in
+  let result = Engine.run ~config ~layout ~exec:(T.exec state) () in
+  let m = result.Engine.metrics in
+  (* Steady state after re-parse: the block runs as [super][loop]: two
+     dispatches per iteration instead of four. *)
+  check_bool
+    (Printf.sprintf "re-parse merged the quickened block (%d dispatches)"
+       m.Metrics.dispatches)
+    true
+    (m.Metrics.dispatches < (2 * iterations) + 20);
+  check_int "quickened exactly once" 1 m.Metrics.quickenings
+
+let test_pre_quicken_gap_dispatch () =
+  (* Inside a dynamic superinstruction, an unquickened instruction costs two
+     extra dispatches (gap -> original, original -> continuation); after
+     quickening they disappear. *)
+  let program =
+    Vmbp_vm.Program.make ~name:"gap" ~iset:T.iset
+      ~code:
+        [|
+          { Program.opcode = T.ops.T.op_a; operands = [||] };
+          { Program.opcode = T.ops.T.op_quickme; operands = [| 3 |] };
+          { Program.opcode = T.ops.T.op_b; operands = [||] };
+          { Program.opcode = T.ops.T.op_loop; operands = [| 0; 0 |] };
+          { Program.opcode = T.ops.T.op_halt; operands = [||] };
+        |]
+      ~entry:0 ()
+  in
+  let config = Config.make ~cpu:Cpu_model.ideal Technique.across_bb in
+  let layout = Config.build_layout config ~program in
+  let run_once iterations =
+    let state = T.create_state ~counters:(Array.make 16 iterations) () in
+    Engine.run ~config ~layout ~exec:(T.exec state) ()
+  in
+  (* First execution quickens; afterwards the loop body is dispatch-free
+     except the taken loop branch. *)
+  let r = run_once 100 in
+  let d1 = r.Engine.metrics.Metrics.dispatches in
+  let r2 = run_once 100 in
+  let d2 = r2.Engine.metrics.Metrics.dispatches in
+  check_bool "first run pays the gap dispatches" true (d1 > d2);
+  check_bool
+    (Printf.sprintf "steady state ~1 dispatch/iteration (got %d)" d2)
+    true
+    (d2 <= 102)
+
+let test_residual_mispredicts_are_vm_transfers () =
+  (* Under dynamic replication with an unbounded BTB, steady-state
+     mispredictions happen only at slots with several dynamic successors:
+     VM control transfers (and shared routines of non-relocatable or
+     quickable instructions, which this program avoids). *)
+  let s op operands = { Program.opcode = op; operands } in
+  let program =
+    (* sub: c d exit;  main: a call-sub b call-sub loop halt *)
+    Vmbp_vm.Program.make ~name:"resid" ~iset:T.iset
+      ~code:
+        [|
+          s T.ops.T.op_c [||]; s T.ops.T.op_d [||]; s T.ops.T.op_ret [||];
+          s T.ops.T.op_a [||]; s T.ops.T.op_call [| 0 |];
+          s T.ops.T.op_b [||]; s T.ops.T.op_call [| 0 |];
+          s T.ops.T.op_loop [| 0; 3 |]; s T.ops.T.op_halt [||];
+        |]
+      ~entry:3 ~entries:[ 0 ] ()
+  in
+  let config = Config.make ~cpu:Cpu_model.ideal Technique.dynamic_repl in
+  let layout = Config.build_layout config ~program in
+  let state = T.create_state ~counters:(Array.make 16 500) () in
+  let r = Engine.run ~config ~layout ~exec:(T.exec state) ~fuel:1_000_000 () in
+  let m = r.Engine.metrics in
+  (* The sub's exit alternates between two return sites: it mispredicts
+     every call in steady state, and nothing else does. *)
+  check_bool
+    (Printf.sprintf "VM transfers account for all but cold misses (%d of %d)"
+       m.Metrics.vm_branch_mispredicts m.Metrics.mispredicts)
+    true
+    (m.Metrics.mispredicts - m.Metrics.vm_branch_mispredicts < 12
+    && m.Metrics.vm_branch_mispredicts > 900)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "core"
+    [
+      ( "paper-tables",
+        [
+          Alcotest.test_case "Table I: threaded" `Quick test_table1_threaded;
+          Alcotest.test_case "Table I: switch" `Quick test_table1_switch;
+          Alcotest.test_case "Table II: replication" `Quick
+            test_table2_replication;
+          Alcotest.test_case "Table III: baseline shape" `Quick
+            test_table3_shape;
+          Alcotest.test_case "Table IV: superinstruction" `Quick
+            test_table4_superinstruction;
+          Alcotest.test_case "dynamic replication" `Quick
+            test_dynamic_replication_perfect;
+          Alcotest.test_case "across-bb dispatch elision" `Quick
+            test_across_bb_fewest_dispatches;
+        ] );
+      ( "preservation",
+        [
+          Alcotest.test_case "all techniques preserve semantics" `Slow
+            test_semantic_preservation_all_techniques;
+          Alcotest.test_case "repl executes same instructions" `Quick
+            test_invariant_same_instructions;
+          Alcotest.test_case "super vs both instruction equality" `Quick
+            test_invariant_super_vs_both;
+          Alcotest.test_case "dispatch count ordering" `Quick
+            test_invariant_dispatch_ordering;
+          Alcotest.test_case "code growth ordering" `Quick
+            test_code_growth_ordering;
+          Alcotest.test_case "quickening once per site" `Quick
+            test_quickening_happens_once_per_site;
+        ] );
+      ( "parsing",
+        [
+          Alcotest.test_case "greedy vs optimal example" `Quick
+            test_greedy_vs_optimal;
+          qt prop_optimal_never_worse;
+          qt prop_parse_partitions;
+          Alcotest.test_case "round-robin chooser" `Quick
+            test_round_robin_chooser;
+          Alcotest.test_case "apportionment" `Quick test_apportion;
+          Alcotest.test_case "profile sequences" `Quick test_profile_sequences;
+          Alcotest.test_case "technique names" `Quick
+            test_technique_names_roundtrip;
+        ] );
+      ( "layout-invariants",
+        [
+          qt prop_layout_invariants;
+          qt prop_runtime_code_only_for_dynamic;
+          Alcotest.test_case "shadow sites for cross-bb supers" `Quick
+            test_shadow_sites_for_cross_bb_supers;
+          Alcotest.test_case "engine fuel" `Quick test_engine_fuel;
+          Alcotest.test_case "subroutine threading semantics" `Quick
+            test_subroutine_preserves_semantics;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "plain exact counts" `Quick
+            test_exact_accounting_plain;
+          Alcotest.test_case "switch exact counts" `Quick
+            test_exact_accounting_switch;
+          Alcotest.test_case "static re-parse after quickening" `Quick
+            test_static_reparse_after_quickening;
+          Alcotest.test_case "pre-quicken gap dispatches" `Quick
+            test_pre_quicken_gap_dispatch;
+          Alcotest.test_case "residual mispredicts at VM transfers" `Quick
+            test_residual_mispredicts_are_vm_transfers;
+        ] );
+    ]
+
+
+

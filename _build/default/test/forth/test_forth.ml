@@ -1,0 +1,372 @@
+(* Forth front-end and semantics tests. *)
+
+open Vmbp_core
+module Program = Vmbp_vm.Program
+module F = Vmbp_forth
+
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+(* Compile and run functionally (no hardware simulation). *)
+let run ?(fuel = 10_000_000) source =
+  let program = F.Compiler.compile ~name:"test" source in
+  let state = F.State.create () in
+  let _steps, trap =
+    Engine.run_functional ~program ~exec:(F.Instruction_set.exec state) ~fuel ()
+  in
+  (match trap with
+  | Some msg -> Alcotest.failf "trapped: %s" msg
+  | None -> ());
+  F.State.output state
+
+let expect source expected () = check_string source expected (run source)
+
+let expect_error source () =
+  match F.Compiler.compile ~name:"bad" source with
+  | exception F.Compiler.Error _ -> ()
+  | _ -> Alcotest.failf "expected a compile error for %S" source
+
+let expect_trap source expected () =
+  let program = F.Compiler.compile ~name:"trap" source in
+  let state = F.State.create () in
+  let _steps, trap =
+    Engine.run_functional ~program ~exec:(F.Instruction_set.exec state)
+      ~fuel:1_000_000 ()
+  in
+  match trap with
+  | Some msg ->
+      check_bool
+        (Printf.sprintf "trap %S contains %S" msg expected)
+        true
+        (let re = expected in
+         let len = String.length re in
+         let n = String.length msg in
+         let rec find i = i + len <= n && (String.sub msg i len = re || find (i + 1)) in
+         find 0)
+  | None -> Alcotest.failf "expected a trap for %S" source
+
+(* ------------------------------------------------------------------ *)
+
+let basics =
+  [
+    ("arithmetic", expect "1 2 + 4 * ." "12 ");
+    ("stack ops", expect "1 2 3 rot . . ." "1 3 2 ");
+    ("swap over", expect "10 20 swap over . . ." "20 10 20 ");
+    ("division", expect "17 5 / . 17 5 mod ." "3 2 ");
+    ("negative mod", expect "-7 3 mod ." "2 ");
+    ("comparisons", expect "3 4 < . 4 4 <= . 5 4 > ." "-1 -1 -1 ");
+    ("logic", expect "12 10 and . 12 10 or . 12 10 xor ." "8 14 6 ");
+    ("shifts", expect "1 4 lshift . 256 4 rshift ." "16 16 ");
+    ("min max abs", expect "3 7 min . 3 7 max . -9 abs ." "3 7 9 ");
+    ("char and emit", expect "char H emit char i emit" "Hi");
+    ("dot-quote", expect ".\" hello world\"" "hello world");
+    ("cr", expect "1 . cr 2 ." "1 \n2 ");
+  ]
+
+let definitions =
+  [
+    ("colon word", expect ": sq dup * ; 7 sq ." "49 ");
+    ("nested calls", expect ": sq dup * ; : quad sq sq ; 2 quad ." "16 ");
+    ( "recursion",
+      expect ": fib dup 2 < if exit then dup 1- recurse swap 2 - recurse + ; \
+              10 fib ." "55 " );
+    ("exit", expect ": f 1 . exit 2 . ; f" "1 ");
+    ("tick and execute", expect ": a 42 . ; ' a execute" "42 ");
+    ( "execute chooses at runtime",
+      expect
+        ": even 100 . ; : odd 200 . ; : pick' 2 mod 0= if ' even else ' odd \
+         then ; 7 pick' execute 8 pick' execute"
+        "200 100 " );
+  ]
+
+let control =
+  [
+    ("if taken", expect "1 if 10 . then" "10 ");
+    ("if not taken", expect "0 if 10 . then 20 ." "20 ");
+    ("if else", expect ": sign 0< if -1 else 1 then ; -5 sign . 5 sign ." "-1 1 ");
+    ("begin until", expect ": count 5 begin dup . 1- dup 0= until drop ; count"
+      "5 4 3 2 1 ");
+    ( "begin while repeat",
+      expect ": count 0 begin dup 5 < while dup . 1+ repeat drop ; count"
+        "0 1 2 3 4 " );
+    ("do loop", expect ": sum 0 5 0 do i + loop . ; sum" "10 ");
+    ("do loop index", expect "3 0 do i . loop" "0 1 2 ");
+    ("nested do", expect "2 0 do 2 0 do j 10 * i + . loop loop" "0 1 10 11 ");
+    ("+loop", expect "10 0 do i . 3 +loop" "0 3 6 9 ");
+    ("leave", expect "10 0 do i dup . 2 = if leave then loop" "0 1 2 ");
+    ( "leave leaves cleanly",
+      expect ": f 10 0 do i 3 = if leave then loop 99 . ; f" "99 " );
+  ]
+
+let case_tests =
+  [
+    ( "case basic",
+      expect ": f case 1 of 10 . endof 2 of 20 . endof 99 . endcase ; 1 f 2 f"
+        "10 20 " );
+    ( "case default",
+      expect ": f case 1 of 10 . endof 2 of 20 . endof dup . endcase ; 7 f"
+        "7 " );
+    ( "case consumes selector",
+      expect ": f case 1 of endof endcase depth . ; 1 f 9 f" "0 0 " );
+    ( "case in loop",
+      expect
+        ": f 5 0 do i case 0 of 100 . endof 2 of 200 . endof endcase loop ; f"
+        "100 200 " );
+    ( "nested case",
+      expect
+        ": g case 5 of 15 . endof 42 . endcase ; : f case 1 of 5 g endof 2 \
+         of 20 . endof endcase ; 1 f 2 f"
+        "15 20 " );
+    ("of outside case", expect_error ": f 1 of endof endcase ;");
+    ("endcase without case", expect_error ": f endcase ;");
+    ("endof without of", expect_error ": f case endof endcase ;");
+    ("unterminated case", expect_error ": f case 1 of endof ;");
+  ]
+
+let memory =
+  [
+    ("variable", expect "variable x 42 x ! x @ ." "42 ");
+    ("plus-store", expect "variable x 10 x ! 5 x +! x @ ." "15 ");
+    ("two variables", expect "variable a variable b 1 a ! 2 b ! a @ b @ + ." "3 ");
+    ("constant", expect "42 constant answer answer ." "42 ");
+    ( "array",
+      expect
+        "array tbl 10 : fill 10 0 do i i i * swap tbl + ! loop ; fill 7 tbl \
+         + @ ." "49 " );
+    ("allot and here", expect "here 3 allot here swap - ." "3 ");
+  ]
+
+let errors =
+  [
+    ("unknown word", expect_error "frobnicate");
+    ("unterminated if", expect_error ": f 1 if ;");
+    ("else without if", expect_error ": f else then ;");
+    ("loop without do", expect_error ": f loop ;");
+    ("nested colon", expect_error ": a : b ; ;");
+    ("direct lit", expect_error "lit");
+    ("tick unknown", expect_error "' nope");
+    ("stack underflow", expect_trap "+" "underflow");
+    ("division by zero", expect_trap "1 0 /" "division");
+    ("return underflow", expect_trap "exit" "underflow");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* One focused test per primitive: the full instruction-set battery. *)
+
+let primitive_battery =
+  [
+    ("lit", "42 .", "42 ");
+    ("@ and !", "variable v 7 v ! v @ .", "7 ");
+    ("+!", "variable v 40 v ! 2 v +! v @ .", "42 ");
+    ("allot", "here 5 allot here swap - .", "5 ");
+    ("here", "here here = .", "-1 ");
+    ("dup", "3 dup + .", "6 ");
+    ("drop", "1 2 drop .", "1 ");
+    ("swap", "1 2 swap . .", "1 2 ");
+    ("over", "1 2 over . . .", "1 2 1 ");
+    ("rot", "1 2 3 rot . . .", "1 3 2 ");
+    ("-rot", "1 2 3 -rot . . .", "2 1 3 ");
+    ("nip", "1 2 nip . depth .", "2 0 ");
+    ("tuck", "1 2 tuck . . .", "2 1 2 ");
+    ("pick", "10 20 30 2 pick .", "10 ");
+    ("2dup", "1 2 2dup . . . .", "2 1 2 1 ");
+    ("2drop", "1 2 3 2drop .", "1 ");
+    ("?dup nonzero", "5 ?dup . .", "5 5 ");
+    ("?dup zero", "0 ?dup depth . .", "1 0 ");
+    ("depth", "1 2 3 depth .", "3 ");
+    (">r r> r@", "9 >r r@ r> + .", "18 ");
+    ("plus", "2 3 + .", "5 ");
+    ("minus", "7 3 - .", "4 ");
+    ("times", "6 7 * .", "42 ");
+    ("divide", "-7 2 / .", "-3 ");
+    ("mod", "-7 2 mod .", "1 ");
+    ("1+ 1-", "5 1+ . 5 1- .", "6 4 ");
+    ("2* 2/", "5 2* . -5 2/ .", "10 -3 ");
+    ("negate", "5 negate .", "-5 ");
+    ("abs", "-5 abs . 5 abs .", "5 5 ");
+    ("min max", "2 9 min . 2 9 max .", "2 9 ");
+    ("and or xor", "6 3 and . 6 3 or . 6 3 xor .", "2 7 5 ");
+    ("invert", "0 invert .", "-1 ");
+    ("lshift rshift", "3 2 lshift . 12 2 rshift .", "12 3 ");
+    ("equals", "3 3 = . 3 4 = .", "-1 0 ");
+    ("not-equals", "3 3 <> . 3 4 <> .", "0 -1 ");
+    ("less", "3 4 < . 4 3 < .", "-1 0 ");
+    ("greater", "4 3 > . 3 4 > .", "-1 0 ");
+    ("le ge", "3 3 <= . 3 3 >= .", "-1 -1 ");
+    ("0= 0< 0>", "0 0= . -1 0< . 1 0> .", "-1 -1 -1 ");
+    ("branch via else", "0 if 1 . else 2 . then", "2 ");
+    ("?branch via if", "1 if 1 . then", "1 ");
+    ("call/exit via colon", ": f 5 . ; f", "5 ");
+    ("execute", ": f 9 . ; ' f execute", "9 ");
+    ("(do)/(loop)/i", "3 0 do i . loop", "0 1 2 ");
+    ("(+loop)", "9 0 do i . 4 +loop", "0 4 8 ");
+    ("j", "2 0 do 1 0 do j . loop loop", "0 1 ");
+    ("unloop+exit", ": f 5 0 do i 2 = if unloop exit then i . loop ; f", "0 1 ");
+    ("emit", "72 emit 105 emit", "Hi");
+    ("dot", "123 .", "123 ");
+    ("cr", "cr", "\n");
+    ("type", "variable s 72 s ! s @ emit", "H");
+    ("noop", "noop 1 .", "1 ");
+  ]
+
+let primitive_tests =
+  List.map
+    (fun (name, source, expected) ->
+      (name, fun () -> check_string source expected (run source)))
+    primitive_battery
+
+(* ------------------------------------------------------------------ *)
+(* Cross-technique semantic preservation for real Forth programs. *)
+
+let sieve_source =
+  {|
+array flags 400
+: clear-flags 400 0 do 1 i flags + ! loop ;
+: sieve
+  clear-flags
+  0
+  400 2 do
+    i flags + @ if
+      1+
+      400 i do 0 i flags + ! j +loop
+    then
+  loop
+  . ;
+sieve
+|}
+
+let gcd_source =
+  {|
+: gcd begin dup while tuck mod repeat drop ;
+: try 2dup gcd . ;
+1071 462 try 2drop
+48 36 try 2drop
+17 5 try 2drop
+|}
+
+let run_with_technique program technique =
+  let config =
+    Config.make ~cpu:Vmbp_machine.Cpu_model.ideal technique
+  in
+  let layout = Config.build_layout config ~program in
+  let state = F.State.create () in
+  let result =
+    Engine.run ~config ~layout ~exec:(F.Instruction_set.exec state)
+      ~fuel:20_000_000 ()
+  in
+  Alcotest.(check (option string))
+    (Technique.name technique ^ " trap")
+    None result.Engine.trapped;
+  F.State.output state
+
+let test_cross_technique source () =
+  let program = F.Compiler.compile ~name:"xt" source in
+  let reference = run source in
+  List.iter
+    (fun technique ->
+      check_string (Technique.name technique) reference
+        (run_with_technique program technique))
+    [
+      Technique.switch;
+      Technique.plain;
+      Technique.dynamic_repl;
+      Technique.dynamic_super;
+      Technique.dynamic_both;
+      Technique.across_bb;
+    ]
+
+let test_word_entries () =
+  let unit_ = F.Compiler.compile_unit ~name:"w" ": a 1 . ; : b 2 . ; a b" in
+  check_bool "a present" true (List.mem_assoc "a" unit_.F.Compiler.words);
+  check_bool "b present" true (List.mem_assoc "b" unit_.F.Compiler.words);
+  (* Word entries are program entries, so [execute] targets are leaders. *)
+  let entries = unit_.F.Compiler.program.Program.entries in
+  List.iter
+    (fun (_, e) -> check_bool "entry registered" true (List.mem e entries))
+    unit_.F.Compiler.words
+
+(* ------------------------------------------------------------------ *)
+(* Property: random arithmetic expressions rendered as Forth source
+   compute the same value as native OCaml evaluation. *)
+
+type aexp =
+  | Lit of int
+  | Add of aexp * aexp
+  | Sub of aexp * aexp
+  | Mul of aexp * aexp
+  | Neg of aexp
+  | Min of aexp * aexp
+  | Max of aexp * aexp
+
+let rec forth_of_aexp = function
+  | Lit v -> string_of_int v
+  | Add (a, b) -> Printf.sprintf "%s %s +" (forth_of_aexp a) (forth_of_aexp b)
+  | Sub (a, b) -> Printf.sprintf "%s %s -" (forth_of_aexp a) (forth_of_aexp b)
+  | Mul (a, b) ->
+      Printf.sprintf "%s %s * 1000003 mod" (forth_of_aexp a) (forth_of_aexp b)
+  | Neg a -> Printf.sprintf "%s negate" (forth_of_aexp a)
+  | Min (a, b) -> Printf.sprintf "%s %s min" (forth_of_aexp a) (forth_of_aexp b)
+  | Max (a, b) -> Printf.sprintf "%s %s max" (forth_of_aexp a) (forth_of_aexp b)
+
+let gen_aexp =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then map (fun v -> Lit v) (int_range (-50) 50)
+           else
+             let sub = self (n / 2) in
+             oneof
+               [
+                 map (fun v -> Lit v) (int_range (-50) 50);
+                 map2 (fun a b -> Add (a, b)) sub sub;
+                 map2 (fun a b -> Sub (a, b)) sub sub;
+                 map2 (fun a b -> Mul (a, b)) sub sub;
+                 map (fun a -> Neg a) sub;
+                 map2 (fun a b -> Min (a, b)) sub sub;
+                 map2 (fun a b -> Max (a, b)) sub sub;
+               ]))
+
+let prop_forth_arith_agrees =
+  QCheck.Test.make ~name:"compiled Forth arithmetic equals OCaml evaluation"
+    ~count:300
+    (QCheck.make gen_aexp)
+    (fun e ->
+      (* Reference evaluation with the same non-negative [mod] semantics as
+         the Forth primitive. *)
+      let rec eval' = function
+        | Lit v -> v
+        | Add (a, b) -> eval' a + eval' b
+        | Sub (a, b) -> eval' a - eval' b
+        | Mul (a, b) ->
+            let m = eval' a * eval' b mod 1_000_003 in
+            ((m mod 1_000_003) + 1_000_003) mod 1_000_003
+        | Neg a -> -eval' a
+        | Min (a, b) -> min (eval' a) (eval' b)
+        | Max (a, b) -> max (eval' a) (eval' b)
+      in
+      let expected = eval' e in
+      let out = run (forth_of_aexp e ^ " .") in
+      out = string_of_int expected ^ " ")
+
+let tc (name, f) = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "forth"
+    [
+      ("basics", List.map tc basics);
+      ("primitives", List.map tc primitive_tests);
+      ("definitions", List.map tc definitions);
+      ("control", List.map tc control);
+      ("case", List.map tc case_tests);
+      ("memory", List.map tc memory);
+      ("errors", List.map tc errors);
+      ( "techniques",
+        [
+          Alcotest.test_case "sieve across techniques" `Quick
+            (test_cross_technique sieve_source);
+          Alcotest.test_case "gcd across techniques" `Quick
+            (test_cross_technique gcd_source);
+          Alcotest.test_case "word entries" `Quick test_word_entries;
+          QCheck_alcotest.to_alcotest prop_forth_arith_agrees;
+        ] );
+    ]

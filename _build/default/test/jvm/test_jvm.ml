@@ -1,0 +1,679 @@
+(* Mini-JVM tests: MiniJava compilation, object model, quickening, and
+   cross-technique semantic preservation. *)
+
+open Vmbp_core
+open Vmbp_jvm
+open Minijava
+
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run_prog ?(fuel = 20_000_000) prog =
+  let image = Codegen.compile ~name:"test" prog in
+  let program = Vmbp_vm.Program.copy image.Runtime.program in
+  let state = Runtime.create image in
+  let _steps, trap =
+    Engine.run_functional ~program ~exec:(Semantics.exec state) ~fuel ()
+  in
+  (match trap with
+  | Some msg -> Alcotest.failf "trapped: %s" msg
+  | None -> ());
+  Runtime.output state
+
+let main body = { classes = []; funcs = [ { mname = "main"; params = []; body } ] }
+
+let expect ?classes ?(funcs = []) body expected () =
+  let prog =
+    {
+      classes = Option.value classes ~default:[];
+      funcs = { mname = "main"; params = []; body } :: funcs;
+    }
+  in
+  check_string "output" expected (run_prog prog)
+
+(* ------------------------------------------------------------------ *)
+
+let arithmetic_tests =
+  [
+    ("print literal", expect [ Print (i 42) ] "42 ");
+    ("add/mul", expect [ Print ((i 2 +: i 3) *: i 4) ] "20 ");
+    ("div/rem", expect [ Print (i 17 /: i 5); Print (i 17 %: i 5) ] "3 2 ");
+    ("neg", expect [ Print (Neg (i 7)) ] "-7 ");
+    ( "shifts and logic",
+      expect
+        [
+          Print (Bin (Shl, i 1, i 5));
+          Print (Bin (And, i 12, i 10));
+          Print (Bin (Xor, i 12, i 10));
+        ]
+        "32 8 6 " );
+    ( "comparison values",
+      expect
+        [ Print (i 3 <: i 4); Print (i 4 <=: i 4); Print (i 5 =: i 4) ]
+        "1 1 0 " );
+    ("big constant via ldc", expect [ Print (Big 123456) ] "123456 ");
+  ]
+
+let control_tests =
+  [
+    ( "if else",
+      expect
+        [ If (i 1 <: i 2, [ Print (i 10) ], [ Print (i 20) ]) ]
+        "10 " );
+    ( "while sum",
+      expect
+        [
+          Decl ("s", i 0);
+          Decl ("k", i 0);
+          While
+            ( l "k" <: i 10,
+              [ Assign ("s", l "s" +: l "k"); Assign ("k", l "k" +: i 1) ] );
+          Print (l "s");
+        ]
+        "45 " );
+    ( "locals and iinc",
+      expect
+        [
+          Decl ("x", i 5);
+          Assign ("x", l "x" +: i 3);
+          Print (l "x");
+        ]
+        "8 " );
+    ( "static call",
+      expect
+        ~funcs:
+          [
+            {
+              mname = "square";
+              params = [ "v" ];
+              body = [ Return (l "v" *: l "v") ];
+            };
+          ]
+        [ Print (CallS ("square", [ i 9 ])) ]
+        "81 " );
+    ( "recursion",
+      expect
+        ~funcs:
+          [
+            {
+              mname = "fib";
+              params = [ "n" ];
+              body =
+                [
+                  If (l "n" <: i 2, [ Return (l "n") ], []);
+                  Return
+                    (CallS ("fib", [ l "n" -: i 1 ])
+                    +: CallS ("fib", [ l "n" -: i 2 ]));
+                ];
+            };
+          ]
+        [ Print (CallS ("fib", [ i 12 ])) ]
+        "144 " );
+  ]
+
+let switch_tests =
+  [
+    ( "switch hits a case",
+      expect
+        [
+          Switch
+            ( i 2,
+              [ (1, [ Print (i 10) ]); (2, [ Print (i 20) ]); (3, [ Print (i 30) ]) ],
+              [ Print (i 99) ] );
+        ]
+        "20 " );
+    ( "switch default",
+      expect
+        [
+          Switch (i 7, [ (1, [ Print (i 10) ]); (2, [ Print (i 20) ]) ], [ Print (i 99) ]);
+        ]
+        "99 " );
+    ( "switch hole falls to default",
+      expect
+        [
+          Switch
+            ( i 2,
+              [ (1, [ Print (i 10) ]); (3, [ Print (i 30) ]) ],
+              [ Print (i 99) ] );
+        ]
+        "99 " );
+    ( "switch below range",
+      expect
+        [ Switch (Neg (i 5), [ (0, [ Print (i 1) ]) ], [ Print (i 99) ]) ]
+        "99 " );
+    ( "no fall-through",
+      expect
+        [
+          Switch
+            ( i 1,
+              [ (1, [ Print (i 10) ]); (2, [ Print (i 20) ]) ],
+              [ Print (i 99) ] );
+          Print (i 5);
+        ]
+        "10 5 " );
+    ( "switch in a loop",
+      expect
+        [
+          Decl ("k", i 0);
+          Decl ("acc", i 0);
+          While
+            ( l "k" <: i 12,
+              [
+                Switch
+                  ( l "k" %: i 3,
+                    [
+                      (0, [ Assign ("acc", l "acc" +: i 1) ]);
+                      (1, [ Assign ("acc", l "acc" +: i 10) ]);
+                    ],
+                    [ Assign ("acc", l "acc" +: i 100) ] );
+                Assign ("k", l "k" +: i 1);
+              ] );
+          Print (l "acc");
+        ]
+        "444 " );
+  ]
+
+let test_switch_across_techniques () =
+  let prog =
+    main
+      [
+        Decl ("k", i 0);
+        Decl ("acc", i 0);
+        While
+          ( l "k" <: i 50,
+            [
+              Switch
+                ( l "k" %: i 5,
+                  [
+                    (0, [ Assign ("acc", l "acc" +: i 1) ]);
+                    (2, [ Assign ("acc", l "acc" +: i 7) ]);
+                    (4, [ Assign ("acc", (l "acc" *: i 3) %: Big 99991) ]);
+                  ],
+                  [ Assign ("acc", l "acc" -: i 2) ] );
+              Assign ("k", l "k" +: i 1);
+            ] );
+        Print (l "acc");
+      ]
+  in
+  let image = Codegen.compile ~name:"switch-xt" prog in
+  let reference =
+    let program = Vmbp_vm.Program.copy image.Runtime.program in
+    let state = Runtime.create image in
+    let _ = Engine.run_functional ~program ~exec:(Semantics.exec state) () in
+    Runtime.output state
+  in
+  List.iter
+    (fun technique ->
+      let config =
+        Config.make ~cpu:Vmbp_machine.Cpu_model.ideal technique
+      in
+      let layout = Config.build_layout config ~program:image.Runtime.program in
+      let state = Runtime.create image in
+      let result = Engine.run ~config ~layout ~exec:(Semantics.exec state) () in
+      Alcotest.(check (option string))
+        (Technique.name technique ^ " trap")
+        None result.Engine.trapped;
+      check_string (Technique.name technique) reference (Runtime.output state))
+    [
+      Technique.switch; Technique.plain; Technique.dynamic_repl;
+      Technique.dynamic_super; Technique.across_bb; Technique.subroutine;
+    ]
+
+let point_classes =
+  [
+    {
+      cname = "Point";
+      super = None;
+      fields = [ "x"; "y" ];
+      cmethods =
+        [
+          {
+            mname = "sum";
+            params = [];
+            body =
+              [
+                Return
+                  (Field (l "this", "Point", "x")
+                  +: Field (l "this", "Point", "y"));
+              ];
+          };
+          {
+            mname = "scale";
+            params = [ "k" ];
+            body =
+              [
+                SetField
+                  (l "this", "Point", "x", Field (l "this", "Point", "x") *: l "k");
+                SetField
+                  (l "this", "Point", "y", Field (l "this", "Point", "y") *: l "k");
+                Return (i 0);
+              ];
+          };
+        ];
+    };
+    {
+      cname = "Point3";
+      super = Some "Point";
+      fields = [ "z" ];
+      cmethods =
+        [
+          {
+            mname = "sum";
+            params = [];
+            body =
+              [
+                Return
+                  (Field (l "this", "Point", "x")
+                  +: Field (l "this", "Point", "y")
+                  +: Field (l "this", "Point3", "z"));
+              ];
+          };
+        ];
+    };
+  ]
+
+let object_tests =
+  [
+    ( "fields",
+      expect ~classes:point_classes
+        [
+          Decl ("p", New "Point");
+          SetField (l "p", "Point", "x", i 3);
+          SetField (l "p", "Point", "y", i 4);
+          Print (Field (l "p", "Point", "x") +: Field (l "p", "Point", "y"));
+        ]
+        "7 " );
+    ( "virtual dispatch and override",
+      expect ~classes:point_classes
+        [
+          Decl ("p", New "Point");
+          SetField (l "p", "Point", "x", i 1);
+          SetField (l "p", "Point", "y", i 2);
+          Decl ("q", New "Point3");
+          SetField (l "q", "Point", "x", i 1);
+          SetField (l "q", "Point", "y", i 2);
+          SetField (l "q", "Point3", "z", i 10);
+          Print (CallV (l "p", "sum", []));
+          Print (CallV (l "q", "sum", []));
+        ]
+        "3 13 " );
+    ( "inherited method on subclass",
+      expect ~classes:point_classes
+        [
+          Decl ("q", New "Point3");
+          SetField (l "q", "Point", "x", i 5);
+          SetField (l "q", "Point", "y", i 6);
+          Expr (CallV (l "q", "scale", [ i 2 ]));
+          Print (Field (l "q", "Point", "x"));
+          Print (Field (l "q", "Point", "y"));
+        ]
+        "10 12 " );
+    ( "statics",
+      expect
+        [
+          SetStatic ("counter", i 5);
+          SetStatic ("counter", StaticVar "counter" +: i 10);
+          Print (StaticVar "counter");
+        ]
+        "15 " );
+    ( "arrays",
+      expect
+        [
+          Decl ("a", NewArray (i 10));
+          Decl ("k", i 0);
+          While
+            ( l "k" <: Length (l "a"),
+              [
+                SetIndex (l "a", l "k", l "k" *: l "k");
+                Assign ("k", l "k" +: i 1);
+              ] );
+          Print (Index (l "a", i 7));
+          Print (Length (l "a"));
+        ]
+        "49 10 " );
+  ]
+
+let trap_tests =
+  let expect_trap ?(classes = []) body expected () =
+    let prog =
+      { classes; funcs = [ { mname = "main"; params = []; body } ] }
+    in
+    let image = Codegen.compile ~name:"trap" prog in
+    let program = Vmbp_vm.Program.copy image.Runtime.program in
+    let state = Runtime.create image in
+    let _steps, trap =
+      Engine.run_functional ~program ~exec:(Semantics.exec state)
+        ~fuel:1_000_000 ()
+    in
+    match trap with
+    | Some msg ->
+        check_bool
+          (Printf.sprintf "%S contains %S" msg expected)
+          true
+          (let len = String.length expected and n = String.length msg in
+           let rec find i =
+             i + len <= n && (String.sub msg i len = expected || find (i + 1))
+           in
+           find 0)
+    | None -> Alcotest.failf "expected trap %s" expected
+  in
+  [
+    ( "null pointer",
+      expect_trap ~classes:point_classes
+        [ Decl ("p", i 0); Print (Field (l "p", "Point", "x")) ]
+        "null pointer" );
+    ( "division by zero",
+      expect_trap [ Print (i 1 /: i 0) ] "division by zero" );
+    ( "array bounds",
+      expect_trap
+        [ Decl ("a", NewArray (i 3)); Print (Index (l "a", i 5)) ]
+        "out of bounds" );
+    ( "negative array",
+      expect_trap [ Decl ("a", NewArray (Neg (i 1))); Print (l "a") ]
+        "negative array" );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Hand-assembled bytecode: covers the stack-manipulation and
+   single-operand branch opcodes the MiniJava compiler never emits. *)
+
+let o = Opcode.ops
+
+let run_raw ?(nlocals = 4) slots =
+  let code =
+    Array.of_list
+      (List.map
+         (fun (opcode, operands) -> { Vmbp_vm.Program.opcode; operands })
+         slots)
+  in
+  let image =
+    Runtime.link ~name:"raw" ~classes:[]
+      ~methods:
+        [
+          {
+            Classfile.m_name = "main";
+            m_is_virtual = false;
+            m_class = None;
+            m_nargs = 0;
+            m_nlocals = nlocals;
+            m_entry = 0;
+          };
+        ]
+      ~cp:[||] ~code ~main:"main"
+  in
+  let program = Vmbp_vm.Program.copy image.Runtime.program in
+  let state = Runtime.create image in
+  let _steps, trap =
+    Engine.run_functional ~program ~exec:(Semantics.exec state) ~fuel:100_000 ()
+  in
+  (match trap with
+  | Some msg -> Alcotest.failf "raw program trapped: %s" msg
+  | None -> ());
+  Runtime.output state
+
+let print_ = (o.Opcode.print_int, [||])
+let iconst v = (o.Opcode.iconst, [| v |])
+let ret = (o.Opcode.return_, [||])
+
+let raw_battery =
+  [
+    ("dup", [ iconst 7; (o.Opcode.dup, [||]); print_; print_; ret ], "7 7 ");
+    ( "dup_x1",
+      (* a b -> b a b; print order is top-first *)
+      [ iconst 1; iconst 2; (o.Opcode.dup_x1, [||]); print_; print_; print_; ret ],
+      "2 1 2 " );
+    ( "swap",
+      [ iconst 1; iconst 2; (o.Opcode.swap, [||]); print_; print_; ret ],
+      "1 2 " );
+    ( "pop",
+      [ iconst 1; iconst 2; (o.Opcode.pop, [||]); print_; ret ],
+      "1 " );
+    ( "ifne taken",
+      [ iconst 5; (o.Opcode.ifne, [| 3 |]); iconst 111; iconst 42; print_; ret ],
+      "42 " );
+    ( "ifne not taken",
+      [ iconst 0; (o.Opcode.ifne, [| 4 |]); iconst 42; print_; ret; iconst 9; ret ],
+      "42 " );
+    ( "iflt",
+      [ iconst (-1); (o.Opcode.iflt, [| 3 |]); iconst 111; iconst 42; print_; ret ],
+      "42 " );
+    ( "ifge",
+      [ iconst 0; (o.Opcode.ifge, [| 3 |]); iconst 111; iconst 42; print_; ret ],
+      "42 " );
+    ( "goto",
+      [ (o.Opcode.goto, [| 2 |]); iconst 111; iconst 42; print_; ret ],
+      "42 " );
+    ( "iload/istore roundtrip",
+      [ iconst 33; (o.Opcode.istore, [| 1 |]); (o.Opcode.iload, [| 1 |]); print_; ret ],
+      "33 " );
+    ( "iinc",
+      [ iconst 5; (o.Opcode.istore, [| 0 |]); (o.Opcode.iinc, [| 0; 37 |]);
+        (o.Opcode.iload, [| 0 |]); print_; ret ],
+      "42 " );
+    ( "newarray/iastore/iaload/arraylength",
+      [ iconst 3; (o.Opcode.newarray, [||]); (o.Opcode.istore, [| 0 |]);
+        (o.Opcode.iload, [| 0 |]); iconst 2; iconst 42; (o.Opcode.iastore, [||]);
+        (o.Opcode.iload, [| 0 |]); iconst 2; (o.Opcode.iaload, [||]); print_;
+        (o.Opcode.iload, [| 0 |]); (o.Opcode.arraylength, [||]); print_; ret ],
+      "42 3 " );
+  ]
+
+let raw_tests =
+  List.map
+    (fun (name, slots, expected) ->
+      (name, fun () -> check_string name expected (run_raw slots)))
+    raw_battery
+
+(* ------------------------------------------------------------------ *)
+(* Quickening behaviour *)
+
+let quicken_prog =
+  {
+    classes = point_classes;
+    funcs =
+      [
+        {
+          mname = "main";
+          params = [];
+          body =
+            [
+              Decl ("acc", i 0);
+              Decl ("k", i 0);
+              Decl ("p", New "Point3");
+              While
+                ( l "k" <: i 100,
+                  [
+                    SetField (l "p", "Point", "x", l "k");
+                    SetField (l "p", "Point", "y", i 2);
+                    Assign ("acc", l "acc" +: CallV (l "p", "sum", []));
+                    Assign ("k", l "k" +: i 1);
+                  ] );
+              Print (l "acc");
+            ];
+        };
+      ];
+  }
+
+let test_quickening_counts () =
+  let image = Codegen.compile ~name:"quicken" quicken_prog in
+  let config = Config.make ~cpu:Vmbp_machine.Cpu_model.ideal Technique.plain in
+  let layout = Config.build_layout config ~program:image.Runtime.program in
+  let state = Runtime.create image in
+  let result =
+    Engine.run ~config ~layout ~exec:(Semantics.exec state) ~fuel:10_000_000 ()
+  in
+  Alcotest.(check (option string)) "no trap" None result.Engine.trapped;
+  check_string "output" "5150 " (Runtime.output state);
+  let m = result.Engine.metrics in
+  check_bool
+    (Printf.sprintf "some quickenings (%d)" m.Vmbp_machine.Metrics.quickenings)
+    true
+    (m.Vmbp_machine.Metrics.quickenings > 3);
+  (* Each quickable site quickens at most once: far fewer quickenings than
+     loop iterations. *)
+  check_bool "quickening is one-shot" true
+    (m.Vmbp_machine.Metrics.quickenings < 30)
+
+let test_cross_technique () =
+  let image = Codegen.compile ~name:"xt" quicken_prog in
+  List.iter
+    (fun technique ->
+      let config = Config.make ~cpu:Vmbp_machine.Cpu_model.ideal technique in
+      let profile = Vmbp_vm.Profile.empty ~max_seq_len:4 in
+      Vmbp_vm.Profile.add_program profile image.Runtime.program;
+      let layout =
+        Config.build_layout ~profile config ~program:image.Runtime.program
+      in
+      let state = Runtime.create image in
+      let result =
+        Engine.run ~config ~layout ~exec:(Semantics.exec state)
+          ~fuel:10_000_000 ()
+      in
+      Alcotest.(check (option string))
+        (Technique.name technique ^ " trap")
+        None result.Engine.trapped;
+      check_string (Technique.name technique) "5150 " (Runtime.output state))
+    [
+      Technique.switch;
+      Technique.plain;
+      Technique.static_repl ~n:40 ();
+      Technique.static_super ~n:40 ();
+      Technique.dynamic_repl;
+      Technique.dynamic_super;
+      Technique.dynamic_both;
+      Technique.across_bb;
+      Technique.with_static_super ~n:20 ();
+      Technique.with_static_across_bb ~n:20 ();
+    ]
+
+let test_heap_accounting () =
+  let prog =
+    main
+      [
+        Decl ("k", i 0);
+        While
+          (l "k" <: i 5, [ Expr (NewArray (i 4)); Assign ("k", l "k" +: i 1) ]);
+        Print (l "k");
+      ]
+  in
+  let image = Codegen.compile ~name:"heap" prog in
+  let program = Vmbp_vm.Program.copy image.Runtime.program in
+  let state = Runtime.create image in
+  let _ = Engine.run_functional ~program ~exec:(Semantics.exec state) () in
+  check_int "five arrays" 5 (Runtime.heap_objects state)
+
+(* ------------------------------------------------------------------ *)
+(* Property: random MiniJava expressions compile and evaluate to the same
+   value as direct OCaml evaluation. *)
+
+type jexp =
+  | JLit of int
+  | JBig of int
+  | JBin of Minijava.binop * jexp * jexp
+  | JNeg of jexp
+
+let rec eval_jexp = function
+  | JLit v | JBig v -> v
+  | JNeg a -> -eval_jexp a
+  | JBin (op, a, b) -> (
+      let a = eval_jexp a and b = eval_jexp b in
+      match op with
+      | Add -> a + b
+      | Sub -> a - b
+      | Mul -> (a * b) land 0xFFFFF
+      | Div -> if b = 0 then 0 else a / b
+      | Rem -> if b = 0 then 0 else a mod b
+      | Shl -> a lsl (b land 7)
+      | Shr -> a asr (b land 7)
+      | And -> a land b
+      | Or -> a lor b
+      | Xor -> a lxor b
+      | Eq -> if a = b then 1 else 0
+      | Ne -> if a <> b then 1 else 0
+      | Lt -> if a < b then 1 else 0
+      | Le -> if a <= b then 1 else 0
+      | Gt -> if a > b then 1 else 0
+      | Ge -> if a >= b then 1 else 0)
+
+(* Render to MiniJava, guarding division and masking shift/mul exactly as
+   the reference evaluation does. *)
+let rec mj_of_jexp e : Minijava.expr =
+  match e with
+  | JLit v -> Int v
+  | JBig v -> Big v
+  | JNeg a -> Neg (mj_of_jexp a)
+  | JBin (op, a, b) -> (
+      let ma = mj_of_jexp a and mb = mj_of_jexp b in
+      match op with
+      | Mul -> Bin (And, Bin (Mul, ma, mb), Big 0xFFFFF)
+      | Div ->
+          let bv = eval_jexp b in
+          if bv = 0 then Int 0 else Bin (Div, ma, Int bv)
+      | Rem ->
+          let bv = eval_jexp b in
+          if bv = 0 then Int 0 else Bin (Rem, ma, Int bv)
+      | Shl -> Bin (Shl, ma, Bin (And, mb, Int 7))
+      | Shr -> Bin (Shr, ma, Bin (And, mb, Int 7))
+      | op -> Bin (op, ma, mb))
+
+let gen_jexp =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then
+             oneof
+               [
+                 map (fun v -> JLit v) (int_range (-40) 40);
+                 map (fun v -> JBig v) (int_range 1000 99999);
+               ]
+           else
+             let sub = self (n / 2) in
+             let binops =
+               [ Minijava.Add; Sub; Mul; Div; Rem; Shl; Shr; And; Or; Xor;
+                 Eq; Ne; Lt; Le; Gt; Ge ]
+             in
+             oneof
+               [
+                 map (fun v -> JLit v) (int_range (-40) 40);
+                 map3
+                   (fun op a b -> JBin (op, a, b))
+                   (oneofl binops) sub sub;
+                 map (fun a -> JNeg a) sub;
+               ]))
+
+let prop_minijava_exprs_agree =
+  QCheck.Test.make ~name:"compiled MiniJava expressions equal OCaml evaluation"
+    ~count:300
+    (QCheck.make gen_jexp)
+    (fun e ->
+      (* Division by zero is rewritten away in [mj_of_jexp]; the rewritten
+         expression and the reference agree by construction. *)
+      let expected = eval_jexp e in
+      let out = run_prog (main [ Print (mj_of_jexp e) ]) in
+      out = string_of_int expected ^ " ")
+
+let tc (name, f) = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "jvm"
+    [
+      ("arithmetic", List.map tc arithmetic_tests);
+      ("raw-bytecode", List.map tc raw_tests);
+      ( "tableswitch",
+        List.map tc switch_tests
+        @ [
+            Alcotest.test_case "switch across techniques" `Quick
+              test_switch_across_techniques;
+          ] );
+      ("control", List.map tc control_tests);
+      ("objects", List.map tc object_tests);
+      ("traps", List.map tc trap_tests);
+      ( "quickening",
+        [
+          Alcotest.test_case "quickening counts" `Quick test_quickening_counts;
+          Alcotest.test_case "all techniques agree" `Quick test_cross_technique;
+          Alcotest.test_case "heap accounting" `Quick test_heap_accounting;
+          QCheck_alcotest.to_alcotest prop_minijava_exprs_agree;
+        ] );
+    ]

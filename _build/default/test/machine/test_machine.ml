@@ -1,0 +1,284 @@
+(* Unit and property tests for the simulated hardware substrate. *)
+
+open Vmbp_machine
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -------------------------------------------------------------------- *)
+(* BTB *)
+
+let test_btb_ideal_last_target () =
+  let btb = Btb.create Btb.ideal in
+  (* First access: compulsory miss. *)
+  check_bool "cold miss" false (Btb.access btb ~branch:100 ~target:1);
+  check_bool "repeat hit" true (Btb.access btb ~branch:100 ~target:1);
+  (* Target change: miss, then the new target is predicted. *)
+  check_bool "changed target" false (Btb.access btb ~branch:100 ~target:2);
+  check_bool "new target hit" true (Btb.access btb ~branch:100 ~target:2)
+
+let test_btb_alternating_always_misses () =
+  let btb = Btb.create Btb.ideal in
+  ignore (Btb.access btb ~branch:7 ~target:1);
+  let misses = ref 0 in
+  for i = 1 to 100 do
+    let target = if i mod 2 = 0 then 1 else 2 in
+    if not (Btb.access btb ~branch:7 ~target) then incr misses
+  done;
+  check_int "alternating targets never predict" 100 !misses
+
+let test_btb_two_bit_counters_tolerate_glitch () =
+  (* With two-bit counters, a single diverging execution must not evict a
+     well-established target. *)
+  let btb = Btb.create (Btb.with_counters ~entries:64 ~associativity:4) in
+  for _ = 1 to 4 do
+    ignore (Btb.access btb ~branch:8 ~target:1)
+  done;
+  check_bool "glitch mispredicts" false (Btb.access btb ~branch:8 ~target:2);
+  (* The stored target must still be 1. *)
+  check_bool "target survives glitch" true (Btb.access btb ~branch:8 ~target:1)
+
+let test_btb_classic_replaces_immediately () =
+  let btb = Btb.create (Btb.classic ~entries:64 ~associativity:4) in
+  for _ = 1 to 4 do
+    ignore (Btb.access btb ~branch:8 ~target:1)
+  done;
+  ignore (Btb.access btb ~branch:8 ~target:2);
+  check_bool "classic BTB follows the glitch" true
+    (Btb.access btb ~branch:8 ~target:2)
+
+let test_btb_capacity_conflicts () =
+  (* A direct-mapped 4-entry BTB thrashes when 8 branches alias. *)
+  let btb = Btb.create (Btb.classic ~entries:4 ~associativity:1) in
+  let all_hit = ref true in
+  for round = 1 to 3 do
+    for b = 0 to 7 do
+      let branch = b * 64 in
+      let hit = Btb.access btb ~branch ~target:(b + 1) in
+      if round > 1 && not hit then all_hit := false
+    done
+  done;
+  check_bool "conflicts cause misses" false !all_hit;
+  (* An unbounded BTB on the same stream predicts perfectly after warmup. *)
+  let ideal = Btb.create Btb.ideal in
+  let ok = ref true in
+  for round = 1 to 3 do
+    for b = 0 to 7 do
+      let hit = Btb.access ideal ~branch:(b * 64) ~target:(b + 1) in
+      if round > 1 && not hit then ok := false
+    done
+  done;
+  check_bool "unbounded BTB predicts all" true !ok
+
+let test_btb_predict_readonly () =
+  let btb = Btb.create Btb.ideal in
+  Alcotest.(check (option int)) "empty" None (Btb.predict btb ~branch:5);
+  ignore (Btb.access btb ~branch:5 ~target:42);
+  Alcotest.(check (option int)) "stored" (Some 42) (Btb.predict btb ~branch:5);
+  Alcotest.(check (option int))
+    "predict does not update" (Some 42)
+    (Btb.predict btb ~branch:5)
+
+let test_btb_reset () =
+  let btb = Btb.create (Btb.classic ~entries:16 ~associativity:2) in
+  ignore (Btb.access btb ~branch:4 ~target:9);
+  Btb.reset btb;
+  check_bool "reset forgets" false (Btb.access btb ~branch:4 ~target:9)
+
+let prop_btb_repeating_stream_predicts =
+  QCheck.Test.make ~name:"btb: any repeated (branch,target) stream is predicted"
+    ~count:50
+    QCheck.(list_of_size Gen.(1 -- 20) (pair (int_bound 1000) (int_bound 1000)))
+    (fun pairs ->
+      QCheck.assume (pairs <> []);
+      (* Deduplicate branches: one fixed target per branch. *)
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (b, t) -> if not (Hashtbl.mem tbl b) then Hashtbl.add tbl b t)
+        pairs;
+      let stream = Hashtbl.fold (fun b t acc -> (b, t) :: acc) tbl [] in
+      let btb = Btb.create Btb.ideal in
+      (* Warm up. *)
+      List.iter (fun (b, t) -> ignore (Btb.access btb ~branch:b ~target:t)) stream;
+      (* Every subsequent access must predict correctly. *)
+      List.for_all (fun (b, t) -> Btb.access btb ~branch:b ~target:t) stream)
+
+(* -------------------------------------------------------------------- *)
+(* Two-level predictor and case block table *)
+
+let test_two_level_pattern () =
+  (* The sequence of targets 1,2,1,2,... at one branch is history-
+     predictable for a two-level predictor but not for a BTB. *)
+  let p = Two_level.create Two_level.default in
+  let misses = ref 0 in
+  for i = 1 to 400 do
+    let target = if i mod 2 = 0 then 0x100 else 0x200 in
+    if not (Two_level.access p ~branch:7 ~target) then incr misses
+  done;
+  (* Allow warmup; steady state must be nearly perfect. *)
+  check_bool
+    (Printf.sprintf "two-level learns alternation (%d misses)" !misses)
+    true (!misses < 40)
+
+let test_case_block_table () =
+  let t = Case_block_table.create ~entries:64 in
+  (* Opcode identifies the target exactly: a switch interpreter pattern. *)
+  ignore (Case_block_table.access t ~opcode:3 ~target:0x30);
+  ignore (Case_block_table.access t ~opcode:4 ~target:0x40);
+  check_bool "opcode 3" true (Case_block_table.access t ~opcode:3 ~target:0x30);
+  check_bool "opcode 4" true (Case_block_table.access t ~opcode:4 ~target:0x40)
+
+let test_predictor_bounds () =
+  let perfect = Predictor.create Predictor.Perfect in
+  let never = Predictor.create Predictor.Never in
+  check_bool "perfect" true
+    (Predictor.access perfect ~branch:1 ~target:2 ~opcode:0);
+  check_bool "never" false (Predictor.access never ~branch:1 ~target:2 ~opcode:0)
+
+(* -------------------------------------------------------------------- *)
+(* I-cache *)
+
+let fetch_counts icache ~addr ~bytes =
+  let hits = ref 0 and misses = ref 0 in
+  Icache.fetch icache ~addr ~bytes ~hits ~misses;
+  (!hits, !misses)
+
+let test_icache_basic () =
+  let c =
+    Icache.create
+      (Icache.make_config ~size_bytes:1024 ~line_bytes:32 ~associativity:2)
+  in
+  let _, m1 = fetch_counts c ~addr:0 ~bytes:32 in
+  check_int "cold miss" 1 m1;
+  let h2, m2 = fetch_counts c ~addr:0 ~bytes:32 in
+  check_int "warm hit" 1 h2;
+  check_int "no miss" 0 m2
+
+let test_icache_straddles_lines () =
+  let c =
+    Icache.create
+      (Icache.make_config ~size_bytes:1024 ~line_bytes:32 ~associativity:2)
+  in
+  let _, m = fetch_counts c ~addr:30 ~bytes:8 in
+  check_int "fetch across a boundary touches two lines" 2 m
+
+let test_icache_thrash () =
+  (* Working set larger than the cache: repeated sweeps keep missing. *)
+  let c =
+    Icache.create
+      (Icache.make_config ~size_bytes:256 ~line_bytes:32 ~associativity:1)
+  in
+  let misses = ref 0 and hits = ref 0 in
+  for _ = 1 to 4 do
+    (* Sweep a 1KB working set through a 256B cache: every set sees four
+       competing lines, so a direct-mapped cache misses on every access. *)
+    let addr = ref 0 in
+    while !addr < 1024 do
+      Icache.fetch c ~addr:!addr ~bytes:32 ~hits ~misses;
+      addr := !addr + 32
+    done
+  done;
+  check_bool "sweeping working set misses" true (!misses > !hits)
+
+let test_icache_infinite_never_misses () =
+  let c = Icache.create Icache.infinite in
+  let misses = ref 0 and hits = ref 0 in
+  for i = 0 to 999 do
+    Icache.fetch c ~addr:(i * 4096) ~bytes:64 ~hits ~misses
+  done;
+  check_int "infinite cache" 0 !misses
+
+(* -------------------------------------------------------------------- *)
+(* Cost model and allocator *)
+
+let test_cycles_model () =
+  let m = Metrics.create () in
+  m.Metrics.native_instrs <- 1000;
+  m.Metrics.mispredicts <- 10;
+  m.Metrics.icache_misses <- 5;
+  let cpu = Cpu_model.pentium4_northwood in
+  let expected =
+    (1000. /. cpu.Cpu_model.ipc)
+    +. float_of_int (10 * cpu.Cpu_model.mispredict_penalty)
+    +. float_of_int (5 * cpu.Cpu_model.icache_miss_penalty)
+  in
+  Alcotest.(check (float 1e-9)) "cycles" expected (Cpu_model.cycles cpu m)
+
+let test_cpu_lookup () =
+  check_bool "find celeron" true (Cpu_model.find "celeron-800" <> None);
+  check_bool "unknown" true (Cpu_model.find "cray-1" = None)
+
+let test_memory_layout () =
+  let a = Memory_layout.create ~base:0x1000 ~align:16 () in
+  let b1 = Memory_layout.alloc a ~bytes:10 in
+  let b2 = Memory_layout.alloc a ~bytes:20 in
+  check_int "first at base" 0x1000 b1;
+  check_int "aligned" 0 (b2 mod 16);
+  check_bool "disjoint" true (b2 >= b1 + 10);
+  check_bool "used covers both" true (Memory_layout.used_bytes a >= 30)
+
+let test_metrics_arith () =
+  let a = Metrics.create () and b = Metrics.create () in
+  a.Metrics.dispatches <- 5;
+  b.Metrics.dispatches <- 7;
+  b.Metrics.mispredicts <- 2;
+  Metrics.add a b;
+  check_int "add dispatches" 12 a.Metrics.dispatches;
+  check_int "add mispredicts" 2 a.Metrics.mispredicts;
+  let c = Metrics.copy a in
+  Metrics.reset a;
+  check_int "reset" 0 a.Metrics.dispatches;
+  check_int "copy unaffected" 12 c.Metrics.dispatches
+
+let test_misprediction_rate () =
+  let m = Metrics.create () in
+  Alcotest.(check (float 0.)) "0/0" 0. (Metrics.misprediction_rate m);
+  m.Metrics.indirect_branches <- 10;
+  m.Metrics.mispredicts <- 4;
+  Alcotest.(check (float 1e-9)) "4/10" 0.4 (Metrics.misprediction_rate m)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "machine"
+    [
+      ( "btb",
+        [
+          Alcotest.test_case "last-target prediction" `Quick
+            test_btb_ideal_last_target;
+          Alcotest.test_case "alternating targets" `Quick
+            test_btb_alternating_always_misses;
+          Alcotest.test_case "2-bit counters" `Quick
+            test_btb_two_bit_counters_tolerate_glitch;
+          Alcotest.test_case "classic replaces immediately" `Quick
+            test_btb_classic_replaces_immediately;
+          Alcotest.test_case "capacity and conflict misses" `Quick
+            test_btb_capacity_conflicts;
+          Alcotest.test_case "predict is read-only" `Quick
+            test_btb_predict_readonly;
+          Alcotest.test_case "reset" `Quick test_btb_reset;
+          qt prop_btb_repeating_stream_predicts;
+        ] );
+      ( "predictors",
+        [
+          Alcotest.test_case "two-level learns patterns" `Quick
+            test_two_level_pattern;
+          Alcotest.test_case "case block table" `Quick test_case_block_table;
+          Alcotest.test_case "perfect/never bounds" `Quick test_predictor_bounds;
+        ] );
+      ( "icache",
+        [
+          Alcotest.test_case "hit after miss" `Quick test_icache_basic;
+          Alcotest.test_case "line straddling" `Quick test_icache_straddles_lines;
+          Alcotest.test_case "thrashing" `Quick test_icache_thrash;
+          Alcotest.test_case "infinite cache" `Quick
+            test_icache_infinite_never_misses;
+        ] );
+      ( "cost-model",
+        [
+          Alcotest.test_case "cycle formula" `Quick test_cycles_model;
+          Alcotest.test_case "profile lookup" `Quick test_cpu_lookup;
+          Alcotest.test_case "allocator" `Quick test_memory_layout;
+          Alcotest.test_case "metrics arithmetic" `Quick test_metrics_arith;
+          Alcotest.test_case "misprediction rate" `Quick test_misprediction_rate;
+        ] );
+    ]

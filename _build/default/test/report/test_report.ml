@@ -1,0 +1,252 @@
+(* Tests of the reporting layer: the experiment registry, the dispatch
+   tracer, table rendering, comparator models, and the headline shape
+   assertions that the reproduction must satisfy. *)
+
+open Vmbp_core
+open Vmbp_machine
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Table rendering *)
+
+let test_table_render () =
+  let s =
+    Vmbp_report.Table.render ~headers:[ "name"; "value" ]
+      ~rows:[ [ "alpha"; "1" ]; [ "beta-long"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  check_int "header, rule, 2 rows, trailing newline" 5 (List.length lines);
+  (* all rows equal width *)
+  (match lines with
+  | header :: rule :: rest ->
+      List.iter
+        (fun line ->
+          if line <> "" then
+            check_int "aligned" (String.length header) (String.length line))
+        (rule :: rest)
+  | _ -> Alcotest.fail "missing lines");
+  check_bool "human_int K" true (Vmbp_report.Table.human_int 12_345 = "12.3K");
+  check_bool "human_int M" true (Vmbp_report.Table.human_int 12_345_678 = "12.3M");
+  check_bool "human_int small" true (Vmbp_report.Table.human_int 999 = "999")
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch traces (Tables I-IV as assertions, not just prose) *)
+
+let trace technique ?profile () =
+  let program = Vmbp_toyvm.Toy_vm.table1_loop () in
+  let state = Vmbp_toyvm.Toy_vm.create_state ~counters:(Array.make 16 20) () in
+  Vmbp_report.Dispatch_trace.trace ~technique ?profile ~program
+    ~exec:(Vmbp_toyvm.Toy_vm.exec state) ~skip:8 ~take:8 ()
+
+let misses rows =
+  List.length
+    (List.filter (fun r -> not r.Vmbp_report.Dispatch_trace.correct) rows)
+
+let test_trace_switch_all_miss () =
+  check_int "switch: 8/8 misses" 8 (misses (trace Technique.switch ()))
+
+let test_trace_threaded_half_miss () =
+  let rows = trace Technique.plain () in
+  check_int "threaded: 4/8 misses" 4 (misses rows);
+  (* the missing branch is always A's *)
+  List.iter
+    (fun r ->
+      if not r.Vmbp_report.Dispatch_trace.correct then
+        Alcotest.(check string)
+          "only A mispredicts" "br-A" r.Vmbp_report.Dispatch_trace.btb_entry)
+    rows
+
+let test_trace_replication_no_miss () =
+  let program = Vmbp_toyvm.Toy_vm.table1_loop () in
+  let profile = Vmbp_vm.Profile.empty ~max_seq_len:4 in
+  Vmbp_vm.Profile.add_program profile program;
+  check_int "replication: 0/8 misses" 0
+    (misses (trace (Technique.static_repl ~n:8 ()) ~profile ()));
+  check_int "superinstruction: 0 misses" 0
+    (misses (trace (Technique.static_super ~n:4 ()) ~profile ()))
+
+(* ------------------------------------------------------------------ *)
+(* Comparator models *)
+
+let test_native_model_ordering () =
+  let w = Option.get (Vmbp_workloads.find ~vm:Vmbp_workloads.Forth "bench-gc") in
+  let plain =
+    Vmbp_report.Runner.run ~cpu:Cpu_model.pentium4_northwood
+      ~technique:Technique.plain w
+  in
+  let slots =
+    Vmbp_vm.Program.length (w.Vmbp_workloads.load ~scale:1).Vmbp_workloads.program
+  in
+  let cycles m =
+    Vmbp_report.Native_model.cycles m ~cpu:Cpu_model.pentium4_northwood
+      ~costs:Costs.default ~plain:plain.Vmbp_report.Runner.result ~slots
+  in
+  let big = cycles Vmbp_report.Native_model.bigforth in
+  let hotspot_mixed = cycles Vmbp_report.Native_model.hotspot_mixed in
+  let kaffe_int = cycles Vmbp_report.Native_model.kaffe_interp in
+  let hotspot_int = cycles Vmbp_report.Native_model.hotspot_interp in
+  let plain_cycles = plain.Vmbp_report.Runner.result.Engine.cycles in
+  check_bool "native compilers beat the interpreter" true (big < plain_cycles);
+  check_bool "hotspot mixed beats plain" true (hotspot_mixed < plain_cycles);
+  check_bool "kaffe interpreter is slower than plain" true
+    (kaffe_int > plain_cycles);
+  check_bool "hotspot interpreter is a bit faster than plain" true
+    (hotspot_int < plain_cycles && hotspot_int > 0.5 *. plain_cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment registry *)
+
+let test_registry_complete () =
+  (* every paper table and figure has an experiment *)
+  List.iter
+    (fun id ->
+      check_bool id true (Vmbp_report.Experiments.find id <> None))
+    [
+      "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "table7";
+      "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14";
+      "fig15"; "fig16"; "table8"; "table9"; "table10";
+    ];
+  check_bool "unknown id" true (Vmbp_report.Experiments.find "fig99" = None)
+
+let test_cheap_experiments_render () =
+  (* The worked-example tables and inventories are cheap: run them for real
+     and sanity-check the rendering. *)
+  List.iter
+    (fun id ->
+      let e = Option.get (Vmbp_report.Experiments.find id) in
+      let s = e.Vmbp_report.Experiments.run ~scale:1 in
+      check_bool (id ^ " nonempty") true (String.length s > 40))
+    [ "table1"; "table2"; "table3"; "table4"; "table6"; "table7" ]
+
+(* ------------------------------------------------------------------ *)
+(* Headline shapes on one benchmark per VM (kept cheap) *)
+
+let run ~vm ~workload ~technique ~cpu =
+  let w = Option.get (Vmbp_workloads.find ~vm workload) in
+  Vmbp_report.Runner.run ~cpu ~technique w
+
+let test_shape_forth_ordering () =
+  let cycles t =
+    (run ~vm:Vmbp_workloads.Forth ~workload:"bench-gc" ~technique:t
+       ~cpu:Cpu_model.pentium4_northwood)
+      .Vmbp_report.Runner.result
+      .Engine.cycles
+  in
+  let switch = cycles Technique.switch in
+  let plain = cycles Technique.plain in
+  let dsuper = cycles Technique.dynamic_super in
+  let across = cycles Technique.across_bb in
+  let wss = cycles (Technique.with_static_super ()) in
+  check_bool "plain beats switch" true (plain < switch);
+  check_bool "dynamic super beats plain" true (dsuper < plain);
+  check_bool "across bb beats dynamic super" true (across < dsuper);
+  check_bool "with static super is best" true (wss < across);
+  check_bool "speedup within sane bounds" true
+    (plain /. wss > 2. && plain /. wss < 12.)
+
+let test_shape_misprediction_rates () =
+  (* Paper Section 3: switch 81-98% mispredicted, threaded 50-63%. *)
+  let rate t =
+    let r =
+      run ~vm:Vmbp_workloads.Forth ~workload:"cross" ~technique:t
+        ~cpu:Cpu_model.pentium4_northwood
+    in
+    100. *. Metrics.misprediction_rate r.Vmbp_report.Runner.result.Engine.metrics
+  in
+  let switch = rate Technique.switch in
+  let plain = rate Technique.plain in
+  check_bool (Printf.sprintf "switch rate %.1f in 75-100" switch) true
+    (switch > 75.);
+  check_bool (Printf.sprintf "threaded rate %.1f in 35-75" plain) true
+    (plain > 35. && plain < 75.)
+
+let test_shape_jvm_smaller_ratio () =
+  (* Paper Section 7.2.2: indirect-branch share is much higher for Forth
+     than for the JVM. *)
+  let ratio ~vm ~workload =
+    let r =
+      run ~vm ~workload ~technique:Technique.plain
+        ~cpu:Cpu_model.pentium4_northwood
+    in
+    let m = r.Vmbp_report.Runner.result.Engine.metrics in
+    float_of_int m.Metrics.indirect_branches
+    /. float_of_int m.Metrics.native_instrs
+  in
+  let forth = ratio ~vm:Vmbp_workloads.Forth ~workload:"cross" in
+  let jvm = ratio ~vm:Vmbp_workloads.Jvm ~workload:"db" in
+  check_bool "forth ratio above jvm's" true (forth > jvm +. 0.02)
+
+let test_shape_static_mix_improves () =
+  let data =
+    Vmbp_report.Experiments.static_mix ~scale:1 ~vm:Vmbp_workloads.Forth
+      ~workload:"bench-gc" ~cpu:Cpu_model.celeron_800 ~totals:[ 0; 400 ]
+  in
+  match data with
+  | [ (0, base_series); (400, series) ] ->
+      let base_cycles = match base_series with (_, c, _) :: _ -> c | [] -> 0. in
+      List.iter
+        (fun (_pct, cycles, _mp) ->
+          check_bool "400 extra instructions always beat plain" true
+            (cycles < base_cycles))
+        series
+  | _ -> Alcotest.fail "unexpected static_mix result"
+
+let test_subroutine_threading_shape () =
+  (* Dispatch indirect branches disappear; only VM transfers remain. *)
+  let r =
+    run ~vm:Vmbp_workloads.Forth ~workload:"bench-gc"
+      ~technique:Technique.subroutine ~cpu:Cpu_model.pentium4_northwood
+  in
+  let plain =
+    run ~vm:Vmbp_workloads.Forth ~workload:"bench-gc"
+      ~technique:Technique.plain ~cpu:Cpu_model.pentium4_northwood
+  in
+  let m = r.Vmbp_report.Runner.result.Engine.metrics in
+  let mp = plain.Vmbp_report.Runner.result.Engine.metrics in
+  check_bool "far fewer indirect branches" true
+    (m.Metrics.indirect_branches * 4 < mp.Metrics.indirect_branches);
+  check_bool "faster than plain" true
+    (r.Vmbp_report.Runner.result.Engine.cycles
+    < plain.Vmbp_report.Runner.result.Engine.cycles)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "rendering",
+        [ Alcotest.test_case "table layout" `Quick test_table_render ] );
+      ( "traces",
+        [
+          Alcotest.test_case "switch all-miss" `Quick test_trace_switch_all_miss;
+          Alcotest.test_case "threaded half-miss" `Quick
+            test_trace_threaded_half_miss;
+          Alcotest.test_case "replication no-miss" `Quick
+            test_trace_replication_no_miss;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "comparator ordering" `Slow
+            test_native_model_ordering;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "all paper items present" `Quick
+            test_registry_complete;
+          Alcotest.test_case "cheap experiments render" `Quick
+            test_cheap_experiments_render;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "forth technique ordering" `Slow
+            test_shape_forth_ordering;
+          Alcotest.test_case "misprediction rates" `Slow
+            test_shape_misprediction_rates;
+          Alcotest.test_case "jvm dispatch ratio lower" `Slow
+            test_shape_jvm_smaller_ratio;
+          Alcotest.test_case "static mix improves" `Slow
+            test_shape_static_mix_improves;
+          Alcotest.test_case "subroutine threading" `Slow
+            test_subroutine_threading_shape;
+        ] );
+    ]

@@ -1,0 +1,292 @@
+(* Unit and property tests for the generic VM substrate: instruction sets,
+   program validation, basic-block analysis and profiles. *)
+
+open Vmbp_vm
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A tiny private instruction set for structural tests. *)
+let make_iset () =
+  let iset = Instr_set.create ~name:"test" in
+  let nop = Instr_set.register iset ~name:"nop" ~work_instrs:2 ~work_bytes:6 () in
+  let lit =
+    Instr_set.register iset ~name:"lit" ~work_instrs:3 ~work_bytes:9
+      ~operand_count:1 ()
+  in
+  let jmp =
+    Instr_set.register iset ~name:"jmp" ~work_instrs:3 ~work_bytes:9
+      ~operand_count:1 ~branch:(Instr.Uncond_branch 0) ()
+  in
+  let beq =
+    Instr_set.register iset ~name:"beq" ~work_instrs:5 ~work_bytes:15
+      ~operand_count:1 ~branch:(Instr.Cond_branch 0) ()
+  in
+  let call =
+    Instr_set.register iset ~name:"call" ~work_instrs:5 ~work_bytes:15
+      ~operand_count:1 ~branch:(Instr.Call 0) ()
+  in
+  let ret =
+    Instr_set.register iset ~name:"ret" ~work_instrs:4 ~work_bytes:12
+      ~branch:Instr.Return ()
+  in
+  let stop =
+    Instr_set.register iset ~name:"stop" ~work_instrs:1 ~work_bytes:3
+      ~branch:Instr.Stop ()
+  in
+  (iset, nop, lit, jmp, beq, call, ret, stop)
+
+let slot opcode operands = { Program.opcode; operands }
+
+(* ------------------------------------------------------------------ *)
+(* Instr_set *)
+
+let test_iset_registration () =
+  let iset, nop, lit, _, _, _, _, _ = make_iset () in
+  check_int "size" 7 (Instr_set.size iset);
+  check_int "opcodes sequential" 0 nop;
+  check_int "lookup by name" lit (Instr_set.find_exn iset "lit");
+  check_bool "missing name" true (Instr_set.find iset "nosuch" = None);
+  check_bool "descriptor round-trip" true
+    ((Instr_set.get iset nop).Instr.name = "nop")
+
+let test_iset_duplicate_name () =
+  let iset = Instr_set.create ~name:"dup-test" in
+  let _ = Instr_set.register iset ~name:"x" ~work_instrs:1 ~work_bytes:3 () in
+  match Instr_set.register iset ~name:"x" ~work_instrs:1 ~work_bytes:3 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate registration must fail"
+
+let test_quick_family () =
+  let iset = Instr_set.create ~name:"quick-test" in
+  let orig =
+    Instr_set.register iset ~name:"orig" ~work_instrs:30 ~work_bytes:90
+      ~quickable:true ()
+  in
+  let q1 =
+    Instr_set.register iset ~name:"q1" ~work_instrs:3 ~work_bytes:9
+      ~quick_of:orig ()
+  in
+  let q2 =
+    Instr_set.register iset ~name:"q2" ~work_instrs:5 ~work_bytes:40
+      ~quick_of:orig ()
+  in
+  Instr_set.set_quick_family iset ~original:orig ~quicks:[ q1; q2 ];
+  (* gap must fit the largest of {original, quick versions} *)
+  check_int "max quick bytes" 90 (Instr_set.max_quick_bytes iset orig);
+  check_bool "non-quickable rejected" true
+    (match Instr_set.set_quick_family iset ~original:q1 ~quicks:[] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Program validation *)
+
+let test_program_validation () =
+  let iset, nop, lit, jmp, _, _, _, stop = make_iset () in
+  let ok =
+    Program.make ~name:"ok" ~iset
+      ~code:[| slot nop [||]; slot lit [| 5 |]; slot stop [||] |]
+      ~entry:0 ()
+  in
+  check_int "length" 3 (Program.length ok);
+  let bad_target () =
+    Program.make ~name:"bad" ~iset
+      ~code:[| slot jmp [| 9 |]; slot stop [||] |]
+      ~entry:0 ()
+  in
+  check_bool "branch target out of range" true
+    (match bad_target () with exception Invalid_argument _ -> true | _ -> false);
+  let bad_arity () =
+    Program.make ~name:"bad" ~iset
+      ~code:[| slot lit [||]; slot stop [||] |]
+      ~entry:0 ()
+  in
+  check_bool "operand arity" true
+    (match bad_arity () with exception Invalid_argument _ -> true | _ -> false);
+  let bad_opcode () =
+    Program.make ~name:"bad" ~iset ~code:[| slot 999 [||] |] ~entry:0 ()
+  in
+  check_bool "unknown opcode" true
+    (match bad_opcode () with exception Invalid_argument _ -> true | _ -> false);
+  let bad_entry () =
+    Program.make ~name:"bad" ~iset ~code:[| slot stop [||] |] ~entry:5 ()
+  in
+  check_bool "entry out of range" true
+    (match bad_entry () with exception Invalid_argument _ -> true | _ -> false)
+
+let test_program_copy_isolation () =
+  let iset, nop, _, _, _, _, _, stop = make_iset () in
+  let p =
+    Program.make ~name:"copy" ~iset
+      ~code:[| slot nop [||]; slot stop [||] |]
+      ~entry:0 ()
+  in
+  let q = Program.copy p in
+  q.Program.code.(0).Program.opcode <- stop;
+  check_int "original untouched" nop p.Program.code.(0).Program.opcode
+
+let test_branch_targets () =
+  let iset, nop, _, jmp, beq, call, ret, stop = make_iset () in
+  let p =
+    Program.make ~name:"targets" ~iset
+      ~code:
+        [|
+          slot jmp [| 3 |]; slot beq [| 0 |]; slot call [| 4 |];
+          slot ret [||]; slot nop [||]; slot stop [||];
+        |]
+      ~entry:0 ()
+  in
+  Alcotest.(check (list int)) "jmp" [ 3 ] (Program.branch_targets p 0);
+  Alcotest.(check (list int)) "beq" [ 0 ] (Program.branch_targets p 1);
+  Alcotest.(check (list int)) "call" [ 4 ] (Program.branch_targets p 2);
+  Alcotest.(check (list int)) "ret" [] (Program.branch_targets p 3)
+
+(* ------------------------------------------------------------------ *)
+(* Basic blocks *)
+
+let test_basic_blocks () =
+  let iset, nop, _, _, beq, _, _, stop = make_iset () in
+  (* 0:nop 1:beq->0 2:nop 3:nop 4:stop  with an extra entry at 3 *)
+  let p =
+    Program.make ~name:"bb" ~iset
+      ~code:
+        [|
+          slot nop [||]; slot beq [| 0 |]; slot nop [||]; slot nop [||];
+          slot stop [||];
+        |]
+      ~entry:0 ~entries:[ 3 ] ()
+  in
+  let bb = Basic_block.analyze p in
+  (* leaders: 0 (entry+target), 2 (after branch), 3 (extra entry) *)
+  check_bool "0 leader" true bb.Basic_block.leader.(0);
+  check_bool "1 not leader" false bb.Basic_block.leader.(1);
+  check_bool "2 leader" true bb.Basic_block.leader.(2);
+  check_bool "3 leader" true bb.Basic_block.leader.(3);
+  check_int "block count" 3 (Array.length bb.Basic_block.blocks);
+  check_int "slot 1 in block 0" 0 bb.Basic_block.block_of_slot.(1);
+  check_int "slot 4 in block 2" 2 bb.Basic_block.block_of_slot.(4)
+
+let prop_blocks_partition =
+  QCheck.Test.make ~name:"basic blocks partition the program" ~count:100
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let p = Vmbp_toyvm.Toy_vm.random_program ~seed ~size:30 in
+      let bb = Basic_block.analyze p in
+      let n = Program.length p in
+      let covered = Array.make n 0 in
+      Array.iter
+        (fun (b : Basic_block.block) ->
+          for i = b.Basic_block.start to b.Basic_block.stop do
+            covered.(i) <- covered.(i) + 1
+          done)
+        bb.Basic_block.blocks;
+      Array.for_all (fun c -> c = 1) covered
+      && Array.for_all
+           (fun (b : Basic_block.block) ->
+             (* leaders only at block starts *)
+             let ok = ref bb.Basic_block.leader.(b.Basic_block.start) in
+             for i = b.Basic_block.start + 1 to b.Basic_block.stop do
+               if bb.Basic_block.leader.(i) then ok := false
+             done;
+             !ok)
+           bb.Basic_block.blocks)
+
+let prop_block_interiors_straight =
+  QCheck.Test.make
+    ~name:"only the last slot of a block can end a basic block" ~count:100
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let p = Vmbp_toyvm.Toy_vm.random_program ~seed ~size:30 in
+      let bb = Basic_block.analyze p in
+      Array.for_all
+        (fun (b : Basic_block.block) ->
+          let ok = ref true in
+          for i = b.Basic_block.start to b.Basic_block.stop - 1 do
+            if Instr.is_basic_block_end (Program.instr_at p i) then ok := false
+          done;
+          !ok)
+        bb.Basic_block.blocks)
+
+(* ------------------------------------------------------------------ *)
+(* Profiles *)
+
+let test_profile_weighted () =
+  let iset, nop, lit, _, _, _, _, stop = make_iset () in
+  let p =
+    Program.make ~name:"prof" ~iset
+      ~code:[| slot nop [||]; slot lit [| 1 |]; slot stop [||] |]
+      ~entry:0 ()
+  in
+  let prof = Profile.empty ~max_seq_len:3 in
+  Profile.add_program ~weights:[| 10; 10; 1 |] prof p;
+  check_int "weighted opcode count" 10 (Profile.opcode_count prof nop);
+  check_int "weighted sequence count" 10
+    (Profile.sequence_count prof [| nop; lit |]);
+  (* top_sequences must rank by weight *)
+  match Profile.top_sequences prof ~n:1 () with
+  | [ seq ] -> Alcotest.(check (array int)) "top" [| nop; lit |] seq
+  | _ -> Alcotest.fail "expected one sequence"
+
+let test_profile_prefer_short () =
+  let iset, nop, lit, _, _, _, _, stop = make_iset () in
+  (* nop nop nop lit stop: [nop nop] occurs twice, [nop nop nop] once *)
+  let p =
+    Program.make ~name:"short" ~iset
+      ~code:
+        [|
+          slot nop [||]; slot nop [||]; slot nop [||]; slot lit [| 0 |];
+          slot stop [||];
+        |]
+      ~entry:0 ()
+  in
+  let prof = Profile.empty ~max_seq_len:4 in
+  Profile.add_program prof p;
+  check_int "pair counted twice" 2 (Profile.sequence_count prof [| nop; nop |]);
+  match Profile.top_sequences prof ~prefer_short:true ~n:1 () with
+  | [ seq ] -> check_int "short preferred" 2 (Array.length seq)
+  | _ -> Alcotest.fail "expected one sequence"
+
+let prop_profile_counts_consistent =
+  QCheck.Test.make
+    ~name:"profile opcode counts equal static occurrence counts" ~count:50
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let p = Vmbp_toyvm.Toy_vm.random_program ~seed ~size:25 in
+      let prof = Profile.empty ~max_seq_len:3 in
+      Profile.add_program prof p;
+      let static = Program.slot_count_by_opcode p in
+      Array.for_all
+        (fun i -> Profile.opcode_count prof i = static.(i))
+        (Array.init (Array.length static) (fun i -> i)))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "vm"
+    [
+      ( "instr-set",
+        [
+          Alcotest.test_case "registration" `Quick test_iset_registration;
+          Alcotest.test_case "duplicate names" `Quick test_iset_duplicate_name;
+          Alcotest.test_case "quick families" `Quick test_quick_family;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "validation" `Quick test_program_validation;
+          Alcotest.test_case "copy isolation" `Quick test_program_copy_isolation;
+          Alcotest.test_case "branch targets" `Quick test_branch_targets;
+        ] );
+      ( "basic-blocks",
+        [
+          Alcotest.test_case "leaders and blocks" `Quick test_basic_blocks;
+          qt prop_blocks_partition;
+          qt prop_block_interiors_straight;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "weighted counting" `Quick test_profile_weighted;
+          Alcotest.test_case "prefer-short ranking" `Quick
+            test_profile_prefer_short;
+          qt prop_profile_counts_consistent;
+        ] );
+    ]
