@@ -174,13 +174,39 @@ let trace_cmd =
 
 (* ---------------- experiment ---------------- *)
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Run experiment cells on $(docv) domains (default sequential).")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write a machine-readable per-cell summary (simulated counters \
+           plus wall-clock timings) to $(docv).")
+
+let set_jobs jobs = Vmbp_report.Par_runner.default_jobs := max 1 jobs
+
+let write_json = function
+  | None -> ()
+  | Some file ->
+      let cells = Vmbp_report.Par_runner.drain_log () in
+      Vmbp_report.Par_runner.write_json_summary ~file cells;
+      Printf.eprintf "wrote %d cell timings to %s\n" (List.length cells) file
+
 let experiment_cmd =
   let doc = "Regenerate one of the paper's tables or figures." in
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
   let scale =
     Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N")
   in
-  let run id scale =
+  let run id scale jobs json =
+    set_jobs jobs;
     match Vmbp_report.Experiments.find id with
     | None ->
         Printf.eprintf "unknown experiment %s (try 'vmbp list')\n" id;
@@ -191,9 +217,11 @@ let experiment_cmd =
         in
         Printf.printf "== %s ==\n%s\n\n" e.Vmbp_report.Experiments.title
           e.Vmbp_report.Experiments.paper_claim;
-        print_table (e.Vmbp_report.Experiments.run ~scale)
+        print_table (e.Vmbp_report.Experiments.run ~scale);
+        write_json json
   in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ id $ scale)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run $ id $ scale $ jobs_arg $ json_arg)
 
 (* ---------------- report ---------------- *)
 
@@ -202,7 +230,8 @@ let report_cmd =
   let scale =
     Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N")
   in
-  let run scale =
+  let run scale jobs json =
+    set_jobs jobs;
     List.iter
       (fun (e : Vmbp_report.Experiments.t) ->
         let s =
@@ -212,9 +241,11 @@ let report_cmd =
         Printf.printf "Paper: %s\n\n" e.Vmbp_report.Experiments.paper_claim;
         print_table (e.Vmbp_report.Experiments.run ~scale:s);
         print_newline ())
-      Vmbp_report.Experiments.all
+      Vmbp_report.Experiments.all;
+    write_json json
   in
-  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ scale)
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run $ scale $ jobs_arg $ json_arg)
 
 let () =
   let doc =

@@ -11,7 +11,7 @@ type result = {
   trapped : string option;
 }
 
-exception Out_of_fuel
+let out_of_fuel = "out of fuel"
 
 type stop_reason = Finished | Trapped of string
 
@@ -36,6 +36,10 @@ let run ?(fuel = max_int) ?exec_counts ~config ~layout ~exec () =
   let steps = ref 0 in
   let stop = ref None in
   while !stop = None do
+    (* Exhausting the fuel is a reported stop, not an exception: the
+       accumulated metrics of the truncated run stay observable. *)
+    if !steps >= fuel then stop := Some (Trapped out_of_fuel)
+    else begin
     let i = !pc in
     if !shadow_hi >= 0 && (i < !shadow_lo || i > !shadow_hi) then
       shadow_hi := -1;
@@ -94,7 +98,6 @@ let run ?(fuel = max_int) ?exec_counts ~config ~layout ~exec () =
     m.Metrics.native_instrs <- m.Metrics.native_instrs + work_instrs;
     m.Metrics.vm_instrs <- m.Metrics.vm_instrs + 1;
     incr steps;
-    if !steps > fuel then raise Out_of_fuel;
     (match exec_counts with
     | Some counts -> counts.(i) <- counts.(i) + 1
     | None -> ());
@@ -141,6 +144,7 @@ let run ?(fuel = max_int) ?exec_counts ~config ~layout ~exec () =
         (* [exec] resolved the outer quickening above; nested quickening is
            not meaningful. *)
         stop := Some (Trapped "nested quickening")
+    end
   done;
   m.Metrics.icache_fetches <- !hits + !misses;
   m.Metrics.icache_misses <- !misses;
@@ -162,27 +166,29 @@ let run_functional ?(fuel = max_int) ?exec_counts ~program ~exec () =
   let steps = ref 0 in
   let stop = ref None in
   while !stop = None do
-    let i = !pc in
-    incr steps;
-    if !steps > fuel then raise Out_of_fuel;
-    (match exec_counts with
-    | Some counts -> counts.(i) <- counts.(i) + 1
-    | None -> ());
-    let control =
-      match exec program i with
-      | Control.Quicken q ->
-          let slot = program.Program.code.(i) in
-          slot.Program.opcode <- q.Control.new_opcode;
-          slot.Program.operands <- q.Control.new_operands;
-          q.Control.after
-      | control -> control
-    in
-    match control with
-    | Control.Next -> pc := i + 1
-    | Control.Jump target -> pc := target
-    | Control.Halt -> stop := Some Finished
-    | Control.Trap msg -> stop := Some (Trapped msg)
-    | Control.Quicken _ -> stop := Some (Trapped "nested quickening")
+    if !steps >= fuel then stop := Some (Trapped out_of_fuel)
+    else begin
+      let i = !pc in
+      incr steps;
+      (match exec_counts with
+      | Some counts -> counts.(i) <- counts.(i) + 1
+      | None -> ());
+      let control =
+        match exec program i with
+        | Control.Quicken q ->
+            let slot = program.Program.code.(i) in
+            slot.Program.opcode <- q.Control.new_opcode;
+            slot.Program.operands <- q.Control.new_operands;
+            q.Control.after
+        | control -> control
+      in
+      match control with
+      | Control.Next -> pc := i + 1
+      | Control.Jump target -> pc := target
+      | Control.Halt -> stop := Some Finished
+      | Control.Trap msg -> stop := Some (Trapped msg)
+      | Control.Quicken _ -> stop := Some (Trapped "nested quickening")
+    end
   done;
   ( !steps,
     match !stop with

@@ -21,7 +21,8 @@ type result = {
   trapped : string option;  (** [Some msg] when the program trapped *)
 }
 
-exception Out_of_fuel
+val out_of_fuel : string
+(** The trap message reported when a run exhausts its fuel. *)
 
 val run :
   ?fuel:int ->
@@ -34,9 +35,10 @@ val run :
 (** Execute the layout's program to completion.
 
     [fuel] bounds the number of executed VM instructions (default
-    unlimited); exceeding it raises {!Out_of_fuel}.  When [exec_counts] is
-    given, the engine increments one counter per executed slot, which is how
-    training runs collect dynamic profiles. *)
+    unlimited); exhausting it stops the run with [trapped = Some out_of_fuel]
+    so the metrics accumulated up to that point remain observable.  When
+    [exec_counts] is given, the engine increments one counter per executed
+    slot, which is how training runs collect dynamic profiles. *)
 
 val run_functional :
   ?fuel:int ->
@@ -46,7 +48,8 @@ val run_functional :
   unit ->
   int * string option
 (** Run the program without any hardware simulation (and without a layout):
-    returns the executed VM instruction count and the trap message, if any.
+    returns the executed VM instruction count and the trap message, if any
+    (fuel exhaustion reports [Some out_of_fuel]).
     Used by tests to establish reference behaviour, and by training runs
     that only need quickening to reach a fixed point.  The program is
     mutated in place by quickening. *)

@@ -31,6 +31,11 @@ val create : config -> t
 
 val config : t -> config
 
+val set_index : t -> int -> int
+(** The set the branch at the given byte address maps to.  Only meaningful
+    for finite configurations.  Exposed so tests can check that neighbouring
+    dispatch branches spread across sets instead of piling into one. *)
+
 val predict : t -> branch:int -> int option
 (** Predicted target for the branch at address [branch], if any entry is
     present.  Does not update any state. *)

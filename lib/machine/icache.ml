@@ -21,8 +21,14 @@ type t = {
   stamps : int array;
   mutable tick : int;
   (* One-entry fetch memo: consecutive fetches of the same line (straight-
-     line execution inside a block) hit without a full set scan. *)
+     line execution inside a block) hit without a full set scan.  [last_slot]
+     is the way the memoized line occupies, so a memo hit can refresh the
+     line's LRU stamp without rescanning the set: skipping the refresh would
+     leave the hot line's stamp stale and let it be evicted as the "LRU"
+     victim, inflating miss counts for exactly the replicated layouts whose
+     I-cache pressure the paper measures (Section 7.4). *)
   mutable last_line : int;
+  mutable last_slot : int;
 }
 
 let create cfg =
@@ -37,6 +43,7 @@ let create cfg =
     stamps = Array.make (max 1 (nsets * cfg.associativity)) 0;
     tick = 0;
     last_line = -1;
+    last_slot = -1;
   }
 
 let config t = t.cfg
@@ -53,6 +60,7 @@ let touch_line t line =
   match find 0 with
   | Some i ->
       t.stamps.(base + i) <- t.tick;
+      t.last_slot <- base + i;
       true
   | None ->
       let victim = ref 0 in
@@ -61,6 +69,7 @@ let touch_line t line =
       done;
       t.tags.(base + !victim) <- line;
       t.stamps.(base + !victim) <- t.tick;
+      t.last_slot <- base + !victim;
       false
 
 let fetch t ~addr ~bytes ~hits ~misses =
@@ -73,7 +82,14 @@ let fetch t ~addr ~bytes ~hits ~misses =
     let first = addr / t.cfg.line_bytes in
     let last = (addr + max 1 bytes - 1) / t.cfg.line_bytes in
     for line = first to last do
-      if line = t.last_line then incr hits
+      if line = t.last_line then begin
+        (* Memo hit: the line is resident in [last_slot].  Advance the LRU
+           clock and refresh the stamp exactly as the full-scan path would,
+           so the memoized run stays in lock-step with a memo-free one. *)
+        t.tick <- t.tick + 1;
+        t.stamps.(t.last_slot) <- t.tick;
+        incr hits
+      end
       else begin
         t.last_line <- line;
         if touch_line t line then incr hits else incr misses
@@ -81,8 +97,20 @@ let fetch t ~addr ~bytes ~hits ~misses =
     done
   end
 
+let clock t = t.tick
+
+let resident t ~line =
+  if t.cfg.size_bytes = 0 then true
+  else begin
+    let assoc = t.cfg.associativity in
+    let base = line mod t.nsets * assoc in
+    let rec find i = i < assoc && (t.tags.(base + i) = line || find (i + 1)) in
+    find 0
+  end
+
 let reset t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.stamps 0 (Array.length t.stamps) 0;
   t.tick <- 0;
-  t.last_line <- -1
+  t.last_line <- -1;
+  t.last_slot <- -1

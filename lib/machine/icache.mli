@@ -25,6 +25,19 @@ val config : t -> config
 
 val fetch : t -> addr:int -> bytes:int -> hits:int ref -> misses:int ref -> unit
 (** Touch every line overlapping [addr, addr+bytes); adds the line hit and
-    miss counts into the given accumulators. *)
+    miss counts into the given accumulators.  Every counted line access --
+    including fast-path hits on the internally memoized last line -- advances
+    the LRU clock and refreshes that line's recency stamp. *)
+
+val clock : t -> int
+(** Number of line accesses applied to the LRU recency clock so far.  For a
+    finite cache this equals the total hits plus misses reported by [fetch];
+    the invariant is what keeps hot lines from going stale in the eviction
+    order, and what tests use to pin the memoized fast path to the memo-free
+    reference behaviour.  Always [0] for the infinite cache. *)
+
+val resident : t -> line:int -> bool
+(** Whether the given line index currently occupies a way (always [true] for
+    the infinite cache).  Exposed for tests and cache-content tooling. *)
 
 val reset : t -> unit

@@ -12,7 +12,13 @@ type t = {
 let buf_add = Buffer.add_string
 
 (* ------------------------------------------------------------------ *)
-(* Shared computations *)
+(* Shared computations.
+
+   Every multi-run experiment builds its cell list up front and runs it
+   through {!Par_runner.run_cells}: with --jobs N the grid spreads over N
+   domains, and a trapped cell degrades to a "fail" table entry instead of
+   aborting its siblings.  Cell lists are consumed strictly in input order,
+   so the rendered tables are identical for every job count. *)
 
 let variants_for = function
   | Vmbp_workloads.Forth -> Technique.paper_gforth_variants
@@ -22,19 +28,51 @@ let workloads_for = function
   | Vmbp_workloads.Forth -> Vmbp_workloads.forth
   | Vmbp_workloads.Jvm -> Vmbp_workloads.jvm
 
+let ok_run (t : Par_runner.timed) =
+  match t.Par_runner.outcome with Ok r -> Some r | Error _ -> None
+
+(* Render one cell's value, or "fail" for an isolated failed run. *)
+let cell_str f (t : Par_runner.timed) =
+  match t.Par_runner.outcome with Ok r -> f r | Error _ -> "fail"
+
+(* Split the flat, input-ordered result list back into the grid rows it was
+   built from. *)
+let rec chunks n = function
+  | [] -> []
+  | l ->
+      let rec take k acc rest =
+        if k = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | x :: rest' -> take (k - 1) (x :: acc) rest'
+          | [] -> invalid_arg "chunks: ragged result list"
+      in
+      let row, rest = take n [] l in
+      row :: chunks n rest
+
 let speedups ~scale ~vm ~cpu =
   let techniques = variants_for vm in
-  let grid = Runner.matrix ~scale ~cpu ~techniques (workloads_for vm) in
+  let tag = Printf.sprintf "speedups/%s/%s" (Vmbp_workloads.vm_name vm)
+      cpu.Cpu_model.name in
+  let grid =
+    Par_runner.matrix ~scale ~tag ~cpu ~techniques (workloads_for vm)
+  in
   List.map
     (fun ((w : Vmbp_workloads.t), runs) ->
       let baseline =
         match List.find_opt (fun (t, _) -> t = Technique.Plain) runs with
-        | Some (_, r) -> r
-        | None -> snd (List.hd runs)
+        | Some (_, Ok r) -> Some r
+        | Some (_, Error _) -> None
+        | None -> (
+            match runs with (_, Ok r) :: _ -> Some r | _ -> None)
       in
       ( w.Vmbp_workloads.name,
         List.map
-          (fun (t, r) -> (Technique.name t, Runner.speedup ~baseline r))
+          (fun (t, r) ->
+            ( Technique.name t,
+              match (baseline, r) with
+              | Some baseline, Ok r -> Some (Runner.speedup ~baseline r)
+              | _ -> None ))
           runs ))
     grid
 
@@ -49,8 +87,21 @@ let counter_profile ~scale ~vm ~workload ~cpu =
     | None -> invalid_arg ("unknown workload " ^ workload)
   in
   let techniques = variants_for vm in
+  let results =
+    Par_runner.run_cells
+      (List.map
+         (fun t ->
+           Par_runner.cell ~tag:("counters/" ^ workload) ~scale ~cpu
+             ~technique:t w)
+         techniques)
+  in
+  (* A failed variant drops its row; the others still render. *)
   let runs =
-    List.map (fun t -> (t, Runner.run ~scale ~cpu ~technique:t w)) techniques
+    List.filter_map
+      (fun (t : Par_runner.timed) ->
+        Option.map (fun r -> (t.Par_runner.cell.Par_runner.technique, r))
+          (ok_run t))
+      results
   in
   let metrics (r : Runner.run) =
     let m = r.Runner.result.Engine.metrics in
@@ -68,28 +119,30 @@ let counter_profile ~scale ~vm ~workload ~cpu =
       float_of_int m.Metrics.code_bytes /. 1024.;
     ]
   in
-  let plain =
-    match List.find_opt (fun (t, _) -> t = Technique.Plain) runs with
-    | Some (_, r) -> metrics r
-    | None -> metrics (snd (List.hd runs))
-  in
-  let rows =
-    List.map
-      (fun (t, r) ->
-        let vals = metrics r in
-        let normalised =
-          List.mapi
-            (fun k v ->
-              if k = 6 then v (* code KB stays raw *)
-              else
-                let base = List.nth plain k in
-                if base = 0. then 0. else v /. base)
-            vals
-        in
-        (Technique.name t, normalised))
-      runs
-  in
-  (rows, metric_labels)
+  if runs = [] then ([], metric_labels)
+  else
+    let plain =
+      match List.find_opt (fun (t, _) -> t = Technique.Plain) runs with
+      | Some (_, r) -> metrics r
+      | None -> metrics (snd (List.hd runs))
+    in
+    let rows =
+      List.map
+        (fun (t, r) ->
+          let vals = metrics r in
+          let normalised =
+            List.mapi
+              (fun k v ->
+                if k = 6 then v (* code KB stays raw *)
+                else
+                  let base = List.nth plain k in
+                  if base = 0. then 0. else v /. base)
+              vals
+          in
+          (Technique.name t, normalised))
+        runs
+    in
+    (rows, metric_labels)
 
 let static_mix ~scale ~vm ~workload ~cpu ~totals =
   let w =
@@ -98,25 +151,43 @@ let static_mix ~scale ~vm ~workload ~cpu ~totals =
     | None -> invalid_arg ("unknown workload " ^ workload)
   in
   let percents = [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ] in
+  let specs =
+    List.concat_map
+      (fun total -> List.map (fun pct -> (total, pct)) percents)
+      totals
+  in
+  let cells =
+    List.map
+      (fun (total, pct) ->
+        let supers = total * pct / 100 in
+        let replicas = total - supers in
+        let technique =
+          if total = 0 then Technique.Plain
+          else
+            Technique.Static
+              (Technique.static_params ~replicas ~superinstrs:supers ())
+        in
+        Par_runner.cell ~tag:("static-mix/" ^ workload) ~scale ~cpu ~technique
+          w)
+      specs
+  in
+  let results = List.combine specs (Par_runner.run_cells cells) in
   List.map
-    (fun total ->
-      ( total,
-        List.map
-          (fun pct ->
-            let supers = total * pct / 100 in
-            let replicas = total - supers in
-            let technique =
-              if total = 0 then Technique.Plain
-              else
-                Technique.Static
-                  (Technique.static_params ~replicas ~superinstrs:supers ())
-            in
-            let r = Runner.run ~scale ~cpu ~technique w in
-            ( pct,
-              r.Runner.result.Engine.cycles,
-              r.Runner.result.Engine.metrics.Metrics.mispredicts ))
-          percents ))
-    totals
+    (fun row ->
+      match row with
+      | [] -> assert false
+      | ((total, _), _) :: _ ->
+          ( total,
+            List.map
+              (fun ((_, pct), t) ->
+                match ok_run t with
+                | Some r ->
+                    ( pct,
+                      r.Runner.result.Engine.cycles,
+                      r.Runner.result.Engine.metrics.Metrics.mispredicts )
+                | None -> (pct, Float.nan, 0))
+              row ))
+    (chunks (List.length percents) results)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering helpers *)
@@ -128,7 +199,12 @@ let render_speedups ~scale ~vm ~cpu =
   in
   let rows =
     List.map
-      (fun (wname, cells) -> wname :: List.map (fun (_, s) -> Table.f2 s) cells)
+      (fun (wname, cells) ->
+        wname
+        :: List.map
+             (fun (_, s) ->
+               match s with Some s -> Table.f2 s | None -> "fail")
+             cells)
       data
   in
   Table.render ~headers ~rows
@@ -234,30 +310,41 @@ let seconds_of_cycles cycles cpu =
   cycles /. (float_of_int cpu.Cpu_model.mhz *. 1e6)
 
 let table5 ~scale =
+  let results =
+    Par_runner.run_cells
+      (List.map
+         (fun w ->
+           Par_runner.cell ~tag:"table5" ~scale ~cpu:cpu_p4
+             ~technique:Technique.plain w)
+         Vmbp_workloads.jvm)
+  in
   let rows =
-    List.map
-      (fun (w : Vmbp_workloads.t) ->
-        let plain =
-          Runner.run ~scale ~cpu:cpu_p4 ~technique:Technique.plain w
-        in
-        let slots = Vmbp_vm.Program.length (w.Vmbp_workloads.load ~scale).Vmbp_workloads.program in
-        let model m =
-          Printf.sprintf "%.1f"
-            (1e3
-            *. seconds_of_cycles
-                 (Native_model.cycles m ~cpu:cpu_p4 ~costs:Costs.default
-                    ~plain:plain.Runner.result ~slots)
-                 cpu_p4)
-        in
-        [
-          w.Vmbp_workloads.name;
-          Printf.sprintf "%.1f" (1e3 *. plain.Runner.result.Engine.seconds);
-          model Native_model.hotspot_interp;
-          model Native_model.kaffe_interp;
-          model Native_model.hotspot_mixed;
-          model Native_model.kaffe_jit;
-        ])
-      Vmbp_workloads.jvm
+    List.map2
+      (fun (w : Vmbp_workloads.t) timed ->
+        match ok_run timed with
+        | None -> [ w.Vmbp_workloads.name; "fail"; "-"; "-"; "-"; "-" ]
+        | Some plain ->
+            let slots =
+              Vmbp_vm.Program.length
+                (w.Vmbp_workloads.load ~scale).Vmbp_workloads.program
+            in
+            let model m =
+              Printf.sprintf "%.1f"
+                (1e3
+                *. seconds_of_cycles
+                     (Native_model.cycles m ~cpu:cpu_p4 ~costs:Costs.default
+                        ~plain:plain.Runner.result ~slots)
+                     cpu_p4)
+            in
+            [
+              w.Vmbp_workloads.name;
+              Printf.sprintf "%.1f" (1e3 *. plain.Runner.result.Engine.seconds);
+              model Native_model.hotspot_interp;
+              model Native_model.kaffe_interp;
+              model Native_model.hotspot_mixed;
+              model Native_model.kaffe_jit;
+            ])
+      Vmbp_workloads.jvm results
   in
   Table.render
     ~headers:
@@ -281,18 +368,28 @@ let table8 ~scale =
       ("w/static across bb", Technique.with_static_across_bb ());
     ]
   in
+  let cells =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun (_, t) ->
+            Par_runner.cell ~tag:"table8" ~scale ~cpu:cpu_p4 ~technique:t w)
+          schemes)
+      Vmbp_workloads.jvm
+  in
   let rows =
-    List.map
-      (fun (w : Vmbp_workloads.t) ->
+    List.map2
+      (fun (w : Vmbp_workloads.t) row ->
         w.Vmbp_workloads.name
         :: List.map
-             (fun (_, t) ->
-               let r = Runner.run ~scale ~cpu:cpu_p4 ~technique:t w in
-               Printf.sprintf "%.2f"
-                 (float_of_int r.Runner.result.Engine.metrics.Metrics.code_bytes
-                 /. 1024. /. 1024.))
-             schemes)
+             (cell_str (fun r ->
+                  Printf.sprintf "%.2f"
+                    (float_of_int
+                       r.Runner.result.Engine.metrics.Metrics.code_bytes
+                    /. 1024. /. 1024.)))
+             row)
       Vmbp_workloads.jvm
+      (chunks (List.length schemes) (Par_runner.run_cells cells))
   in
   Table.render
     ~headers:
@@ -300,31 +397,45 @@ let table8 ~scale =
     ~rows
 
 let table9 ~scale =
-  let rows =
+  let names = [ "tscp"; "brainless"; "brew" ] in
+  let workloads =
     List.map
       (fun name ->
-        let w = Option.get (Vmbp_workloads.find ~vm:Vmbp_workloads.Forth name) in
-        let plain =
-          Runner.run ~scale ~cpu:cpu_p4 ~technique:Technique.plain w
-        in
-        let across =
-          Runner.run ~scale ~cpu:cpu_p4 ~technique:Technique.across_bb w
-        in
-        let slots =
-          Vmbp_vm.Program.length (w.Vmbp_workloads.load ~scale).Vmbp_workloads.program
-        in
-        let model m =
-          plain.Runner.result.Engine.cycles
-          /. Native_model.cycles m ~cpu:cpu_p4 ~costs:Costs.default
-               ~plain:plain.Runner.result ~slots
-        in
-        [
-          name;
-          Table.f2 (Runner.speedup ~baseline:plain across);
-          Table.f2 (model Native_model.bigforth);
-          Table.f2 (model Native_model.iforth);
-        ])
-      [ "tscp"; "brainless"; "brew" ]
+        Option.get (Vmbp_workloads.find ~vm:Vmbp_workloads.Forth name))
+      names
+  in
+  let cells =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun t ->
+            Par_runner.cell ~tag:"table9" ~scale ~cpu:cpu_p4 ~technique:t w)
+          [ Technique.plain; Technique.across_bb ])
+      workloads
+  in
+  let rows =
+    List.map2
+      (fun (w : Vmbp_workloads.t) row ->
+        match List.filter_map ok_run row with
+        | [ plain; across ] ->
+            let slots =
+              Vmbp_vm.Program.length
+                (w.Vmbp_workloads.load ~scale).Vmbp_workloads.program
+            in
+            let model m =
+              plain.Runner.result.Engine.cycles
+              /. Native_model.cycles m ~cpu:cpu_p4 ~costs:Costs.default
+                   ~plain:plain.Runner.result ~slots
+            in
+            [
+              w.Vmbp_workloads.name;
+              Table.f2 (Runner.speedup ~baseline:plain across);
+              Table.f2 (model Native_model.bigforth);
+              Table.f2 (model Native_model.iforth);
+            ]
+        | _ -> [ w.Vmbp_workloads.name; "fail"; "-"; "-" ])
+      workloads
+      (chunks 2 (Par_runner.run_cells cells))
   in
   Table.render
     ~headers:[ "benchmark"; "across bb"; "bigForth (model)"; "iForth (model)" ]
@@ -332,33 +443,39 @@ let table9 ~scale =
   ^ "\n(speedups over plain; native compilers are documented models)\n"
 
 let table10 ~scale =
-  let rows =
-    List.map
-      (fun (w : Vmbp_workloads.t) ->
-        let plain =
-          Runner.run ~scale ~cpu:cpu_p4 ~technique:Technique.plain w
-        in
-        let ours =
-          Runner.run ~scale ~cpu:cpu_p4
-            ~technique:(Technique.with_static_across_bb ())
-            w
-        in
-        let slots =
-          Vmbp_vm.Program.length (w.Vmbp_workloads.load ~scale).Vmbp_workloads.program
-        in
-        let model m =
-          plain.Runner.result.Engine.cycles
-          /. Native_model.cycles m ~cpu:cpu_p4 ~costs:Costs.default
-               ~plain:plain.Runner.result ~slots
-        in
-        [
-          w.Vmbp_workloads.name;
-          Table.f2 (Runner.speedup ~baseline:plain ours);
-          Table.f2 (model Native_model.kaffe_jit);
-          Table.f2 (model Native_model.hotspot_interp);
-          Table.f2 (model Native_model.hotspot_mixed);
-        ])
+  let cells =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun t ->
+            Par_runner.cell ~tag:"table10" ~scale ~cpu:cpu_p4 ~technique:t w)
+          [ Technique.plain; Technique.with_static_across_bb () ])
       Vmbp_workloads.jvm
+  in
+  let rows =
+    List.map2
+      (fun (w : Vmbp_workloads.t) row ->
+        match List.filter_map ok_run row with
+        | [ plain; ours ] ->
+            let slots =
+              Vmbp_vm.Program.length
+                (w.Vmbp_workloads.load ~scale).Vmbp_workloads.program
+            in
+            let model m =
+              plain.Runner.result.Engine.cycles
+              /. Native_model.cycles m ~cpu:cpu_p4 ~costs:Costs.default
+                   ~plain:plain.Runner.result ~slots
+            in
+            [
+              w.Vmbp_workloads.name;
+              Table.f2 (Runner.speedup ~baseline:plain ours);
+              Table.f2 (model Native_model.kaffe_jit);
+              Table.f2 (model Native_model.hotspot_interp);
+              Table.f2 (model Native_model.hotspot_mixed);
+            ]
+        | _ -> [ w.Vmbp_workloads.name; "fail"; "-"; "-"; "-" ])
+      Vmbp_workloads.jvm
+      (chunks 2 (Par_runner.run_cells cells))
   in
   Table.render
     ~headers:
@@ -376,26 +493,36 @@ let btb_sweep ~scale =
   let techniques =
     [ Technique.plain; Technique.static_repl (); Technique.dynamic_repl ]
   in
-  let rows =
-    List.map
+  let cells =
+    List.concat_map
       (fun entries ->
+        List.map
+          (fun t ->
+            let predictor =
+              if entries = 0 then Predictor.Btb Vmbp_machine.Btb.ideal
+              else
+                Predictor.Btb
+                  (Vmbp_machine.Btb.classic ~entries ~associativity:4)
+            in
+            Par_runner.cell ~tag:"btb-sweep" ~scale ~predictor
+              ~cpu:cpu_celeron ~technique:t w)
+          techniques)
+      sizes
+  in
+  let rows =
+    List.map2
+      (fun entries row ->
         let label = if entries = 0 then "unbounded" else string_of_int entries in
         label
         :: List.map
-             (fun t ->
-               let predictor =
-                 if entries = 0 then Predictor.Btb Vmbp_machine.Btb.ideal
-                 else
-                   Predictor.Btb
-                     (Vmbp_machine.Btb.classic ~entries ~associativity:4)
-               in
-               let r =
-                 Runner.run ~scale ~predictor ~cpu:cpu_celeron ~technique:t w
-               in
-               Printf.sprintf "%.1f%%"
-                 (100. *. Metrics.misprediction_rate r.Runner.result.Engine.metrics))
-             techniques)
+             (cell_str (fun r ->
+                  Printf.sprintf "%.1f%%"
+                    (100.
+                    *. Metrics.misprediction_rate
+                         r.Runner.result.Engine.metrics)))
+             row)
       sizes
+      (chunks (List.length techniques) (Par_runner.run_cells cells))
   in
   Table.render
     ~headers:("BTB entries" :: List.map Technique.name techniques)
@@ -413,64 +540,100 @@ let predictor_compare ~scale =
     ]
   in
   let techniques = [ Technique.switch; Technique.plain; Technique.dynamic_super ] in
-  let rows =
-    List.map
+  let cells =
+    List.concat_map
       (fun p ->
+        List.map
+          (fun t ->
+            Par_runner.cell ~tag:"predictors" ~scale ~predictor:p
+              ~cpu:cpu_celeron ~technique:t w)
+          techniques)
+      predictors
+  in
+  let rows =
+    List.map2
+      (fun p row ->
         Predictor.kind_name p
         :: List.map
-             (fun t ->
-               let r = Runner.run ~scale ~predictor:p ~cpu:cpu_celeron ~technique:t w in
-               Printf.sprintf "%.1f%%"
-                 (100. *. Metrics.misprediction_rate r.Runner.result.Engine.metrics))
-             techniques)
+             (cell_str (fun r ->
+                  Printf.sprintf "%.1f%%"
+                    (100.
+                    *. Metrics.misprediction_rate
+                         r.Runner.result.Engine.metrics)))
+             row)
       predictors
+      (chunks (List.length techniques) (Par_runner.run_cells cells))
   in
   Table.render
     ~headers:("predictor" :: List.map Technique.name techniques)
     ~rows
 
 let replica_strategy ~scale =
-  let rows =
-    List.map
-      (fun (w : Vmbp_workloads.t) ->
-        let run strategy =
-          let technique =
-            Technique.Static (Technique.static_params ~replicas:400 ~strategy ())
-          in
-          let r = Runner.run ~scale ~cpu:cpu_celeron ~technique w in
-          r.Runner.result.Engine.cycles
-        in
-        let rr = run Technique.Round_robin in
-        let rand = run (Technique.Random 42) in
-        [ w.Vmbp_workloads.name; Printf.sprintf "%.2fM" (rr /. 1e6);
-          Printf.sprintf "%.2fM" (rand /. 1e6); Table.f2 (rand /. rr) ])
+  let technique_of strategy =
+    Technique.Static (Technique.static_params ~replicas:400 ~strategy ())
+  in
+  let cells =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun s ->
+            Par_runner.cell ~tag:"replica-strategy" ~scale ~cpu:cpu_celeron
+              ~technique:(technique_of s) w)
+          [ Technique.Round_robin; Technique.Random 42 ])
       Vmbp_workloads.forth
+  in
+  let rows =
+    List.map2
+      (fun (w : Vmbp_workloads.t) row ->
+        match List.filter_map ok_run row with
+        | [ rr; rand ] ->
+            let rr = rr.Runner.result.Engine.cycles in
+            let rand = rand.Runner.result.Engine.cycles in
+            [ w.Vmbp_workloads.name; Printf.sprintf "%.2fM" (rr /. 1e6);
+              Printf.sprintf "%.2fM" (rand /. 1e6); Table.f2 (rand /. rr) ]
+        | _ -> [ w.Vmbp_workloads.name; "fail"; "-"; "-" ])
+      Vmbp_workloads.forth
+      (chunks 2 (Par_runner.run_cells cells))
   in
   Table.render
     ~headers:[ "benchmark"; "round-robin"; "random"; "random/rr" ]
     ~rows
 
 let parse_algo ~scale =
+  let workloads = Vmbp_workloads.forth @ Vmbp_workloads.jvm in
+  let technique_of parse =
+    Technique.Static (Technique.static_params ~superinstrs:400 ~parse ())
+  in
+  let cells =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun p ->
+            Par_runner.cell ~tag:"parse-algo" ~scale ~cpu:cpu_p4
+              ~technique:(technique_of p) w)
+          [ Technique.Greedy; Technique.Optimal ])
+      workloads
+  in
   let rows =
-    List.map
-      (fun (w : Vmbp_workloads.t) ->
-        let run parse =
-          let technique =
-            Technique.Static (Technique.static_params ~superinstrs:400 ~parse ())
-          in
-          let r = Runner.run ~scale ~cpu:cpu_p4 ~technique w in
-          ( r.Runner.result.Engine.cycles,
-            r.Runner.result.Engine.metrics.Metrics.dispatches )
-        in
-        let gc, gd = run Technique.Greedy in
-        let oc, od = run Technique.Optimal in
-        [
-          w.Vmbp_workloads.name;
-          Table.human_int gd;
-          Table.human_int od;
-          Table.f2 (gc /. oc);
-        ])
-      (Vmbp_workloads.forth @ Vmbp_workloads.jvm)
+    List.map2
+      (fun (w : Vmbp_workloads.t) row ->
+        match List.filter_map ok_run row with
+        | [ greedy; optimal ] ->
+            let stats (r : Runner.run) =
+              ( r.Runner.result.Engine.cycles,
+                r.Runner.result.Engine.metrics.Metrics.dispatches )
+            in
+            let gc, gd = stats greedy in
+            let oc, od = stats optimal in
+            [
+              w.Vmbp_workloads.name;
+              Table.human_int gd;
+              Table.human_int od;
+              Table.f2 (gc /. oc);
+            ]
+        | _ -> [ w.Vmbp_workloads.name; "fail"; "-"; "-" ])
+      workloads
+      (chunks 2 (Par_runner.run_cells cells))
   in
   Table.render
     ~headers:
@@ -483,22 +646,38 @@ let subroutine_threading ~scale =
     [ Technique.plain; Technique.dynamic_super; Technique.across_bb;
       Technique.subroutine ]
   in
+  let cells =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun t ->
+            Par_runner.cell ~tag:"subroutine-threading" ~scale ~cpu:cpu_p4
+              ~technique:t w)
+          techniques)
+      Vmbp_workloads.forth
+  in
   let rows =
-    List.map
-      (fun (w : Vmbp_workloads.t) ->
+    List.map2
+      (fun (w : Vmbp_workloads.t) row ->
+        (* Plain is the first column; its run doubles as the baseline. *)
         let baseline =
-          Runner.run ~scale ~cpu:cpu_p4 ~technique:Technique.plain w
+          match row with
+          | b :: _ -> ok_run b
+          | [] -> None
         in
         w.Vmbp_workloads.name
         :: List.map
-             (fun t ->
-               let r = Runner.run ~scale ~cpu:cpu_p4 ~technique:t w in
-               Printf.sprintf "%s (%s mp)"
-                 (Table.f2 (Runner.speedup ~baseline r))
-                 (Table.human_int
-                    r.Runner.result.Engine.metrics.Metrics.mispredicts))
-             techniques)
+             (fun timed ->
+               match (baseline, ok_run timed) with
+               | Some baseline, Some r ->
+                   Printf.sprintf "%s (%s mp)"
+                     (Table.f2 (Runner.speedup ~baseline r))
+                     (Table.human_int
+                        r.Runner.result.Engine.metrics.Metrics.mispredicts)
+               | _ -> "fail")
+             row)
       Vmbp_workloads.forth
+      (chunks (List.length techniques) (Par_runner.run_cells cells))
   in
   Table.render
     ~headers:("benchmark" :: List.map Technique.name techniques)
@@ -507,24 +686,31 @@ let subroutine_threading ~scale =
 (* Residual mispredictions under dynamic replication: the paper's
    simulations attribute them to indirect VM branches, mostly returns. *)
 let residual_mispredicts ~scale =
+  let results =
+    Par_runner.run_cells
+      (List.map
+         (fun w ->
+           Par_runner.cell ~tag:"residual-mispredicts" ~scale
+             ~cpu:Cpu_model.ideal ~technique:Technique.dynamic_repl w)
+         Vmbp_workloads.forth)
+  in
   let rows =
-    List.map
-      (fun (w : Vmbp_workloads.t) ->
-        let r =
-          Runner.run ~scale ~cpu:Cpu_model.ideal
-            ~technique:Technique.dynamic_repl w
-        in
-        let m = r.Runner.result.Engine.metrics in
-        [
-          w.Vmbp_workloads.name;
-          Table.human_int m.Metrics.mispredicts;
-          Table.human_int m.Metrics.vm_branch_mispredicts;
-          Printf.sprintf "%.1f%%"
-            (100.
-            *. float_of_int m.Metrics.vm_branch_mispredicts
-            /. float_of_int (max 1 m.Metrics.mispredicts));
-        ])
-      Vmbp_workloads.forth
+    List.map2
+      (fun (w : Vmbp_workloads.t) timed ->
+        match ok_run timed with
+        | None -> [ w.Vmbp_workloads.name; "fail"; "-"; "-" ]
+        | Some r ->
+            let m = r.Runner.result.Engine.metrics in
+            [
+              w.Vmbp_workloads.name;
+              Table.human_int m.Metrics.mispredicts;
+              Table.human_int m.Metrics.vm_branch_mispredicts;
+              Printf.sprintf "%.1f%%"
+                (100.
+                *. float_of_int m.Metrics.vm_branch_mispredicts
+                /. float_of_int (max 1 m.Metrics.mispredicts));
+            ])
+      Vmbp_workloads.forth results
   in
   Table.render
     ~headers:
@@ -545,29 +731,40 @@ let icache_sweep ~scale =
   let techniques =
     [ Technique.plain; Technique.dynamic_super; Technique.dynamic_repl ]
   in
-  let rows =
-    List.map
+  let sizes = [ 4; 8; 16; 32; 64; 0 ] in
+  let cpu_for kb =
+    let icache =
+      if kb = 0 then Icache.infinite
+      else
+        Icache.make_config ~size_bytes:(kb * 1024) ~line_bytes:32
+          ~associativity:4
+    in
+    { cpu_celeron with Cpu_model.icache;
+      Cpu_model.name = Printf.sprintf "celeron-%dk" kb }
+  in
+  let cells =
+    List.concat_map
       (fun kb ->
-        let icache =
-          if kb = 0 then Icache.infinite
-          else
-            Icache.make_config ~size_bytes:(kb * 1024) ~line_bytes:32
-              ~associativity:4
-        in
-        let cpu =
-          { cpu_celeron with Cpu_model.icache;
-            Cpu_model.name = Printf.sprintf "celeron-%dk" kb }
-        in
+        List.map
+          (fun t ->
+            Par_runner.cell ~tag:"icache-sweep" ~scale ~cpu:(cpu_for kb)
+              ~technique:t w)
+          techniques)
+      sizes
+  in
+  let rows =
+    List.map2
+      (fun kb row ->
         (if kb = 0 then "infinite" else Printf.sprintf "%d KB" kb)
         :: List.map
-             (fun t ->
-               let r = Runner.run ~scale ~cpu ~technique:t w in
-               Printf.sprintf "%.2fM (%s miss)"
-                 (r.Runner.result.Engine.cycles /. 1e6)
-                 (Table.human_int
-                    r.Runner.result.Engine.metrics.Metrics.icache_misses))
-             techniques)
-      [ 4; 8; 16; 32; 64; 0 ]
+             (cell_str (fun r ->
+                  Printf.sprintf "%.2fM (%s miss)"
+                    (r.Runner.result.Engine.cycles /. 1e6)
+                    (Table.human_int
+                       r.Runner.result.Engine.metrics.Metrics.icache_misses)))
+             row)
+      sizes
+      (chunks (List.length techniques) (Par_runner.run_cells cells))
   in
   Table.render
     ~headers:("I-cache" :: List.map Technique.name techniques)
@@ -582,24 +779,36 @@ let penalty_sweep ~scale =
     | Some w -> w
     | None -> assert false
   in
-  let rows =
-    List.map
+  let penalties = [ 5; 10; 20; 30; 40 ] in
+  let cpu_for penalty =
+    { cpu_p4 with Cpu_model.mispredict_penalty = penalty;
+      Cpu_model.name = Printf.sprintf "p4-%dcy" penalty }
+  in
+  let cells =
+    List.concat_map
       (fun penalty ->
-        let cpu =
-          { cpu_p4 with Cpu_model.mispredict_penalty = penalty;
-            Cpu_model.name = Printf.sprintf "p4-%dcy" penalty }
-        in
-        let plain = Runner.run ~scale ~cpu ~technique:Technique.plain w in
-        let best =
-          Runner.run ~scale ~cpu ~technique:(Technique.with_static_super ()) w
-        in
-        [
-          string_of_int penalty;
-          Printf.sprintf "%.2fM" (plain.Runner.result.Engine.cycles /. 1e6);
-          Printf.sprintf "%.2fM" (best.Runner.result.Engine.cycles /. 1e6);
-          Table.f2 (Runner.speedup ~baseline:plain best);
-        ])
-      [ 5; 10; 20; 30; 40 ]
+        List.map
+          (fun t ->
+            Par_runner.cell ~tag:"penalty-sweep" ~scale ~cpu:(cpu_for penalty)
+              ~technique:t w)
+          [ Technique.plain; Technique.with_static_super () ])
+      penalties
+  in
+  let rows =
+    List.map2
+      (fun penalty row ->
+        match List.filter_map ok_run row with
+        | [ plain; best ] ->
+            [
+              string_of_int penalty;
+              Printf.sprintf "%.2fM"
+                (plain.Runner.result.Engine.cycles /. 1e6);
+              Printf.sprintf "%.2fM" (best.Runner.result.Engine.cycles /. 1e6);
+              Table.f2 (Runner.speedup ~baseline:plain best);
+            ]
+        | _ -> [ string_of_int penalty; "fail"; "-"; "-" ])
+      penalties
+      (chunks 2 (Par_runner.run_cells cells))
   in
   Table.render
     ~headers:
@@ -611,9 +820,17 @@ let penalty_sweep ~scale =
 (* Static program characterisation: the structural differences Section 7.3
    uses to explain Forth-vs-JVM behaviour (block lengths, call density). *)
 let program_stats ~scale =
+  let dsuper_runs =
+    Par_runner.run_cells
+      (List.map
+         (fun w ->
+           Par_runner.cell ~tag:"program-stats" ~scale ~cpu:Cpu_model.ideal
+             ~technique:Technique.dynamic_super w)
+         Vmbp_workloads.all)
+  in
   let rows =
-    List.map
-      (fun (w : Vmbp_workloads.t) ->
+    List.map2
+      (fun (w : Vmbp_workloads.t) dsuper_timed ->
         let loaded = w.Vmbp_workloads.load ~scale in
         (* quickened form, so quick instructions are characterised *)
         let p = Vmbp_workloads.quickened_program loaded in
@@ -633,11 +850,15 @@ let program_stats ~scale =
         (* executed superinstruction length: VM instructions per dispatch
            under within-block dynamic superinstructions (paper: ~3 for
            Forth, longer for the JVM) *)
-        let dsuper =
-          Runner.run ~scale ~cpu:Cpu_model.ideal
-            ~technique:Technique.dynamic_super w
+        let super_len =
+          match ok_run dsuper_timed with
+          | None -> "fail"
+          | Some dsuper ->
+              let dm = dsuper.Runner.result.Engine.metrics in
+              Printf.sprintf "%.2f"
+                (float_of_int dm.Metrics.vm_instrs
+                /. float_of_int (max 1 dm.Metrics.dispatches))
         in
-        let dm = dsuper.Runner.result.Engine.metrics in
         [
           Printf.sprintf "%s/%s"
             (Vmbp_workloads.vm_name w.Vmbp_workloads.vm)
@@ -645,14 +866,12 @@ let program_stats ~scale =
           string_of_int n;
           string_of_int nblocks;
           Printf.sprintf "%.2f" (float_of_int n /. float_of_int nblocks);
-          Printf.sprintf "%.2f"
-            (float_of_int dm.Metrics.vm_instrs
-            /. float_of_int (max 1 dm.Metrics.dispatches));
+          super_len;
           Printf.sprintf "%.1f%%" (100. *. float_of_int !calls /. float_of_int n);
           Printf.sprintf "%.1f%%"
             (100. *. float_of_int (!branches + !returns) /. float_of_int n);
         ])
-      Vmbp_workloads.all
+      Vmbp_workloads.all dsuper_runs
   in
   Table.render
     ~headers:
@@ -665,20 +884,36 @@ let program_stats ~scale =
 "
 
 let dispatch_ratio ~scale =
+  let workloads = Vmbp_workloads.forth @ Vmbp_workloads.jvm in
+  let results =
+    Par_runner.run_cells
+      (List.map
+         (fun w ->
+           Par_runner.cell ~tag:"dispatch-ratio" ~scale ~cpu:cpu_p4
+             ~technique:Technique.plain w)
+         workloads)
+  in
   let rows =
-    List.map
-      (fun (w : Vmbp_workloads.t) ->
-        let r = Runner.run ~scale ~cpu:cpu_p4 ~technique:Technique.plain w in
-        let m = r.Runner.result.Engine.metrics in
-        [
-          Printf.sprintf "%s/%s" (Vmbp_workloads.vm_name w.Vmbp_workloads.vm) w.Vmbp_workloads.name;
-          Table.human_int m.Metrics.native_instrs;
-          Table.human_int m.Metrics.indirect_branches;
-          Printf.sprintf "%.1f%%"
-            (100. *. float_of_int m.Metrics.indirect_branches
-            /. float_of_int m.Metrics.native_instrs);
-        ])
-      (Vmbp_workloads.forth @ Vmbp_workloads.jvm)
+    List.map2
+      (fun (w : Vmbp_workloads.t) timed ->
+        let name =
+          Printf.sprintf "%s/%s"
+            (Vmbp_workloads.vm_name w.Vmbp_workloads.vm)
+            w.Vmbp_workloads.name
+        in
+        match ok_run timed with
+        | None -> [ name; "fail"; "-"; "-" ]
+        | Some r ->
+            let m = r.Runner.result.Engine.metrics in
+            [
+              name;
+              Table.human_int m.Metrics.native_instrs;
+              Table.human_int m.Metrics.indirect_branches;
+              Printf.sprintf "%.1f%%"
+                (100. *. float_of_int m.Metrics.indirect_branches
+                /. float_of_int m.Metrics.native_instrs);
+            ])
+      workloads results
   in
   Table.render
     ~headers:[ "benchmark"; "native instrs"; "indirect branches"; "ratio" ]

@@ -22,9 +22,10 @@ val speedups :
   scale:int ->
   vm:Vmbp_workloads.vm ->
   cpu:Vmbp_machine.Cpu_model.t ->
-  (string * (string * float) list) list
+  (string * (string * float option) list) list
 (** Per workload, the speedup of every paper variant over [plain]
-    (Figures 7, 8 and 9). *)
+    (Figures 7, 8 and 9).  A failed cell (or a failed baseline) yields
+    [None] and the sibling cells still report. *)
 
 val counter_profile :
   scale:int ->

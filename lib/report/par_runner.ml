@@ -1,0 +1,262 @@
+open Vmbp_core
+open Vmbp_machine
+
+(* ------------------------------------------------------------------ *)
+(* Cells *)
+
+type cell = {
+  tag : string;
+  workload : Vmbp_workloads.t;
+  technique : Technique.t;
+  cpu : Cpu_model.t;
+  scale : int;
+  predictor : Predictor.kind option;
+}
+
+type timed = {
+  cell : cell;
+  outcome : (Runner.run, string) result;
+  wall_seconds : float;
+}
+
+let default_jobs = ref 1
+
+let cell ?(tag = "") ?(scale = 1) ?predictor ~cpu ~technique workload =
+  { tag; workload; technique; cpu; scale; predictor }
+
+let cell_name c =
+  Printf.sprintf "%s/%s/%s/%s%s"
+    (Vmbp_workloads.vm_name c.workload.Vmbp_workloads.vm)
+    c.workload.Vmbp_workloads.name
+    (Technique.name c.technique)
+    c.cpu.Cpu_model.name
+    (if c.scale = 1 then "" else Printf.sprintf "@%d" c.scale)
+
+(* ------------------------------------------------------------------ *)
+(* Shared work queue: one producer, [jobs] consumers.  All cells are
+   enqueued before the workers start, but the queue is written for the
+   general case: consumers block on the condition until an item arrives or
+   the queue is closed. *)
+
+type 'a work_queue = {
+  items : 'a Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let queue_create () =
+  {
+    items = Queue.create ();
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
+
+let queue_push q x =
+  Mutex.lock q.lock;
+  Queue.push x q.items;
+  Condition.signal q.nonempty;
+  Mutex.unlock q.lock
+
+let queue_close q =
+  Mutex.lock q.lock;
+  q.closed <- true;
+  Condition.broadcast q.nonempty;
+  Mutex.unlock q.lock
+
+let queue_take q =
+  Mutex.lock q.lock;
+  let rec wait () =
+    match Queue.take_opt q.items with
+    | Some x ->
+        Mutex.unlock q.lock;
+        Some x
+    | None ->
+        if q.closed then begin
+          Mutex.unlock q.lock;
+          None
+        end
+        else begin
+          Condition.wait q.nonempty q.lock;
+          wait ()
+        end
+  in
+  wait ()
+
+(* ------------------------------------------------------------------ *)
+(* The session log: every cell run through this module is recorded so the
+   harnesses can dump one machine-readable summary at exit. *)
+
+let log : timed list ref = ref []
+let log_lock = Mutex.create ()
+
+(* Stored newest-first; drained in chronological order. *)
+let record results =
+  Mutex.lock log_lock;
+  log := List.rev_append results !log;
+  Mutex.unlock log_lock
+
+let drain_log () =
+  Mutex.lock log_lock;
+  let l = !log in
+  log := [];
+  Mutex.unlock log_lock;
+  List.rev l
+
+(* ------------------------------------------------------------------ *)
+(* Running *)
+
+let run_cell c =
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    Runner.run_result ~scale:c.scale ?predictor:c.predictor ~cpu:c.cpu
+      ~technique:c.technique c.workload
+  in
+  { cell = c; outcome; wall_seconds = Unix.gettimeofday () -. t0 }
+
+let run_cells ?jobs cells =
+  let jobs =
+    max 1 (match jobs with Some j -> j | None -> !default_jobs)
+  in
+  let arr = Array.of_list cells in
+  let n = Array.length arr in
+  let results = Array.make n None in
+  if jobs = 1 || n <= 1 then
+    (* Sequential path, bit-for-bit the reference for the pool. *)
+    Array.iteri (fun i c -> results.(i) <- Some (run_cell c)) arr
+  else begin
+    let q = queue_create () in
+    Array.iteri (fun i c -> queue_push q (i, c)) arr;
+    queue_close q;
+    let worker () =
+      let rec loop () =
+        match queue_take q with
+        | None -> ()
+        | Some (i, c) ->
+            (* Distinct slots: no two domains ever write the same index. *)
+            results.(i) <- Some (run_cell c);
+            loop ()
+      in
+      loop ()
+    in
+    let spawned = min (jobs - 1) (n - 1) in
+    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains
+  end;
+  let out =
+    Array.to_list
+      (Array.map
+         (function Some r -> r | None -> assert false (* every slot filled *))
+         results)
+  in
+  record out;
+  out
+
+let matrix ?(scale = 1) ?jobs ?(tag = "matrix") ~cpu ~techniques workloads =
+  let cells =
+    List.concat_map
+      (fun w ->
+        List.map (fun t -> cell ~tag ~scale ~cpu ~technique:t w) techniques)
+      workloads
+  in
+  let results = run_cells ?jobs cells in
+  let nt = List.length techniques in
+  let rec regroup ws rs =
+    match ws with
+    | [] -> []
+    | w :: ws' ->
+        let rec split k acc rs =
+          if k = 0 then (List.rev acc, rs)
+          else
+            match rs with
+            | r :: rs' -> split (k - 1) (r :: acc) rs'
+            | [] -> assert false
+        in
+        let row, rest = split nt [] rs in
+        (w, List.map (fun r -> (r.cell.technique, r.outcome)) row)
+        :: regroup ws' rest
+  in
+  regroup workloads results
+
+(* ------------------------------------------------------------------ *)
+(* JSON summary *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let json_of_timed t =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\"tag\":\"%s\"" (json_escape t.cell.tag);
+  add ",\"vm\":\"%s\""
+    (json_escape (Vmbp_workloads.vm_name t.cell.workload.Vmbp_workloads.vm));
+  add ",\"workload\":\"%s\""
+    (json_escape t.cell.workload.Vmbp_workloads.name);
+  add ",\"technique\":\"%s\"" (json_escape (Technique.name t.cell.technique));
+  add ",\"cpu\":\"%s\"" (json_escape t.cell.cpu.Cpu_model.name);
+  add ",\"scale\":%d" t.cell.scale;
+  (match t.cell.predictor with
+  | Some p -> add ",\"predictor\":\"%s\"" (json_escape (Predictor.kind_name p))
+  | None -> ());
+  (match t.outcome with
+  | Ok r ->
+      let m = r.Runner.result.Engine.metrics in
+      add ",\"ok\":true";
+      add ",\"cycles\":%s" (json_float r.Runner.result.Engine.cycles);
+      add ",\"mispredict_rate\":%s"
+        (json_float (Metrics.misprediction_rate m));
+      add ",\"mispredicts\":%d" m.Metrics.mispredicts;
+      add ",\"icache_misses\":%d" m.Metrics.icache_misses;
+      add ",\"vm_instrs\":%d" m.Metrics.vm_instrs;
+      add ",\"code_bytes\":%d" m.Metrics.code_bytes
+  | Error msg -> add ",\"ok\":false,\"error\":\"%s\"" (json_escape msg));
+  add ",\"wall_seconds\":%s" (json_float t.wall_seconds);
+  add "}";
+  Buffer.contents b
+
+let json_summary ?jobs results =
+  let jobs = match jobs with Some j -> max 1 j | None -> !default_jobs in
+  let total = List.fold_left (fun a t -> a +. t.wall_seconds) 0. results in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"schema\":\"vmbp-cells/1\"";
+  Buffer.add_string b (Printf.sprintf ",\"jobs\":%d" jobs);
+  Buffer.add_string b
+    (Printf.sprintf ",\"cells\":%d" (List.length results));
+  Buffer.add_string b
+    (Printf.sprintf ",\"cell_wall_seconds\":%s" (json_float total));
+  Buffer.add_string b ",\"results\":[";
+  List.iteri
+    (fun i t ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n  ";
+      Buffer.add_string b (json_of_timed t))
+    results;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let write_json_summary ?jobs ~file results =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (json_summary ?jobs results))

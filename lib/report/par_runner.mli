@@ -1,0 +1,80 @@
+(** Parallel, fault-isolated experiment runner.
+
+    The report matrix is a grid of (workload, technique, cpu) cells, each of
+    which owns its private predictor, I-cache and interpreter session state,
+    so cells are embarrassingly parallel.  This module runs a cell list on a
+    fixed-size pool of domains fed from a shared work queue, returns results
+    in deterministic input order, and wraps every cell in a [result] so one
+    trapped workload degrades to a reported failure instead of killing the
+    whole report.
+
+    With [jobs = 1] (the default) no domain is spawned and cells run
+    sequentially in submission order, which is bit-for-bit the reference
+    behaviour for the pool: the simulated numbers do not depend on the job
+    count, only wall-clock time does.
+
+    Every cell run through this module is also appended to a session log
+    ({!drain_log}) carrying per-cell wall-clock timings, which the bench and
+    CLI harnesses dump as a machine-readable JSON summary ([--json FILE]) so
+    the performance trajectory can be tracked across changes. *)
+
+type cell = {
+  tag : string;  (** experiment-level label carried into the JSON log *)
+  workload : Vmbp_workloads.t;
+  technique : Vmbp_core.Technique.t;
+  cpu : Vmbp_machine.Cpu_model.t;
+  scale : int;
+  predictor : Vmbp_machine.Predictor.kind option;
+}
+
+type timed = {
+  cell : cell;
+  outcome : (Runner.run, string) result;
+  wall_seconds : float;  (** wall-clock spent simulating this cell *)
+}
+
+val default_jobs : int ref
+(** Pool size used when [?jobs] is omitted; set once from the [--jobs N]
+    command-line flag.  Defaults to 1 (sequential). *)
+
+val cell :
+  ?tag:string ->
+  ?scale:int ->
+  ?predictor:Vmbp_machine.Predictor.kind ->
+  cpu:Vmbp_machine.Cpu_model.t ->
+  technique:Vmbp_core.Technique.t ->
+  Vmbp_workloads.t ->
+  cell
+
+val cell_name : cell -> string
+(** ["vm/workload/technique/cpu[@scale]"], for logs and error reports. *)
+
+val run_cells : ?jobs:int -> cell list -> timed list
+(** Run every cell, [?jobs] at a time (default {!default_jobs}), and return
+    the outcomes in the input order regardless of completion order. *)
+
+val matrix :
+  ?scale:int ->
+  ?jobs:int ->
+  ?tag:string ->
+  cpu:Vmbp_machine.Cpu_model.t ->
+  techniques:Vmbp_core.Technique.t list ->
+  Vmbp_workloads.t list ->
+  (Vmbp_workloads.t
+  * (Vmbp_core.Technique.t * (Runner.run, string) result) list)
+  list
+(** The benchmark-times-variant grid of {!Runner.matrix}, run through the
+    pool.  Cell order inside the grid (workload-major, then technique) and
+    the returned structure are deterministic. *)
+
+val drain_log : unit -> timed list
+(** All cells recorded since the previous drain, in chronological batch
+    order (each batch in its input order); clears the log. *)
+
+val json_summary : ?jobs:int -> timed list -> string
+(** A machine-readable summary: schema [vmbp-cells/1], one record per cell
+    with simulated cycles, mispredict rate, I-cache misses and wall-clock
+    seconds (or the error for failed cells). *)
+
+val write_json_summary : ?jobs:int -> file:string -> timed list -> unit
+(** Write {!json_summary} to [file]. *)

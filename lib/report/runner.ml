@@ -46,10 +46,21 @@ let run ?(scale = 1) ?predictor ?profile ~cpu ~technique
     output = session.Vmbp_workloads.output ();
   }
 
+let run_result ?scale ?predictor ?profile ~cpu ~technique workload =
+  match run ?scale ?predictor ?profile ~cpu ~technique workload with
+  | r -> Ok r
+  | exception Run_failed msg -> Error msg
+  | exception exn -> Error (Printexc.to_string exn)
+
 let matrix ?scale ~cpu ~techniques workloads =
+  (* One trapped cell degrades to an [Error] entry; sibling experiments
+     still run and report. *)
   List.map
     (fun w ->
-      (w, List.map (fun t -> (t, run ?scale ~cpu ~technique:t w)) techniques))
+      ( w,
+        List.map
+          (fun t -> (t, run_result ?scale ~cpu ~technique:t w))
+          techniques ))
     workloads
 
 let speedup ~baseline r = baseline.result.Engine.cycles /. r.result.Engine.cycles

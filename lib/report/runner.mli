@@ -25,13 +25,27 @@ val run :
     [profile] is given, the paper's training policy for the workload's VM
     is used (see {!Vmbp_workloads.training_profile}). *)
 
+val run_result :
+  ?scale:int ->
+  ?predictor:Vmbp_machine.Predictor.kind ->
+  ?profile:Vmbp_vm.Profile.t ->
+  cpu:Vmbp_machine.Cpu_model.t ->
+  technique:Vmbp_core.Technique.t ->
+  Vmbp_workloads.t ->
+  (run, string) result
+(** [run], with a trapped or otherwise failed run reported as [Error]
+    instead of an exception. *)
+
 val matrix :
   ?scale:int ->
   cpu:Vmbp_machine.Cpu_model.t ->
   techniques:Vmbp_core.Technique.t list ->
   Vmbp_workloads.t list ->
-  (Vmbp_workloads.t * (Vmbp_core.Technique.t * run) list) list
-(** The full benchmark-times-variant grid used by the speedup figures. *)
+  (Vmbp_workloads.t * (Vmbp_core.Technique.t * (run, string) result) list) list
+(** The full benchmark-times-variant grid used by the speedup figures.
+    Failures are isolated per cell: one trapped workload/technique pair
+    yields an [Error] cell and every sibling still runs.  See
+    {!Par_runner.matrix} for the multicore version. *)
 
 val speedup : baseline:run -> run -> float
 (** Ratio of modelled cycles: how much faster than [baseline]. *)

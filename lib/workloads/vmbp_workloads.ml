@@ -22,16 +22,33 @@ type t = {
 }
 
 (* Loading a workload is deterministic in (vm, name, scale); memoise so the
-   sweeps do not recompile programs hundreds of times. *)
+   sweeps do not recompile programs hundreds of times.  The parallel runner
+   hits these tables from several domains at once, so every lookup-or-build
+   holds a mutex; the computation runs under the lock so concurrent callers
+   of the same key share one build.  [training_profile] below has its own
+   lock because building a profile loads workloads (lock order: profile
+   before load, never the reverse). *)
+let locked m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+      Mutex.unlock m;
+      v
+  | exception e ->
+      Mutex.unlock m;
+      raise e
+
 let memo : (string, loaded) Hashtbl.t = Hashtbl.create 32
+let memo_lock = Mutex.create ()
 
 let memoised key f =
-  match Hashtbl.find_opt memo key with
-  | Some loaded -> loaded
-  | None ->
-      let loaded = f () in
-      Hashtbl.replace memo key loaded;
-      loaded
+  locked memo_lock (fun () ->
+      match Hashtbl.find_opt memo key with
+      | Some loaded -> loaded
+      | None ->
+          let loaded = f () in
+          Hashtbl.replace memo key loaded;
+          loaded)
 
 let of_forth (w : Vmbp_forth.Forth_workloads.t) =
   {
@@ -117,34 +134,36 @@ let dynamic_counts ?(fuel = 500_000_000) loaded =
   (program, counts)
 
 let profile_memo : (string, Profile.t) Hashtbl.t = Hashtbl.create 16
+let profile_lock = Mutex.create ()
 
 let training_profile ?(max_seq_len = 4) ~vm ~target ~scale () =
   let key =
     Printf.sprintf "%s/%s/%d/%d" (vm_name vm) target scale max_seq_len
   in
-  match Hashtbl.find_opt profile_memo key with
-  | Some p -> p
-  | None ->
-      let profile = Profile.empty ~max_seq_len in
-      (match vm with
-      | Forth ->
-          (* Train on brainless, as the paper does; the profile is dynamic
-             (weighted by execution counts). *)
-          let trainer =
-            match find ~vm:Forth "brainless" with
-            | Some w -> w
-            | None -> assert false
-          in
-          let loaded = trainer.load ~scale:(max 1 (scale / 2)) in
-          let program, counts = dynamic_counts loaded in
-          Profile.add_program ~weights:counts profile program
-      | Jvm ->
-          (* Leave-one-out static profiling over quickened programs. *)
-          List.iter
-            (fun w ->
-              if w.name <> target then
-                let loaded = w.load ~scale:1 in
-                Profile.add_program profile (quickened_program loaded))
-            jvm);
-      Hashtbl.replace profile_memo key profile;
-      profile
+  locked profile_lock (fun () ->
+      match Hashtbl.find_opt profile_memo key with
+      | Some p -> p
+      | None ->
+          let profile = Profile.empty ~max_seq_len in
+          (match vm with
+          | Forth ->
+              (* Train on brainless, as the paper does; the profile is dynamic
+                 (weighted by execution counts). *)
+              let trainer =
+                match find ~vm:Forth "brainless" with
+                | Some w -> w
+                | None -> assert false
+              in
+              let loaded = trainer.load ~scale:(max 1 (scale / 2)) in
+              let program, counts = dynamic_counts loaded in
+              Profile.add_program ~weights:counts profile program
+          | Jvm ->
+              (* Leave-one-out static profiling over quickened programs. *)
+              List.iter
+                (fun w ->
+                  if w.name <> target then
+                    let loaded = w.load ~scale:1 in
+                    Profile.add_program profile (quickened_program loaded))
+                jvm);
+          Hashtbl.replace profile_memo key profile;
+          profile)

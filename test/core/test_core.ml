@@ -512,9 +512,14 @@ let test_engine_fuel () =
   let config = Config.make ~cpu:Cpu_model.ideal Technique.plain in
   let layout = Config.build_layout config ~program in
   let state = T.create_state ~counters:(Array.make 16 1_000_000) () in
-  match Engine.run ~fuel:1000 ~config ~layout ~exec:(T.exec state) () with
-  | exception Engine.Out_of_fuel -> ()
-  | _ -> Alcotest.fail "expected Out_of_fuel"
+  let result = Engine.run ~fuel:1000 ~config ~layout ~exec:(T.exec state) () in
+  Alcotest.(check (option string))
+    "trapped out of fuel" (Some Engine.out_of_fuel) result.Engine.trapped;
+  (* exactly [fuel] instructions executed, with their metrics retained *)
+  check_int "steps equals fuel" 1000 result.Engine.steps;
+  check_int "partial metrics retained" 1000
+    result.Engine.metrics.Metrics.vm_instrs;
+  check_bool "cycles accumulated" true (result.Engine.cycles > 0.)
 
 let test_subroutine_preserves_semantics () =
   List.iter

@@ -188,6 +188,126 @@ let test_icache_infinite_never_misses () =
   done;
   check_int "infinite cache" 0 !misses
 
+(* Memo-free reference model of the same set-associative LRU cache, for the
+   fetch-memo regression test below: per-line touches with a global clock
+   and per-way stamps, no last-line shortcut. *)
+module Ref_icache = struct
+  type t = {
+    line_bytes : int;
+    assoc : int;
+    nsets : int;
+    tags : int array;
+    stamps : int array;
+    mutable tick : int;
+  }
+
+  let create (cfg : Icache.config) =
+    let nsets = cfg.Icache.size_bytes / cfg.Icache.line_bytes
+                / cfg.Icache.associativity in
+    {
+      line_bytes = cfg.Icache.line_bytes;
+      assoc = cfg.Icache.associativity;
+      nsets;
+      tags = Array.make (nsets * cfg.Icache.associativity) (-1);
+      stamps = Array.make (nsets * cfg.Icache.associativity) 0;
+      tick = 0;
+    }
+
+  let touch t line =
+    let base = line mod t.nsets * t.assoc in
+    t.tick <- t.tick + 1;
+    let hit = ref false in
+    for i = 0 to t.assoc - 1 do
+      if t.tags.(base + i) = line then begin
+        t.stamps.(base + i) <- t.tick;
+        hit := true
+      end
+    done;
+    if not !hit then begin
+      let victim = ref 0 in
+      for i = 1 to t.assoc - 1 do
+        if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
+      done;
+      t.tags.(base + !victim) <- line;
+      t.stamps.(base + !victim) <- t.tick
+    end;
+    !hit
+
+  let fetch t ~addr ~bytes ~hits ~misses =
+    let first = addr / t.line_bytes in
+    let last = (addr + max 1 bytes - 1) / t.line_bytes in
+    for line = first to last do
+      if touch t line then incr hits else incr misses
+    done
+end
+
+(* Regression test for the fetch-memo LRU staleness: a memo hit must advance
+   the LRU clock and refresh the hot line's stamp exactly like the full-scan
+   path, so the memoized cache stays in lock-step with a memo-free model
+   through eviction decisions.  The clock assertion fails on the stale-memo
+   code (memo hits used to leave the tick behind by one per hit). *)
+let test_icache_memo_lru_refresh () =
+  (* 2-way, 4 sets: lines 0, 4, 8, ... all compete for set 0. *)
+  let cfg = Icache.make_config ~size_bytes:256 ~line_bytes:32 ~associativity:2 in
+  let c = Icache.create cfg in
+  let r = Ref_icache.create cfg in
+  let hits = ref 0 and misses = ref 0 in
+  let rhits = ref 0 and rmisses = ref 0 in
+  let fetch ~addr ~bytes =
+    Icache.fetch c ~addr ~bytes ~hits ~misses;
+    Ref_icache.fetch r ~addr ~bytes ~hits:rhits ~misses:rmisses;
+    check_int "hits track the memo-free reference" !rhits !hits;
+    check_int "misses track the memo-free reference" !rmisses !misses;
+    (* every access advances the LRU clock, memo hit or not *)
+    check_int "clock counts every line access" (!hits + !misses)
+      (Icache.clock c)
+  in
+  (* Straight-line re-fetches of line 0 engage the memo... *)
+  for _ = 1 to 8 do
+    fetch ~addr:0 ~bytes:16
+  done;
+  (* ...then an eviction tournament in set 0: line 4 joins, line 8 must
+     evict the least recently used of {0, 4}. *)
+  fetch ~addr:128 ~bytes:16;
+  (* refresh line 0 via the memo path only *)
+  fetch ~addr:8 ~bytes:8;
+  fetch ~addr:8 ~bytes:8;
+  fetch ~addr:256 ~bytes:16;
+  (* line 0 must still be resident: line 8 had to evict line 4 *)
+  check_bool "memo-refreshed line survives eviction" true
+    (Icache.resident c ~line:0);
+  check_bool "stale line was the victim" false (Icache.resident c ~line:4);
+  (* and a randomized soak across sets, straddling fetches included *)
+  let rng = Random.State.make [| 0x1CACE |] in
+  for _ = 1 to 2000 do
+    let addr = Random.State.int rng 2048 in
+    let bytes = 1 + Random.State.int rng 64 in
+    fetch ~addr ~bytes
+  done
+
+let test_btb_set_index_distribution () =
+  (* Dispatch sites are byte addresses a few words apart; dropping the low
+     address bits must spread neighbouring branches over many sets instead
+     of piling them into a few. *)
+  let btb = Btb.create (Btb.classic ~entries:512 ~associativity:4) in
+  let distinct stride n =
+    let seen = Hashtbl.create 64 in
+    for k = 0 to n - 1 do
+      Hashtbl.replace seen (Btb.set_index btb (0x4000 + (k * stride))) ()
+    done;
+    Hashtbl.length seen
+  in
+  (* 128 sets: 64 sites 16 bytes apart cover 32 sets, 4-byte spacing is
+     conflict-free up to the set count. *)
+  check_int "16-byte stride spreads" 32 (distinct 16 64);
+  check_int "word stride is conflict-free" 64 (distinct 4 64);
+  check_int "full coverage at set count" 128 (distinct 4 128);
+  (* indices stay in range *)
+  for k = 0 to 511 do
+    let s = Btb.set_index btb (k * 12) in
+    check_bool "index in range" true (s >= 0 && s < 128)
+  done
+
 (* -------------------------------------------------------------------- *)
 (* Cost model and allocator *)
 
@@ -256,6 +376,8 @@ let () =
           Alcotest.test_case "predict is read-only" `Quick
             test_btb_predict_readonly;
           Alcotest.test_case "reset" `Quick test_btb_reset;
+          Alcotest.test_case "set index distribution" `Quick
+            test_btb_set_index_distribution;
           qt prop_btb_repeating_stream_predicts;
         ] );
       ( "predictors",
@@ -272,6 +394,8 @@ let () =
           Alcotest.test_case "thrashing" `Quick test_icache_thrash;
           Alcotest.test_case "infinite cache" `Quick
             test_icache_infinite_never_misses;
+          Alcotest.test_case "fetch memo keeps LRU fresh" `Quick
+            test_icache_memo_lru_refresh;
         ] );
       ( "cost-model",
         [

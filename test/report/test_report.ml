@@ -211,6 +211,126 @@ let test_subroutine_threading_shape () =
     (r.Vmbp_report.Runner.result.Engine.cycles
     < plain.Vmbp_report.Runner.result.Engine.cycles)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel runner *)
+
+(* A synthetic workload over the toy VM: cheap enough to run a grid of them
+   many times, and optionally trapping to exercise fault isolation. *)
+let toy_workload ?(trap = false) name =
+  {
+    Vmbp_workloads.vm = Vmbp_workloads.Forth;
+    name;
+    description = "synthetic toy workload";
+    load =
+      (fun ~scale:_ ->
+        let program = Vmbp_toyvm.Toy_vm.table1_loop () in
+        {
+          Vmbp_workloads.program;
+          fresh_session =
+            (fun () ->
+              let state =
+                Vmbp_toyvm.Toy_vm.create_state ~counters:(Array.make 16 200) ()
+              in
+              let exec p pc =
+                if trap then Vmbp_vm.Control.Trap "boom"
+                else Vmbp_toyvm.Toy_vm.exec state p pc
+              in
+              { Vmbp_workloads.exec; output = (fun () -> "") });
+        });
+  }
+
+let toy_cells () =
+  (* dynamic techniques only: no training profile needed for a toy program *)
+  List.concat_map
+    (fun w ->
+      List.map
+        (fun t ->
+          Vmbp_report.Par_runner.cell ~tag:"test" ~cpu:Cpu_model.ideal
+            ~technique:t w)
+        [ Technique.plain; Technique.switch; Technique.dynamic_super;
+          Technique.dynamic_repl ])
+    [ toy_workload "toy-a"; toy_workload "toy-b"; toy_workload "toy-c" ]
+
+let signature results =
+  List.map
+    (fun (t : Vmbp_report.Par_runner.timed) ->
+      ( Vmbp_report.Par_runner.cell_name t.Vmbp_report.Par_runner.cell,
+        match t.Vmbp_report.Par_runner.outcome with
+        | Ok r ->
+            Printf.sprintf "ok:%.0f:%d" r.Vmbp_report.Runner.result.Engine.cycles
+              r.Vmbp_report.Runner.result.Engine.metrics.Metrics.mispredicts
+        | Error msg -> "error:" ^ msg ))
+    results
+
+let test_par_runner_deterministic () =
+  (* The same cell list must produce identical results, in input order, for
+     every job count: the sequential path is the reference. *)
+  let reference = signature (Vmbp_report.Par_runner.run_cells ~jobs:1 (toy_cells ())) in
+  check_int "one result per cell" 12 (List.length reference);
+  List.iter
+    (fun jobs ->
+      let got = signature (Vmbp_report.Par_runner.run_cells ~jobs (toy_cells ())) in
+      Alcotest.(check (list (pair string string)))
+        (Printf.sprintf "jobs=%d matches sequential" jobs)
+        reference got)
+    [ 2; 8 ];
+  ignore (Vmbp_report.Par_runner.drain_log ())
+
+let test_par_runner_fault_isolation () =
+  let cells =
+    List.map
+      (fun (trap, name) ->
+        Vmbp_report.Par_runner.cell ~tag:"test" ~cpu:Cpu_model.ideal
+          ~technique:Technique.plain (toy_workload ~trap name))
+      [ (false, "good-1"); (true, "bad"); (false, "good-2") ]
+  in
+  List.iter
+    (fun jobs ->
+      let results = Vmbp_report.Par_runner.run_cells ~jobs cells in
+      match
+        List.map (fun (t : Vmbp_report.Par_runner.timed) -> t.Vmbp_report.Par_runner.outcome) results
+      with
+      | [ Ok _; Error msg; Ok _ ] ->
+          check_bool "trap message surfaces" true
+            (String.length msg > 0
+            && String.length msg >= 4
+            &&
+            let has_boom = ref false in
+            for i = 0 to String.length msg - 4 do
+              if String.sub msg i 4 = "boom" then has_boom := true
+            done;
+            !has_boom)
+      | _ -> Alcotest.fail "trapping cell must fail alone, siblings succeed")
+    [ 1; 4 ];
+  ignore (Vmbp_report.Par_runner.drain_log ())
+
+let test_par_runner_json_summary () =
+  ignore (Vmbp_report.Par_runner.drain_log ());
+  let cells =
+    [
+      Vmbp_report.Par_runner.cell ~tag:"test" ~cpu:Cpu_model.ideal
+        ~technique:Technique.plain (toy_workload "toy-json");
+      Vmbp_report.Par_runner.cell ~tag:"test" ~cpu:Cpu_model.ideal
+        ~technique:Technique.plain (toy_workload ~trap:true "toy-trap");
+    ]
+  in
+  ignore (Vmbp_report.Par_runner.run_cells ~jobs:1 cells);
+  let logged = Vmbp_report.Par_runner.drain_log () in
+  check_int "both cells logged" 2 (List.length logged);
+  let json = Vmbp_report.Par_runner.json_summary ~jobs:1 logged in
+  let contains needle =
+    let nl = String.length needle and hl = String.length json in
+    let found = ref false in
+    for i = 0 to hl - nl do
+      if String.sub json i nl = needle then found := true
+    done;
+    !found
+  in
+  check_bool "schema marker" true (contains "\"schema\":\"vmbp-cells/1\"");
+  check_bool "ok cell serialised" true (contains "\"ok\":true");
+  check_bool "failed cell serialised" true (contains "\"ok\":false");
+  check_bool "wall time present" true (contains "\"wall_seconds\":")
+
 let () =
   Alcotest.run "report"
     [
@@ -248,5 +368,13 @@ let () =
             test_shape_static_mix_improves;
           Alcotest.test_case "subroutine threading" `Slow
             test_subroutine_threading_shape;
+        ] );
+      ( "par-runner",
+        [
+          Alcotest.test_case "deterministic across job counts" `Quick
+            test_par_runner_deterministic;
+          Alcotest.test_case "trapping cell fails alone" `Quick
+            test_par_runner_fault_isolation;
+          Alcotest.test_case "json summary" `Quick test_par_runner_json_summary;
         ] );
     ]
