@@ -190,7 +190,18 @@ let json_arg =
           "Write a machine-readable per-cell summary (simulated counters \
            plus wall-clock timings) to $(docv).")
 
+let trace_cap_arg =
+  Arg.(
+    value
+    & opt int !Vmbp_report.Par_runner.trace_cap_mb
+    & info [ "trace-cap-mb" ] ~docv:"MB"
+        ~doc:
+          "Memory budget for recorded dispatch traces (record-once / \
+           replay-many across CPUs).  0 or negative disables record/replay \
+           and simulates every cell directly.")
+
 let set_jobs jobs = Vmbp_report.Par_runner.default_jobs := max 1 jobs
+let set_trace_cap mb = Vmbp_report.Par_runner.trace_cap_mb := mb
 
 let write_json = function
   | None -> ()
@@ -205,8 +216,9 @@ let experiment_cmd =
   let scale =
     Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N")
   in
-  let run id scale jobs json =
+  let run id scale jobs trace_cap json =
     set_jobs jobs;
+    set_trace_cap trace_cap;
     match Vmbp_report.Experiments.find id with
     | None ->
         Printf.eprintf "unknown experiment %s (try 'vmbp list')\n" id;
@@ -221,7 +233,7 @@ let experiment_cmd =
         write_json json
   in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(const run $ id $ scale $ jobs_arg $ json_arg)
+    Term.(const run $ id $ scale $ jobs_arg $ trace_cap_arg $ json_arg)
 
 (* ---------------- report ---------------- *)
 
@@ -230,8 +242,9 @@ let report_cmd =
   let scale =
     Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N")
   in
-  let run scale jobs json =
+  let run scale jobs trace_cap json =
     set_jobs jobs;
+    set_trace_cap trace_cap;
     List.iter
       (fun (e : Vmbp_report.Experiments.t) ->
         let s =
@@ -245,7 +258,7 @@ let report_cmd =
     write_json json
   in
   Cmd.v (Cmd.info "report" ~doc)
-    Term.(const run $ scale $ jobs_arg $ json_arg)
+    Term.(const run $ scale $ jobs_arg $ trace_cap_arg $ json_arg)
 
 let () =
   let doc =

@@ -1,0 +1,57 @@
+(* Scratch profiler: where does traced-mode sys time go? *)
+let () =
+  let phase = Sys.argv.(1) in
+  let techniques = Vmbp_core.Technique.paper_gforth_variants in
+  let workloads =
+    List.filter (fun (w : Vmbp_workloads.t) -> w.Vmbp_workloads.vm = Vmbp_workloads.Forth)
+      Vmbp_workloads.all
+  in
+  let cpu = Vmbp_machine.Cpu_model.pentium4_northwood in
+  let tick name t0 =
+    let t = Unix.gettimeofday () in
+    Printf.printf "%-10s %6.2fs\n%!" name (t -. t0)
+  in
+  let t0 = Unix.gettimeofday () in
+  match phase with
+  | "direct" ->
+      List.iter
+        (fun w ->
+          List.iter
+            (fun t ->
+              ignore (Vmbp_report.Runner.run_result ~scale:2 ~cpu ~technique:t w))
+            techniques)
+        workloads;
+      tick "direct" t0
+  | "record" | "record+replay" | "record+retain" ->
+      let keep = ref [] in
+      List.iter
+        (fun w ->
+          List.iter
+            (fun t ->
+              match Vmbp_report.Runner.record ~scale:2 ~technique:t w with
+              | Error _ -> print_endline "record failed"
+              | Ok tr ->
+                  if phase = "record+replay" then
+                    ignore (Vmbp_report.Runner.replay ~cpu tr);
+                  if phase = "record+retain" then keep := tr :: !keep)
+            techniques)
+        workloads;
+      ignore !keep;
+      tick phase t0
+  | "sizes" ->
+      List.iter
+        (fun w ->
+          List.iter
+            (fun t ->
+              match Vmbp_report.Runner.record ~scale:2 ~technique:t w with
+              | Error _ -> ()
+              | Ok tr ->
+                  Printf.printf "%-24s %-28s %6.1f MB\n"
+                    w.Vmbp_workloads.name (Vmbp_core.Technique.name t)
+                    (float_of_int (Vmbp_report.Runner.trace_bytes tr)
+                    /. 1048576.);
+                  Vmbp_report.Runner.release_trace tr)
+            techniques)
+        workloads;
+      tick "sizes" t0
+  | _ -> failwith "phase?"

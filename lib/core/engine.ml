@@ -11,23 +11,41 @@ type result = {
   trapped : string option;
 }
 
+type sink = {
+  on_dispatch : branch:int -> target:int -> opcode:int -> vm_transfer:bool -> unit;
+  on_fetch : addr:int -> bytes:int -> unit;
+}
+
 let out_of_fuel = "out of fuel"
 
 type stop_reason = Finished | Trapped of string
 
-let run ?(fuel = max_int) ?exec_counts ~config ~layout ~exec () =
+(* Whether the instruction in [slot] is a VM-level control transfer, for
+   attributing mispredictions to VM branches (Section 7.3). *)
+let slot_is_transfer program slot =
+  match (Program.instr_at program slot).Instr.branch with
+  | Instr.Straight -> false
+  | Instr.Cond_branch _ | Instr.Uncond_branch _ | Instr.Indirect_branch
+  | Instr.Call _ | Instr.Indirect_call | Instr.Return | Instr.Stop ->
+      true
+
+let run_events ?(fuel = max_int) ?exec_counts ~metrics:m ~layout ~exec ~sink ()
+    =
   let program = layout.Code_layout.program in
   let sites = layout.Code_layout.sites in
   let shadow = layout.Code_layout.shadow in
   let shadow_until = layout.Code_layout.shadow_until in
   let costs = layout.Code_layout.costs in
-  let cpu = config.Config.cpu in
-  let m = Metrics.create () in
-  let predictor = Predictor.create (Config.predictor_kind config) in
-  let icache = Icache.create cpu.Cpu_model.icache in
-  let hits = ref 0 and misses = ref 0 in
+  let on_dispatch = sink.on_dispatch and on_fetch = sink.on_fetch in
   let pending = ref (-1) in
   let pending_from_transfer = ref false in
+  (* The branch classification of a slot is a per-slot constant between
+     quickenings, so it is precomputed once instead of re-matching
+     [Program.instr_at] on every interpreted instruction; the [Quicken]
+     handler refreshes the rewritten slot. *)
+  let transfer =
+    Array.init (Program.length program) (slot_is_transfer program)
+  in
   (* side-entry emulation for static superinstructions crossing basic
      blocks: while [shadow_lo <= pc <= shadow_hi], non-replicated code
      runs (Figure 6) *)
@@ -54,47 +72,30 @@ let run ?(fuel = max_int) ?exec_counts ~config ~layout ~exec () =
     let post_taken = site.Code_layout.post_taken in
     let fall_extra = site.Code_layout.fall_extra_instrs in
     let opcode = program.Program.code.(i).Program.opcode in
-    let is_transfer =
-      match (Program.instr_at program i).Instr.branch with
-      | Instr.Straight -> false
-      | Instr.Cond_branch _ | Instr.Uncond_branch _ | Instr.Indirect_branch
-      | Instr.Call _ | Instr.Indirect_call | Instr.Return | Instr.Stop ->
-          true
-    in
+    let is_transfer = transfer.(i) in
     (* Resolve the dispatch that brought control here. *)
     if !pending >= 0 then begin
       m.Metrics.dispatches <- m.Metrics.dispatches + 1;
       m.Metrics.indirect_branches <- m.Metrics.indirect_branches + 1;
-      if
-        not
-          (Predictor.access predictor ~branch:!pending ~target:entry_addr
-             ~opcode)
-      then begin
-        m.Metrics.mispredicts <- m.Metrics.mispredicts + 1;
-        if !pending_from_transfer then
-          m.Metrics.vm_branch_mispredicts <- m.Metrics.vm_branch_mispredicts + 1
-      end
+      on_dispatch ~branch:!pending ~target:entry_addr ~opcode
+        ~vm_transfer:!pending_from_transfer
     end;
     (* Gap dispatch of a not-yet-quickened instruction inside a dynamic
        superinstruction: jumps from the gap to the original routine. *)
     (match pre_dispatch with
     | Some d ->
-        Icache.fetch icache ~addr:entry_addr
-          ~bytes:costs.Costs.threaded_dispatch_bytes ~hits ~misses;
+        on_fetch ~addr:entry_addr ~bytes:costs.Costs.threaded_dispatch_bytes;
         m.Metrics.native_instrs <-
           m.Metrics.native_instrs + d.Code_layout.instrs;
         m.Metrics.dispatches <- m.Metrics.dispatches + 1;
         m.Metrics.indirect_branches <- m.Metrics.indirect_branches + 1;
-        if
-          not
-            (Predictor.access predictor ~branch:d.Code_layout.branch_addr
-               ~target:fetch_addr ~opcode)
-        then m.Metrics.mispredicts <- m.Metrics.mispredicts + 1
+        on_dispatch ~branch:d.Code_layout.branch_addr ~target:fetch_addr
+          ~opcode ~vm_transfer:false
     | None -> ());
     if site.Code_layout.call_fetch_bytes > 0 then
-      Icache.fetch icache ~addr:site.Code_layout.call_fetch_addr
-        ~bytes:site.Code_layout.call_fetch_bytes ~hits ~misses;
-    Icache.fetch icache ~addr:fetch_addr ~bytes:fetch_bytes ~hits ~misses;
+      on_fetch ~addr:site.Code_layout.call_fetch_addr
+        ~bytes:site.Code_layout.call_fetch_bytes;
+    on_fetch ~addr:fetch_addr ~bytes:fetch_bytes;
     m.Metrics.native_instrs <- m.Metrics.native_instrs + work_instrs;
     m.Metrics.vm_instrs <- m.Metrics.vm_instrs + 1;
     incr steps;
@@ -106,6 +107,9 @@ let run ?(fuel = max_int) ?exec_counts ~config ~layout ~exec () =
       | Control.Quicken q ->
           Code_layout.quicken layout ~slot:i ~new_opcode:q.Control.new_opcode
             ~new_operands:q.Control.new_operands;
+          (* The quick form may classify differently; this step already
+             captured the pre-quickening [is_transfer], as before. *)
+          transfer.(i) <- slot_is_transfer program i;
           m.Metrics.quickenings <- m.Metrics.quickenings + 1;
           q.Control.after
       | control -> control
@@ -146,19 +150,42 @@ let run ?(fuel = max_int) ?exec_counts ~config ~layout ~exec () =
         stop := Some (Trapped "nested quickening")
     end
   done;
+  ( !steps,
+    match !stop with
+    | Some (Trapped msg) -> Some msg
+    | Some Finished | None -> None )
+
+let run ?fuel ?exec_counts ~config ~layout ~exec () =
+  let cpu = config.Config.cpu in
+  let m = Metrics.create () in
+  let predictor = Predictor.create (Config.predictor_kind config) in
+  let icache = Icache.create cpu.Cpu_model.icache in
+  let hits = ref 0 and misses = ref 0 in
+  let sink =
+    {
+      on_dispatch =
+        (fun ~branch ~target ~opcode ~vm_transfer ->
+          if not (Predictor.access predictor ~branch ~target ~opcode) then begin
+            m.Metrics.mispredicts <- m.Metrics.mispredicts + 1;
+            if vm_transfer then
+              m.Metrics.vm_branch_mispredicts <-
+                m.Metrics.vm_branch_mispredicts + 1
+          end);
+      on_fetch = (fun ~addr ~bytes -> Icache.fetch icache ~addr ~bytes ~hits ~misses);
+    }
+  in
+  let steps, trapped =
+    run_events ?fuel ?exec_counts ~metrics:m ~layout ~exec ~sink ()
+  in
   m.Metrics.icache_fetches <- !hits + !misses;
   m.Metrics.icache_misses <- !misses;
   m.Metrics.code_bytes <- layout.Code_layout.runtime_code_bytes;
-  let cycles = Cpu_model.cycles cpu m in
   {
     metrics = m;
-    cycles;
+    cycles = Cpu_model.cycles cpu m;
     seconds = Cpu_model.seconds cpu m;
-    steps = !steps;
-    trapped =
-      (match !stop with
-      | Some (Trapped msg) -> Some msg
-      | Some Finished | None -> None);
+    steps;
+    trapped;
   }
 
 let run_functional ?(fuel = max_int) ?exec_counts ~program ~exec () =

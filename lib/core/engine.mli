@@ -21,8 +21,42 @@ type result = {
   trapped : string option;  (** [Some msg] when the program trapped *)
 }
 
+type sink = {
+  on_dispatch : branch:int -> target:int -> opcode:int -> vm_transfer:bool -> unit;
+      (** one dispatch indirect branch: the branch at [branch] jumped to
+          [target] while executing [opcode]; [vm_transfer] marks dispatches
+          that follow a VM-level control transfer (their mispredictions are
+          attributed to VM branches, Section 7.3) *)
+  on_fetch : addr:int -> bytes:int -> unit;
+      (** one I-cache code fetch of [bytes] bytes starting at [addr] *)
+}
+(** Where the engine's simulated-hardware events go.  The engine itself
+    accounts only the deterministic event counts (executed VM/native
+    instructions, dispatches, quickenings); everything whose outcome depends
+    on predictor or I-cache state flows through the sink, so one interpreter
+    loop serves both direct simulation ({!run}) and trace recording
+    ({!Vmbp_report.Trace}). *)
+
 val out_of_fuel : string
 (** The trap message reported when a run exhausts its fuel. *)
+
+val run_events :
+  ?fuel:int ->
+  ?exec_counts:int array ->
+  metrics:Vmbp_machine.Metrics.t ->
+  layout:Code_layout.t ->
+  exec:exec ->
+  sink:sink ->
+  unit ->
+  int * string option
+(** Execute the layout's program, streaming every dispatch and fetch event
+    into [sink] and accumulating the deterministic counters into [metrics]
+    ([mispredicts], [vm_branch_mispredicts], [icache_fetches],
+    [icache_misses] and [code_bytes] are left untouched -- they belong to
+    whoever consumes the events).  Returns [(steps, trapped)].  The event
+    stream is a function of the layout and the program semantics only; it
+    does not depend on the CPU model or predictor configuration, which is
+    what makes record-once/replay-many across a CPU grid sound. *)
 
 val run :
   ?fuel:int ->

@@ -18,10 +18,14 @@ let with_counters ~entries ~associativity =
 type way = { mutable tag : int; mutable target : int; mutable counter : int;
              mutable stamp : int }
 
+(* Unbounded-table entry: mutated in place on every training update, so the
+   hot loop neither allocates nor re-hashes after a branch's first miss. *)
+type ub_entry = { mutable ub_target : int; mutable ub_counter : int }
+
 type t = {
   cfg : config;
   sets : way array array;  (* finite configuration *)
-  unbounded : (int, int * int ref) Hashtbl.t;  (* branch -> target, counter *)
+  unbounded : (int, ub_entry) Hashtbl.t;  (* branch -> target, counter *)
   mutable tick : int;
 }
 
@@ -59,7 +63,7 @@ let find_way t branch =
 let predict t ~branch =
   if t.cfg.entries = 0 then
     match Hashtbl.find_opt t.unbounded branch with
-    | Some (target, _) -> Some target
+    | Some e -> Some e.ub_target
     | None -> None
   else
     match find_way t branch with Some w -> Some w.target | None -> None
@@ -76,16 +80,16 @@ let train_counter ~two_bit ~stored ~target ~counter =
 let access_unbounded t ~branch ~target =
   match Hashtbl.find_opt t.unbounded branch with
   | None ->
-      Hashtbl.replace t.unbounded branch (target, ref 2);
+      Hashtbl.replace t.unbounded branch { ub_target = target; ub_counter = 2 };
       false
-  | Some (stored, counter) ->
-      let correct = stored = target in
+  | Some e ->
+      let correct = e.ub_target = target in
       let stored', counter' =
-        train_counter ~two_bit:t.cfg.two_bit_counters ~stored ~target
-          ~counter:!counter
+        train_counter ~two_bit:t.cfg.two_bit_counters ~stored:e.ub_target
+          ~target ~counter:e.ub_counter
       in
-      if stored' <> stored then Hashtbl.replace t.unbounded branch (stored', ref counter')
-      else counter := counter';
+      e.ub_target <- stored';
+      e.ub_counter <- counter';
       correct
 
 let access_finite t ~branch ~target =

@@ -13,13 +13,25 @@ type cell = {
   predictor : Predictor.kind option;
 }
 
+type mode = Direct | Record | Replay
+
+let mode_name = function
+  | Direct -> "direct"
+  | Record -> "record"
+  | Replay -> "replay"
+
 type timed = {
   cell : cell;
   outcome : (Runner.run, string) result;
   wall_seconds : float;
+  mode : mode;
 }
 
 let default_jobs = ref 1
+
+(* Total budget for retained dispatch traces, in MB; [<= 0] disables
+   record/replay entirely (every cell simulates directly). *)
+let trace_cap_mb = ref 256
 
 let cell ?(tag = "") ?(scale = 1) ?predictor ~cpu ~technique workload =
   { tag; workload; technique; cpu; scale; predictor }
@@ -105,6 +117,163 @@ let drain_log () =
   List.rev l
 
 (* ------------------------------------------------------------------ *)
+(* Trace cache.
+
+   Recorded (workload, technique, scale) executions are retained across
+   [run_cells] calls, because the experiment registry revisits the same
+   groups under different CPUs (e.g. the Celeron and Pentium 4 speedup
+   figures share every Forth group).  Retained event-stream bytes are
+   bounded by [trace_cap_mb] with least-recently-used eviction, but
+   eviction only recycles the streams: the entry stays in the list as a
+   kilobyte-sized summary whose per-configuration memo tables (see
+   {!Trace.replay_memo}) still answer every predictor/I-cache combination
+   the trace ever served.  Most cross-experiment revisits repeat a
+   configuration (the counter figures and sweeps reuse the speedup
+   figures' CPUs), so they stay free no matter how small the cap is; only
+   a genuinely new configuration on an evicted group pays for re-recording.
+   Workload identity is physical: the registry's workload values persist
+   for the process lifetime, while freshly constructed (e.g. synthetic
+   test) workloads can never alias a stale trace. *)
+
+type cache_entry = {
+  ce_workload : Vmbp_workloads.t;
+  ce_technique : Technique.t;
+  ce_scale : int;
+  ce_trace : Runner.trace;
+  ce_bytes : int;
+  mutable ce_stamp : int;
+  mutable ce_refs : int;  (* groups currently replaying from this trace *)
+  mutable ce_dead : bool;
+      (* evicted: recycle storage once ce_refs = 0; the entry itself stays
+         listed as a memo-only summary *)
+}
+
+let cache : cache_entry list ref = ref []
+let cache_bytes = ref 0
+let cache_clock = ref 0
+let cache_lock = Mutex.create ()
+
+let cap_bytes () = !trace_cap_mb * 1024 * 1024
+
+let same_group a b =
+  a.workload == b.workload && a.scale = b.scale && a.technique = b.technique
+
+let entry_matches c e =
+  e.ce_workload == c.workload && e.ce_scale = c.scale
+  && e.ce_technique = c.technique
+
+(* Deferred storage recycling: an evicted trace may still be feeding another
+   domain's replays, so eviction only marks the entry dead and the last
+   group using it returns the chunks to the pool. *)
+let entry_drop_locked e =
+  if e.ce_dead && e.ce_refs = 0 then Runner.release_trace e.ce_trace
+
+(* [`Live e] holds a reference on the entry's storage (the caller must
+   [cache_release] it); [`Summary e] is an evicted entry usable only
+   through {!Runner.replay_memo}, which needs no reference. *)
+let cache_find c =
+  Mutex.lock cache_lock;
+  let found = List.find_opt (entry_matches c) !cache in
+  let found =
+    match found with
+    | Some e when not e.ce_dead ->
+        incr cache_clock;
+        e.ce_stamp <- !cache_clock;
+        e.ce_refs <- e.ce_refs + 1;
+        `Live e
+    | Some e -> `Summary e
+    | None -> `Miss
+  in
+  Mutex.unlock cache_lock;
+  found
+
+let cache_release e =
+  Mutex.lock cache_lock;
+  e.ce_refs <- e.ce_refs - 1;
+  entry_drop_locked e;
+  Mutex.unlock cache_lock
+
+(* Eviction demotes the least-recently-used live entry to a summary: its
+   stream storage is recycled but its memo tables keep answering repeat
+   configurations. *)
+let evict_to_cap_locked () =
+  let cap = cap_bytes () in
+  let continue = ref true in
+  while !cache_bytes > cap && !continue do
+    match List.filter (fun e -> not e.ce_dead) !cache with
+    | [] | [ _ ] -> continue := false
+    | live ->
+        let lru =
+          List.fold_left
+            (fun acc e -> if e.ce_stamp < acc.ce_stamp then e else acc)
+            (List.hd live) (List.tl live)
+        in
+        cache_bytes := !cache_bytes - lru.ce_bytes;
+        lru.ce_dead <- true;
+        entry_drop_locked lru
+  done
+
+(* Returns the entry now holding the group's trace, with one reference held
+   for the caller.  If another domain inserted the same group first, the
+   caller's freshly recorded duplicate is recycled and the existing live
+   entry is used instead.  A matching dead summary (the re-record path:
+   storage was evicted and then a new configuration arrived) is superseded:
+   the fresh entry is consed in front of it, and the stale summary is
+   unlisted once no domain still reads its memos. *)
+let cache_insert c trace =
+  let bytes = Runner.trace_bytes trace in
+  Mutex.lock cache_lock;
+  let entry =
+    match
+      List.find_opt (fun e -> entry_matches c e && not e.ce_dead) !cache
+    with
+    | Some e ->
+        Runner.release_trace trace;
+        incr cache_clock;
+        e.ce_stamp <- !cache_clock;
+        e.ce_refs <- e.ce_refs + 1;
+        e
+    | None ->
+        incr cache_clock;
+        let e =
+          {
+            ce_workload = c.workload;
+            ce_technique = c.technique;
+            ce_scale = c.scale;
+            ce_trace = trace;
+            ce_bytes = bytes;
+            ce_stamp = !cache_clock;
+            ce_refs = 1;
+            ce_dead = false;
+          }
+        in
+        cache :=
+          e :: List.filter (fun o -> not (entry_matches c o && o.ce_dead)) !cache;
+        cache_bytes := !cache_bytes + bytes;
+        evict_to_cap_locked ();
+        e
+  in
+  Mutex.unlock cache_lock;
+  entry
+
+let clear_trace_cache () =
+  Mutex.lock cache_lock;
+  List.iter
+    (fun e ->
+      e.ce_dead <- true;
+      entry_drop_locked e)
+    !cache;
+  cache := [];
+  cache_bytes := 0;
+  Mutex.unlock cache_lock
+
+let trace_cache_bytes () =
+  Mutex.lock cache_lock;
+  let b = !cache_bytes in
+  Mutex.unlock cache_lock;
+  b
+
+(* ------------------------------------------------------------------ *)
 (* Running *)
 
 let run_cell c =
@@ -113,34 +282,133 @@ let run_cell c =
     Runner.run_result ~scale:c.scale ?predictor:c.predictor ~cpu:c.cpu
       ~technique:c.technique c.workload
   in
-  { cell = c; outcome; wall_seconds = Unix.gettimeofday () -. t0 }
+  { cell = c; outcome; wall_seconds = Unix.gettimeofday () -. t0; mode = Direct }
+
+let replay_cell mode tr c =
+  let t0 = Unix.gettimeofday () in
+  let outcome = Runner.replay ?predictor:c.predictor ~cpu:c.cpu tr in
+  { cell = c; outcome; wall_seconds = Unix.gettimeofday () -. t0; mode }
+
+(* Replay every cell purely from an evicted entry's memo tables.  All or
+   nothing: a group whose cells mix known and new configurations re-records
+   instead, so the one engine execution also refreshes the stream for its
+   siblings. *)
+let memo_cells entry arr idxs =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | i :: rest -> (
+        let c = arr.(i) in
+        let t0 = Unix.gettimeofday () in
+        match
+          Runner.replay_memo ?predictor:c.predictor ~cpu:c.cpu entry.ce_trace
+        with
+        | None -> None
+        | Some outcome ->
+            go
+              (( i,
+                 {
+                   cell = c;
+                   outcome;
+                   wall_seconds = Unix.gettimeofday () -. t0;
+                   mode = Replay;
+                 } )
+              :: acc)
+              rest)
+  in
+  go [] idxs
+
+(* One (workload, technique, scale) group: find or record its trace, then
+   replay every cell against its own CPU/predictor.  Any recording problem
+   (cap exceeded, load/build/run exception) falls back to direct per-cell
+   simulation, which reproduces exactly what the pre-trace runner did. *)
+let run_group results arr idxs =
+  let direct () =
+    List.iter (fun i -> results.(i) <- Some (run_cell arr.(i))) idxs
+  in
+  let record_group () =
+    let c0 = arr.(List.hd idxs) in
+    let t0 = Unix.gettimeofday () in
+    match
+      Runner.record ~scale:c0.scale ~cap_bytes:(cap_bytes ())
+        ~technique:c0.technique c0.workload
+    with
+    | Error (`Overflow | `Failed _) -> direct ()
+    | Ok tr ->
+        let record_seconds = Unix.gettimeofday () -. t0 in
+        let entry = cache_insert c0 tr in
+        List.iteri
+          (fun k i ->
+            let timed =
+              replay_cell
+                (if k = 0 then Record else Replay)
+                entry.ce_trace arr.(i)
+            in
+            (* The group's one engine execution is billed to the first
+               cell, so summing wall_seconds still accounts all work. *)
+            let timed =
+              if k = 0 then
+                { timed with wall_seconds = timed.wall_seconds +. record_seconds }
+              else timed
+            in
+            results.(i) <- Some timed)
+          idxs;
+        cache_release entry
+  in
+  if !trace_cap_mb <= 0 then direct ()
+  else
+    let c0 = arr.(List.hd idxs) in
+    match cache_find c0 with
+    | `Live entry ->
+        List.iter
+          (fun i ->
+            results.(i) <- Some (replay_cell Replay entry.ce_trace arr.(i)))
+          idxs;
+        cache_release entry
+    | `Summary entry -> (
+        match memo_cells entry arr idxs with
+        | Some timed -> List.iter (fun (i, t) -> results.(i) <- Some t) timed
+        | None -> record_group ())
+    | `Miss -> record_group ()
+
+(* Group cell indices by (workload, technique, scale), preserving first-
+   occurrence order and ascending indices within each group. *)
+let group_cells arr =
+  let groups : (cell * int list ref) list ref = ref [] in
+  Array.iteri
+    (fun i c ->
+      match List.find_opt (fun (c0, _) -> same_group c0 c) !groups with
+      | Some (_, l) -> l := i :: !l
+      | None -> groups := (c, ref [ i ]) :: !groups)
+    arr;
+  List.rev_map (fun (_, l) -> List.rev !l) !groups
 
 let run_cells ?jobs cells =
   let jobs =
     max 1 (match jobs with Some j -> j | None -> !default_jobs)
   in
   let arr = Array.of_list cells in
-  let n = Array.length arr in
-  let results = Array.make n None in
-  if jobs = 1 || n <= 1 then
+  let results = Array.make (Array.length arr) None in
+  let groups = group_cells arr in
+  let ngroups = List.length groups in
+  if jobs = 1 || ngroups <= 1 then
     (* Sequential path, bit-for-bit the reference for the pool. *)
-    Array.iteri (fun i c -> results.(i) <- Some (run_cell c)) arr
+    List.iter (run_group results arr) groups
   else begin
     let q = queue_create () in
-    Array.iteri (fun i c -> queue_push q (i, c)) arr;
+    List.iter (fun g -> queue_push q g) groups;
     queue_close q;
     let worker () =
       let rec loop () =
         match queue_take q with
         | None -> ()
-        | Some (i, c) ->
-            (* Distinct slots: no two domains ever write the same index. *)
-            results.(i) <- Some (run_cell c);
+        | Some g ->
+            (* Distinct groups: no two domains ever write the same index. *)
+            run_group results arr g;
             loop ()
       in
       loop ()
     in
-    let spawned = min (jobs - 1) (n - 1) in
+    let spawned = min (jobs - 1) (ngroups - 1) in
     let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
     worker ();
     Array.iter Domain.join domains
@@ -231,6 +499,7 @@ let json_of_timed t =
       add ",\"vm_instrs\":%d" m.Metrics.vm_instrs;
       add ",\"code_bytes\":%d" m.Metrics.code_bytes
   | Error msg -> add ",\"ok\":false,\"error\":\"%s\"" (json_escape msg));
+  add ",\"mode\":\"%s\"" (mode_name t.mode);
   add ",\"wall_seconds\":%s" (json_float t.wall_seconds);
   add "}";
   Buffer.contents b
@@ -238,13 +507,32 @@ let json_of_timed t =
 let json_summary ?jobs results =
   let jobs = match jobs with Some j -> max 1 j | None -> !default_jobs in
   let total = List.fold_left (fun a t -> a +. t.wall_seconds) 0. results in
+  let count m = List.length (List.filter (fun t -> t.mode = m) results) in
+  let wall m =
+    List.fold_left
+      (fun a t -> if t.mode = m then a +. t.wall_seconds else a)
+      0. results
+  in
+  (* [engine_runs] counts actual VM executions: every direct cell plus one
+     per recorded group.  Replayed cells re-ran no VM semantics. *)
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"schema\":\"vmbp-cells/1\"";
   Buffer.add_string b (Printf.sprintf ",\"jobs\":%d" jobs);
   Buffer.add_string b
     (Printf.sprintf ",\"cells\":%d" (List.length results));
   Buffer.add_string b
+    (Printf.sprintf ",\"engine_runs\":%d" (count Direct + count Record));
+  Buffer.add_string b (Printf.sprintf ",\"replays\":%d" (count Replay));
+  Buffer.add_string b
+    (Printf.sprintf ",\"trace_cap_mb\":%d" !trace_cap_mb);
+  Buffer.add_string b
     (Printf.sprintf ",\"cell_wall_seconds\":%s" (json_float total));
+  Buffer.add_string b
+    (Printf.sprintf ",\"direct_wall_seconds\":%s" (json_float (wall Direct)));
+  Buffer.add_string b
+    (Printf.sprintf ",\"record_wall_seconds\":%s" (json_float (wall Record)));
+  Buffer.add_string b
+    (Printf.sprintf ",\"replay_wall_seconds\":%s" (json_float (wall Replay)));
   Buffer.add_string b ",\"results\":[";
   List.iteri
     (fun i t ->

@@ -16,7 +16,21 @@
     Every cell run through this module is also appended to a session log
     ({!drain_log}) carrying per-cell wall-clock timings, which the bench and
     CLI harnesses dump as a machine-readable JSON summary ([--json FILE]) so
-    the performance trajectory can be tracked across changes. *)
+    the performance trajectory can be tracked across changes.
+
+    {b Record once, replay many.}  Cells that share (workload, technique,
+    scale) run the exact same VM execution -- only the modelled hardware
+    differs -- so the planner groups them, records the engine's event stream
+    once per group ({!Runner.record}), and replays every cell of the group
+    from that trace ({!Runner.replay}).  Recorded traces are kept in a
+    process-wide LRU cache bounded by {!trace_cap_mb}, so later experiments
+    over the same grid (the common shape: one figure per CPU) skip the VM
+    execution entirely.  Eviction recycles a trace's stream storage but
+    keeps a memo-only summary that still answers every simulator
+    configuration the trace ever served ({!Runner.replay_memo}); only a new
+    configuration on an evicted group re-records.  Simulated numbers are
+    identical to direct runs by construction; any recording problem (budget
+    exceeded, trap during load) falls back to per-cell direct simulation. *)
 
 type cell = {
   tag : string;  (** experiment-level label carried into the JSON log *)
@@ -27,15 +41,41 @@ type cell = {
   predictor : Vmbp_machine.Predictor.kind option;
 }
 
+(** How a cell's numbers were produced: [Direct] = full engine execution for
+    this cell alone; [Record] = full engine execution whose trace also
+    served its group; [Replay] = no VM execution, simulators driven from a
+    recorded trace. *)
+type mode = Direct | Record | Replay
+
+val mode_name : mode -> string
+
 type timed = {
   cell : cell;
   outcome : (Runner.run, string) result;
-  wall_seconds : float;  (** wall-clock spent simulating this cell *)
+  wall_seconds : float;
+      (** wall-clock spent producing this cell; a [Record] cell carries its
+          group's one engine execution, so summing over cells accounts all
+          work *)
+  mode : mode;
 }
 
 val default_jobs : int ref
 (** Pool size used when [?jobs] is omitted; set once from the [--jobs N]
     command-line flag.  Defaults to 1 (sequential). *)
+
+val trace_cap_mb : int ref
+(** Budget, in megabytes, for recorded traces retained in the process-wide
+    LRU cache; also caps any single recording (an over-budget group falls
+    back to direct runs).  [<= 0] disables record/replay entirely.  Set from
+    the [--trace-cap-mb N] command-line flag; defaults to 256. *)
+
+val clear_trace_cache : unit -> unit
+(** Drop every retained trace, including memo-only summaries (used by tests
+    and memory-sensitive harnesses). *)
+
+val trace_cache_bytes : unit -> int
+(** Current retained stream footprint in bytes (summaries are not
+    counted -- their streams are already recycled). *)
 
 val cell :
   ?tag:string ->
@@ -50,8 +90,11 @@ val cell_name : cell -> string
 (** ["vm/workload/technique/cpu[@scale]"], for logs and error reports. *)
 
 val run_cells : ?jobs:int -> cell list -> timed list
-(** Run every cell, [?jobs] at a time (default {!default_jobs}), and return
-    the outcomes in the input order regardless of completion order. *)
+(** Run every cell and return the outcomes in the input order regardless of
+    completion order.  Cells are grouped by (workload, technique, scale);
+    groups are the unit of parallelism, [?jobs] at a time (default
+    {!default_jobs}), and within a group one recorded execution feeds every
+    cell's replay. *)
 
 val matrix :
   ?scale:int ->
@@ -73,8 +116,10 @@ val drain_log : unit -> timed list
 
 val json_summary : ?jobs:int -> timed list -> string
 (** A machine-readable summary: schema [vmbp-cells/1], one record per cell
-    with simulated cycles, mispredict rate, I-cache misses and wall-clock
-    seconds (or the error for failed cells). *)
+    with simulated cycles, mispredict rate, I-cache misses, production mode
+    and wall-clock seconds (or the error for failed cells), plus top-level
+    [engine_runs]/[replays] counters and the direct/record/replay wall-clock
+    split. *)
 
 val write_json_summary : ?jobs:int -> file:string -> timed list -> unit
 (** Write {!json_summary} to [file]. *)

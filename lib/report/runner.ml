@@ -10,33 +10,39 @@ type run = {
 
 exception Run_failed of string
 
+let engine_fuel = 2_000_000_000
+
+let trap_message (workload : Vmbp_workloads.t) technique msg =
+  Printf.sprintf "%s/%s under %s trapped: %s"
+    (Vmbp_workloads.vm_name workload.Vmbp_workloads.vm)
+    workload.Vmbp_workloads.name (Technique.name technique) msg
+
+(* The paper's training policy: static selection techniques get the
+   workload's training profile unless the caller supplies one. *)
+let effective_profile ?profile ~scale ~technique (workload : Vmbp_workloads.t)
+    =
+  match profile with
+  | Some p -> Some p
+  | None ->
+      if Technique.uses_static_selection technique then
+        Some
+          (Vmbp_workloads.training_profile ~vm:workload.Vmbp_workloads.vm
+             ~target:workload.Vmbp_workloads.name ~scale ())
+      else None
+
 let run ?(scale = 1) ?predictor ?profile ~cpu ~technique
     (workload : Vmbp_workloads.t) =
   let loaded = workload.Vmbp_workloads.load ~scale in
-  let profile =
-    match profile with
-    | Some p -> Some p
-    | None ->
-        if Technique.uses_static_selection technique then
-          Some
-            (Vmbp_workloads.training_profile ~vm:workload.Vmbp_workloads.vm
-               ~target:workload.Vmbp_workloads.name ~scale ())
-        else None
-  in
+  let profile = effective_profile ?profile ~scale ~technique workload in
   let config = Config.make ~cpu ?predictor technique in
   let layout = Config.build_layout ?profile config ~program:loaded.Vmbp_workloads.program in
   let session = loaded.Vmbp_workloads.fresh_session () in
   let result =
-    Engine.run ~fuel:2_000_000_000 ~config ~layout ~exec:session.Vmbp_workloads.exec
+    Engine.run ~fuel:engine_fuel ~config ~layout ~exec:session.Vmbp_workloads.exec
       ()
   in
   (match result.Engine.trapped with
-  | Some msg ->
-      raise
-        (Run_failed
-           (Printf.sprintf "%s/%s under %s trapped: %s"
-              (Vmbp_workloads.vm_name workload.Vmbp_workloads.vm)
-              workload.Vmbp_workloads.name (Technique.name technique) msg))
+  | Some msg -> raise (Run_failed (trap_message workload technique msg))
   | None -> ());
   {
     workload;
@@ -51,6 +57,66 @@ let run_result ?scale ?predictor ?profile ~cpu ~technique workload =
   | r -> Ok r
   | exception Run_failed msg -> Error msg
   | exception exn -> Error (Printexc.to_string exn)
+
+(* ------------------------------------------------------------------ *)
+(* Record/replay: one full engine execution per (workload, technique,
+   scale), replayed for any number of CPU or predictor configurations. *)
+
+type trace = {
+  t_workload : Vmbp_workloads.t;
+  t_technique : Technique.t;
+  t_scale : int;
+  t_data : Trace.t;
+}
+
+let record ?(scale = 1) ?profile ?cap_bytes ~technique
+    (workload : Vmbp_workloads.t) =
+  match
+    let loaded = workload.Vmbp_workloads.load ~scale in
+    let profile = effective_profile ?profile ~scale ~technique workload in
+    (* The CPU of this config is irrelevant: layout building depends on
+       technique and costs only, and recording consumes neither the
+       predictor nor the I-cache. *)
+    let config = Config.make technique in
+    let layout =
+      Config.build_layout ?profile config ~program:loaded.Vmbp_workloads.program
+    in
+    let session = loaded.Vmbp_workloads.fresh_session () in
+    Trace.record ~fuel:engine_fuel ?cap_bytes ~layout
+      ~exec:session.Vmbp_workloads.exec ~output:session.Vmbp_workloads.output
+      ()
+  with
+  | Some data ->
+      Ok { t_workload = workload; t_technique = technique; t_scale = scale; t_data = data }
+  | None -> Error `Overflow
+  | exception exn -> Error (`Failed (Printexc.to_string exn))
+
+let run_of_replay tr cpu result =
+  match result.Engine.trapped with
+  | Some msg -> Error (trap_message tr.t_workload tr.t_technique msg)
+  | None ->
+      Ok
+        {
+          workload = tr.t_workload;
+          technique = tr.t_technique;
+          cpu;
+          result;
+          output = Trace.output tr.t_data;
+        }
+
+let replay ?predictor ~cpu tr =
+  let config = Config.make ~cpu ?predictor tr.t_technique in
+  run_of_replay tr cpu
+    (Trace.replay tr.t_data ~cpu ~predictor:(Config.predictor_kind config))
+
+let replay_memo ?predictor ~cpu tr =
+  let config = Config.make ~cpu ?predictor tr.t_technique in
+  Option.map (run_of_replay tr cpu)
+    (Trace.replay_memo tr.t_data ~cpu
+       ~predictor:(Config.predictor_kind config))
+
+let trace_bytes tr = Trace.bytes tr.t_data
+let release_trace tr = Trace.release tr.t_data
 
 let matrix ?scale ~cpu ~techniques workloads =
   (* One trapped cell degrades to an [Error] entry; sibling experiments

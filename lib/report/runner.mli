@@ -49,3 +49,56 @@ val matrix :
 
 val speedup : baseline:run -> run -> float
 (** Ratio of modelled cycles: how much faster than [baseline]. *)
+
+(** {2 Record once, replay many}
+
+    Cells that share (workload, technique, scale) differ only in CPU model
+    and predictor override, neither of which can change the engine's event
+    stream.  [record] executes the VM once and captures that stream (see
+    {!Trace}); [replay] then reproduces the exact [run] any direct
+    {!run_result} call would return for a given CPU/predictor, without
+    re-executing VM semantics. *)
+
+type trace
+(** A recorded (workload, technique, scale) execution. *)
+
+val record :
+  ?scale:int ->
+  ?profile:Vmbp_vm.Profile.t ->
+  ?cap_bytes:int ->
+  technique:Vmbp_core.Technique.t ->
+  Vmbp_workloads.t ->
+  (trace, [ `Overflow | `Failed of string ]) result
+(** One full engine execution with the same fuel and training-profile
+    policy as {!run}.  [`Overflow] reports that the event storage would
+    exceed [cap_bytes]; [`Failed] carries the exception of a run that did
+    not even record.  In both cases callers must fall back to direct
+    {!run_result} calls.  A run that merely traps records fine: its trace
+    replays to the same [Error] cell a direct run would produce. *)
+
+val replay :
+  ?predictor:Vmbp_machine.Predictor.kind ->
+  cpu:Vmbp_machine.Cpu_model.t ->
+  trace ->
+  (run, string) result
+(** Field-for-field equal to
+    [run_result ?predictor ~cpu ~technique workload] for the trace's
+    workload, technique and scale. *)
+
+val replay_memo :
+  ?predictor:Vmbp_machine.Predictor.kind ->
+  cpu:Vmbp_machine.Cpu_model.t ->
+  trace ->
+  (run, string) result option
+(** [replay], answered purely from the trace's per-configuration memo
+    tables: [Some] exactly when this predictor kind and I-cache geometry
+    have both been replayed on the trace before.  Works on a
+    [release_trace]d trace, so an evicted trace still serves repeat
+    configurations (see {!Trace.replay_memo}). *)
+
+val trace_bytes : trace -> int
+(** Storage footprint in bytes, for cache accounting. *)
+
+val release_trace : trace -> unit
+(** Recycle the trace's storage (see {!Trace.release}); the trace must not
+    be replayed afterwards. *)

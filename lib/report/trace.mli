@@ -1,0 +1,86 @@
+(** Record-once / replay-many dispatch traces.
+
+    One {!Vmbp_core.Engine} execution of a (workload, technique, scale)
+    configuration produces an event stream -- dispatch indirect branches and
+    I-cache code fetches -- that does not depend on the CPU model or the
+    predictor configuration: {!Vmbp_core.Config.build_layout} is a function
+    of technique and cost model only, and predictor/I-cache outcomes never
+    feed back into VM semantics.  This module captures that stream once into
+    compact dictionary-coded byte chunks, after which {!replay} reproduces the full
+    {!Vmbp_core.Engine.result} of a direct run for {e any} CPU or predictor
+    override by driving only the hardware simulators -- no VM semantics, no
+    layout rebuild.  This is the paper's own experimental shape (one
+    interpreter run swept across many predictor/BTB configurations,
+    Sections 2-3) applied to the reproduction's experiment grid.
+
+    Storage is dictionary-coded: each stream keeps its distinct events in an
+    append-only dictionary and stores the stream itself as 3-byte codes into
+    recycled byte chunks, since an interpreter run repeats a small set of
+    fetch addresses and dispatch edges millions of times.  Memory stays
+    bounded: every chunk and dictionary growth is accounted against the
+    caller's cap, and recording aborts (returns [None]) rather than exceed
+    it -- callers then fall back to direct simulation. *)
+
+type t
+
+val record :
+  ?fuel:int ->
+  ?cap_bytes:int ->
+  layout:Vmbp_core.Code_layout.t ->
+  exec:Vmbp_core.Engine.exec ->
+  output:(unit -> string) ->
+  unit ->
+  t option
+(** Execute the layout's program once, recording its dispatch and fetch
+    event streams plus the deterministic counters, the trap state and the
+    session's output.  Returns [None] when the event storage would exceed
+    [cap_bytes] bytes (default unlimited), when a stream has more than 2^24
+    distinct events, or when an event exceeds the packed encoding's generous
+    field widths; the caller must then run cells directly.  A trapped run
+    (including fuel exhaustion) records normally: the trace reproduces its
+    partial metrics. *)
+
+val replay :
+  t ->
+  cpu:Vmbp_machine.Cpu_model.t ->
+  predictor:Vmbp_machine.Predictor.kind ->
+  Vmbp_core.Engine.result
+(** Drive a fresh predictor and I-cache of the given configuration over the
+    recorded streams.  The result is field-for-field identical to what
+    [Engine.run] would produce for the same configuration.  Per-configuration
+    simulator outcomes are memoized on the trace, so replaying a repeated
+    predictor kind or I-cache geometry (as the sweep experiments do) costs
+    only the cost-model arithmetic.  Raises [Invalid_argument] on a
+    [release]d trace. *)
+
+val replay_memo :
+  t ->
+  cpu:Vmbp_machine.Cpu_model.t ->
+  predictor:Vmbp_machine.Predictor.kind ->
+  Vmbp_core.Engine.result option
+(** [replay], answered purely from the memo tables: [Some] exactly when both
+    the predictor kind and the I-cache geometry have been replayed on this
+    trace before.  Valid on a [release]d trace -- the memos, base counters
+    and output are ordinary GC-managed values that survive chunk recycling
+    -- so an evicted trace still resolves every configuration it ever
+    served, at cost-model price. *)
+
+val release : t -> unit
+(** Return the trace's chunks to the recycling pool.  The trace must not be
+    used afterwards ([replay] raises); releasing twice raises.  Callers that
+    simply drop a trace may skip this -- the GC reclaims it -- but then its
+    pages are handed back to the OS instead of being reused by the next
+    recording. *)
+
+val bytes : t -> int
+(** Bytes allocated for the event storage (the quantity capped by
+    [cap_bytes]), for cache accounting. *)
+
+val steps : t -> int
+val trapped : t -> string option
+
+val output : t -> string
+(** The recorded session's program output. *)
+
+val dispatch_events : t -> int
+val fetch_events : t -> int

@@ -331,6 +331,207 @@ let test_par_runner_json_summary () =
   check_bool "failed cell serialised" true (contains "\"ok\":false");
   check_bool "wall time present" true (contains "\"wall_seconds\":")
 
+(* ------------------------------------------------------------------ *)
+(* Record/replay: a replayed cell must be field-for-field identical to a
+   direct engine run of the same configuration. *)
+
+let check_result_equal name (a : Engine.result) (b : Engine.result) =
+  let ma = a.Engine.metrics and mb = b.Engine.metrics in
+  let f field va vb = check_int (name ^ " " ^ field) va vb in
+  f "vm_instrs" ma.Metrics.vm_instrs mb.Metrics.vm_instrs;
+  f "native_instrs" ma.Metrics.native_instrs mb.Metrics.native_instrs;
+  f "dispatches" ma.Metrics.dispatches mb.Metrics.dispatches;
+  f "indirect_branches" ma.Metrics.indirect_branches
+    mb.Metrics.indirect_branches;
+  f "mispredicts" ma.Metrics.mispredicts mb.Metrics.mispredicts;
+  f "vm_branch_mispredicts" ma.Metrics.vm_branch_mispredicts
+    mb.Metrics.vm_branch_mispredicts;
+  f "icache_fetches" ma.Metrics.icache_fetches mb.Metrics.icache_fetches;
+  f "icache_misses" ma.Metrics.icache_misses mb.Metrics.icache_misses;
+  f "code_bytes" ma.Metrics.code_bytes mb.Metrics.code_bytes;
+  f "quickenings" ma.Metrics.quickenings mb.Metrics.quickenings;
+  Alcotest.(check (float 0.)) (name ^ " cycles") a.Engine.cycles b.Engine.cycles;
+  Alcotest.(check (float 0.)) (name ^ " seconds") a.Engine.seconds
+    b.Engine.seconds;
+  f "steps" a.Engine.steps b.Engine.steps;
+  Alcotest.(check (option string)) (name ^ " trapped") a.Engine.trapped
+    b.Engine.trapped
+
+let test_replay_equivalence_gforth () =
+  (* Every paper Gforth variant, two CPUs, plus a predictor override: one
+     recording must reproduce each direct run exactly. *)
+  let w = Option.get (Vmbp_workloads.find ~vm:Vmbp_workloads.Forth "bench-gc") in
+  let cpus = [ Cpu_model.celeron_800; Cpu_model.pentium4_northwood ] in
+  List.iter
+    (fun technique ->
+      let tname = Technique.name technique in
+      match Vmbp_report.Runner.record ~technique w with
+      | Error `Overflow -> Alcotest.fail (tname ^ ": record overflowed")
+      | Error (`Failed msg) -> Alcotest.fail (tname ^ ": record failed: " ^ msg)
+      | Ok tr ->
+          List.iter
+            (fun (cpu : Cpu_model.t) ->
+              let direct = Vmbp_report.Runner.run ~cpu ~technique w in
+              let replayed =
+                Result.get_ok (Vmbp_report.Runner.replay ~cpu tr)
+              in
+              check_result_equal
+                (tname ^ "/" ^ cpu.Cpu_model.name)
+                direct.Vmbp_report.Runner.result
+                replayed.Vmbp_report.Runner.result;
+              Alcotest.(check string)
+                (tname ^ " output")
+                direct.Vmbp_report.Runner.output
+                replayed.Vmbp_report.Runner.output)
+            cpus;
+          let cpu = Cpu_model.pentium4_northwood in
+          let direct =
+            Vmbp_report.Runner.run ~predictor:Predictor.Perfect ~cpu ~technique
+              w
+          in
+          let replayed =
+            Result.get_ok
+              (Vmbp_report.Runner.replay ~predictor:Predictor.Perfect ~cpu tr)
+          in
+          check_result_equal (tname ^ "/perfect-override")
+            direct.Vmbp_report.Runner.result
+            replayed.Vmbp_report.Runner.result)
+    Technique.paper_gforth_variants
+
+let test_replay_equivalence_jvm_quickening () =
+  (* A JVM workload mutates its own program (quickening): the trace must
+     still replay exactly, on more than one CPU. *)
+  let w = Option.get (Vmbp_workloads.find ~vm:Vmbp_workloads.Jvm "db") in
+  let technique = Technique.plain in
+  let tr = Result.get_ok (Vmbp_report.Runner.record ~technique w) in
+  List.iter
+    (fun (cpu : Cpu_model.t) ->
+      let direct = Vmbp_report.Runner.run ~cpu ~technique w in
+      check_bool "workload actually quickens" true
+        (direct.Vmbp_report.Runner.result.Engine.metrics.Metrics.quickenings
+        > 0);
+      let replayed = Result.get_ok (Vmbp_report.Runner.replay ~cpu tr) in
+      check_result_equal ("jvm/" ^ cpu.Cpu_model.name)
+        direct.Vmbp_report.Runner.result replayed.Vmbp_report.Runner.result)
+    [ Cpu_model.celeron_800; Cpu_model.pentium_m ]
+
+let test_replay_trap_and_fuel () =
+  (* A trapping run records fine and replays to the same Error a direct
+     run_result produces. *)
+  let w = toy_workload ~trap:true "trace-trap" in
+  let cpu = Cpu_model.pentium4_northwood in
+  let direct =
+    Vmbp_report.Runner.run_result ~cpu ~technique:Technique.plain w
+  in
+  let tr =
+    Result.get_ok (Vmbp_report.Runner.record ~technique:Technique.plain w)
+  in
+  let replayed = Vmbp_report.Runner.replay ~cpu tr in
+  (match (direct, replayed) with
+  | Error a, Error b -> Alcotest.(check string) "trap message" a b
+  | _ -> Alcotest.fail "both trap paths must fail");
+  (* Fuel exhaustion mid-run: partial metrics replay exactly. *)
+  let w = toy_workload "trace-fuel" in
+  let loaded = w.Vmbp_workloads.load ~scale:1 in
+  let config = Config.make ~cpu Technique.plain in
+  let layout =
+    Config.build_layout config ~program:loaded.Vmbp_workloads.program
+  in
+  let s1 = loaded.Vmbp_workloads.fresh_session () in
+  let direct =
+    Engine.run ~fuel:50 ~config ~layout ~exec:s1.Vmbp_workloads.exec ()
+  in
+  let s2 = loaded.Vmbp_workloads.fresh_session () in
+  let tr =
+    Option.get
+      (Vmbp_report.Trace.record ~fuel:50 ~layout
+         ~exec:s2.Vmbp_workloads.exec ~output:s2.Vmbp_workloads.output ())
+  in
+  let replayed =
+    Vmbp_report.Trace.replay tr ~cpu
+      ~predictor:(Config.predictor_kind config)
+  in
+  check_bool "fuel run trapped" true (direct.Engine.trapped <> None);
+  check_result_equal "fuel-exhausted" direct replayed
+
+let test_record_overflow_and_fallback () =
+  (* An impossible budget must refuse to record... *)
+  let w = toy_workload "trace-cap" in
+  (match
+     Vmbp_report.Runner.record ~cap_bytes:1000 ~technique:Technique.plain w
+   with
+  | Error `Overflow -> ()
+  | Ok _ -> Alcotest.fail "1000-word cap cannot hold any trace"
+  | Error (`Failed msg) -> Alcotest.fail ("unexpected failure: " ^ msg));
+  (* ...and the planner must fall back to direct cells yet still agree with
+     the traced run. *)
+  Vmbp_report.Par_runner.clear_trace_cache ();
+  let cells () =
+    let w = toy_workload "trace-fallback" in
+    List.map
+      (fun cpu ->
+        Vmbp_report.Par_runner.cell ~tag:"test" ~cpu
+          ~technique:Technique.plain w)
+      [ Cpu_model.ideal; Cpu_model.pentium4_northwood ]
+  in
+  let saved = !Vmbp_report.Par_runner.trace_cap_mb in
+  Vmbp_report.Par_runner.trace_cap_mb := 0;
+  let direct = Vmbp_report.Par_runner.run_cells ~jobs:1 (cells ()) in
+  Vmbp_report.Par_runner.trace_cap_mb := saved;
+  let traced = Vmbp_report.Par_runner.run_cells ~jobs:1 (cells ()) in
+  List.iter
+    (fun (t : Vmbp_report.Par_runner.timed) ->
+      check_bool "cap 0 forces direct" true
+        (t.Vmbp_report.Par_runner.mode = Vmbp_report.Par_runner.Direct))
+    direct;
+  Alcotest.(check (list string))
+    "one record then replays"
+    [ "record"; "replay" ]
+    (List.map
+       (fun (t : Vmbp_report.Par_runner.timed) ->
+         Vmbp_report.Par_runner.mode_name t.Vmbp_report.Par_runner.mode)
+       traced);
+  Alcotest.(check (list (pair string string)))
+    "direct and traced agree" (signature direct) (signature traced);
+  check_bool "trace retained for later experiments" true
+    (Vmbp_report.Par_runner.trace_cache_bytes () > 0);
+  Vmbp_report.Par_runner.clear_trace_cache ();
+  check_int "cache cleared" 0 (Vmbp_report.Par_runner.trace_cache_bytes ());
+  ignore (Vmbp_report.Par_runner.drain_log ())
+
+let test_memo_survives_release () =
+  (* A released trace keeps answering configurations it already served:
+     the planner's eviction relies on this to turn evicted cache entries
+     into memo-only summaries. *)
+  let w = toy_workload "trace-memo" in
+  let tr =
+    match Vmbp_report.Runner.record ~technique:Technique.plain w with
+    | Ok tr -> tr
+    | Error _ -> Alcotest.fail "toy workload must record"
+  in
+  let cpu = Cpu_model.ideal in
+  let served =
+    match Vmbp_report.Runner.replay ~cpu tr with
+    | Ok r -> r
+    | Error msg -> Alcotest.fail msg
+  in
+  (match Vmbp_report.Runner.replay_memo ~cpu:Cpu_model.pentium4_northwood tr with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unseen configuration must miss the memo");
+  Vmbp_report.Runner.release_trace tr;
+  (match Vmbp_report.Runner.replay_memo ~cpu tr with
+  | Some (Ok r) ->
+      check_result_equal "memo after release"
+        served.Vmbp_report.Runner.result r.Vmbp_report.Runner.result;
+      Alcotest.(check string)
+        "output after release" served.Vmbp_report.Runner.output
+        r.Vmbp_report.Runner.output
+  | Some (Error msg) -> Alcotest.fail msg
+  | None -> Alcotest.fail "served configuration must hit the memo");
+  match Vmbp_report.Runner.replay_memo ~cpu:Cpu_model.pentium4_northwood tr with
+  | None -> ()
+  | Some _ -> Alcotest.fail "released trace cannot serve new configurations"
+
 let () =
   Alcotest.run "report"
     [
@@ -376,5 +577,18 @@ let () =
           Alcotest.test_case "trapping cell fails alone" `Quick
             test_par_runner_fault_isolation;
           Alcotest.test_case "json summary" `Quick test_par_runner_json_summary;
+        ] );
+      ( "record-replay",
+        [
+          Alcotest.test_case "gforth variants x cpus x predictor" `Slow
+            test_replay_equivalence_gforth;
+          Alcotest.test_case "jvm quickening" `Slow
+            test_replay_equivalence_jvm_quickening;
+          Alcotest.test_case "trap and fuel exhaustion" `Quick
+            test_replay_trap_and_fuel;
+          Alcotest.test_case "overflow and fallback" `Quick
+            test_record_overflow_and_fallback;
+          Alcotest.test_case "memo survives release" `Quick
+            test_memo_survives_release;
         ] );
     ]
