@@ -200,8 +200,117 @@ let trace_cap_arg =
            replay-many across CPUs).  0 or negative disables record/replay \
            and simulates every cell directly.")
 
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Append every completed cell's outcome to $(docv) as fsync'd \
+           JSONL, so an interrupted run loses nothing already finished; \
+           combine with $(b,--resume) to serve completed cells from the \
+           file instead of re-running them.")
+
+let resume_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "resume" ]
+        ~doc:
+          "Load the $(b,--journal) file first and serve matching cells \
+           from it (key + configuration fingerprint must both match); the \
+           resumed report is byte-identical to an uninterrupted run.")
+
+let cell_timeout_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "cell-timeout" ] ~docv:"SEC"
+        ~doc:
+          "Watchdog deadline per cell attempt, enforced cooperatively in \
+           the simulation loop; a cell that exceeds it becomes a reported \
+           timeout error instead of hanging the run.  0 disables (default).")
+
+let cell_retries_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "cell-retries" ] ~docv:"N"
+        ~doc:
+          "Extra attempts for a cell that failed transiently (unexpected \
+           exception; deterministic traps and timeouts are not retried), \
+           with jittered exponential backoff between attempts.")
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault injection, e.g. \
+           'cell-raise=2,seed=7' or 'worker-death=2+1' (skip 2 \
+           opportunities, then fire once) or 'slow-cell=1@0.2'.  Points: \
+           cell-raise, record-fail, slow-cell, journal-io, worker-death.  \
+           For exercising the supervision paths; see EXPERIMENTS.md.")
+
 let set_jobs jobs = Vmbp_report.Par_runner.default_jobs := max 1 jobs
 let set_trace_cap mb = Vmbp_report.Par_runner.trace_cap_mb := mb
+
+(* First Ctrl-C: drain in-flight cells, flush the journal (already fsync'd
+   per append), emit the report marked partial.  Second Ctrl-C: force. *)
+let install_sigint () =
+  let seen = ref false in
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle
+       (fun _ ->
+         if !seen then exit 130
+         else begin
+           seen := true;
+           Vmbp_report.Par_runner.request_shutdown ();
+           prerr_endline
+             "\nvmbp: interrupted -- finishing in-flight cells (Ctrl-C \
+              again to force quit)"
+         end))
+
+let setup_supervision journal resume cell_timeout cell_retries chaos =
+  Vmbp_report.Par_runner.cell_timeout := cell_timeout;
+  Vmbp_report.Par_runner.cell_retries := max 0 cell_retries;
+  (match chaos with
+  | None -> ()
+  | Some spec -> (
+      match Vmbp_report.Faults.configure spec with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "vmbp: bad --chaos spec: %s\n" msg;
+          exit 2));
+  (match (journal, resume) with
+  | Some file, resume -> Vmbp_report.Par_runner.set_journal ~file ~resume
+  | None, true ->
+      Printf.eprintf "vmbp: --resume requires --journal FILE\n";
+      exit 2
+  | None, false -> ());
+  install_sigint ()
+
+let partial_marker () =
+  if Vmbp_report.Par_runner.shutting_down () then begin
+    print_newline ();
+    print_endline
+      "== PARTIAL REPORT: the run was interrupted; unfinished cells are \
+       reported as errors.  Re-run with --journal FILE --resume to \
+       complete it. =="
+  end
+
+(* A worker death with no pool above it (sequential runs) stands in for a
+   killed process: completed cells are safe in the journal, so report a
+   resumable failure instead of an uncaught exception. *)
+let run_killable f =
+  try f ()
+  with Vmbp_report.Faults.Worker_killed ->
+    flush stdout;
+    prerr_endline
+      "vmbp: worker killed; completed cells are in the journal -- re-run \
+       with --journal FILE --resume to continue";
+    exit 70
 
 let write_json = function
   | None -> ()
@@ -216,9 +325,11 @@ let experiment_cmd =
   let scale =
     Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N")
   in
-  let run id scale jobs trace_cap json =
+  let run id scale jobs trace_cap json journal resume cell_timeout
+      cell_retries chaos =
     set_jobs jobs;
     set_trace_cap trace_cap;
+    setup_supervision journal resume cell_timeout cell_retries chaos;
     match Vmbp_report.Experiments.find id with
     | None ->
         Printf.eprintf "unknown experiment %s (try 'vmbp list')\n" id;
@@ -229,11 +340,16 @@ let experiment_cmd =
         in
         Printf.printf "== %s ==\n%s\n\n" e.Vmbp_report.Experiments.title
           e.Vmbp_report.Experiments.paper_claim;
-        print_table (e.Vmbp_report.Experiments.run ~scale);
+        run_killable (fun () ->
+            print_table (e.Vmbp_report.Experiments.run ~scale));
+        partial_marker ();
         write_json json
   in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(const run $ id $ scale $ jobs_arg $ trace_cap_arg $ json_arg)
+    Term.(
+      const run $ id $ scale $ jobs_arg $ trace_cap_arg $ json_arg
+      $ journal_arg $ resume_arg $ cell_timeout_arg $ cell_retries_arg
+      $ chaos_arg)
 
 (* ---------------- report ---------------- *)
 
@@ -242,23 +358,30 @@ let report_cmd =
   let scale =
     Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N")
   in
-  let run scale jobs trace_cap json =
+  let run scale jobs trace_cap json journal resume cell_timeout cell_retries
+      chaos =
     set_jobs jobs;
     set_trace_cap trace_cap;
-    List.iter
-      (fun (e : Vmbp_report.Experiments.t) ->
-        let s =
-          Option.value scale ~default:e.Vmbp_report.Experiments.default_scale
-        in
-        Printf.printf "== %s ==\n" e.Vmbp_report.Experiments.title;
-        Printf.printf "Paper: %s\n\n" e.Vmbp_report.Experiments.paper_claim;
-        print_table (e.Vmbp_report.Experiments.run ~scale:s);
-        print_newline ())
-      Vmbp_report.Experiments.all;
+    setup_supervision journal resume cell_timeout cell_retries chaos;
+    run_killable (fun () ->
+        List.iter
+          (fun (e : Vmbp_report.Experiments.t) ->
+            let s =
+              Option.value scale
+                ~default:e.Vmbp_report.Experiments.default_scale
+            in
+            Printf.printf "== %s ==\n" e.Vmbp_report.Experiments.title;
+            Printf.printf "Paper: %s\n\n" e.Vmbp_report.Experiments.paper_claim;
+            print_table (e.Vmbp_report.Experiments.run ~scale:s);
+            print_newline ())
+          Vmbp_report.Experiments.all);
+    partial_marker ();
     write_json json
   in
   Cmd.v (Cmd.info "report" ~doc)
-    Term.(const run $ scale $ jobs_arg $ trace_cap_arg $ json_arg)
+    Term.(
+      const run $ scale $ jobs_arg $ trace_cap_arg $ json_arg $ journal_arg
+      $ resume_arg $ cell_timeout_arg $ cell_retries_arg $ chaos_arg)
 
 let () =
   let doc =

@@ -29,8 +29,13 @@ let slot_is_transfer program slot =
   | Instr.Call _ | Instr.Indirect_call | Instr.Return | Instr.Stop ->
       true
 
-let run_events ?(fuel = max_int) ?exec_counts ~metrics:m ~layout ~exec ~sink ()
-    =
+(* How often the cooperative [poll] hook runs, in executed VM instructions.
+   Power of two, so the check is one masked compare on the hot path; small
+   enough that a watchdog deadline is noticed within microseconds. *)
+let poll_mask = 4096 - 1
+
+let run_events ?(fuel = max_int) ?(poll = fun () -> ()) ?exec_counts
+    ~metrics:m ~layout ~exec ~sink () =
   let program = layout.Code_layout.program in
   let sites = layout.Code_layout.sites in
   let shadow = layout.Code_layout.shadow in
@@ -54,6 +59,11 @@ let run_events ?(fuel = max_int) ?exec_counts ~metrics:m ~layout ~exec ~sink ()
   let steps = ref 0 in
   let stop = ref None in
   while !stop = None do
+    (* The poll hook is how watchdogs regain control of a hung or slow
+       cell: it may raise, which aborts the run like any engine exception.
+       Polling at step 0 means a deadline that already passed (e.g. an
+       injected pre-run stall) is noticed before any work happens. *)
+    if !steps land poll_mask = 0 then poll ();
     (* Exhausting the fuel is a reported stop, not an exception: the
        accumulated metrics of the truncated run stay observable. *)
     if !steps >= fuel then stop := Some (Trapped out_of_fuel)
@@ -155,7 +165,7 @@ let run_events ?(fuel = max_int) ?exec_counts ~metrics:m ~layout ~exec ~sink ()
     | Some (Trapped msg) -> Some msg
     | Some Finished | None -> None )
 
-let run ?fuel ?exec_counts ~config ~layout ~exec () =
+let run ?fuel ?poll ?exec_counts ~config ~layout ~exec () =
   let cpu = config.Config.cpu in
   let m = Metrics.create () in
   let predictor = Predictor.create (Config.predictor_kind config) in
@@ -175,7 +185,7 @@ let run ?fuel ?exec_counts ~config ~layout ~exec () =
     }
   in
   let steps, trapped =
-    run_events ?fuel ?exec_counts ~metrics:m ~layout ~exec ~sink ()
+    run_events ?fuel ?poll ?exec_counts ~metrics:m ~layout ~exec ~sink ()
   in
   m.Metrics.icache_fetches <- !hits + !misses;
   m.Metrics.icache_misses <- !misses;

@@ -42,6 +42,7 @@ val out_of_fuel : string
 
 val run_events :
   ?fuel:int ->
+  ?poll:(unit -> unit) ->
   ?exec_counts:int array ->
   metrics:Vmbp_machine.Metrics.t ->
   layout:Code_layout.t ->
@@ -56,10 +57,16 @@ val run_events :
     whoever consumes the events).  Returns [(steps, trapped)].  The event
     stream is a function of the layout and the program semantics only; it
     does not depend on the CPU model or predictor configuration, which is
-    what makes record-once/replay-many across a CPU grid sound. *)
+    what makes record-once/replay-many across a CPU grid sound.
+
+    [poll] is called every few thousand executed VM instructions (and once
+    before the first); it is the cooperative watchdog hook: a hung-cell
+    deadline raises out of it, aborting the run, so supervisors regain
+    control without preemption.  The hook must not touch the run's state. *)
 
 val run :
   ?fuel:int ->
+  ?poll:(unit -> unit) ->
   ?exec_counts:int array ->
   config:Config.t ->
   layout:Code_layout.t ->

@@ -89,6 +89,33 @@ let name = function
   | With_static_across_bb _ -> "w/static super across"
   | Subroutine -> "subroutine threading"
 
+(* Unlike [name], which deliberately collapses to the paper's labels
+   ("static repl" regardless of the count), the descriptor spells out every
+   parameter, so two techniques compare equal exactly when their
+   descriptors do.  The resume journal keys cells by it: a report rerun
+   with different replica counts must never be served stale journal
+   entries under a collapsed label. *)
+let descriptor t =
+  let sp { replicas; superinstrs; parse; strategy; prefer_short } =
+    Printf.sprintf "r%d.s%d.%s.%s%s" replicas superinstrs
+      (match parse with Greedy -> "greedy" | Optimal -> "optimal")
+      (match strategy with
+      | Round_robin -> "rr"
+      | Random seed -> Printf.sprintf "rand%d" seed)
+      (if prefer_short then ".short" else "")
+  in
+  match t with
+  | Switch -> "switch"
+  | Plain -> "plain"
+  | Static p -> "static[" ^ sp p ^ "]"
+  | Dynamic_repl -> "dynamic-repl"
+  | Dynamic_super -> "dynamic-super"
+  | Dynamic_both -> "dynamic-both"
+  | Across_bb -> "across-bb"
+  | With_static_super p -> "with-static-super[" ^ sp p ^ "]"
+  | With_static_across_bb p -> "with-static-across-bb[" ^ sp p ^ "]"
+  | Subroutine -> "subroutine"
+
 let of_name s =
   let normalized = String.map (function '-' | '_' -> ' ' | c -> c) s in
   match normalized with

@@ -30,6 +30,14 @@ type t = {
 }
 
 let create cfg =
+  (* [entries = 0] is the documented unbounded-table sentinel ({!ideal});
+     anything below it can only come from a malformed configuration, and
+     without this check it would surface as an obscure [Array.init] or
+     modulo failure deep in the hot loop. *)
+  if cfg.entries < 0 then
+    invalid_arg "Btb.create: entries must be non-negative";
+  if cfg.entries > 0 && cfg.associativity <= 0 then
+    invalid_arg "Btb.create: associativity must be positive";
   let sets =
     if cfg.entries = 0 then [||]
     else begin

@@ -1,0 +1,211 @@
+(* Deterministic fault injection: named points armed from a [--chaos SPEC]
+   string, counted and fired under one lock so concurrent workers see a
+   consistent opportunity ordering on count-based specs.  Probabilistic
+   specs and retry jitter draw from one seeded splitmix64 stream, so a
+   chaos run reproduces exactly given the same spec and arrival order. *)
+
+type point =
+  | Cell_raise
+  | Record_fail
+  | Slow_cell
+  | Journal_io
+  | Worker_death
+
+let point_name = function
+  | Cell_raise -> "cell-raise"
+  | Record_fail -> "record-fail"
+  | Slow_cell -> "slow-cell"
+  | Journal_io -> "journal-io"
+  | Worker_death -> "worker-death"
+
+let all_points = [ Cell_raise; Record_fail; Slow_cell; Journal_io; Worker_death ]
+
+let point_index = function
+  | Cell_raise -> 0
+  | Record_fail -> 1
+  | Slow_cell -> 2
+  | Journal_io -> 3
+  | Worker_death -> 4
+
+exception Injected of string
+exception Worker_killed
+
+(* [Count] fires the opportunities numbered [skip .. skip+times-1] (both
+   counters burn down as opportunities arrive); [Prob] fires each
+   opportunity independently from the seeded stream. *)
+type arming = Count of { mutable skip : int; mutable times : int } | Prob of float
+
+type slot = {
+  mutable arming : arming option;
+  mutable fires : int;
+  mutable duration : float;  (* slow-cell only: seconds slept per fire *)
+}
+
+let slots =
+  Array.init (List.length all_points) (fun _ ->
+      { arming = None; fires = 0; duration = 0.05 })
+
+let lock = Mutex.create ()
+
+(* splitmix64; OCaml's native int is 63-bit, so the stream runs on Int64. *)
+let default_seed = 0x5DEECE66DL
+let prng = ref default_seed
+
+let next64_locked () =
+  let open Int64 in
+  prng := add !prng 0x9E3779B97F4A7C15L;
+  let z = !prng in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let unit_float_locked () =
+  (* 53 uniform bits into [0, 1). *)
+  Int64.to_float (Int64.shift_right_logical (next64_locked ()) 11)
+  /. 9007199254740992.
+
+let jitter () =
+  Mutex.lock lock;
+  let f = unit_float_locked () in
+  Mutex.unlock lock;
+  f
+
+let reset_locked () =
+  Array.iter
+    (fun s ->
+      s.arming <- None;
+      s.fires <- 0;
+      s.duration <- 0.05)
+    slots;
+  prng := default_seed
+
+let reset () =
+  Mutex.lock lock;
+  reset_locked ();
+  Mutex.unlock lock
+
+let armed () =
+  Mutex.lock lock;
+  let a = Array.exists (fun s -> s.arming <> None) slots in
+  Mutex.unlock lock;
+  a
+
+let fire p =
+  let s = slots.(point_index p) in
+  Mutex.lock lock;
+  let hit =
+    match s.arming with
+    | None -> false
+    | Some (Count c) ->
+        if c.skip > 0 then begin
+          c.skip <- c.skip - 1;
+          false
+        end
+        else if c.times > 0 then begin
+          c.times <- c.times - 1;
+          true
+        end
+        else false
+    | Some (Prob p) -> unit_float_locked () < p
+  in
+  if hit then s.fires <- s.fires + 1;
+  Mutex.unlock lock;
+  hit
+
+let fired p =
+  let s = slots.(point_index p) in
+  Mutex.lock lock;
+  let n = s.fires in
+  Mutex.unlock lock;
+  n
+
+let total_injected () =
+  Mutex.lock lock;
+  let n = Array.fold_left (fun a s -> a + s.fires) 0 slots in
+  Mutex.unlock lock;
+  n
+
+let cell_raise () =
+  if fire Cell_raise then raise (Injected "chaos: injected cell failure")
+
+let record_fail () =
+  if fire Record_fail then raise (Injected "chaos: injected record failure")
+
+let slow_cell () =
+  if fire Slow_cell then Unix.sleepf slots.(point_index Slow_cell).duration
+
+let worker_death () = if fire Worker_death then raise Worker_killed
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing *)
+
+let point_of_name n = List.find_opt (fun p -> point_name p = n) all_points
+
+let parse_arming v =
+  (* N | S+N | P (float < 1) *)
+  match String.index_opt v '+' with
+  | Some i ->
+      let skip = String.sub v 0 i
+      and times = String.sub v (i + 1) (String.length v - i - 1) in
+      (match (int_of_string_opt skip, int_of_string_opt times) with
+      | Some s, Some n when s >= 0 && n > 0 -> Ok (Count { skip = s; times = n })
+      | _ -> Error (Printf.sprintf "bad skip+count %S" v))
+  | None -> (
+      match int_of_string_opt v with
+      | Some n when n > 0 -> Ok (Count { skip = 0; times = n })
+      | Some _ -> Error (Printf.sprintf "count must be positive in %S" v)
+      | None -> (
+          match float_of_string_opt v with
+          | Some p when p > 0. && p < 1. -> Ok (Prob p)
+          | _ -> Error (Printf.sprintf "bad count or probability %S" v)))
+
+let parse_pair pair =
+  match String.index_opt pair '=' with
+  | None -> Error (Printf.sprintf "expected name=value, got %S" pair)
+  | Some i ->
+      let name = String.sub pair 0 i
+      and value = String.sub pair (i + 1) (String.length pair - i - 1) in
+      if name = "seed" then
+        match Int64.of_string_opt value with
+        | Some s ->
+            prng := s;
+            Ok ()
+        | None -> Error (Printf.sprintf "bad seed %S" value)
+      else
+        match point_of_name name with
+        | None -> Error (Printf.sprintf "unknown injection point %S" name)
+        | Some p -> (
+            let value, duration =
+              match String.index_opt value '@' with
+              | Some j when p = Slow_cell ->
+                  ( String.sub value 0 j,
+                    float_of_string_opt
+                      (String.sub value (j + 1) (String.length value - j - 1))
+                  )
+              | _ -> (value, Some slots.(point_index p).duration)
+            in
+            match (parse_arming value, duration) with
+            | Ok arming, Some d when d >= 0. ->
+                let s = slots.(point_index p) in
+                s.arming <- Some arming;
+                s.duration <- d;
+                Ok ()
+            | Ok _, _ -> Error (Printf.sprintf "bad duration in %S" pair)
+            | (Error _ as e), _ -> e)
+
+let configure spec =
+  Mutex.lock lock;
+  reset_locked ();
+  let rec go = function
+    | [] -> Ok ()
+    | pair :: rest -> ( match parse_pair pair with Ok () -> go rest | e -> e)
+  in
+  let r =
+    go
+      (String.split_on_char ',' spec
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> ""))
+  in
+  (match r with Error _ -> reset_locked () | Ok () -> ());
+  Mutex.unlock lock;
+  r

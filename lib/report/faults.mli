@@ -1,0 +1,87 @@
+(** Deterministic fault injection for the report supervisor.
+
+    Robustness code that is never executed is robustness on inspection only,
+    so every supervision path in {!Par_runner} -- retry, timeout, record
+    fallback, journal degradation, worker respawn -- has a named injection
+    point here, driven by the [--chaos SPEC] command-line flag.  Injection
+    is deterministic: count-based specs fire on exact opportunity ordinals
+    and probabilistic specs draw from a seeded splitmix64 stream, so a chaos
+    run is reproducible bit-for-bit given the same spec (and, for
+    probabilistic specs, the same cell arrival order).
+
+    Spec grammar (comma-separated [name=value] pairs):
+
+    - [POINT=N] -- fire on the first [N] opportunities of [POINT].
+    - [POINT=S+N] -- skip the first [S] opportunities, then fire [N] times
+      (how tests kill a run mid-way: [worker-death=2+1]).
+    - [POINT=P] with [0 < P < 1] (a float) -- fire each opportunity with
+      probability [P], drawn from the seeded stream.
+    - [slow-cell=...@DUR] -- the slow-cell point additionally sleeps [DUR]
+      seconds per fire (default 0.05).
+    - [seed=N] -- seed for the probabilistic stream and retry jitter.
+
+    Points: [cell-raise] (transient exception inside a cell attempt),
+    [record-fail] (failure in the group-level trace-record path),
+    [slow-cell] (cell attempt stalls; exercises [--cell-timeout]),
+    [journal-io] (journal append fails; the run must degrade, not die),
+    [worker-death] (a worker domain dies; sequentially this simulates a
+    killed process, in a pool it exercises respawn). *)
+
+type point =
+  | Cell_raise
+  | Record_fail
+  | Slow_cell
+  | Journal_io
+  | Worker_death
+
+val point_name : point -> string
+val all_points : point list
+
+exception Injected of string
+(** A deliberately injected transient failure; the supervisor treats it as
+    retryable, like any unexpected exception from a cell. *)
+
+exception Worker_killed
+(** Injected worker death.  Deliberately {e not} caught by the per-cell and
+    per-group guards: it must escape to the pool (or, sequentially, out of
+    [run_cells]) to exercise the supervision layer above. *)
+
+val configure : string -> (unit, string) result
+(** Parse a [--chaos] spec and arm the listed points, replacing any previous
+    configuration.  [Error msg] on a malformed spec. *)
+
+val reset : unit -> unit
+(** Disarm every point and zero all counters; restores the default
+    (injection-free) state.  Used by tests between cases. *)
+
+val armed : unit -> bool
+(** Whether any point is currently armed.  The journal refuses to persist
+    [Error] cells while chaos is armed, so injected failures are retried on
+    resume instead of being replayed from the journal. *)
+
+val fire : point -> bool
+(** Count one opportunity for [point] and decide whether it fires.  The
+    helpers below wrap this with each point's failure behaviour; [fire] is
+    exposed for points whose effect lives in the caller ([journal-io]). *)
+
+val fired : point -> int
+(** How many times [point] has fired since the last [reset]/[configure]. *)
+
+val total_injected : unit -> int
+(** Total fires across all points, for the JSON summary. *)
+
+val cell_raise : unit -> unit
+(** Raise {!Injected} if the [cell-raise] point fires. *)
+
+val record_fail : unit -> unit
+(** Raise {!Injected} if the [record-fail] point fires. *)
+
+val slow_cell : unit -> unit
+(** Sleep the configured duration if the [slow-cell] point fires. *)
+
+val worker_death : unit -> unit
+(** Raise {!Worker_killed} if the [worker-death] point fires. *)
+
+val jitter : unit -> float
+(** A float in [0, 1) from the seeded stream, for retry backoff jitter.
+    Deterministic under a fixed seed and draw order. *)

@@ -1,0 +1,319 @@
+open Vmbp_machine
+
+(* One JSON object per line, every field flat (string / int / bool / null),
+   written with write(2) + fsync(2) under a lock.  The format is hand
+   rolled -- the repo carries no JSON dependency -- and the reader accepts
+   exactly what the writer emits; anything else (foreign edits, a line cut
+   short by a crash) is skipped and counted, never fatal. *)
+
+type success = { metrics : Metrics.t; steps : int; output : string }
+
+type entry = {
+  key : string;
+  fingerprint : string;
+  outcome : (success, string) result;
+  attempts : int;
+  timed_out : bool;
+}
+
+type stats = {
+  loaded : int;
+  served : int;
+  appended : int;
+  write_errors : int;
+  truncated : int;
+}
+
+type t = {
+  j_file : string;
+  fd : Unix.file_descr;
+  lock : Mutex.t;
+  tbl : (string * string, entry) Hashtbl.t;
+  mutable closed : bool;
+  mutable loaded : int;
+  mutable served : int;
+  mutable appended : int;
+  mutable write_errors : int;
+  mutable truncated : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Serialization *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let line_of_entry e =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\"key\":\"%s\"" (escape e.key);
+  add ",\"fp\":\"%s\"" (escape e.fingerprint);
+  add ",\"attempts\":%d" e.attempts;
+  add ",\"timed_out\":%b" e.timed_out;
+  (match e.outcome with
+  | Ok s ->
+      let m = s.metrics in
+      add ",\"ok\":true";
+      add ",\"steps\":%d" s.steps;
+      add ",\"output\":\"%s\"" (escape s.output);
+      add ",\"vm_instrs\":%d" m.Metrics.vm_instrs;
+      add ",\"native_instrs\":%d" m.Metrics.native_instrs;
+      add ",\"dispatches\":%d" m.Metrics.dispatches;
+      add ",\"indirect_branches\":%d" m.Metrics.indirect_branches;
+      add ",\"mispredicts\":%d" m.Metrics.mispredicts;
+      add ",\"vm_branch_mispredicts\":%d" m.Metrics.vm_branch_mispredicts;
+      add ",\"icache_fetches\":%d" m.Metrics.icache_fetches;
+      add ",\"icache_misses\":%d" m.Metrics.icache_misses;
+      add ",\"code_bytes\":%d" m.Metrics.code_bytes;
+      add ",\"quickenings\":%d" m.Metrics.quickenings
+  | Error msg -> add ",\"ok\":false,\"error\":\"%s\"" (escape msg));
+  add "}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+exception Bad
+
+type v = S of string | I of int | B of bool | Null
+
+let parse_line s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos >= n then raise Bad else s.[!pos] in
+  let advance () = incr pos in
+  let expect c = if peek () <> c then raise Bad else advance () in
+  let literal w =
+    String.iter expect w
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      let c = peek () in
+      advance ();
+      if c = '"' then Buffer.contents b
+      else if c = '\\' then begin
+        let e = peek () in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+            if !pos + 4 > n then raise Bad;
+            (match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+            (* The writer only \u-escapes ASCII control characters. *)
+            | Some code when code < 0x80 ->
+                pos := !pos + 4;
+                Buffer.add_char b (Char.chr code)
+            | _ -> raise Bad)
+        | _ -> raise Bad);
+        go ()
+      end
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = '-' then advance ();
+    while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+      advance ()
+    done;
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some i -> i
+    | None -> raise Bad
+  in
+  let parse_value () =
+    match peek () with
+    | '"' -> S (parse_string ())
+    | 't' ->
+        literal "true";
+        B true
+    | 'f' ->
+        literal "false";
+        B false
+    | 'n' ->
+        literal "null";
+        Null
+    | '-' | '0' .. '9' -> I (parse_int ())
+    | _ -> raise Bad
+  in
+  expect '{';
+  let fields = ref [] in
+  (if peek () = '}' then advance ()
+   else
+     let rec members () =
+       let k = parse_string () in
+       expect ':';
+       fields := (k, parse_value ()) :: !fields;
+       match peek () with
+       | ',' ->
+           advance ();
+           members ()
+       | '}' -> advance ()
+       | _ -> raise Bad
+     in
+     members ());
+  while !pos < n do
+    (match s.[!pos] with ' ' | '\t' | '\r' -> () | _ -> raise Bad);
+    advance ()
+  done;
+  !fields
+
+let entry_of_line line =
+  let fields = parse_line line in
+  let str k = match List.assoc_opt k fields with Some (S s) -> s | _ -> raise Bad in
+  let int k = match List.assoc_opt k fields with Some (I i) -> i | _ -> raise Bad in
+  let bool k = match List.assoc_opt k fields with Some (B b) -> b | _ -> raise Bad in
+  let outcome =
+    if bool "ok" then begin
+      let m = Metrics.create () in
+      m.Metrics.vm_instrs <- int "vm_instrs";
+      m.Metrics.native_instrs <- int "native_instrs";
+      m.Metrics.dispatches <- int "dispatches";
+      m.Metrics.indirect_branches <- int "indirect_branches";
+      m.Metrics.mispredicts <- int "mispredicts";
+      m.Metrics.vm_branch_mispredicts <- int "vm_branch_mispredicts";
+      m.Metrics.icache_fetches <- int "icache_fetches";
+      m.Metrics.icache_misses <- int "icache_misses";
+      m.Metrics.code_bytes <- int "code_bytes";
+      m.Metrics.quickenings <- int "quickenings";
+      Ok { metrics = m; steps = int "steps"; output = str "output" }
+    end
+    else Error (str "error")
+  in
+  {
+    key = str "key";
+    fingerprint = str "fp";
+    outcome;
+    attempts = int "attempts";
+    timed_out = bool "timed_out";
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let load t =
+  match open_in t.j_file with
+  | exception Sys_error _ -> ()
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go () =
+            match input_line ic with
+            | exception End_of_file -> ()
+            | line ->
+                (if String.trim line <> "" then
+                   match entry_of_line line with
+                   | e ->
+                       (* Last entry wins: duplicates within one run are
+                          deterministic duplicates of the same value. *)
+                       Hashtbl.replace t.tbl (e.key, e.fingerprint) e;
+                       t.loaded <- t.loaded + 1
+                   | exception Bad -> t.truncated <- t.truncated + 1);
+                go ()
+          in
+          go ())
+
+let open_ ?(resume = false) file =
+  let t =
+    {
+      j_file = file;
+      (* The fd is opened after the resume load so the O_CREAT of a fresh
+         journal cannot turn a half-written file into a parse surprise. *)
+      fd = Unix.stdout;
+      lock = Mutex.create ();
+      tbl = Hashtbl.create 256;
+      closed = false;
+      loaded = 0;
+      served = 0;
+      appended = 0;
+      write_errors = 0;
+      truncated = 0;
+    }
+  in
+  if resume then load t;
+  let fd =
+    Unix.openfile file [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
+  { t with fd }
+
+let lookup t ~key ~fingerprint =
+  Mutex.lock t.lock;
+  let r = Hashtbl.find_opt t.tbl (key, fingerprint) in
+  (match r with Some _ -> t.served <- t.served + 1 | None -> ());
+  Mutex.unlock t.lock;
+  r
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then go (off + Unix.write fd b off (len - off))
+  in
+  go 0
+
+let append t e =
+  let line = line_of_entry e in
+  Mutex.lock t.lock;
+  (* The [journal-io] chaos point models a failed append: the write is
+     dropped exactly as a disk error would drop it, and the run must keep
+     going with the cell merely unjournaled. *)
+  if t.closed || Faults.fire Faults.Journal_io then
+    t.write_errors <- t.write_errors + 1
+  else begin
+    match
+      write_all t.fd line;
+      Unix.fsync t.fd
+    with
+    | () -> t.appended <- t.appended + 1
+    | exception Unix.Unix_error _ -> t.write_errors <- t.write_errors + 1
+  end;
+  Mutex.unlock t.lock
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      loaded = t.loaded;
+      served = t.served;
+      appended = t.appended;
+      write_errors = t.write_errors;
+      truncated = t.truncated;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let file t = t.j_file
+
+let close t =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.close t.fd with Unix.Unix_error _ -> ())
+  end;
+  Mutex.unlock t.lock

@@ -1,0 +1,74 @@
+(** Crash-safe cell journal: append-only, fsync'd JSONL.
+
+    A long report run must not lose completed work to a hung cell, a killed
+    worker or a Ctrl-C.  The journal appends one self-contained JSON line
+    per completed cell -- flushed and fsync'd before the append returns --
+    so the on-disk file is a prefix-correct record of everything finished
+    at the moment of any crash.  A [--resume] run loads the file and serves
+    matching cells from it without re-execution; because a success entry
+    stores the run's integer event counters (cycles and seconds are
+    recomputed from them through {!Vmbp_machine.Cpu_model}), a resumed
+    report is byte-identical to an uninterrupted one.
+
+    Entries are keyed by a stable cell key plus a configuration fingerprint
+    (see {!Par_runner}); a lookup must match both, so journals written
+    under a different scale, predictor override or trace setting are
+    silently ignored rather than wrongly reused.
+
+    The journal degrades, never aborts: an append that fails (disk error,
+    or the [journal-io] chaos point) is counted and dropped -- the run
+    continues and that cell is simply recomputed on resume.  A truncated
+    final line (the crash happened mid-write) is skipped and counted on
+    load. *)
+
+type success = {
+  metrics : Vmbp_machine.Metrics.t;
+      (** the run's deterministic and simulated event counters; cycles and
+          seconds are recomputed from these, so no float round-trips
+          through the file *)
+  steps : int;
+  output : string;
+}
+
+type entry = {
+  key : string;
+  fingerprint : string;
+  outcome : (success, string) result;
+  attempts : int;
+  timed_out : bool;
+}
+
+type stats = {
+  loaded : int;  (** well-formed entries read at [open_] (resume only) *)
+  served : int;  (** successful [lookup]s *)
+  appended : int;  (** entries durably written this session *)
+  write_errors : int;  (** appends dropped (I/O failure or injected) *)
+  truncated : int;  (** malformed/partial lines skipped on load *)
+}
+
+type t
+
+val open_ : ?resume:bool -> string -> t
+(** Open [file] for appending, creating it if needed.  With [resume:true]
+    (default false) existing entries are loaded first and become
+    [lookup]-able; without it the file is only appended to, so a fresh run
+    extends the historical record without trusting it.  A missing file
+    under [resume] is an empty journal, not an error.  Raises
+    [Unix.Unix_error] if the file cannot be opened for writing. *)
+
+val lookup : t -> key:string -> fingerprint:string -> entry option
+(** The loaded entry for this cell, if both key and fingerprint match.
+    Only entries read at [open_] time are consulted -- a cell appended by
+    the current run is never served back to it (duplicate keys in one run
+    are deterministic duplicates, so last-wins on the next load). *)
+
+val append : t -> entry -> unit
+(** Serialize, write and fsync one entry; thread-safe.  Failures are
+    counted in [write_errors] and otherwise ignored (see above). *)
+
+val stats : t -> stats
+val file : t -> string
+
+val close : t -> unit
+(** Close the underlying descriptor; further [append]s count as write
+    errors. *)

@@ -25,6 +25,9 @@ type timed = {
   outcome : (Runner.run, string) result;
   wall_seconds : float;
   mode : mode;
+  attempts : int;
+  timed_out : bool;
+  from_journal : bool;
 }
 
 let default_jobs = ref 1
@@ -32,6 +35,39 @@ let default_jobs = ref 1
 (* Total budget for retained dispatch traces, in MB; [<= 0] disables
    record/replay entirely (every cell simulates directly). *)
 let trace_cap_mb = ref 256
+
+(* Watchdog/retry policy, set from the command line. *)
+let cell_timeout = ref 0.
+let cell_retries = ref 1
+let retry_backoff_s = ref 0.02
+
+(* ------------------------------------------------------------------ *)
+(* Graceful shutdown.
+
+   The first Ctrl-C sets this flag; workers finish the group in hand,
+   skip everything still queued, and [run_cells] reports the skipped
+   cells as interrupted so the harness can emit a partial report.  The
+   journal needs no extra flushing -- every append was already fsync'd. *)
+
+let shutdown = Atomic.make false
+let request_shutdown () = Atomic.set shutdown true
+let shutting_down () = Atomic.get shutdown
+let reset_shutdown () = Atomic.set shutdown false
+
+(* Worker domains respawned after an injected (or real) worker death. *)
+let respawn_lock = Mutex.create ()
+let respawns = ref 0
+
+let note_respawns n =
+  Mutex.lock respawn_lock;
+  respawns := !respawns + n;
+  Mutex.unlock respawn_lock
+
+let worker_respawns () =
+  Mutex.lock respawn_lock;
+  let n = !respawns in
+  Mutex.unlock respawn_lock;
+  n
 
 let cell ?(tag = "") ?(scale = 1) ?predictor ~cpu ~technique workload =
   { tag; workload; technique; cpu; scale; predictor }
@@ -274,20 +310,235 @@ let trace_cache_bytes () =
   b
 
 (* ------------------------------------------------------------------ *)
+(* Cell identity for the resume journal.
+
+   The key is human-readable and parameter-complete (a collapsed label
+   like "static repl" must not alias two different replica counts); the
+   fingerprint is a digest of everything else that could change a cell's
+   numbers between runs -- scale, the full CPU profile, the predictor
+   override, the trace setting -- so a journal written under one
+   configuration is never wrongly served to another. *)
+
+let predictor_descriptor = function
+  | Predictor.Btb { Btb.entries; associativity; two_bit_counters } ->
+      Printf.sprintf "btb(%d,%d,%b)" entries associativity two_bit_counters
+  | Predictor.Two_level { Two_level.entries; history } ->
+      Printf.sprintf "twolevel(%d,%d)" entries history
+  | Predictor.Case_block n -> Printf.sprintf "caseblock(%d)" n
+  | Predictor.Perfect -> "perfect"
+  | Predictor.Never -> "never"
+
+let predictor_override_descriptor = function
+  | Some p -> predictor_descriptor p
+  | None -> "cpu"
+
+let cpu_descriptor (cpu : Cpu_model.t) =
+  let ic = cpu.Cpu_model.icache in
+  Printf.sprintf "%s{%d,%g,%d,%d,%s,icache(%d,%d,%d)}" cpu.Cpu_model.name
+    cpu.Cpu_model.mhz cpu.Cpu_model.ipc cpu.Cpu_model.mispredict_penalty
+    cpu.Cpu_model.icache_miss_penalty
+    (predictor_descriptor cpu.Cpu_model.predictor)
+    ic.Icache.size_bytes ic.Icache.line_bytes ic.Icache.associativity
+
+let cell_key c =
+  Printf.sprintf "%s|%s/%s|%s|%s|s%d|%s" c.tag
+    (Vmbp_workloads.vm_name c.workload.Vmbp_workloads.vm)
+    c.workload.Vmbp_workloads.name
+    (Technique.descriptor c.technique)
+    c.cpu.Cpu_model.name c.scale
+    (predictor_override_descriptor c.predictor)
+
+let config_fingerprint c =
+  Digest.to_hex
+    (Digest.string
+       (String.concat ";"
+          [
+            "vmbp-journal/1";
+            string_of_int c.scale;
+            cpu_descriptor c.cpu;
+            Technique.descriptor c.technique;
+            predictor_override_descriptor c.predictor;
+            (if !trace_cap_mb > 0 then "traced" else "direct");
+          ]))
+
+let journal : Journal.t option ref = ref None
+
+let set_journal ~file ~resume =
+  (match !journal with Some j -> Journal.close j | None -> ());
+  journal := Some (Journal.open_ ~resume file)
+
+let clear_journal () =
+  (match !journal with Some j -> Journal.close j | None -> ());
+  journal := None
+
+let journal_stats () = Option.map Journal.stats !journal
+
+(* Persist a freshly computed cell.  Successes are always worth keeping.
+   Failures are kept only when they look deterministic: a timeout is
+   wall-clock luck and a chaos-armed run's failures are injected, so both
+   must be recomputed on resume rather than replayed from disk. *)
+let journal_append c (t : timed) =
+  match !journal with
+  | None -> ()
+  | Some j ->
+      let worthy =
+        (not t.from_journal)
+        && t.attempts > 0
+        &&
+        match t.outcome with
+        | Ok _ -> true
+        | Error _ -> (not t.timed_out) && not (Faults.armed ())
+      in
+      if worthy then
+        let outcome =
+          match t.outcome with
+          | Ok r ->
+              Ok
+                {
+                  Journal.metrics =
+                    Metrics.copy r.Runner.result.Engine.metrics;
+                  steps = r.Runner.result.Engine.steps;
+                  output = r.Runner.output;
+                }
+          | Error msg -> Error msg
+        in
+        Journal.append j
+          {
+            Journal.key = cell_key c;
+            fingerprint = config_fingerprint c;
+            outcome;
+            attempts = t.attempts;
+            timed_out = t.timed_out;
+          }
+
+(* Rebuild the exact [timed] a live run would have produced from a journal
+   entry.  Only integer event counters ever touch the disk; cycles and
+   seconds are recomputed through the same {!Cpu_model} arithmetic as a
+   live run, so a resumed report is byte-identical by construction.  A
+   journaled success is by definition untrapped ({!Runner.run} turns traps
+   into [Error] cells before they reach the journal). *)
+let timed_of_entry c (e : Journal.entry) =
+  let outcome =
+    match e.Journal.outcome with
+    | Ok s ->
+        let m = Metrics.copy s.Journal.metrics in
+        Ok
+          {
+            Runner.workload = c.workload;
+            technique = c.technique;
+            cpu = c.cpu;
+            result =
+              {
+                Engine.metrics = m;
+                cycles = Cpu_model.cycles c.cpu m;
+                seconds = Cpu_model.seconds c.cpu m;
+                steps = s.Journal.steps;
+                trapped = None;
+              };
+            output = s.Journal.output;
+          }
+    | Error msg -> Error msg
+  in
+  {
+    cell = c;
+    outcome;
+    wall_seconds = 0.;
+    mode = Replay;
+    attempts = e.Journal.attempts;
+    timed_out = e.Journal.timed_out;
+    from_journal = true;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Running *)
+
+exception Cell_deadline
+
+(* Run one cell attempt under the watchdog/retry policy.  The body gets a
+   poll hook (threaded into the engine's step loop and the trace replay's
+   token loop) that raises once the attempt's deadline passes, so direct
+   and replayed cells both honour [--cell-timeout] without preemption.
+   Deterministic failures ([Runner.Run_failed] traps, or any [Error]
+   return) are never retried; a timeout is not retried either (the next
+   attempt would hit the same deadline); everything else -- including the
+   [cell-raise] chaos point -- counts as transient and is retried up to
+   [cell_retries] times with jittered exponential backoff.  Returns
+   [(outcome, attempts, timed_out)]. *)
+let supervised body =
+  let retries = max 0 !cell_retries in
+  let rec attempt n =
+    let poll =
+      let t = !cell_timeout in
+      if t > 0. then begin
+        let deadline = Unix.gettimeofday () +. t in
+        Some (fun () -> if Unix.gettimeofday () > deadline then raise Cell_deadline)
+      end
+      else None
+    in
+    let verdict =
+      match
+        (* The slow-cell chaos point stalls after the deadline is armed:
+           the body's very first poll then converts the stall into a
+           timeout, which is exactly the hang the watchdog exists for. *)
+        Faults.slow_cell ();
+        Faults.cell_raise ();
+        (body ?poll () : (Runner.run, string) result)
+      with
+      | o -> `Done o
+      | exception Faults.Worker_killed -> raise Faults.Worker_killed
+      | exception Runner.Run_failed msg -> `Done (Error msg)
+      | exception Cell_deadline -> `Timeout
+      | exception exn -> `Transient (Printexc.to_string exn)
+    in
+    match verdict with
+    | `Done o -> (o, n, false)
+    | `Timeout ->
+        ( Error (Printf.sprintf "timed out after %gs" !cell_timeout),
+          n,
+          true )
+    | `Transient msg ->
+        if n > retries then (Error msg, n, false)
+        else begin
+          let base = !retry_backoff_s *. float_of_int (1 lsl (n - 1)) in
+          Unix.sleepf (base *. (0.5 +. Faults.jitter ()));
+          attempt (n + 1)
+        end
+  in
+  attempt 1
 
 let run_cell c =
   let t0 = Unix.gettimeofday () in
-  let outcome =
-    Runner.run_result ~scale:c.scale ?predictor:c.predictor ~cpu:c.cpu
-      ~technique:c.technique c.workload
+  let outcome, attempts, timed_out =
+    supervised (fun ?poll () ->
+        Ok
+          (Runner.run ~scale:c.scale ?poll ?predictor:c.predictor ~cpu:c.cpu
+             ~technique:c.technique c.workload))
   in
-  { cell = c; outcome; wall_seconds = Unix.gettimeofday () -. t0; mode = Direct }
+  {
+    cell = c;
+    outcome;
+    wall_seconds = Unix.gettimeofday () -. t0;
+    mode = Direct;
+    attempts;
+    timed_out;
+    from_journal = false;
+  }
 
 let replay_cell mode tr c =
   let t0 = Unix.gettimeofday () in
-  let outcome = Runner.replay ?predictor:c.predictor ~cpu:c.cpu tr in
-  { cell = c; outcome; wall_seconds = Unix.gettimeofday () -. t0; mode }
+  let outcome, attempts, timed_out =
+    supervised (fun ?poll () ->
+        Runner.replay ?poll ?predictor:c.predictor ~cpu:c.cpu tr)
+  in
+  {
+    cell = c;
+    outcome;
+    wall_seconds = Unix.gettimeofday () -. t0;
+    mode;
+    attempts;
+    timed_out;
+    from_journal = false;
+  }
 
 (* Replay every cell purely from an evicted entry's memo tables.  All or
    nothing: a group whose cells mix known and new configurations re-records
@@ -311,6 +562,9 @@ let memo_cells entry arr idxs =
                    outcome;
                    wall_seconds = Unix.gettimeofday () -. t0;
                    mode = Replay;
+                   attempts = 1;
+                   timed_out = false;
+                   from_journal = false;
                  } )
               :: acc)
               rest)
@@ -320,55 +574,106 @@ let memo_cells entry arr idxs =
 (* One (workload, technique, scale) group: find or record its trace, then
    replay every cell against its own CPU/predictor.  Any recording problem
    (cap exceeded, load/build/run exception) falls back to direct per-cell
-   simulation, which reproduces exactly what the pre-trace runner did. *)
+   simulation, which reproduces exactly what the pre-trace runner did.
+   Every completed cell is journaled the moment its slot is filled, so a
+   crash loses at most the group in flight.  Already-filled slots (served
+   from the journal, or filled before a degradation rerun) are skipped,
+   which makes the group idempotent under fallback. *)
 let run_group results arr idxs =
+  let finish i t =
+    results.(i) <- Some t;
+    journal_append arr.(i) t
+  in
   let direct () =
-    List.iter (fun i -> results.(i) <- Some (run_cell arr.(i))) idxs
+    List.iter
+      (fun i -> if results.(i) = None then finish i (run_cell arr.(i)))
+      idxs
   in
   let record_group () =
     let c0 = arr.(List.hd idxs) in
     let t0 = Unix.gettimeofday () in
+    (* The record execution serves the whole group but still honours the
+       per-cell deadline; a record timeout is caught by [Runner.record]'s
+       guard as [`Failed], degrading to direct runs where each cell gets
+       its own deadline. *)
+    let poll =
+      let t = !cell_timeout in
+      if t > 0. then begin
+        let deadline = t0 +. t in
+        Some
+          (fun () -> if Unix.gettimeofday () > deadline then raise Cell_deadline)
+      end
+      else None
+    in
     match
-      Runner.record ~scale:c0.scale ~cap_bytes:(cap_bytes ())
+      Runner.record ~scale:c0.scale ?poll ~cap_bytes:(cap_bytes ())
         ~technique:c0.technique c0.workload
     with
     | Error (`Overflow | `Failed _) -> direct ()
     | Ok tr ->
+        (* Chaos point for the group-level record path: a failure here --
+           after recording, before any per-cell guard engages -- must
+           degrade to direct runs via the group guard below, never escape
+           into the pool. *)
+        if Faults.fire Faults.Record_fail then begin
+          Runner.release_trace tr;
+          raise (Faults.Injected "chaos: injected record failure")
+        end;
         let record_seconds = Unix.gettimeofday () -. t0 in
         let entry = cache_insert c0 tr in
         List.iteri
           (fun k i ->
-            let timed =
-              replay_cell
-                (if k = 0 then Record else Replay)
-                entry.ce_trace arr.(i)
-            in
-            (* The group's one engine execution is billed to the first
-               cell, so summing wall_seconds still accounts all work. *)
-            let timed =
-              if k = 0 then
-                { timed with wall_seconds = timed.wall_seconds +. record_seconds }
-              else timed
-            in
-            results.(i) <- Some timed)
+            if results.(i) = None then begin
+              let timed =
+                replay_cell
+                  (if k = 0 then Record else Replay)
+                  entry.ce_trace arr.(i)
+              in
+              (* The group's one engine execution is billed to the first
+                 cell, so summing wall_seconds still accounts all work. *)
+              let timed =
+                if k = 0 then
+                  {
+                    timed with
+                    wall_seconds = timed.wall_seconds +. record_seconds;
+                  }
+                else timed
+              in
+              finish i timed
+            end)
           idxs;
         cache_release entry
   in
-  if !trace_cap_mb <= 0 then direct ()
-  else
-    let c0 = arr.(List.hd idxs) in
-    match cache_find c0 with
-    | `Live entry ->
-        List.iter
-          (fun i ->
-            results.(i) <- Some (replay_cell Replay entry.ce_trace arr.(i)))
-          idxs;
-        cache_release entry
-    | `Summary entry -> (
-        match memo_cells entry arr idxs with
-        | Some timed -> List.iter (fun (i, t) -> results.(i) <- Some t) timed
-        | None -> record_group ())
-    | `Miss -> record_group ()
+  let traced () =
+    if !trace_cap_mb <= 0 then direct ()
+    else
+      let c0 = arr.(List.hd idxs) in
+      match cache_find c0 with
+      | `Live entry ->
+          List.iter
+            (fun i ->
+              if results.(i) = None then
+                finish i (replay_cell Replay entry.ce_trace arr.(i)))
+            idxs;
+          cache_release entry
+      | `Summary entry -> (
+          match
+            memo_cells entry arr
+              (List.filter (fun i -> results.(i) = None) idxs)
+          with
+          | Some timed -> List.iter (fun (i, t) -> finish i t) timed
+          | None -> record_group ())
+      | `Miss -> record_group ()
+  in
+  (* Group-level guard: anything raised outside the per-cell guards
+     (recording machinery, cache bookkeeping, the injected record fault)
+     degrades this group to per-cell direct runs instead of escaping into
+     the pool.  Worker death is the deliberate exception -- it must escape
+     to exercise the supervision layer above. *)
+  match traced () with
+  | () -> ()
+  | exception Faults.Worker_killed -> raise Faults.Worker_killed
+  | exception _ -> direct ()
 
 (* Group cell indices by (workload, technique, scale), preserving first-
    occurrence order and ascending indices within each group. *)
@@ -382,41 +687,155 @@ let group_cells arr =
     arr;
   List.rev_map (fun (_, l) -> List.rev !l) !groups
 
+(* A cell skipped because shutdown was requested before it ran.
+   [attempts = 0] keeps it out of the journal: nothing was computed. *)
+let interrupted_cell c =
+  {
+    cell = c;
+    outcome = Error "interrupted before this cell ran (partial report)";
+    wall_seconds = 0.;
+    mode = Direct;
+    attempts = 0;
+    timed_out = false;
+    from_journal = false;
+  }
+
+(* A group abandoned after the respawn budget ran out. *)
+let abandoned_cell c =
+  {
+    cell = c;
+    outcome = Error "worker died repeatedly on this cell's group";
+    wall_seconds = 0.;
+    mode = Direct;
+    attempts = 0;
+    timed_out = false;
+    from_journal = false;
+  }
+
+(* How many rounds of worker respawning the pool tolerates before it gives
+   the surviving groups up as poisoned.  Far above anything a real fault
+   produces; purely a livelock backstop for probabilistic chaos specs. *)
+let max_respawn_rounds = 64
+
+(* Pool supervision.  A worker that hits [Worker_killed] stops consuming
+   the queue -- from the pool's point of view the domain is dead -- but
+   first parks its group on the orphan list.  After the round's domains
+   are joined, the supervisor respawns a fresh pool over the orphans plus
+   whatever the dead workers left in the queue, so queued cells survive
+   any number of worker deaths (up to the livelock backstop). *)
+let run_pool ~jobs results arr groups =
+  let rec round n groups =
+    let q = queue_create () in
+    List.iter (fun g -> queue_push q g) groups;
+    queue_close q;
+    let orphan_lock = Mutex.create () in
+    let orphans = ref [] in
+    let worker () =
+      let rec loop () =
+        if shutting_down () then ()
+        else
+          match queue_take q with
+          | None -> ()
+          | Some g -> (
+              (* Distinct groups: no two domains ever write the same
+                 index. *)
+              match
+                Faults.worker_death ();
+                run_group results arr g
+              with
+              | () -> loop ()
+              | exception Faults.Worker_killed ->
+                  Mutex.lock orphan_lock;
+                  orphans := g :: !orphans;
+                  Mutex.unlock orphan_lock)
+      in
+      loop ()
+    in
+    let spawned = min (jobs - 1) (List.length groups - 1) in
+    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (* Anything still in the queue was stranded by dying workers. *)
+    let rec drain acc =
+      match queue_take q with Some g -> drain (g :: acc) | None -> List.rev acc
+    in
+    let pending = List.rev !orphans @ drain [] in
+    if pending <> [] && not (shutting_down ()) then begin
+      note_respawns (List.length !orphans);
+      if n >= max_respawn_rounds then
+        List.iter
+          (fun g ->
+            match
+              Faults.worker_death ();
+              run_group results arr g
+            with
+            | () -> ()
+            | exception Faults.Worker_killed ->
+                List.iter
+                  (fun i ->
+                    if results.(i) = None then
+                      results.(i) <- Some (abandoned_cell arr.(i)))
+                  g)
+          pending
+      else round (n + 1) pending
+    end
+  in
+  round 0 groups
+
 let run_cells ?jobs cells =
   let jobs =
     max 1 (match jobs with Some j -> j | None -> !default_jobs)
   in
   let arr = Array.of_list cells in
   let results = Array.make (Array.length arr) None in
-  let groups = group_cells arr in
+  (* Resume pre-pass: serve journaled cells before planning any work, so a
+     fully journaled group neither records nor replays anything. *)
+  (match !journal with
+  | None -> ()
+  | Some j ->
+      Array.iteri
+        (fun i c ->
+          match
+            Journal.lookup j ~key:(cell_key c)
+              ~fingerprint:(config_fingerprint c)
+          with
+          | Some e -> results.(i) <- Some (timed_of_entry c e)
+          | None -> ())
+        arr);
+  let groups =
+    List.filter_map
+      (fun g ->
+        match List.filter (fun i -> results.(i) = None) g with
+        | [] -> None
+        | g -> Some g)
+      (group_cells arr)
+  in
   let ngroups = List.length groups in
-  if jobs = 1 || ngroups <= 1 then
-    (* Sequential path, bit-for-bit the reference for the pool. *)
-    List.iter (run_group results arr) groups
-  else begin
-    let q = queue_create () in
-    List.iter (fun g -> queue_push q g) groups;
-    queue_close q;
-    let worker () =
-      let rec loop () =
-        match queue_take q with
-        | None -> ()
-        | Some g ->
-            (* Distinct groups: no two domains ever write the same index. *)
-            run_group results arr g;
-            loop ()
-      in
-      loop ()
-    in
-    let spawned = min (jobs - 1) (ngroups - 1) in
-    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join domains
-  end;
+  if ngroups = 0 then ()
+  else if jobs = 1 || ngroups <= 1 then
+    (* Sequential path, bit-for-bit the reference for the pool.  A worker
+       death here has no pool above it to respawn into, so it escapes
+       [run_cells] entirely -- deliberately: it is the fault harness's
+       stand-in for a killed process (the journal keeps everything
+       completed so far; the harness maps it to a resumable exit). *)
+    List.iter
+      (fun g ->
+        if not (shutting_down ()) then begin
+          Faults.worker_death ();
+          run_group results arr g
+        end)
+      groups
+  else run_pool ~jobs results arr groups;
   let out =
     Array.to_list
-      (Array.map
-         (function Some r -> r | None -> assert false (* every slot filled *))
+      (Array.mapi
+         (fun i r ->
+           match r with
+           | Some r -> r
+           | None ->
+               (* Only a graceful shutdown leaves holes: the cell was
+                  skipped, and the harness marks the report partial. *)
+               interrupted_cell arr.(i))
          results)
   in
   record out;
@@ -500,6 +919,9 @@ let json_of_timed t =
       add ",\"code_bytes\":%d" m.Metrics.code_bytes
   | Error msg -> add ",\"ok\":false,\"error\":\"%s\"" (json_escape msg));
   add ",\"mode\":\"%s\"" (mode_name t.mode);
+  add ",\"attempts\":%d" t.attempts;
+  add ",\"timed_out\":%b" t.timed_out;
+  add ",\"from_journal\":%b" t.from_journal;
   add ",\"wall_seconds\":%s" (json_float t.wall_seconds);
   add "}";
   Buffer.contents b
@@ -507,22 +929,53 @@ let json_of_timed t =
 let json_summary ?jobs results =
   let jobs = match jobs with Some j -> max 1 j | None -> !default_jobs in
   let total = List.fold_left (fun a t -> a +. t.wall_seconds) 0. results in
-  let count m = List.length (List.filter (fun t -> t.mode = m) results) in
   let wall m =
     List.fold_left
       (fun a t -> if t.mode = m then a +. t.wall_seconds else a)
       0. results
   in
-  (* [engine_runs] counts actual VM executions: every direct cell plus one
-     per recorded group.  Replayed cells re-ran no VM semantics. *)
+  (* [engine_runs] counts cells whose numbers came from a fresh VM
+     execution: every live direct cell plus one per recorded group.
+     Replayed and journal-served cells re-ran no VM semantics; cells
+     skipped by a shutdown ([attempts = 0]) ran nothing at all. *)
+  let live m =
+    List.length
+      (List.filter
+         (fun t -> t.mode = m && (not t.from_journal) && t.attempts > 0)
+         results)
+  in
+  let countp p = List.length (List.filter p results) in
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"schema\":\"vmbp-cells/1\"";
+  Buffer.add_string b "{\"schema\":\"vmbp-cells/2\"";
   Buffer.add_string b (Printf.sprintf ",\"jobs\":%d" jobs);
   Buffer.add_string b
     (Printf.sprintf ",\"cells\":%d" (List.length results));
   Buffer.add_string b
-    (Printf.sprintf ",\"engine_runs\":%d" (count Direct + count Record));
-  Buffer.add_string b (Printf.sprintf ",\"replays\":%d" (count Replay));
+    (Printf.sprintf ",\"engine_runs\":%d" (live Direct + live Record));
+  Buffer.add_string b (Printf.sprintf ",\"replays\":%d" (live Replay));
+  Buffer.add_string b
+    (Printf.sprintf ",\"from_journal\":%d"
+       (countp (fun t -> t.from_journal)));
+  Buffer.add_string b
+    (Printf.sprintf ",\"retries\":%d"
+       (List.fold_left (fun a t -> a + max 0 (t.attempts - 1)) 0 results));
+  Buffer.add_string b
+    (Printf.sprintf ",\"timeouts\":%d" (countp (fun t -> t.timed_out)));
+  Buffer.add_string b
+    (Printf.sprintf ",\"interrupted\":%d"
+       (countp (fun t -> t.attempts = 0 && not t.from_journal)));
+  Buffer.add_string b
+    (Printf.sprintf ",\"injected_faults\":%d" (Faults.total_injected ()));
+  Buffer.add_string b
+    (Printf.sprintf ",\"worker_respawns\":%d" (worker_respawns ()));
+  (match journal_stats () with
+  | None -> ()
+  | Some s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\"journal\":{\"loaded\":%d,\"served\":%d,\"appended\":%d,\"write_errors\":%d,\"truncated\":%d}"
+           s.Journal.loaded s.Journal.served s.Journal.appended
+           s.Journal.write_errors s.Journal.truncated));
   Buffer.add_string b
     (Printf.sprintf ",\"trace_cap_mb\":%d" !trace_cap_mb);
   Buffer.add_string b

@@ -57,11 +57,79 @@ type timed = {
           group's one engine execution, so summing over cells accounts all
           work *)
   mode : mode;
+  attempts : int;
+      (** cell attempts consumed, [> 1] after transient-failure retries;
+          [0] for a cell skipped by a graceful shutdown or abandoned after
+          repeated worker deaths *)
+  timed_out : bool;  (** the final attempt hit the [--cell-timeout] deadline *)
+  from_journal : bool;
+      (** served from the resume journal; no simulator ran for this cell *)
 }
 
 val default_jobs : int ref
 (** Pool size used when [?jobs] is omitted; set once from the [--jobs N]
     command-line flag.  Defaults to 1 (sequential). *)
+
+val cell_timeout : float ref
+(** Per-cell-attempt watchdog deadline in seconds, enforced cooperatively
+    through the engine/replay poll hook; [<= 0] (the default) disables it.
+    A timed-out cell reports [Error] with [timed_out = true] and is not
+    retried.  Set from [--cell-timeout SEC]. *)
+
+val cell_retries : int ref
+(** Extra attempts granted to a cell whose attempt failed transiently (an
+    unexpected exception -- not a deterministic [Runner.Run_failed] trap,
+    not a timeout).  Defaults to 1; set from [--cell-retries N]. *)
+
+val retry_backoff_s : float ref
+(** Base delay between retry attempts; the actual delay grows
+    exponentially per attempt and is jittered from the seeded chaos
+    stream.  Exposed mainly so tests can keep retries fast. *)
+
+(** {2 Crash-safe journal and resume}
+
+    With a journal installed ({!set_journal}), every completed cell is
+    appended -- fsync'd -- to a JSONL file as it finishes, keyed by a
+    stable cell key plus a configuration fingerprint (scale, CPU profile,
+    predictor override, trace setting; see {!Journal}).  Opening the
+    journal with [resume:true] additionally serves matching cells straight
+    from the file ([from_journal = true], no simulation), which makes an
+    interrupted-then-resumed report byte-identical to an uninterrupted
+    one. *)
+
+val set_journal : file:string -> resume:bool -> unit
+(** Install (or replace) the process-wide journal. *)
+
+val clear_journal : unit -> unit
+(** Close and remove the journal; subsequent runs neither read nor write
+    one. *)
+
+val journal_stats : unit -> Journal.stats option
+
+val cell_key : cell -> string
+(** The journal key: tag, workload, parameter-complete technique
+    descriptor, CPU name, scale and predictor override. *)
+
+val config_fingerprint : cell -> string
+(** Digest of everything else that could change the cell's numbers between
+    runs; a journal entry is served only when key and fingerprint both
+    match. *)
+
+(** {2 Graceful shutdown and worker supervision} *)
+
+val request_shutdown : unit -> unit
+(** Stop dequeuing work: in-flight groups finish (and are journaled),
+    queued cells are reported as interrupted [Error] cells with
+    [attempts = 0].  Called from the harnesses' first-Ctrl-C handler. *)
+
+val shutting_down : unit -> bool
+val reset_shutdown : unit -> unit
+
+val worker_respawns : unit -> int
+(** Worker domains respawned after a death ({!Faults.Worker_killed})
+    since process start.  In the sequential ([jobs = 1]) path there is no
+    pool to respawn into and the death escapes [run_cells] instead -- the
+    fault harness's stand-in for a killed process. *)
 
 val trace_cap_mb : int ref
 (** Budget, in megabytes, for recorded traces retained in the process-wide
@@ -115,11 +183,13 @@ val drain_log : unit -> timed list
     order (each batch in its input order); clears the log. *)
 
 val json_summary : ?jobs:int -> timed list -> string
-(** A machine-readable summary: schema [vmbp-cells/1], one record per cell
-    with simulated cycles, mispredict rate, I-cache misses, production mode
-    and wall-clock seconds (or the error for failed cells), plus top-level
-    [engine_runs]/[replays] counters and the direct/record/replay wall-clock
-    split. *)
+(** A machine-readable summary: schema [vmbp-cells/2], one record per cell
+    with simulated cycles, mispredict rate, I-cache misses, production
+    mode, [attempts]/[timed_out]/[from_journal] and wall-clock seconds (or
+    the error for failed cells), plus top-level [engine_runs]/[replays]/
+    [from_journal]/[retries]/[timeouts]/[interrupted]/[injected_faults]/
+    [worker_respawns] counters, journal statistics when a journal is
+    installed, and the direct/record/replay wall-clock split. *)
 
 val write_json_summary : ?jobs:int -> file:string -> timed list -> unit
 (** Write {!json_summary} to [file]. *)

@@ -30,7 +30,7 @@ let effective_profile ?profile ~scale ~technique (workload : Vmbp_workloads.t)
              ~target:workload.Vmbp_workloads.name ~scale ())
       else None
 
-let run ?(scale = 1) ?predictor ?profile ~cpu ~technique
+let run ?(scale = 1) ?poll ?predictor ?profile ~cpu ~technique
     (workload : Vmbp_workloads.t) =
   let loaded = workload.Vmbp_workloads.load ~scale in
   let profile = effective_profile ?profile ~scale ~technique workload in
@@ -38,8 +38,8 @@ let run ?(scale = 1) ?predictor ?profile ~cpu ~technique
   let layout = Config.build_layout ?profile config ~program:loaded.Vmbp_workloads.program in
   let session = loaded.Vmbp_workloads.fresh_session () in
   let result =
-    Engine.run ~fuel:engine_fuel ~config ~layout ~exec:session.Vmbp_workloads.exec
-      ()
+    Engine.run ~fuel:engine_fuel ?poll ~config ~layout
+      ~exec:session.Vmbp_workloads.exec ()
   in
   (match result.Engine.trapped with
   | Some msg -> raise (Run_failed (trap_message workload technique msg))
@@ -52,8 +52,8 @@ let run ?(scale = 1) ?predictor ?profile ~cpu ~technique
     output = session.Vmbp_workloads.output ();
   }
 
-let run_result ?scale ?predictor ?profile ~cpu ~technique workload =
-  match run ?scale ?predictor ?profile ~cpu ~technique workload with
+let run_result ?scale ?poll ?predictor ?profile ~cpu ~technique workload =
+  match run ?scale ?poll ?predictor ?profile ~cpu ~technique workload with
   | r -> Ok r
   | exception Run_failed msg -> Error msg
   | exception exn -> Error (Printexc.to_string exn)
@@ -69,7 +69,7 @@ type trace = {
   t_data : Trace.t;
 }
 
-let record ?(scale = 1) ?profile ?cap_bytes ~technique
+let record ?(scale = 1) ?poll ?profile ?cap_bytes ~technique
     (workload : Vmbp_workloads.t) =
   match
     let loaded = workload.Vmbp_workloads.load ~scale in
@@ -82,7 +82,7 @@ let record ?(scale = 1) ?profile ?cap_bytes ~technique
       Config.build_layout ?profile config ~program:loaded.Vmbp_workloads.program
     in
     let session = loaded.Vmbp_workloads.fresh_session () in
-    Trace.record ~fuel:engine_fuel ?cap_bytes ~layout
+    Trace.record ~fuel:engine_fuel ?poll ?cap_bytes ~layout
       ~exec:session.Vmbp_workloads.exec ~output:session.Vmbp_workloads.output
       ()
   with
@@ -104,10 +104,11 @@ let run_of_replay tr cpu result =
           output = Trace.output tr.t_data;
         }
 
-let replay ?predictor ~cpu tr =
+let replay ?poll ?predictor ~cpu tr =
   let config = Config.make ~cpu ?predictor tr.t_technique in
   run_of_replay tr cpu
-    (Trace.replay tr.t_data ~cpu ~predictor:(Config.predictor_kind config))
+    (Trace.replay ?poll tr.t_data ~cpu
+       ~predictor:(Config.predictor_kind config))
 
 let replay_memo ?predictor ~cpu tr =
   let config = Config.make ~cpu ?predictor tr.t_technique in

@@ -15,6 +15,7 @@ exception Run_failed of string
 
 val run :
   ?scale:int ->
+  ?poll:(unit -> unit) ->
   ?predictor:Vmbp_machine.Predictor.kind ->
   ?profile:Vmbp_vm.Profile.t ->
   cpu:Vmbp_machine.Cpu_model.t ->
@@ -23,10 +24,14 @@ val run :
   run
 (** Default scale 1.  When the technique needs static selection and no
     [profile] is given, the paper's training policy for the workload's VM
-    is used (see {!Vmbp_workloads.training_profile}). *)
+    is used (see {!Vmbp_workloads.training_profile}).  [poll] is the
+    engine's cooperative watchdog hook (see
+    {!Vmbp_core.Engine.run_events}); a deadline exception raised from it
+    escapes this function unchanged. *)
 
 val run_result :
   ?scale:int ->
+  ?poll:(unit -> unit) ->
   ?predictor:Vmbp_machine.Predictor.kind ->
   ?profile:Vmbp_vm.Profile.t ->
   cpu:Vmbp_machine.Cpu_model.t ->
@@ -64,6 +69,7 @@ type trace
 
 val record :
   ?scale:int ->
+  ?poll:(unit -> unit) ->
   ?profile:Vmbp_vm.Profile.t ->
   ?cap_bytes:int ->
   technique:Vmbp_core.Technique.t ->
@@ -77,6 +83,7 @@ val record :
     replays to the same [Error] cell a direct run would produce. *)
 
 val replay :
+  ?poll:(unit -> unit) ->
   ?predictor:Vmbp_machine.Predictor.kind ->
   cpu:Vmbp_machine.Cpu_model.t ->
   trace ->

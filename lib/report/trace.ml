@@ -240,7 +240,7 @@ type t = {
       (* config -> (fetches, misses) *)
 }
 
-let record ?fuel ?(cap_bytes = max_int) ~layout ~exec ~output () =
+let record ?fuel ?poll ?(cap_bytes = max_int) ~layout ~exec ~output () =
   let budget = { allocated = 0; cap = cap_bytes } in
   let bufs = ref [] in
   try
@@ -286,7 +286,7 @@ let record ?fuel ?(cap_bytes = max_int) ~layout ~exec ~output () =
       }
     in
     let steps, trapped =
-      Engine.run_events ?fuel ~metrics:m ~layout ~exec ~sink ()
+      Engine.run_events ?fuel ?poll ~metrics:m ~layout ~exec ~sink ()
     in
     (* The hash tables only serve encoding; drop them before retention. *)
     Hashtbl.reset dispatch_dict.tbl;
@@ -327,12 +327,20 @@ let memo_find t key table =
   Mutex.unlock t.memo_lock;
   r
 
-let replay_predictor t predictor =
+(* Replays poll far less often than the engine: one token is a handful of
+   array reads, so ~65k tokens still bounds the watchdog's blind spot to
+   well under a millisecond. *)
+let replay_poll_mask = 65536 - 1
+
+let replay_predictor ?(poll = fun () -> ()) t predictor =
   let pred = Predictor.create predictor in
   let mispredicts = ref 0 and vm_mispredicts = ref 0 in
   let opcode_mask = (1 lsl dispatch_opcode_bits) - 1 in
   let rev_a = t.dispatch_dict.rev_a and rev_b = t.dispatch_dict.rev_b in
+  let seen = ref 0 in
   buf_iter_tokens t.dispatch (fun code ->
+      if !seen land replay_poll_mask = 0 then poll ();
+      incr seen;
       let branch = Array.unsafe_get rev_a code in
       let w = Array.unsafe_get rev_b code in
       let target = w lsr (dispatch_opcode_bits + 1) in
@@ -343,11 +351,14 @@ let replay_predictor t predictor =
       end);
   (!mispredicts, !vm_mispredicts)
 
-let replay_icache t config =
+let replay_icache ?(poll = fun () -> ()) t config =
   let icache = Icache.create config in
   let hits = ref 0 and misses = ref 0 in
   let rev_a = t.fetch_dict.rev_a and rev_b = t.fetch_dict.rev_b in
+  let seen = ref 0 in
   buf_iter_tokens t.fetch (fun code ->
+      if !seen land replay_poll_mask = 0 then poll ();
+      incr seen;
       Icache.fetch icache
         ~addr:(Array.unsafe_get rev_a code)
         ~bytes:(Array.unsafe_get rev_b code)
@@ -369,13 +380,13 @@ let build_result t ~cpu (mispredicts, vm_mispredicts) (fetches, misses) =
     trapped = t.trapped;
   }
 
-let replay t ~cpu ~predictor =
+let replay ?poll t ~cpu ~predictor =
   if not t.live then invalid_arg "Trace.replay: trace was released";
   let pred_counts =
     match memo_find t predictor (fun () -> t.pred_memo) with
     | Some r -> r
     | None ->
-        let r = replay_predictor t predictor in
+        let r = replay_predictor ?poll t predictor in
         Mutex.lock t.memo_lock;
         t.pred_memo <- (predictor, r) :: t.pred_memo;
         Mutex.unlock t.memo_lock;
@@ -385,7 +396,7 @@ let replay t ~cpu ~predictor =
     match memo_find t cpu.Cpu_model.icache (fun () -> t.icache_memo) with
     | Some r -> r
     | None ->
-        let r = replay_icache t cpu.Cpu_model.icache in
+        let r = replay_icache ?poll t cpu.Cpu_model.icache in
         Mutex.lock t.memo_lock;
         t.icache_memo <- (cpu.Cpu_model.icache, r) :: t.icache_memo;
         Mutex.unlock t.memo_lock;

@@ -25,6 +25,7 @@ type t
 
 val record :
   ?fuel:int ->
+  ?poll:(unit -> unit) ->
   ?cap_bytes:int ->
   layout:Vmbp_core.Code_layout.t ->
   exec:Vmbp_core.Engine.exec ->
@@ -38,9 +39,12 @@ val record :
     distinct events, or when an event exceeds the packed encoding's generous
     field widths; the caller must then run cells directly.  A trapped run
     (including fuel exhaustion) records normally: the trace reproduces its
-    partial metrics. *)
+    partial metrics.  [poll] is the engine's cooperative watchdog hook (see
+    {!Vmbp_core.Engine.run_events}); an exception it raises aborts the
+    recording like any other run failure. *)
 
 val replay :
+  ?poll:(unit -> unit) ->
   t ->
   cpu:Vmbp_machine.Cpu_model.t ->
   predictor:Vmbp_machine.Predictor.kind ->
@@ -50,8 +54,10 @@ val replay :
     [Engine.run] would produce for the same configuration.  Per-configuration
     simulator outcomes are memoized on the trace, so replaying a repeated
     predictor kind or I-cache geometry (as the sweep experiments do) costs
-    only the cost-model arithmetic.  Raises [Invalid_argument] on a
-    [release]d trace. *)
+    only the cost-model arithmetic.  [poll] is called periodically during
+    token iteration so watchdog deadlines cover replayed cells too;
+    memoized replays do no iteration and skip it.  Raises
+    [Invalid_argument] on a [release]d trace. *)
 
 val replay_memo :
   t ->

@@ -70,6 +70,24 @@ let test_btb_capacity_conflicts () =
   done;
   check_bool "unbounded BTB predicts all" true !ok
 
+let test_btb_rejects_bad_config () =
+  let rejects name cfg =
+    match Btb.create cfg with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": Btb.create must reject this config")
+  in
+  rejects "negative entries"
+    { Btb.entries = -1; associativity = 1; two_bit_counters = false };
+  rejects "zero associativity"
+    { Btb.entries = 64; associativity = 0; two_bit_counters = false };
+  rejects "negative associativity"
+    { Btb.entries = 64; associativity = -4; two_bit_counters = true };
+  (* entries = 0 stays the unbounded (idealised) sentinel, whatever the
+     associativity field says. *)
+  ignore (Btb.create Btb.ideal);
+  ignore
+    (Btb.create { Btb.entries = 0; associativity = 0; two_bit_counters = false })
+
 let test_btb_predict_readonly () =
   let btb = Btb.create Btb.ideal in
   Alcotest.(check (option int)) "empty" None (Btb.predict btb ~branch:5);
@@ -373,6 +391,8 @@ let () =
             test_btb_classic_replaces_immediately;
           Alcotest.test_case "capacity and conflict misses" `Quick
             test_btb_capacity_conflicts;
+          Alcotest.test_case "rejects bad config" `Quick
+            test_btb_rejects_bad_config;
           Alcotest.test_case "predict is read-only" `Quick
             test_btb_predict_readonly;
           Alcotest.test_case "reset" `Quick test_btb_reset;

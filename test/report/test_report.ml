@@ -326,10 +326,17 @@ let test_par_runner_json_summary () =
     done;
     !found
   in
-  check_bool "schema marker" true (contains "\"schema\":\"vmbp-cells/1\"");
+  check_bool "schema marker" true (contains "\"schema\":\"vmbp-cells/2\"");
   check_bool "ok cell serialised" true (contains "\"ok\":true");
   check_bool "failed cell serialised" true (contains "\"ok\":false");
-  check_bool "wall time present" true (contains "\"wall_seconds\":")
+  check_bool "wall time present" true (contains "\"wall_seconds\":");
+  check_bool "attempts per cell" true (contains "\"attempts\":1");
+  check_bool "from_journal per cell" true (contains "\"from_journal\":false");
+  check_bool "retry counter" true (contains "\"retries\":0");
+  check_bool "timeout counter" true (contains "\"timeouts\":0");
+  check_bool "interrupted counter" true (contains "\"interrupted\":0");
+  check_bool "injected-fault counter" true (contains "\"injected_faults\":");
+  check_bool "respawn counter" true (contains "\"worker_respawns\":")
 
 (* ------------------------------------------------------------------ *)
 (* Record/replay: a replayed cell must be field-for-field identical to a
@@ -532,6 +539,347 @@ let test_memo_survives_release () =
   | None -> ()
   | Some _ -> Alcotest.fail "released trace cannot serve new configurations"
 
+(* ------------------------------------------------------------------ *)
+(* Supervision: chaos injection, watchdog/retry, journal and resume.
+
+   Every [Faults] injection point is exercised here: cell-raise (retry and
+   exhaustion), record-fail (group degrades to direct), slow-cell (the
+   watchdog timeout), journal-io (append degrades, run continues) and
+   worker-death (sequential kill-and-resume, pool respawn). *)
+
+module PR = Vmbp_report.Par_runner
+module Faults = Vmbp_report.Faults
+module Journal = Vmbp_report.Journal
+
+let reset_supervision () =
+  Faults.reset ();
+  PR.reset_shutdown ();
+  PR.clear_journal ();
+  PR.cell_timeout := 0.;
+  PR.cell_retries := 1;
+  PR.retry_backoff_s := 0.001;
+  PR.clear_trace_cache ();
+  ignore (PR.drain_log ())
+
+(* Chaos state is process-global; leave none of it behind for later tests. *)
+let supervised f () =
+  reset_supervision ();
+  Fun.protect f
+    ~finally:(fun () ->
+      reset_supervision ();
+      PR.retry_backoff_s := 0.02)
+
+let configure_chaos spec =
+  match Faults.configure spec with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail (Printf.sprintf "chaos spec %S: %s" spec msg)
+
+let test_chaos_spec_parsing () =
+  let bad s =
+    match Faults.configure s with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail (Printf.sprintf "spec %S must be rejected" s)
+  in
+  configure_chaos "cell-raise=2";
+  configure_chaos "worker-death=2+1,seed=42";
+  configure_chaos "journal-io=0.25,seed=7";
+  configure_chaos "slow-cell=1@0.2";
+  check_bool "armed after configure" true (Faults.armed ());
+  bad "bogus-point=1";
+  bad "cell-raise";
+  bad "cell-raise=0";
+  bad "cell-raise=1.5";
+  bad "worker-death=-1+2";
+  bad "slow-cell=1@nope";
+  bad "seed=abc";
+  check_bool "a bad spec disarms everything" false (Faults.armed ());
+  configure_chaos "";
+  check_bool "empty spec is a no-op" false (Faults.armed ())
+
+let one_cell ?predictor ?(cpu = Cpu_model.ideal) name =
+  PR.cell ~tag:"test" ?predictor ~cpu ~technique:Technique.plain
+    (toy_workload name)
+
+let test_cell_raise_retry () =
+  (* One injected transient failure: the retry makes the cell succeed on
+     attempt 2, and the outcome matches an injection-free run. *)
+  configure_chaos "cell-raise=1";
+  (match PR.run_cells ~jobs:1 [ one_cell "chaos-retry" ] with
+  | [ t ] ->
+      check_bool "retried cell succeeds" true (Result.is_ok t.PR.outcome);
+      check_int "two attempts" 2 t.PR.attempts;
+      check_bool "not a timeout" false t.PR.timed_out
+  | _ -> Alcotest.fail "one cell in, one result out");
+  check_int "cell-raise fired once" 1 (Faults.fired Faults.Cell_raise);
+  (* More injected failures than retries: the cell fails with the injected
+     error after exhausting its attempts, and siblings are untouched. *)
+  Faults.reset ();
+  PR.clear_trace_cache ();
+  configure_chaos "cell-raise=5";
+  PR.cell_retries := 2;
+  match
+    PR.run_cells ~jobs:1 [ one_cell "chaos-exhaust"; one_cell "chaos-ok" ]
+  with
+  | [ t1; t2 ] ->
+      (match t1.PR.outcome with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "5 injected failures must exhaust 2 retries");
+      check_int "attempts = 1 + retries" 3 t1.PR.attempts;
+      check_bool "sibling cell unharmed" true (Result.is_ok t2.PR.outcome)
+  | _ -> Alcotest.fail "two cells in, two results out"
+
+let test_record_fail_degrades () =
+  (* A failure in the group-level record path must degrade the group to
+     per-cell direct runs with identical numbers -- never abort the pool. *)
+  let cells () =
+    let w = toy_workload "chaos-record" in
+    List.map
+      (fun cpu -> PR.cell ~tag:"test" ~cpu ~technique:Technique.plain w)
+      [ Cpu_model.ideal; Cpu_model.pentium4_northwood ]
+  in
+  let reference = signature (PR.run_cells ~jobs:1 (cells ())) in
+  PR.clear_trace_cache ();
+  configure_chaos "record-fail=1";
+  let chaos = PR.run_cells ~jobs:1 (cells ()) in
+  check_int "record-fail fired" 1 (Faults.fired Faults.Record_fail);
+  List.iter
+    (fun (t : PR.timed) ->
+      check_bool "degraded cells run direct" true (t.PR.mode = PR.Direct))
+    chaos;
+  Alcotest.(check (list (pair string string)))
+    "degraded group agrees with the traced run" reference (signature chaos)
+
+let test_slow_cell_timeout () =
+  (* The slow-cell stall trips the cooperative deadline on both the direct
+     path and the replay path; the sibling cell is unaffected. *)
+  let saved = !PR.trace_cap_mb in
+  Fun.protect
+    ~finally:(fun () -> PR.trace_cap_mb := saved)
+    (fun () ->
+      PR.cell_timeout := 0.05;
+      List.iter
+        (fun (cap, path) ->
+          PR.trace_cap_mb := cap;
+          PR.clear_trace_cache ();
+          Faults.reset ();
+          configure_chaos "slow-cell=1@0.3";
+          match
+            PR.run_cells ~jobs:1
+              [
+                one_cell ("chaos-slow-" ^ path);
+                one_cell ("chaos-fast-" ^ path);
+              ]
+          with
+          | [ slow; fast ] ->
+              (match slow.PR.outcome with
+              | Error msg ->
+                  check_bool (path ^ ": timeout message") true
+                    (String.length msg > 0)
+              | Ok _ -> Alcotest.fail (path ^ ": stalled cell must time out"));
+              check_bool (path ^ ": timed_out flag") true slow.PR.timed_out;
+              check_int (path ^ ": timeouts are not retried") 1
+                slow.PR.attempts;
+              check_bool (path ^ ": sibling finishes") true
+                (Result.is_ok fast.PR.outcome)
+          | _ -> Alcotest.fail "two cells in, two results out")
+        [ (0, "direct"); (saved, "replay") ])
+
+let test_bad_predictor_is_failed_cell () =
+  (* An invalid BTB override surfaces as that cell's [Error], not a pool
+     abort; valid siblings still complete. *)
+  PR.cell_retries := 0;
+  let bad =
+    Predictor.Btb
+      { Btb.entries = 64; associativity = 0; two_bit_counters = false }
+  in
+  match
+    PR.run_cells ~jobs:1
+      [
+        one_cell "pred-good-a";
+        one_cell ~predictor:bad "pred-bad";
+        one_cell ~predictor:Predictor.Perfect "pred-good-b";
+      ]
+  with
+  | [ a; b; c ] ->
+      check_bool "plain sibling ok" true (Result.is_ok a.PR.outcome);
+      (match b.PR.outcome with
+      | Error msg ->
+          check_bool "error mentions the config" true
+            (String.length msg > 0)
+      | Ok _ -> Alcotest.fail "zero associativity must fail the cell");
+      check_bool "override sibling ok" true (Result.is_ok c.PR.outcome)
+  | _ -> Alcotest.fail "three cells in, three results out"
+
+let with_temp_journal f =
+  let file = Filename.temp_file "vmbp-journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      PR.clear_journal ();
+      try Sys.remove file with Sys_error _ -> ())
+    (fun () -> f file)
+
+let test_journal_roundtrip_resume () =
+  with_temp_journal (fun file ->
+      PR.set_journal ~file ~resume:false;
+      let first = PR.run_cells ~jobs:1 (toy_cells ()) in
+      let appended =
+        match PR.journal_stats () with
+        | Some s -> s.Journal.appended
+        | None -> Alcotest.fail "journal must be installed"
+      in
+      check_int "every completed cell journaled" 12 appended;
+      (* Reopen with resume: every cell is served from the file, nothing is
+         simulated, and the numbers are identical. *)
+      PR.clear_journal ();
+      PR.clear_trace_cache ();
+      PR.set_journal ~file ~resume:true;
+      let resumed = PR.run_cells ~jobs:1 (toy_cells ()) in
+      List.iter
+        (fun (t : PR.timed) ->
+          check_bool "served from journal" true t.PR.from_journal)
+        resumed;
+      Alcotest.(check (list (pair string string)))
+        "resumed run is identical" (signature first) (signature resumed);
+      (* Full-fidelity check on one cell, not just the signature. *)
+      (match (first, resumed) with
+      | a :: _, b :: _ ->
+          (match (a.PR.outcome, b.PR.outcome) with
+          | Ok ra, Ok rb ->
+              check_result_equal "journal round-trip"
+                ra.Vmbp_report.Runner.result rb.Vmbp_report.Runner.result;
+              Alcotest.(check string)
+                "output round-trip" ra.Vmbp_report.Runner.output
+                rb.Vmbp_report.Runner.output
+          | _ -> Alcotest.fail "toy cells must succeed")
+      | _ -> Alcotest.fail "no results");
+      match PR.journal_stats () with
+      | Some s ->
+          check_int "all 12 loaded" 12 s.Journal.loaded;
+          check_int "all 12 served" 12 s.Journal.served;
+          check_int "nothing re-appended" 0 s.Journal.appended;
+          check_int "no truncation" 0 s.Journal.truncated
+      | None -> Alcotest.fail "journal must be installed")
+
+let test_journal_truncated_line () =
+  (* A crash can cut the final journal line short; resume must skip it,
+     count it, and recompute just that cell. *)
+  with_temp_journal (fun file ->
+      PR.set_journal ~file ~resume:false;
+      let first = PR.run_cells ~jobs:1 (toy_cells ()) in
+      PR.clear_journal ();
+      let oc = open_out_gen [ Open_append ] 0o644 file in
+      output_string oc "{\"key\":\"half-writ";
+      close_out oc;
+      PR.clear_trace_cache ();
+      PR.set_journal ~file ~resume:true;
+      let resumed = PR.run_cells ~jobs:1 (toy_cells ()) in
+      Alcotest.(check (list (pair string string)))
+        "resume tolerates the torn line" (signature first) (signature resumed);
+      match PR.journal_stats () with
+      | Some s ->
+          check_int "torn line counted" 1 s.Journal.truncated;
+          check_int "intact lines all load" 12 s.Journal.loaded
+      | None -> Alcotest.fail "journal must be installed")
+
+let test_journal_io_fault () =
+  (* An injected append failure degrades journaling for that cell; the run
+     itself completes and the loss is visible in the stats. *)
+  with_temp_journal (fun file ->
+      configure_chaos "journal-io=1";
+      PR.set_journal ~file ~resume:false;
+      let results = PR.run_cells ~jobs:1 (toy_cells ()) in
+      List.iter
+        (fun (t : PR.timed) ->
+          check_bool "cells unaffected by journal loss" true
+            (Result.is_ok t.PR.outcome))
+        results;
+      check_int "journal-io fired" 1 (Faults.fired Faults.Journal_io);
+      match PR.journal_stats () with
+      | Some s ->
+          check_int "one append lost" 1 s.Journal.write_errors;
+          check_int "the rest landed" 11 s.Journal.appended
+      | None -> Alcotest.fail "journal must be installed")
+
+let test_sequential_kill_and_resume () =
+  (* The headline crash-safety property: kill the (sequential) run after two
+     groups via the worker-death point -- the stand-in for a killed process
+     -- then resume from the journal and get a byte-identical report. *)
+  with_temp_journal (fun file ->
+      let reference = signature (PR.run_cells ~jobs:1 (toy_cells ())) in
+      PR.clear_trace_cache ();
+      configure_chaos "worker-death=2+1";
+      PR.set_journal ~file ~resume:false;
+      (match PR.run_cells ~jobs:1 (toy_cells ()) with
+      | exception Faults.Worker_killed -> ()
+      | _ -> Alcotest.fail "sequential worker death must escape run_cells");
+      Faults.reset ();
+      PR.clear_journal ();
+      PR.clear_trace_cache ();
+      PR.set_journal ~file ~resume:true;
+      let resumed = PR.run_cells ~jobs:1 (toy_cells ()) in
+      Alcotest.(check (list (pair string string)))
+        "resumed report is byte-identical" reference (signature resumed);
+      let from_journal =
+        List.length (List.filter (fun t -> t.PR.from_journal) resumed)
+      in
+      check_int "exactly the pre-kill cells come from the journal" 2
+        from_journal;
+      (* The JSON summary separates journal-served cells from live work. *)
+      ignore (PR.drain_log ());
+      let json = PR.json_summary ~jobs:1 resumed in
+      let contains needle =
+        let nl = String.length needle and hl = String.length json in
+        let found = ref false in
+        for i = 0 to hl - nl do
+          if String.sub json i nl = needle then found := true
+        done;
+        !found
+      in
+      check_bool "summary counts journal-served cells" true
+        (contains "\"from_journal\":2"))
+
+let test_pool_respawn () =
+  (* In a pool, a worker death is contained: the group is re-queued, fresh
+     workers are spawned, and every cell still completes. *)
+  let before = PR.worker_respawns () in
+  configure_chaos "worker-death=2";
+  let results = PR.run_cells ~jobs:2 (toy_cells ()) in
+  check_int "all cells complete despite two dead workers" 12
+    (List.length results);
+  List.iter
+    (fun (t : PR.timed) ->
+      check_bool "cell completed" true (Result.is_ok t.PR.outcome);
+      check_bool "no shutdown holes" true (t.PR.attempts > 0))
+    results;
+  check_int "both deaths fired" 2 (Faults.fired Faults.Worker_death);
+  check_bool "respawns recorded" true (PR.worker_respawns () > before)
+
+let test_shutdown_skips_pending () =
+  (* A shutdown requested before the run starts (the degenerate first-Ctrl-C
+     case) reports every cell as interrupted, with nothing journaled. *)
+  PR.request_shutdown ();
+  let results = PR.run_cells ~jobs:1 (toy_cells ()) in
+  List.iter
+    (fun (t : PR.timed) ->
+      (match t.PR.outcome with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "no cell may run after shutdown");
+      check_int "nothing was attempted" 0 t.PR.attempts)
+    results;
+  PR.reset_shutdown ();
+  ignore (PR.drain_log ());
+  let json = PR.json_summary ~jobs:1 results in
+  let contains needle =
+    let nl = String.length needle and hl = String.length json in
+    let found = ref false in
+    for i = 0 to hl - nl do
+      if String.sub json i nl = needle then found := true
+    done;
+    !found
+  in
+  check_bool "summary counts interrupted cells" true
+    (contains "\"interrupted\":12")
+
 let () =
   Alcotest.run "report"
     [
@@ -590,5 +938,30 @@ let () =
             test_record_overflow_and_fallback;
           Alcotest.test_case "memo survives release" `Quick
             test_memo_survives_release;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "chaos spec parsing" `Quick
+            (supervised test_chaos_spec_parsing);
+          Alcotest.test_case "cell-raise retries then exhausts" `Quick
+            (supervised test_cell_raise_retry);
+          Alcotest.test_case "record failure degrades to direct" `Quick
+            (supervised test_record_fail_degrades);
+          Alcotest.test_case "slow cell hits the watchdog" `Quick
+            (supervised test_slow_cell_timeout);
+          Alcotest.test_case "bad predictor fails one cell" `Quick
+            (supervised test_bad_predictor_is_failed_cell);
+          Alcotest.test_case "journal round-trip and resume" `Quick
+            (supervised test_journal_roundtrip_resume);
+          Alcotest.test_case "torn final journal line" `Quick
+            (supervised test_journal_truncated_line);
+          Alcotest.test_case "journal write fault degrades" `Quick
+            (supervised test_journal_io_fault);
+          Alcotest.test_case "kill mid-run, resume byte-identical" `Quick
+            (supervised test_sequential_kill_and_resume);
+          Alcotest.test_case "pool respawns dead workers" `Quick
+            (supervised test_pool_respawn);
+          Alcotest.test_case "shutdown skips pending cells" `Quick
+            (supervised test_shutdown_skips_pending);
         ] );
     ]
