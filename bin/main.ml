@@ -241,10 +241,20 @@ let cell_retries_arg =
            exception; deterministic traps and timeouts are not retried), \
            with jittered exponential backoff between attempts.")
 
+(* Validate the chaos spec at parse time so a typo yields cmdliner's
+   one-line usage error naming the flag, never a stack trace. *)
+let chaos_conv =
+  let parse s =
+    match Vmbp_report.Faults.configure s with
+    | Ok () -> Ok s
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv ~docv:"SPEC" (parse, Fmt.string)
+
 let chaos_arg =
   Arg.(
     value
-    & opt (some string) None
+    & opt (some chaos_conv) None
     & info [ "chaos" ] ~docv:"SPEC"
         ~doc:
           "Deterministic fault injection, e.g. \
@@ -252,6 +262,45 @@ let chaos_arg =
            opportunities, then fire once) or 'slow-cell=1@0.2'.  Points: \
            cell-raise, record-fail, slow-cell, journal-io, worker-death.  \
            For exercising the supervision paths; see EXPERIMENTS.md.")
+
+let self_check_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "self-check" ]
+        ~doc:
+          "Run every cell in lockstep against the naive reference models \
+           and fail on the first divergence, writing a minimized repro \
+           artifact (replay it with $(b,vmbp audit-repro)).  Bypasses the \
+           trace fast path; expect a slower run.")
+
+(* A malformed probability must produce a one-line usage error naming the
+   flag, not a float_of_string failure. *)
+let sample_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some p when p >= 0. && p <= 1. -> Ok p
+    | Some _ | None ->
+        Error (`Msg "expected a probability between 0 and 1")
+  in
+  Arg.conv ~docv:"P" (parse, fun ppf p -> Fmt.pf ppf "%g" p)
+
+let audit_sample_arg =
+  Arg.(
+    value
+    & opt sample_conv !Vmbp_report.Par_runner.audit_sample
+    & info [ "audit-sample" ] ~docv:"P"
+        ~doc:
+          "Cross-check this fraction of trace-replay and memo-served \
+           cells against a fresh direct simulation (deterministic, \
+           seeded per-cell sampling).  0 disables; default 0.02.")
+
+let repro_dir_arg =
+  Arg.(
+    value
+    & opt string "."
+    & info [ "repro-dir" ] ~docv:"DIR"
+        ~doc:"Directory receiving divergence repro artifacts.")
 
 let set_jobs jobs = Vmbp_report.Par_runner.default_jobs := max 1 jobs
 let set_trace_cap mb = Vmbp_report.Par_runner.trace_cap_mb := mb
@@ -272,9 +321,16 @@ let install_sigint () =
               again to force quit)"
          end))
 
-let setup_supervision journal resume cell_timeout cell_retries chaos =
+let setup_supervision journal resume cell_timeout cell_retries chaos
+    self_check audit_sample repro_dir =
   Vmbp_report.Par_runner.cell_timeout := cell_timeout;
   Vmbp_report.Par_runner.cell_retries := max 0 cell_retries;
+  Vmbp_report.Par_runner.self_check := self_check;
+  Vmbp_report.Par_runner.audit_sample := audit_sample;
+  Vmbp_report.Audit.repro_dir := repro_dir;
+  Vmbp_report.Audit.reset_stats ();
+  (* The spec was validated (and armed) by the argument converter; re-arm
+     defensively so the converter stays side-effect-agnostic. *)
   (match chaos with
   | None -> ()
   | Some spec -> (
@@ -319,6 +375,22 @@ let write_json = function
       Vmbp_report.Par_runner.write_json_summary ~file cells;
       Printf.eprintf "wrote %d cell timings to %s\n" (List.length cells) file
 
+(* Divergences are simulator bugs: summarize each one on stderr (with its
+   repro artifact path, if one was written) and fail the run. *)
+let finish_audit () =
+  match Vmbp_report.Audit.divergences () with
+  | [] -> ()
+  | ds ->
+      flush stdout;
+      List.iter
+        (fun d -> Printf.eprintf "%s\n" (Vmbp_report.Audit.describe d))
+        ds;
+      Printf.eprintf
+        "vmbp: self-check found %d divergence(s); replay artifacts with \
+         'vmbp audit-repro FILE'\n"
+        (List.length ds);
+      exit 3
+
 let experiment_cmd =
   let doc = "Regenerate one of the paper's tables or figures." in
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
@@ -326,10 +398,11 @@ let experiment_cmd =
     Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N")
   in
   let run id scale jobs trace_cap json journal resume cell_timeout
-      cell_retries chaos =
+      cell_retries chaos self_check audit_sample repro_dir =
     set_jobs jobs;
     set_trace_cap trace_cap;
-    setup_supervision journal resume cell_timeout cell_retries chaos;
+    setup_supervision journal resume cell_timeout cell_retries chaos
+      self_check audit_sample repro_dir;
     match Vmbp_report.Experiments.find id with
     | None ->
         Printf.eprintf "unknown experiment %s (try 'vmbp list')\n" id;
@@ -343,13 +416,48 @@ let experiment_cmd =
         run_killable (fun () ->
             print_table (e.Vmbp_report.Experiments.run ~scale));
         partial_marker ();
-        write_json json
+        write_json json;
+        finish_audit ()
   in
   Cmd.v (Cmd.info "experiment" ~doc)
     Term.(
       const run $ id $ scale $ jobs_arg $ trace_cap_arg $ json_arg
       $ journal_arg $ resume_arg $ cell_timeout_arg $ cell_retries_arg
-      $ chaos_arg)
+      $ chaos_arg $ self_check_arg $ audit_sample_arg $ repro_dir_arg)
+
+(* ---------------- audit-repro ---------------- *)
+
+let audit_repro_cmd =
+  let doc =
+    "Replay a divergence repro artifact written by --self-check."
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let run file =
+    match Vmbp_report.Audit.load_repro file with
+    | Error msg ->
+        Printf.eprintf "vmbp: cannot load %s: %s\n" file msg;
+        exit 2
+    | Ok repro ->
+        let open Vmbp_report.Audit in
+        Printf.printf "cell      %s\n" repro.r_cell;
+        Printf.printf "events    %d\n" (Array.length repro.r_events);
+        Printf.printf "recorded  divergence at event %d: %s\n" repro.r_index
+          repro.r_detail;
+        (match replay_repro repro with
+        | Some (idx, detail, fast, reference) ->
+            Printf.printf "replayed  divergence at event %d: %s\n" idx detail;
+            Printf.printf "  fast      %s\n" (pp_counters fast);
+            Printf.printf "  reference %s\n" (pp_counters reference);
+            exit 1
+        | None ->
+            Printf.printf
+              "replayed  fast and reference simulators now agree on this \
+               stream (bug no longer reproduces)\n";
+            exit 0)
+  in
+  Cmd.v (Cmd.info "audit-repro" ~doc) Term.(const run $ file)
 
 (* ---------------- report ---------------- *)
 
@@ -359,10 +467,11 @@ let report_cmd =
     Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N")
   in
   let run scale jobs trace_cap json journal resume cell_timeout cell_retries
-      chaos =
+      chaos self_check audit_sample repro_dir =
     set_jobs jobs;
     set_trace_cap trace_cap;
-    setup_supervision journal resume cell_timeout cell_retries chaos;
+    setup_supervision journal resume cell_timeout cell_retries chaos
+      self_check audit_sample repro_dir;
     run_killable (fun () ->
         List.iter
           (fun (e : Vmbp_report.Experiments.t) ->
@@ -376,12 +485,14 @@ let report_cmd =
             print_newline ())
           Vmbp_report.Experiments.all);
     partial_marker ();
-    write_json json
+    write_json json;
+    finish_audit ()
   in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       const run $ scale $ jobs_arg $ trace_cap_arg $ json_arg $ journal_arg
-      $ resume_arg $ cell_timeout_arg $ cell_retries_arg $ chaos_arg)
+      $ resume_arg $ cell_timeout_arg $ cell_retries_arg $ chaos_arg
+      $ self_check_arg $ audit_sample_arg $ repro_dir_arg)
 
 let () =
   let doc =
@@ -389,4 +500,14 @@ let () =
      Virtual Machine Interpreters'"
   in
   let info = Cmd.info "vmbp" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; experiment_cmd; report_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            run_cmd;
+            trace_cmd;
+            experiment_cmd;
+            report_cmd;
+            audit_repro_cmd;
+          ]))

@@ -69,6 +69,12 @@ let run_events ?(fuel = max_int) ?(poll = fun () -> ()) ?exec_counts
     if !steps >= fuel then stop := Some (Trapped out_of_fuel)
     else begin
     let i = !pc in
+    (* Loaded (possibly hostile) code can fall off the end of the program
+       or jump outside it; both must surface as a reported trap, never as
+       an [Array] exception escaping the engine. *)
+    if i < 0 || i >= Program.length program then
+      stop := Some (Trapped "pc out of range")
+    else begin
     if !shadow_hi >= 0 && (i < !shadow_lo || i > !shadow_hi) then
       shadow_hi := -1;
     let site = if !shadow_hi >= 0 then shadow.(i) else sites.(i) in
@@ -146,7 +152,11 @@ let run_events ?(fuel = max_int) ?(poll = fun () -> ()) ?exec_counts
         | None ->
             (* A layout must provide a dispatch on every taken path. *)
             assert false);
-        if shadow_until.(target) >= 0 then begin
+        (* An out-of-range target is trapped by the bounds check at the
+           top of the next iteration; only guard the shadow lookup. *)
+        if target >= 0 && target < Program.length program
+           && shadow_until.(target) >= 0
+        then begin
           shadow_lo := target;
           shadow_hi := shadow_until.(target)
         end
@@ -158,6 +168,7 @@ let run_events ?(fuel = max_int) ?(poll = fun () -> ()) ?exec_counts
         (* [exec] resolved the outer quickening above; nested quickening is
            not meaningful. *)
         stop := Some (Trapped "nested quickening")
+    end
     end
   done;
   ( !steps,
@@ -204,6 +215,8 @@ let run_functional ?(fuel = max_int) ?exec_counts ~program ~exec () =
   let stop = ref None in
   while !stop = None do
     if !steps >= fuel then stop := Some (Trapped out_of_fuel)
+    else if !pc < 0 || !pc >= Program.length program then
+      stop := Some (Trapped "pc out of range")
     else begin
       let i = !pc in
       incr steps;

@@ -1,0 +1,308 @@
+open Vmbp_vm
+
+exception Malformed of string
+
+let bad fmt = Printf.ksprintf (fun msg -> raise (Malformed msg)) fmt
+
+let magic = "VMBPIMG1"
+
+(* Loose sanity caps.  Decoded images are untrusted bytes; without these a
+   mutated length field turns into a multi-gigabyte allocation before any
+   structural check can reject the image. *)
+let max_string = 1 lsl 16
+let max_count = 1 lsl 20
+let max_nfields = 1 lsl 16
+let max_nlocals = Runtime.max_frame_locals
+
+(* ------------------------------------------------------------------ *)
+(* Byte-level primitives: zig-zag varints and length-prefixed strings. *)
+
+let put_int buf v =
+  (* Zig-zag so small negative values (the ubiquitous -1 sentinels) stay
+     one byte. *)
+  let z = (v lsl 1) lxor (v asr 62) in
+  let rec go z =
+    if z land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr z)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (z land 0x7f)));
+      go (z lsr 7)
+    end
+  in
+  go z
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+type reader = { data : string; mutable pos : int }
+
+let get_byte r =
+  if r.pos >= String.length r.data then bad "truncated image";
+  let b = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  b
+
+let get_int r =
+  let rec go shift acc =
+    if shift > 63 then bad "varint out of range";
+    let b = get_byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  let z = go 0 0 in
+  (z lsr 1) lxor (-(z land 1))
+
+let get_count r ~what ~max =
+  let n = get_int r in
+  if n < 0 || n > max then bad "%s count out of range: %d" what n;
+  n
+
+let get_string r =
+  let n = get_count r ~what:"string" ~max:max_string in
+  if r.pos + n > String.length r.data then bad "truncated string";
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let put_list buf put xs =
+  put_int buf (List.length xs);
+  List.iter (put buf) xs
+
+let put_array buf put xs =
+  put_int buf (Array.length xs);
+  Array.iter (put buf) xs
+
+let put_table buf put_v tbl =
+  (* Deterministic byte stream: hash tables are emitted in sorted key
+     order, so encode/decode/encode is a fixed point. *)
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  let entries = List.sort compare entries in
+  put_int buf (List.length entries);
+  List.iter
+    (fun (k, v) ->
+      put_string buf k;
+      put_v buf v)
+    entries
+
+let get_table r get_v ~what =
+  let n = get_count r ~what ~max:max_count in
+  let tbl = Hashtbl.create (max 16 n) in
+  for _ = 1 to n do
+    let k = get_string r in
+    if Hashtbl.mem tbl k then bad "%s: duplicate key %s" what k;
+    Hashtbl.replace tbl k (get_v r)
+  done;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Encode *)
+
+let put_cp_entry buf (e : Classfile.cp_entry) =
+  match e with
+  | Classfile.CP_int v -> put_int buf 0; put_int buf v
+  | Classfile.CP_field { cls; field } ->
+      put_int buf 1; put_string buf cls; put_string buf field
+  | Classfile.CP_static s -> put_int buf 2; put_string buf s
+  | Classfile.CP_method s -> put_int buf 3; put_string buf s
+  | Classfile.CP_virtual s -> put_int buf 4; put_string buf s
+  | Classfile.CP_class s -> put_int buf 5; put_string buf s
+  | Classfile.CP_switch { lo; targets } ->
+      put_int buf 6;
+      put_int buf lo;
+      put_array buf put_int targets
+
+let encode (image : Runtime.image) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  let program = image.Runtime.program in
+  put_string buf program.Program.name;
+  (* classes *)
+  put_array buf
+    (fun buf (k : Runtime.klass) ->
+      put_string buf k.Runtime.k_name;
+      put_int buf k.Runtime.k_super;
+      put_int buf k.Runtime.k_nfields;
+      put_table buf put_int k.Runtime.k_offsets;
+      put_array buf put_int k.Runtime.k_vtable)
+    image.Runtime.classes;
+  (* methods *)
+  put_array buf
+    (fun buf (m : Runtime.method_info) ->
+      put_int buf m.Runtime.mi_entry;
+      put_int buf m.Runtime.mi_nargs;
+      put_int buf m.Runtime.mi_nlocals)
+    image.Runtime.methods;
+  put_table buf put_int image.Runtime.static_method_ids;
+  put_table buf put_int image.Runtime.vindex_of_name;
+  put_table buf put_int image.Runtime.static_ids;
+  put_array buf put_cp_entry image.Runtime.cp;
+  (* code *)
+  put_array buf
+    (fun buf (s : Program.slot) ->
+      put_int buf s.Program.opcode;
+      put_array buf put_int s.Program.operands)
+    program.Program.code;
+  put_int buf program.Program.entry;
+  put_list buf put_int program.Program.entries;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Decode with structural validation *)
+
+let get_cp_entry r ~code_len : Classfile.cp_entry =
+  match get_int r with
+  | 0 -> Classfile.CP_int (get_int r)
+  | 1 ->
+      let cls = get_string r in
+      let field = get_string r in
+      Classfile.CP_field { cls; field }
+  | 2 -> Classfile.CP_static (get_string r)
+  | 3 -> Classfile.CP_method (get_string r)
+  | 4 -> Classfile.CP_virtual (get_string r)
+  | 5 -> Classfile.CP_class (get_string r)
+  | 6 ->
+      let lo = get_int r in
+      let n = get_count r ~what:"switch target" ~max:max_count in
+      if n = 0 then bad "tableswitch with no targets";
+      let targets =
+        Array.init n (fun _ ->
+            let t = get_int r in
+            if t < 0 || t >= code_len then
+              bad "switch target out of range: %d" t;
+            t)
+      in
+      Classfile.CP_switch { lo; targets }
+  | tag -> bad "unknown constant pool tag %d" tag
+
+let decode bytes =
+  let r = { data = bytes; pos = 0 } in
+  try
+    if String.length bytes < String.length magic
+       || String.sub bytes 0 (String.length magic) <> magic
+    then bad "bad magic";
+    r.pos <- String.length magic;
+    let name = get_string r in
+    (* classes (validated below, once the method count is known) *)
+    let nclasses = get_count r ~what:"class" ~max:max_count in
+    let classes =
+      Array.init nclasses (fun i ->
+          let k_name = get_string r in
+          let k_super = get_int r in
+          if k_super < -1 || k_super >= nclasses then
+            bad "class %s: bad super id %d" k_name k_super;
+          let k_nfields = get_int r in
+          if k_nfields < 0 || k_nfields > max_nfields then
+            bad "class %s: bad field count %d" k_name k_nfields;
+          let k_offsets = get_table r get_int ~what:"field offsets" in
+          Hashtbl.iter
+            (fun f off ->
+              if off < 0 || off >= k_nfields then
+                bad "class %s: field %s offset %d out of range" k_name f off)
+            k_offsets;
+          let nv = get_count r ~what:"vtable" ~max:max_count in
+          let k_vtable = Array.init nv (fun _ -> get_int r) in
+          { Runtime.k_id = i; k_name; k_super; k_nfields; k_offsets; k_vtable })
+    in
+    let class_ids = Hashtbl.create (max 16 nclasses) in
+    Array.iteri
+      (fun i (k : Runtime.klass) ->
+        if Hashtbl.mem class_ids k.Runtime.k_name then
+          bad "duplicate class %s" k.Runtime.k_name;
+        Hashtbl.replace class_ids k.Runtime.k_name i)
+      classes;
+    (* methods *)
+    let nmethods = get_count r ~what:"method" ~max:max_count in
+    let methods =
+      Array.init nmethods (fun i ->
+          let mi_entry = get_int r in
+          let mi_nargs = get_int r in
+          let mi_nlocals = get_int r in
+          if mi_nargs < 0 || mi_nargs > mi_nlocals || mi_nlocals > max_nlocals
+          then bad "method %d: bad frame geometry" i;
+          { Runtime.mi_entry; mi_nargs; mi_nlocals })
+    in
+    let check_method_id what name id =
+      if id < 0 || id >= nmethods then bad "%s %s: bad method id %d" what name id
+    in
+    let static_method_ids = get_table r get_int ~what:"static methods" in
+    Hashtbl.iter (check_method_id "static method") static_method_ids;
+    let vindex_of_name = get_table r get_int ~what:"vtable names" in
+    let n_vnames = Hashtbl.length vindex_of_name in
+    Hashtbl.iter
+      (fun name v ->
+        if v < 0 || v >= n_vnames then
+          bad "virtual method %s: bad vtable index %d" name v)
+      vindex_of_name;
+    Array.iter
+      (fun (k : Runtime.klass) ->
+        if Array.length k.Runtime.k_vtable <> n_vnames then
+          bad "class %s: vtable length %d, expected %d" k.Runtime.k_name
+            (Array.length k.Runtime.k_vtable)
+            n_vnames;
+        Array.iter
+          (fun mid ->
+            if mid < -1 || mid >= nmethods then
+              bad "class %s: bad vtable entry %d" k.Runtime.k_name mid)
+          k.Runtime.k_vtable)
+      classes;
+    let static_ids = get_table r get_int ~what:"statics" in
+    let nstatics = Hashtbl.length static_ids in
+    Hashtbl.iter
+      (fun name cell ->
+        if cell < 0 || cell >= nstatics then
+          bad "static %s: bad cell %d" name cell)
+      static_ids;
+    (* The pool precedes the code section, so switch targets cannot be
+       range-checked yet; they are re-validated against the code length
+       below. *)
+    let ncp = get_count r ~what:"constant pool" ~max:max_count in
+    let cp = Array.init ncp (fun _ -> get_cp_entry r ~code_len:max_int) in
+    (* code *)
+    let ncode = get_count r ~what:"code" ~max:max_count in
+    let code =
+      Array.init ncode (fun _ ->
+          let opcode = get_int r in
+          let nops = get_count r ~what:"operand" ~max:16 in
+          let operands = Array.init nops (fun _ -> get_int r) in
+          { Program.opcode; operands })
+    in
+    let entry = get_int r in
+    let nentries = get_count r ~what:"entry point" ~max:max_count in
+    let entries = List.init nentries (fun _ -> get_int r) in
+    if r.pos <> String.length bytes then bad "trailing bytes after image";
+    Array.iter
+      (function
+        | Classfile.CP_switch { targets; _ } ->
+            Array.iter
+              (fun t ->
+                if t < 0 || t >= ncode then
+                  bad "switch target out of range: %d" t)
+              targets
+        | _ -> ())
+      cp;
+    Array.iter
+      (fun (m : Runtime.method_info) ->
+        if m.Runtime.mi_entry < 0 || m.Runtime.mi_entry >= ncode then
+          bad "method entry out of range: %d" m.Runtime.mi_entry)
+      methods;
+    if not (Hashtbl.mem static_method_ids "main") then bad "no main method";
+    (* [Program.make] validates opcodes, operand counts and branch
+       targets; its [Invalid_argument] is this loader's rejection. *)
+    let program =
+      try Program.make ~name ~iset:Opcode.iset ~code ~entry ~entries ()
+      with Invalid_argument msg -> bad "bad code: %s" msg
+    in
+    {
+      Runtime.classes;
+      class_ids;
+      methods;
+      static_method_ids;
+      vindex_of_name;
+      static_ids;
+      cp;
+      program;
+    }
+  with
+  | Malformed _ as e -> raise e
+  | Invalid_argument msg -> bad "invalid image: %s" msg
+  | Failure msg -> bad "invalid image: %s" msg

@@ -1,0 +1,22 @@
+(** Binary serialization of linked mini-JVM images.
+
+    This is the repo's stand-in for classfile bytes: a compact, fully
+    self-contained encoding of a {!Runtime.image} (classes, vtables,
+    methods, constant pool, code).  [decode] treats its input as
+    untrusted — every count, index and cross-reference is validated, and
+    any violation raises {!Malformed} rather than letting an allocation
+    blow up or an [Invalid_argument] escape.  The fuzz suite feeds
+    mutated encodings through [decode] and runs whatever survives, so
+    the decoder plus the runtime's trap guards form the safety boundary
+    for hostile images. *)
+
+exception Malformed of string
+
+val encode : Runtime.image -> string
+(** Deterministic: equal images produce equal bytes (hash tables are
+    emitted in sorted key order). *)
+
+val decode : string -> Runtime.image
+(** Parse and validate an encoded image.
+    @raise Malformed on any structural violation; no other exception
+    escapes. *)

@@ -204,7 +204,17 @@ let grow_heap st =
     st.obj_fields <- fields
   end
 
+(* Allocation and index guards below exist for loaded (possibly hostile)
+   images: quickened opcodes carry raw class/method/cell indices in their
+   operands, so a mutated image can present any integer here.  Out-of-range
+   values must become clean traps, never [Invalid_argument] escaping the
+   interpreter. *)
+
+let max_array_len = 1 lsl 24
+
 let alloc_object st ~cls =
+  if cls < 0 || cls >= Array.length st.image.classes then
+    raise (Trap "bad class id");
   grow_heap st;
   let id = st.heap_count in
   st.obj_cls.(id) <- cls;
@@ -214,6 +224,7 @@ let alloc_object st ~cls =
 
 let alloc_array st ~len =
   if len < 0 then raise (Trap "negative array size");
+  if len > max_array_len then raise (Trap "array size out of range");
   grow_heap st;
   let id = st.heap_count in
   st.obj_cls.(id) <- -1;
@@ -252,12 +263,28 @@ let array_set st ~ref_ ~idx ~v =
   elems.(idx) <- v
 
 let array_length st ref_ = Array.length st.obj_fields.(deref st ref_)
-let get_static st i = st.statics.(i)
-let set_static st i v = st.statics.(i) <- v
-let local st i = st.locals.(i)
-let set_local st i v = st.locals.(i) <- v
+
+let get_static st i =
+  if i < 0 || i >= Array.length st.statics then raise (Trap "bad static cell");
+  st.statics.(i)
+
+let set_static st i v =
+  if i < 0 || i >= Array.length st.statics then raise (Trap "bad static cell");
+  st.statics.(i) <- v
+
+let local st i =
+  if i < 0 || i >= Array.length st.locals then raise (Trap "bad local index");
+  st.locals.(i)
+
+let set_local st i v =
+  if i < 0 || i >= Array.length st.locals then raise (Trap "bad local index");
+  st.locals.(i) <- v
+
+let max_frame_locals = 65536
 
 let push_frame st ~nargs ~nlocals ~ret =
+  if nargs < 0 || nlocals < 0 || nlocals > max_frame_locals then
+    raise (Trap "bad frame geometry");
   if st.fsp >= Array.length st.saved_ret then raise (Trap "frame stack overflow");
   st.saved_locals.(st.fsp) <- st.locals;
   st.saved_ret.(st.fsp) <- ret;

@@ -30,7 +30,15 @@ let cond2 opcode f =
       let a = R.pop st in
       if f a b then Control.Jump ops.(0) else next)
 
-let cp_entry st idx = (R.image st).R.cp.(idx)
+(* Operand values in loaded images are untrusted (mutated classfile bytes
+   can put any integer in a cp index, method id or vtable slot), so every
+   table lookup below bounds-checks and traps instead of letting an
+   [Invalid_argument] escape the interpreter. *)
+let cp_entry st idx =
+  let cp = (R.image st).R.cp in
+  if idx < 0 || idx >= Array.length cp then
+    raise (R.Trap "constant pool index out of range");
+  cp.(idx)
 
 let class_id st name =
   match Hashtbl.find_opt (R.image st).R.class_ids name with
@@ -53,15 +61,22 @@ let quicken ~opcode ~operands ~after =
 
 (* Perform a call to method [mid] and return the transfer. *)
 let call st mid ~ret =
-  let m = (R.image st).R.methods.(mid) in
+  let methods = (R.image st).R.methods in
+  if mid < 0 || mid >= Array.length methods then
+    raise (R.Trap "bad method id");
+  let m = methods.(mid) in
   R.push_frame st ~nargs:m.R.mi_nargs ~nlocals:m.R.mi_nlocals ~ret;
   Control.Jump m.R.mi_entry
 
 let resolve_virtual st vidx ~argc =
+  if argc < 0 then raise (R.Trap "bad argument count");
   let receiver = R.peek st argc in
   let cls = R.obj_class st receiver in
   if cls < 0 then raise (R.Trap "virtual call on array or bad object");
-  let mid = (R.image st).R.classes.(cls).R.k_vtable.(vidx) in
+  let vtable = (R.image st).R.classes.(cls).R.k_vtable in
+  if vidx < 0 || vidx >= Array.length vtable then
+    raise (R.Trap "bad vtable index");
+  let mid = vtable.(vidx) in
   if mid < 0 then raise (R.Trap "no such virtual method");
   mid
 
@@ -117,11 +132,15 @@ let () =
   def o.Opcode.tableswitch (fun st _ _ ops ->
       match cp_entry st ops.(0) with
       | Classfile.CP_switch { lo; targets } ->
-          let v = R.pop st in
-          let idx = v - lo in
-          if idx >= 0 && idx < Array.length targets - 1 then
-            Control.Jump targets.(idx + 1)
-          else Control.Jump targets.(0)
+          if Array.length targets = 0 then
+            Control.Trap "tableswitch: empty target table"
+          else begin
+            let v = R.pop st in
+            let idx = v - lo in
+            if idx >= 0 && idx < Array.length targets - 1 then
+              Control.Jump targets.(idx + 1)
+            else Control.Jump targets.(0)
+          end
       | _ -> Control.Trap "tableswitch: bad constant pool entry");
   cond1 o.Opcode.ifeq (fun v -> v = 0);
   cond1 o.Opcode.ifne (fun v -> v <> 0);

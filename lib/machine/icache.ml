@@ -32,6 +32,24 @@ type t = {
 }
 
 let create cfg =
+  (* Same rules as [make_config], re-checked here because configurations
+     also arrive as literal records (CPU profiles, CLI flags).  Without
+     this, a bad geometry surfaces later as [Division_by_zero] in the
+     per-fetch set lookup and aborts a whole worker pool instead of
+     failing one cell. *)
+  if cfg.size_bytes < 0 then
+    invalid_arg "Icache.create: size must be non-negative";
+  if cfg.line_bytes <= 0 || cfg.line_bytes land (cfg.line_bytes - 1) <> 0 then
+    invalid_arg "Icache.create: line_bytes must be a power of two";
+  if cfg.associativity <= 0 then
+    invalid_arg "Icache.create: associativity must be positive";
+  if cfg.size_bytes <> 0 then begin
+    let lines = cfg.size_bytes / cfg.line_bytes in
+    if lines * cfg.line_bytes <> cfg.size_bytes then
+      invalid_arg "Icache.create: size must be a multiple of line size";
+    if lines mod cfg.associativity <> 0 then
+      invalid_arg "Icache.create: lines must divide by associativity"
+  end;
   let nsets =
     if cfg.size_bytes = 0 then 0
     else cfg.size_bytes / cfg.line_bytes / cfg.associativity

@@ -20,6 +20,9 @@ val make_config :
 
 type t
 
+(** Validates the geometry like {!make_config} (raising
+    [Invalid_argument]), so configurations built as literal records are
+    checked too. *)
 val create : config -> t
 val config : t -> config
 

@@ -1,0 +1,36 @@
+(** Naive, obviously-correct reference models of the predictors and of
+    the I-cache, used as differential-testing oracles.
+
+    These implementations share no code with {!Btb}, {!Two_level},
+    {!Case_block_table}, {!Icache} or {!Predictor}: sets are association
+    lists, tables are persistent maps, and every update rebuilds its
+    structure.  They are meant to be slow and transparent.  The
+    self-check harness (Audit, in the report library) drives a fast
+    simulator and a reference model over the same event stream and flags
+    the first event where their answers differ. *)
+
+(** {1 Predictors} *)
+
+type predictor
+
+(** Build a reference model of the given predictor kind.  Validates the
+    configuration with the same rules as the fast constructors and
+    raises [Invalid_argument] on a malformed one. *)
+val create_predictor : Predictor.kind -> predictor
+
+(** Same contract as {!Predictor.access}: record the outcome of one
+    indirect branch and return whether the model predicted it. *)
+val access : predictor -> branch:int -> target:int -> opcode:int -> bool
+
+(** {1 I-cache} *)
+
+type icache
+
+(** Build a reference model of the I-cache.  [size_bytes = 0] is the
+    infinite cache, as for {!Icache.create}. *)
+val create_icache : Icache.config -> icache
+
+(** Same contract as {!Icache.fetch}: count one hit or miss per cache
+    line the fetched span touches. *)
+val fetch :
+  icache -> addr:int -> bytes:int -> hits:int ref -> misses:int ref -> unit

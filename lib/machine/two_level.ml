@@ -11,6 +11,11 @@ type t = {
 let create cfg =
   if cfg.entries <= 0 || cfg.entries land (cfg.entries - 1) <> 0 then
     invalid_arg "Two_level.create: entries must be a positive power of two";
+  (* Each history entry contributes 4 bits to the register; above 15 the
+     mask shift would exceed the OCaml word and the register silently
+     degenerates, so reject it up front like the other geometry checks. *)
+  if cfg.history <= 0 || cfg.history > 15 then
+    invalid_arg "Two_level.create: history must be in 1..15";
   { cfg; table = Array.make cfg.entries (-1); ghr = 0 }
 
 (* Fold the branch address and path history into a table index.  The

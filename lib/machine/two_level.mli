@@ -18,6 +18,10 @@ val default : config
 type t
 
 val create : config -> t
+(** Raises [Invalid_argument] unless [entries] is a positive power of
+    two and [history] is in 1..15 (each entry occupies 4 bits of the
+    history register, which must fit a word). *)
+
 val access : t -> branch:int -> target:int -> bool
 (** Predict-and-update; returns [true] on a correct prediction. *)
 

@@ -28,9 +28,17 @@ type timed = {
   attempts : int;
   timed_out : bool;
   from_journal : bool;
+  audited : bool;
 }
 
 let default_jobs = ref 1
+
+(* Differential checking, set from the command line: [self_check] routes
+   every cell through the reference-model lockstep run ([--self-check]);
+   [audit_sample] is the deterministic fraction of trace-replay cells
+   cross-checked against a fresh direct execution ([--audit-sample]). *)
+let self_check = ref false
+let audit_sample = ref 0.02
 
 (* Total budget for retained dispatch traces, in MB; [<= 0] disables
    record/replay entirely (every cell simulates directly). *)
@@ -447,6 +455,7 @@ let timed_of_entry c (e : Journal.entry) =
     attempts = e.Journal.attempts;
     timed_out = e.Journal.timed_out;
     from_journal = true;
+    audited = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -509,10 +518,15 @@ let supervised body =
 let run_cell c =
   let t0 = Unix.gettimeofday () in
   let outcome, attempts, timed_out =
-    supervised (fun ?poll () ->
-        Ok
-          (Runner.run ~scale:c.scale ?poll ?predictor:c.predictor ~cpu:c.cpu
-             ~technique:c.technique c.workload))
+    if !self_check then
+      supervised (fun ?poll () ->
+          Runner.run_checked ~scale:c.scale ?poll ?predictor:c.predictor
+            ~cell:(cell_key c) ~cpu:c.cpu ~technique:c.technique c.workload)
+    else
+      supervised (fun ?poll () ->
+          Ok
+            (Runner.run ~scale:c.scale ?poll ?predictor:c.predictor ~cpu:c.cpu
+               ~technique:c.technique c.workload))
   in
   {
     cell = c;
@@ -522,6 +536,7 @@ let run_cell c =
     attempts;
     timed_out;
     from_journal = false;
+    audited = !self_check;
   }
 
 let replay_cell mode tr c =
@@ -538,6 +553,7 @@ let replay_cell mode tr c =
     attempts;
     timed_out;
     from_journal = false;
+    audited = false;
   }
 
 (* Replay every cell purely from an evicted entry's memo tables.  All or
@@ -565,11 +581,108 @@ let memo_cells entry arr idxs =
                    attempts = 1;
                    timed_out = false;
                    from_journal = false;
+                   audited = false;
                  } )
               :: acc)
               rest)
   in
   go [] idxs
+
+(* ------------------------------------------------------------------ *)
+(* Sampled auditing of the fast paths.
+
+   Cells served without a fresh VM execution -- trace replays and
+   memo-served summaries (both [mode = Replay]) -- are the ones a silent
+   fast-path bug would corrupt, so a deterministic sample of them is
+   re-run directly through [Runner.run_result] and compared field for
+   field.  The sample is keyed on the cell key alone: the same cells are
+   audited on every run of the same grid, with any job count. *)
+
+let same_run (a : Runner.run) (b : Runner.run) =
+  a.Runner.result.Engine.metrics = b.Runner.result.Engine.metrics
+  && a.Runner.result.Engine.cycles = b.Runner.result.Engine.cycles
+  && a.Runner.result.Engine.seconds = b.Runner.result.Engine.seconds
+  && a.Runner.result.Engine.steps = b.Runner.result.Engine.steps
+  && a.Runner.result.Engine.trapped = b.Runner.result.Engine.trapped
+  && a.Runner.output = b.Runner.output
+
+let counters_of_run (r : Runner.run) =
+  let m = r.Runner.result.Engine.metrics in
+  {
+    Audit.predictions = m.Metrics.indirect_branches;
+    pred_hits = m.Metrics.indirect_branches - m.Metrics.mispredicts;
+    mispredicts = m.Metrics.mispredicts;
+    vm_branch_mispredicts = m.Metrics.vm_branch_mispredicts;
+    icache_fetches = m.Metrics.icache_fetches;
+    icache_hits = m.Metrics.icache_fetches - m.Metrics.icache_misses;
+    icache_misses = m.Metrics.icache_misses;
+  }
+
+let outcome_counters = function
+  | Ok r -> counters_of_run r
+  | Error _ -> Audit.zero_counters
+
+let outcome_summary = function
+  | Ok (r : Runner.run) ->
+      let m = r.Runner.result.Engine.metrics in
+      Printf.sprintf "ok (cycles %g, mispredicts %d, icache misses %d)"
+        r.Runner.result.Engine.cycles m.Metrics.mispredicts
+        m.Metrics.icache_misses
+  | Error msg -> Printf.sprintf "error (%s)" msg
+
+let audit_crosscheck c (t : timed) =
+  if
+    t.from_journal || t.mode <> Replay || !self_check
+    || not (Audit.sampled ~key:(cell_key c) ~rate:!audit_sample)
+  then t
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let direct =
+      Runner.run_result ~scale:c.scale ?predictor:c.predictor ~cpu:c.cpu
+        ~technique:c.technique c.workload
+    in
+    let agree =
+      match (t.outcome, direct) with
+      | Ok a, Ok b -> same_run a b
+      | Error a, Error b -> a = b
+      | _ -> false
+    in
+    let wall_seconds = t.wall_seconds +. (Unix.gettimeofday () -. t0) in
+    if agree then begin
+      Audit.note_audited ();
+      { t with audited = true; wall_seconds }
+    end
+    else begin
+      let config = Config.make ~cpu:c.cpu ?predictor:c.predictor c.technique in
+      let detail =
+        Printf.sprintf
+          "replayed cell disagrees with a fresh direct run: replay %s, direct \
+           %s"
+          (outcome_summary t.outcome)
+          (outcome_summary direct)
+      in
+      let d =
+        Audit.record_divergence
+          {
+            Audit.d_cell = cell_key c;
+            d_predictor = Config.predictor_kind config;
+            d_icache = c.cpu.Cpu_model.icache;
+            d_index = -1;
+            d_event = None;
+            d_fast = outcome_counters t.outcome;
+            d_reference = outcome_counters direct;
+            d_detail = detail;
+            d_artifact = None;
+          }
+      in
+      {
+        t with
+        audited = true;
+        wall_seconds;
+        outcome = Error ("audit divergence: " ^ d.Audit.d_detail);
+      }
+    end
+  end
 
 (* One (workload, technique, scale) group: find or record its trace, then
    replay every cell against its own CPU/predictor.  Any recording problem
@@ -581,6 +694,7 @@ let memo_cells entry arr idxs =
    which makes the group idempotent under fallback. *)
 let run_group results arr idxs =
   let finish i t =
+    let t = audit_crosscheck arr.(i) t in
     results.(i) <- Some t;
     journal_append arr.(i) t
   in
@@ -645,7 +759,10 @@ let run_group results arr idxs =
         cache_release entry
   in
   let traced () =
-    if !trace_cap_mb <= 0 then direct ()
+    (* Self-check compares simulators event by event, which only a fresh
+       engine execution per cell provides: the trace fast path is
+       exactly what is under audit, so it is bypassed. *)
+    if !self_check || !trace_cap_mb <= 0 then direct ()
     else
       let c0 = arr.(List.hd idxs) in
       match cache_find c0 with
@@ -698,6 +815,7 @@ let interrupted_cell c =
     attempts = 0;
     timed_out = false;
     from_journal = false;
+    audited = false;
   }
 
 (* A group abandoned after the respawn budget ran out. *)
@@ -710,6 +828,7 @@ let abandoned_cell c =
     attempts = 0;
     timed_out = false;
     from_journal = false;
+    audited = false;
   }
 
 (* How many rounds of worker respawning the pool tolerates before it gives
@@ -922,6 +1041,7 @@ let json_of_timed t =
   add ",\"attempts\":%d" t.attempts;
   add ",\"timed_out\":%b" t.timed_out;
   add ",\"from_journal\":%b" t.from_journal;
+  if t.audited then add ",\"audited\":true";
   add ",\"wall_seconds\":%s" (json_float t.wall_seconds);
   add "}";
   Buffer.contents b
@@ -946,7 +1066,7 @@ let json_summary ?jobs results =
   in
   let countp p = List.length (List.filter p results) in
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"schema\":\"vmbp-cells/2\"";
+  Buffer.add_string b "{\"schema\":\"vmbp-cells/3\"";
   Buffer.add_string b (Printf.sprintf ",\"jobs\":%d" jobs);
   Buffer.add_string b
     (Printf.sprintf ",\"cells\":%d" (List.length results));
@@ -968,6 +1088,18 @@ let json_summary ?jobs results =
     (Printf.sprintf ",\"injected_faults\":%d" (Faults.total_injected ()));
   Buffer.add_string b
     (Printf.sprintf ",\"worker_respawns\":%d" (worker_respawns ()));
+  (* Differential-checking counters (vmbp-cells/3): [audited] counts
+     cells cross-checked against an oracle in this result set;
+     [divergences] counts oracle disagreements recorded since the audit
+     statistics were last reset (any divergence also fails its cell). *)
+  Buffer.add_string b
+    (Printf.sprintf ",\"self_check\":%b" !self_check);
+  Buffer.add_string b
+    (Printf.sprintf ",\"audit_sample\":%s" (json_float !audit_sample));
+  Buffer.add_string b
+    (Printf.sprintf ",\"audited\":%d" (countp (fun t -> t.audited)));
+  Buffer.add_string b
+    (Printf.sprintf ",\"divergences\":%d" (Audit.divergence_count ()));
   (match journal_stats () with
   | None -> ()
   | Some s ->

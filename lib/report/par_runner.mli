@@ -64,11 +64,44 @@ type timed = {
   timed_out : bool;  (** the final attempt hit the [--cell-timeout] deadline *)
   from_journal : bool;
       (** served from the resume journal; no simulator ran for this cell *)
+  audited : bool;
+      (** the cell was cross-checked against an oracle: reference-model
+          lockstep under [--self-check], or a sampled fresh direct run
+          for replayed cells ([--audit-sample]) *)
 }
 
 val default_jobs : int ref
 (** Pool size used when [?jobs] is omitted; set once from the [--jobs N]
     command-line flag.  Defaults to 1 (sequential). *)
+
+(** {2 Differential self-check and sampled auditing}
+
+    With [self_check] set ([--self-check]), every cell runs directly
+    (the trace fast path is bypassed) through {!Runner.run_checked}: the
+    production predictor/I-cache and the naive reference models
+    ({!Vmbp_machine.Reference}) observe the same event stream, and the
+    first disagreement fails the cell with a structured divergence
+    record plus a minimized repro artifact (see {!Audit}).
+
+    Independently, [audit_sample] cross-checks a deterministic fraction
+    of the cells served by the record/replay and memo fast paths against
+    a fresh direct {!Runner.run_result}; any field-level difference is
+    recorded as a divergence and fails the cell.  Sampling is keyed on
+    the cell key, so the audited subset is stable across runs, machines
+    and job counts.
+
+    Drivers should {!Audit.reset_stats} before a run and inspect
+    {!Audit.divergence_count} after it (non-zero should map to a
+    non-zero exit code). *)
+
+val self_check : bool ref
+(** Route every cell through the reference-model lockstep run.
+    Default [false]; set from [--self-check]. *)
+
+val audit_sample : float ref
+(** Fraction (in [0, 1]) of replay/memo-served cells to cross-check
+    against a fresh direct run.  Default [0.02]; set from
+    [--audit-sample P]. *)
 
 val cell_timeout : float ref
 (** Per-cell-attempt watchdog deadline in seconds, enforced cooperatively
@@ -183,13 +216,16 @@ val drain_log : unit -> timed list
     order (each batch in its input order); clears the log. *)
 
 val json_summary : ?jobs:int -> timed list -> string
-(** A machine-readable summary: schema [vmbp-cells/2], one record per cell
+(** A machine-readable summary: schema [vmbp-cells/3], one record per cell
     with simulated cycles, mispredict rate, I-cache misses, production
-    mode, [attempts]/[timed_out]/[from_journal] and wall-clock seconds (or
-    the error for failed cells), plus top-level [engine_runs]/[replays]/
+    mode, [attempts]/[timed_out]/[from_journal] (plus [audited] when the
+    cell was cross-checked) and wall-clock seconds (or the error for
+    failed cells), plus top-level [engine_runs]/[replays]/
     [from_journal]/[retries]/[timeouts]/[interrupted]/[injected_faults]/
-    [worker_respawns] counters, journal statistics when a journal is
-    installed, and the direct/record/replay wall-clock split. *)
+    [worker_respawns] counters, the differential-checking block
+    ([self_check]/[audit_sample]/[audited]/[divergences]), journal
+    statistics when a journal is installed, and the
+    direct/record/replay wall-clock split. *)
 
 val write_json_summary : ?jobs:int -> file:string -> timed list -> unit
 (** Write {!json_summary} to [file]. *)

@@ -59,6 +59,70 @@ let run_result ?scale ?poll ?predictor ?profile ~cpu ~technique workload =
   | exception exn -> Error (Printexc.to_string exn)
 
 (* ------------------------------------------------------------------ *)
+(* Self-check: the same run policy, but through [Audit.dual_run], which
+   drives the production simulators and the naive reference models over
+   the same event stream and stops at the first disagreement. *)
+
+let run_checked ?(scale = 1) ?poll ?predictor ?profile ?fast_maker ~cell ~cpu
+    ~technique (workload : Vmbp_workloads.t) =
+  let build () =
+    let loaded = workload.Vmbp_workloads.load ~scale in
+    let profile = effective_profile ?profile ~scale ~technique workload in
+    let config = Config.make ~cpu ?predictor technique in
+    let layout =
+      Config.build_layout ?profile config
+        ~program:loaded.Vmbp_workloads.program
+    in
+    let session = loaded.Vmbp_workloads.fresh_session () in
+    (config, layout, session)
+  in
+  match
+    let config, layout, session = build () in
+    let fast = Option.map (fun f -> f ()) fast_maker in
+    let checked =
+      Audit.dual_run ~fuel:engine_fuel ?poll ?fast ~cell ~config ~layout
+        ~exec:session.Vmbp_workloads.exec ()
+    in
+    (checked, session)
+  with
+  | Ok result, session -> (
+      (* Every event agreed, so the cell counts as audited even when the
+         workload itself trapped. *)
+      Audit.note_audited ();
+      match result.Engine.trapped with
+      | Some msg -> Error (trap_message workload technique msg)
+      | None ->
+          Ok
+            {
+              workload;
+              technique;
+              cpu;
+              result;
+              output = session.Vmbp_workloads.output ();
+            })
+  | Error d, _ ->
+      (* Localize: replay the deterministic run, recording only the
+         prefix up to the divergent event, then shrink and dump a repro
+         artifact.  Divergences too deep to record replayably still fail
+         the cell, just without a file. *)
+      let events =
+        if d.Audit.d_index < Audit.max_artifact_events then begin
+          let _, layout, session = build () in
+          Some
+            (Audit.record_events ~fuel:engine_fuel
+               ~limit:(d.Audit.d_index + 1) ~layout
+               ~exec:session.Vmbp_workloads.exec ())
+        end
+        else None
+      in
+      let d = Audit.record_divergence ?fast_maker ?events d in
+      Error
+        (Printf.sprintf "self-check divergence at event %d: %s"
+           d.Audit.d_index d.Audit.d_detail)
+  | exception Run_failed msg -> Error msg
+  | exception exn -> Error (Printexc.to_string exn)
+
+(* ------------------------------------------------------------------ *)
 (* Record/replay: one full engine execution per (workload, technique,
    scale), replayed for any number of CPU or predictor configurations. *)
 

@@ -41,6 +41,26 @@ val run_result :
 (** [run], with a trapped or otherwise failed run reported as [Error]
     instead of an exception. *)
 
+val run_checked :
+  ?scale:int ->
+  ?poll:(unit -> unit) ->
+  ?predictor:Vmbp_machine.Predictor.kind ->
+  ?profile:Vmbp_vm.Profile.t ->
+  ?fast_maker:(unit -> Audit.sim) ->
+  cell:string ->
+  cpu:Vmbp_machine.Cpu_model.t ->
+  technique:Vmbp_core.Technique.t ->
+  Vmbp_workloads.t ->
+  (run, string) result
+(** [run_result] under differential self-check: the cell executes once
+    through {!Audit.dual_run}, comparing the production simulators with
+    the reference models on every dispatch and fetch.  Agreement yields
+    the exact [run_result] answer.  A divergence fails the cell, records
+    a minimized repro artifact (via {!Audit.record_divergence}) and
+    registers in the global audit statistics.  [cell] names the cell in
+    divergence records; [fast_maker] substitutes the fast simulator
+    (mutation tests). *)
+
 val matrix :
   ?scale:int ->
   cpu:Vmbp_machine.Cpu_model.t ->

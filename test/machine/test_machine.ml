@@ -375,6 +375,114 @@ let test_misprediction_rate () =
   m.Metrics.mispredicts <- 4;
   Alcotest.(check (float 1e-9)) "4/10" 0.4 (Metrics.misprediction_rate m)
 
+(* -------------------------------------------------------------------- *)
+(* Geometry validation (satellite: Icache/Two_level reject malformed
+   configurations with Invalid_argument, like Btb.create) *)
+
+let test_icache_rejects_bad_config () =
+  let rejects name cfg =
+    match Icache.create cfg with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": Icache.create must reject this config")
+  in
+  rejects "negative size"
+    { Icache.size_bytes = -64; line_bytes = 16; associativity = 1 };
+  rejects "non-power-of-two line"
+    { Icache.size_bytes = 256; line_bytes = 24; associativity = 1 };
+  rejects "zero line" { Icache.size_bytes = 256; line_bytes = 0; associativity = 1 };
+  rejects "zero associativity"
+    { Icache.size_bytes = 256; line_bytes = 16; associativity = 0 };
+  rejects "size not a multiple of line"
+    { Icache.size_bytes = 100; line_bytes = 16; associativity = 1 };
+  rejects "lines not divisible by ways"
+    { Icache.size_bytes = 256; line_bytes = 16; associativity = 5 };
+  (* The infinite cache and a sound finite geometry still construct. *)
+  ignore (Icache.create Icache.infinite);
+  ignore
+    (Icache.create { Icache.size_bytes = 256; line_bytes = 16; associativity = 2 })
+
+let test_two_level_rejects_bad_config () =
+  let rejects name cfg =
+    match Two_level.create cfg with
+    | exception Invalid_argument _ -> ()
+    | _ ->
+        Alcotest.fail (name ^ ": Two_level.create must reject this config")
+  in
+  rejects "zero history" { Two_level.entries = 64; history = 0 };
+  rejects "history too deep" { Two_level.entries = 64; history = 16 };
+  rejects "non-power-of-two entries" { Two_level.entries = 48; history = 4 };
+  rejects "zero entries" { Two_level.entries = 0; history = 4 };
+  ignore (Two_level.create Two_level.default)
+
+(* -------------------------------------------------------------------- *)
+(* Reference-model equivalence: the naive oracles must agree with the
+   fast simulators on arbitrary event streams, since the whole value of
+   the self-check harness rests on the oracle being independent *and*
+   semantically identical. *)
+
+let predictor_kinds =
+  [
+    ("btb-ideal", Predictor.Btb Btb.ideal);
+    ("btb-classic-16x4", Predictor.Btb (Btb.classic ~entries:16 ~associativity:4));
+    ( "btb-counters-16x4",
+      Predictor.Btb (Btb.with_counters ~entries:16 ~associativity:4) );
+    ( "btb-counters-8x2",
+      Predictor.Btb (Btb.with_counters ~entries:8 ~associativity:2) );
+    ("btb-direct-4x1", Predictor.Btb (Btb.classic ~entries:4 ~associativity:1));
+    ("two-level-64x3", Predictor.Two_level { Two_level.entries = 64; history = 3 });
+    ("case-block-32", Predictor.Case_block 32);
+    ("perfect", Predictor.Perfect);
+    ("never", Predictor.Never);
+  ]
+
+(* Branch addresses collide across a handful of sets, targets flip among
+   a few values: the regime where victim selection and counter hysteresis
+   actually matter. *)
+let dispatch_stream_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 400)
+      (triple (map (fun n -> n * 4) (int_bound 63)) (int_bound 7) (int_bound 63)))
+
+let prop_predictor_matches_reference (name, kind) =
+  QCheck.Test.make ~count:150
+    ~name:(Printf.sprintf "%s agrees with reference" name)
+    (QCheck.make ~print:QCheck.Print.(list (triple int int int)) dispatch_stream_gen)
+    (fun events ->
+      let fast = Predictor.create kind in
+      let oracle = Reference.create_predictor kind in
+      List.for_all
+        (fun (branch, target, opcode) ->
+          Predictor.access fast ~branch ~target ~opcode
+          = Reference.access oracle ~branch ~target ~opcode)
+        events)
+
+let fetch_stream_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 400) (pair (int_bound 1023) (int_range 1 48)))
+
+let prop_icache_matches_reference (name, cfg) =
+  QCheck.Test.make ~count:150
+    ~name:(Printf.sprintf "icache %s agrees with reference" name)
+    (QCheck.make ~print:QCheck.Print.(list (pair int int)) fetch_stream_gen)
+    (fun fetches ->
+      let fast = Icache.create cfg in
+      let oracle = Reference.create_icache cfg in
+      List.for_all
+        (fun (addr, bytes) ->
+          let fh = ref 0 and fm = ref 0 and rh = ref 0 and rm = ref 0 in
+          Icache.fetch fast ~addr ~bytes ~hits:fh ~misses:fm;
+          Reference.fetch oracle ~addr ~bytes ~hits:rh ~misses:rm;
+          !fh = !rh && !fm = !rm)
+        fetches)
+
+let icache_geometries =
+  [
+    ("256B/16B/2way", { Icache.size_bytes = 256; line_bytes = 16; associativity = 2 });
+    ("128B/16B/1way", { Icache.size_bytes = 128; line_bytes = 16; associativity = 1 });
+    ("512B/32B/4way", { Icache.size_bytes = 512; line_bytes = 32; associativity = 4 });
+    ("infinite", Icache.infinite);
+  ]
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "machine"
@@ -417,6 +525,17 @@ let () =
           Alcotest.test_case "fetch memo keeps LRU fresh" `Quick
             test_icache_memo_lru_refresh;
         ] );
+      ( "geometry",
+        [
+          Alcotest.test_case "icache rejects bad config" `Quick
+            test_icache_rejects_bad_config;
+          Alcotest.test_case "two-level rejects bad config" `Quick
+            test_two_level_rejects_bad_config;
+        ] );
+      ( "reference-equivalence",
+        List.map qt
+          (List.map prop_predictor_matches_reference predictor_kinds
+          @ List.map prop_icache_matches_reference icache_geometries) );
       ( "cost-model",
         [
           Alcotest.test_case "cycle formula" `Quick test_cycles_model;

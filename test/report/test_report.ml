@@ -326,7 +326,7 @@ let test_par_runner_json_summary () =
     done;
     !found
   in
-  check_bool "schema marker" true (contains "\"schema\":\"vmbp-cells/2\"");
+  check_bool "schema marker" true (contains "\"schema\":\"vmbp-cells/3\"");
   check_bool "ok cell serialised" true (contains "\"ok\":true");
   check_bool "failed cell serialised" true (contains "\"ok\":false");
   check_bool "wall time present" true (contains "\"wall_seconds\":");
@@ -880,6 +880,267 @@ let test_shutdown_skips_pending () =
   check_bool "summary counts interrupted cells" true
     (contains "\"interrupted\":12")
 
+(* ------------------------------------------------------------------ *)
+(* Differential self-check: lockstep oracle runs, mutation testing,
+   sampled audits, and the key/fingerprint identities the resume journal
+   and the audit sampler rely on. *)
+
+module Audit = Vmbp_report.Audit
+
+let audited_test f () =
+  reset_supervision ();
+  Audit.reset_stats ();
+  let saved_dir = !Audit.repro_dir in
+  Audit.repro_dir := Filename.get_temp_dir_name ();
+  Fun.protect f
+    ~finally:(fun () ->
+      reset_supervision ();
+      PR.retry_backoff_s := 0.02;
+      PR.self_check := false;
+      PR.audit_sample := 0.02;
+      List.iter
+        (fun (d : Audit.divergence) ->
+          match d.Audit.d_artifact with
+          | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+          | None -> ())
+        (Audit.divergences ());
+      Audit.reset_stats ();
+      Audit.repro_dir := saved_dir)
+
+let test_self_check_grid () =
+  (* Every toy cell runs in lockstep with the reference models: zero
+     divergences, every cell audited, and the numbers identical to an
+     unchecked run. *)
+  let plain = signature (PR.run_cells ~jobs:1 (toy_cells ())) in
+  PR.self_check := true;
+  let results = PR.run_cells ~jobs:1 (toy_cells ()) in
+  Alcotest.(check (list (pair string string)))
+    "self-check preserves every number" plain (signature results);
+  List.iter
+    (fun (t : PR.timed) -> check_bool "cell audited" true t.PR.audited)
+    results;
+  check_int "no divergences" 0 (Audit.divergence_count ());
+  check_int "all cells audited" 12 (Audit.audited_count ());
+  ignore (PR.drain_log ())
+
+(* A deliberately broken fast simulator: every 100th prediction is
+   flipped.  Fresh instances restart the fault counter, so the bug is
+   deterministic under re-recording and shrinking. *)
+let buggy_maker ~predictor ~icache () =
+  let s = Audit.fast_sim ~predictor ~icache in
+  let n = ref 0 in
+  {
+    s with
+    Audit.sim_predict =
+      (fun ~branch ~target ~opcode ->
+        incr n;
+        let p = s.Audit.sim_predict ~branch ~target ~opcode in
+        if !n mod 100 = 0 then not p else p);
+  }
+
+let test_self_check_catches_mutation () =
+  let cpu = Cpu_model.pentium4_northwood in
+  let technique = Technique.plain in
+  let w = toy_workload "mutation" in
+  let config = Vmbp_core.Config.make ~cpu technique in
+  let predictor = Vmbp_core.Config.predictor_kind config in
+  let icache = cpu.Cpu_model.icache in
+  let fast_maker () = buggy_maker ~predictor ~icache () in
+  (match
+     Vmbp_report.Runner.run_checked ~fast_maker ~cell:"mutation-test" ~cpu
+       ~technique w
+   with
+  | Ok _ -> Alcotest.fail "the seeded simulator bug must be caught"
+  | Error msg ->
+      let prefix = "self-check divergence" in
+      check_bool "error names the divergence" true
+        (String.length msg >= String.length prefix
+        && String.sub msg 0 (String.length prefix) = prefix));
+  match Audit.divergences () with
+  | [ d ] -> (
+      check_bool "divergent event captured" true (d.Audit.d_event <> None);
+      match d.Audit.d_artifact with
+      | None -> Alcotest.fail "a repro artifact must be written"
+      | Some path -> (
+          match Audit.load_repro path with
+          | Error msg -> Alcotest.fail ("artifact must load back: " ^ msg)
+          | Ok r -> (
+              check_int "artifact is the minimal prefix" (r.Audit.r_index + 1)
+                (Array.length r.Audit.r_events);
+              (* Replaying against the broken sim reproduces the recorded
+                 divergence at the same event... *)
+              (match
+                 Audit.replay_repro ~fast:(fast_maker ()) r
+               with
+              | Some (idx, _, _, _) ->
+                  check_int "same divergent event on replay" r.Audit.r_index idx
+              | None -> Alcotest.fail "buggy sim must still diverge on replay");
+              (* ...and the stock simulators agree on the same stream (the
+                 bug lives in the mutant, not in the production code). *)
+              match Audit.replay_repro r with
+              | None -> ()
+              | Some (idx, detail, _, _) ->
+                  Alcotest.fail
+                    (Printf.sprintf
+                       "stock simulators diverged at %d (%s) on a \
+                        mutant-only repro"
+                       idx detail))))
+  | ds -> check_int "exactly one divergence recorded" 1 (List.length ds)
+
+let test_audit_sample_crosschecks_replays () =
+  (* Two CPUs per (workload, technique) group: one Record cell, one
+     Replay cell.  With --audit-sample 1.0 every replayed cell is
+     re-simulated directly and compared. *)
+  PR.audit_sample := 1.0;
+  let cells =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun cpu ->
+            PR.cell ~tag:"audit" ~cpu ~technique:Technique.plain w)
+          [ Cpu_model.ideal; Cpu_model.pentium4_northwood ])
+      [ toy_workload "audit-a"; toy_workload "audit-b" ]
+  in
+  let results = PR.run_cells ~jobs:1 cells in
+  let replayed =
+    List.filter (fun (t : PR.timed) -> t.PR.mode = PR.Replay) results
+  in
+  check_bool "grid produced replay cells" true (List.length replayed > 0);
+  List.iter
+    (fun (t : PR.timed) ->
+      check_bool "replayed cell survives its audit" true
+        (Result.is_ok t.PR.outcome);
+      check_bool "replayed cell audited" true t.PR.audited)
+    replayed;
+  check_int "no divergences" 0 (Audit.divergence_count ());
+  check_int "every replay audited" (List.length replayed)
+    (Audit.audited_count ());
+  (* Rate 0 audits nothing. *)
+  Audit.reset_stats ();
+  PR.clear_trace_cache ();
+  PR.audit_sample := 0.0;
+  let results = PR.run_cells ~jobs:1 cells in
+  List.iter
+    (fun (t : PR.timed) -> check_bool "not audited" false t.PR.audited)
+    results;
+  check_int "nothing audited at rate 0" 0 (Audit.audited_count ());
+  ignore (PR.drain_log ())
+
+let test_sampling_deterministic () =
+  let keys = List.init 1000 (Printf.sprintf "cell-%d") in
+  let decide rate = List.map (fun key -> Audit.sampled ~key ~rate) keys in
+  Alcotest.(check (list bool))
+    "same keys, same decisions" (decide 0.3) (decide 0.3);
+  check_bool "rate 0 selects nothing" true
+    (List.for_all not (decide 0.));
+  check_bool "rate 1 selects everything" true (List.for_all Fun.id (decide 1.));
+  let hits = List.length (List.filter Fun.id (decide 0.3)) in
+  check_bool
+    (Printf.sprintf "rate 0.3 selects a plausible fraction (%d/1000)" hits)
+    true
+    (hits > 200 && hits < 400)
+
+(* Satellite: distinct technique parameters must never collide on the
+   (descriptor, fingerprint) pair the journal uses for identity. *)
+let test_descriptor_fingerprint_injective () =
+  let techniques =
+    Technique.
+      [
+        switch;
+        plain;
+        static_repl ~n:100 ();
+        static_repl ~n:200 ();
+        static_super ~n:100 ();
+        static_super ~n:200 ();
+        static_both ~supers:10 ~replicas:20 ();
+        static_both ~supers:20 ~replicas:10 ();
+        Static (static_params ~replicas:100 ~parse:Optimal ());
+        Static (static_params ~replicas:100 ~strategy:(Random 7) ());
+        Static (static_params ~replicas:100 ~strategy:(Random 8) ());
+        Static (static_params ~replicas:100 ~prefer_short:true ());
+        dynamic_repl;
+        dynamic_super;
+        dynamic_both;
+        across_bb;
+        with_static_super ~n:100 ();
+        with_static_super ~n:200 ();
+        with_static_across_bb ~n:100 ();
+        subroutine;
+      ]
+  in
+  let descriptors = List.map Technique.descriptor techniques in
+  let sorted = List.sort_uniq compare descriptors in
+  check_int "descriptors pairwise distinct" (List.length techniques)
+    (List.length sorted);
+  (* The full journal identity -- key plus fingerprint -- must separate
+     every cell of a parameter sweep. *)
+  let w = toy_workload "ident" in
+  let idents =
+    List.concat_map
+      (fun technique ->
+        List.concat_map
+          (fun cpu ->
+            List.concat_map
+              (fun scale ->
+                List.map
+                  (fun predictor ->
+                    let c = PR.cell ~tag:"ident" ~scale ?predictor ~cpu ~technique w in
+                    (PR.cell_key c, PR.config_fingerprint c))
+                  [ None; Some Predictor.Perfect ])
+              [ 1; 2 ])
+          [ Cpu_model.ideal; Cpu_model.pentium4_northwood ])
+      techniques
+  in
+  check_int "cell identities pairwise distinct" (List.length idents)
+    (List.length (List.sort_uniq compare idents))
+
+(* Satellite: a journal entry whose fingerprint matches but whose key
+   (descriptor) differs must not be served on resume. *)
+let test_journal_refuses_descriptor_mismatch () =
+  let w = toy_workload "journal-ident" in
+  let mk technique = PR.cell ~tag:"ident" ~cpu:Cpu_model.ideal ~technique w in
+  let c1 = mk (Technique.static_repl ~n:100 ()) in
+  let c2 = mk (Technique.static_repl ~n:200 ()) in
+  check_bool "different technique params, different keys" true
+    (PR.cell_key c1 <> PR.cell_key c2);
+  (* Defense in depth: the fingerprint re-encodes the technique, so even
+     the fingerprints of a parameter sweep never collide. *)
+  check_bool "different technique params, different fingerprints" true
+    (PR.config_fingerprint c1 <> PR.config_fingerprint c2);
+  (* A (possibly tampered) journal entry sharing c2's fingerprint but
+     recorded under c1's key must not be served for c2, and vice versa:
+     lookup demands that both halves of the identity match. *)
+  let shared_fp = PR.config_fingerprint c2 in
+  let file = Filename.temp_file "vmbp-journal-ident" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let j = Journal.open_ file in
+      Journal.append j
+        {
+          Journal.key = PR.cell_key c1;
+          fingerprint = shared_fp;
+          outcome = Error "seeded entry";
+          attempts = 1;
+          timed_out = false;
+        };
+      Journal.close j;
+      let j = Journal.open_ ~resume:true file in
+      Fun.protect
+        ~finally:(fun () -> Journal.close j)
+        (fun () ->
+          check_bool "own key and fingerprint served" true
+            (Journal.lookup j ~key:(PR.cell_key c1) ~fingerprint:shared_fp
+            <> None);
+          check_bool "matching fingerprint, different descriptor refused"
+            true
+            (Journal.lookup j ~key:(PR.cell_key c2) ~fingerprint:shared_fp
+            = None);
+          check_bool "matching key, different fingerprint refused" true
+            (Journal.lookup j ~key:(PR.cell_key c1)
+               ~fingerprint:(PR.config_fingerprint c1)
+            = None)))
+
 let () =
   Alcotest.run "report"
     [
@@ -963,5 +1224,20 @@ let () =
             (supervised test_pool_respawn);
           Alcotest.test_case "shutdown skips pending cells" `Quick
             (supervised test_shutdown_skips_pending);
+        ] );
+      ( "self-check",
+        [
+          Alcotest.test_case "toy grid clean under lockstep oracle" `Quick
+            (audited_test test_self_check_grid);
+          Alcotest.test_case "seeded simulator bug caught + repro" `Quick
+            (audited_test test_self_check_catches_mutation);
+          Alcotest.test_case "audit-sample cross-checks replays" `Quick
+            (audited_test test_audit_sample_crosschecks_replays);
+          Alcotest.test_case "sampling deterministic" `Quick
+            test_sampling_deterministic;
+          Alcotest.test_case "descriptor+fingerprint injective" `Quick
+            test_descriptor_fingerprint_injective;
+          Alcotest.test_case "journal refuses descriptor mismatch" `Quick
+            (supervised test_journal_refuses_descriptor_mismatch);
         ] );
     ]
