@@ -302,6 +302,84 @@ let repro_dir_arg =
     & info [ "repro-dir" ] ~docv:"DIR"
         ~doc:"Directory receiving divergence repro artifacts.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Collect phase-timing spans (layout, engine runs, record/replay, \
+           journal I/O, audits) and write them to $(docv) as Chrome \
+           trace-event JSON, loadable in Perfetto or chrome://tracing.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the process metrics registry (trace-cache and journal \
+           counters, pool gauges, per-cell histograms) to $(docv) as JSON \
+           (schema vmbp-metrics/1) and summarise the key counters on \
+           stderr.")
+
+let progress_arg =
+  Arg.(
+    value
+    & vflag None
+        [
+          ( Some true,
+            info [ "progress" ]
+              ~doc:
+                "Show a one-line progress heartbeat on stderr (cells \
+                 done/total, busy workers, ETA).  Default when stderr is a \
+                 terminal." );
+          ( Some false,
+            info [ "no-progress" ] ~doc:"Never show the progress heartbeat."
+          );
+        ])
+
+(* Observability setup: reset the metrics registry per invocation so
+   counters describe this run only, and arm span collection only when the
+   caller asked for a trace file (disabled spans cost one atomic load). *)
+let setup_obs trace_out metrics progress =
+  ignore metrics;
+  (Vmbp_report.Par_runner.progress :=
+     match progress with
+     | Some b -> b
+     | None -> Unix.isatty Unix.stderr);
+  Vmbp_obs.Registry.reset ();
+  if trace_out <> None then Vmbp_obs.Span.enable ()
+
+(* All observability output goes to stderr (or to the requested files):
+   report tables on stdout must stay byte-identical with and without
+   instrumentation. *)
+let finish_obs trace_out metrics =
+  (match trace_out with
+  | None -> ()
+  | Some file ->
+      Vmbp_obs.Span.write ~file;
+      Printf.eprintf "wrote %d spans to %s\n" (Vmbp_obs.Span.count ()) file);
+  match metrics with
+  | None -> ()
+  | Some file ->
+      Vmbp_obs.Registry.write ~file;
+      let c name =
+        match Vmbp_obs.Registry.find_counter name with
+        | Some v -> Int64.to_string v
+        | None -> "0"
+      in
+      Printf.eprintf
+        "[obs] trace cache %s live / %s memo / %s miss (%s evictions); \
+         journal %s served / %s appended; cells %s retries / %s timeouts\n"
+        (c "trace_cache.live_hits")
+        (c "trace_cache.memo_hits")
+        (c "trace_cache.misses")
+        (c "trace_cache.evictions")
+        (c "journal.served") (c "journal.appended") (c "cells.retries")
+        (c "cells.timeouts");
+      Printf.eprintf "wrote metrics to %s\n" file
+
 let set_jobs jobs = Vmbp_report.Par_runner.default_jobs := max 1 jobs
 let set_trace_cap mb = Vmbp_report.Par_runner.trace_cap_mb := mb
 
@@ -398,11 +476,13 @@ let experiment_cmd =
     Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N")
   in
   let run id scale jobs trace_cap json journal resume cell_timeout
-      cell_retries chaos self_check audit_sample repro_dir =
+      cell_retries chaos self_check audit_sample repro_dir trace_out metrics
+      progress =
     set_jobs jobs;
     set_trace_cap trace_cap;
     setup_supervision journal resume cell_timeout cell_retries chaos
       self_check audit_sample repro_dir;
+    setup_obs trace_out metrics progress;
     match Vmbp_report.Experiments.find id with
     | None ->
         Printf.eprintf "unknown experiment %s (try 'vmbp list')\n" id;
@@ -417,13 +497,15 @@ let experiment_cmd =
             print_table (e.Vmbp_report.Experiments.run ~scale));
         partial_marker ();
         write_json json;
+        finish_obs trace_out metrics;
         finish_audit ()
   in
   Cmd.v (Cmd.info "experiment" ~doc)
     Term.(
       const run $ id $ scale $ jobs_arg $ trace_cap_arg $ json_arg
       $ journal_arg $ resume_arg $ cell_timeout_arg $ cell_retries_arg
-      $ chaos_arg $ self_check_arg $ audit_sample_arg $ repro_dir_arg)
+      $ chaos_arg $ self_check_arg $ audit_sample_arg $ repro_dir_arg
+      $ trace_out_arg $ metrics_arg $ progress_arg)
 
 (* ---------------- audit-repro ---------------- *)
 
@@ -467,11 +549,12 @@ let report_cmd =
     Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N")
   in
   let run scale jobs trace_cap json journal resume cell_timeout cell_retries
-      chaos self_check audit_sample repro_dir =
+      chaos self_check audit_sample repro_dir trace_out metrics progress =
     set_jobs jobs;
     set_trace_cap trace_cap;
     setup_supervision journal resume cell_timeout cell_retries chaos
       self_check audit_sample repro_dir;
+    setup_obs trace_out metrics progress;
     run_killable (fun () ->
         List.iter
           (fun (e : Vmbp_report.Experiments.t) ->
@@ -486,13 +569,81 @@ let report_cmd =
           Vmbp_report.Experiments.all);
     partial_marker ();
     write_json json;
+    finish_obs trace_out metrics;
     finish_audit ()
   in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       const run $ scale $ jobs_arg $ trace_cap_arg $ json_arg $ journal_arg
       $ resume_arg $ cell_timeout_arg $ cell_retries_arg $ chaos_arg
-      $ self_check_arg $ audit_sample_arg $ repro_dir_arg)
+      $ self_check_arg $ audit_sample_arg $ repro_dir_arg $ trace_out_arg
+      $ metrics_arg $ progress_arg)
+
+(* ---------------- explain ---------------- *)
+
+let explain_cmd =
+  let doc =
+    "Attribute every mispredict and I-cache miss of one cell to VM opcodes."
+  in
+  let vm = Arg.(required & pos 0 (some vm_arg) None & info [] ~docv:"VM") in
+  let workload =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let technique =
+    Arg.(
+      value
+      & opt technique_arg Technique.plain
+      & info [ "t"; "technique" ] ~docv:"TECHNIQUE")
+  in
+  let cpu =
+    Arg.(
+      value
+      & opt cpu_arg Vmbp_machine.Cpu_model.pentium4_northwood
+      & info [ "cpu" ] ~docv:"CPU")
+  in
+  let scale = Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N") in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"rows per attribution table")
+  in
+  let no_verify =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:
+            "skip the second, reference-model-checked run that validates \
+             the attribution totals")
+  in
+  let run vm workload technique cpu scale top no_verify =
+    match Vmbp_workloads.find ~vm workload with
+    | None ->
+        Printf.eprintf "unknown workload %s/%s\n"
+          (Vmbp_workloads.vm_name vm) workload;
+        exit 1
+    | Some w -> (
+        match Vmbp_report.Explain.run ~scale ~cpu ~technique w with
+        | Error msg ->
+            Printf.eprintf "explain failed: %s\n" msg;
+            exit 1
+        | Ok t -> (
+            print_string (Vmbp_report.Explain.render ~top t);
+            if no_verify then ()
+            else
+              match
+                Vmbp_report.Explain.verify ~scale ~cpu ~technique w t
+              with
+              | Ok () ->
+                  Printf.eprintf
+                    "[explain] attribution verified against a \
+                     self-checked run\n"
+              | Error msg ->
+                  Printf.eprintf "[explain] verification failed: %s\n" msg;
+                  exit 1))
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      const run $ vm $ workload $ technique $ cpu $ scale $ top $ no_verify)
 
 let () =
   let doc =
@@ -509,5 +660,6 @@ let () =
             trace_cmd;
             experiment_cmd;
             report_cmd;
+            explain_cmd;
             audit_repro_cmd;
           ]))

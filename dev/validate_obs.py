@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate a --trace-out or --metrics dump against its checked-in schema.
+
+Usage: validate_obs.py SCHEMA.json DUMP.json
+
+Stdlib only: implements the small JSON-Schema subset the schemas under
+dev/schema/ actually use (type, enum, required, properties,
+additionalProperties, items, minimum), plus the cross-field histogram
+invariants a declarative schema cannot express.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    raise SystemExit(f"validate_obs: {'.'.join(path) or '<root>'}: {msg}")
+
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "number": (int, float),
+    "integer": int,
+}
+
+
+def check_type(schema, value, path):
+    want = schema["type"]
+    py = TYPES[want]
+    # bool is an int subclass in Python; keep the kinds distinct.
+    if isinstance(value, bool) and want in ("number", "integer"):
+        fail(path, f"expected {want}, got boolean")
+    if not isinstance(value, py):
+        fail(path, f"expected {want}, got {type(value).__name__}")
+
+
+def validate(schema, value, path=()):
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            fail(path, f"{value!r} not in {schema['enum']}")
+        return
+    if "type" in schema:
+        check_type(schema, value, path)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            fail(path, f"{value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in value:
+                fail(path, f"missing required key {key!r}")
+        extra = schema.get("additionalProperties")
+        for key, sub in value.items():
+            if key in props:
+                validate(props[key], sub, path + (key,))
+            elif isinstance(extra, dict):
+                validate(extra, sub, path + (key,))
+            elif extra is False:
+                fail(path, f"unexpected key {key!r}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(schema["items"], item, path + (str(i),))
+
+
+def check_histograms(dump):
+    for name, h in dump.get("histograms", {}).items():
+        if len(h["counts"]) != len(h["le"]) + 1:
+            fail(
+                ("histograms", name),
+                f"counts has {len(h['counts'])} entries for "
+                f"{len(h['le'])} bounds (want bounds + overflow)",
+            )
+        if sum(h["counts"]) != h["count"]:
+            fail(
+                ("histograms", name),
+                f"counts sum to {sum(h['counts'])} but count={h['count']}",
+            )
+        if any(a >= b for a, b in zip(h["le"], h["le"][1:])):
+            fail(("histograms", name), "le bounds not strictly increasing")
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__.strip().splitlines()[2])
+    schema_file, dump_file = sys.argv[1], sys.argv[2]
+    with open(schema_file) as f:
+        schema = json.load(f)
+    with open(dump_file) as f:
+        dump = json.load(f)
+    validate(schema, dump)
+    if "metrics" in schema.get("title", ""):
+        check_histograms(dump)
+    kind = "metrics" if "histograms" in dump else "trace"
+    n = len(dump.get("traceEvents", [])) if kind == "trace" else len(
+        dump.get("counters", {})
+    )
+    print(f"validate_obs: {dump_file}: valid {kind} dump ({n} entries)")
+
+
+if __name__ == "__main__":
+    main()

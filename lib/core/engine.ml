@@ -13,7 +13,7 @@ type result = {
 
 type sink = {
   on_dispatch : branch:int -> target:int -> opcode:int -> vm_transfer:bool -> unit;
-  on_fetch : addr:int -> bytes:int -> unit;
+  on_fetch : addr:int -> bytes:int -> opcode:int -> unit;
 }
 
 let out_of_fuel = "out of fuel"
@@ -100,7 +100,8 @@ let run_events ?(fuel = max_int) ?(poll = fun () -> ()) ?exec_counts
        superinstruction: jumps from the gap to the original routine. *)
     (match pre_dispatch with
     | Some d ->
-        on_fetch ~addr:entry_addr ~bytes:costs.Costs.threaded_dispatch_bytes;
+        on_fetch ~addr:entry_addr ~bytes:costs.Costs.threaded_dispatch_bytes
+          ~opcode;
         m.Metrics.native_instrs <-
           m.Metrics.native_instrs + d.Code_layout.instrs;
         m.Metrics.dispatches <- m.Metrics.dispatches + 1;
@@ -110,8 +111,8 @@ let run_events ?(fuel = max_int) ?(poll = fun () -> ()) ?exec_counts
     | None -> ());
     if site.Code_layout.call_fetch_bytes > 0 then
       on_fetch ~addr:site.Code_layout.call_fetch_addr
-        ~bytes:site.Code_layout.call_fetch_bytes;
-    on_fetch ~addr:fetch_addr ~bytes:fetch_bytes;
+        ~bytes:site.Code_layout.call_fetch_bytes ~opcode;
+    on_fetch ~addr:fetch_addr ~bytes:fetch_bytes ~opcode;
     m.Metrics.native_instrs <- m.Metrics.native_instrs + work_instrs;
     m.Metrics.vm_instrs <- m.Metrics.vm_instrs + 1;
     incr steps;
@@ -192,7 +193,9 @@ let run ?fuel ?poll ?exec_counts ~config ~layout ~exec () =
               m.Metrics.vm_branch_mispredicts <-
                 m.Metrics.vm_branch_mispredicts + 1
           end);
-      on_fetch = (fun ~addr ~bytes -> Icache.fetch icache ~addr ~bytes ~hits ~misses);
+      on_fetch =
+        (fun ~addr ~bytes ~opcode:_ ->
+          Icache.fetch icache ~addr ~bytes ~hits ~misses);
     }
   in
   let steps, trapped =

@@ -27,8 +27,9 @@ type sink = {
           [target] while executing [opcode]; [vm_transfer] marks dispatches
           that follow a VM-level control transfer (their mispredictions are
           attributed to VM branches, Section 7.3) *)
-  on_fetch : addr:int -> bytes:int -> unit;
-      (** one I-cache code fetch of [bytes] bytes starting at [addr] *)
+  on_fetch : addr:int -> bytes:int -> opcode:int -> unit;
+      (** one I-cache code fetch of [bytes] bytes starting at [addr], issued
+          while executing [opcode] (for attributing misses to VM opcodes) *)
 }
 (** Where the engine's simulated-hardware events go.  The engine itself
     accounts only the deterministic event counts (executed VM/native

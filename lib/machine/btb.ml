@@ -22,11 +22,19 @@ type way = { mutable tag : int; mutable target : int; mutable counter : int;
    hot loop neither allocates nor re-hashes after a branch's first miss. *)
 type ub_entry = { mutable ub_target : int; mutable ub_counter : int }
 
+type outcome = Hit | Wrong_target | Miss of { evicted : int }
+
+type observer = branch:int -> set:int -> outcome -> unit
+
 type t = {
   cfg : config;
   sets : way array array;  (* finite configuration *)
   unbounded : (int, ub_entry) Hashtbl.t;  (* branch -> target, counter *)
   mutable tick : int;
+  (* Introspection hook for attribution tooling; [None] (the default)
+     costs one match per access and must never change any decision the
+     simulator makes. *)
+  mutable observer : observer option;
 }
 
 let create cfg =
@@ -49,9 +57,10 @@ let create cfg =
               { tag = -1; target = 0; counter = 0; stamp = 0 }))
     end
   in
-  { cfg; sets; unbounded = Hashtbl.create 1024; tick = 0 }
+  { cfg; sets; unbounded = Hashtbl.create 1024; tick = 0; observer = None }
 
 let config t = t.cfg
+let set_observer t obs = t.observer <- obs
 
 let set_index t branch =
   let nsets = Array.length t.sets in
@@ -85,10 +94,14 @@ let train_counter ~two_bit ~stored ~target ~counter =
   else if counter >= 2 then (stored, counter - 1)
   else (target, 2)
 
+let observe t ~branch ~set outcome =
+  match t.observer with None -> () | Some f -> f ~branch ~set outcome
+
 let access_unbounded t ~branch ~target =
   match Hashtbl.find_opt t.unbounded branch with
   | None ->
       Hashtbl.replace t.unbounded branch { ub_target = target; ub_counter = 2 };
+      observe t ~branch ~set:(-1) (Miss { evicted = -1 });
       false
   | Some e ->
       let correct = e.ub_target = target in
@@ -98,6 +111,7 @@ let access_unbounded t ~branch ~target =
       in
       e.ub_target <- stored';
       e.ub_counter <- counter';
+      observe t ~branch ~set:(-1) (if correct then Hit else Wrong_target);
       correct
 
 let access_finite t ~branch ~target =
@@ -113,16 +127,20 @@ let access_finite t ~branch ~target =
       w.target <- stored';
       w.counter <- counter';
       w.stamp <- t.tick;
+      observe t ~branch ~set:(set_index t branch)
+        (if correct then Hit else Wrong_target);
       correct
   | None ->
       (* Miss: allocate the LRU way of the set. *)
       let victim = ref set.(0) in
       Array.iter (fun w -> if w.stamp < !victim.stamp then victim := w) set;
       let w = !victim in
+      let evicted = w.tag in
       w.tag <- branch;
       w.target <- target;
       w.counter <- 2;
       w.stamp <- t.tick;
+      observe t ~branch ~set:(set_index t branch) (Miss { evicted });
       false
 
 let access t ~branch ~target =

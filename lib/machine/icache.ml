@@ -29,6 +29,9 @@ type t = {
      I-cache pressure the paper measures (Section 7.4). *)
   mutable last_line : int;
   mutable last_slot : int;
+  (* Introspection hook, called once per line miss; [None] costs one
+     match on the miss path only and never alters any decision. *)
+  mutable observer : (line:int -> set:int -> evicted:int -> unit) option;
 }
 
 let create cfg =
@@ -62,9 +65,11 @@ let create cfg =
     tick = 0;
     last_line = -1;
     last_slot = -1;
+    observer = None;
   }
 
 let config t = t.cfg
+let set_observer t obs = t.observer <- obs
 
 let touch_line t line =
   let assoc = t.cfg.associativity in
@@ -85,9 +90,13 @@ let touch_line t line =
       for i = 1 to assoc - 1 do
         if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
       done;
+      let evicted = t.tags.(base + !victim) in
       t.tags.(base + !victim) <- line;
       t.stamps.(base + !victim) <- t.tick;
       t.last_slot <- base + !victim;
+      (match t.observer with
+      | None -> ()
+      | Some f -> f ~line ~set ~evicted);
       false
 
 let fetch t ~addr ~bytes ~hits ~misses =

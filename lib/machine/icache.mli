@@ -43,4 +43,11 @@ val resident : t -> line:int -> bool
 (** Whether the given line index currently occupies a way (always [true] for
     the infinite cache).  Exposed for tests and cache-content tooling. *)
 
+val set_observer : t -> (line:int -> set:int -> evicted:int -> unit) option -> unit
+(** Introspection hook, called once per line miss with the missing line,
+    its set, and the line tag the allocation displaced ([-1] when the way
+    was empty).  The infinite cache never misses, so it never calls the
+    observer.  Absent (the default), the hook costs one match on the miss
+    path and can never change a decision. *)
+
 val reset : t -> unit

@@ -6,6 +6,10 @@ type t = {
   cfg : config;
   table : int array;  (* predicted targets, -1 = empty *)
   mutable ghr : int;  (* hashed path history register *)
+  (* Introspection hook, called once per access; [None] costs one match
+     and never alters any decision. *)
+  mutable observer :
+    (branch:int -> index:int -> empty:bool -> correct:bool -> unit) option;
 }
 
 let create cfg =
@@ -16,7 +20,9 @@ let create cfg =
      degenerates, so reject it up front like the other geometry checks. *)
   if cfg.history <= 0 || cfg.history > 15 then
     invalid_arg "Two_level.create: history must be in 1..15";
-  { cfg; table = Array.make cfg.entries (-1); ghr = 0 }
+  { cfg; table = Array.make cfg.entries (-1); ghr = 0; observer = None }
+
+let set_observer t obs = t.observer <- obs
 
 (* Fold the branch address and path history into a table index.  The
    multiplicative hash spreads byte addresses that share low bits. *)
@@ -31,9 +37,13 @@ let push_history t target =
 
 let access t ~branch ~target =
   let i = index t branch in
-  let correct = t.table.(i) = target in
+  let prev = t.table.(i) in
+  let correct = prev = target in
   t.table.(i) <- target;
   push_history t target;
+  (match t.observer with
+  | None -> ()
+  | Some f -> f ~branch ~index:i ~empty:(prev = -1) ~correct);
   correct
 
 let reset t =

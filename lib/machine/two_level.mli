@@ -25,4 +25,13 @@ val create : config -> t
 val access : t -> branch:int -> target:int -> bool
 (** Predict-and-update; returns [true] on a correct prediction. *)
 
+val set_observer :
+  t -> (branch:int -> index:int -> empty:bool -> correct:bool -> unit) option
+  -> unit
+(** Introspection hook, called once per {!access} with the table [index]
+    the branch hashed to, whether that slot was still [empty], and the
+    prediction outcome.  Absent (the default), the hook costs one match
+    per access and can never change a decision -- same contract as the
+    engine's [?poll] hook. *)
+
 val reset : t -> unit

@@ -1,0 +1,79 @@
+type category = Cold | Wrong_target | Conflict of int
+
+type bucket = { mutable cold : int; mutable wrong : int; mutable conflict : int }
+
+let bucket_total b = b.cold + b.wrong + b.conflict
+
+type t = {
+  opcodes : (int, bucket) Hashtbl.t;
+  pairs : (int * int * int, int ref) Hashtbl.t;
+      (* (victim opcode, evictor opcode, set) -> count *)
+  sets : (int, int ref) Hashtbl.t;  (* set -> event count *)
+  seen : (int * int, unit) Hashtbl.t;  (* (set, branch) distinct *)
+  mutable total : int;
+}
+
+let create () =
+  {
+    opcodes = Hashtbl.create 64;
+    pairs = Hashtbl.create 64;
+    sets = Hashtbl.create 64;
+    seen = Hashtbl.create 256;
+    total = 0;
+  }
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.replace tbl key (ref 1)
+
+let note t ~opcode ~branch ~set category =
+  t.total <- t.total + 1;
+  let b =
+    match Hashtbl.find_opt t.opcodes opcode with
+    | Some b -> b
+    | None ->
+        let b = { cold = 0; wrong = 0; conflict = 0 } in
+        Hashtbl.replace t.opcodes opcode b;
+        b
+  in
+  (match category with
+  | Cold -> b.cold <- b.cold + 1
+  | Wrong_target -> b.wrong <- b.wrong + 1
+  | Conflict evictor ->
+      b.conflict <- b.conflict + 1;
+      bump t.pairs (opcode, evictor, set));
+  if set >= 0 then begin
+    bump t.sets set;
+    Hashtbl.replace t.seen (set, branch) ()
+  end
+
+let total t = t.total
+
+let by_opcode t =
+  List.sort
+    (fun (oa, a) (ob, b) ->
+      match compare (bucket_total b) (bucket_total a) with
+      | 0 -> compare oa ob
+      | c -> c)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.opcodes [])
+
+let conflicts t =
+  List.sort
+    (fun (ka, a) (kb, b) ->
+      match compare b a with 0 -> compare ka kb | c -> c)
+    (Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.pairs [])
+
+let set_counts t ~nsets =
+  let a = Array.make (max 0 nsets) 0 in
+  Hashtbl.iter
+    (fun set r -> if set >= 0 && set < nsets then a.(set) <- a.(set) + !r)
+    t.sets;
+  a
+
+let set_occupancy t ~nsets =
+  let a = Array.make (max 0 nsets) 0 in
+  Hashtbl.iter
+    (fun (set, _) () -> if set >= 0 && set < nsets then a.(set) <- a.(set) + 1)
+    t.seen;
+  a

@@ -1,0 +1,218 @@
+type counter = { mutable c : int64 }
+type gauge = { mutable g : float; mutable g_max : float }
+
+type histogram = {
+  bounds : float array;
+  counts : int array;  (* length = Array.length bounds + 1; overflow last *)
+  mutable sum : float;
+  mutable n : int;
+}
+
+type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let lock = Mutex.create ()
+let table : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (Counter c) -> c
+      | Some _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Registry.counter: '%s' is already a different instrument kind"
+               name)
+      | None ->
+          let c = { c = 0L } in
+          Hashtbl.replace table name (Counter c);
+          c)
+
+let add c n = locked (fun () -> c.c <- Int64.add c.c (Int64.of_int n))
+let add_int64 c n = locked (fun () -> c.c <- Int64.add c.c n)
+let counter_value c = locked (fun () -> c.c)
+
+let find_counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (Counter c) -> Some c.c
+      | _ -> None)
+
+let gauge name =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (Gauge g) -> g
+      | Some _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Registry.gauge: '%s' is already a different instrument kind"
+               name)
+      | None ->
+          let g = { g = 0.; g_max = 0. } in
+          Hashtbl.replace table name (Gauge g);
+          g)
+
+let gauge_set g v =
+  locked (fun () ->
+      g.g <- v;
+      if v > g.g_max then g.g_max <- v)
+
+let gauge_add g dv =
+  locked (fun () ->
+      g.g <- g.g +. dv;
+      if g.g > g.g_max then g.g_max <- g.g)
+
+let gauge_value g = locked (fun () -> g.g)
+let gauge_max g = locked (fun () -> g.g_max)
+
+let histogram ~bounds name =
+  if Array.length bounds = 0 then
+    invalid_arg "Registry.histogram: bounds must be non-empty";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && not (b > bounds.(i - 1)) then
+        invalid_arg "Registry.histogram: bounds must be strictly increasing")
+    bounds;
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (Histogram h) ->
+          if h.bounds <> bounds then
+            invalid_arg
+              (Printf.sprintf
+                 "Registry.histogram: '%s' is already registered with \
+                  different bounds"
+                 name)
+          else h
+      | Some _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Registry.histogram: '%s' is already a different instrument \
+                kind"
+               name)
+      | None ->
+          let h =
+            {
+              bounds = Array.copy bounds;
+              counts = Array.make (Array.length bounds + 1) 0;
+              sum = 0.;
+              n = 0;
+            }
+          in
+          Hashtbl.replace table name (Histogram h);
+          h)
+
+(* An observation [v] lands in the first bucket with [v <= bound]; past
+   the last bound it lands in the overflow bucket. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  locked (fun () ->
+      let i = bucket_index h.bounds v in
+      h.counts.(i) <- h.counts.(i) + 1;
+      h.sum <- h.sum +. v;
+      h.n <- h.n + 1)
+
+let histogram_snapshot h =
+  locked (fun () -> (Array.copy h.bounds, Array.copy h.counts, h.sum, h.n))
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          match i with
+          | Counter c -> c.c <- 0L
+          | Gauge g ->
+              g.g <- 0.;
+              g.g_max <- 0.
+          | Histogram h ->
+              Array.fill h.counts 0 (Array.length h.counts) 0;
+              h.sum <- 0.;
+              h.n <- 0)
+        table)
+
+let sorted_entries () =
+  locked (fun () ->
+      List.sort
+        (fun (a, _) (b, _) -> compare a b)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []))
+
+let names () = List.map fst (sorted_entries ())
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let to_json () =
+  let entries = sorted_entries () in
+  let pick f = List.filter_map f entries in
+  let counters = pick (function n, Counter c -> Some (n, c) | _ -> None) in
+  let gauges = pick (function n, Gauge g -> Some (n, g) | _ -> None) in
+  let histos = pick (function n, Histogram h -> Some (n, h) | _ -> None) in
+  let b = Buffer.create 1024 in
+  let obj name render items =
+    Buffer.add_string b (Printf.sprintf ",\"%s\":{" name);
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\n  \"%s\":" (json_escape k));
+        render v)
+      items;
+    Buffer.add_string b (if items = [] then "}" else "\n }")
+  in
+  Buffer.add_string b "{\"schema\":\"vmbp-metrics/1\"";
+  locked (fun () ->
+      obj "counters"
+        (fun c -> Buffer.add_string b (Int64.to_string c.c))
+        counters;
+      obj "gauges"
+        (fun g ->
+          Buffer.add_string b
+            (Printf.sprintf "{\"value\":%s,\"max\":%s}" (json_float g.g)
+               (json_float g.g_max)))
+        gauges;
+      obj "histograms"
+        (fun h ->
+          Buffer.add_string b "{\"le\":[";
+          Array.iteri
+            (fun i bound ->
+              if i > 0 then Buffer.add_char b ',';
+              Buffer.add_string b (json_float bound))
+            h.bounds;
+          Buffer.add_string b "],\"counts\":[";
+          Array.iteri
+            (fun i n ->
+              if i > 0 then Buffer.add_char b ',';
+              Buffer.add_string b (string_of_int n))
+            h.counts;
+          Buffer.add_string b
+            (Printf.sprintf "],\"sum\":%s,\"count\":%d}" (json_float h.sum)
+               h.n))
+        histos);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let write ~file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ()))

@@ -1,0 +1,63 @@
+(** A process-global registry of named counters, gauges and fixed-bucket
+    histograms.
+
+    Instruments are created (or re-fetched) by name; updates go through
+    the returned handle.  All state lives behind one mutex, so worker
+    domains can update concurrently without losing increments; updates
+    happen at cell granularity (never inside simulation hot loops), so the
+    lock is not a throughput concern.  Counters accumulate in [int64]: two
+    runs' worth of 62-bit native-instruction counts cannot silently wrap.
+
+    {!reset} zeroes every instrument in place -- existing handles stay
+    valid -- so each report run starts from a clean slate without
+    invalidating the module-level handles instrumented code holds. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Find or create.  @raise Invalid_argument if the name is already
+    registered as a different instrument kind. *)
+
+val add : counter -> int -> unit
+val add_int64 : counter -> int64 -> unit
+val counter_value : counter -> int64
+val find_counter : string -> int64 option
+
+val gauge : string -> gauge
+(** A float-valued level with a high-water mark. *)
+
+val gauge_set : gauge -> float -> unit
+val gauge_add : gauge -> float -> unit
+val gauge_value : gauge -> float
+val gauge_max : gauge -> float
+
+val histogram : bounds:float array -> string -> histogram
+(** Fixed cumulative-style buckets: an observation [v] lands in the first
+    bucket whose upper bound satisfies [v <= bound], or in the implicit
+    overflow bucket past the last bound.  [bounds] must be strictly
+    increasing and non-empty.  @raise Invalid_argument otherwise, or on an
+    instrument-kind clash. *)
+
+val observe : histogram -> float -> unit
+
+val histogram_snapshot : histogram -> float array * int array * float * int
+(** [(bounds, counts, sum, count)]; [counts] has one more entry than
+    [bounds] (the overflow bucket last). *)
+
+val reset : unit -> unit
+(** Zero every registered instrument in place. *)
+
+val names : unit -> string list
+(** Registered instrument names, sorted. *)
+
+val to_json : unit -> string
+(** The whole registry as one JSON document (schema ["vmbp-metrics/1"]):
+    [{"schema":"vmbp-metrics/1","counters":{name:int,...},
+    "gauges":{name:{"value":..,"max":..},...},
+    "histograms":{name:{"le":[...],"counts":[...],"sum":..,"count":..},...}}]
+    with names in sorted order, so equal registry states render
+    byte-identically. *)
+
+val write : file:string -> unit

@@ -1,0 +1,113 @@
+type event = {
+  name : string;
+  ts : float;
+  dur : float;
+  tid : int;
+  args : (string * string) list;
+}
+
+(* The enabled flag is the only state touched on the disabled fast path;
+   everything else sits behind the mutex.  [collected] is newest-first so
+   recording is a cons, not an append. *)
+let enabled = Atomic.make false
+let lock = Mutex.create ()
+let origin = ref 0.
+let collected : event list ref = ref []
+
+let enable () =
+  Mutex.lock lock;
+  origin := Unix.gettimeofday ();
+  collected := [];
+  Mutex.unlock lock;
+  Atomic.set enabled true
+
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+let record ~name ~args t0 t1 =
+  let e =
+    {
+      name;
+      ts = t0 -. !origin;
+      dur = t1 -. t0;
+      tid = (Domain.self () :> int);
+      args;
+    }
+  in
+  Mutex.lock lock;
+  collected := e :: !collected;
+  Mutex.unlock lock
+
+let with_ ?(args = []) ~name f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () -> record ~name ~args t0 (Unix.gettimeofday ()))
+      f
+  end
+
+let events () =
+  Mutex.lock lock;
+  let l = !collected in
+  Mutex.unlock lock;
+  List.rev l
+
+let count () =
+  Mutex.lock lock;
+  let n = List.length !collected in
+  Mutex.unlock lock;
+  n
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json () =
+  let evs = events () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n  ";
+      (* Complete ("X") events; ts and dur are microseconds in this
+         format, which is what keeps Perfetto's zoom sensible. *)
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"vmbp\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d"
+           (json_escape e.name) (e.ts *. 1e6) (e.dur *. 1e6) e.tid);
+      (match e.args with
+      | [] -> ()
+      | args ->
+          Buffer.add_string b ",\"args\":{";
+          List.iteri
+            (fun j (k, v) ->
+              if j > 0 then Buffer.add_char b ',';
+              Buffer.add_string b
+                (Printf.sprintf "\"%s\":\"%s\"" (json_escape k)
+                   (json_escape v)))
+            args;
+          Buffer.add_char b '}');
+      Buffer.add_char b '}')
+    evs;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let write ~file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ()))

@@ -1,0 +1,47 @@
+(** Phase-timing spans, dumped as Chrome trace-event JSON.
+
+    A span measures one wall-clock phase (layout building, an engine run, a
+    trace replay, a journal append, ...) on whichever domain executed it.
+    Collection is off by default: a disabled {!with_} is one atomic load
+    plus the call of [f], so instrumented code paths cost nothing
+    measurable in production runs.  When enabled, completed spans
+    accumulate in a process-global buffer (mutex-protected; worker domains
+    record concurrently) and {!write} renders them in the Chrome
+    trace-event format, which Perfetto and chrome://tracing load directly:
+    one track per worker domain, nesting inferred from time containment. *)
+
+type event = {
+  name : string;
+  ts : float;  (** start, seconds since {!enable} *)
+  dur : float;  (** duration, seconds *)
+  tid : int;  (** domain id of the recording domain *)
+  args : (string * string) list;
+}
+
+val enable : unit -> unit
+(** Start collecting: clears previously collected spans and re-anchors the
+    time origin. *)
+
+val disable : unit -> unit
+(** Stop collecting; already collected spans remain readable. *)
+
+val is_enabled : unit -> bool
+
+val with_ : ?args:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** Run [f], recording one span around it when collection is enabled.  The
+    span is recorded even when [f] raises (the exception is re-raised), so
+    a failing phase still shows its duration. *)
+
+val events : unit -> event list
+(** Completed spans in completion order (inner spans precede the spans
+    that enclose them). *)
+
+val count : unit -> int
+
+val to_json : unit -> string
+(** The collected spans as a Chrome trace-event JSON document:
+    [{"traceEvents":[{"ph":"X","name":...,"ts":...,"dur":...,"pid":1,
+    "tid":<domain>,"args":{...}}, ...]}] with [ts]/[dur] in microseconds. *)
+
+val write : file:string -> unit
+(** [to_json] into [file]. *)

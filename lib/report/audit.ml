@@ -200,7 +200,7 @@ let dual_run ?fuel ?poll ?fast ~cell ~config ~layout ~exec () =
           incr index)
       ;
       on_fetch =
-        (fun ~addr ~bytes ->
+        (fun ~addr ~bytes ~opcode:_ ->
           let fh, fm = fast.sim_fetch ~addr ~bytes in
           let rh, rm = refr.sim_fetch ~addr ~bytes in
           if fh <> rh || fm <> rm then
@@ -253,7 +253,7 @@ let record_events ?fuel ?(limit = max_int) ~layout ~exec () =
       Engine.on_dispatch =
         (fun ~branch ~target ~opcode ~vm_transfer ->
           note (dispatch_event ~branch ~target ~opcode ~vm_transfer));
-      on_fetch = (fun ~addr ~bytes -> note (Fetch { addr; bytes }));
+      on_fetch = (fun ~addr ~bytes ~opcode:_ -> note (Fetch { addr; bytes }));
     }
   in
   (try ignore (Engine.run_events ?fuel ~metrics:m ~layout ~exec ~sink ())

@@ -1,0 +1,58 @@
+(** Mispredict and I-cache-miss attribution: the [explain] subcommand.
+
+    Re-runs one cell with observer hooks attached to the production
+    simulators ({!Vmbp_machine.Btb.set_observer} and friends) and
+    aggregates every mispredict and cache miss into
+    {!Vmbp_obs.Attribution} tables: which VM opcode suffered it, in which
+    predictor/cache set, and -- for conflict events -- which opcode's
+    entry displaced the victim.  This is the tooling counterpart of the
+    paper's Section 7.3 analysis, which attributes the residual
+    mispredictions of replicated interpreters to VM branches by reading
+    performance counters.
+
+    The attribution is validated two ways: {!run} fails unless the
+    attributed totals equal the run's own mispredict and miss counters,
+    and {!verify} re-runs the cell under the differential self-check
+    ({!Runner.run_checked}) and compares counters across the two runs. *)
+
+type t = {
+  run : Runner.run;  (** the attributed run, counters included *)
+  pred_kind : Vmbp_machine.Predictor.kind;  (** predictor actually simulated *)
+  pred_att : Vmbp_obs.Attribution.t;  (** one entry per mispredict *)
+  icache_att : Vmbp_obs.Attribution.t;  (** one entry per I-cache line miss *)
+  pred_sets : int;  (** predictor sets (BTB) or table entries (two-level); 0 = no set structure *)
+  icache_sets : int;  (** I-cache sets; 0 = infinite cache *)
+  iset : Vmbp_vm.Instr_set.t;  (** for rendering opcode names *)
+}
+
+val run :
+  ?scale:int ->
+  ?predictor:Vmbp_machine.Predictor.kind ->
+  ?profile:Vmbp_vm.Profile.t ->
+  cpu:Vmbp_machine.Cpu_model.t ->
+  technique:Vmbp_core.Technique.t ->
+  Vmbp_workloads.t ->
+  (t, string) result
+(** Same cell semantics as {!Runner.run} (same fuel, same training-profile
+    policy); [Error] on a trapped run or an attribution total that does
+    not equal the simulator's own counter. *)
+
+val verify :
+  ?scale:int ->
+  ?predictor:Vmbp_machine.Predictor.kind ->
+  ?profile:Vmbp_vm.Profile.t ->
+  cpu:Vmbp_machine.Cpu_model.t ->
+  technique:Vmbp_core.Technique.t ->
+  Vmbp_workloads.t ->
+  t ->
+  (unit, string) result
+(** Run the same cell through {!Runner.run_checked} (production simulators
+    cross-checked against the reference models on every event) and require
+    the attributed totals to equal the verified counters exactly. *)
+
+val render : ?top:int -> t -> string
+(** Human-readable report: header with the run's counters, top-[top]
+    (default 10) opcode tables for mispredicts and I-cache misses split
+    into cold / wrong-target / conflict, top conflict pairs
+    (victim opcode, evicting opcode, set), and per-set event and occupancy
+    heatmaps when the simulated structure has sets. *)

@@ -261,11 +261,18 @@ let open_ ?(resume = false) file =
   in
   { t with fd }
 
+(* Mirrors of the per-journal [stats] in the process-global metrics
+   registry, so [--metrics] exports them without a journal handle. *)
+let m_served = Vmbp_obs.Registry.counter "journal.served"
+let m_appended = Vmbp_obs.Registry.counter "journal.appended"
+let m_write_errors = Vmbp_obs.Registry.counter "journal.write_errors"
+
 let lookup t ~key ~fingerprint =
   Mutex.lock t.lock;
   let r = Hashtbl.find_opt t.tbl (key, fingerprint) in
   (match r with Some _ -> t.served <- t.served + 1 | None -> ());
   Mutex.unlock t.lock;
+  (match r with Some _ -> Vmbp_obs.Registry.add m_served 1 | None -> ());
   r
 
 let write_all fd s =
@@ -282,15 +289,21 @@ let append t e =
   (* The [journal-io] chaos point models a failed append: the write is
      dropped exactly as a disk error would drop it, and the run must keep
      going with the cell merely unjournaled. *)
-  if t.closed || Faults.fire Faults.Journal_io then
-    t.write_errors <- t.write_errors + 1
+  if t.closed || Faults.fire Faults.Journal_io then begin
+    t.write_errors <- t.write_errors + 1;
+    Vmbp_obs.Registry.add m_write_errors 1
+  end
   else begin
     match
       write_all t.fd line;
       Unix.fsync t.fd
     with
-    | () -> t.appended <- t.appended + 1
-    | exception Unix.Unix_error _ -> t.write_errors <- t.write_errors + 1
+    | () ->
+        t.appended <- t.appended + 1;
+        Vmbp_obs.Registry.add m_appended 1
+    | exception Unix.Unix_error _ ->
+        t.write_errors <- t.write_errors + 1;
+        Vmbp_obs.Registry.add m_write_errors 1
   end;
   Mutex.unlock t.lock
 

@@ -24,12 +24,127 @@ type timed = {
   cell : cell;
   outcome : (Runner.run, string) result;
   wall_seconds : float;
+  serve_seconds : float;
   mode : mode;
   attempts : int;
   timed_out : bool;
   from_journal : bool;
   audited : bool;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Observability instruments (see {!Vmbp_obs.Registry}).  Handles are
+   module-level so [Registry.reset] between report runs zeroes them in
+   place; every update happens at cell or group granularity, never inside
+   the simulation hot loops. *)
+
+let m_cache_live_hits = Vmbp_obs.Registry.counter "trace_cache.live_hits"
+let m_cache_memo_hits = Vmbp_obs.Registry.counter "trace_cache.memo_hits"
+let m_cache_misses = Vmbp_obs.Registry.counter "trace_cache.misses"
+let m_cache_insertions = Vmbp_obs.Registry.counter "trace_cache.insertions"
+
+(* An eviction demotes a live entry to a memo-only summary, so this also
+   counts memo demotions. *)
+let m_cache_evictions = Vmbp_obs.Registry.counter "trace_cache.evictions"
+let m_cell_retries = Vmbp_obs.Registry.counter "cells.retries"
+let m_cell_timeouts = Vmbp_obs.Registry.counter "cells.timeouts"
+let g_queue_depth = Vmbp_obs.Registry.gauge "pool.queue_depth"
+let g_busy_workers = Vmbp_obs.Registry.gauge "pool.busy_workers"
+
+let h_cell_wall =
+  Vmbp_obs.Registry.histogram
+    ~bounds:[| 1e-4; 1e-3; 1e-2; 0.1; 1.; 10.; 60. |]
+    "cell.wall_seconds"
+
+let h_cell_minor_words =
+  Vmbp_obs.Registry.histogram
+    ~bounds:[| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
+    "cell.minor_words"
+
+(* ------------------------------------------------------------------ *)
+(* Progress heartbeat: one stderr line, redrawn in place at most twice a
+   second, from whichever domain happens to tick first.  Never written
+   unless [progress] is on, and never to stdout, so report tables stay
+   byte-identical with the heartbeat enabled. *)
+
+let progress = ref false
+let prog_lock = Mutex.create ()
+let prog_active = ref false
+let prog_total = ref 0
+let prog_done = ref 0
+let prog_start = ref 0.
+let prog_last = ref 0.
+let prog_busy : (int, string) Hashtbl.t = Hashtbl.create 8
+
+(* Called with [prog_lock] held. *)
+let progress_draw now =
+  prog_last := now;
+  let elapsed = now -. !prog_start in
+  let d = !prog_done and t = !prog_total in
+  let eta =
+    if d = 0 || d >= t then ""
+    else
+      Printf.sprintf "  eta %.0fs"
+        (elapsed *. float_of_int (t - d) /. float_of_int d)
+  in
+  Printf.eprintf "\r[vmbp] %d/%d cells  %d busy  %.0fs elapsed%s   %!" d t
+    (Hashtbl.length prog_busy) elapsed eta
+
+let progress_tick () =
+  if !progress && !prog_active then begin
+    let now = Unix.gettimeofday () in
+    if now -. !prog_last >= 0.5 then begin
+      Mutex.lock prog_lock;
+      if !prog_active && now -. !prog_last >= 0.5 then progress_draw now;
+      Mutex.unlock prog_lock
+    end
+  end
+
+let progress_begin total =
+  if !progress then begin
+    Mutex.lock prog_lock;
+    prog_active := true;
+    prog_total := total;
+    prog_done := 0;
+    prog_start := Unix.gettimeofday ();
+    prog_last := 0.;
+    Hashtbl.reset prog_busy;
+    Mutex.unlock prog_lock
+  end
+
+let progress_cell_done () =
+  if !progress && !prog_active then begin
+    Mutex.lock prog_lock;
+    prog_done := !prog_done + 1;
+    Mutex.unlock prog_lock
+  end
+
+let progress_busy name =
+  if !progress && !prog_active then begin
+    Mutex.lock prog_lock;
+    Hashtbl.replace prog_busy (Domain.self () :> int) name;
+    Mutex.unlock prog_lock
+  end
+
+let progress_idle () =
+  if !progress && !prog_active then begin
+    Mutex.lock prog_lock;
+    Hashtbl.remove prog_busy (Domain.self () :> int);
+    Mutex.unlock prog_lock
+  end
+
+let progress_end () =
+  if !progress then begin
+    Mutex.lock prog_lock;
+    if !prog_active then begin
+      prog_active := false;
+      Hashtbl.reset prog_busy;
+      (* Erase the heartbeat so whatever stderr prints next starts on a
+         clean line. *)
+      Printf.eprintf "\r%s\r%!" (String.make 70 ' ')
+    end;
+    Mutex.unlock prog_lock
+  end
 
 let default_jobs = ref 1
 
@@ -113,7 +228,8 @@ let queue_push q x =
   Mutex.lock q.lock;
   Queue.push x q.items;
   Condition.signal q.nonempty;
-  Mutex.unlock q.lock
+  Mutex.unlock q.lock;
+  Vmbp_obs.Registry.gauge_add g_queue_depth 1.
 
 let queue_close q =
   Mutex.lock q.lock;
@@ -127,6 +243,7 @@ let queue_take q =
     match Queue.take_opt q.items with
     | Some x ->
         Mutex.unlock q.lock;
+        Vmbp_obs.Registry.gauge_add g_queue_depth (-1.);
         Some x
     | None ->
         if q.closed then begin
@@ -229,6 +346,10 @@ let cache_find c =
     | None -> `Miss
   in
   Mutex.unlock cache_lock;
+  (match found with
+  | `Live _ -> Vmbp_obs.Registry.add m_cache_live_hits 1
+  | `Summary _ -> Vmbp_obs.Registry.add m_cache_memo_hits 1
+  | `Miss -> Vmbp_obs.Registry.add m_cache_misses 1);
   found
 
 let cache_release e =
@@ -254,6 +375,7 @@ let evict_to_cap_locked () =
         in
         cache_bytes := !cache_bytes - lru.ce_bytes;
         lru.ce_dead <- true;
+        Vmbp_obs.Registry.add m_cache_evictions 1;
         entry_drop_locked lru
   done
 
@@ -294,6 +416,7 @@ let cache_insert c trace =
         cache :=
           e :: List.filter (fun o -> not (entry_matches c o && o.ce_dead)) !cache;
         cache_bytes := !cache_bytes + bytes;
+        Vmbp_obs.Registry.add m_cache_insertions 1;
         evict_to_cap_locked ();
         e
   in
@@ -398,6 +521,9 @@ let journal_append c (t : timed) =
         | Error _ -> (not t.timed_out) && not (Faults.armed ())
       in
       if worthy then
+        Vmbp_obs.Span.with_ ~name:"journal-append"
+          ~args:[ ("cell", cell_name c) ]
+        @@ fun () ->
         let outcome =
           match t.outcome with
           | Ok r ->
@@ -451,6 +577,7 @@ let timed_of_entry c (e : Journal.entry) =
     cell = c;
     outcome;
     wall_seconds = 0.;
+    serve_seconds = 0.;
     mode = Replay;
     attempts = e.Journal.attempts;
     timed_out = e.Journal.timed_out;
@@ -480,8 +607,12 @@ let supervised body =
       let t = !cell_timeout in
       if t > 0. then begin
         let deadline = Unix.gettimeofday () +. t in
-        Some (fun () -> if Unix.gettimeofday () > deadline then raise Cell_deadline)
+        Some
+          (fun () ->
+            progress_tick ();
+            if Unix.gettimeofday () > deadline then raise Cell_deadline)
       end
+      else if !progress then Some progress_tick
       else None
     in
     let verdict =
@@ -515,23 +646,32 @@ let supervised body =
   in
   attempt 1
 
+(* Per-cell allocation pressure, from the domain-local GC counters; the
+   delta is this domain's minor allocation while the cell ran, which is
+   attributable because a cell never migrates between domains. *)
+let minor_words () = (Gc.quick_stat ()).Gc.minor_words
+
 let run_cell c =
   let t0 = Unix.gettimeofday () in
+  let w0 = minor_words () in
   let outcome, attempts, timed_out =
-    if !self_check then
-      supervised (fun ?poll () ->
-          Runner.run_checked ~scale:c.scale ?poll ?predictor:c.predictor
-            ~cell:(cell_key c) ~cpu:c.cpu ~technique:c.technique c.workload)
-    else
-      supervised (fun ?poll () ->
-          Ok
-            (Runner.run ~scale:c.scale ?poll ?predictor:c.predictor ~cpu:c.cpu
-               ~technique:c.technique c.workload))
+    Vmbp_obs.Span.with_ ~name:"cell" ~args:[ ("cell", cell_name c) ] (fun () ->
+        if !self_check then
+          supervised (fun ?poll () ->
+              Runner.run_checked ~scale:c.scale ?poll ?predictor:c.predictor
+                ~cell:(cell_key c) ~cpu:c.cpu ~technique:c.technique c.workload)
+        else
+          supervised (fun ?poll () ->
+              Ok
+                (Runner.run ~scale:c.scale ?poll ?predictor:c.predictor
+                   ~cpu:c.cpu ~technique:c.technique c.workload)))
   in
+  Vmbp_obs.Registry.observe h_cell_minor_words (minor_words () -. w0);
   {
     cell = c;
     outcome;
     wall_seconds = Unix.gettimeofday () -. t0;
+    serve_seconds = 0.;
     mode = Direct;
     attempts;
     timed_out;
@@ -541,14 +681,19 @@ let run_cell c =
 
 let replay_cell mode tr c =
   let t0 = Unix.gettimeofday () in
+  let w0 = minor_words () in
   let outcome, attempts, timed_out =
-    supervised (fun ?poll () ->
-        Runner.replay ?poll ?predictor:c.predictor ~cpu:c.cpu tr)
+    Vmbp_obs.Span.with_ ~name:"replay" ~args:[ ("cell", cell_name c) ]
+      (fun () ->
+        supervised (fun ?poll () ->
+            Runner.replay ?poll ?predictor:c.predictor ~cpu:c.cpu tr))
   in
+  Vmbp_obs.Registry.observe h_cell_minor_words (minor_words () -. w0);
   {
     cell = c;
     outcome;
     wall_seconds = Unix.gettimeofday () -. t0;
+    serve_seconds = 0.;
     mode;
     attempts;
     timed_out;
@@ -571,12 +716,16 @@ let memo_cells entry arr idxs =
         with
         | None -> None
         | Some outcome ->
+            let wall = Unix.gettimeofday () -. t0 in
             go
               (( i,
                  {
                    cell = c;
                    outcome;
-                   wall_seconds = Unix.gettimeofday () -. t0;
+                   wall_seconds = wall;
+                   (* A memo-served cell ran no simulator: its whole wall
+                      time is serving from the summary tables. *)
+                   serve_seconds = wall;
                    mode = Replay;
                    attempts = 1;
                    timed_out = false;
@@ -638,8 +787,11 @@ let audit_crosscheck c (t : timed) =
   else begin
     let t0 = Unix.gettimeofday () in
     let direct =
-      Runner.run_result ~scale:c.scale ?predictor:c.predictor ~cpu:c.cpu
-        ~technique:c.technique c.workload
+      Vmbp_obs.Span.with_ ~name:"audit-crosscheck"
+        ~args:[ ("cell", cell_name c) ]
+        (fun () ->
+          Runner.run_result ~scale:c.scale ?predictor:c.predictor ~cpu:c.cpu
+            ~technique:c.technique c.workload)
     in
     let agree =
       match (t.outcome, direct) with
@@ -696,7 +848,12 @@ let run_group results arr idxs =
   let finish i t =
     let t = audit_crosscheck arr.(i) t in
     results.(i) <- Some t;
-    journal_append arr.(i) t
+    Vmbp_obs.Registry.add m_cell_retries (max 0 (t.attempts - 1));
+    if t.timed_out then Vmbp_obs.Registry.add m_cell_timeouts 1;
+    Vmbp_obs.Registry.observe h_cell_wall t.wall_seconds;
+    journal_append arr.(i) t;
+    progress_cell_done ();
+    progress_tick ()
   in
   let direct () =
     List.iter
@@ -715,13 +872,19 @@ let run_group results arr idxs =
       if t > 0. then begin
         let deadline = t0 +. t in
         Some
-          (fun () -> if Unix.gettimeofday () > deadline then raise Cell_deadline)
+          (fun () ->
+            progress_tick ();
+            if Unix.gettimeofday () > deadline then raise Cell_deadline)
       end
+      else if !progress then Some progress_tick
       else None
     in
     match
-      Runner.record ~scale:c0.scale ?poll ~cap_bytes:(cap_bytes ())
-        ~technique:c0.technique c0.workload
+      Vmbp_obs.Span.with_ ~name:"record"
+        ~args:[ ("cell", cell_name c0) ]
+        (fun () ->
+          Runner.record ~scale:c0.scale ?poll ~cap_bytes:(cap_bytes ())
+            ~technique:c0.technique c0.workload)
     with
     | Error (`Overflow | `Failed _) -> direct ()
     | Ok tr ->
@@ -787,10 +950,17 @@ let run_group results arr idxs =
      degrades this group to per-cell direct runs instead of escaping into
      the pool.  Worker death is the deliberate exception -- it must escape
      to exercise the supervision layer above. *)
-  match traced () with
-  | () -> ()
-  | exception Faults.Worker_killed -> raise Faults.Worker_killed
-  | exception _ -> direct ()
+  progress_busy (cell_name arr.(List.hd idxs));
+  Vmbp_obs.Registry.gauge_add g_busy_workers 1.;
+  Fun.protect
+    ~finally:(fun () ->
+      Vmbp_obs.Registry.gauge_add g_busy_workers (-1.);
+      progress_idle ())
+    (fun () ->
+      match traced () with
+      | () -> ()
+      | exception Faults.Worker_killed -> raise Faults.Worker_killed
+      | exception _ -> direct ())
 
 (* Group cell indices by (workload, technique, scale), preserving first-
    occurrence order and ascending indices within each group. *)
@@ -811,6 +981,7 @@ let interrupted_cell c =
     cell = c;
     outcome = Error "interrupted before this cell ran (partial report)";
     wall_seconds = 0.;
+    serve_seconds = 0.;
     mode = Direct;
     attempts = 0;
     timed_out = false;
@@ -824,6 +995,7 @@ let abandoned_cell c =
     cell = c;
     outcome = Error "worker died repeatedly on this cell's group";
     wall_seconds = 0.;
+    serve_seconds = 0.;
     mode = Direct;
     attempts = 0;
     timed_out = false;
@@ -909,18 +1081,27 @@ let run_cells ?jobs cells =
   let results = Array.make (Array.length arr) None in
   (* Resume pre-pass: serve journaled cells before planning any work, so a
      fully journaled group neither records nor replays anything. *)
+  progress_begin (Array.length arr);
   (match !journal with
   | None -> ()
   | Some j ->
-      Array.iteri
-        (fun i c ->
-          match
-            Journal.lookup j ~key:(cell_key c)
-              ~fingerprint:(config_fingerprint c)
-          with
-          | Some e -> results.(i) <- Some (timed_of_entry c e)
-          | None -> ())
-        arr);
+      Vmbp_obs.Span.with_ ~name:"journal-serve" (fun () ->
+          Array.iteri
+            (fun i c ->
+              let t0 = Unix.gettimeofday () in
+              match
+                Journal.lookup j ~key:(cell_key c)
+                  ~fingerprint:(config_fingerprint c)
+              with
+              | Some e ->
+                  let t = timed_of_entry c e in
+                  (* A journal-served cell re-ran no simulator; the lookup
+                     and reconstruction time is all it cost. *)
+                  let serve = Unix.gettimeofday () -. t0 in
+                  results.(i) <- Some { t with serve_seconds = serve };
+                  progress_cell_done ()
+              | None -> ())
+            arr));
   let groups =
     List.filter_map
       (fun g ->
@@ -945,6 +1126,7 @@ let run_cells ?jobs cells =
         end)
       groups
   else run_pool ~jobs results arr groups;
+  progress_end ();
   let out =
     Array.to_list
       (Array.mapi
@@ -1043,6 +1225,7 @@ let json_of_timed t =
   add ",\"from_journal\":%b" t.from_journal;
   if t.audited then add ",\"audited\":true";
   add ",\"wall_seconds\":%s" (json_float t.wall_seconds);
+  add ",\"serve_seconds\":%s" (json_float t.serve_seconds);
   add "}";
   Buffer.contents b
 
@@ -1066,7 +1249,7 @@ let json_summary ?jobs results =
   in
   let countp p = List.length (List.filter p results) in
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"schema\":\"vmbp-cells/3\"";
+  Buffer.add_string b "{\"schema\":\"vmbp-cells/4\"";
   Buffer.add_string b (Printf.sprintf ",\"jobs\":%d" jobs);
   Buffer.add_string b
     (Printf.sprintf ",\"cells\":%d" (List.length results));
@@ -1118,6 +1301,12 @@ let json_summary ?jobs results =
     (Printf.sprintf ",\"record_wall_seconds\":%s" (json_float (wall Record)));
   Buffer.add_string b
     (Printf.sprintf ",\"replay_wall_seconds\":%s" (json_float (wall Replay)));
+  (* vmbp-cells/4: time spent serving cells without any simulation at all
+     (journal lookups and memo-table replays). *)
+  Buffer.add_string b
+    (Printf.sprintf ",\"serve_wall_seconds\":%s"
+       (json_float
+          (List.fold_left (fun a t -> a +. t.serve_seconds) 0. results)));
   Buffer.add_string b ",\"results\":[";
   List.iteri
     (fun i t ->

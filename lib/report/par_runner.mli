@@ -56,6 +56,10 @@ type timed = {
       (** wall-clock spent producing this cell; a [Record] cell carries its
           group's one engine execution, so summing over cells accounts all
           work *)
+  serve_seconds : float;
+      (** the part of this cell's cost that was pure serving -- journal
+          lookup and reconstruction, or memo-table replay -- with no
+          simulation at all; [0] for cells that ran a simulator *)
   mode : mode;
   attempts : int;
       (** cell attempts consumed, [> 1] after transient-failure retries;
@@ -73,6 +77,14 @@ type timed = {
 val default_jobs : int ref
 (** Pool size used when [?jobs] is omitted; set once from the [--jobs N]
     command-line flag.  Defaults to 1 (sequential). *)
+
+val progress : bool ref
+(** Emit a one-line heartbeat to stderr while {!run_cells} works: cells
+    done / total, busy workers, elapsed time and a naive ETA, redrawn in
+    place at most twice a second from the engine poll hook.  Never touches
+    stdout, so report tables are byte-identical either way.  Default
+    [false]; the CLI turns it on when stderr is a TTY ([--progress] /
+    [--no-progress] override). *)
 
 (** {2 Differential self-check and sampled auditing}
 
@@ -216,16 +228,16 @@ val drain_log : unit -> timed list
     order (each batch in its input order); clears the log. *)
 
 val json_summary : ?jobs:int -> timed list -> string
-(** A machine-readable summary: schema [vmbp-cells/3], one record per cell
+(** A machine-readable summary: schema [vmbp-cells/4], one record per cell
     with simulated cycles, mispredict rate, I-cache misses, production
     mode, [attempts]/[timed_out]/[from_journal] (plus [audited] when the
-    cell was cross-checked) and wall-clock seconds (or the error for
-    failed cells), plus top-level [engine_runs]/[replays]/
+    cell was cross-checked), wall-clock seconds and [serve_seconds] (or
+    the error for failed cells), plus top-level [engine_runs]/[replays]/
     [from_journal]/[retries]/[timeouts]/[interrupted]/[injected_faults]/
     [worker_respawns] counters, the differential-checking block
     ([self_check]/[audit_sample]/[audited]/[divergences]), journal
-    statistics when a journal is installed, and the
-    direct/record/replay wall-clock split. *)
+    statistics when a journal is installed, the direct/record/replay
+    wall-clock split and the aggregate [serve_wall_seconds]. *)
 
 val write_json_summary : ?jobs:int -> file:string -> timed list -> unit
 (** Write {!json_summary} to [file]. *)

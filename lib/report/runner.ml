@@ -32,14 +32,26 @@ let effective_profile ?profile ~scale ~technique (workload : Vmbp_workloads.t)
 
 let run ?(scale = 1) ?poll ?predictor ?profile ~cpu ~technique
     (workload : Vmbp_workloads.t) =
-  let loaded = workload.Vmbp_workloads.load ~scale in
-  let profile = effective_profile ?profile ~scale ~technique workload in
-  let config = Config.make ~cpu ?predictor technique in
-  let layout = Config.build_layout ?profile config ~program:loaded.Vmbp_workloads.program in
+  let loaded, config, layout =
+    Vmbp_obs.Span.with_ ~name:"layout"
+      ~args:[ ("workload", workload.Vmbp_workloads.name) ]
+      (fun () ->
+        let loaded = workload.Vmbp_workloads.load ~scale in
+        let profile = effective_profile ?profile ~scale ~technique workload in
+        let config = Config.make ~cpu ?predictor technique in
+        let layout =
+          Config.build_layout ?profile config
+            ~program:loaded.Vmbp_workloads.program
+        in
+        (loaded, config, layout))
+  in
   let session = loaded.Vmbp_workloads.fresh_session () in
   let result =
-    Engine.run ~fuel:engine_fuel ?poll ~config ~layout
-      ~exec:session.Vmbp_workloads.exec ()
+    Vmbp_obs.Span.with_ ~name:"engine"
+      ~args:[ ("workload", workload.Vmbp_workloads.name) ]
+      (fun () ->
+        Engine.run ~fuel:engine_fuel ?poll ~config ~layout
+          ~exec:session.Vmbp_workloads.exec ())
   in
   (match result.Engine.trapped with
   | Some msg -> raise (Run_failed (trap_message workload technique msg))
@@ -80,8 +92,9 @@ let run_checked ?(scale = 1) ?poll ?predictor ?profile ?fast_maker ~cell ~cpu
     let config, layout, session = build () in
     let fast = Option.map (fun f -> f ()) fast_maker in
     let checked =
-      Audit.dual_run ~fuel:engine_fuel ?poll ?fast ~cell ~config ~layout
-        ~exec:session.Vmbp_workloads.exec ()
+      Vmbp_obs.Span.with_ ~name:"audit" ~args:[ ("cell", cell) ] (fun () ->
+          Audit.dual_run ~fuel:engine_fuel ?poll ?fast ~cell ~config ~layout
+            ~exec:session.Vmbp_workloads.exec ())
     in
     (checked, session)
   with

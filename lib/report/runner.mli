@@ -13,6 +13,21 @@ exception Run_failed of string
 (** Raised when a run traps: reproduction results from a trapped run would
     be meaningless. *)
 
+val engine_fuel : int
+(** The executed-VM-instruction bound every run in this module uses.
+    Exposed so tooling that re-runs a cell outside the runner (the
+    [explain] attribution command) is cut off at exactly the same point. *)
+
+val effective_profile :
+  ?profile:Vmbp_vm.Profile.t ->
+  scale:int ->
+  technique:Vmbp_core.Technique.t ->
+  Vmbp_workloads.t ->
+  Vmbp_vm.Profile.t option
+(** The paper's training policy: static-selection techniques get the
+    workload's training profile unless the caller supplies one.  Exposed
+    for the same reason as {!engine_fuel}. *)
+
 val run :
   ?scale:int ->
   ?poll:(unit -> unit) ->

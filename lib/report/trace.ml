@@ -274,7 +274,7 @@ let record ?fuel ?poll ?(cap_bytes = max_int) ~layout ~exec ~output () =
               (dict_code budget dispatch_dict branch meta);
             incr n_dispatch);
         Engine.on_fetch =
-          (fun ~addr ~bytes ->
+          (fun ~addr ~bytes ~opcode:_ ->
             if
               addr < 0
               || addr >= fetch_addr_limit

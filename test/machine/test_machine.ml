@@ -483,6 +483,127 @@ let icache_geometries =
     ("infinite", Icache.infinite);
   ]
 
+(* -------------------------------------------------------------------- *)
+(* Observer hooks (the attribution substrate of the explain tooling) *)
+
+let test_btb_observer_eviction_chain () =
+  (* Direct-mapped 2-entry BTB: branches 0 and 8 alias to the same set and
+     evict each other, and the observer must report exactly who displaced
+     whom. *)
+  let btb = Btb.create (Btb.classic ~entries:2 ~associativity:1) in
+  let log = ref [] in
+  Btb.set_observer btb
+    (Some (fun ~branch ~set outcome -> log := (branch, set, outcome) :: !log));
+  ignore (Btb.access btb ~branch:0 ~target:1);
+  ignore (Btb.access btb ~branch:8 ~target:1);
+  ignore (Btb.access btb ~branch:0 ~target:1);
+  match List.rev !log with
+  | [ (0, s0, Btb.Miss { evicted = e0 }); (8, s1, Btb.Miss { evicted = e1 });
+      (0, s2, Btb.Miss { evicted = e2 }) ] ->
+      check_int "same set" s0 s1;
+      check_int "same set again" s0 s2;
+      check_int "cold slot" (-1) e0;
+      check_int "8 evicts 0" 0 e1;
+      check_int "0 evicts 8" 8 e2
+  | l -> Alcotest.failf "unexpected observer log (%d events)" (List.length l)
+
+let test_btb_observer_outcomes () =
+  let btb = Btb.create (Btb.classic ~entries:64 ~associativity:4) in
+  let log = ref [] in
+  Btb.set_observer btb
+    (Some (fun ~branch:_ ~set:_ outcome -> log := outcome :: !log));
+  ignore (Btb.access btb ~branch:8 ~target:1);
+  ignore (Btb.access btb ~branch:8 ~target:1);
+  ignore (Btb.access btb ~branch:8 ~target:2);
+  (match List.rev !log with
+  | [ Btb.Miss { evicted = -1 }; Btb.Hit; Btb.Wrong_target ] -> ()
+  | _ -> Alcotest.fail "expected cold miss, hit, wrong-target");
+  (* The unbounded table has no set structure: set must be -1. *)
+  let ideal = Btb.create Btb.ideal in
+  let sets = ref [] in
+  Btb.set_observer ideal
+    (Some (fun ~branch:_ ~set outcome -> sets := (set, outcome) :: !sets));
+  ignore (Btb.access ideal ~branch:3 ~target:1);
+  ignore (Btb.access ideal ~branch:3 ~target:1);
+  match List.rev !sets with
+  | [ (-1, Btb.Miss { evicted = -1 }); (-1, Btb.Hit) ] -> ()
+  | _ -> Alcotest.fail "unbounded BTB must report set = -1"
+
+let test_btb_observer_is_passive () =
+  (* Same access stream, observed and unobserved: identical outcomes. *)
+  let stream =
+    List.init 300 (fun i -> ((i * 7) mod 16 * 64, (i * 13) mod 5))
+  in
+  let run observed =
+    let btb = Btb.create (Btb.classic ~entries:8 ~associativity:2) in
+    if observed then
+      Btb.set_observer btb (Some (fun ~branch:_ ~set:_ _ -> ()));
+    List.map (fun (branch, target) -> Btb.access btb ~branch ~target) stream
+  in
+  Alcotest.(check (list bool)) "observer never changes decisions"
+    (run false) (run true)
+
+let test_two_level_observer () =
+  let p = Two_level.create { Two_level.entries = 64; history = 2 } in
+  let log = ref [] in
+  Two_level.set_observer p
+    (Some
+       (fun ~branch ~index ~empty ~correct ->
+         log := (branch, index, empty, correct) :: !log));
+  ignore (Two_level.access p ~branch:5 ~target:100);
+  (* Same branch, same (empty) history: same slot, now full and trained. *)
+  ignore (Two_level.access p ~branch:5 ~target:100);
+  match List.rev !log with
+  | [ (5, i0, true, false); (5, _, _, second_correct) ] ->
+      Alcotest.(check bool) "index in range" true (i0 >= 0 && i0 < 64);
+      (* The history register changed after the first access, so the slot
+         may differ, but a repeat of the same target from slot i0's state
+         must eventually predict; here we only pin the reported outcome to
+         the function's return value. *)
+      ignore second_correct
+  | l -> Alcotest.failf "unexpected two-level log (%d events)" (List.length l)
+
+let test_two_level_observer_matches_result () =
+  let p = Two_level.create Two_level.default in
+  let reported = ref [] in
+  Two_level.set_observer p
+    (Some
+       (fun ~branch:_ ~index:_ ~empty:_ ~correct ->
+         reported := correct :: !reported));
+  let returned =
+    List.init 200 (fun i ->
+        Two_level.access p ~branch:(i mod 3 * 32) ~target:(i mod 4))
+  in
+  Alcotest.(check (list bool)) "observer reports the access result"
+    returned (List.rev !reported)
+
+let test_icache_observer () =
+  (* 128B/16B direct-mapped: 8 sets; lines 0 and 8 alias to set 0. *)
+  let c =
+    Icache.create { Icache.size_bytes = 128; line_bytes = 16; associativity = 1 }
+  in
+  let log = ref [] in
+  Icache.set_observer c
+    (Some (fun ~line ~set ~evicted -> log := (line, set, evicted) :: !log));
+  let h = ref 0 and m = ref 0 in
+  Icache.fetch c ~addr:0 ~bytes:16 ~hits:h ~misses:m;
+  Icache.fetch c ~addr:(8 * 16) ~bytes:16 ~hits:h ~misses:m;
+  Icache.fetch c ~addr:0 ~bytes:16 ~hits:h ~misses:m;
+  (match List.rev !log with
+  | [ (0, 0, -1); (8, 0, 0); (0, 0, 8) ] -> ()
+  | l -> Alcotest.failf "unexpected icache log (%d events)" (List.length l));
+  check_int "observer saw every miss" !m (List.length !log);
+  (* A hit fires nothing. *)
+  let before = List.length !log in
+  Icache.fetch c ~addr:0 ~bytes:16 ~hits:h ~misses:m;
+  check_int "hit is silent" before (List.length !log);
+  (* The infinite cache never misses, so the observer never fires. *)
+  let inf = Icache.create Icache.infinite in
+  let fired = ref 0 in
+  Icache.set_observer inf (Some (fun ~line:_ ~set:_ ~evicted:_ -> incr fired));
+  Icache.fetch inf ~addr:4096 ~bytes:64 ~hits:h ~misses:m;
+  check_int "infinite cache is silent" 0 !fired
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "machine"
@@ -531,6 +652,21 @@ let () =
             test_icache_rejects_bad_config;
           Alcotest.test_case "two-level rejects bad config" `Quick
             test_two_level_rejects_bad_config;
+        ] );
+      ( "observers",
+        [
+          Alcotest.test_case "btb eviction chain" `Quick
+            test_btb_observer_eviction_chain;
+          Alcotest.test_case "btb outcome taxonomy" `Quick
+            test_btb_observer_outcomes;
+          Alcotest.test_case "btb observer is passive" `Quick
+            test_btb_observer_is_passive;
+          Alcotest.test_case "two-level slot reporting" `Quick
+            test_two_level_observer;
+          Alcotest.test_case "two-level reports access result" `Quick
+            test_two_level_observer_matches_result;
+          Alcotest.test_case "icache eviction reporting" `Quick
+            test_icache_observer;
         ] );
       ( "reference-equivalence",
         List.map qt

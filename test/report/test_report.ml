@@ -326,7 +326,9 @@ let test_par_runner_json_summary () =
     done;
     !found
   in
-  check_bool "schema marker" true (contains "\"schema\":\"vmbp-cells/3\"");
+  check_bool "schema marker" true (contains "\"schema\":\"vmbp-cells/4\"");
+  check_bool "serve time per cell" true (contains "\"serve_seconds\":");
+  check_bool "serve aggregate" true (contains "\"serve_wall_seconds\":");
   check_bool "ok cell serialised" true (contains "\"ok\":true");
   check_bool "failed cell serialised" true (contains "\"ok\":false");
   check_bool "wall time present" true (contains "\"wall_seconds\":");
@@ -337,6 +339,65 @@ let test_par_runner_json_summary () =
   check_bool "interrupted counter" true (contains "\"interrupted\":0");
   check_bool "injected-fault counter" true (contains "\"injected_faults\":");
   check_bool "respawn counter" true (contains "\"worker_respawns\":")
+
+(* ------------------------------------------------------------------ *)
+(* Explain: every mispredict and I-cache miss attributed, totals equal to
+   the self-checked counters; and observability can never change numbers. *)
+
+let test_explain_matches_checked_counters () =
+  List.iter
+    (fun (wname, cpu, technique) ->
+      let w =
+        Option.get (Vmbp_workloads.find ~vm:Vmbp_workloads.Forth wname)
+      in
+      match Vmbp_report.Explain.run ~cpu ~technique w with
+      | Error msg -> Alcotest.failf "%s: explain failed: %s" wname msg
+      | Ok t ->
+          let m =
+            t.Vmbp_report.Explain.run.Vmbp_report.Runner.result.Engine.metrics
+          in
+          check_int (wname ^ ": every mispredict attributed")
+            m.Metrics.mispredicts
+            (Vmbp_obs.Attribution.total t.Vmbp_report.Explain.pred_att);
+          check_int (wname ^ ": every icache miss attributed")
+            m.Metrics.icache_misses
+            (Vmbp_obs.Attribution.total t.Vmbp_report.Explain.icache_att);
+          (* The independent oracle: a reference-model-checked run of the
+             same cell must report exactly the attributed totals. *)
+          (match Vmbp_report.Explain.verify ~cpu ~technique w t with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "%s: verify failed: %s" wname msg);
+          let rendered = Vmbp_report.Explain.render ~top:5 t in
+          check_bool (wname ^ ": render names the technique") true
+            (String.length rendered > 0))
+    [
+      (* finite BTB on the P4, two-level predictor on the Pentium M *)
+      ("vmgen", Cpu_model.pentium4_northwood, Technique.plain);
+      ("gray", Cpu_model.pentium_m, Technique.dynamic_repl);
+    ]
+
+let test_observability_invisible () =
+  (* The same cell grid with span collection and metrics on must produce
+     byte-identical simulated numbers: observation can never steer. *)
+  let run_once () =
+    Vmbp_report.Par_runner.clear_trace_cache ();
+    let r =
+      signature (Vmbp_report.Par_runner.run_cells ~jobs:1 (toy_cells ()))
+    in
+    ignore (Vmbp_report.Par_runner.drain_log ());
+    r
+  in
+  let base = run_once () in
+  Vmbp_obs.Span.enable ();
+  Vmbp_obs.Registry.reset ();
+  let traced = Fun.protect ~finally:Vmbp_obs.Span.disable run_once in
+  Alcotest.(check (list (pair string string)))
+    "numbers identical with observability on" base traced;
+  check_bool "spans were actually collected" true (Vmbp_obs.Span.count () > 0);
+  check_bool "metrics were actually collected" true
+    (match Vmbp_obs.Registry.find_counter "trace_cache.insertions" with
+    | Some n -> n > 0L
+    | None -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Record/replay: a replayed cell must be field-for-field identical to a
@@ -1186,6 +1247,13 @@ let () =
           Alcotest.test_case "trapping cell fails alone" `Quick
             test_par_runner_fault_isolation;
           Alcotest.test_case "json summary" `Quick test_par_runner_json_summary;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "attribution equals checked counters" `Quick
+            test_explain_matches_checked_counters;
+          Alcotest.test_case "observability never changes numbers" `Quick
+            test_observability_invisible;
         ] );
       ( "record-replay",
         [
