@@ -1,12 +1,12 @@
 #!/usr/bin/env python3
-"""Validate a --trace-out or --metrics dump against its checked-in schema.
+"""Validate a --trace-out, --metrics or --json dump against its schema.
 
 Usage: validate_obs.py SCHEMA.json DUMP.json
 
 Stdlib only: implements the small JSON-Schema subset the schemas under
-dev/schema/ actually use (type, enum, required, properties,
-additionalProperties, items, minimum), plus the cross-field histogram
-invariants a declarative schema cannot express.
+dev/schema/ actually use (type -- including a list of alternatives, enum,
+required, properties, additionalProperties, items, minimum), plus the
+cross-field histogram invariants a declarative schema cannot express.
 """
 
 import json
@@ -24,17 +24,26 @@ TYPES = {
     "boolean": bool,
     "number": (int, float),
     "integer": int,
+    "null": type(None),
 }
+
+
+def matches_type(want, value):
+    # bool is an int subclass in Python; keep the kinds distinct.
+    if isinstance(value, bool) and want in ("number", "integer"):
+        return False
+    return isinstance(value, TYPES[want])
 
 
 def check_type(schema, value, path):
     want = schema["type"]
-    py = TYPES[want]
-    # bool is an int subclass in Python; keep the kinds distinct.
-    if isinstance(value, bool) and want in ("number", "integer"):
-        fail(path, f"expected {want}, got boolean")
-    if not isinstance(value, py):
-        fail(path, f"expected {want}, got {type(value).__name__}")
+    alternatives = want if isinstance(want, list) else [want]
+    if not any(matches_type(w, value) for w in alternatives):
+        fail(
+            path,
+            f"expected {' or '.join(alternatives)}, "
+            f"got {type(value).__name__}",
+        )
 
 
 def validate(schema, value, path=()):
@@ -93,10 +102,12 @@ def main():
     validate(schema, dump)
     if "metrics" in schema.get("title", ""):
         check_histograms(dump)
-    kind = "metrics" if "histograms" in dump else "trace"
-    n = len(dump.get("traceEvents", [])) if kind == "trace" else len(
-        dump.get("counters", {})
-    )
+    if "histograms" in dump:
+        kind, n = "metrics", len(dump.get("counters", {}))
+    elif "results" in dump:
+        kind, n = "cells", len(dump.get("results", []))
+    else:
+        kind, n = "trace", len(dump.get("traceEvents", []))
     print(f"validate_obs: {dump_file}: valid {kind} dump ({n} entries)")
 
 

@@ -12,6 +12,10 @@ let classic ~entries ~associativity =
 let with_counters ~entries ~associativity =
   { entries; associativity; two_bit_counters = true }
 
+(* The format is embedded in resume-journal fingerprints; keep it stable. *)
+let descriptor { entries; associativity; two_bit_counters } =
+  Printf.sprintf "btb(%d,%d,%b)" entries associativity two_bit_counters
+
 (* One way of one set.  [tag] is the full branch address (-1 = invalid);
    [counter] implements the two-bit hysteresis (3..2 = strong, replace only
    below 2); [stamp] is a per-set LRU timestamp. *)

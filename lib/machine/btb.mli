@@ -25,6 +25,11 @@ val classic : entries:int -> associativity:int -> config
 val with_counters : entries:int -> associativity:int -> config
 (** Finite BTB with two-bit counters. *)
 
+val descriptor : config -> string
+(** Canonical fingerprint ["btb(entries,assoc,two_bit)"] of the
+    configuration; distinct configurations produce distinct strings.
+    Stable across runs -- the resume journal embeds it. *)
+
 type t
 
 val create : config -> t

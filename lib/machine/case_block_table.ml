@@ -1,5 +1,8 @@
 type t = { table : int array; mask : int }
 
+(* The format is embedded in resume-journal fingerprints; keep it stable. *)
+let descriptor ~entries = Printf.sprintf "caseblock(%d)" entries
+
 let create ~entries =
   if entries <= 0 || entries land (entries - 1) <> 0 then
     invalid_arg "Case_block_table.create: entries must be a power of two";

@@ -11,6 +11,11 @@ type t
 val create : entries:int -> t
 (** [entries] must be a positive power of two. *)
 
+val descriptor : entries:int -> string
+(** Canonical fingerprint ["caseblock(entries)"] of the configuration;
+    distinct entry counts produce distinct strings.  Stable across runs --
+    the resume journal embeds it. *)
+
 val access : t -> opcode:int -> target:int -> bool
 (** Predict the target for the dispatch on [opcode] and train the table;
     returns [true] on a correct prediction. *)

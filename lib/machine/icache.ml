@@ -2,6 +2,10 @@ type config = { size_bytes : int; line_bytes : int; associativity : int }
 
 let infinite = { size_bytes = 0; line_bytes = 32; associativity = 1 }
 
+(* The format is embedded in resume-journal fingerprints; keep it stable. *)
+let descriptor { size_bytes; line_bytes; associativity } =
+  Printf.sprintf "icache(%d,%d,%d)" size_bytes line_bytes associativity
+
 let make_config ~size_bytes ~line_bytes ~associativity =
   if line_bytes <= 0 || line_bytes land (line_bytes - 1) <> 0 then
     invalid_arg "Icache.make_config: line_bytes must be a power of two";
@@ -67,6 +71,20 @@ let create cfg =
     last_slot = -1;
     observer = None;
   }
+
+let create_bank configs =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun cfg ->
+      let d = descriptor cfg in
+      if Hashtbl.mem seen d then None
+      else begin
+        Hashtbl.add seen d ();
+        match create cfg with
+        | sim -> Some (d, sim)
+        | exception _ -> None
+      end)
+    configs
 
 let config t = t.cfg
 let set_observer t obs = t.observer <- obs

@@ -18,6 +18,12 @@ val make_config :
   size_bytes:int -> line_bytes:int -> associativity:int -> config
 (** Validates that the geometry divides evenly. *)
 
+val descriptor : config -> string
+(** Canonical fingerprint ["icache(size,line,assoc)"] of the geometry.
+    Distinct configurations produce distinct strings, so the string is a
+    safe key for memo tables and journal fingerprints; stable across runs
+    (the resume journal embeds it). *)
+
 type t
 
 (** Validates the geometry like {!make_config} (raising
@@ -25,6 +31,14 @@ type t
     checked too. *)
 val create : config -> t
 val config : t -> config
+
+val create_bank : config list -> (string * t) list
+(** Fresh caches for the requested geometries, deduplicated by
+    {!descriptor} in first-occurrence order -- the construction step of a
+    banked replay, which drives all of them over one fetch stream.
+    Geometries whose {!create} raises are dropped: the bank simulates the
+    valid ones, and the per-cell path re-raises the error with cell context
+    when the invalid geometry is actually used. *)
 
 val fetch : t -> addr:int -> bytes:int -> hits:int ref -> misses:int ref -> unit
 (** Touch every line overlapping [addr, addr+bytes); adds the line hit and

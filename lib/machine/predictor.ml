@@ -14,6 +14,13 @@ let kind_name = function
   | Perfect -> "perfect"
   | Never -> "never"
 
+let descriptor = function
+  | Btb cfg -> Btb.descriptor cfg
+  | Two_level cfg -> Two_level.descriptor cfg
+  | Case_block entries -> Case_block_table.descriptor ~entries
+  | Perfect -> "perfect"
+  | Never -> "never"
+
 type state =
   | S_btb of Btb.t
   | S_two_level of Two_level.t
@@ -33,6 +40,20 @@ let create kind =
     | Never -> S_never
   in
   { kind; state }
+
+let create_bank kinds =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun k ->
+      let d = descriptor k in
+      if Hashtbl.mem seen d then None
+      else begin
+        Hashtbl.add seen d ();
+        match create k with
+        | sim -> Some (d, sim)
+        | exception _ -> None
+      end)
+    kinds
 
 let kind t = t.kind
 let btb t = match t.state with S_btb b -> Some b | _ -> None

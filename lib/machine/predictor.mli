@@ -14,10 +14,27 @@ type kind =
 
 val kind_name : kind -> string
 
+val descriptor : kind -> string
+(** Canonical, parameter-complete fingerprint of the configuration, e.g.
+    ["btb(512,4,false)"] or ["twolevel(1024,4)"].  Distinct configurations
+    produce distinct strings (the constructors use disjoint prefixes and
+    spell out every field), so the string is a safe key for memo tables and
+    journal fingerprints.  Stable across runs -- the resume journal embeds
+    it -- so changing a format is a schema change. *)
+
 type t
 
 val create : kind -> t
 val kind : t -> kind
+
+val create_bank : kind list -> (string * t) list
+(** Fresh simulators for the requested configurations, deduplicated by
+    {!descriptor} in first-occurrence order -- the construction step of a
+    banked replay, which drives all of them over one event stream.
+    Configurations whose {!create} raises (invalid geometry) are dropped:
+    the bank simulates the valid ones, and the per-cell path re-raises the
+    error with cell context when the invalid configuration is actually
+    used. *)
 
 val btb : t -> Btb.t option
 (** The underlying BTB when the predictor is a [Btb], for attaching

@@ -2,6 +2,10 @@ type config = { entries : int; history : int }
 
 let default = { entries = 1024; history = 4 }
 
+(* The format is embedded in resume-journal fingerprints; keep it stable. *)
+let descriptor { entries; history } =
+  Printf.sprintf "twolevel(%d,%d)" entries history
+
 type t = {
   cfg : config;
   table : int array;  (* predicted targets, -1 = empty *)

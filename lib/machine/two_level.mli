@@ -15,6 +15,11 @@ type config = {
 val default : config
 (** 1024 entries, 4 targets of path history. *)
 
+val descriptor : config -> string
+(** Canonical fingerprint ["twolevel(entries,history)"] of the
+    configuration; distinct configurations produce distinct strings.
+    Stable across runs -- the resume journal embeds it. *)
+
 type t
 
 val create : config -> t

@@ -46,6 +46,11 @@ let m_cache_insertions = Vmbp_obs.Registry.counter "trace_cache.insertions"
 (* An eviction demotes a live entry to a memo-only summary, so this also
    counts memo demotions. *)
 let m_cache_evictions = Vmbp_obs.Registry.counter "trace_cache.evictions"
+
+(* Banked replays: single-pass group traversals that fed at least one
+   fresh simulator configuration, and the configurations they fed. *)
+let m_bank_replays = Vmbp_obs.Registry.counter "trace.bank_replays"
+let m_banked_configs = Vmbp_obs.Registry.counter "trace.banked_configs"
 let m_cell_retries = Vmbp_obs.Registry.counter "cells.retries"
 let m_cell_timeouts = Vmbp_obs.Registry.counter "cells.timeouts"
 let g_queue_depth = Vmbp_obs.Registry.gauge "pool.queue_depth"
@@ -190,6 +195,34 @@ let worker_respawns () =
   Mutex.lock respawn_lock;
   let n = !respawns in
   Mutex.unlock respawn_lock;
+  n
+
+(* Banked-replay accounting since process start, [worker_respawns]-style:
+   one [bank_replays] tick per group whose banked pass simulated at least
+   one fresh configuration, [banked_configs] summing those
+   configurations. *)
+let bank_lock = Mutex.create ()
+let bank_replays_n = ref 0
+let banked_configs_n = ref 0
+
+let note_bank configs =
+  Mutex.lock bank_lock;
+  incr bank_replays_n;
+  banked_configs_n := !banked_configs_n + configs;
+  Mutex.unlock bank_lock;
+  Vmbp_obs.Registry.add m_bank_replays 1;
+  Vmbp_obs.Registry.add m_banked_configs configs
+
+let bank_replays () =
+  Mutex.lock bank_lock;
+  let n = !bank_replays_n in
+  Mutex.unlock bank_lock;
+  n
+
+let banked_configs () =
+  Mutex.lock bank_lock;
+  let n = !banked_configs_n in
+  Mutex.unlock bank_lock;
   n
 
 let cell ?(tag = "") ?(scale = 1) ?predictor ~cpu ~technique workload =
@@ -450,26 +483,16 @@ let trace_cache_bytes () =
    override, the trace setting -- so a journal written under one
    configuration is never wrongly served to another. *)
 
-let predictor_descriptor = function
-  | Predictor.Btb { Btb.entries; associativity; two_bit_counters } ->
-      Printf.sprintf "btb(%d,%d,%b)" entries associativity two_bit_counters
-  | Predictor.Two_level { Two_level.entries; history } ->
-      Printf.sprintf "twolevel(%d,%d)" entries history
-  | Predictor.Case_block n -> Printf.sprintf "caseblock(%d)" n
-  | Predictor.Perfect -> "perfect"
-  | Predictor.Never -> "never"
-
 let predictor_override_descriptor = function
-  | Some p -> predictor_descriptor p
+  | Some p -> Predictor.descriptor p
   | None -> "cpu"
 
 let cpu_descriptor (cpu : Cpu_model.t) =
-  let ic = cpu.Cpu_model.icache in
-  Printf.sprintf "%s{%d,%g,%d,%d,%s,icache(%d,%d,%d)}" cpu.Cpu_model.name
-    cpu.Cpu_model.mhz cpu.Cpu_model.ipc cpu.Cpu_model.mispredict_penalty
+  Printf.sprintf "%s{%d,%g,%d,%d,%s,%s}" cpu.Cpu_model.name cpu.Cpu_model.mhz
+    cpu.Cpu_model.ipc cpu.Cpu_model.mispredict_penalty
     cpu.Cpu_model.icache_miss_penalty
-    (predictor_descriptor cpu.Cpu_model.predictor)
-    ic.Icache.size_bytes ic.Icache.line_bytes ic.Icache.associativity
+    (Predictor.descriptor cpu.Cpu_model.predictor)
+    (Icache.descriptor cpu.Cpu_model.icache)
 
 let cell_key c =
   Printf.sprintf "%s|%s/%s|%s|%s|s%d|%s" c.tag
@@ -860,6 +883,75 @@ let run_group results arr idxs =
       (fun i -> if results.(i) = None then finish i (run_cell arr.(i)))
       idxs
   in
+  (* One banked traversal per group: every distinct pending configuration
+     is simulated in a single pass over each of the trace's token streams
+     ({!Runner.replay_bank}), so the per-cell replays below are served from
+     the memo tables instead of each re-walking the whole trace.  The bank
+     runs under the group-level deadline, like recording; any failure (a
+     deadline, an invalid configuration) just leaves configurations
+     un-memoized, and the per-cell path re-simulates them under its own
+     watchdog and reports its own error.  Returns the seconds spent, for
+     billing to the group's first live cell. *)
+  let bank_group entry idxs =
+    match List.filter (fun i -> results.(i) = None) idxs with
+    | [] -> 0.
+    | pending ->
+        let t0 = Unix.gettimeofday () in
+        let poll =
+          let t = !cell_timeout in
+          if t > 0. then begin
+            let deadline = t0 +. t in
+            Some
+              (fun () ->
+                progress_tick ();
+                if Unix.gettimeofday () > deadline then raise Cell_deadline)
+          end
+          else if !progress then Some progress_tick
+          else None
+        in
+        (match
+           Vmbp_obs.Span.with_ ~name:"bank"
+             ~args:[ ("cell", cell_name arr.(List.hd pending)) ]
+             (fun () ->
+               Runner.replay_bank ?poll
+                 ~configs:
+                   (List.map
+                      (fun i -> (arr.(i).cpu, arr.(i).predictor))
+                      pending)
+                 entry.ce_trace)
+         with
+        | fresh -> if fresh > 0 then note_bank fresh
+        | exception Faults.Worker_killed -> raise Faults.Worker_killed
+        | exception _ -> ());
+        Unix.gettimeofday () -. t0
+  in
+  (* Replay every pending cell of the group from the banked memo tables.
+     [extra] -- the group's one engine execution plus the banked traversal
+     -- is billed to the first live cell, so summing wall_seconds still
+     accounts all work; [first_record] marks the group's first cell as the
+     one whose engine run produced the trace. *)
+  let replay_group entry ~first_record ~extra idxs =
+    let extra = ref (extra +. bank_group entry idxs) in
+    List.iteri
+      (fun k i ->
+        if results.(i) = None then begin
+          let timed =
+            replay_cell
+              (if first_record && k = 0 then Record else Replay)
+              entry.ce_trace arr.(i)
+          in
+          let timed =
+            if !extra > 0. then begin
+              let e = !extra in
+              extra := 0.;
+              { timed with wall_seconds = timed.wall_seconds +. e }
+            end
+            else timed
+          in
+          finish i timed
+        end)
+      idxs
+  in
   let record_group () =
     let c0 = arr.(List.hd idxs) in
     let t0 = Unix.gettimeofday () in
@@ -898,27 +990,7 @@ let run_group results arr idxs =
         end;
         let record_seconds = Unix.gettimeofday () -. t0 in
         let entry = cache_insert c0 tr in
-        List.iteri
-          (fun k i ->
-            if results.(i) = None then begin
-              let timed =
-                replay_cell
-                  (if k = 0 then Record else Replay)
-                  entry.ce_trace arr.(i)
-              in
-              (* The group's one engine execution is billed to the first
-                 cell, so summing wall_seconds still accounts all work. *)
-              let timed =
-                if k = 0 then
-                  {
-                    timed with
-                    wall_seconds = timed.wall_seconds +. record_seconds;
-                  }
-                else timed
-              in
-              finish i timed
-            end)
-          idxs;
+        replay_group entry ~first_record:true ~extra:record_seconds idxs;
         cache_release entry
   in
   let traced () =
@@ -930,11 +1002,7 @@ let run_group results arr idxs =
       let c0 = arr.(List.hd idxs) in
       match cache_find c0 with
       | `Live entry ->
-          List.iter
-            (fun i ->
-              if results.(i) = None then
-                finish i (replay_cell Replay entry.ce_trace arr.(i)))
-            idxs;
+          replay_group entry ~first_record:false ~extra:0. idxs;
           cache_release entry
       | `Summary entry -> (
           match
@@ -1249,7 +1317,7 @@ let json_summary ?jobs results =
   in
   let countp p = List.length (List.filter p results) in
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"schema\":\"vmbp-cells/4\"";
+  Buffer.add_string b "{\"schema\":\"vmbp-cells/5\"";
   Buffer.add_string b (Printf.sprintf ",\"jobs\":%d" jobs);
   Buffer.add_string b
     (Printf.sprintf ",\"cells\":%d" (List.length results));
@@ -1271,6 +1339,14 @@ let json_summary ?jobs results =
     (Printf.sprintf ",\"injected_faults\":%d" (Faults.total_injected ()));
   Buffer.add_string b
     (Printf.sprintf ",\"worker_respawns\":%d" (worker_respawns ()));
+  (* vmbp-cells/5: banked-replay counters since process start --
+     [bank_replays] counts single-pass group traversals that simulated at
+     least one fresh configuration, [banked_configs] the configurations
+     those passes simulated. *)
+  Buffer.add_string b
+    (Printf.sprintf ",\"bank_replays\":%d" (bank_replays ()));
+  Buffer.add_string b
+    (Printf.sprintf ",\"banked_configs\":%d" (banked_configs ()));
   (* Differential-checking counters (vmbp-cells/3): [audited] counts
      cells cross-checked against an oracle in this result set;
      [divergences] counts oracle disagreements recorded since the audit

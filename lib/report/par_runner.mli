@@ -22,7 +22,12 @@
     scale) run the exact same VM execution -- only the modelled hardware
     differs -- so the planner groups them, records the engine's event stream
     once per group ({!Runner.record}), and replays every cell of the group
-    from that trace ({!Runner.replay}).  Recorded traces are kept in a
+    from that trace.  The replay itself is banked ({!Runner.replay_bank}):
+    the group's distinct (predictor, I-cache) configurations are collected
+    up front and simulated together in one traversal per event stream, so
+    per-group replay cost is O(events), not O(cells x events); the
+    per-cell results are then fanned back out of the trace's memo tables.
+    Recorded traces are kept in a
     process-wide LRU cache bounded by {!trace_cap_mb}, so later experiments
     over the same grid (the common shape: one figure per CPU) skip the VM
     execution entirely.  Eviction recycles a trace's stream storage but
@@ -176,6 +181,16 @@ val worker_respawns : unit -> int
     pool to respawn into and the death escapes [run_cells] instead -- the
     fault harness's stand-in for a killed process. *)
 
+val bank_replays : unit -> int
+(** Banked group traversals ({!Runner.replay_bank}) that simulated at
+    least one fresh configuration since process start.  A group whose
+    configurations were all already memoized issues no traversal and is
+    not counted. *)
+
+val banked_configs : unit -> int
+(** Distinct simulator configurations freshly simulated by those banked
+    traversals since process start. *)
+
 val trace_cap_mb : int ref
 (** Budget, in megabytes, for recorded traces retained in the process-wide
     LRU cache; also caps any single recording (an over-budget group falls
@@ -228,13 +243,14 @@ val drain_log : unit -> timed list
     order (each batch in its input order); clears the log. *)
 
 val json_summary : ?jobs:int -> timed list -> string
-(** A machine-readable summary: schema [vmbp-cells/4], one record per cell
+(** A machine-readable summary: schema [vmbp-cells/5], one record per cell
     with simulated cycles, mispredict rate, I-cache misses, production
     mode, [attempts]/[timed_out]/[from_journal] (plus [audited] when the
     cell was cross-checked), wall-clock seconds and [serve_seconds] (or
     the error for failed cells), plus top-level [engine_runs]/[replays]/
     [from_journal]/[retries]/[timeouts]/[interrupted]/[injected_faults]/
-    [worker_respawns] counters, the differential-checking block
+    [worker_respawns]/[bank_replays]/[banked_configs] counters, the
+    differential-checking block
     ([self_check]/[audit_sample]/[audited]/[divergences]), journal
     statistics when a journal is installed, the direct/record/replay
     wall-clock split and the aggregate [serve_wall_seconds]. *)

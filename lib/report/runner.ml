@@ -187,6 +187,17 @@ let replay ?poll ?predictor ~cpu tr =
     (Trace.replay ?poll tr.t_data ~cpu
        ~predictor:(Config.predictor_kind config))
 
+let replay_bank ?poll ~configs tr =
+  let resolved =
+    List.map
+      (fun (cpu, predictor) ->
+        let config = Config.make ~cpu ?predictor tr.t_technique in
+        (Config.predictor_kind config, cpu.Vmbp_machine.Cpu_model.icache))
+      configs
+  in
+  Trace.replay_bank ?poll tr.t_data ~predictors:(List.map fst resolved)
+    ~icaches:(List.map snd resolved)
+
 let replay_memo ?predictor ~cpu tr =
   let config = Config.make ~cpu ?predictor tr.t_technique in
   Option.map (run_of_replay tr cpu)

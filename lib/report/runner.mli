@@ -127,6 +127,22 @@ val replay :
     [run_result ?predictor ~cpu ~technique workload] for the trace's
     workload, technique and scale. *)
 
+val replay_bank :
+  ?poll:(unit -> unit) ->
+  configs:
+    (Vmbp_machine.Cpu_model.t * Vmbp_machine.Predictor.kind option) list ->
+  trace ->
+  int
+(** Banked replay ({!Trace.replay_bank}): resolve each (cpu, predictor
+    override) pair to its effective predictor kind and I-cache geometry --
+    the same resolution {!replay} performs -- and simulate every distinct
+    not-yet-memoized configuration in one traversal per event stream.
+    Subsequent {!replay} / {!replay_memo} calls for these configurations
+    are then served from the memo tables at cost-model price.  Returns the
+    number of configurations freshly simulated.  [poll] follows
+    {!Trace.replay_bank}'s contract: once on entry even when everything is
+    memoized, then every 65536 tokens. *)
+
 val replay_memo :
   ?predictor:Vmbp_machine.Predictor.kind ->
   cpu:Vmbp_machine.Cpu_model.t ->

@@ -233,11 +233,17 @@ type t = {
       (* Replay results are deterministic per simulator configuration, so
          sweeps that repeat a configuration (penalty sweeps vary only the
          cost model; BTB sweeps keep the I-cache fixed) pay for each
-         distinct configuration once. *)
-  mutable pred_memo : (Predictor.kind * (int * int)) list;
-      (* kind -> (mispredicts, vm_branch_mispredicts) *)
-  mutable icache_memo : (Icache.config * (int * int)) list;
-      (* config -> (fetches, misses) *)
+         distinct configuration once.  Keys are the canonical descriptor
+         strings ({!Predictor.descriptor} / {!Icache.descriptor}), which
+         are injective over configurations, so lookup is one hash probe
+         instead of an O(configs) structural scan.  Inserts are
+         add-if-absent under [memo_lock]: two domains that both simulated
+         the same configuration keep one binding (the results are equal
+         anyway -- simulation is deterministic). *)
+  pred_memo : (string, int * int) Hashtbl.t;
+      (* descriptor -> (mispredicts, vm_branch_mispredicts) *)
+  icache_memo : (string, int * int) Hashtbl.t;
+      (* descriptor -> (fetches, misses) *)
 }
 
 let record ?fuel ?poll ?(cap_bytes = max_int) ~layout ~exec ~output () =
@@ -307,8 +313,8 @@ let record ?fuel ?poll ?(cap_bytes = max_int) ~layout ~exec ~output () =
         bytes = budget.allocated;
         live = true;
         memo_lock = Mutex.create ();
-        pred_memo = [];
-        icache_memo = [];
+        pred_memo = Hashtbl.create 8;
+        icache_memo = Hashtbl.create 8;
       }
   with Overflow ->
     (* Recycle whatever the aborted recording had already filled. *)
@@ -321,9 +327,24 @@ let release t =
   release_buf t.dispatch;
   release_buf t.fetch
 
-let memo_find t key table =
+let memo_find t tbl key =
   Mutex.lock t.memo_lock;
-  let r = List.assoc_opt key (table ()) in
+  let r = Hashtbl.find_opt tbl key in
+  Mutex.unlock t.memo_lock;
+  r
+
+(* Add-if-absent: the re-check under the lock is what closes the
+   check-then-insert race -- two domains can both miss [memo_find] and
+   both simulate, but only the first insert lands, so the table never
+   accumulates duplicate bindings for a configuration. *)
+let memo_add t tbl key v =
+  Mutex.lock t.memo_lock;
+  if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key v;
+  Mutex.unlock t.memo_lock
+
+let memo_sizes t =
+  Mutex.lock t.memo_lock;
+  let r = (Hashtbl.length t.pred_memo, Hashtbl.length t.icache_memo) in
   Mutex.unlock t.memo_lock;
   r
 
@@ -332,38 +353,79 @@ let memo_find t key table =
    well under a millisecond. *)
 let replay_poll_mask = 65536 - 1
 
-let replay_predictor ?(poll = fun () -> ()) t predictor =
-  let pred = Predictor.create predictor in
-  let mispredicts = ref 0 and vm_mispredicts = ref 0 in
+(* One traversal of the dispatch stream drives every simulator in the
+   bank; the counters live in plain int arrays (struct-of-arrays) so the
+   inner per-token loop touches two dense arrays, not a list of boxed
+   accumulators. *)
+let bank_predictors poll t fresh =
+  let n = Array.length fresh in
+  let sims = Array.map snd fresh in
+  let mis = Array.make n 0 and vmis = Array.make n 0 in
   let opcode_mask = (1 lsl dispatch_opcode_bits) - 1 in
   let rev_a = t.dispatch_dict.rev_a and rev_b = t.dispatch_dict.rev_b in
   let seen = ref 0 in
   buf_iter_tokens t.dispatch (fun code ->
-      if !seen land replay_poll_mask = 0 then poll ();
       incr seen;
+      if !seen land replay_poll_mask = 0 then poll ();
       let branch = Array.unsafe_get rev_a code in
       let w = Array.unsafe_get rev_b code in
       let target = w lsr (dispatch_opcode_bits + 1) in
       let opcode = (w lsr 1) land opcode_mask in
-      if not (Predictor.access pred ~branch ~target ~opcode) then begin
-        incr mispredicts;
-        if w land 1 = 1 then incr vm_mispredicts
-      end);
-  (!mispredicts, !vm_mispredicts)
+      let vm_transfer = w land 1 = 1 in
+      for j = 0 to n - 1 do
+        if
+          not
+            (Predictor.access (Array.unsafe_get sims j) ~branch ~target
+               ~opcode)
+        then begin
+          Array.unsafe_set mis j (Array.unsafe_get mis j + 1);
+          if vm_transfer then
+            Array.unsafe_set vmis j (Array.unsafe_get vmis j + 1)
+        end
+      done);
+  Array.iteri
+    (fun j (d, _) -> memo_add t t.pred_memo d (mis.(j), vmis.(j)))
+    fresh
 
-let replay_icache ?(poll = fun () -> ()) t config =
-  let icache = Icache.create config in
-  let hits = ref 0 and misses = ref 0 in
+(* Same single-pass shape over the fetch stream.  The accumulator refs are
+   allocated once per bank, before the walk, so the per-token loop does not
+   allocate. *)
+let bank_icaches poll t fresh =
+  let n = Array.length fresh in
+  let sims = Array.map snd fresh in
+  let hits = Array.init n (fun _ -> ref 0) in
+  let misses = Array.init n (fun _ -> ref 0) in
   let rev_a = t.fetch_dict.rev_a and rev_b = t.fetch_dict.rev_b in
   let seen = ref 0 in
   buf_iter_tokens t.fetch (fun code ->
-      if !seen land replay_poll_mask = 0 then poll ();
       incr seen;
-      Icache.fetch icache
-        ~addr:(Array.unsafe_get rev_a code)
-        ~bytes:(Array.unsafe_get rev_b code)
-        ~hits ~misses);
-  (!hits + !misses, !misses)
+      if !seen land replay_poll_mask = 0 then poll ();
+      let addr = Array.unsafe_get rev_a code in
+      let bytes = Array.unsafe_get rev_b code in
+      for j = 0 to n - 1 do
+        Icache.fetch (Array.unsafe_get sims j) ~addr ~bytes
+          ~hits:(Array.unsafe_get hits j)
+          ~misses:(Array.unsafe_get misses j)
+      done);
+  Array.iteri
+    (fun j (d, _) ->
+      memo_add t t.icache_memo d (!(hits.(j)) + !(misses.(j)), !(misses.(j))))
+    fresh
+
+let replay_bank ?(poll = fun () -> ()) t ~predictors ~icaches =
+  if not t.live then invalid_arg "Trace.replay_bank: trace was released";
+  (* Poll before consulting the memos: a fully memo-served bank does no
+     token iteration, and without this entry poll a long run of such
+     groups would be invisible to the watchdog deadline. *)
+  poll ();
+  let fresh_of bank memo =
+    Array.of_list (List.filter (fun (d, _) -> memo_find t memo d = None) bank)
+  in
+  let fp = fresh_of (Predictor.create_bank predictors) t.pred_memo in
+  if Array.length fp > 0 then bank_predictors poll t fp;
+  let fi = fresh_of (Icache.create_bank icaches) t.icache_memo in
+  if Array.length fi > 0 then bank_icaches poll t fi;
+  Array.length fp + Array.length fi
 
 let build_result t ~cpu (mispredicts, vm_mispredicts) (fetches, misses) =
   let m = Metrics.copy t.base in
@@ -382,36 +444,39 @@ let build_result t ~cpu (mispredicts, vm_mispredicts) (fetches, misses) =
 
 let replay ?poll t ~cpu ~predictor =
   if not t.live then invalid_arg "Trace.replay: trace was released";
+  ignore
+    (replay_bank ?poll t ~predictors:[ predictor ]
+       ~icaches:[ cpu.Cpu_model.icache ]);
   let pred_counts =
-    match memo_find t predictor (fun () -> t.pred_memo) with
+    match memo_find t t.pred_memo (Predictor.descriptor predictor) with
     | Some r -> r
     | None ->
-        let r = replay_predictor ?poll t predictor in
-        Mutex.lock t.memo_lock;
-        t.pred_memo <- (predictor, r) :: t.pred_memo;
-        Mutex.unlock t.memo_lock;
-        r
+        (* Only an invalid configuration can still miss after a bank pass
+           (the bank skips configurations whose constructor raises);
+           re-raise that constructor's error for this cell. *)
+        ignore (Predictor.create predictor : Predictor.t);
+        assert false
   in
   let icache_counts =
-    match memo_find t cpu.Cpu_model.icache (fun () -> t.icache_memo) with
+    match
+      memo_find t t.icache_memo (Icache.descriptor cpu.Cpu_model.icache)
+    with
     | Some r -> r
     | None ->
-        let r = replay_icache ?poll t cpu.Cpu_model.icache in
-        Mutex.lock t.memo_lock;
-        t.icache_memo <- (cpu.Cpu_model.icache, r) :: t.icache_memo;
-        Mutex.unlock t.memo_lock;
-        r
+        ignore (Icache.create cpu.Cpu_model.icache : Icache.t);
+        assert false
   in
   build_result t ~cpu pred_counts icache_counts
 
 (* Unlike [replay], valid on a released trace: the memo tables, base
    metrics and output are ordinary GC-managed values that survive chunk
    recycling, so a trace whose storage was evicted can still answer for
-   every simulator configuration it ever replayed. *)
+   every simulator configuration it ever replayed -- including every
+   configuration a banked replay simulated while the trace was live. *)
 let replay_memo t ~cpu ~predictor =
   match
-    ( memo_find t predictor (fun () -> t.pred_memo),
-      memo_find t cpu.Cpu_model.icache (fun () -> t.icache_memo) )
+    ( memo_find t t.pred_memo (Predictor.descriptor predictor),
+      memo_find t t.icache_memo (Icache.descriptor cpu.Cpu_model.icache) )
   with
   | Some p, Some i -> Some (build_result t ~cpu p i)
   | _ -> None

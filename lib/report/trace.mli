@@ -43,6 +43,30 @@ val record :
     {!Vmbp_core.Engine.run_events}); an exception it raises aborts the
     recording like any other run failure. *)
 
+val replay_bank :
+  ?poll:(unit -> unit) ->
+  t ->
+  predictors:Vmbp_machine.Predictor.kind list ->
+  icaches:Vmbp_machine.Icache.config list ->
+  int
+(** Banked replay: simulate every requested configuration in one traversal
+    per stream.  The dispatch stream is walked once driving an array of
+    predictor simulators (one per distinct, not-yet-memoized configuration,
+    with per-configuration counters in struct-of-arrays layout), and the
+    fetch stream likewise drives an array of I-cache simulators; the
+    results land in the trace's memo tables, from which {!replay} and
+    {!replay_memo} then answer at cost-model price.  Returns the number of
+    configurations freshly simulated (0 when everything was already
+    memoized).  Configurations are deduplicated by their canonical
+    descriptor; invalid ones (whose simulator constructor raises) are
+    skipped and left un-memoized, so the error surfaces on the per-cell
+    path that actually uses them.
+
+    Polling contract: [poll] is invoked once on entry -- regardless of
+    memo state, so a long run of memo-served groups cannot blind-spot a
+    watchdog deadline -- and then after every 65536 tokens of each stream
+    walk.  Raises [Invalid_argument] on a [release]d trace. *)
+
 val replay :
   ?poll:(unit -> unit) ->
   t ->
@@ -50,13 +74,13 @@ val replay :
   predictor:Vmbp_machine.Predictor.kind ->
   Vmbp_core.Engine.result
 (** Drive a fresh predictor and I-cache of the given configuration over the
-    recorded streams.  The result is field-for-field identical to what
-    [Engine.run] would produce for the same configuration.  Per-configuration
-    simulator outcomes are memoized on the trace, so replaying a repeated
-    predictor kind or I-cache geometry (as the sweep experiments do) costs
-    only the cost-model arithmetic.  [poll] is called periodically during
-    token iteration so watchdog deadlines cover replayed cells too;
-    memoized replays do no iteration and skip it.  Raises
+    recorded streams (a singleton {!replay_bank}).  The result is
+    field-for-field identical to what [Engine.run] would produce for the
+    same configuration.  Per-configuration simulator outcomes are memoized
+    on the trace, so replaying a repeated predictor kind or I-cache
+    geometry (as the sweep experiments do) costs only the cost-model
+    arithmetic.  [poll] follows {!replay_bank}'s contract (entry poll even
+    when fully memoized, then every 65536 tokens).  Raises
     [Invalid_argument] on a [release]d trace. *)
 
 val replay_memo :
@@ -90,3 +114,10 @@ val output : t -> string
 
 val dispatch_events : t -> int
 val fetch_events : t -> int
+
+val memo_sizes : t -> int * int
+(** Number of bindings in the (predictor, I-cache) memo tables, including
+    any duplicate bindings for the same key.  Inserts are add-if-absent
+    under the memo lock, so for each table this must always equal the
+    number of distinct configurations simulated -- exposed so tests can
+    assert the memo tables stay duplicate-free under concurrent replay. *)

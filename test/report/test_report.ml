@@ -326,7 +326,9 @@ let test_par_runner_json_summary () =
     done;
     !found
   in
-  check_bool "schema marker" true (contains "\"schema\":\"vmbp-cells/4\"");
+  check_bool "schema marker" true (contains "\"schema\":\"vmbp-cells/5\"");
+  check_bool "bank replay counter" true (contains "\"bank_replays\":");
+  check_bool "banked config counter" true (contains "\"banked_configs\":");
   check_bool "serve time per cell" true (contains "\"serve_seconds\":");
   check_bool "serve aggregate" true (contains "\"serve_wall_seconds\":");
   check_bool "ok cell serialised" true (contains "\"ok\":true");
@@ -599,6 +601,246 @@ let test_memo_survives_release () =
   match Vmbp_report.Runner.replay_memo ~cpu:Cpu_model.pentium4_northwood tr with
   | None -> ()
   | Some _ -> Alcotest.fail "released trace cannot serve new configurations"
+
+(* Tentpole: one banked traversal must reproduce every per-cell replay
+   field for field across the full CPU grid and predictor overrides,
+   including trapping runs; and because the bank lands in the trace's memo
+   tables, the LRU demotion path (release + replay_memo) serves every
+   banked configuration too. *)
+let test_banked_replay_matches_per_cell () =
+  let overrides =
+    [
+      None;
+      Some Predictor.Perfect;
+      Some Predictor.Never;
+      Some (Predictor.Btb Btb.ideal);
+      Some (Predictor.Btb (Btb.classic ~entries:512 ~associativity:4));
+      Some (Predictor.Btb (Btb.with_counters ~entries:256 ~associativity:2));
+      Some (Predictor.Two_level Two_level.default);
+      Some (Predictor.Case_block 256);
+    ]
+  in
+  let grid =
+    List.concat_map
+      (fun cpu -> List.map (fun p -> (cpu, p)) overrides)
+      Cpu_model.all
+  in
+  List.iter
+    (fun (name, trap) ->
+      let w = toy_workload ~trap name in
+      let technique = Technique.plain in
+      let banked = Result.get_ok (Vmbp_report.Runner.record ~technique w) in
+      let control = Result.get_ok (Vmbp_report.Runner.record ~technique w) in
+      let fresh = Vmbp_report.Runner.replay_bank ~configs:grid banked in
+      check_bool (name ^ ": bank simulated fresh configs") true (fresh > 0);
+      check_int
+        (name ^ ": re-banking the same grid simulates nothing")
+        0
+        (Vmbp_report.Runner.replay_bank ~configs:grid banked);
+      let compare_served tag =
+        List.iter
+          (fun ((cpu : Cpu_model.t), predictor) ->
+            let label =
+              Printf.sprintf "%s/%s/%s/%s" name tag cpu.Cpu_model.name
+                (match predictor with
+                | Some p -> Predictor.kind_name p
+                | None -> "cpu")
+            in
+            let served =
+              Vmbp_report.Runner.replay_memo ?predictor ~cpu banked
+            in
+            let reference =
+              Vmbp_report.Runner.replay ?predictor ~cpu control
+            in
+            match (served, reference) with
+            | Some (Ok a), Ok b ->
+                check_result_equal label a.Vmbp_report.Runner.result
+                  b.Vmbp_report.Runner.result;
+                Alcotest.(check string)
+                  (label ^ " output") b.Vmbp_report.Runner.output
+                  a.Vmbp_report.Runner.output
+            | Some (Error a), Error b ->
+                Alcotest.(check string) (label ^ " error") b a
+            | None, _ -> Alcotest.fail (label ^ ": bank must have memoized")
+            | _ -> Alcotest.fail (label ^ ": served and direct disagree"))
+          grid
+      in
+      compare_served "banked";
+      Vmbp_report.Runner.release_trace banked;
+      compare_served "released";
+      Vmbp_report.Runner.release_trace control)
+    [ ("bank-grid", false); ("bank-trap", true) ];
+  (* Fuel exhaustion mid-run: the banked counters replay the partial
+     metrics exactly. *)
+  let w = toy_workload "bank-fuel" in
+  let loaded = w.Vmbp_workloads.load ~scale:1 in
+  let cpu = Cpu_model.pentium4_northwood in
+  let config = Config.make ~cpu Technique.plain in
+  let layout =
+    Config.build_layout config ~program:loaded.Vmbp_workloads.program
+  in
+  let record () =
+    let s = loaded.Vmbp_workloads.fresh_session () in
+    Option.get
+      (Vmbp_report.Trace.record ~fuel:50 ~layout ~exec:s.Vmbp_workloads.exec
+         ~output:s.Vmbp_workloads.output ())
+  in
+  let banked = record () and control = record () in
+  let kind = Config.predictor_kind config in
+  check_int "bank-fuel: two fresh configs" 2
+    (Vmbp_report.Trace.replay_bank banked ~predictors:[ kind ]
+       ~icaches:[ cpu.Cpu_model.icache ]);
+  check_result_equal "bank-fuel"
+    (Vmbp_report.Trace.replay control ~cpu ~predictor:kind)
+    (Vmbp_report.Trace.replay banked ~cpu ~predictor:kind)
+
+(* Satellite: the memo tables stay duplicate-free when several domains
+   replay the same configurations concurrently -- the old assoc-list memo
+   had a check-then-insert race where two domains could both miss the
+   lookup and both prepend a binding. *)
+let test_memo_insert_race_free () =
+  let w = toy_workload "bank-race" in
+  let loaded = w.Vmbp_workloads.load ~scale:1 in
+  let config = Config.make Technique.plain in
+  let layout =
+    Config.build_layout config ~program:loaded.Vmbp_workloads.program
+  in
+  let s = loaded.Vmbp_workloads.fresh_session () in
+  let tr =
+    Option.get
+      (Vmbp_report.Trace.record ~layout ~exec:s.Vmbp_workloads.exec
+         ~output:s.Vmbp_workloads.output ())
+  in
+  let kinds =
+    [
+      Predictor.Perfect;
+      Predictor.Never;
+      Predictor.Btb Btb.ideal;
+      Predictor.Btb (Btb.classic ~entries:512 ~associativity:4);
+      Predictor.Two_level Two_level.default;
+      Predictor.Case_block 256;
+    ]
+  in
+  let cpus = Cpu_model.all in
+  let started = Atomic.make 0 in
+  let worker () =
+    (* Line every domain up on the first, raciest round. *)
+    Atomic.incr started;
+    while Atomic.get started < 4 do
+      Domain.cpu_relax ()
+    done;
+    for _ = 1 to 5 do
+      List.iter
+        (fun (cpu : Cpu_model.t) ->
+          List.iter
+            (fun predictor ->
+              ignore
+                (Vmbp_report.Trace.replay tr ~cpu ~predictor
+                  : Engine.result))
+            kinds)
+        cpus
+    done
+  in
+  let domains = Array.init 3 (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join domains;
+  let distinct descriptors =
+    List.length (List.sort_uniq compare descriptors)
+  in
+  let preds, icaches = Vmbp_report.Trace.memo_sizes tr in
+  check_int "predictor memo duplicate-free"
+    (distinct (List.map Predictor.descriptor kinds))
+    preds;
+  check_int "icache memo duplicate-free"
+    (distinct
+       (List.map
+          (fun (c : Cpu_model.t) -> Icache.descriptor c.Cpu_model.icache)
+          cpus))
+    icaches;
+  Vmbp_report.Trace.release tr
+
+(* Satellite: a fully memo-served replay still polls, so a long run of
+   memo-served groups cannot blind-spot the --cell-timeout watchdog. *)
+let test_memoized_replay_still_polls () =
+  let w = toy_workload "bank-poll" in
+  let cpu = Cpu_model.ideal in
+  let tr =
+    Result.get_ok (Vmbp_report.Runner.record ~technique:Technique.plain w)
+  in
+  ignore (Vmbp_report.Runner.replay_bank ~configs:[ (cpu, None) ] tr : int);
+  let polls = ref 0 in
+  let poll () = incr polls in
+  (match Vmbp_report.Runner.replay ~poll ~cpu tr with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  check_bool "memo-served replay polls at least once" true (!polls >= 1);
+  polls := 0;
+  check_int "fully memoized bank simulates nothing" 0
+    (Vmbp_report.Runner.replay_bank ~poll ~configs:[ (cpu, None) ] tr);
+  check_bool "memo-served bank polls at least once" true (!polls >= 1);
+  Vmbp_report.Runner.release_trace tr
+
+(* Satellite: the canonical descriptors that key the banked memo tables
+   must never collide across distinct configurations -- checked over a
+   dense grid of every predictor family and I-cache geometry. *)
+let test_bank_descriptor_injective () =
+  let btbs =
+    List.concat_map
+      (fun entries ->
+        List.concat_map
+          (fun associativity ->
+            List.map
+              (fun two_bit_counters ->
+                Predictor.Btb { Btb.entries; associativity; two_bit_counters })
+              [ false; true ])
+          [ 1; 2; 4; 8 ])
+      [ 0; 64; 128; 256; 512; 1024 ]
+  in
+  let two_levels =
+    List.concat_map
+      (fun entries ->
+        List.map
+          (fun history -> Predictor.Two_level { Two_level.entries; history })
+          [ 1; 2; 4; 8 ])
+      [ 64; 256; 1024 ]
+  in
+  let case_blocks =
+    List.map (fun n -> Predictor.Case_block n) [ 16; 64; 256; 1024 ]
+  in
+  let kinds =
+    (Predictor.Perfect :: Predictor.Never :: btbs) @ two_levels @ case_blocks
+  in
+  let distinct l = List.length (List.sort_uniq compare l) in
+  check_int "predictor descriptors pairwise distinct" (List.length kinds)
+    (distinct (List.map Predictor.descriptor kinds));
+  let icaches =
+    Icache.infinite
+    :: List.concat_map
+         (fun size_bytes ->
+           List.concat_map
+             (fun line_bytes ->
+               List.map
+                 (fun associativity ->
+                   Icache.make_config ~size_bytes ~line_bytes ~associativity)
+                 [ 1; 2; 4 ])
+             [ 16; 32; 64 ])
+         [ 4096; 8192; 16384; 32768 ]
+  in
+  check_int "icache descriptors pairwise distinct" (List.length icaches)
+    (distinct (List.map Icache.descriptor icaches));
+  (* The bank constructors dedup on exactly these keys: feeding the grid
+     twice must build each simulator once, in first-occurrence order. *)
+  check_int "predictor bank dedups on the descriptor" (List.length kinds)
+    (List.length (Predictor.create_bank (kinds @ kinds)));
+  check_int "icache bank dedups on the descriptor" (List.length icaches)
+    (List.length (Icache.create_bank (icaches @ icaches)));
+  (* Invalid geometry: dropped by the bank, still raises for the per-cell
+     path that actually uses it. *)
+  let bad =
+    Predictor.Btb { Btb.entries = 64; associativity = 0; two_bit_counters = false }
+  in
+  check_int "invalid config dropped from the bank" 1
+    (List.length (Predictor.create_bank [ bad; Predictor.Perfect ]))
 
 (* ------------------------------------------------------------------ *)
 (* Supervision: chaos injection, watchdog/retry, journal and resume.
@@ -1267,6 +1509,14 @@ let () =
             test_record_overflow_and_fallback;
           Alcotest.test_case "memo survives release" `Quick
             test_memo_survives_release;
+          Alcotest.test_case "banked replay equals per-cell replay" `Quick
+            test_banked_replay_matches_per_cell;
+          Alcotest.test_case "memo inserts race-free under 4 domains" `Quick
+            test_memo_insert_race_free;
+          Alcotest.test_case "memo-served replay still polls" `Quick
+            test_memoized_replay_still_polls;
+          Alcotest.test_case "bank descriptors injective" `Quick
+            test_bank_descriptor_injective;
         ] );
       ( "supervision",
         [
