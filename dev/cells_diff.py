@@ -8,7 +8,7 @@ and compared field by field on everything the simulator determines --
 ok, cycles, mispredict_rate, mispredicts, icache_misses, vm_instrs,
 code_bytes, error.  Wall-clock, serve time, production mode, attempts
 and journal provenance are environment, not simulation, and are ignored,
-so a vmbp-cells/5 run is comparable against an older-schema baseline.
+so a vmbp-cells/6 run is comparable against an older-schema baseline.
 
 Exits non-zero listing every differing cell, any cell present on only
 one side, or a cell-count mismatch against --expect-cells.

@@ -1,41 +1,68 @@
 type group = { start : int; len : int }
 
-let greedy set ~opcodes ~eligible ~start ~stop =
-  (* A superinstruction may not extend past the first ineligible slot. *)
-  let eligible_limit pos =
-    let rec loop i = if i > stop || not (eligible i) then i - 1 else loop (i + 1) in
-    loop pos
-  in
+(* Both parsers need, per position, the end of the maximal eligible run the
+   position sits in ("a superinstruction may not extend past the first
+   ineligible slot").  Rescanning forward from every position is quadratic
+   in the run length -- real programs have straight-line runs thousands of
+   slots long -- so the limit is maintained incrementally: one forward scan
+   per run, reused for every position inside it. *)
+
+let singletons ~start ~stop =
   let rec loop pos acc =
     if pos > stop then List.rev acc
-    else if not (eligible pos) then
-      loop (pos + 1) ({ start = pos; len = 1 } :: acc)
-    else
-      let limit = eligible_limit pos in
-      match Super_set.match_lengths set ~opcodes ~pos ~limit with
-      | longest :: _ -> loop (pos + longest) ({ start = pos; len = longest } :: acc)
-      | [] -> loop (pos + 1) ({ start = pos; len = 1 } :: acc)
+    else loop (pos + 1) ({ start = pos; len = 1 } :: acc)
   in
   loop start []
+
+let greedy set ~opcodes ~eligible ~start ~stop =
+  if Super_set.max_len set = 0 then
+    (* No superinstructions: every slot is its own group, no eligibility
+       scanning needed. *)
+    singletons ~start ~stop
+  else begin
+    let limit = ref (start - 1) in
+    let eligible_limit pos =
+      if !limit < pos then begin
+        let i = ref pos in
+        while !i <= stop && eligible !i do incr i done;
+        limit := !i - 1
+      end;
+      !limit
+    in
+    let rec loop pos acc =
+      if pos > stop then List.rev acc
+      else if not (eligible pos) then
+        loop (pos + 1) ({ start = pos; len = 1 } :: acc)
+      else
+        let limit = eligible_limit pos in
+        match Super_set.match_lengths set ~opcodes ~pos ~limit with
+        | longest :: _ ->
+            loop (pos + longest) ({ start = pos; len = longest } :: acc)
+        | [] -> loop (pos + 1) ({ start = pos; len = 1 } :: acc)
+    in
+    loop start []
+  end
 
 let optimal set ~opcodes ~eligible ~start ~stop =
   let n = stop - start + 1 in
   if n <= 0 then []
+  else if Super_set.max_len set = 0 then singletons ~start ~stop
   else begin
     (* best.(i) = minimal group count for slots [start+i .. stop];
        step.(i) = length of the first group in an optimal split. *)
     let best = Array.make (n + 1) 0 in
     let step = Array.make n 1 in
-    let eligible_limit pos =
-      let rec loop i = if i > stop || not (eligible i) then i - 1 else loop (i + 1) in
-      loop pos
-    in
+    (* Scanning backwards, so the incremental limit is per-run from the
+       run's first position: recompute when entering a fresh run (the
+       position above was ineligible). *)
+    let limit = Array.make (n + 1) (-1) in
     for i = n - 1 downto 0 do
       let pos = start + i in
       best.(i) <- 1 + best.(i + 1);
       step.(i) <- 1;
       if eligible pos then begin
-        let limit = eligible_limit pos in
+        limit.(i) <-
+          (if i + 1 < n && limit.(i + 1) >= 0 then limit.(i + 1) else pos);
         List.iter
           (fun l ->
             (* Longest-first iteration plus strict improvement test breaks
@@ -44,7 +71,7 @@ let optimal set ~opcodes ~eligible ~start ~stop =
               best.(i) <- 1 + best.(i + l);
               step.(i) <- l
             end)
-          (Super_set.match_lengths set ~opcodes ~pos ~limit)
+          (Super_set.match_lengths set ~opcodes ~pos ~limit:limit.(i))
       end
     done;
     let rec rebuild i acc =

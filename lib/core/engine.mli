@@ -6,7 +6,16 @@
     dispatch indirect branch through the branch predictor, and all event
     counts into {!Vmbp_machine.Metrics}.  Which dispatches exist, at which
     addresses, is entirely determined by the {!Code_layout}, so the same
-    engine serves every technique. *)
+    engine serves every technique.
+
+    The interpreter loop itself is decode-once, run-many: a {e translation}
+    pass walks the layout once and flattens every per-slot fact the loop
+    needs into parallel int arrays; the loop then alternates between a
+    block-entry guard (poll, fuel, pc bounds, shadow-window classification
+    -- once per entered straight-line block) and a straight-line fast run
+    over the pre-decoded stream.  The event stream, metrics, poll contract
+    and trap reporting are observably identical to the plain per-step loop,
+    which is kept as {!run_events_legacy} and differentially tested. *)
 
 type exec = Vmbp_vm.Program.t -> int -> Vmbp_vm.Control.t
 (** [exec program pc] runs the semantics of the instruction in slot [pc].
@@ -41,10 +50,52 @@ type sink = {
 val out_of_fuel : string
 (** The trap message reported when a run exhausts its fuel. *)
 
+(** {1 Translations} *)
+
+type translation
+(** The decode-once form of one layout: per-slot code addresses, sizes,
+    dispatch branch addresses, instruction counts, opcode and transfer
+    classification, flattened out of the option-typed site records into
+    parallel int arrays read with one unguarded load each on the hot path.
+    Mutable: quickening re-translates the enclosing straight-line block so
+    the translation always mirrors the layout it was built from.  A
+    translation is therefore private to one run; to share decode work
+    across runs, share a {!plan}. *)
+
+val translate : Code_layout.t -> translation
+(** Build the translation of [layout] as it currently stands (one pass over
+    the sites). *)
+
+type plan
+(** An immutable pristine translation snapshot plus the technique it was
+    built for.  Layouts build deterministically per (workload, technique,
+    scale), so one plan -- captured from a freshly built layout -- serves
+    every subsequent run of the group: {!translation} instantiates a
+    private mutable copy by array blits instead of re-decoding the sites.
+    Plans are what {!Vmbp_report.Par_runner} caches alongside traces. *)
+
+val plan : Code_layout.t -> plan
+(** Capture a plan from a freshly built (pristine, un-quickened) layout. *)
+
+val plan_slots : plan -> int
+(** Number of program slots the plan was built over (for cache sizing). *)
+
+val translation : ?plan:plan -> Code_layout.t -> translation
+(** The translation to run [layout] with: instantiated from [plan] when
+    given (raising [Invalid_argument] if the plan's program length or
+    technique does not match the layout), freshly built otherwise. *)
+
+val translation_equal : translation -> translation -> bool
+(** Structural equality of every decoded per-slot fact.  The test oracle
+    for incremental re-translation: after a run that quickened, the
+    mutated translation must equal a from-scratch {!translate} of the
+    mutated layout. *)
+
 val run_events :
   ?fuel:int ->
   ?poll:(unit -> unit) ->
   ?exec_counts:int array ->
+  ?translation:translation ->
   metrics:Vmbp_machine.Metrics.t ->
   layout:Code_layout.t ->
   exec:exec ->
@@ -60,15 +111,37 @@ val run_events :
     does not depend on the CPU model or predictor configuration, which is
     what makes record-once/replay-many across a CPU grid sound.
 
+    [translation] supplies the pre-decoded stream (it must have been built
+    from this layout, in its current state); when absent the engine
+    translates on entry.  The translation is mutated in lockstep with the
+    layout by quickening and must not be reused for another run.
+
     [poll] is called every few thousand executed VM instructions (and once
     before the first); it is the cooperative watchdog hook: a hung-cell
     deadline raises out of it, aborting the run, so supervisors regain
     control without preemption.  The hook must not touch the run's state. *)
 
+val run_events_legacy :
+  ?fuel:int ->
+  ?poll:(unit -> unit) ->
+  ?exec_counts:int array ->
+  metrics:Vmbp_machine.Metrics.t ->
+  layout:Code_layout.t ->
+  exec:exec ->
+  sink:sink ->
+  unit ->
+  int * string option
+(** The pre-translation per-step interpreter loop, kept as the differential
+    reference for {!run_events}: same contract, same event stream, same
+    returns, but every per-slot fact re-derived from the site records on
+    every executed instruction.  Used by the equivalence test suites and the
+    [bench/engine_bench] perf smoke; not used by the report pipeline. *)
+
 val run :
   ?fuel:int ->
   ?poll:(unit -> unit) ->
   ?exec_counts:int array ->
+  ?translation:translation ->
   config:Config.t ->
   layout:Code_layout.t ->
   exec:exec ->

@@ -16,15 +16,72 @@ let with_counters ~entries ~associativity =
 let descriptor { entries; associativity; two_bit_counters } =
   Printf.sprintf "btb(%d,%d,%b)" entries associativity two_bit_counters
 
-(* One way of one set.  [tag] is the full branch address (-1 = invalid);
-   [counter] implements the two-bit hysteresis (3..2 = strong, replace only
-   below 2); [stamp] is a per-set LRU timestamp. *)
-type way = { mutable tag : int; mutable target : int; mutable counter : int;
-             mutable stamp : int }
+(* One way of one set is four parallel-array slots at [set * assoc + i]:
+   [tag] is the full branch address (-1 = invalid); [counter] implements
+   the two-bit hysteresis (3..2 = strong, replace only below 2); [stamp]
+   is a per-set LRU timestamp.  Flat int arrays instead of an array of
+   way records: the access path runs once per dispatch token -- the
+   hottest simulator code in both direct runs and replay -- and scanning
+   boxed records costs one pointer chase per way examined. *)
 
-(* Unbounded-table entry: mutated in place on every training update, so the
-   hot loop neither allocates nor re-hashes after a branch's first miss. *)
-type ub_entry = { mutable ub_target : int; mutable ub_counter : int }
+(* The unbounded ("ideal") table: open-addressing over flat int arrays,
+   keyed by branch address with linear probing.  This table takes one
+   lookup per dispatch token per bank configuration in replay -- a generic
+   [Hashtbl] there costs a hash closure, a boxed bucket walk and an option
+   allocation per access, which measured ~3x the whole rest of the replay
+   loop -- so it gets the same flat-array treatment as the finite sets.
+   [-1] marks an empty slot (branch addresses are non-negative). *)
+type ub = {
+  mutable ub_keys : int array;
+  mutable ub_targets : int array;
+  mutable ub_counters : int array;
+  mutable ub_count : int;
+  mutable ub_mask : int;
+}
+
+let ub_create () =
+  let cap = 1024 in
+  {
+    ub_keys = Array.make cap (-1);
+    ub_targets = Array.make cap 0;
+    ub_counters = Array.make cap 0;
+    ub_count = 0;
+    ub_mask = cap - 1;
+  }
+
+let ub_slot u branch =
+  (* Multiplicative hash; linear probe.  The table never exceeds half
+     load, so probes terminate. *)
+  let i = ref ((branch * 0x9E3779B1) lsr 7 land u.ub_mask) in
+  let keys = u.ub_keys in
+  while
+    let k = Array.unsafe_get keys !i in
+    k <> branch && k >= 0
+  do
+    i := (!i + 1) land u.ub_mask
+  done;
+  !i
+
+let ub_grow u =
+  let keys = u.ub_keys and targets = u.ub_targets and counters = u.ub_counters in
+  let cap = 2 * Array.length keys in
+  u.ub_keys <- Array.make cap (-1);
+  u.ub_targets <- Array.make cap 0;
+  u.ub_counters <- Array.make cap 0;
+  u.ub_mask <- cap - 1;
+  Array.iteri
+    (fun i k ->
+      if k >= 0 then begin
+        let j = ub_slot u k in
+        u.ub_keys.(j) <- k;
+        u.ub_targets.(j) <- targets.(i);
+        u.ub_counters.(j) <- counters.(i)
+      end)
+    keys
+
+let ub_reset u =
+  Array.fill u.ub_keys 0 (Array.length u.ub_keys) (-1);
+  u.ub_count <- 0
 
 type outcome = Hit | Wrong_target | Miss of { evicted : int }
 
@@ -32,8 +89,19 @@ type observer = branch:int -> set:int -> outcome -> unit
 
 type t = {
   cfg : config;
-  sets : way array array;  (* finite configuration *)
-  unbounded : (int, ub_entry) Hashtbl.t;  (* branch -> target, counter *)
+  two_bit : bool;  (* [cfg.two_bit_counters], flat -- skips the config
+                      pointer chase on every access *)
+  assoc : int;  (* ways per set; 0 = unbounded configuration *)
+  nsets : int;
+  f_tags : int array;  (* finite table, way-major within each set *)
+  f_targets : int array;
+  f_counters : int array;
+  f_stamps : int array;
+  set_mask : int;
+      (* nsets - 1 when the set count is a power of two (every paper
+         geometry), so the per-access set index is a mask instead of a
+         division; -1 = fall back to [mod] *)
+  unbounded : ub;  (* branch -> target, counter *)
   mutable tick : int;
   (* Introspection hook for attribution tooling; [None] (the default)
      costs one match per access and must never change any decision the
@@ -50,117 +118,167 @@ let create cfg =
     invalid_arg "Btb.create: entries must be non-negative";
   if cfg.entries > 0 && cfg.associativity <= 0 then
     invalid_arg "Btb.create: associativity must be positive";
-  let sets =
-    if cfg.entries = 0 then [||]
-    else begin
-      if cfg.entries mod cfg.associativity <> 0 then
-        invalid_arg "Btb.create: entries must be a multiple of associativity";
-      let nsets = cfg.entries / cfg.associativity in
-      Array.init nsets (fun _ ->
-          Array.init cfg.associativity (fun _ ->
-              { tag = -1; target = 0; counter = 0; stamp = 0 }))
-    end
+  if cfg.entries > 0 && cfg.entries mod cfg.associativity <> 0 then
+    invalid_arg "Btb.create: entries must be a multiple of associativity";
+  let assoc = if cfg.entries = 0 then 0 else cfg.associativity in
+  let nsets = if assoc = 0 then 0 else cfg.entries / cfg.associativity in
+  let set_mask =
+    if nsets > 0 && nsets land (nsets - 1) = 0 then nsets - 1 else -1
   in
-  { cfg; sets; unbounded = Hashtbl.create 1024; tick = 0; observer = None }
+  {
+    cfg;
+    two_bit = cfg.two_bit_counters;
+    assoc;
+    nsets;
+    f_tags = Array.make (max 1 cfg.entries) (-1);
+    f_targets = Array.make (max 1 cfg.entries) 0;
+    f_counters = Array.make (max 1 cfg.entries) 0;
+    f_stamps = Array.make (max 1 cfg.entries) 0;
+    set_mask;
+    unbounded = ub_create ();
+    tick = 0;
+    observer = None;
+  }
 
 let config t = t.cfg
 let set_observer t obs = t.observer <- obs
 
 let set_index t branch =
-  let nsets = Array.length t.sets in
   (* Branch addresses are byte addresses; drop low bits so neighbouring
      branches do not all collide in set 0. *)
-  (branch lsr 2) mod nsets
+  let h = branch lsr 2 in
+  if t.set_mask >= 0 then h land t.set_mask else h mod t.nsets
 
-let find_way t branch =
-  let set = t.sets.(set_index t branch) in
+(* Slot of [branch] in the finite table, -1 when absent. *)
+let find_slot t branch =
+  let base = set_index t branch * t.assoc in
   let rec loop i =
-    if i >= Array.length set then None
-    else if set.(i).tag = branch then Some set.(i)
+    if i >= t.assoc then -1
+    else if t.f_tags.(base + i) = branch then base + i
     else loop (i + 1)
   in
   loop 0
 
 let predict t ~branch =
-  if t.cfg.entries = 0 then
-    match Hashtbl.find_opt t.unbounded branch with
-    | Some e -> Some e.ub_target
-    | None -> None
+  if t.assoc = 0 then begin
+    if branch < 0 then None
+    else
+      let u = t.unbounded in
+      let i = ub_slot u branch in
+      if u.ub_keys.(i) = branch then Some u.ub_targets.(i) else None
+  end
   else
-    match find_way t branch with Some w -> Some w.target | None -> None
+    match find_slot t branch with
+    | -1 -> None
+    | j -> Some t.f_targets.(j)
 
-(* Train one entry on the actual target.  With two-bit counters a correct
-   prediction saturates the counter at 3; an incorrect one decrements it and
-   only replaces the target once the counter drops below 2. *)
-let train_counter ~two_bit ~stored ~target ~counter =
-  if stored = target then (stored, min 3 (counter + 1))
-  else if not two_bit then (target, 0)
-  else if counter >= 2 then (stored, counter - 1)
-  else (target, 2)
+(* Training discipline (inlined at both access sites to keep the per-token
+   path allocation-free): with two-bit counters a correct prediction
+   saturates the counter at 3; an incorrect one decrements it and only
+   replaces the target once the counter drops below 2. *)
 
 let observe t ~branch ~set outcome =
   match t.observer with None -> () | Some f -> f ~branch ~set outcome
 
+(* [access_*] run once per dispatch token per bank configuration -- the
+   hottest code in replay -- so they avoid the option-allocating lookups
+   and only build observer payloads when an observer is installed. *)
+
 let access_unbounded t ~branch ~target =
-  match Hashtbl.find_opt t.unbounded branch with
-  | None ->
-      Hashtbl.replace t.unbounded branch { ub_target = target; ub_counter = 2 };
-      observe t ~branch ~set:(-1) (Miss { evicted = -1 });
-      false
-  | Some e ->
-      let correct = e.ub_target = target in
-      let stored', counter' =
-        train_counter ~two_bit:t.cfg.two_bit_counters ~stored:e.ub_target
-          ~target ~counter:e.ub_counter
-      in
-      e.ub_target <- stored';
-      e.ub_counter <- counter';
-      observe t ~branch ~set:(-1) (if correct then Hit else Wrong_target);
-      correct
+  if branch < 0 then invalid_arg "Btb.access: negative branch address";
+  let u = t.unbounded in
+  let i = ub_slot u branch in
+  if Array.unsafe_get u.ub_keys i = branch then begin
+    let stored = Array.unsafe_get u.ub_targets i in
+    let correct = stored = target in
+    let counter = Array.unsafe_get u.ub_counters i in
+    (if correct then
+       Array.unsafe_set u.ub_counters i (if counter >= 3 then 3 else counter + 1)
+     else if not t.two_bit then begin
+       Array.unsafe_set u.ub_targets i target;
+       Array.unsafe_set u.ub_counters i 0
+     end
+     else if counter >= 2 then Array.unsafe_set u.ub_counters i (counter - 1)
+     else begin
+       Array.unsafe_set u.ub_targets i target;
+       Array.unsafe_set u.ub_counters i 2
+     end);
+    (match t.observer with
+    | None -> ()
+    | Some _ ->
+        observe t ~branch ~set:(-1) (if correct then Hit else Wrong_target));
+    correct
+  end
+  else begin
+    u.ub_keys.(i) <- branch;
+    u.ub_targets.(i) <- target;
+    u.ub_counters.(i) <- 2;
+    u.ub_count <- u.ub_count + 1;
+    if 2 * u.ub_count > Array.length u.ub_keys then ub_grow t.unbounded;
+    observe t ~branch ~set:(-1) (Miss { evicted = -1 });
+    false
+  end
 
 let access_finite t ~branch ~target =
   t.tick <- t.tick + 1;
-  let set = t.sets.(set_index t branch) in
-  match find_way t branch with
-  | Some w ->
-      let correct = w.target = target in
-      let stored', counter' =
-        train_counter ~two_bit:t.cfg.two_bit_counters ~stored:w.target ~target
-          ~counter:w.counter
-      in
-      w.target <- stored';
-      w.counter <- counter';
-      w.stamp <- t.tick;
-      observe t ~branch ~set:(set_index t branch)
-        (if correct then Hit else Wrong_target);
-      correct
-  | None ->
-      (* Miss: allocate the LRU way of the set. *)
-      let victim = ref set.(0) in
-      Array.iter (fun w -> if w.stamp < !victim.stamp then victim := w) set;
-      let w = !victim in
-      let evicted = w.tag in
-      w.tag <- branch;
-      w.target <- target;
-      w.counter <- 2;
-      w.stamp <- t.tick;
-      observe t ~branch ~set:(set_index t branch) (Miss { evicted });
-      false
+  let assoc = t.assoc in
+  let si = set_index t branch in
+  let base = si * assoc in
+  let tags = t.f_tags in
+  let hit = ref (-1) in
+  let i = ref 0 in
+  while !hit < 0 && !i < assoc do
+    if Array.unsafe_get tags (base + !i) = branch then hit := base + !i;
+    incr i
+  done;
+  if !hit >= 0 then begin
+    let j = !hit in
+    let targets = t.f_targets and counters = t.f_counters in
+    let correct = Array.unsafe_get targets j = target in
+    let c = Array.unsafe_get counters j in
+    (if correct then Array.unsafe_set counters j (if c >= 3 then 3 else c + 1)
+     else if not t.two_bit then begin
+       Array.unsafe_set targets j target;
+       Array.unsafe_set counters j 0
+     end
+     else if c >= 2 then Array.unsafe_set counters j (c - 1)
+     else begin
+       Array.unsafe_set targets j target;
+       Array.unsafe_set counters j 2
+     end);
+    Array.unsafe_set t.f_stamps j t.tick;
+    (match t.observer with
+    | None -> ()
+    | Some _ ->
+        observe t ~branch ~set:si (if correct then Hit else Wrong_target));
+    correct
+  end
+  else begin
+    (* Miss: allocate the LRU way of the set. *)
+    let stamps = t.f_stamps in
+    let victim = ref base in
+    for i = 1 to assoc - 1 do
+      if Array.unsafe_get stamps (base + i) < Array.unsafe_get stamps !victim
+      then victim := base + i
+    done;
+    let j = !victim in
+    let evicted = Array.unsafe_get tags j in
+    Array.unsafe_set tags j branch;
+    Array.unsafe_set t.f_targets j target;
+    Array.unsafe_set t.f_counters j 2;
+    Array.unsafe_set stamps j t.tick;
+    observe t ~branch ~set:si (Miss { evicted });
+    false
+  end
 
 let access t ~branch ~target =
-  if t.cfg.entries = 0 then access_unbounded t ~branch ~target
+  if t.assoc = 0 then access_unbounded t ~branch ~target
   else access_finite t ~branch ~target
 
 let reset t =
-  Hashtbl.reset t.unbounded;
+  ub_reset t.unbounded;
   t.tick <- 0;
-  Array.iter
-    (fun set ->
-      Array.iter
-        (fun w ->
-          w.tag <- -1;
-          w.target <- 0;
-          w.counter <- 0;
-          w.stamp <- 0)
-        set)
-    t.sets
+  Array.fill t.f_tags 0 (Array.length t.f_tags) (-1);
+  Array.fill t.f_targets 0 (Array.length t.f_targets) 0;
+  Array.fill t.f_counters 0 (Array.length t.f_counters) 0;
+  Array.fill t.f_stamps 0 (Array.length t.f_stamps) 0

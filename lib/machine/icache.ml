@@ -20,7 +20,14 @@ let make_config ~size_bytes ~line_bytes ~associativity =
 
 type t = {
   cfg : config;
+  infinite : bool;  (* [cfg.size_bytes = 0], flat -- skips the config
+                       pointer chase on every fetch *)
+  assoc : int;  (* [cfg.associativity], flat, for the per-fetch set scan *)
   nsets : int;
+  line_shift : int;
+      (* log2 of [line_bytes] (enforced a power of two), so the per-fetch
+         address-to-line map is a shift, not a division *)
+  set_mask : int;  (* nsets - 1 when a power of two, else -1 = use [mod] *)
   tags : int array;  (* nsets * associativity, -1 = invalid *)
   stamps : int array;
   mutable tick : int;
@@ -61,9 +68,18 @@ let create cfg =
     if cfg.size_bytes = 0 then 0
     else cfg.size_bytes / cfg.line_bytes / cfg.associativity
   in
+  let line_shift =
+    let rec log2 k n = if n <= 1 then k else log2 (k + 1) (n lsr 1) in
+    log2 0 cfg.line_bytes
+  in
   {
     cfg;
+    infinite = cfg.size_bytes = 0;
+    assoc = cfg.associativity;
     nsets;
+    line_shift;
+    set_mask =
+      (if nsets > 0 && nsets land (nsets - 1) = 0 then nsets - 1 else -1);
     tags = Array.make (max 1 (nsets * cfg.associativity)) (-1);
     stamps = Array.make (max 1 (nsets * cfg.associativity)) 0;
     tick = 0;
@@ -90,49 +106,63 @@ let config t = t.cfg
 let set_observer t obs = t.observer <- obs
 
 let touch_line t line =
-  let assoc = t.cfg.associativity in
-  let set = line mod t.nsets in
+  let assoc = t.assoc in
+  let set = if t.set_mask >= 0 then line land t.set_mask else line mod t.nsets in
   let base = set * assoc in
+  let tags = t.tags in
   t.tick <- t.tick + 1;
-  let rec find i = if i >= assoc then None
-    else if t.tags.(base + i) = line then Some i
-    else find (i + 1)
-  in
-  match find 0 with
-  | Some i ->
-      t.stamps.(base + i) <- t.tick;
-      t.last_slot <- base + i;
-      true
-  | None ->
-      let victim = ref 0 in
-      for i = 1 to assoc - 1 do
-        if t.stamps.(base + i) < t.stamps.(base + !victim) then victim := i
-      done;
-      let evicted = t.tags.(base + !victim) in
-      t.tags.(base + !victim) <- line;
-      t.stamps.(base + !victim) <- t.tick;
-      t.last_slot <- base + !victim;
-      (match t.observer with
-      | None -> ()
-      | Some f -> f ~line ~set ~evicted);
-      false
-
-let fetch t ~addr ~bytes ~hits ~misses =
-  if t.cfg.size_bytes = 0 then begin
-    let lines = ((addr + max 1 bytes - 1) / t.cfg.line_bytes)
-                - (addr / t.cfg.line_bytes) + 1 in
-    hits := !hits + lines
+  let hit = ref (-1) in
+  let i = ref 0 in
+  while !hit < 0 && !i < assoc do
+    if Array.unsafe_get tags (base + !i) = line then hit := base + !i;
+    incr i
+  done;
+  if !hit >= 0 then begin
+    Array.unsafe_set t.stamps !hit t.tick;
+    t.last_slot <- !hit;
+    true
   end
   else begin
-    let first = addr / t.cfg.line_bytes in
-    let last = (addr + max 1 bytes - 1) / t.cfg.line_bytes in
+    let stamps = t.stamps in
+    let victim = ref base in
+    for i = 1 to assoc - 1 do
+      if Array.unsafe_get stamps (base + i) < Array.unsafe_get stamps !victim
+      then victim := base + i
+    done;
+    let j = !victim in
+    let evicted = Array.unsafe_get tags j in
+    Array.unsafe_set tags j line;
+    Array.unsafe_set stamps j t.tick;
+    t.last_slot <- j;
+    (match t.observer with
+    | None -> ()
+    | Some f -> f ~line ~set ~evicted);
+    false
+  end
+
+let fetch t ~addr ~bytes ~hits ~misses =
+  let shift = t.line_shift in
+  let first = addr lsr shift in
+  let last = (addr + max 1 bytes - 1) lsr shift in
+  if t.infinite then hits := !hits + (last - first + 1)
+  else if last = first && first = t.last_line then begin
+    (* Single-line memo hit, the overwhelmingly common fetch: straight-line
+       code re-fetching the line it already ran from.  Same bookkeeping as
+       the loop's memo arm, minus the loop. *)
+    let tk = t.tick + 1 in
+    t.tick <- tk;
+    Array.unsafe_set t.stamps t.last_slot tk;
+    incr hits
+  end
+  else
     for line = first to last do
       if line = t.last_line then begin
         (* Memo hit: the line is resident in [last_slot].  Advance the LRU
            clock and refresh the stamp exactly as the full-scan path would,
            so the memoized run stays in lock-step with a memo-free one. *)
-        t.tick <- t.tick + 1;
-        t.stamps.(t.last_slot) <- t.tick;
+        let tk = t.tick + 1 in
+        t.tick <- tk;
+        Array.unsafe_set t.stamps t.last_slot tk;
         incr hits
       end
       else begin
@@ -140,7 +170,6 @@ let fetch t ~addr ~bytes ~hits ~misses =
         if touch_line t line then incr hits else incr misses
       end
     done
-  end
 
 let clock t = t.tick
 

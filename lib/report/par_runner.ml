@@ -47,6 +47,9 @@ let m_cache_insertions = Vmbp_obs.Registry.counter "trace_cache.insertions"
    counts memo demotions. *)
 let m_cache_evictions = Vmbp_obs.Registry.counter "trace_cache.evictions"
 
+(* Cells served verbatim from the full-result cache: no simulation ran. *)
+let m_result_hits = Vmbp_obs.Registry.counter "result_cache.hits"
+
 (* Banked replays: single-pass group traversals that fed at least one
    fresh simulator configuration, and the configurations they fed. *)
 let m_bank_replays = Vmbp_obs.Registry.counter "trace.bank_replays"
@@ -515,6 +518,69 @@ let config_fingerprint c =
             (if !trace_cap_mb > 0 then "traced" else "direct");
           ]))
 
+(* ------------------------------------------------------------------ *)
+(* Full-result cache.
+
+   Experiment batches revisit cells verbatim: the counter figures re-run
+   rows of the speedup figures' (workload, technique, CPU) grid, and the
+   ablations share cells with the main tables.  A finished cell's payload
+   is a few hundred bytes (metric counts, cycles, the session output), so
+   every successful outcome is kept for the process lifetime keyed by the
+   full configuration, and an exact revisit is served with no simulation
+   at all.  Cached runs are treated as immutable by every consumer.
+   Workload identity is physical, like the trace cache's: a freshly
+   constructed workload can never alias a cached result.  Bypassed under
+   [--self-check] (every cell must run a fresh lockstep execution) and
+   when caching is disabled outright ([--trace-cap-mb 0]). *)
+
+let result_cache : (string, Vmbp_workloads.t * Runner.run) Hashtbl.t =
+  Hashtbl.create 1024
+
+let result_lock = Mutex.create ()
+
+let result_key c =
+  Printf.sprintf "%s/%s|%s|%s|s%d|%s"
+    (Vmbp_workloads.vm_name c.workload.Vmbp_workloads.vm)
+    c.workload.Vmbp_workloads.name
+    (Technique.descriptor c.technique)
+    (cpu_descriptor c.cpu) c.scale
+    (predictor_override_descriptor c.predictor)
+
+let result_enabled () = (not !self_check) && !trace_cap_mb > 0
+
+let result_find c =
+  if not (result_enabled ()) then None
+  else begin
+    Mutex.lock result_lock;
+    let found =
+      match Hashtbl.find_opt result_cache (result_key c) with
+      | Some (w, run) when w == c.workload -> Some run
+      | _ -> None
+    in
+    Mutex.unlock result_lock;
+    if found <> None then Vmbp_obs.Registry.add m_result_hits 1;
+    found
+  end
+
+(* Only genuinely computed successes are stored: journal-served outcomes
+   were computed under a possibly different configuration of a previous
+   process, and failures may be transient (timeouts, injected faults). *)
+let result_store c (t : timed) =
+  if result_enabled () && not t.from_journal then
+    match t.outcome with
+    | Ok run ->
+        Mutex.lock result_lock;
+        let key = result_key c in
+        if not (Hashtbl.mem result_cache key) then
+          Hashtbl.add result_cache key (c.workload, run);
+        Mutex.unlock result_lock
+    | Error _ -> ()
+
+let clear_result_cache () =
+  Mutex.lock result_lock;
+  Hashtbl.reset result_cache;
+  Mutex.unlock result_lock
+
 let journal : Journal.t option ref = ref None
 
 let set_journal ~file ~resume =
@@ -871,6 +937,7 @@ let run_group results arr idxs =
   let finish i t =
     let t = audit_crosscheck arr.(i) t in
     results.(i) <- Some t;
+    result_store arr.(i) t;
     Vmbp_obs.Registry.add m_cell_retries (max 0 (t.attempts - 1));
     if t.timed_out then Vmbp_obs.Registry.add m_cell_timeouts 1;
     Vmbp_obs.Registry.observe h_cell_wall t.wall_seconds;
@@ -993,6 +1060,48 @@ let run_group results arr idxs =
         replay_group entry ~first_record:true ~extra:record_seconds idxs;
         cache_release entry
   in
+  (* Recording only pays off when the trace serves more than one
+     configuration: the recording sink taxes every step, banking decodes
+     the stream again, and inserting the trace can evict entries other
+     groups would reuse.  A group with at most one unserved cell --
+     parameter-sweep points and single-CPU table rows -- is cheaper to
+     simulate directly; exact cross-batch revisits of such cells are
+     caught by the result cache instead, which costs nothing to fill.
+     The choice affects how a cell's numbers are produced, never what
+     they are. *)
+  let record_or_direct () =
+    match List.filter (fun i -> results.(i) = None) idxs with
+    | [] | [ _ ] -> direct ()
+    | _ -> record_group ()
+  in
+  (* Serve exact revisits from the full-result cache before any engine or
+     trace machinery engages.  Served cells are [Replay]-mode (no VM
+     execution produced them here), so sampled auditing covers this fast
+     path exactly like trace replays. *)
+  let serve_cached () =
+    List.iter
+      (fun i ->
+        if results.(i) = None then begin
+          let t0 = Unix.gettimeofday () in
+          match result_find arr.(i) with
+          | None -> ()
+          | Some run ->
+              let wall = Unix.gettimeofday () -. t0 in
+              finish i
+                {
+                  cell = arr.(i);
+                  outcome = Ok run;
+                  wall_seconds = wall;
+                  serve_seconds = wall;
+                  mode = Replay;
+                  attempts = 1;
+                  timed_out = false;
+                  from_journal = false;
+                  audited = false;
+                }
+        end)
+      idxs
+  in
   let traced () =
     (* Self-check compares simulators event by event, which only a fresh
        engine execution per cell provides: the trace fast path is
@@ -1010,8 +1119,8 @@ let run_group results arr idxs =
               (List.filter (fun i -> results.(i) = None) idxs)
           with
           | Some timed -> List.iter (fun (i, t) -> finish i t) timed
-          | None -> record_group ())
-      | `Miss -> record_group ()
+          | None -> record_or_direct ())
+      | `Miss -> record_or_direct ()
   in
   (* Group-level guard: anything raised outside the per-cell guards
      (recording machinery, cache bookkeeping, the injected record fault)
@@ -1025,7 +1134,10 @@ let run_group results arr idxs =
       Vmbp_obs.Registry.gauge_add g_busy_workers (-1.);
       progress_idle ())
     (fun () ->
-      match traced () with
+      match
+        serve_cached ();
+        traced ()
+      with
       | () -> ()
       | exception Faults.Worker_killed -> raise Faults.Worker_killed
       | exception _ -> direct ())
@@ -1317,7 +1429,7 @@ let json_summary ?jobs results =
   in
   let countp p = List.length (List.filter p results) in
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"schema\":\"vmbp-cells/5\"";
+  Buffer.add_string b "{\"schema\":\"vmbp-cells/6\"";
   Buffer.add_string b (Printf.sprintf ",\"jobs\":%d" jobs);
   Buffer.add_string b
     (Printf.sprintf ",\"cells\":%d" (List.length results));
@@ -1347,6 +1459,32 @@ let json_summary ?jobs results =
     (Printf.sprintf ",\"bank_replays\":%d" (bank_replays ()));
   Buffer.add_string b
     (Printf.sprintf ",\"banked_configs\":%d" (banked_configs ()));
+  (* vmbp-cells/6: decode-once translation counters since process start --
+     [translations] counts full layout translations built by the engine
+     (plan-cache misses and uncacheable profiled runs), [plan_reuses]
+     counts translations instantiated from a cached plan by array blits,
+     [result_hits] counts cells served verbatim from the full-result
+     cache, and [translate_wall_seconds] is the wall clock spent building
+     or instantiating translations. *)
+  let registry_counter name =
+    match Vmbp_obs.Registry.find_counter name with
+    | Some n -> Int64.to_int n
+    | None -> 0
+  in
+  Buffer.add_string b
+    (Printf.sprintf ",\"translations\":%d"
+       (registry_counter "engine.translations"));
+  Buffer.add_string b
+    (Printf.sprintf ",\"plan_reuses\":%d"
+       (registry_counter "engine.plan_reuses"));
+  Buffer.add_string b
+    (Printf.sprintf ",\"result_hits\":%d"
+       (registry_counter "result_cache.hits"));
+  Buffer.add_string b
+    (Printf.sprintf ",\"translate_wall_seconds\":%s"
+       (json_float
+          (Vmbp_obs.Registry.gauge_value
+             (Vmbp_obs.Registry.gauge "engine.translate_wall_seconds"))));
   (* Differential-checking counters (vmbp-cells/3): [audited] counts
      cells cross-checked against an oracle in this result set;
      [divergences] counts oracle disagreements recorded since the audit

@@ -205,6 +205,14 @@ val trace_cache_bytes : unit -> int
 (** Current retained stream footprint in bytes (summaries are not
     counted -- their streams are already recycled). *)
 
+val clear_result_cache : unit -> unit
+(** Drop every cached cell result.  Finished cells are retained for the
+    process lifetime keyed by their full configuration (workload identity
+    is physical), so an experiment batch that revisits a cell verbatim is
+    served without any simulation; cells served this way are
+    [Replay]-mode and subject to sampled auditing like trace replays.
+    Disabled under [--self-check] and with [--trace-cap-mb 0]. *)
+
 val cell :
   ?tag:string ->
   ?scale:int ->
@@ -243,7 +251,7 @@ val drain_log : unit -> timed list
     order (each batch in its input order); clears the log. *)
 
 val json_summary : ?jobs:int -> timed list -> string
-(** A machine-readable summary: schema [vmbp-cells/5], one record per cell
+(** A machine-readable summary: schema [vmbp-cells/6], one record per cell
     with simulated cycles, mispredict rate, I-cache misses, production
     mode, [attempts]/[timed_out]/[from_journal] (plus [audited] when the
     cell was cross-checked), wall-clock seconds and [serve_seconds] (or

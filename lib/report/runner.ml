@@ -12,6 +12,73 @@ exception Run_failed of string
 
 let engine_fuel = 2_000_000_000
 
+(* ------------------------------------------------------------------ *)
+(* Decode-once plan cache.  A layout builds deterministically from
+   (vm, workload, technique, scale) -- the CPU and predictor configuration
+   never shape code addresses -- so the engine's translation of it does
+   too.  The first run of a group captures an immutable {!Engine.plan};
+   every later run of the same key instantiates a private copy by array
+   blits instead of re-decoding the sites.  Entries are evicted FIFO: the
+   parallel runner works group-by-group, so only the groups currently in
+   flight need their plans resident. *)
+
+let m_translations = Vmbp_obs.Registry.counter "engine.translations"
+let m_plan_reuses = Vmbp_obs.Registry.counter "engine.plan_reuses"
+let g_translate_wall = Vmbp_obs.Registry.gauge "engine.translate_wall_seconds"
+
+let plan_cache : (string, Engine.plan) Hashtbl.t = Hashtbl.create 32
+let plan_order : string Queue.t = Queue.create ()
+let plan_lock = Mutex.create ()
+let plan_cache_cap = 32
+
+let plan_cache_key ~technique ~scale (workload : Vmbp_workloads.t) =
+  Printf.sprintf "%s/%s/%s/%d"
+    (Vmbp_workloads.vm_name workload.Vmbp_workloads.vm)
+    workload.Vmbp_workloads.name
+    (Technique.descriptor technique)
+    scale
+
+(* [cacheable] is false when the caller supplied an explicit training
+   profile: the layout then depends on data outside the cache key. *)
+let translation_for ~cacheable ~technique ~scale workload layout =
+  let t0 = Unix.gettimeofday () in
+  let tr =
+    if not cacheable then begin
+      Vmbp_obs.Registry.add m_translations 1;
+      Engine.translation layout
+    end
+    else begin
+      let key = plan_cache_key ~technique ~scale workload in
+      Mutex.lock plan_lock;
+      let plan =
+        match Hashtbl.find_opt plan_cache key with
+        | Some p ->
+            Mutex.unlock plan_lock;
+            Vmbp_obs.Registry.add m_plan_reuses 1;
+            p
+        | None -> (
+            (* Capture outside the lock?  No: capturing under the lock lets
+               concurrent cells of one group share a single decode, and a
+               capture is a few milliseconds at most. *)
+            match Engine.plan layout with
+            | p ->
+                Vmbp_obs.Registry.add m_translations 1;
+                Hashtbl.replace plan_cache key p;
+                Queue.push key plan_order;
+                if Queue.length plan_order > plan_cache_cap then
+                  Hashtbl.remove plan_cache (Queue.pop plan_order);
+                Mutex.unlock plan_lock;
+                p
+            | exception e ->
+                Mutex.unlock plan_lock;
+                raise e)
+      in
+      Engine.translation ~plan layout
+    end
+  in
+  Vmbp_obs.Registry.gauge_add g_translate_wall (Unix.gettimeofday () -. t0);
+  tr
+
 let trap_message (workload : Vmbp_workloads.t) technique msg =
   Printf.sprintf "%s/%s under %s trapped: %s"
     (Vmbp_workloads.vm_name workload.Vmbp_workloads.vm)
@@ -32,7 +99,8 @@ let effective_profile ?profile ~scale ~technique (workload : Vmbp_workloads.t)
 
 let run ?(scale = 1) ?poll ?predictor ?profile ~cpu ~technique
     (workload : Vmbp_workloads.t) =
-  let loaded, config, layout =
+  let cacheable = profile = None in
+  let loaded, config, layout, translation =
     Vmbp_obs.Span.with_ ~name:"layout"
       ~args:[ ("workload", workload.Vmbp_workloads.name) ]
       (fun () ->
@@ -43,14 +111,17 @@ let run ?(scale = 1) ?poll ?predictor ?profile ~cpu ~technique
           Config.build_layout ?profile config
             ~program:loaded.Vmbp_workloads.program
         in
-        (loaded, config, layout))
+        let translation =
+          translation_for ~cacheable ~technique ~scale workload layout
+        in
+        (loaded, config, layout, translation))
   in
   let session = loaded.Vmbp_workloads.fresh_session () in
   let result =
     Vmbp_obs.Span.with_ ~name:"engine"
       ~args:[ ("workload", workload.Vmbp_workloads.name) ]
       (fun () ->
-        Engine.run ~fuel:engine_fuel ?poll ~config ~layout
+        Engine.run ~fuel:engine_fuel ?poll ~translation ~config ~layout
           ~exec:session.Vmbp_workloads.exec ())
   in
   (match result.Engine.trapped with
@@ -149,6 +220,7 @@ type trace = {
 let record ?(scale = 1) ?poll ?profile ?cap_bytes ~technique
     (workload : Vmbp_workloads.t) =
   match
+    let cacheable = profile = None in
     let loaded = workload.Vmbp_workloads.load ~scale in
     let profile = effective_profile ?profile ~scale ~technique workload in
     (* The CPU of this config is irrelevant: layout building depends on
@@ -158,8 +230,11 @@ let record ?(scale = 1) ?poll ?profile ?cap_bytes ~technique
     let layout =
       Config.build_layout ?profile config ~program:loaded.Vmbp_workloads.program
     in
+    let translation =
+      translation_for ~cacheable ~technique ~scale workload layout
+    in
     let session = loaded.Vmbp_workloads.fresh_session () in
-    Trace.record ~fuel:engine_fuel ?poll ?cap_bytes ~layout
+    Trace.record ~fuel:engine_fuel ?poll ~translation ?cap_bytes ~layout
       ~exec:session.Vmbp_workloads.exec ~output:session.Vmbp_workloads.output
       ()
   with

@@ -246,7 +246,8 @@ type t = {
       (* descriptor -> (fetches, misses) *)
 }
 
-let record ?fuel ?poll ?(cap_bytes = max_int) ~layout ~exec ~output () =
+let record ?fuel ?poll ?translation ?(cap_bytes = max_int) ~layout ~exec ~output
+    () =
   let budget = { allocated = 0; cap = cap_bytes } in
   let bufs = ref [] in
   try
@@ -292,7 +293,8 @@ let record ?fuel ?poll ?(cap_bytes = max_int) ~layout ~exec ~output () =
       }
     in
     let steps, trapped =
-      Engine.run_events ?fuel ?poll ~metrics:m ~layout ~exec ~sink ()
+      Engine.run_events ?fuel ?poll ?translation ~metrics:m ~layout ~exec
+        ~sink ()
     in
     (* The hash tables only serve encoding; drop them before retention. *)
     Hashtbl.reset dispatch_dict.tbl;

@@ -26,6 +26,7 @@ type t
 val record :
   ?fuel:int ->
   ?poll:(unit -> unit) ->
+  ?translation:Vmbp_core.Engine.translation ->
   ?cap_bytes:int ->
   layout:Vmbp_core.Code_layout.t ->
   exec:Vmbp_core.Engine.exec ->
@@ -41,7 +42,9 @@ val record :
     (including fuel exhaustion) records normally: the trace reproduces its
     partial metrics.  [poll] is the engine's cooperative watchdog hook (see
     {!Vmbp_core.Engine.run_events}); an exception it raises aborts the
-    recording like any other run failure. *)
+    recording like any other run failure.  [translation] supplies the
+    pre-decoded instruction stream (see {!Vmbp_core.Engine.translation});
+    it must have been built from [layout] and is consumed by the run. *)
 
 val replay_bank :
   ?poll:(unit -> unit) ->

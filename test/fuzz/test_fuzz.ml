@@ -182,6 +182,65 @@ let prop_toy_program_oracle seed =
   | Ok _ -> true
   | Error d -> fail "oracle divergence: %s" (Vmbp_report.Audit.describe d)
 
+(* The decode-once translated loop against the per-step legacy loop:
+   identical steps, trap, checksum, deterministic metrics and sink event
+   stream on every generated program, under a technique drawn from the
+   full grid (including the quickening dynamic ones, so incremental
+   re-translation is fuzzed too) and a fuel budget that sometimes cuts
+   the run short mid-block. *)
+let prop_toy_translated_vs_legacy seed =
+  let rng = rng_of_seed seed in
+  let size = 8 + rand rng 56 in
+  let program = Vmbp_toyvm.Toy_vm.random_program ~seed ~size in
+  let technique = fuzz_techniques.(rand rng (Array.length fuzz_techniques)) in
+  let fuel = if rand rng 4 = 0 then 1 + rand rng 5_000 else 1_000_000 in
+  let what =
+    Printf.sprintf "translated seed=%d size=%d fuel=%d %s" seed size fuel
+      (Technique.name technique)
+  in
+  let run legacy =
+    let program = Vmbp_vm.Program.copy program in
+    let config = Config.make ~cpu:Cpu_model.celeron_800 technique in
+    let layout = Config.build_layout config ~program in
+    let state =
+      Vmbp_toyvm.Toy_vm.create_state ~counters:(Array.make 16 5) ()
+    in
+    let events = ref [] in
+    let sink =
+      {
+        Engine.on_dispatch =
+          (fun ~branch ~target ~opcode ~vm_transfer ->
+            events := (0, branch, target, opcode, Bool.to_int vm_transfer)
+                      :: !events);
+        on_fetch =
+          (fun ~addr ~bytes ~opcode ->
+            events := (1, addr, bytes, opcode, 0) :: !events);
+      }
+    in
+    let m = Metrics.create () in
+    let steps, trapped =
+      if legacy then
+        Engine.run_events_legacy ~fuel ~metrics:m ~layout
+          ~exec:(Vmbp_toyvm.Toy_vm.exec state) ~sink ()
+      else
+        Engine.run_events ~fuel ~metrics:m ~layout
+          ~exec:(Vmbp_toyvm.Toy_vm.exec state) ~sink ()
+    in
+    (steps, trapped, Vmbp_toyvm.Toy_vm.checksum state, m, List.rev !events)
+  in
+  let s1, t1, k1, m1, e1 = run false and s2, t2, k2, m2, e2 = run true in
+  if s1 <> s2 then fail "%s: steps %d vs %d" what s1 s2;
+  if t1 <> t2 then
+    fail "%s: trap %s vs %s" what
+      (Option.value ~default:"-" t1)
+      (Option.value ~default:"-" t2);
+  if k1 <> k2 then fail "%s: checksum %d vs %d" what k1 k2;
+  if m1 <> m2 then fail "%s: metrics differ" what;
+  if e1 <> e2 then
+    fail "%s: event streams differ (%d vs %d events)" what (List.length e1)
+      (List.length e2);
+  true
+
 (* Conservation of the audit counters themselves, on the recorded event
    stream: predictions = hits + mispredicts, fetches = hits + misses. *)
 let prop_audit_counter_conservation seed =
@@ -462,6 +521,10 @@ let () =
             (QCheck.Test.make
                ~count:(max 20 (program_count / 50))
                ~name:"oracle agreement" seed_arb prop_toy_program_oracle);
+          qt
+            (QCheck.Test.make ~count:program_count
+               ~name:"translated loop vs legacy loop" seed_arb
+               prop_toy_translated_vs_legacy);
           qt
             (QCheck.Test.make
                ~count:(max 20 (program_count / 50))

@@ -326,9 +326,13 @@ let test_par_runner_json_summary () =
     done;
     !found
   in
-  check_bool "schema marker" true (contains "\"schema\":\"vmbp-cells/5\"");
+  check_bool "schema marker" true (contains "\"schema\":\"vmbp-cells/6\"");
   check_bool "bank replay counter" true (contains "\"bank_replays\":");
   check_bool "banked config counter" true (contains "\"banked_configs\":");
+  check_bool "translation counter" true (contains "\"translations\":");
+  check_bool "plan reuse counter" true (contains "\"plan_reuses\":");
+  check_bool "result cache counter" true (contains "\"result_hits\":");
+  check_bool "translate wall" true (contains "\"translate_wall_seconds\":");
   check_bool "serve time per cell" true (contains "\"serve_seconds\":");
   check_bool "serve aggregate" true (contains "\"serve_wall_seconds\":");
   check_bool "ok cell serialised" true (contains "\"ok\":true");
@@ -397,7 +401,7 @@ let test_observability_invisible () =
     "numbers identical with observability on" base traced;
   check_bool "spans were actually collected" true (Vmbp_obs.Span.count () > 0);
   check_bool "metrics were actually collected" true
-    (match Vmbp_obs.Registry.find_counter "trace_cache.insertions" with
+    (match Vmbp_obs.Registry.find_counter "trace_cache.misses" with
     | Some n -> n > 0L
     | None -> false)
 
@@ -862,6 +866,7 @@ let reset_supervision () =
   PR.cell_retries := 1;
   PR.retry_backoff_s := 0.001;
   PR.clear_trace_cache ();
+  PR.clear_result_cache ();
   ignore (PR.drain_log ())
 
 (* Chaos state is process-global; leave none of it behind for later tests. *)
