@@ -5,7 +5,10 @@
      run <vm> <workload>       one benchmark under one technique
      trace <vm> <workload>     BTB dispatch trace (Tables I-IV style)
      experiment <id>           regenerate one paper table/figure
-     report                    regenerate everything (EXPERIMENTS.md body) *)
+     report                    regenerate everything (EXPERIMENTS.md body)
+     serve                     report service over a Unix-domain socket
+     loadgen                   zipf load generator against a running service
+     client                    one-shot service client (query/grid/stats/...) *)
 
 open Cmdliner
 open Vmbp_core
@@ -260,8 +263,9 @@ let chaos_arg =
           "Deterministic fault injection, e.g. \
            'cell-raise=2,seed=7' or 'worker-death=2+1' (skip 2 \
            opportunities, then fire once) or 'slow-cell=1@0.2'.  Points: \
-           cell-raise, record-fail, slow-cell, journal-io, worker-death.  \
-           For exercising the supervision paths; see EXPERIMENTS.md.")
+           cell-raise, record-fail, slow-cell, journal-io, worker-death, \
+           conn-drop, store-io, slow-client, pool-wedge.  For exercising \
+           the supervision and service paths; see EXPERIMENTS.md.")
 
 let self_check_arg =
   Arg.(
@@ -322,6 +326,32 @@ let metrics_arg =
            counters, pool gauges, per-cell histograms) to $(docv) as JSON \
            (schema vmbp-metrics/1) and summarise the key counters on \
            stderr.")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Serve completed cells from (and append fresh successes to) the \
+           sharded, checksummed content-addressed store in $(docv) -- the \
+           same store $(b,vmbp serve) answers from, so a report run warms \
+           the service and vice versa.  Corrupt records are skipped and \
+           counted on load.")
+
+let store_shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "store-shards" ] ~docv:"N"
+        ~doc:
+          "Shard count when creating a new store (default 8; an existing \
+           store keeps its own layout).")
+
+let set_store store shards =
+  match store with
+  | None -> ()
+  | Some dir -> Vmbp_report.Par_runner.set_store ?shards dir
 
 let progress_arg =
   Arg.(
@@ -475,13 +505,14 @@ let experiment_cmd =
   let scale =
     Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N")
   in
-  let run id scale jobs trace_cap json journal resume cell_timeout
-      cell_retries chaos self_check audit_sample repro_dir trace_out metrics
-      progress =
+  let run id scale jobs trace_cap json journal resume store store_shards
+      cell_timeout cell_retries chaos self_check audit_sample repro_dir
+      trace_out metrics progress =
     set_jobs jobs;
     set_trace_cap trace_cap;
     setup_supervision journal resume cell_timeout cell_retries chaos
       self_check audit_sample repro_dir;
+    set_store store store_shards;
     setup_obs trace_out metrics progress;
     match Vmbp_report.Experiments.find id with
     | None ->
@@ -498,14 +529,16 @@ let experiment_cmd =
         partial_marker ();
         write_json json;
         finish_obs trace_out metrics;
+        Vmbp_report.Par_runner.clear_store ();
         finish_audit ()
   in
   Cmd.v (Cmd.info "experiment" ~doc)
     Term.(
       const run $ id $ scale $ jobs_arg $ trace_cap_arg $ json_arg
-      $ journal_arg $ resume_arg $ cell_timeout_arg $ cell_retries_arg
-      $ chaos_arg $ self_check_arg $ audit_sample_arg $ repro_dir_arg
-      $ trace_out_arg $ metrics_arg $ progress_arg)
+      $ journal_arg $ resume_arg $ store_arg $ store_shards_arg
+      $ cell_timeout_arg $ cell_retries_arg $ chaos_arg $ self_check_arg
+      $ audit_sample_arg $ repro_dir_arg $ trace_out_arg $ metrics_arg
+      $ progress_arg)
 
 (* ---------------- audit-repro ---------------- *)
 
@@ -548,12 +581,14 @@ let report_cmd =
   let scale =
     Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N")
   in
-  let run scale jobs trace_cap json journal resume cell_timeout cell_retries
-      chaos self_check audit_sample repro_dir trace_out metrics progress =
+  let run scale jobs trace_cap json journal resume store store_shards
+      cell_timeout cell_retries chaos self_check audit_sample repro_dir
+      trace_out metrics progress =
     set_jobs jobs;
     set_trace_cap trace_cap;
     setup_supervision journal resume cell_timeout cell_retries chaos
       self_check audit_sample repro_dir;
+    set_store store store_shards;
     setup_obs trace_out metrics progress;
     run_killable (fun () ->
         List.iter
@@ -570,14 +605,244 @@ let report_cmd =
     partial_marker ();
     write_json json;
     finish_obs trace_out metrics;
+    Vmbp_report.Par_runner.clear_store ();
     finish_audit ()
   in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       const run $ scale $ jobs_arg $ trace_cap_arg $ json_arg $ journal_arg
-      $ resume_arg $ cell_timeout_arg $ cell_retries_arg $ chaos_arg
-      $ self_check_arg $ audit_sample_arg $ repro_dir_arg $ trace_out_arg
-      $ metrics_arg $ progress_arg)
+      $ resume_arg $ store_arg $ store_shards_arg $ cell_timeout_arg
+      $ cell_retries_arg $ chaos_arg $ self_check_arg $ audit_sample_arg
+      $ repro_dir_arg $ trace_out_arg $ metrics_arg $ progress_arg)
+
+(* ---------------- serve / loadgen / client ---------------- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket of the report service.")
+
+let serve_cmd =
+  let doc =
+    "Serve report cells from a crash-tolerant content-addressed store over \
+     a Unix-domain socket."
+  in
+  let store =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Store directory (created if missing; corrupt records found on \
+             load are repaired by a compaction pass).")
+  in
+  let admission =
+    Arg.(
+      value & opt int 64
+      & info [ "admission" ] ~docv:"N"
+          ~doc:
+            "Max distinct cell configurations in compute flight; further \
+             misses are shed with an 'overloaded' reply.")
+  in
+  let request_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "request-timeout" ] ~docv:"SEC"
+          ~doc:"Per-request deadline; an unanswered waiter gets 'timeout'.")
+  in
+  let slow_reader =
+    Arg.(
+      value & opt float 5.
+      & info [ "slow-reader-timeout" ] ~docv:"SEC"
+          ~doc:
+            "Drop a connection whose outbound bytes make no progress for \
+             $(docv) seconds.")
+  in
+  let degraded_after =
+    Arg.(
+      value & opt float 2.
+      & info [ "degraded-after" ] ~docv:"SEC"
+          ~doc:
+            "Go store-only (serve hits, refuse misses with 'degraded') \
+             when a cell batch has been busy this long.")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int (64 * 1024)
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Reject request frames larger than $(docv).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log per-event detail.")
+  in
+  let run socket store store_shards jobs admission request_timeout
+      slow_reader degraded_after max_frame chaos verbose =
+    (match chaos with
+    | None -> ()
+    | Some spec -> (
+        match Vmbp_report.Faults.configure spec with
+        | Ok () -> ()
+        | Error msg ->
+            Printf.eprintf "vmbp: bad --chaos spec: %s\n" msg;
+            exit 2));
+    Vmbp_obs.Registry.reset ();
+    Vmbp_service.Service.serve
+      {
+        Vmbp_service.Service.socket;
+        store_dir = store;
+        shards = store_shards;
+        jobs = max 1 jobs;
+        admission = max 1 admission;
+        request_timeout;
+        slow_reader_timeout = slow_reader;
+        degraded_after;
+        max_request_frame = max_frame;
+        verbose;
+      }
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ store $ store_shards_arg $ jobs_arg
+      $ admission $ request_timeout $ slow_reader $ degraded_after
+      $ max_frame $ chaos_arg $ verbose)
+
+let loadgen_cmd =
+  let doc =
+    "Drive zipf-distributed queries at a running report service and print \
+     a throughput/latency report."
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N")
+  in
+  let requests =
+    Arg.(
+      value & opt int 1000
+      & info [ "n"; "requests" ] ~docv:"N"
+          ~doc:"Total queries across all clients.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N") in
+  let zipf =
+    Arg.(
+      value & opt float 1.1
+      & info [ "zipf" ] ~docv:"S" ~doc:"Skew exponent; 0 = uniform.")
+  in
+  let scale = Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N") in
+  let run socket clients requests seed zipf scale =
+    Vmbp_obs.Registry.reset ();
+    Vmbp_service.Loadgen.run
+      {
+        Vmbp_service.Loadgen.socket;
+        clients = max 1 clients;
+        requests = max 0 requests;
+        seed;
+        zipf;
+        scale = max 1 scale;
+      }
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(const run $ socket_arg $ clients $ requests $ seed $ zipf $ scale)
+
+let client_cmd =
+  let doc =
+    "Send one request to a running report service and print the reply."
+  in
+  let verb =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"VERB"
+          ~doc:"One of query, grid, stats, health, shutdown.")
+  in
+  let vm = Arg.(value & opt (some string) None & info [ "vm" ] ~docv:"VM") in
+  let workload =
+    Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"NAME")
+  in
+  let technique =
+    Arg.(value & opt (some string) None & info [ "technique" ] ~docv:"NAME")
+  in
+  let cpu =
+    Arg.(value & opt (some string) None & info [ "cpu" ] ~docv:"NAME")
+  in
+  let scale =
+    Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N")
+  in
+  let predictor =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "predictor" ] ~docv:"P" ~doc:"perfect or never")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "For grid replies: write the embedded vmbp-cells document to \
+             $(docv) instead of printing the raw reply.")
+  in
+  let run socket verb vm workload technique cpu scale predictor out =
+    let payload =
+      match verb with
+      | "query" -> (
+          match (vm, workload, technique, cpu) with
+          | Some vm, Some workload, Some technique, Some cpu ->
+              Vmbp_service.Protocol.query_payload ~vm ~workload ~technique
+                ~cpu ?scale ?predictor ()
+          | _ ->
+              Printf.eprintf
+                "vmbp: client query needs --vm --workload --technique --cpu\n";
+              exit 2)
+      | "grid" ->
+          Vmbp_service.Protocol.obj
+            (("verb", Vmbp_service.Protocol.S "grid")
+            ::
+            (match scale with
+            | Some n -> [ ("scale", Vmbp_service.Protocol.I n) ]
+            | None -> []))
+      | ("stats" | "health" | "shutdown") as v ->
+          Vmbp_service.Protocol.obj [ ("verb", Vmbp_service.Protocol.S v) ]
+      | v ->
+          Printf.eprintf "vmbp: unknown verb %S\n" v;
+          exit 2
+    in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX socket)
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "vmbp: cannot connect to %s: %s\n" socket
+         (Unix.error_message e);
+       exit 1);
+    Vmbp_service.Protocol.write_frame fd payload;
+    (match Vmbp_service.Protocol.read_frame fd with
+    | None ->
+        Printf.eprintf "vmbp: server closed the connection without a reply\n";
+        exit 1
+    | Some reply ->
+        let fields =
+          try Vmbp_store.Sjson.parse_line reply
+          with Vmbp_store.Sjson.Bad -> []
+        in
+        (match (out, Vmbp_store.Sjson.str_opt fields "cells") with
+        | Some file, Some doc ->
+            let oc = open_out file in
+            output_string oc doc;
+            close_out oc;
+            Printf.eprintf "wrote cells document to %s\n" file
+        | Some _, None ->
+            print_endline reply;
+            Printf.eprintf "vmbp: reply carries no cells document\n";
+            exit 1
+        | None, _ -> print_endline reply);
+        if Vmbp_store.Sjson.str_opt fields "status" <> Some "ok" then exit 1);
+    Unix.close fd
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run $ socket_arg $ verb $ vm $ workload $ technique $ cpu $ scale
+      $ predictor $ out)
 
 (* ---------------- explain ---------------- *)
 
@@ -660,6 +925,9 @@ let () =
             trace_cmd;
             experiment_cmd;
             report_cmd;
+            serve_cmd;
+            loadgen_cmd;
+            client_cmd;
             explain_cmd;
             audit_repro_cmd;
           ]))

@@ -121,6 +121,30 @@ let observe h v =
 let histogram_snapshot h =
   locked (fun () -> (Array.copy h.bounds, Array.copy h.counts, h.sum, h.n))
 
+(* Linear interpolation within the winning bucket, Prometheus-style: the
+   first bucket spans [0, bound0], the overflow bucket reports the last
+   bound (there is no upper edge to interpolate towards). *)
+let histogram_quantile h q =
+  let bounds, counts, _, n = histogram_snapshot h in
+  if n = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = q *. float_of_int n in
+    let nb = Array.length bounds in
+    let rec go i seen =
+      if i >= nb then bounds.(nb - 1)
+      else
+        let seen' = seen +. float_of_int counts.(i) in
+        if seen' >= rank && counts.(i) > 0 then begin
+          let lo = if i = 0 then 0. else bounds.(i - 1) in
+          let hi = bounds.(i) in
+          lo +. ((hi -. lo) *. ((rank -. seen) /. float_of_int counts.(i)))
+        end
+        else go (i + 1) seen'
+    in
+    go 0 0.
+  end
+
 let reset () =
   locked (fun () ->
       Hashtbl.iter

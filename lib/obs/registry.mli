@@ -46,6 +46,11 @@ val histogram_snapshot : histogram -> float array * int array * float * int
 (** [(bounds, counts, sum, count)]; [counts] has one more entry than
     [bounds] (the overflow bucket last). *)
 
+val histogram_quantile : histogram -> float -> float
+(** Approximate [q]-quantile ([0..1]) from the bucket counts, with linear
+    interpolation inside the winning bucket; observations in the overflow
+    bucket report the last bound.  [0.] for an empty histogram. *)
+
 val reset : unit -> unit
 (** Zero every registered instrument in place. *)
 

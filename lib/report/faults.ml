@@ -10,6 +10,10 @@ type point =
   | Slow_cell
   | Journal_io
   | Worker_death
+  | Conn_drop
+  | Store_io
+  | Slow_client
+  | Pool_wedge
 
 let point_name = function
   | Cell_raise -> "cell-raise"
@@ -17,8 +21,23 @@ let point_name = function
   | Slow_cell -> "slow-cell"
   | Journal_io -> "journal-io"
   | Worker_death -> "worker-death"
+  | Conn_drop -> "conn-drop"
+  | Store_io -> "store-io"
+  | Slow_client -> "slow-client"
+  | Pool_wedge -> "pool-wedge"
 
-let all_points = [ Cell_raise; Record_fail; Slow_cell; Journal_io; Worker_death ]
+let all_points =
+  [
+    Cell_raise;
+    Record_fail;
+    Slow_cell;
+    Journal_io;
+    Worker_death;
+    Conn_drop;
+    Store_io;
+    Slow_client;
+    Pool_wedge;
+  ]
 
 let point_index = function
   | Cell_raise -> 0
@@ -26,6 +45,20 @@ let point_index = function
   | Slow_cell -> 2
   | Journal_io -> 3
   | Worker_death -> 4
+  | Conn_drop -> 5
+  | Store_io -> 6
+  | Slow_client -> 7
+  | Pool_wedge -> 8
+
+(* Points that stall rather than fail carry a per-fire duration,
+   overridable with [POINT=...@DUR]. *)
+let default_duration = function
+  | Slow_cell -> 0.05
+  | Slow_client -> 0.2
+  | Pool_wedge -> 0.5
+  | _ -> 0.
+
+let timed_point p = default_duration p > 0.
 
 exception Injected of string
 exception Worker_killed
@@ -38,12 +71,14 @@ type arming = Count of { mutable skip : int; mutable times : int } | Prob of flo
 type slot = {
   mutable arming : arming option;
   mutable fires : int;
-  mutable duration : float;  (* slow-cell only: seconds slept per fire *)
+  mutable duration : float;  (* timed points only: seconds stalled per fire *)
 }
 
 let slots =
-  Array.init (List.length all_points) (fun _ ->
-      { arming = None; fires = 0; duration = 0.05 })
+  Array.of_list
+    (List.map
+       (fun p -> { arming = None; fires = 0; duration = default_duration p })
+       all_points)
 
 let lock = Mutex.create ()
 
@@ -71,12 +106,13 @@ let jitter () =
   f
 
 let reset_locked () =
-  Array.iter
-    (fun s ->
+  List.iter
+    (fun p ->
+      let s = slots.(point_index p) in
       s.arming <- None;
       s.fires <- 0;
-      s.duration <- 0.05)
-    slots;
+      s.duration <- default_duration p)
+    all_points;
   prng := default_seed
 
 let reset () =
@@ -136,6 +172,18 @@ let slow_cell () =
 
 let worker_death () = if fire Worker_death then raise Worker_killed
 
+let duration p =
+  let s = slots.(point_index p) in
+  Mutex.lock lock;
+  let d = s.duration in
+  Mutex.unlock lock;
+  d
+
+let conn_drop () = fire Conn_drop
+let store_io () = fire Store_io
+let slow_client () = if fire Slow_client then Some (duration Slow_client) else None
+let pool_wedge () = if fire Pool_wedge then Some (duration Pool_wedge) else None
+
 (* ------------------------------------------------------------------ *)
 (* Spec parsing *)
 
@@ -177,7 +225,7 @@ let parse_pair pair =
         | Some p -> (
             let value, duration =
               match String.index_opt value '@' with
-              | Some j when p = Slow_cell ->
+              | Some j when timed_point p ->
                   ( String.sub value 0 j,
                     float_of_string_opt
                       (String.sub value (j + 1) (String.length value - j - 1))

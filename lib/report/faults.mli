@@ -16,8 +16,9 @@
       (how tests kill a run mid-way: [worker-death=2+1]).
     - [POINT=P] with [0 < P < 1] (a float) -- fire each opportunity with
       probability [P], drawn from the seeded stream.
-    - [slow-cell=...@DUR] -- the slow-cell point additionally sleeps [DUR]
-      seconds per fire (default 0.05).
+    - [POINT=...@DUR] -- timed points ([slow-cell], [slow-client],
+      [pool-wedge]) additionally stall [DUR] seconds per fire (defaults
+      0.05 / 0.2 / 0.5).
     - [seed=N] -- seed for the probabilistic stream and retry jitter.
 
     Points: [cell-raise] (transient exception inside a cell attempt),
@@ -25,7 +26,16 @@
     [slow-cell] (cell attempt stalls; exercises [--cell-timeout]),
     [journal-io] (journal append fails; the run must degrade, not die),
     [worker-death] (a worker domain dies; sequentially this simulates a
-    killed process, in a pool it exercises respawn). *)
+    killed process, in a pool it exercises respawn).
+
+    Service-side points, fired by {!Service} and (through
+    {!Vmbp_store.Store.io_fault_hook}) the store: [conn-drop] (the server
+    drops a client connection mid-exchange; clients must reconnect and
+    retry), [store-io] (a store append is dropped like a disk error; the
+    reply still serves from memory), [slow-client] (the server treats the
+    connection as a stalled reader; exercises the slow-reader timeout),
+    [pool-wedge] (the compute pool stalls; exercises degradation to
+    store-only service). *)
 
 type point =
   | Cell_raise
@@ -33,6 +43,10 @@ type point =
   | Slow_cell
   | Journal_io
   | Worker_death
+  | Conn_drop
+  | Store_io
+  | Slow_client
+  | Pool_wedge
 
 val point_name : point -> string
 val all_points : point list
@@ -81,6 +95,25 @@ val slow_cell : unit -> unit
 
 val worker_death : unit -> unit
 (** Raise {!Worker_killed} if the [worker-death] point fires. *)
+
+val conn_drop : unit -> bool
+(** Whether the [conn-drop] point fires; the caller closes the
+    connection. *)
+
+val store_io : unit -> bool
+(** Whether the [store-io] point fires; wired into
+    {!Vmbp_store.Store.io_fault_hook} so the store itself drops the
+    append. *)
+
+val slow_client : unit -> float option
+(** [Some stall_seconds] if the [slow-client] point fires. *)
+
+val pool_wedge : unit -> float option
+(** [Some wedge_seconds] if the [pool-wedge] point fires. *)
+
+val duration : point -> float
+(** The configured per-fire stall for a timed point ([slow-cell],
+    [slow-client], [pool-wedge]); 0 for the rest. *)
 
 val jitter : unit -> float
 (** A float in [0, 1) from the seeded stream, for retry backoff jitter.

@@ -1,14 +1,18 @@
-open Vmbp_machine
+(* One framed JSON object per line, written with write(2) + fsync(2)
+   under a lock.  Serialization lives in {!Vmbp_store.Cellrec} (shared
+   with the content-addressed store) and every appended line carries a
+   CRC-32 + length header ({!Vmbp_store.Frame}), so the reader detects
+   corruption anywhere in the file -- foreign edits, flipped bytes, a
+   line cut short by a crash -- and skips and counts it, never fatal.
+   Pre-framing journals (bare JSON lines) still load. *)
 
-(* One JSON object per line, every field flat (string / int / bool / null),
-   written with write(2) + fsync(2) under a lock.  The format is hand
-   rolled -- the repo carries no JSON dependency -- and the reader accepts
-   exactly what the writer emits; anything else (foreign edits, a line cut
-   short by a crash) is skipped and counted, never fatal. *)
+type success = Vmbp_store.Cellrec.success = {
+  metrics : Vmbp_machine.Metrics.t;
+  steps : int;
+  output : string;
+}
 
-type success = { metrics : Metrics.t; steps : int; output : string }
-
-type entry = {
+type entry = Vmbp_store.Cellrec.entry = {
   key : string;
   fingerprint : string;
   outcome : (success, string) result;
@@ -38,182 +42,6 @@ type t = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Serialization *)
-
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let line_of_entry e =
-  let b = Buffer.create 256 in
-  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  add "{\"key\":\"%s\"" (escape e.key);
-  add ",\"fp\":\"%s\"" (escape e.fingerprint);
-  add ",\"attempts\":%d" e.attempts;
-  add ",\"timed_out\":%b" e.timed_out;
-  (match e.outcome with
-  | Ok s ->
-      let m = s.metrics in
-      add ",\"ok\":true";
-      add ",\"steps\":%d" s.steps;
-      add ",\"output\":\"%s\"" (escape s.output);
-      add ",\"vm_instrs\":%d" m.Metrics.vm_instrs;
-      add ",\"native_instrs\":%d" m.Metrics.native_instrs;
-      add ",\"dispatches\":%d" m.Metrics.dispatches;
-      add ",\"indirect_branches\":%d" m.Metrics.indirect_branches;
-      add ",\"mispredicts\":%d" m.Metrics.mispredicts;
-      add ",\"vm_branch_mispredicts\":%d" m.Metrics.vm_branch_mispredicts;
-      add ",\"icache_fetches\":%d" m.Metrics.icache_fetches;
-      add ",\"icache_misses\":%d" m.Metrics.icache_misses;
-      add ",\"code_bytes\":%d" m.Metrics.code_bytes;
-      add ",\"quickenings\":%d" m.Metrics.quickenings
-  | Error msg -> add ",\"ok\":false,\"error\":\"%s\"" (escape msg));
-  add "}\n";
-  Buffer.contents b
-
-(* ------------------------------------------------------------------ *)
-(* Parsing *)
-
-exception Bad
-
-type v = S of string | I of int | B of bool | Null
-
-let parse_line s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos >= n then raise Bad else s.[!pos] in
-  let advance () = incr pos in
-  let expect c = if peek () <> c then raise Bad else advance () in
-  let literal w =
-    String.iter expect w
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      let c = peek () in
-      advance ();
-      if c = '"' then Buffer.contents b
-      else if c = '\\' then begin
-        let e = peek () in
-        advance ();
-        (match e with
-        | '"' -> Buffer.add_char b '"'
-        | '\\' -> Buffer.add_char b '\\'
-        | '/' -> Buffer.add_char b '/'
-        | 'n' -> Buffer.add_char b '\n'
-        | 'r' -> Buffer.add_char b '\r'
-        | 't' -> Buffer.add_char b '\t'
-        | 'b' -> Buffer.add_char b '\b'
-        | 'f' -> Buffer.add_char b '\012'
-        | 'u' ->
-            if !pos + 4 > n then raise Bad;
-            (match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
-            (* The writer only \u-escapes ASCII control characters. *)
-            | Some code when code < 0x80 ->
-                pos := !pos + 4;
-                Buffer.add_char b (Char.chr code)
-            | _ -> raise Bad)
-        | _ -> raise Bad);
-        go ()
-      end
-      else begin
-        Buffer.add_char b c;
-        go ()
-      end
-    in
-    go ()
-  in
-  let parse_int () =
-    let start = !pos in
-    if peek () = '-' then advance ();
-    while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
-      advance ()
-    done;
-    match int_of_string_opt (String.sub s start (!pos - start)) with
-    | Some i -> i
-    | None -> raise Bad
-  in
-  let parse_value () =
-    match peek () with
-    | '"' -> S (parse_string ())
-    | 't' ->
-        literal "true";
-        B true
-    | 'f' ->
-        literal "false";
-        B false
-    | 'n' ->
-        literal "null";
-        Null
-    | '-' | '0' .. '9' -> I (parse_int ())
-    | _ -> raise Bad
-  in
-  expect '{';
-  let fields = ref [] in
-  (if peek () = '}' then advance ()
-   else
-     let rec members () =
-       let k = parse_string () in
-       expect ':';
-       fields := (k, parse_value ()) :: !fields;
-       match peek () with
-       | ',' ->
-           advance ();
-           members ()
-       | '}' -> advance ()
-       | _ -> raise Bad
-     in
-     members ());
-  while !pos < n do
-    (match s.[!pos] with ' ' | '\t' | '\r' -> () | _ -> raise Bad);
-    advance ()
-  done;
-  !fields
-
-let entry_of_line line =
-  let fields = parse_line line in
-  let str k = match List.assoc_opt k fields with Some (S s) -> s | _ -> raise Bad in
-  let int k = match List.assoc_opt k fields with Some (I i) -> i | _ -> raise Bad in
-  let bool k = match List.assoc_opt k fields with Some (B b) -> b | _ -> raise Bad in
-  let outcome =
-    if bool "ok" then begin
-      let m = Metrics.create () in
-      m.Metrics.vm_instrs <- int "vm_instrs";
-      m.Metrics.native_instrs <- int "native_instrs";
-      m.Metrics.dispatches <- int "dispatches";
-      m.Metrics.indirect_branches <- int "indirect_branches";
-      m.Metrics.mispredicts <- int "mispredicts";
-      m.Metrics.vm_branch_mispredicts <- int "vm_branch_mispredicts";
-      m.Metrics.icache_fetches <- int "icache_fetches";
-      m.Metrics.icache_misses <- int "icache_misses";
-      m.Metrics.code_bytes <- int "code_bytes";
-      m.Metrics.quickenings <- int "quickenings";
-      Ok { metrics = m; steps = int "steps"; output = str "output" }
-    end
-    else Error (str "error")
-  in
-  {
-    key = str "key";
-    fingerprint = str "fp";
-    outcome;
-    attempts = int "attempts";
-    timed_out = bool "timed_out";
-  }
-
-(* ------------------------------------------------------------------ *)
 
 let load t =
   match open_in t.j_file with
@@ -222,18 +50,25 @@ let load t =
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
+          let accept e =
+            (* Last entry wins: duplicates within one run are
+               deterministic duplicates of the same value. *)
+            Hashtbl.replace t.tbl (e.key, e.fingerprint) e;
+            t.loaded <- t.loaded + 1
+          in
           let rec go () =
             match input_line ic with
             | exception End_of_file -> ()
             | line ->
                 (if String.trim line <> "" then
-                   match entry_of_line line with
-                   | e ->
-                       (* Last entry wins: duplicates within one run are
-                          deterministic duplicates of the same value. *)
-                       Hashtbl.replace t.tbl (e.key, e.fingerprint) e;
-                       t.loaded <- t.loaded + 1
-                   | exception Bad -> t.truncated <- t.truncated + 1);
+                   match Vmbp_store.Frame.decode line with
+                   | Vmbp_store.Frame.Framed payload
+                   | Vmbp_store.Frame.Legacy payload -> (
+                       match Vmbp_store.Cellrec.of_line payload with
+                       | Some e -> accept e
+                       | None -> t.truncated <- t.truncated + 1)
+                   | Vmbp_store.Frame.Corrupt ->
+                       t.truncated <- t.truncated + 1);
                 go ()
           in
           go ())
@@ -284,7 +119,7 @@ let write_all fd s =
   go 0
 
 let append t e =
-  let line = line_of_entry e in
+  let line = Vmbp_store.Frame.encode (Vmbp_store.Cellrec.to_line e) in
   Mutex.lock t.lock;
   (* The [journal-io] chaos point models a failed append: the write is
      dropped exactly as a disk error would drop it, and the run must keep

@@ -17,11 +17,14 @@
 
     The journal degrades, never aborts: an append that fails (disk error,
     or the [journal-io] chaos point) is counted and dropped -- the run
-    continues and that cell is simply recomputed on resume.  A truncated
-    final line (the crash happened mid-write) is skipped and counted on
-    load. *)
+    continues and that cell is simply recomputed on resume.  Every
+    appended line is framed with a CRC-32 and a length header
+    ({!Vmbp_store.Frame}), so on load {e any} corrupt record -- a torn
+    final line, flipped bytes mid-file, a foreign edit -- is detected,
+    skipped and counted rather than served or fatal.  Journals written
+    before framing (bare JSON lines) still load. *)
 
-type success = {
+type success = Vmbp_store.Cellrec.success = {
   metrics : Vmbp_machine.Metrics.t;
       (** the run's deterministic and simulated event counters; cycles and
           seconds are recomputed from these, so no float round-trips
@@ -30,7 +33,7 @@ type success = {
   output : string;
 }
 
-type entry = {
+type entry = Vmbp_store.Cellrec.entry = {
   key : string;
   fingerprint : string;
   outcome : (success, string) result;
@@ -43,7 +46,7 @@ type stats = {
   served : int;  (** successful [lookup]s *)
   appended : int;  (** entries durably written this session *)
   write_errors : int;  (** appends dropped (I/O failure or injected) *)
-  truncated : int;  (** malformed/partial lines skipped on load *)
+  truncated : int;  (** corrupt/malformed/partial lines skipped on load *)
 }
 
 type t

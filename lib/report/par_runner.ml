@@ -675,6 +675,87 @@ let timed_of_entry c (e : Journal.entry) =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Content-addressed result store.
+
+   Where the journal is a per-run crash log (resume only trusts entries
+   from a previous process), the store is a durable cross-run result
+   service: cells are addressed by the tagless parameter-complete key --
+   the same identity the full-result cache uses -- so a store warmed by a
+   grid run serves any later query for the same configuration, whatever
+   experiment tag asked for it.  Both layers share the record codec
+   ({!Vmbp_store.Cellrec}) and the configuration fingerprint, so a
+   store-served cell is byte-identical to a freshly computed one by the
+   same argument as a journal-resumed cell. *)
+
+(* The store sits below the fault harness in the library graph, so the
+   [store-io] chaos point reaches it through this hook. *)
+let () = Vmbp_store.Store.io_fault_hook := fun () -> Faults.fire Faults.Store_io
+
+let store : Vmbp_store.Store.t option ref = ref None
+
+let set_store ?shards dir =
+  (match !store with Some s -> Vmbp_store.Store.close s | None -> ());
+  store := Some (Vmbp_store.Store.open_ ?shards dir)
+
+let clear_store () =
+  (match !store with Some s -> Vmbp_store.Store.close s | None -> ());
+  store := None
+
+let store_stats () = Option.map Vmbp_store.Store.stats !store
+let store_compact () = Option.iter Vmbp_store.Store.compact !store
+
+(* The store key is the full-result cache's identity: tagless, with the
+   complete CPU profile spelled out. *)
+let store_key = result_key
+
+(* Serve one cell from the store, if present.  Served cells carry
+   [from_journal = true]: the flag means "reconstructed from disk, no
+   simulator ran", and every downstream policy (no re-append, no result
+   cache, no audit) wants exactly that treatment. *)
+let store_lookup c =
+  match !store with
+  | None -> None
+  | Some s -> (
+      let t0 = Unix.gettimeofday () in
+      match
+        Vmbp_store.Store.lookup s ~key:(store_key c)
+          ~fingerprint:(config_fingerprint c)
+      with
+      | Some e ->
+          let t = timed_of_entry c e in
+          Some { t with serve_seconds = Unix.gettimeofday () -. t0 }
+      | None -> None)
+
+(* Persist a freshly computed success.  Only [Ok] outcomes are stored --
+   failures may be transient and a service must never serve one from
+   cache -- and an entry already present (the usual case when the same
+   cell appears twice in one batch) is not appended again. *)
+let store_append c (t : timed) =
+  match !store with
+  | None -> ()
+  | Some s -> (
+      match t.outcome with
+      | Ok r when (not t.from_journal) && t.attempts > 0 ->
+          let key = store_key c and fingerprint = config_fingerprint c in
+          if not (Vmbp_store.Store.mem s ~key ~fingerprint) then
+            Vmbp_store.Store.append s
+              {
+                Vmbp_store.Cellrec.key;
+                fingerprint;
+                outcome =
+                  Ok
+                    {
+                      Vmbp_store.Cellrec.metrics =
+                        Metrics.copy r.Runner.result.Engine.metrics;
+                      steps = r.Runner.result.Engine.steps;
+                      output = r.Runner.output;
+                    };
+                attempts = t.attempts;
+                timed_out = t.timed_out;
+              }
+      | _ -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Running *)
 
 exception Cell_deadline
@@ -942,6 +1023,7 @@ let run_group results arr idxs =
     if t.timed_out then Vmbp_obs.Registry.add m_cell_timeouts 1;
     Vmbp_obs.Registry.observe h_cell_wall t.wall_seconds;
     journal_append arr.(i) t;
+    store_append arr.(i) t;
     progress_cell_done ();
     progress_tick ()
   in
@@ -1282,6 +1364,22 @@ let run_cells ?jobs cells =
                   progress_cell_done ()
               | None -> ())
             arr));
+  (* Store pre-pass: same shape as the journal's, consulted second so an
+     installed journal keeps its resume semantics (and its stats) for
+     cells both layers hold. *)
+  (match !store with
+  | None -> ()
+  | Some _ ->
+      Vmbp_obs.Span.with_ ~name:"store-serve" (fun () ->
+          Array.iteri
+            (fun i c ->
+              if results.(i) = None then
+                match store_lookup c with
+                | Some t ->
+                    results.(i) <- Some t;
+                    progress_cell_done ()
+                | None -> ())
+            arr));
   let groups =
     List.filter_map
       (fun g ->
@@ -1429,7 +1527,7 @@ let json_summary ?jobs results =
   in
   let countp p = List.length (List.filter p results) in
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"schema\":\"vmbp-cells/6\"";
+  Buffer.add_string b "{\"schema\":\"vmbp-cells/7\"";
   Buffer.add_string b (Printf.sprintf ",\"jobs\":%d" jobs);
   Buffer.add_string b
     (Printf.sprintf ",\"cells\":%d" (List.length results));
@@ -1485,6 +1583,26 @@ let json_summary ?jobs results =
        (json_float
           (Vmbp_obs.Registry.gauge_value
              (Vmbp_obs.Registry.gauge "engine.translate_wall_seconds"))));
+  (* vmbp-cells/7: report-service counters since process start --
+     [store_hits]/[store_misses] count content-addressed store lookups,
+     [coalesced] counts queries merged onto an identical in-flight miss,
+     [shed] counts requests refused by admission control, and
+     [degraded_seconds] is the time the service spent in store-only
+     degradation.  All read from the registry so the summary works in
+     the service process and reads zero elsewhere. *)
+  Buffer.add_string b
+    (Printf.sprintf ",\"store_hits\":%d" (registry_counter "store.hits"));
+  Buffer.add_string b
+    (Printf.sprintf ",\"store_misses\":%d" (registry_counter "store.misses"));
+  Buffer.add_string b
+    (Printf.sprintf ",\"coalesced\":%d" (registry_counter "service.coalesced"));
+  Buffer.add_string b
+    (Printf.sprintf ",\"shed\":%d" (registry_counter "service.shed"));
+  Buffer.add_string b
+    (Printf.sprintf ",\"degraded_seconds\":%s"
+       (json_float
+          (Vmbp_obs.Registry.gauge_value
+             (Vmbp_obs.Registry.gauge "service.degraded_seconds"))));
   (* Differential-checking counters (vmbp-cells/3): [audited] counts
      cells cross-checked against an oracle in this result set;
      [divergences] counts oracle disagreements recorded since the audit
@@ -1505,6 +1623,17 @@ let json_summary ?jobs results =
            ",\"journal\":{\"loaded\":%d,\"served\":%d,\"appended\":%d,\"write_errors\":%d,\"truncated\":%d}"
            s.Journal.loaded s.Journal.served s.Journal.appended
            s.Journal.write_errors s.Journal.truncated));
+  (match store_stats () with
+  | None -> ()
+  | Some s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\"store\":{\"entries\":%d,\"shards\":%d,\"loaded\":%d,\"served\":%d,\"missed\":%d,\"appended\":%d,\"write_errors\":%d,\"corrupt\":%d,\"compactions\":%d}"
+           s.Vmbp_store.Store.entries s.Vmbp_store.Store.shards
+           s.Vmbp_store.Store.loaded s.Vmbp_store.Store.served
+           s.Vmbp_store.Store.missed s.Vmbp_store.Store.appended
+           s.Vmbp_store.Store.write_errors s.Vmbp_store.Store.corrupt
+           s.Vmbp_store.Store.compactions));
   Buffer.add_string b
     (Printf.sprintf ",\"trace_cap_mb\":%d" !trace_cap_mb);
   Buffer.add_string b

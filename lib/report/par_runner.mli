@@ -156,6 +156,38 @@ val clear_journal : unit -> unit
 
 val journal_stats : unit -> Journal.stats option
 
+(** {2 Content-addressed result store}
+
+    Where the journal is a per-run crash log, the store
+    ({!Vmbp_store.Store}) is a durable cross-run result service: sharded,
+    CRC-framed, addressed by the tagless parameter-complete cell identity
+    (the full-result cache's key) plus the same configuration
+    fingerprint.  With a store installed, {!run_cells} serves matching
+    cells from it before planning any work ([from_journal = true] -- no
+    simulator ran) and appends every freshly computed success as it
+    finishes, so a grid run warms the store the report service answers
+    queries from.  The [store-io] chaos point is wired into the store's
+    append path. *)
+
+val set_store : ?shards:int -> string -> unit
+(** Install (or replace) the process-wide store, opening [dir]. *)
+
+val clear_store : unit -> unit
+(** Close and remove the store. *)
+
+val store_stats : unit -> Vmbp_store.Store.stats option
+
+val store_compact : unit -> unit
+(** Run a compaction pass on the installed store, if any. *)
+
+val store_lookup : cell -> timed option
+(** Serve one cell straight from the installed store: [None] on a miss or
+    with no store installed.  Used by the report service's hit path. *)
+
+val store_key : cell -> string
+(** The store key: tagless and parameter-complete, so every consumer that
+    asks for the same configuration shares one record. *)
+
 val cell_key : cell -> string
 (** The journal key: tag, workload, parameter-complete technique
     descriptor, CPU name, scale and predictor override. *)
@@ -251,17 +283,19 @@ val drain_log : unit -> timed list
     order (each batch in its input order); clears the log. *)
 
 val json_summary : ?jobs:int -> timed list -> string
-(** A machine-readable summary: schema [vmbp-cells/6], one record per cell
+(** A machine-readable summary: schema [vmbp-cells/7], one record per cell
     with simulated cycles, mispredict rate, I-cache misses, production
     mode, [attempts]/[timed_out]/[from_journal] (plus [audited] when the
     cell was cross-checked), wall-clock seconds and [serve_seconds] (or
     the error for failed cells), plus top-level [engine_runs]/[replays]/
     [from_journal]/[retries]/[timeouts]/[interrupted]/[injected_faults]/
     [worker_respawns]/[bank_replays]/[banked_configs] counters, the
-    differential-checking block
-    ([self_check]/[audit_sample]/[audited]/[divergences]), journal
-    statistics when a journal is installed, the direct/record/replay
-    wall-clock split and the aggregate [serve_wall_seconds]. *)
+    report-service counters
+    ([store_hits]/[store_misses]/[coalesced]/[shed]/[degraded_seconds]),
+    the differential-checking block
+    ([self_check]/[audit_sample]/[audited]/[divergences]), journal and
+    store statistics when installed, the direct/record/replay wall-clock
+    split and the aggregate [serve_wall_seconds]. *)
 
 val write_json_summary : ?jobs:int -> file:string -> timed list -> unit
 (** Write {!json_summary} to [file]. *)

@@ -1,0 +1,207 @@
+module P = Protocol
+
+type config = {
+  socket : string;
+  clients : int;
+  requests : int;
+  seed : int;
+  zipf : float;
+  scale : int;
+}
+
+let default_config ~socket =
+  { socket; clients = 4; requests = 1000; seed = 1; zipf = 1.1; scale = 1 }
+
+(* ------------------------------------------------------------------ *)
+(* Per-client determinism: splitmix64, the same generator the chaos
+   harness uses, seeded per client so runs are reproducible at any
+   [clients] count. *)
+
+let splitmix s =
+  let open Int64 in
+  s := add !s 0x9E3779B97F4A7C15L;
+  let z = !s in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform in [0,1): top 53 bits of the stream. *)
+let uniform s =
+  Int64.to_float (Int64.shift_right_logical (splitmix s) 11)
+  /. 9007199254740992.
+
+(* ------------------------------------------------------------------ *)
+(* The query universe and its zipf CDF *)
+
+let techniques () =
+  let all =
+    (Vmbp_core.Technique.switch :: Vmbp_core.Technique.paper_gforth_variants)
+    @ [
+        Vmbp_core.Technique.with_static_across_bb ();
+        Vmbp_core.Technique.subroutine;
+      ]
+  in
+  (* Dedupe by name: the paper variant list may already carry some. *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun t ->
+      let n = Vmbp_core.Technique.name t in
+      if Hashtbl.mem seen n then false
+      else begin
+        Hashtbl.add seen n ();
+        true
+      end)
+    all
+
+let universe () =
+  List.concat_map
+    (fun (w : Vmbp_workloads.t) ->
+      List.concat_map
+        (fun t ->
+          List.map
+            (fun (cpu : Vmbp_machine.Cpu_model.t) ->
+              ( Vmbp_workloads.vm_name w.Vmbp_workloads.vm,
+                w.Vmbp_workloads.name,
+                Vmbp_core.Technique.name t,
+                cpu.Vmbp_machine.Cpu_model.name ))
+            Vmbp_machine.Cpu_model.all)
+        (techniques ()))
+    Vmbp_workloads.all
+
+(* Cumulative zipf weights, P(i) proportional to 1/(i+1)^s. *)
+let zipf_cdf s n =
+  let c = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1. /. Float.pow (float_of_int (i + 1)) s);
+    c.(i) <- !acc
+  done;
+  let total = !acc in
+  Array.map (fun x -> x /. total) c
+
+let pick cdf u =
+  let n = Array.length cdf in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) < u then go (mid + 1) hi else go lo mid
+  in
+  go 0 (n - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Clients *)
+
+let bounds = [| 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. |]
+let h_all = Vmbp_obs.Registry.histogram ~bounds "loadgen.latency_seconds"
+let h_hit = Vmbp_obs.Registry.histogram ~bounds "loadgen.hit_latency_seconds"
+let status_counter st = Vmbp_obs.Registry.counter ("loadgen.status." ^ st)
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let client_loop cfg cdf universe index count =
+  let s = ref (Int64.of_int (cfg.seed + index)) in
+  let fd = ref (connect cfg.socket) in
+  let reconnect () =
+    (try Unix.close !fd with Unix.Unix_error _ -> ());
+    let rec go tries =
+      match connect cfg.socket with
+      | fd' -> fd := fd'
+      | exception Unix.Unix_error _ when tries > 0 ->
+          Unix.sleepf 0.05;
+          go (tries - 1)
+    in
+    go 100
+  in
+  for _ = 1 to count do
+    let vm, workload, technique, cpu = universe.(pick cdf (uniform s)) in
+    let payload =
+      P.query_payload ~vm ~workload ~technique ~cpu ~scale:cfg.scale ()
+    in
+    let t0 = Unix.gettimeofday () in
+    match
+      P.write_frame !fd payload;
+      P.read_frame !fd
+    with
+    | Some reply ->
+        let dt = Unix.gettimeofday () -. t0 in
+        Vmbp_obs.Registry.observe h_all dt;
+        let fields =
+          try Vmbp_store.Sjson.parse_line reply
+          with Vmbp_store.Sjson.Bad -> []
+        in
+        let status =
+          Option.value ~default:"unparseable"
+            (Vmbp_store.Sjson.str_opt fields "status")
+        in
+        Vmbp_obs.Registry.add (status_counter status) 1;
+        if Vmbp_store.Sjson.str_opt fields "source" = Some "store" then
+          Vmbp_obs.Registry.observe h_hit dt
+    | None ->
+        (* Clean EOF: the server hung up (conn-drop chaos or restart). *)
+        Vmbp_obs.Registry.add (status_counter "conn-drop") 1;
+        reconnect ()
+    | exception
+        ( End_of_file
+        | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+          ) ->
+        Vmbp_obs.Registry.add (status_counter "conn-drop") 1;
+        reconnect ()
+  done;
+  try Unix.close !fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Report *)
+
+let quantile_line h =
+  let _, _, sum, n = Vmbp_obs.Registry.histogram_snapshot h in
+  if n = 0 then "  (no samples)"
+  else
+    Printf.sprintf
+      "  n %d  mean %.4fs  p50 %.4fs  p90 %.4fs  p99 %.4fs"
+      n
+      (sum /. float_of_int n)
+      (Vmbp_obs.Registry.histogram_quantile h 0.5)
+      (Vmbp_obs.Registry.histogram_quantile h 0.9)
+      (Vmbp_obs.Registry.histogram_quantile h 0.99)
+
+let run cfg =
+  let universe = Array.of_list (universe ()) in
+  let cdf = zipf_cdf (Float.max 0. cfg.zipf) (Array.length universe) in
+  let clients = max 1 cfg.clients in
+  let per = cfg.requests / clients in
+  let extra = cfg.requests mod clients in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.init clients (fun i ->
+        let count = per + if i < extra then 1 else 0 in
+        Domain.spawn (fun () -> client_loop cfg cdf universe i count))
+  in
+  List.iter Domain.join domains;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf "loadgen: %d requests, %d clients, %.2fs (%.1f req/s)\n"
+    cfg.requests clients elapsed
+    (float_of_int cfg.requests /. Float.max 1e-9 elapsed);
+  Printf.printf "zipf s=%g over %d configurations, scale %d\n" cfg.zipf
+    (Array.length universe) cfg.scale;
+  let statuses =
+    List.filter_map
+      (fun name ->
+        match String.length name > 15 && String.sub name 0 15 = "loadgen.status." with
+        | true ->
+            Option.map
+              (fun v -> (String.sub name 15 (String.length name - 15), v))
+              (Vmbp_obs.Registry.find_counter name)
+        | false -> None)
+      (Vmbp_obs.Registry.names ())
+  in
+  Printf.printf "statuses:";
+  List.iter
+    (fun (st, v) -> Printf.printf " %s=%Ld" st v)
+    (List.sort compare statuses);
+  print_newline ();
+  Printf.printf "latency (all):\n%s\n" (quantile_line h_all);
+  Printf.printf "latency (store hits):\n%s\n" (quantile_line h_hit)

@@ -1,0 +1,37 @@
+(** Multi-domain load generator for the report service.
+
+    Each client domain drives queries drawn zipf-style (popular
+    configurations dominate, the tail is long) over the full
+    workload x technique x CPU universe, so a warm store answers most
+    requests while a steady trickle of misses exercises the compute
+    path, coalescing and admission control.  Every client owns a
+    splitmix64 stream seeded from [seed + client index]: the same
+    config reproduces the same per-client query sequences.
+
+    Latencies land in two {!Vmbp_obs.Registry} histograms --
+    [loadgen.latency_seconds] (all replies) and
+    [loadgen.hit_latency_seconds] (replies served from the store) --
+    and per-status counts in [loadgen.status.*] counters.  {!run}
+    prints a throughput / latency-quantile report from them.
+
+    A connection severed mid-request (the server's [conn-drop] chaos
+    point, or a [kill -9]) is counted under [conn-drop] and the client
+    reconnects and carries on, so the generator survives the chaos it
+    is pointed at. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket of a running server *)
+  clients : int;  (** client domains *)
+  requests : int;  (** total queries, split across clients *)
+  seed : int;  (** base of the per-client splitmix64 streams *)
+  zipf : float;  (** skew exponent; 0 = uniform *)
+  scale : int;  (** workload scale of every query *)
+}
+
+val default_config : socket:string -> config
+(** 4 clients, 1000 requests, seed 1, zipf 1.1, scale 1. *)
+
+val run : config -> unit
+(** Drive the load, then print the report to stdout.  Raises
+    [Unix.Unix_error] if the first connection attempt of a client
+    fails (no server). *)

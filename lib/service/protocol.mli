@@ -1,0 +1,70 @@
+(** Wire protocol of the report service.
+
+    Frames are a 4-byte big-endian payload length followed by the payload
+    -- one flat JSON object per frame, parsed with {!Vmbp_store.Sjson}
+    (the same strict parser the store uses), so a frame is either
+    well-formed or rejected; nothing is inferred from broken input.
+
+    Requests carry a ["verb"] field:
+
+    - [query]: one cell -- ["vm"] ([forth]/[jvm]), ["workload"],
+      ["technique"] (a {!Vmbp_core.Technique} name), ["cpu"] (a
+      {!Vmbp_machine.Cpu_model} name), optional ["scale"] (default 1) and
+      ["predictor"] ([perfect]/[never] override).
+    - [grid]: the full reproduction grid (every experiment), returned as
+      a complete [vmbp-cells/7] document in the reply's ["cells"] field.
+      Optional ["scale"] overrides every experiment's default.
+    - [stats], [health], [shutdown]: no further fields.
+
+    Every reply carries ["status"]: [ok], [overloaded] (admission control
+    shed the request), [degraded] (the compute pool is wedged; only store
+    hits are served), [timeout] (the per-request deadline passed),
+    [error] (the cell computed to a failure), or [bad-request]. *)
+
+exception Oversized of int
+(** A frame header announced more bytes than the reader's cap. *)
+
+val encode_frame : string -> string
+(** The payload with its 4-byte big-endian length prefixed. *)
+
+val peel : max:int -> string -> [ `Frame of string * string | `Await ]
+(** Split one frame off an input buffer: [`Frame (payload, rest)] when a
+    whole frame is present, [`Await] when more bytes are needed.  Raises
+    {!Oversized} as soon as a header exceeds [max], before the payload
+    arrives. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Blocking send of one frame. *)
+
+val read_frame : ?max:int -> Unix.file_descr -> string option
+(** Blocking read of one frame; [None] on a clean EOF before the first
+    header byte.  Raises {!Oversized} past [max] (default 64 MiB) and
+    [End_of_file] on EOF mid-frame (a truncated frame). *)
+
+(** Reply payloads: flat JSON objects. *)
+type jv = S of string | I of int | F of float | B of bool
+
+val obj : (string * jv) list -> string
+
+type request =
+  | Query of Vmbp_report.Par_runner.cell
+  | Grid of { scale : int option }
+  | Stats
+  | Health
+  | Shutdown
+
+val request_of_payload : string -> (request, string) result
+(** Parse and resolve one request payload; [Error] names the offending
+    field (unknown verb, unknown workload/technique/cpu, bad scale). *)
+
+val query_payload :
+  vm:string ->
+  workload:string ->
+  technique:string ->
+  cpu:string ->
+  ?scale:int ->
+  ?predictor:string ->
+  unit ->
+  string
+(** The [query] request a client sends; names are passed through verbatim
+    (the server resolves them). *)

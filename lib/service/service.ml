@@ -1,0 +1,645 @@
+open Vmbp_report
+module P = Protocol
+
+type config = {
+  socket : string;
+  store_dir : string;
+  shards : int option;
+  jobs : int;
+  admission : int;
+  request_timeout : float;
+  slow_reader_timeout : float;
+  degraded_after : float;
+  max_request_frame : int;
+  verbose : bool;
+}
+
+let default_config ~socket ~store_dir =
+  {
+    socket;
+    store_dir;
+    shards = None;
+    jobs = 1;
+    admission = 64;
+    request_timeout = 30.;
+    slow_reader_timeout = 5.;
+    degraded_after = 2.;
+    max_request_frame = 64 * 1024;
+    verbose = false;
+  }
+
+(* Registry instruments; the vmbp-cells/7 summary reads [coalesced],
+   [shed] and [degraded_seconds] from here. *)
+let m_requests = Vmbp_obs.Registry.counter "service.requests"
+let m_coalesced = Vmbp_obs.Registry.counter "service.coalesced"
+let m_shed = Vmbp_obs.Registry.counter "service.shed"
+let m_degraded_refused = Vmbp_obs.Registry.counter "service.degraded_refused"
+let m_request_timeouts = Vmbp_obs.Registry.counter "service.request_timeouts"
+let m_conn_drops = Vmbp_obs.Registry.counter "service.conn_drops"
+let m_slow_drops = Vmbp_obs.Registry.counter "service.slow_reader_drops"
+let g_degraded = Vmbp_obs.Registry.gauge "service.degraded_seconds"
+let g_connections = Vmbp_obs.Registry.gauge "service.connections"
+
+(* ------------------------------------------------------------------ *)
+(* Replies *)
+
+let reply_status ?error status =
+  P.obj
+    (( "status", P.S status )
+    :: (match error with Some e -> [ ("error", P.S e) ] | None -> []))
+
+let payload_of_timed ~source (t : Par_runner.timed) =
+  match t.outcome with
+  | Ok r ->
+      let m = r.Runner.result.Vmbp_core.Engine.metrics in
+      P.obj
+        [
+          ("status", P.S "ok");
+          ("source", P.S source);
+          ("cycles", P.F r.Runner.result.Vmbp_core.Engine.cycles);
+          ("seconds", P.F r.Runner.result.Vmbp_core.Engine.seconds);
+          ("steps", P.I r.Runner.result.Vmbp_core.Engine.steps);
+          ("vm_instrs", P.I m.Vmbp_machine.Metrics.vm_instrs);
+          ("dispatches", P.I m.Vmbp_machine.Metrics.dispatches);
+          ("mispredicts", P.I m.Vmbp_machine.Metrics.mispredicts);
+          ( "mispredict_rate",
+            P.F (Vmbp_machine.Metrics.misprediction_rate m) );
+          ("icache_misses", P.I m.Vmbp_machine.Metrics.icache_misses);
+          ("code_bytes", P.I m.Vmbp_machine.Metrics.code_bytes);
+          ("output", P.S r.Runner.output);
+        ]
+  | Error msg -> reply_status ~error:msg "error"
+
+(* ------------------------------------------------------------------ *)
+(* Event-loop <-> compute-domain plumbing *)
+
+type job =
+  | J_cells of (string * Par_runner.cell) list  (* in-flight key, cell *)
+  | J_grid of { g_id : int; g_scale : int option }
+  | J_stop
+
+type done_msg =
+  | D_cells of (string * string) list  (* in-flight key, reply payload *)
+  | D_grid of { d_id : int; d_payload : string }
+
+type busy_kind = Busy_cells | Busy_grid
+
+type shared = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  jobs : job Queue.t;
+  mutable results : done_msg list;  (* newest first *)
+  mutable busy : (float * busy_kind) option;
+  wake_w : Unix.file_descr;
+}
+
+let post sh msg =
+  Mutex.lock sh.lock;
+  sh.results <- msg :: sh.results;
+  Mutex.unlock sh.lock;
+  (* A full pipe just means wake-ups are already pending. *)
+  try ignore (Unix.write sh.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> ()
+
+let enqueue sh job =
+  Mutex.lock sh.lock;
+  Queue.push job sh.jobs;
+  Condition.signal sh.cond;
+  Mutex.unlock sh.lock
+
+(* The whole reproduction grid as one vmbp-cells/7 document.  The session
+   log is drained before and after so the document holds exactly the
+   grid's cells, not whatever query batches ran since the last grid. *)
+let grid_doc (cfg : config) scale =
+  ignore (Par_runner.drain_log ());
+  List.iter
+    (fun (e : Experiments.t) ->
+      let s = Option.value scale ~default:e.Experiments.default_scale in
+      ignore (e.Experiments.run ~scale:s))
+    Experiments.all;
+  Par_runner.json_summary ~jobs:cfg.jobs (Par_runner.drain_log ())
+
+(* The compute domain: drain every queued job, merge the cell jobs into
+   one batch (one [run_cells] call, so cells sharing a workload share one
+   recorded execution), then run grids.  Any exception -- including an
+   injected worker death with no pool above it -- becomes an [error]
+   reply for the batch, never a dead compute domain. *)
+let compute_loop (cfg : config) sh =
+  let rec next () =
+    Mutex.lock sh.lock;
+    while Queue.is_empty sh.jobs do
+      Condition.wait sh.cond sh.lock
+    done;
+    let batch = ref [] in
+    while not (Queue.is_empty sh.jobs) do
+      batch := Queue.pop sh.jobs :: !batch
+    done;
+    let batch = List.rev !batch in
+    let cells = List.concat_map (function J_cells l -> l | _ -> []) batch in
+    let grids =
+      List.filter_map
+        (function
+          | J_grid { g_id; g_scale } -> Some (g_id, g_scale) | _ -> None)
+        batch
+    in
+    let stop = List.exists (function J_stop -> true | _ -> false) batch in
+    sh.busy <-
+      Some
+        ( Unix.gettimeofday (),
+          match cells with [] -> Busy_grid | _ -> Busy_cells );
+    Mutex.unlock sh.lock;
+    (* The pool-wedge chaos point: the compute domain stalls with work in
+       hand, which is what the degradation detector keys on. *)
+    (match Faults.pool_wedge () with
+    | Some d -> Unix.sleepf d
+    | None -> ());
+    (match cells with
+    | [] -> ()
+    | _ ->
+        let results =
+          match Par_runner.run_cells ~jobs:cfg.jobs (List.map snd cells) with
+          | timeds ->
+              List.map2
+                (fun (k, _) t -> (k, payload_of_timed ~source:"computed" t))
+                cells timeds
+          | exception exn ->
+              let e = reply_status ~error:(Printexc.to_string exn) "error" in
+              List.map (fun (k, _) -> (k, e)) cells
+        in
+        post sh (D_cells results));
+    List.iter
+      (fun (g_id, g_scale) ->
+        let payload =
+          match grid_doc cfg g_scale with
+          | doc -> P.obj [ ("status", P.S "ok"); ("cells", P.S doc) ]
+          | exception exn ->
+              reply_status ~error:(Printexc.to_string exn) "error"
+        in
+        post sh (D_grid { d_id = g_id; d_payload = payload }))
+      grids;
+    Mutex.lock sh.lock;
+    sh.busy <- None;
+    Mutex.unlock sh.lock;
+    (* Wake the event loop even with no results: busy-state changes feed
+       the degradation detector and the drain condition. *)
+    (try ignore (Unix.write sh.wake_w (Bytes.make 1 '!') 0 1)
+     with Unix.Unix_error _ -> ());
+    if not stop then next ()
+  in
+  next ()
+
+(* ------------------------------------------------------------------ *)
+(* Connections *)
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable inbuf : string;
+  mutable outbuf : string;  (* unsent bytes only *)
+  mutable stalled_until : float;  (* injected slow-client stall *)
+  mutable last_progress : float;
+  mutable closing : bool;  (* drop once outbuf drains *)
+  mutable dropped : bool;
+}
+
+type waiter = { w_conn : conn; w_deadline : float }
+
+type state = {
+  cfg : config;
+  sh : shared;
+  mutable conns : conn list;
+  (* (store key \x00 fingerprint) -> waiters, newest first *)
+  inflight : (string, waiter list ref) Hashtbl.t;
+  grid_waiters : (int, waiter) Hashtbl.t;
+  mutable grid_next : int;
+  mutable shutting : bool;
+  mutable deg_since : float option;
+  started : float;
+}
+
+let sigint_shutdown = Atomic.make false
+
+let ikey c = Par_runner.store_key c ^ "\x00" ^ Par_runner.config_fingerprint c
+
+let logf st fmt =
+  if st.cfg.verbose then Printf.eprintf ("[serve] " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+let drop_conn st conn =
+  if not conn.dropped then begin
+    conn.dropped <- true;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    st.conns <- List.filter (fun c -> c != conn) st.conns
+  end
+
+let send st conn payload =
+  if not conn.dropped then begin
+    if Faults.conn_drop () then begin
+      Vmbp_obs.Registry.add m_conn_drops 1;
+      logf st "chaos: dropping connection instead of replying";
+      drop_conn st conn
+    end
+    else begin
+      (match Faults.slow_client () with
+      | Some d ->
+          logf st "chaos: stalling client writes for %gs" d;
+          conn.stalled_until <- Unix.gettimeofday () +. d
+      | None -> ());
+      if conn.outbuf = "" then conn.last_progress <- Unix.gettimeofday ();
+      conn.outbuf <- conn.outbuf ^ P.encode_frame payload
+    end
+  end
+
+(* Degraded = the compute domain has been stuck on a *cell* batch longer
+   than the threshold.  A grid run is legitimately long and does not
+   count; its queued queries are answered when it finishes (or by the
+   per-request deadline). *)
+let degraded_now st now =
+  Mutex.lock st.sh.lock;
+  let busy = st.sh.busy in
+  Mutex.unlock st.sh.lock;
+  match busy with
+  | Some (t0, Busy_cells) -> now -. t0 > st.cfg.degraded_after
+  | _ -> false
+
+let service_stats st now =
+  let s = Option.get (Par_runner.store_stats ()) in
+  let c name =
+    match Vmbp_obs.Registry.find_counter name with
+    | Some v -> Int64.to_int v
+    | None -> 0
+  in
+  let degraded_seconds =
+    Vmbp_obs.Registry.gauge_value g_degraded
+    +. (match st.deg_since with Some t0 -> now -. t0 | None -> 0.)
+  in
+  P.obj
+    [
+      ("status", P.S "ok");
+      ("entries", P.I s.Vmbp_store.Store.entries);
+      ("shards", P.I s.Vmbp_store.Store.shards);
+      ("loaded", P.I s.Vmbp_store.Store.loaded);
+      ("store_hits", P.I s.Vmbp_store.Store.served);
+      ("store_misses", P.I s.Vmbp_store.Store.missed);
+      ("appended", P.I s.Vmbp_store.Store.appended);
+      ("write_errors", P.I s.Vmbp_store.Store.write_errors);
+      ("corrupt", P.I s.Vmbp_store.Store.corrupt);
+      ("compactions", P.I s.Vmbp_store.Store.compactions);
+      ("requests", P.I (c "service.requests"));
+      ("coalesced", P.I (c "service.coalesced"));
+      ("shed", P.I (c "service.shed"));
+      ("degraded_refused", P.I (c "service.degraded_refused"));
+      ("request_timeouts", P.I (c "service.request_timeouts"));
+      ("conn_drops", P.I (c "service.conn_drops"));
+      ("slow_reader_drops", P.I (c "service.slow_reader_drops"));
+      ("degraded_seconds", P.F degraded_seconds);
+      ("inflight", P.I (Hashtbl.length st.inflight));
+      ("connections", P.I (List.length st.conns));
+      ("uptime_seconds", P.F (now -. st.started));
+    ]
+
+let handle_request st conn req =
+  let now = Unix.gettimeofday () in
+  match req with
+  | P.Health ->
+      let state_name =
+        if st.shutting then "draining"
+        else if degraded_now st now then "degraded"
+        else "serving"
+      in
+      send st conn
+        (P.obj
+           [
+             ("status", P.S "ok");
+             ("state", P.S state_name);
+             ("inflight", P.I (Hashtbl.length st.inflight));
+           ])
+  | P.Stats -> send st conn (service_stats st now)
+  | P.Shutdown ->
+      send st conn (reply_status "ok");
+      st.shutting <- true;
+      logf st "shutdown requested; draining %d in-flight key(s)"
+        (Hashtbl.length st.inflight)
+  | P.Grid { scale } ->
+      if st.shutting || degraded_now st now then
+        send st conn
+          (reply_status (if st.shutting then "overloaded" else "degraded"))
+      else begin
+        let id = st.grid_next in
+        st.grid_next <- id + 1;
+        (* Grid replies are exempt from the per-request deadline: the
+           client asked for the whole reproduction and waits for it. *)
+        Hashtbl.replace st.grid_waiters id
+          { w_conn = conn; w_deadline = infinity };
+        enqueue st.sh (J_grid { g_id = id; g_scale = scale })
+      end
+  | P.Query c -> (
+      match Par_runner.store_lookup c with
+      | Some t -> send st conn (payload_of_timed ~source:"store" t)
+      | None ->
+          if st.shutting then send st conn (reply_status "overloaded")
+          else if degraded_now st now then begin
+            Vmbp_obs.Registry.add m_degraded_refused 1;
+            send st conn (reply_status "degraded")
+          end
+          else begin
+            let key = ikey c in
+            let w =
+              { w_conn = conn; w_deadline = now +. st.cfg.request_timeout }
+            in
+            match Hashtbl.find_opt st.inflight key with
+            | Some ws ->
+                ws := w :: !ws;
+                Vmbp_obs.Registry.add m_coalesced 1
+            | None ->
+                if Hashtbl.length st.inflight >= st.cfg.admission then begin
+                  Vmbp_obs.Registry.add m_shed 1;
+                  send st conn (reply_status "overloaded")
+                end
+                else begin
+                  Hashtbl.replace st.inflight key (ref [ w ]);
+                  enqueue st.sh (J_cells [ (key, c) ])
+                end
+          end)
+
+let handle_payload st conn payload =
+  Vmbp_obs.Registry.add m_requests 1;
+  match P.request_of_payload payload with
+  | Ok req -> handle_request st conn req
+  | Error msg -> send st conn (reply_status ~error:msg "bad-request")
+
+let rec peel_frames st conn =
+  if (not conn.dropped) && not conn.closing then
+    match P.peel ~max:st.cfg.max_request_frame conn.inbuf with
+    | `Frame (payload, rest) ->
+        conn.inbuf <- rest;
+        handle_payload st conn payload;
+        peel_frames st conn
+    | `Await -> ()
+    | exception P.Oversized n ->
+        (* Reject and hang up: the rest of the stream is unframeable. *)
+        conn.inbuf <- "";
+        send st conn
+          (reply_status
+             ~error:(Printf.sprintf "oversized frame (%d bytes)" n)
+             "bad-request");
+        conn.closing <- true
+
+let read_conn st conn =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    (* A closing connection is write-drain only: anything the client
+       still sends after an oversize rejection is unframeable noise. *)
+    if (not conn.dropped) && not conn.closing then
+      match Unix.read conn.fd buf 0 (Bytes.length buf) with
+      | 0 -> drop_conn st conn
+      | n ->
+          conn.inbuf <- conn.inbuf ^ Bytes.sub_string buf 0 n;
+          peel_frames st conn;
+          go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> drop_conn st conn
+  in
+  go ()
+
+let write_conn st conn =
+  match
+    Unix.write_substring conn.fd conn.outbuf 0 (String.length conn.outbuf)
+  with
+  | n ->
+      conn.outbuf <-
+        String.sub conn.outbuf n (String.length conn.outbuf - n);
+      conn.last_progress <- Unix.gettimeofday ();
+      if conn.outbuf = "" && conn.closing then drop_conn st conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error _ -> drop_conn st conn
+
+let accept_conns st listen_fd =
+  let rec go () =
+    match Unix.accept listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        let now = Unix.gettimeofday () in
+        st.conns <-
+          {
+            fd;
+            inbuf = "";
+            outbuf = "";
+            stalled_until = 0.;
+            last_progress = now;
+            closing = false;
+            dropped = false;
+          }
+          :: st.conns;
+        go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let distribute st = function
+  | D_cells items ->
+      List.iter
+        (fun (key, payload) ->
+          match Hashtbl.find_opt st.inflight key with
+          | None -> ()
+          | Some ws ->
+              Hashtbl.remove st.inflight key;
+              List.iter
+                (fun w -> send st w.w_conn payload)
+                (List.rev !ws))
+        items
+  | D_grid { d_id; d_payload } -> (
+      match Hashtbl.find_opt st.grid_waiters d_id with
+      | None -> ()
+      | Some w ->
+          Hashtbl.remove st.grid_waiters d_id;
+          send st w.w_conn d_payload)
+
+let reap st now =
+  (* Per-request deadlines: expired waiters get a [timeout] reply; the
+     compute keeps going and its result still lands in the store. *)
+  Hashtbl.iter
+    (fun _ ws ->
+      let expired, live =
+        List.partition (fun w -> now > w.w_deadline) !ws
+      in
+      if expired <> [] then begin
+        ws := live;
+        Vmbp_obs.Registry.add m_request_timeouts (List.length expired);
+        List.iter (fun w -> send st w.w_conn (reply_status "timeout")) expired
+      end)
+    st.inflight;
+  (* Slow readers: outbound bytes pending, no progress for too long. *)
+  List.iter
+    (fun conn ->
+      if
+        conn.outbuf <> ""
+        && now -. conn.last_progress > st.cfg.slow_reader_timeout
+      then begin
+        Vmbp_obs.Registry.add m_slow_drops 1;
+        logf st "dropping slow reader";
+        drop_conn st conn
+      end)
+    st.conns
+
+let update_degraded st now =
+  let d = degraded_now st now in
+  match (st.deg_since, d) with
+  | None, true ->
+      st.deg_since <- Some now;
+      logf st "compute pool wedged; degrading to store-only service"
+  | Some t0, false ->
+      Vmbp_obs.Registry.gauge_add g_degraded (now -. t0);
+      st.deg_since <- None;
+      logf st "compute pool recovered after %.2fs; serving misses again"
+        (now -. t0)
+  | _ -> ()
+
+let drained st =
+  st.shutting
+  && Hashtbl.length st.inflight = 0
+  && Hashtbl.length st.grid_waiters = 0
+  && List.for_all (fun c -> c.outbuf = "") st.conns
+  &&
+  (Mutex.lock st.sh.lock;
+   let idle = Queue.is_empty st.sh.jobs && st.sh.busy = None in
+   Mutex.unlock st.sh.lock;
+   idle)
+
+let serve (cfg : config) =
+  Par_runner.progress := false;
+  Par_runner.default_jobs := max 1 cfg.jobs;
+  Par_runner.set_store ?shards:cfg.shards cfg.store_dir;
+  (match Par_runner.store_stats () with
+  | Some s when s.Vmbp_store.Store.corrupt > 0 ->
+      Printf.eprintf
+        "[serve] store load skipped %d corrupt record(s); compacting\n%!"
+        s.Vmbp_store.Store.corrupt;
+      Par_runner.store_compact ()
+  | _ -> ());
+  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  let sh =
+    {
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      jobs = Queue.create ();
+      results = [];
+      busy = None;
+      wake_w;
+    }
+  in
+  let st =
+    {
+      cfg;
+      sh;
+      conns = [];
+      inflight = Hashtbl.create 64;
+      grid_waiters = Hashtbl.create 4;
+      grid_next = 0;
+      shutting = false;
+      deg_since = None;
+      started = Unix.gettimeofday ();
+    }
+  in
+  Atomic.set sigint_shutdown false;
+  let prev_sigint =
+    try
+      Some
+        (Sys.signal Sys.sigint
+           (Sys.Signal_handle (fun _ -> Atomic.set sigint_shutdown true)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let compute = Domain.spawn (fun () -> compute_loop cfg sh) in
+  Printf.eprintf "[serve] listening on %s (store %s, %d job(s))\n%!"
+    cfg.socket cfg.store_dir cfg.jobs;
+  let wake_buf = Bytes.create 256 in
+  let rec loop () =
+    if Atomic.get sigint_shutdown && not st.shutting then begin
+      st.shutting <- true;
+      logf st "SIGINT; draining"
+    end;
+    if drained st then ()
+    else begin
+      let now = Unix.gettimeofday () in
+      let rfds =
+        (if st.shutting then [] else [ listen_fd ])
+        @ wake_r
+          :: List.filter_map
+               (fun c -> if c.closing then None else Some c.fd)
+               st.conns
+      in
+      let wfds =
+        List.filter_map
+          (fun c ->
+            if c.outbuf <> "" && now >= c.stalled_until then Some c.fd
+            else None)
+          st.conns
+      in
+      (match Unix.select rfds wfds [] 0.05 with
+      | readable, writable, _ ->
+          if (not st.shutting) && List.memq listen_fd readable then
+            accept_conns st listen_fd;
+          if List.memq wake_r readable then begin
+            (try
+               while Unix.read wake_r wake_buf 0 (Bytes.length wake_buf) > 0 do
+                 ()
+               done
+             with
+            | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+            | Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            Mutex.lock sh.lock;
+            let results = List.rev sh.results in
+            sh.results <- [];
+            Mutex.unlock sh.lock;
+            List.iter (distribute st) results
+          end;
+          List.iter
+            (fun c ->
+              if (not c.dropped) && List.memq c.fd readable then
+                read_conn st c)
+            st.conns;
+          List.iter
+            (fun c ->
+              if (not c.dropped) && List.memq c.fd writable then
+                write_conn st c)
+            st.conns
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      let now = Unix.gettimeofday () in
+      reap st now;
+      update_degraded st now;
+      Vmbp_obs.Registry.gauge_set g_connections
+        (float_of_int (List.length st.conns));
+      loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      enqueue sh J_stop;
+      Domain.join compute;
+      List.iter
+        (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        st.conns;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+      (try Unix.close wake_r with Unix.Unix_error _ -> ());
+      (try Unix.close wake_w with Unix.Unix_error _ -> ());
+      (match st.deg_since with
+      | Some t0 ->
+          Vmbp_obs.Registry.gauge_add g_degraded (Unix.gettimeofday () -. t0)
+      | None -> ());
+      (match prev_sigint with
+      | Some h -> ( try Sys.set_signal Sys.sigint h with _ -> ())
+      | None -> ());
+      Par_runner.clear_store ();
+      Printf.eprintf "[serve] drained; socket closed\n%!")
+    loop

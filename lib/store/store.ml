@@ -1,0 +1,269 @@
+type stats = {
+  entries : int;
+  shards : int;
+  loaded : int;
+  served : int;
+  missed : int;
+  appended : int;
+  write_errors : int;
+  corrupt : int;
+  compactions : int;
+}
+
+type t = {
+  s_dir : string;
+  nshards : int;
+  fds : Unix.file_descr array;
+  lock : Mutex.t;
+  tbl : (string * string, Cellrec.entry) Hashtbl.t;
+  mutable closed : bool;
+  mutable loaded : int;
+  mutable served : int;
+  mutable missed : int;
+  mutable appended : int;
+  mutable write_errors : int;
+  mutable corrupt : int;
+  mutable compactions : int;
+}
+
+let io_fault_hook : (unit -> bool) ref = ref (fun () -> false)
+
+(* Registry mirrors, so [--metrics] and the vmbp-cells/7 summary can
+   report store traffic without a store handle. *)
+let m_hits = Vmbp_obs.Registry.counter "store.hits"
+let m_misses = Vmbp_obs.Registry.counter "store.misses"
+let m_appended = Vmbp_obs.Registry.counter "store.appended"
+let m_write_errors = Vmbp_obs.Registry.counter "store.write_errors"
+let m_corrupt = Vmbp_obs.Registry.counter "store.corrupt_records"
+
+let shard_name i = Printf.sprintf "shard-%02d.vcas" i
+
+let shard_path t i = Filename.concat t.s_dir (shard_name i)
+
+(* Key -> shard.  Purely a load-spreading choice: lookups go through the
+   in-memory table, so re-opening with a different shard count only moves
+   where *future* appends land (and where compaction rewrites records). *)
+let shard_of_key t key = Crc32.digest key mod t.nshards
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then go (off + Unix.write fd b off (len - off))
+  in
+  go 0
+
+(* fsync on a directory fd makes the renames themselves durable; some
+   filesystems refuse fsync on a directory, which is not worth dying
+   over. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+(* One shard file: every line is independently framed, so a corrupt
+   record -- flipped bytes, a spliced write, a torn tail -- is skipped
+   and counted without giving up on the rest of the file. *)
+let load_shard t path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ()
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go () =
+            match input_line ic with
+            | exception End_of_file -> ()
+            | line ->
+                (if String.trim line <> "" then
+                   match Frame.decode line with
+                   | Frame.Framed payload -> (
+                       match Cellrec.of_line payload with
+                       | Some e ->
+                           Hashtbl.replace t.tbl (e.Cellrec.key, e.Cellrec.fingerprint) e;
+                           t.loaded <- t.loaded + 1
+                       | None -> t.corrupt <- t.corrupt + 1)
+                   | Frame.Legacy _ | Frame.Corrupt ->
+                       t.corrupt <- t.corrupt + 1);
+                go ()
+          in
+          go ())
+
+let open_ ?(shards = 8) dir =
+  if shards < 1 then invalid_arg "Store.open_: shards must be >= 1";
+  mkdir_p dir;
+  (* Stale temp files are debris from a compaction that died before its
+     rename; the original shard is intact, so they are just deleted. *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".tmp" then
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (* Read every shard present, even past the requested count, so a store
+     written under a larger shard setting loses nothing. *)
+  let existing =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter_map (fun f ->
+           if
+             String.length f = String.length (shard_name 0)
+             && String.sub f 0 6 = "shard-"
+             && Filename.check_suffix f ".vcas"
+           then int_of_string_opt (String.sub f 6 2)
+           else None)
+  in
+  let nshards = List.fold_left (fun a i -> max a (i + 1)) shards existing in
+  let t =
+    {
+      s_dir = dir;
+      nshards;
+      fds = [||];
+      lock = Mutex.create ();
+      tbl = Hashtbl.create 1024;
+      closed = false;
+      loaded = 0;
+      served = 0;
+      missed = 0;
+      appended = 0;
+      write_errors = 0;
+      corrupt = 0;
+      compactions = 0;
+    }
+  in
+  for i = 0 to nshards - 1 do
+    load_shard t (shard_path t i)
+  done;
+  if t.corrupt > 0 then Vmbp_obs.Registry.add m_corrupt t.corrupt;
+  let fds =
+    Array.init nshards (fun i ->
+        Unix.openfile (shard_path t i)
+          [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ]
+          0o644)
+  in
+  { t with fds }
+
+let lookup t ~key ~fingerprint =
+  Mutex.lock t.lock;
+  let r = Hashtbl.find_opt t.tbl (key, fingerprint) in
+  (match r with
+  | Some _ -> t.served <- t.served + 1
+  | None -> t.missed <- t.missed + 1);
+  Mutex.unlock t.lock;
+  (match r with
+  | Some _ -> Vmbp_obs.Registry.add m_hits 1
+  | None -> Vmbp_obs.Registry.add m_misses 1);
+  r
+
+let mem t ~key ~fingerprint =
+  Mutex.lock t.lock;
+  let r = Hashtbl.mem t.tbl (key, fingerprint) in
+  Mutex.unlock t.lock;
+  r
+
+let append t (e : Cellrec.entry) =
+  let line = Frame.encode (Cellrec.to_line e) in
+  Mutex.lock t.lock;
+  (* The entry serves from memory either way; only durability can fail. *)
+  Hashtbl.replace t.tbl (e.Cellrec.key, e.Cellrec.fingerprint) e;
+  let dropped = t.closed || !io_fault_hook () in
+  if dropped then begin
+    t.write_errors <- t.write_errors + 1;
+    Vmbp_obs.Registry.add m_write_errors 1
+  end
+  else begin
+    let fd = t.fds.(shard_of_key t e.Cellrec.key) in
+    match
+      write_all fd line;
+      Unix.fsync fd
+    with
+    | () ->
+        t.appended <- t.appended + 1;
+        Vmbp_obs.Registry.add m_appended 1
+    | exception Unix.Unix_error _ ->
+        t.write_errors <- t.write_errors + 1;
+        Vmbp_obs.Registry.add m_write_errors 1
+  end;
+  Mutex.unlock t.lock
+
+let compact t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if not t.closed then begin
+        (* Bucket the table by current shard mapping. *)
+        let buckets = Array.make t.nshards [] in
+        Hashtbl.iter
+          (fun (key, _) e ->
+            let i = shard_of_key t key in
+            buckets.(i) <- e :: buckets.(i))
+          t.tbl;
+        for i = 0 to t.nshards - 1 do
+          let tmp = shard_path t i ^ ".tmp" in
+          let fd =
+            Unix.openfile tmp
+              [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+              0o644
+          in
+          (try
+             List.iter
+               (fun e -> write_all fd (Frame.encode (Cellrec.to_line e)))
+               (List.rev buckets.(i));
+             Unix.fsync fd
+           with e ->
+             Unix.close fd;
+             raise e);
+          Unix.close fd;
+          (* The append descriptor must move to the new file: the rename
+             unlinks the old inode, and writes to it would be lost. *)
+          Unix.rename tmp (shard_path t i);
+          let old = t.fds.(i) in
+          t.fds.(i) <-
+            Unix.openfile (shard_path t i)
+              [ Unix.O_WRONLY; Unix.O_APPEND ]
+              0o644;
+          try Unix.close old with Unix.Unix_error _ -> ()
+        done;
+        fsync_dir t.s_dir;
+        t.compactions <- t.compactions + 1
+      end)
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      entries = Hashtbl.length t.tbl;
+      shards = t.nshards;
+      loaded = t.loaded;
+      served = t.served;
+      missed = t.missed;
+      appended = t.appended;
+      write_errors = t.write_errors;
+      corrupt = t.corrupt;
+      compactions = t.compactions;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let dir t = t.s_dir
+
+let close t =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    t.closed <- true;
+    Array.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      t.fds
+  end;
+  Mutex.unlock t.lock

@@ -1,0 +1,77 @@
+(** Sharded, checksummed, content-addressed result store.
+
+    The crash-safe journal's promotion to a service-grade persistence
+    layer: completed cells are addressed by their parameter-complete key
+    plus configuration fingerprint, spread over [shards] append-only
+    files by key CRC, and every record is framed with a CRC-32 and a
+    length header ({!Frame}), so corruption {e anywhere} in a shard --
+    not just a torn final line -- is detected, skipped and counted on
+    load, and repaired by {!compact}.  Appends are written whole and
+    fsync'd; a [kill -9] at any instant leaves at worst one torn tail
+    record, which the framing skips, so the store is loadable after any
+    crash.  Shard rewrites (compaction) go through
+    write-temp/fsync/rename, so they too can die at any instant without
+    losing the old shard.
+
+    Unlike the journal -- whose resume semantics deliberately never serve
+    a cell appended by the current run -- the store is a live table: an
+    appended entry is immediately {!lookup}-able, which is what a
+    long-running service needs.  All operations are thread-safe. *)
+
+type stats = {
+  entries : int;  (** distinct (key, fingerprint) records held *)
+  shards : int;
+  loaded : int;  (** well-formed records read at [open_] *)
+  served : int;  (** successful lookups *)
+  missed : int;  (** lookups that found nothing *)
+  appended : int;  (** records durably written this session *)
+  write_errors : int;  (** appends dropped (I/O failure or injected) *)
+  corrupt : int;  (** corrupt records skipped on load, since [open_] *)
+  compactions : int;
+}
+
+type t
+
+val io_fault_hook : (unit -> bool) ref
+(** When it returns [true], the next append is dropped (and counted as a
+    write error) exactly as a disk error would drop it.  Wired to the
+    [store-io] chaos point by {!Vmbp_report.Par_runner}; the default
+    never fires.  Kept as a hook because the store sits below the fault
+    harness in the library graph. *)
+
+val open_ : ?shards:int -> string -> t
+(** Open (creating if needed) the store directory.  Every existing shard
+    file is scanned -- even when the directory holds more shards than
+    [?shards] (default 8) requests, so a store is readable under any
+    shard setting -- and stale temp files from a crashed compaction are
+    removed.  Raises [Unix.Unix_error] if the directory cannot be
+    created or a shard cannot be opened for appending. *)
+
+val lookup : t -> key:string -> fingerprint:string -> Cellrec.entry option
+(** Served from the in-memory table: entries loaded at [open_] plus
+    everything appended since, last write winning. *)
+
+val mem : t -> key:string -> fingerprint:string -> bool
+(** Presence test that does not count as a hit or a miss; used by writers
+    deciding whether an append would be a duplicate. *)
+
+val append : t -> Cellrec.entry -> unit
+(** Frame, write and fsync one record to its key's shard, and make it
+    immediately lookup-able.  A write failure (or an injected [store-io]
+    fault) is counted and otherwise ignored: the entry still serves from
+    memory, and is simply recomputed by whatever process loads the store
+    next. *)
+
+val compact : t -> unit
+(** Rewrite every shard from the in-memory table: corrupt bytes and
+    superseded duplicates are dropped, records land on their current
+    shard mapping, and each shard is replaced by write-temp / fsync /
+    rename (then the directory is fsync'd), so a crash mid-compaction
+    loses nothing. *)
+
+val stats : t -> stats
+val dir : t -> string
+
+val close : t -> unit
+(** Close every shard descriptor; further appends count as write
+    errors. *)

@@ -326,7 +326,7 @@ let test_par_runner_json_summary () =
     done;
     !found
   in
-  check_bool "schema marker" true (contains "\"schema\":\"vmbp-cells/6\"");
+  check_bool "schema marker" true (contains "\"schema\":\"vmbp-cells/7\"");
   check_bool "bank replay counter" true (contains "\"bank_replays\":");
   check_bool "banked config counter" true (contains "\"banked_configs\":");
   check_bool "translation counter" true (contains "\"translations\":");
@@ -1108,6 +1108,144 @@ let test_journal_io_fault () =
           check_int "the rest landed" 11 s.Journal.appended
       | None -> Alcotest.fail "journal must be installed")
 
+let test_journal_corrupt_scan_fuzz () =
+  (* Satellite of the store PR: flip random bytes anywhere in a journal --
+     not just the torn tail -- and resume.  Load must never raise, every
+     damaged record must be skipped and counted, and no served cell may
+     differ from the reference run (a corrupted record is recomputed, not
+     trusted). *)
+  let reference = signature (PR.run_cells ~jobs:1 (toy_cells ())) in
+  let rng = Random.State.make [| 0xBADF00D |] in
+  for _round = 1 to 6 do
+    reset_supervision ();
+    with_temp_journal (fun file ->
+        PR.set_journal ~file ~resume:false;
+        ignore (PR.run_cells ~jobs:1 (toy_cells ()));
+        PR.clear_journal ();
+        let ic = open_in_bin file in
+        let len = in_channel_length ic in
+        let b = Bytes.create len in
+        really_input ic b 0 len;
+        close_in ic;
+        for _ = 1 to 1 + Random.State.int rng 6 do
+          let i = Random.State.int rng len in
+          (* Never forge a newline: that would *split* a record, which is
+             fine too, but keeping line structure makes the accounting
+             below exact. *)
+          let c = Random.State.int rng 255 in
+          if Char.chr c <> '\n' && Bytes.get b i <> '\n' then
+            Bytes.set b i (Char.chr c)
+        done;
+        let oc = open_out_bin file in
+        output_bytes oc b;
+        close_out oc;
+        PR.clear_trace_cache ();
+        PR.set_journal ~file ~resume:true;
+        let resumed = PR.run_cells ~jobs:1 (toy_cells ()) in
+        Alcotest.(check (list (pair string string)))
+          "corrupted journal never changes a number" reference
+          (signature resumed);
+        match PR.journal_stats () with
+        | Some s ->
+            check_int "damaged + healthy = all lines" 12
+              (s.Journal.loaded + s.Journal.truncated);
+            check_int "every healthy record serves" s.Journal.loaded
+              s.Journal.served
+        | None -> Alcotest.fail "journal must be installed")
+  done
+
+let with_temp_store f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vmbp-store-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      PR.clear_store ();
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end)
+    (fun () -> f dir)
+
+let test_store_roundtrip_serve () =
+  (* The content-addressed store as a resume layer: a second run over the
+     same cells is served entirely from the store, byte-identically, and
+     unlike the journal it also serves cells appended by the same
+     process. *)
+  with_temp_store (fun dir ->
+      PR.set_store ~shards:4 dir;
+      let first = PR.run_cells ~jobs:1 (toy_cells ()) in
+      (match PR.store_stats () with
+      | Some s ->
+          check_int "every success stored" 12 s.Vmbp_store.Store.appended
+      | None -> Alcotest.fail "store must be installed");
+      (* Same process, same store: the live table serves instantly. *)
+      PR.clear_trace_cache ();
+      PR.clear_result_cache ();
+      let second = PR.run_cells ~jobs:1 (toy_cells ()) in
+      List.iter
+        (fun (t : PR.timed) ->
+          check_bool "served from store" true t.PR.from_journal)
+        second;
+      Alcotest.(check (list (pair string string)))
+        "store round-trip is identical" (signature first) (signature second);
+      (* Fresh process simulation: close and reopen the same directory. *)
+      PR.clear_store ();
+      PR.set_store ~shards:4 dir;
+      PR.clear_trace_cache ();
+      PR.clear_result_cache ();
+      let third = PR.run_cells ~jobs:1 (toy_cells ()) in
+      Alcotest.(check (list (pair string string)))
+        "reloaded store is identical" (signature first) (signature third);
+      (match PR.store_stats () with
+      | Some s ->
+          check_int "all 12 reloaded" 12 s.Vmbp_store.Store.loaded;
+          check_int "nothing recomputed" 0 s.Vmbp_store.Store.appended
+      | None -> Alcotest.fail "store must be installed");
+      (* The vmbp-cells/7 summary surfaces the store counters. *)
+      ignore (PR.drain_log ());
+      let json = PR.json_summary ~jobs:1 third in
+      let contains needle =
+        let nl = String.length needle and hl = String.length json in
+        let found = ref false in
+        for i = 0 to hl - nl do
+          if String.sub json i nl = needle then found := true
+        done;
+        !found
+      in
+      check_bool "summary has store_hits" true (contains "\"store_hits\":");
+      check_bool "summary has store_misses" true
+        (contains "\"store_misses\":");
+      check_bool "summary has coalesced" true (contains "\"coalesced\":");
+      check_bool "summary has shed" true (contains "\"shed\":");
+      check_bool "summary has degraded_seconds" true
+        (contains "\"degraded_seconds\":");
+      check_bool "summary has store stats block" true
+        (contains "\"store\":{"))
+
+let test_store_io_fault_degrades () =
+  (* store-io chaos: the append is dropped and counted; the run itself is
+     unaffected and the cell recomputes on the next cold open. *)
+  with_temp_store (fun dir ->
+      PR.set_store ~shards:2 dir;
+      configure_chaos "store-io=1";
+      let results = PR.run_cells ~jobs:1 (toy_cells ()) in
+      List.iter
+        (fun (t : PR.timed) ->
+          check_bool "cells unaffected by store loss" true
+            (Result.is_ok t.PR.outcome))
+        results;
+      check_int "store-io fired" 1 (Faults.fired Faults.Store_io);
+      match PR.store_stats () with
+      | Some s ->
+          check_int "one append dropped" 1 s.Vmbp_store.Store.write_errors;
+          check_int "the rest landed" 11 s.Vmbp_store.Store.appended
+      | None -> Alcotest.fail "store must be installed")
+
 let test_sequential_kill_and_resume () =
   (* The headline crash-safety property: kill the (sequential) run after two
      groups via the worker-death point -- the stand-in for a killed process
@@ -1539,6 +1677,12 @@ let () =
             (supervised test_journal_roundtrip_resume);
           Alcotest.test_case "torn final journal line" `Quick
             (supervised test_journal_truncated_line);
+          Alcotest.test_case "journal corrupt-scan fuzz" `Quick
+            (supervised test_journal_corrupt_scan_fuzz);
+          Alcotest.test_case "store round-trip serves" `Quick
+            (supervised test_store_roundtrip_serve);
+          Alcotest.test_case "store write fault degrades" `Quick
+            (supervised test_store_io_fault_degrades);
           Alcotest.test_case "journal write fault degrades" `Quick
             (supervised test_journal_io_fault);
           Alcotest.test_case "kill mid-run, resume byte-identical" `Quick

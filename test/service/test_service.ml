@@ -1,0 +1,307 @@
+(* End-to-end tests of the report service: the daemon runs in a domain
+   inside the test process, clients speak the real wire protocol over a
+   real Unix-domain socket.  Covered: miss-compute-then-hit, duplicate
+   coalescing (one compute, N identical replies), protocol edges
+   (oversized frame, truncated frame, unknown verb), degradation under a
+   wedged pool, and shutdown draining in-flight requests. *)
+
+module P = Vmbp_service.Protocol
+module Service = Vmbp_service.Service
+module PR = Vmbp_report.Par_runner
+module Faults = Vmbp_report.Faults
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let uniq =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "%d-%d" (Unix.getpid ()) !n
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec go tries =
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when tries > 0 ->
+        Unix.sleepf 0.02;
+        go (tries - 1)
+  in
+  go 200;
+  fd
+
+let rpc fd payload =
+  P.write_frame fd payload;
+  match P.read_frame fd with
+  | Some reply -> reply
+  | None -> Alcotest.fail "server closed the connection without a reply"
+
+let fields_of reply =
+  try Vmbp_store.Sjson.parse_line reply
+  with Vmbp_store.Sjson.Bad ->
+    Alcotest.failf "unparseable reply: %s" reply
+
+let status reply =
+  match Vmbp_store.Sjson.str_opt (fields_of reply) "status" with
+  | Some s -> s
+  | None -> Alcotest.failf "reply without status: %s" reply
+
+let source reply = Vmbp_store.Sjson.str_opt (fields_of reply) "source"
+
+(* Start a server in its own domain with a fresh socket and store; stop it
+   (via the shutdown verb unless the test already did) and clean up. *)
+let with_server ?(chaos = "") ?(admission = 64) ?(degraded_after = 2.)
+    ?(request_timeout = 30.) f =
+  let id = uniq () in
+  let socket = Filename.concat "/tmp" ("vmbp-svc-" ^ id ^ ".sock") in
+  let store = Filename.concat "/tmp" ("vmbp-svc-store-" ^ id) in
+  (match Faults.configure chaos with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "chaos spec: %s" msg);
+  let cfg =
+    {
+      (Service.default_config ~socket ~store_dir:store) with
+      Service.jobs = 2;
+      admission;
+      degraded_after;
+      request_timeout;
+      slow_reader_timeout = 2.;
+    }
+  in
+  let srv = Domain.spawn (fun () -> Service.serve cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Idempotent stop: if the test already shut the server down, the
+         connect fails and the domain is already finishing. *)
+      (try
+         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         (try
+            Unix.connect fd (Unix.ADDR_UNIX socket);
+            ignore (rpc fd (P.obj [ ("verb", P.S "shutdown") ]))
+          with _ -> ());
+         Unix.close fd
+       with _ -> ());
+      Domain.join srv;
+      Faults.reset ();
+      rm_rf store)
+    (fun () -> f socket)
+
+let counter name =
+  match Vmbp_obs.Registry.find_counter name with
+  | Some v -> Int64.to_int v
+  | None -> 0
+
+let gray_query =
+  P.query_payload ~vm:"forth" ~workload:"gray" ~technique:"switch"
+    ~cpu:"celeron-800" ~scale:1 ()
+
+(* ------------------------------------------------------------------ *)
+
+let test_health_and_stats () =
+  with_server (fun socket ->
+      let fd = connect socket in
+      let h = rpc fd (P.obj [ ("verb", P.S "health") ]) in
+      check_string "healthy" "ok" (status h);
+      check_bool "serving" true
+        (Vmbp_store.Sjson.str_opt (fields_of h) "state" = Some "serving");
+      let s = fields_of (rpc fd (P.obj [ ("verb", P.S "stats") ])) in
+      check_bool "stats has entries" true
+        (Vmbp_store.Sjson.int_opt s "entries" = Some 0);
+      check_bool "stats counts itself" true
+        (match Vmbp_store.Sjson.int_opt s "requests" with
+        | Some n -> n >= 2
+        | None -> false);
+      Unix.close fd)
+
+let test_query_miss_then_hit () =
+  with_server (fun socket ->
+      let fd = connect socket in
+      let first = rpc fd gray_query in
+      check_string "computed" "ok" (status first);
+      check_bool "first is a miss" true (source first = Some "computed");
+      let second = rpc fd gray_query in
+      check_bool "second is a hit" true (source second = Some "store");
+      (* The stored reply matches the computed one field for field. *)
+      List.iter
+        (fun f ->
+          Alcotest.(check (option string))
+            (f ^ " identical")
+            (Vmbp_store.Sjson.str_opt (fields_of first) f)
+            (Vmbp_store.Sjson.str_opt (fields_of second) f))
+        [ "output" ];
+      List.iter
+        (fun f ->
+          Alcotest.(check (option int))
+            (f ^ " identical")
+            (Vmbp_store.Sjson.int_opt (fields_of first) f)
+            (Vmbp_store.Sjson.int_opt (fields_of second) f))
+        [ "steps"; "vm_instrs"; "dispatches"; "mispredicts"; "icache_misses" ];
+      Unix.close fd)
+
+let test_duplicate_queries_coalesce () =
+  (* Wedge the compute domain briefly so all four duplicates are in the
+     house before the batch runs: exactly one compute, four identical
+     replies, three coalesced. *)
+  with_server ~chaos:"pool-wedge=1@0.4" (fun socket ->
+      let coalesced0 = counter "service.coalesced" in
+      let fds = List.init 4 (fun _ -> connect socket) in
+      List.iter (fun fd -> P.write_frame fd gray_query) fds;
+      let replies =
+        List.map
+          (fun fd ->
+            match P.read_frame fd with
+            | Some r -> r
+            | None -> Alcotest.fail "dropped while coalescing")
+          fds
+      in
+      (match replies with
+      | first :: rest ->
+          check_string "computed once" "ok" (status first);
+          List.iter
+            (fun r -> check_string "identical replies" first r)
+            rest
+      | [] -> Alcotest.fail "no replies");
+      check_int "three coalesced" 3 (counter "service.coalesced" - coalesced0);
+      List.iter Unix.close fds)
+
+let test_protocol_edges () =
+  with_server (fun socket ->
+      (* Unknown verb. *)
+      let fd = connect socket in
+      check_string "unknown verb" "bad-request"
+        (status (rpc fd (P.obj [ ("verb", P.S "frobnicate") ])));
+      (* Oversized frame: rejected with a reply, then the connection is
+         closed (the stream past a bad header is unframeable). *)
+      let big = P.encode_frame (String.make 100_000 'x') in
+      let n = Unix.write_substring fd big 0 (String.length big) in
+      check_bool "frame sent" true (n > 0);
+      (match P.read_frame fd with
+      | Some r -> check_string "oversized rejected" "bad-request" (status r)
+      | None -> Alcotest.fail "expected a bad-request reply");
+      (* Closed for good: clean EOF, or RST if the kernel still held the
+         unread remainder of the oversized frame. *)
+      check_bool "connection closed after oversize" true
+        (match P.read_frame fd with
+        | None -> true
+        | Some _ -> false
+        | exception (End_of_file | Unix.Unix_error _) -> true);
+      Unix.close fd;
+      (* Truncated frame: a client dying mid-frame must not wedge the
+         server. *)
+      let fd2 = connect socket in
+      ignore (Unix.write_substring fd2 "\x00\x00" 0 2);
+      Unix.close fd2;
+      let fd3 = connect socket in
+      check_string "server survives a truncated frame" "ok"
+        (status (rpc fd3 (P.obj [ ("verb", P.S "health") ])));
+      Unix.close fd3)
+
+let test_degraded_store_only () =
+  (* Wedge the pool past [degraded_after]: a store hit still serves, a
+     fresh miss is refused with [degraded], and the degradation window is
+     accounted. *)
+  with_server ~degraded_after:0.15 (fun socket ->
+      let fd = connect socket in
+      (* Warm the store with one computed cell. *)
+      check_string "warmup" "ok" (status (rpc fd gray_query));
+      (match Faults.configure "pool-wedge=1@0.9" with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "chaos: %s" msg);
+      (* A miss that wedges the compute domain. *)
+      let slow = connect socket in
+      P.write_frame slow
+        (P.query_payload ~vm:"forth" ~workload:"gray" ~technique:"switch"
+           ~cpu:"pentium-m" ~scale:1 ());
+      Unix.sleepf 0.4;
+      (* Store hits keep serving while degraded. *)
+      let hit = rpc fd gray_query in
+      check_bool "hit served while degraded" true (source hit = Some "store");
+      (* A different miss is refused. *)
+      check_string "miss refused while degraded" "degraded"
+        (status
+           (rpc fd
+              (P.query_payload ~vm:"forth" ~workload:"gray"
+                 ~technique:"switch" ~cpu:"pentium4-prescott" ~scale:1 ())));
+      check_bool "health reports degraded" true
+        (Vmbp_store.Sjson.str_opt
+           (fields_of (rpc fd (P.obj [ ("verb", P.S "health") ])))
+           "state"
+        = Some "degraded");
+      (* The wedged request itself completes once the pool recovers. *)
+      (match P.read_frame slow with
+      | Some r -> check_string "wedged miss completes" "ok" (status r)
+      | None -> Alcotest.fail "wedged request lost");
+      let s = fields_of (rpc fd (P.obj [ ("verb", P.S "stats") ])) in
+      check_bool "degraded window accounted" true
+        (match Vmbp_store.Sjson.num s "degraded_seconds" with
+        | v -> v > 0.
+        | exception Vmbp_store.Sjson.Bad -> false);
+      Unix.close slow;
+      Unix.close fd)
+
+let test_admission_shed () =
+  (* admission=1 with a wedged pool: the second distinct miss sheds with
+     an explicit [overloaded] reply. *)
+  with_server ~admission:1 ~chaos:"pool-wedge=1@0.5" ~degraded_after:10.
+    (fun socket ->
+      let a = connect socket in
+      P.write_frame a gray_query;
+      Unix.sleepf 0.1;
+      let b = connect socket in
+      check_string "second miss shed" "overloaded"
+        (status
+           (rpc b
+              (P.query_payload ~vm:"forth" ~workload:"gray"
+                 ~technique:"switch" ~cpu:"pentium-m" ~scale:1 ())));
+      (match P.read_frame a with
+      | Some r -> check_string "admitted miss completes" "ok" (status r)
+      | None -> Alcotest.fail "admitted request lost");
+      Unix.close a;
+      Unix.close b)
+
+let test_shutdown_drains_inflight () =
+  (* A shutdown with a compute in flight: the in-flight reply still
+     arrives, new misses are refused, and the server exits cleanly
+     (with_server joins the domain). *)
+  with_server ~chaos:"pool-wedge=1@0.4" (fun socket ->
+      let q = connect socket in
+      P.write_frame q gray_query;
+      Unix.sleepf 0.1;
+      let c = connect socket in
+      check_string "shutdown acknowledged" "ok"
+        (status (rpc c (P.obj [ ("verb", P.S "shutdown") ])));
+      (match P.read_frame q with
+      | Some r -> check_string "in-flight reply delivered" "ok" (status r)
+      | None -> Alcotest.fail "in-flight request dropped by shutdown");
+      Unix.close q;
+      Unix.close c)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "service",
+        [
+          Alcotest.test_case "health and stats" `Quick test_health_and_stats;
+          Alcotest.test_case "query miss then hit" `Quick
+            test_query_miss_then_hit;
+          Alcotest.test_case "duplicates coalesce" `Quick
+            test_duplicate_queries_coalesce;
+          Alcotest.test_case "protocol edges" `Quick test_protocol_edges;
+          Alcotest.test_case "degraded store-only" `Quick
+            test_degraded_store_only;
+          Alcotest.test_case "admission shed" `Quick test_admission_shed;
+          Alcotest.test_case "shutdown drains in-flight" `Quick
+            test_shutdown_drains_inflight;
+        ] );
+    ]
