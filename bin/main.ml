@@ -701,6 +701,7 @@ let serve_cmd =
         degraded_after;
         max_request_frame = max_frame;
         verbose;
+        quiet = false;
       }
   in
   Cmd.v (Cmd.info "serve" ~doc)
@@ -910,6 +911,124 @@ let explain_cmd =
     Term.(
       const run $ vm $ workload $ technique $ cpu $ scale $ top $ no_verify)
 
+let simulate_cmd =
+  let doc =
+    "Deterministic simulation testing: sweep seeded whole-system schedules \
+     of the report service under virtual time, simulated sockets and disks, \
+     and power-cut crash/restart, checking durability, determinism, \
+     liveness and store integrity on every one."
+  in
+  let seeds =
+    Arg.(
+      value & opt int 1000
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:
+            "Seeds to sweep (with $(b,--mutate): the budget within which \
+             the re-introduced bug must be caught).")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Run exactly this one seed (replay a reported failure).")
+  in
+  let first =
+    Arg.(
+      value & opt int 1
+      & info [ "first-seed" ] ~docv:"N" ~doc:"First seed of the sweep.")
+  in
+  let mutate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"BUG"
+          ~doc:
+            (Printf.sprintf
+               "Re-introduce a past bug and demand the harness catches it \
+                within the seed budget (exit 0 on catch).  One of: %s."
+               (String.concat ", " Vmbp_service.Simulate.mutation_names)))
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-file" ] ~docv:"PATH"
+          ~doc:"Where to write a failing schedule's trace.")
+  in
+  let run seeds seed first mutate trace_file =
+    let mutation =
+      match mutate with
+      | None -> None
+      | Some s -> (
+          match Vmbp_service.Simulate.mutation_of_string s with
+          | Ok m -> Some m
+          | Error e ->
+              Printf.eprintf "vmbp: %s\n" e;
+              exit 2)
+    in
+    let first_seed, seeds =
+      match seed with Some s -> (s, 1) | None -> (first, seeds)
+    in
+    exit
+      (Vmbp_service.Simulate.run ~first_seed ?mutation ?trace_file ~seeds ())
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ seeds $ seed $ first $ mutate $ trace_file)
+
+let store_cmd =
+  let scrub_cmd =
+    let doc =
+      "Offline integrity scan of a store directory: per-shard counts of \
+       well-formed, corrupt and stale-fingerprint records.  Exits 4 if any \
+       corruption is found (after the repair when $(b,--compact) is given)."
+    in
+    let dir =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"DIR" ~doc:"Store directory to scan.")
+    in
+    let compact =
+      Arg.(
+        value & flag
+        & info [ "compact" ]
+            ~doc:
+              "Repair in place: open the store (which skips corrupt \
+               records) and compact it, then re-scan.")
+    in
+    let print_reports reports =
+      let tr, tc, ts =
+        List.fold_left
+          (fun (r, c, s) (sr : Vmbp_store.Store.shard_report) ->
+            Printf.printf "%-14s records %-6d corrupt %-4d stale %d\n"
+              sr.sr_shard sr.sr_records sr.sr_corrupt sr.sr_stale;
+            (r + sr.sr_records, c + sr.sr_corrupt, s + sr.sr_stale))
+          (0, 0, 0) reports
+      in
+      Printf.printf "total          records %-6d corrupt %-4d stale %d\n" tr
+        tc ts;
+      tc
+    in
+    let run dir compact =
+      let corrupt = print_reports (Vmbp_store.Store.scrub dir) in
+      let corrupt =
+        if compact && corrupt > 0 then begin
+          Printf.printf "compacting %s in place...\n" dir;
+          let st = Vmbp_store.Store.open_ dir in
+          Vmbp_store.Store.compact st;
+          Vmbp_store.Store.close st;
+          print_reports (Vmbp_store.Store.scrub dir)
+        end
+        else corrupt
+      in
+      if corrupt > 0 then exit 4
+    in
+    Cmd.v (Cmd.info "scrub" ~doc) Term.(const run $ dir $ compact)
+  in
+  let doc = "Store maintenance commands." in
+  Cmd.group (Cmd.info "store" ~doc) [ scrub_cmd ]
+
 let () =
   let doc =
     "Reproduction of 'Optimizing Indirect Branch Prediction Accuracy in \
@@ -928,6 +1047,8 @@ let () =
             serve_cmd;
             loadgen_cmd;
             client_cmd;
+            simulate_cmd;
+            store_cmd;
             explain_cmd;
             audit_repro_cmd;
           ]))

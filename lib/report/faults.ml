@@ -168,7 +168,7 @@ let record_fail () =
   if fire Record_fail then raise (Injected "chaos: injected record failure")
 
 let slow_cell () =
-  if fire Slow_cell then Unix.sleepf slots.(point_index Slow_cell).duration
+  if fire Slow_cell then Vmbp_sim.Env.sleep slots.(point_index Slow_cell).duration
 
 let worker_death () = if fire Worker_death then raise Worker_killed
 

@@ -30,7 +30,8 @@ type stats = {
 
 type t = {
   j_file : string;
-  fd : Unix.file_descr;
+  env : Vmbp_sim.Env.t;
+  fd : Vmbp_sim.Env.fd;
   lock : Mutex.t;
   tbl : (string * string, entry) Hashtbl.t;
   mutable closed : bool;
@@ -44,42 +45,36 @@ type t = {
 (* ------------------------------------------------------------------ *)
 
 let load t =
-  match open_in t.j_file with
-  | exception Sys_error _ -> ()
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          let accept e =
-            (* Last entry wins: duplicates within one run are
-               deterministic duplicates of the same value. *)
-            Hashtbl.replace t.tbl (e.key, e.fingerprint) e;
-            t.loaded <- t.loaded + 1
-          in
-          let rec go () =
-            match input_line ic with
-            | exception End_of_file -> ()
-            | line ->
-                (if String.trim line <> "" then
-                   match Vmbp_store.Frame.decode line with
-                   | Vmbp_store.Frame.Framed payload
-                   | Vmbp_store.Frame.Legacy payload -> (
-                       match Vmbp_store.Cellrec.of_line payload with
-                       | Some e -> accept e
-                       | None -> t.truncated <- t.truncated + 1)
-                   | Vmbp_store.Frame.Corrupt ->
-                       t.truncated <- t.truncated + 1);
-                go ()
-          in
-          go ())
+  match t.env.read_file t.j_file with
+  | None -> ()
+  | Some contents ->
+      let accept e =
+        (* Last entry wins: duplicates within one run are
+           deterministic duplicates of the same value. *)
+        Hashtbl.replace t.tbl (e.key, e.fingerprint) e;
+        t.loaded <- t.loaded + 1
+      in
+      List.iter
+        (fun line ->
+          if String.trim line <> "" then
+            match Vmbp_store.Frame.decode line with
+            | Vmbp_store.Frame.Framed payload | Vmbp_store.Frame.Legacy payload
+              -> (
+                match Vmbp_store.Cellrec.of_line payload with
+                | Some e -> accept e
+                | None -> t.truncated <- t.truncated + 1)
+            | Vmbp_store.Frame.Corrupt -> t.truncated <- t.truncated + 1)
+        (Vmbp_sim.Env.lines_of_contents contents)
 
 let open_ ?(resume = false) file =
+  let env = !Vmbp_sim.Env.current in
   let t =
     {
       j_file = file;
+      env;
       (* The fd is opened after the resume load so the O_CREAT of a fresh
          journal cannot turn a half-written file into a parse surprise. *)
-      fd = Unix.stdout;
+      fd = Vmbp_sim.Env.Real Unix.stdout;
       lock = Mutex.create ();
       tbl = Hashtbl.create 256;
       closed = false;
@@ -92,7 +87,7 @@ let open_ ?(resume = false) file =
   in
   if resume then load t;
   let fd =
-    Unix.openfile file [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+    env.openfile file [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
   in
   { t with fd }
 
@@ -110,11 +105,10 @@ let lookup t ~key ~fingerprint =
   (match r with Some _ -> Vmbp_obs.Registry.add m_served 1 | None -> ());
   r
 
-let write_all fd s =
-  let b = Bytes.unsafe_of_string s in
-  let len = Bytes.length b in
+let write_all (env : Vmbp_sim.Env.t) fd s =
+  let len = String.length s in
   let rec go off =
-    if off < len then go (off + Unix.write fd b off (len - off))
+    if off < len then go (off + env.write fd s off (len - off))
   in
   go 0
 
@@ -130,8 +124,8 @@ let append t e =
   end
   else begin
     match
-      write_all t.fd line;
-      Unix.fsync t.fd
+      write_all t.env t.fd line;
+      t.env.fsync t.fd
     with
     | () ->
         t.appended <- t.appended + 1;
@@ -162,6 +156,6 @@ let close t =
   Mutex.lock t.lock;
   if not t.closed then begin
     t.closed <- true;
-    (try Unix.close t.fd with Unix.Unix_error _ -> ())
+    (try t.env.close t.fd with Unix.Unix_error _ -> ())
   end;
   Mutex.unlock t.lock

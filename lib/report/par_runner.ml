@@ -100,7 +100,7 @@ let progress_draw now =
 
 let progress_tick () =
   if !progress && !prog_active then begin
-    let now = Unix.gettimeofday () in
+    let now = Vmbp_sim.Env.now () in
     if now -. !prog_last >= 0.5 then begin
       Mutex.lock prog_lock;
       if !prog_active && now -. !prog_last >= 0.5 then progress_draw now;
@@ -114,7 +114,7 @@ let progress_begin total =
     prog_active := true;
     prog_total := total;
     prog_done := 0;
-    prog_start := Unix.gettimeofday ();
+    prog_start := Vmbp_sim.Env.now ();
     prog_last := 0.;
     Hashtbl.reset prog_busy;
     Mutex.unlock prog_lock
@@ -716,14 +716,14 @@ let store_lookup c =
   match !store with
   | None -> None
   | Some s -> (
-      let t0 = Unix.gettimeofday () in
+      let t0 = Vmbp_sim.Env.now () in
       match
         Vmbp_store.Store.lookup s ~key:(store_key c)
           ~fingerprint:(config_fingerprint c)
       with
       | Some e ->
           let t = timed_of_entry c e in
-          Some { t with serve_seconds = Unix.gettimeofday () -. t0 }
+          Some { t with serve_seconds = Vmbp_sim.Env.now () -. t0 }
       | None -> None)
 
 (* Persist a freshly computed success.  Only [Ok] outcomes are stored --
@@ -776,11 +776,11 @@ let supervised body =
     let poll =
       let t = !cell_timeout in
       if t > 0. then begin
-        let deadline = Unix.gettimeofday () +. t in
+        let deadline = Vmbp_sim.Env.now () +. t in
         Some
           (fun () ->
             progress_tick ();
-            if Unix.gettimeofday () > deadline then raise Cell_deadline)
+            if Vmbp_sim.Env.now () > deadline then raise Cell_deadline)
       end
       else if !progress then Some progress_tick
       else None
@@ -810,7 +810,7 @@ let supervised body =
         if n > retries then (Error msg, n, false)
         else begin
           let base = !retry_backoff_s *. float_of_int (1 lsl (n - 1)) in
-          Unix.sleepf (base *. (0.5 +. Faults.jitter ()));
+          Vmbp_sim.Env.sleep (base *. (0.5 +. Faults.jitter ()));
           attempt (n + 1)
         end
   in
@@ -822,7 +822,7 @@ let supervised body =
 let minor_words () = (Gc.quick_stat ()).Gc.minor_words
 
 let run_cell c =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Vmbp_sim.Env.now () in
   let w0 = minor_words () in
   let outcome, attempts, timed_out =
     Vmbp_obs.Span.with_ ~name:"cell" ~args:[ ("cell", cell_name c) ] (fun () ->
@@ -840,7 +840,7 @@ let run_cell c =
   {
     cell = c;
     outcome;
-    wall_seconds = Unix.gettimeofday () -. t0;
+    wall_seconds = Vmbp_sim.Env.now () -. t0;
     serve_seconds = 0.;
     mode = Direct;
     attempts;
@@ -850,7 +850,7 @@ let run_cell c =
   }
 
 let replay_cell mode tr c =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Vmbp_sim.Env.now () in
   let w0 = minor_words () in
   let outcome, attempts, timed_out =
     Vmbp_obs.Span.with_ ~name:"replay" ~args:[ ("cell", cell_name c) ]
@@ -862,7 +862,7 @@ let replay_cell mode tr c =
   {
     cell = c;
     outcome;
-    wall_seconds = Unix.gettimeofday () -. t0;
+    wall_seconds = Vmbp_sim.Env.now () -. t0;
     serve_seconds = 0.;
     mode;
     attempts;
@@ -880,13 +880,13 @@ let memo_cells entry arr idxs =
     | [] -> Some (List.rev acc)
     | i :: rest -> (
         let c = arr.(i) in
-        let t0 = Unix.gettimeofday () in
+        let t0 = Vmbp_sim.Env.now () in
         match
           Runner.replay_memo ?predictor:c.predictor ~cpu:c.cpu entry.ce_trace
         with
         | None -> None
         | Some outcome ->
-            let wall = Unix.gettimeofday () -. t0 in
+            let wall = Vmbp_sim.Env.now () -. t0 in
             go
               (( i,
                  {
@@ -955,7 +955,7 @@ let audit_crosscheck c (t : timed) =
     || not (Audit.sampled ~key:(cell_key c) ~rate:!audit_sample)
   then t
   else begin
-    let t0 = Unix.gettimeofday () in
+    let t0 = Vmbp_sim.Env.now () in
     let direct =
       Vmbp_obs.Span.with_ ~name:"audit-crosscheck"
         ~args:[ ("cell", cell_name c) ]
@@ -969,7 +969,7 @@ let audit_crosscheck c (t : timed) =
       | Error a, Error b -> a = b
       | _ -> false
     in
-    let wall_seconds = t.wall_seconds +. (Unix.gettimeofday () -. t0) in
+    let wall_seconds = t.wall_seconds +. (Vmbp_sim.Env.now () -. t0) in
     if agree then begin
       Audit.note_audited ();
       { t with audited = true; wall_seconds }
@@ -1045,7 +1045,7 @@ let run_group results arr idxs =
     match List.filter (fun i -> results.(i) = None) idxs with
     | [] -> 0.
     | pending ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Vmbp_sim.Env.now () in
         let poll =
           let t = !cell_timeout in
           if t > 0. then begin
@@ -1053,7 +1053,7 @@ let run_group results arr idxs =
             Some
               (fun () ->
                 progress_tick ();
-                if Unix.gettimeofday () > deadline then raise Cell_deadline)
+                if Vmbp_sim.Env.now () > deadline then raise Cell_deadline)
           end
           else if !progress then Some progress_tick
           else None
@@ -1072,7 +1072,7 @@ let run_group results arr idxs =
         | fresh -> if fresh > 0 then note_bank fresh
         | exception Faults.Worker_killed -> raise Faults.Worker_killed
         | exception _ -> ());
-        Unix.gettimeofday () -. t0
+        Vmbp_sim.Env.now () -. t0
   in
   (* Replay every pending cell of the group from the banked memo tables.
      [extra] -- the group's one engine execution plus the banked traversal
@@ -1103,7 +1103,7 @@ let run_group results arr idxs =
   in
   let record_group () =
     let c0 = arr.(List.hd idxs) in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Vmbp_sim.Env.now () in
     (* The record execution serves the whole group but still honours the
        per-cell deadline; a record timeout is caught by [Runner.record]'s
        guard as [`Failed], degrading to direct runs where each cell gets
@@ -1115,7 +1115,7 @@ let run_group results arr idxs =
         Some
           (fun () ->
             progress_tick ();
-            if Unix.gettimeofday () > deadline then raise Cell_deadline)
+            if Vmbp_sim.Env.now () > deadline then raise Cell_deadline)
       end
       else if !progress then Some progress_tick
       else None
@@ -1137,7 +1137,7 @@ let run_group results arr idxs =
           Runner.release_trace tr;
           raise (Faults.Injected "chaos: injected record failure")
         end;
-        let record_seconds = Unix.gettimeofday () -. t0 in
+        let record_seconds = Vmbp_sim.Env.now () -. t0 in
         let entry = cache_insert c0 tr in
         replay_group entry ~first_record:true ~extra:record_seconds idxs;
         cache_release entry
@@ -1164,11 +1164,11 @@ let run_group results arr idxs =
     List.iter
       (fun i ->
         if results.(i) = None then begin
-          let t0 = Unix.gettimeofday () in
+          let t0 = Vmbp_sim.Env.now () in
           match result_find arr.(i) with
           | None -> ()
           | Some run ->
-              let wall = Unix.gettimeofday () -. t0 in
+              let wall = Vmbp_sim.Env.now () -. t0 in
               finish i
                 {
                   cell = arr.(i);
@@ -1350,7 +1350,7 @@ let run_cells ?jobs cells =
       Vmbp_obs.Span.with_ ~name:"journal-serve" (fun () ->
           Array.iteri
             (fun i c ->
-              let t0 = Unix.gettimeofday () in
+              let t0 = Vmbp_sim.Env.now () in
               match
                 Journal.lookup j ~key:(cell_key c)
                   ~fingerprint:(config_fingerprint c)
@@ -1359,7 +1359,7 @@ let run_cells ?jobs cells =
                   let t = timed_of_entry c e in
                   (* A journal-served cell re-ran no simulator; the lookup
                      and reconstruction time is all it cost. *)
-                  let serve = Unix.gettimeofday () -. t0 in
+                  let serve = Vmbp_sim.Env.now () -. t0 in
                   results.(i) <- Some { t with serve_seconds = serve };
                   progress_cell_done ()
               | None -> ())

@@ -41,7 +41,7 @@ let plan_cache_key ~technique ~scale (workload : Vmbp_workloads.t) =
 (* [cacheable] is false when the caller supplied an explicit training
    profile: the layout then depends on data outside the cache key. *)
 let translation_for ~cacheable ~technique ~scale workload layout =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Vmbp_sim.Env.now () in
   let tr =
     if not cacheable then begin
       Vmbp_obs.Registry.add m_translations 1;
@@ -76,7 +76,7 @@ let translation_for ~cacheable ~technique ~scale workload layout =
       Engine.translation ~plan layout
     end
   in
-  Vmbp_obs.Registry.gauge_add g_translate_wall (Unix.gettimeofday () -. t0);
+  Vmbp_obs.Registry.gauge_add g_translate_wall (Vmbp_sim.Env.now () -. t0);
   tr
 
 let trap_message (workload : Vmbp_workloads.t) technique msg =

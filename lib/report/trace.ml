@@ -335,14 +335,32 @@ let memo_find t tbl key =
   Mutex.unlock t.memo_lock;
   r
 
+(* Mutation tooth: when set, [memo_add] reverts to the pre-fix unlocked
+   check-then-insert, with a yield in the window to make the race land
+   reliably.  Exists so the simulation harness can prove its memo check
+   catches the regression; never set outside tests. *)
+let mutation_racy_memo = ref false
+
 (* Add-if-absent: the re-check under the lock is what closes the
    check-then-insert race -- two domains can both miss [memo_find] and
    both simulate, but only the first insert lands, so the table never
    accumulates duplicate bindings for a configuration. *)
 let memo_add t tbl key v =
-  Mutex.lock t.memo_lock;
-  if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key v;
-  Mutex.unlock t.memo_lock
+  if !mutation_racy_memo then begin
+    if not (Hashtbl.mem tbl key) then begin
+      (* Hold the check-then-insert window open long enough to overlap
+         the other domains' arrival jitter after bank simulation. *)
+      for _ = 1 to 200_000 do
+        Domain.cpu_relax ()
+      done;
+      Hashtbl.add tbl key v
+    end
+  end
+  else begin
+    Mutex.lock t.memo_lock;
+    if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key v;
+    Mutex.unlock t.memo_lock
+  end
 
 let memo_sizes t =
   Mutex.lock t.memo_lock;

@@ -124,3 +124,9 @@ val memo_sizes : t -> int * int
     under the memo lock, so for each table this must always equal the
     number of distinct configurations simulated -- exposed so tests can
     assert the memo tables stay duplicate-free under concurrent replay. *)
+
+val mutation_racy_memo : bool ref
+(** Mutation tooth: when [true], memo inserts revert to the pre-fix
+    unlocked check-then-insert, so concurrent replays can land duplicate
+    bindings.  Exists so the simulation harness can prove its memo check
+    catches the regression; never set it outside tests. *)

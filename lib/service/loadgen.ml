@@ -89,6 +89,24 @@ let pick cdf u =
   in
   go 0 (n - 1)
 
+(* The pure, seeded pick sequence: exactly the (vm, workload, technique,
+   cpu) tuples client [index] will request, in order.  [client_loop]
+   consumes this list, so a test asserting two calls with the same seed
+   are equal is asserting the wire behavior, not a parallel
+   reimplementation. *)
+let plan_picks cdf universe ~seed ~index ~count =
+  let s = ref (Int64.of_int (seed + index)) in
+  let acc = ref [] in
+  for _ = 1 to count do
+    acc := universe.(pick cdf (uniform s)) :: !acc
+  done;
+  List.rev !acc
+
+let query_plan cfg ~index ~count =
+  let universe = Array.of_list (universe ()) in
+  let cdf = zipf_cdf (Float.max 0. cfg.zipf) (Array.length universe) in
+  plan_picks cdf universe ~seed:cfg.seed ~index ~count
+
 (* ------------------------------------------------------------------ *)
 (* Clients *)
 
@@ -103,7 +121,7 @@ let connect socket =
   fd
 
 let client_loop cfg cdf universe index count =
-  let s = ref (Int64.of_int (cfg.seed + index)) in
+  let picks = plan_picks cdf universe ~seed:cfg.seed ~index ~count in
   let fd = ref (connect cfg.socket) in
   let reconnect () =
     (try Unix.close !fd with Unix.Unix_error _ -> ());
@@ -116,8 +134,7 @@ let client_loop cfg cdf universe index count =
     in
     go 100
   in
-  for _ = 1 to count do
-    let vm, workload, technique, cpu = universe.(pick cdf (uniform s)) in
+  List.iter (fun (vm, workload, technique, cpu) ->
     let payload =
       P.query_payload ~vm ~workload ~technique ~cpu ~scale:cfg.scale ()
     in
@@ -149,8 +166,8 @@ let client_loop cfg cdf universe index count =
         | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNREFUSED | Unix.ENOENT), _, _)
           ) ->
         Vmbp_obs.Registry.add (status_counter "conn-drop") 1;
-        reconnect ()
-  done;
+        reconnect ())
+    picks;
   try Unix.close !fd with Unix.Unix_error _ -> ()
 
 (* ------------------------------------------------------------------ *)

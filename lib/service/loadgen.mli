@@ -31,6 +31,14 @@ type config = {
 val default_config : socket:string -> config
 (** 4 clients, 1000 requests, seed 1, zipf 1.1, scale 1. *)
 
+val query_plan :
+  config -> index:int -> count:int -> (string * string * string * string) list
+(** The exact [(vm, workload, technique, cpu)] sequence client [index]
+    sends for this config -- the very list {!run}'s client loop
+    consumes, exposed so determinism tests assert the wire behavior:
+    same [seed] and [index], same plan, independent of [clients] or
+    wall-clock timing. *)
+
 val run : config -> unit
 (** Drive the load, then print the report to stdout.  Raises
     [Unix.Unix_error] if the first connection attempt of a client

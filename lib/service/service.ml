@@ -1,5 +1,6 @@
 open Vmbp_report
 module P = Protocol
+module Env = Vmbp_sim.Env
 
 type config = {
   socket : string;
@@ -12,6 +13,7 @@ type config = {
   degraded_after : float;
   max_request_frame : int;
   verbose : bool;
+  quiet : bool;
 }
 
 let default_config ~socket ~store_dir =
@@ -26,6 +28,7 @@ let default_config ~socket ~store_dir =
     degraded_after = 2.;
     max_request_frame = 64 * 1024;
     verbose = false;
+    quiet = false;
   }
 
 (* Registry instruments; the vmbp-cells/7 summary reads [coalesced],
@@ -71,7 +74,7 @@ let payload_of_timed ~source (t : Par_runner.timed) =
   | Error msg -> reply_status ~error:msg "error"
 
 (* ------------------------------------------------------------------ *)
-(* Event-loop <-> compute-domain plumbing *)
+(* Event-loop <-> compute-pool plumbing *)
 
 type job =
   | J_cells of (string * Par_runner.cell) list  (* in-flight key, cell *)
@@ -85,27 +88,33 @@ type done_msg =
 type busy_kind = Busy_cells | Busy_grid
 
 type shared = {
+  s_env : Env.t;
   lock : Mutex.t;
   cond : Condition.t;
   jobs : job Queue.t;
   mutable results : done_msg list;  (* newest first *)
   mutable busy : (float * busy_kind) option;
-  wake_w : Unix.file_descr;
+  wake_w : Env.fd;
+  mutable pool : Env.pool option;
 }
+
+let wake sh =
+  (* A full pipe just means wake-ups are already pending. *)
+  try ignore (sh.s_env.Env.write sh.wake_w "!" 0 1)
+  with Unix.Unix_error _ -> ()
 
 let post sh msg =
   Mutex.lock sh.lock;
   sh.results <- msg :: sh.results;
   Mutex.unlock sh.lock;
-  (* A full pipe just means wake-ups are already pending. *)
-  try ignore (Unix.write sh.wake_w (Bytes.make 1 '!') 0 1)
-  with Unix.Unix_error _ -> ()
+  wake sh
 
 let enqueue sh job =
   Mutex.lock sh.lock;
   Queue.push job sh.jobs;
   Condition.signal sh.cond;
-  Mutex.unlock sh.lock
+  Mutex.unlock sh.lock;
+  match sh.pool with Some p -> p.Env.kick () | None -> ()
 
 (* The whole reproduction grid as one vmbp-cells/7 document.  The session
    log is drained before and after so the document holds exactly the
@@ -119,17 +128,26 @@ let grid_doc (cfg : config) scale =
     Experiments.all;
   Par_runner.json_summary ~jobs:cfg.jobs (Par_runner.drain_log ())
 
-(* The compute domain: drain every queued job, merge the cell jobs into
-   one batch (one [run_cells] call, so cells sharing a workload share one
-   recorded execution), then run grids.  Any exception -- including an
-   injected worker death with no pool above it -- becomes an [error]
-   reply for the batch, never a dead compute domain. *)
-let compute_loop (cfg : config) sh =
-  let rec next () =
-    Mutex.lock sh.lock;
+(* One compute-pool step: drain every queued job, merge the cell jobs
+   into one batch (one [run_cells] call, so cells sharing a workload
+   share one recorded execution), then run grids.  Any exception --
+   including an injected worker death with no pool above it -- becomes an
+   [error] reply for the batch, never a dead compute pool.  Results are
+   published through [defer_done]: the real env runs the closure
+   immediately (the pre-seam ordering, byte for byte), the simulated env
+   schedules it a virtual latency later.  [block] is how the real domain
+   parks on the condition variable; the simulation polls. *)
+let compute_step (cfg : config) (env : Env.t) sh ~block =
+  Mutex.lock sh.lock;
+  if block then
     while Queue.is_empty sh.jobs do
       Condition.wait sh.cond sh.lock
     done;
+  if Queue.is_empty sh.jobs then begin
+    Mutex.unlock sh.lock;
+    `Idle
+  end
+  else begin
     let batch = ref [] in
     while not (Queue.is_empty sh.jobs) do
       batch := Queue.pop sh.jobs :: !batch
@@ -145,13 +163,13 @@ let compute_loop (cfg : config) sh =
     let stop = List.exists (function J_stop -> true | _ -> false) batch in
     sh.busy <-
       Some
-        ( Unix.gettimeofday (),
+        ( env.Env.now (),
           match cells with [] -> Busy_grid | _ -> Busy_cells );
     Mutex.unlock sh.lock;
-    (* The pool-wedge chaos point: the compute domain stalls with work in
+    (* The pool-wedge chaos point: the compute pool stalls with work in
        hand, which is what the degradation detector keys on. *)
     (match Faults.pool_wedge () with
-    | Some d -> Unix.sleepf d
+    | Some d -> env.Env.sleep d
     | None -> ());
     (match cells with
     | [] -> ()
@@ -166,7 +184,7 @@ let compute_loop (cfg : config) sh =
               let e = reply_status ~error:(Printexc.to_string exn) "error" in
               List.map (fun (k, _) -> (k, e)) cells
         in
-        post sh (D_cells results));
+        env.Env.defer_done (fun () -> post sh (D_cells results)));
     List.iter
       (fun (g_id, g_scale) ->
         let payload =
@@ -175,24 +193,24 @@ let compute_loop (cfg : config) sh =
           | exception exn ->
               reply_status ~error:(Printexc.to_string exn) "error"
         in
-        post sh (D_grid { d_id = g_id; d_payload = payload }))
+        env.Env.defer_done (fun () ->
+            post sh (D_grid { d_id = g_id; d_payload = payload })))
       grids;
-    Mutex.lock sh.lock;
-    sh.busy <- None;
-    Mutex.unlock sh.lock;
-    (* Wake the event loop even with no results: busy-state changes feed
-       the degradation detector and the drain condition. *)
-    (try ignore (Unix.write sh.wake_w (Bytes.make 1 '!') 0 1)
-     with Unix.Unix_error _ -> ());
-    if not stop then next ()
-  in
-  next ()
+    env.Env.defer_done (fun () ->
+        Mutex.lock sh.lock;
+        sh.busy <- None;
+        Mutex.unlock sh.lock;
+        (* Wake the event loop even with no results: busy-state changes
+           feed the degradation detector and the drain condition. *)
+        wake sh);
+    if stop then `Stop else `Ran
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Connections *)
 
 type conn = {
-  fd : Unix.file_descr;
+  fd : Env.fd;
   mutable inbuf : string;
   mutable outbuf : string;  (* unsent bytes only *)
   mutable stalled_until : float;  (* injected slow-client stall *)
@@ -205,6 +223,7 @@ type waiter = { w_conn : conn; w_deadline : float }
 
 type state = {
   cfg : config;
+  env : Env.t;
   sh : shared;
   mutable conns : conn list;
   (* (store key \x00 fingerprint) -> waiters, newest first *)
@@ -216,7 +235,7 @@ type state = {
   started : float;
 }
 
-let sigint_shutdown = Atomic.make false
+let signal_shutdown = Atomic.make false
 
 let ikey c = Par_runner.store_key c ^ "\x00" ^ Par_runner.config_fingerprint c
 
@@ -227,7 +246,7 @@ let logf st fmt =
 let drop_conn st conn =
   if not conn.dropped then begin
     conn.dropped <- true;
-    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    (try st.env.Env.close conn.fd with Unix.Unix_error _ -> ());
     st.conns <- List.filter (fun c -> c != conn) st.conns
   end
 
@@ -242,14 +261,14 @@ let send st conn payload =
       (match Faults.slow_client () with
       | Some d ->
           logf st "chaos: stalling client writes for %gs" d;
-          conn.stalled_until <- Unix.gettimeofday () +. d
+          conn.stalled_until <- st.env.Env.now () +. d
       | None -> ());
-      if conn.outbuf = "" then conn.last_progress <- Unix.gettimeofday ();
+      if conn.outbuf = "" then conn.last_progress <- st.env.Env.now ();
       conn.outbuf <- conn.outbuf ^ P.encode_frame payload
     end
   end
 
-(* Degraded = the compute domain has been stuck on a *cell* batch longer
+(* Degraded = the compute pool has been stuck on a *cell* batch longer
    than the threshold.  A grid run is legitimately long and does not
    count; its queued queries are answered when it finishes (or by the
    per-request deadline). *)
@@ -298,7 +317,7 @@ let service_stats st now =
     ]
 
 let handle_request st conn req =
-  let now = Unix.gettimeofday () in
+  let now = st.env.Env.now () in
   match req with
   | P.Health ->
       let state_name =
@@ -390,7 +409,7 @@ let read_conn st conn =
     (* A closing connection is write-drain only: anything the client
        still sends after an oversize rejection is unframeable noise. *)
     if (not conn.dropped) && not conn.closing then
-      match Unix.read conn.fd buf 0 (Bytes.length buf) with
+      match st.env.Env.read conn.fd buf 0 (Bytes.length buf) with
       | 0 -> drop_conn st conn
       | n ->
           conn.inbuf <- conn.inbuf ^ Bytes.sub_string buf 0 n;
@@ -404,13 +423,11 @@ let read_conn st conn =
   go ()
 
 let write_conn st conn =
-  match
-    Unix.write_substring conn.fd conn.outbuf 0 (String.length conn.outbuf)
-  with
+  match st.env.Env.write conn.fd conn.outbuf 0 (String.length conn.outbuf) with
   | n ->
       conn.outbuf <-
         String.sub conn.outbuf n (String.length conn.outbuf - n);
-      conn.last_progress <- Unix.gettimeofday ();
+      conn.last_progress <- st.env.Env.now ();
       if conn.outbuf = "" && conn.closing then drop_conn st conn
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -418,10 +435,9 @@ let write_conn st conn =
 
 let accept_conns st listen_fd =
   let rec go () =
-    match Unix.accept listen_fd with
-    | fd, _ ->
-        Unix.set_nonblock fd;
-        let now = Unix.gettimeofday () in
+    match st.env.Env.accept listen_fd with
+    | Some fd ->
+        let now = st.env.Env.now () in
         st.conns <-
           {
             fd;
@@ -434,9 +450,7 @@ let accept_conns st listen_fd =
           }
           :: st.conns;
         go ()
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-    | exception Unix.Unix_error _ -> ()
+    | None -> ()
   in
   go ()
 
@@ -511,36 +525,37 @@ let drained st =
    idle)
 
 let serve (cfg : config) =
+  let env = !Env.current in
   Par_runner.progress := false;
   Par_runner.default_jobs := max 1 cfg.jobs;
   Par_runner.set_store ?shards:cfg.shards cfg.store_dir;
   (match Par_runner.store_stats () with
   | Some s when s.Vmbp_store.Store.corrupt > 0 ->
-      Printf.eprintf
-        "[serve] store load skipped %d corrupt record(s); compacting\n%!"
-        s.Vmbp_store.Store.corrupt;
+      if not cfg.quiet then
+        Printf.eprintf
+          "[serve] store load skipped %d corrupt record(s); compacting\n%!"
+          s.Vmbp_store.Store.corrupt;
       Par_runner.store_compact ()
   | _ -> ());
-  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
-  Unix.listen listen_fd 64;
-  Unix.set_nonblock listen_fd;
-  let wake_r, wake_w = Unix.pipe () in
-  Unix.set_nonblock wake_r;
+  (try env.Env.unlink cfg.socket with Unix.Unix_error _ -> ());
+  let listen_fd = env.Env.listen cfg.socket ~backlog:64 in
+  let wake_r, wake_w = env.Env.pipe () in
   let sh =
     {
+      s_env = env;
       lock = Mutex.create ();
       cond = Condition.create ();
       jobs = Queue.create ();
       results = [];
       busy = None;
       wake_w;
+      pool = None;
     }
   in
   let st =
     {
       cfg;
+      env;
       sh;
       conns = [];
       inflight = Hashtbl.create 64;
@@ -548,29 +563,45 @@ let serve (cfg : config) =
       grid_next = 0;
       shutting = false;
       deg_since = None;
-      started = Unix.gettimeofday ();
+      started = env.Env.now ();
     }
   in
-  Atomic.set sigint_shutdown false;
-  let prev_sigint =
+  Atomic.set signal_shutdown false;
+  (* SIGINT and SIGTERM both mean drain-then-exit: finish in-flight
+     work, flush replies, close the socket.  SIGTERM is what service
+     managers send first, so treating it like a kill would turn every
+     orderly stop into a crash recovery. *)
+  let install signum =
     try
       Some
-        (Sys.signal Sys.sigint
-           (Sys.Signal_handle (fun _ -> Atomic.set sigint_shutdown true)))
+        ( signum,
+          Sys.signal signum
+            (Sys.Signal_handle (fun _ -> Atomic.set signal_shutdown true)) )
     with Invalid_argument _ | Sys_error _ -> None
   in
-  let compute = Domain.spawn (fun () -> compute_loop cfg sh) in
-  Printf.eprintf "[serve] listening on %s (store %s, %d job(s))\n%!"
-    cfg.socket cfg.store_dir cfg.jobs;
+  let prev_signals =
+    (* A peer that vanished mid-reply (conn-drop chaos, a killed
+       client) or a compute domain waking a just-closed pipe must
+       surface as EPIPE for the error paths below, not kill the
+       process. *)
+    (try [ (Sys.sigpipe, Sys.signal Sys.sigpipe Sys.Signal_ignore) ]
+     with Invalid_argument _ | Sys_error _ -> [])
+    @ List.filter_map install [ Sys.sigint; Sys.sigterm ]
+  in
+  let pool = env.Env.spawn_compute (compute_step cfg env sh) in
+  sh.pool <- Some pool;
+  if not cfg.quiet then
+    Printf.eprintf "[serve] listening on %s (store %s, %d job(s))\n%!"
+      cfg.socket cfg.store_dir cfg.jobs;
   let wake_buf = Bytes.create 256 in
   let rec loop () =
-    if Atomic.get sigint_shutdown && not st.shutting then begin
+    if Atomic.get signal_shutdown && not st.shutting then begin
       st.shutting <- true;
-      logf st "SIGINT; draining"
+      logf st "signal; draining"
     end;
     if drained st then ()
     else begin
-      let now = Unix.gettimeofday () in
+      let now = env.Env.now () in
       let rfds =
         (if st.shutting then [] else [ listen_fd ])
         @ wake_r
@@ -585,13 +616,15 @@ let serve (cfg : config) =
             else None)
           st.conns
       in
-      (match Unix.select rfds wfds [] 0.05 with
-      | readable, writable, _ ->
+      (match env.Env.select rfds wfds 0.05 with
+      | readable, writable ->
           if (not st.shutting) && List.memq listen_fd readable then
             accept_conns st listen_fd;
           if List.memq wake_r readable then begin
             (try
-               while Unix.read wake_r wake_buf 0 (Bytes.length wake_buf) > 0 do
+               while
+                 env.Env.read wake_r wake_buf 0 (Bytes.length wake_buf) > 0
+               do
                  ()
                done
              with
@@ -614,7 +647,7 @@ let serve (cfg : config) =
                 write_conn st c)
             st.conns
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      let now = Unix.gettimeofday () in
+      let now = env.Env.now () in
       reap st now;
       update_degraded st now;
       Vmbp_obs.Registry.gauge_set g_connections
@@ -625,21 +658,23 @@ let serve (cfg : config) =
   Fun.protect
     ~finally:(fun () ->
       enqueue sh J_stop;
-      Domain.join compute;
+      pool.Env.join ();
       List.iter
-        (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        (fun c -> try env.Env.close c.fd with Unix.Unix_error _ -> ())
         st.conns;
-      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-      (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
-      (try Unix.close wake_r with Unix.Unix_error _ -> ());
-      (try Unix.close wake_w with Unix.Unix_error _ -> ());
+      (try env.Env.close listen_fd with Unix.Unix_error _ -> ());
+      (try env.Env.unlink cfg.socket with Unix.Unix_error _ -> ());
+      (try env.Env.close wake_r with Unix.Unix_error _ -> ());
+      (try env.Env.close wake_w with Unix.Unix_error _ -> ());
       (match st.deg_since with
       | Some t0 ->
-          Vmbp_obs.Registry.gauge_add g_degraded (Unix.gettimeofday () -. t0)
+          Vmbp_obs.Registry.gauge_add g_degraded (env.Env.now () -. t0)
       | None -> ());
-      (match prev_sigint with
-      | Some h -> ( try Sys.set_signal Sys.sigint h with _ -> ())
-      | None -> ());
+      List.iter
+        (fun (signum, h) ->
+          try Sys.set_signal signum h with _ -> ())
+        prev_signals;
       Par_runner.clear_store ();
-      Printf.eprintf "[serve] drained; socket closed\n%!")
+      if not cfg.quiet then
+        Printf.eprintf "[serve] drained; socket closed\n%!")
     loop

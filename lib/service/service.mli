@@ -53,6 +53,7 @@ type config = {
       (** seconds a cell batch may run before the service goes store-only *)
   max_request_frame : int;  (** request frames above this are rejected *)
   verbose : bool;
+  quiet : bool;  (** suppress the listening/drained banner lines *)
 }
 
 val default_config : socket:string -> store_dir:string -> config
@@ -60,7 +61,14 @@ val default_config : socket:string -> store_dir:string -> config
     degraded after 2s, 64 KiB request frames. *)
 
 val serve : config -> unit
-(** Run until a [shutdown] request (or SIGINT) and the drain completes:
-    in-flight computes finish, their replies flush, then connections
-    close and the socket is unlinked.  Raises [Unix.Unix_error] if the
-    socket cannot be bound or the store cannot be opened. *)
+(** Run until a [shutdown] request (or SIGINT/SIGTERM) and the drain
+    completes: in-flight computes finish, their replies flush, then
+    connections close and the socket is unlinked.  All effects -- clock,
+    sockets, store I/O, compute-pool hand-off -- go through the
+    environment captured from {!Vmbp_sim.Env.current} at this call, so
+    {!Simulate} can run the whole server single-threaded on virtual
+    time; under the default real environment behavior is unchanged.
+    Deadlines (request timeout, slow-reader, degraded-after, stall
+    windows) use the monotonic clock and are immune to wall-clock
+    steps.  Raises [Unix.Unix_error] if the socket cannot be bound or
+    the store cannot be opened. *)

@@ -11,11 +11,18 @@ type stats = {
 }
 
 type t = {
+  env : Vmbp_sim.Env.t;
   s_dir : string;
   nshards : int;
-  fds : Unix.file_descr array;
+  fds : Vmbp_sim.Env.fd array;
   lock : Mutex.t;
   tbl : (string * string, Cellrec.entry) Hashtbl.t;
+  latest : (string, string) Hashtbl.t;
+      (* key -> fingerprint of its most recent record (shard order, then
+         line order -- the order scrub calls "stale").  Compaction keeps
+         only each key's latest fingerprint: older ones were computed by
+         code that has since changed and no current lookup asks for
+         them. *)
   mutable closed : bool;
   mutable loaded : int;
   mutable served : int;
@@ -27,6 +34,12 @@ type t = {
 }
 
 let io_fault_hook : (unit -> bool) ref = ref (fun () -> false)
+
+(* Mutation teeth for the simulation harness: each one reintroduces a
+   durability bug on purpose so `simulate --mutate` can prove the
+   invariant checks would catch it.  Never set outside tests. *)
+let mutation_skip_fsync = ref false
+let mutation_skip_dir_fsync = ref false
 
 (* Registry mirrors, so [--metrics] and the vmbp-cells/7 summary can
    report store traffic without a store handle. *)
@@ -45,75 +58,51 @@ let shard_path t i = Filename.concat t.s_dir (shard_name i)
    where *future* appends land (and where compaction rewrites records). *)
 let shard_of_key t key = Crc32.digest key mod t.nshards
 
-let write_all fd s =
-  let b = Bytes.unsafe_of_string s in
-  let len = Bytes.length b in
+let write_all (env : Vmbp_sim.Env.t) fd s =
+  let len = String.length s in
   let rec go off =
-    if off < len then go (off + Unix.write fd b off (len - off))
+    if off < len then go (off + env.write fd s off (len - off))
   in
   go 0
-
-(* fsync on a directory fd makes the renames themselves durable; some
-   filesystems refuse fsync on a directory, which is not worth dying
-   over. *)
-let fsync_dir dir =
-  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
-  | exception Unix.Unix_error _ -> ()
-  | fd ->
-      (try Unix.fsync fd with Unix.Unix_error _ -> ());
-      (try Unix.close fd with Unix.Unix_error _ -> ())
-
-let mkdir_p dir =
-  let rec go d =
-    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
-      go (Filename.dirname d);
-      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-    end
-  in
-  go dir
 
 (* One shard file: every line is independently framed, so a corrupt
    record -- flipped bytes, a spliced write, a torn tail -- is skipped
    and counted without giving up on the rest of the file. *)
 let load_shard t path =
-  match open_in_bin path with
-  | exception Sys_error _ -> ()
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          let rec go () =
-            match input_line ic with
-            | exception End_of_file -> ()
-            | line ->
-                (if String.trim line <> "" then
-                   match Frame.decode line with
-                   | Frame.Framed payload -> (
-                       match Cellrec.of_line payload with
-                       | Some e ->
-                           Hashtbl.replace t.tbl (e.Cellrec.key, e.Cellrec.fingerprint) e;
-                           t.loaded <- t.loaded + 1
-                       | None -> t.corrupt <- t.corrupt + 1)
-                   | Frame.Legacy _ | Frame.Corrupt ->
-                       t.corrupt <- t.corrupt + 1);
-                go ()
-          in
-          go ())
+  match t.env.read_file path with
+  | None -> ()
+  | Some contents ->
+      List.iter
+        (fun line ->
+          if String.trim line <> "" then
+            match Frame.decode line with
+            | Frame.Framed payload -> (
+                match Cellrec.of_line payload with
+                | Some e ->
+                    Hashtbl.replace t.tbl (e.Cellrec.key, e.Cellrec.fingerprint) e;
+                    Hashtbl.replace t.latest e.Cellrec.key
+                      e.Cellrec.fingerprint;
+                    t.loaded <- t.loaded + 1
+                | None -> t.corrupt <- t.corrupt + 1)
+            | Frame.Legacy _ | Frame.Corrupt -> t.corrupt <- t.corrupt + 1)
+        (Vmbp_sim.Env.lines_of_contents contents)
 
 let open_ ?(shards = 8) dir =
   if shards < 1 then invalid_arg "Store.open_: shards must be >= 1";
-  mkdir_p dir;
+  let env = !Vmbp_sim.Env.current in
+  Vmbp_sim.Env.mkdir_p env dir;
   (* Stale temp files are debris from a compaction that died before its
      rename; the original shard is intact, so they are just deleted. *)
   Array.iter
     (fun f ->
       if Filename.check_suffix f ".tmp" then
-        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
-    (Sys.readdir dir);
+        try env.unlink (Filename.concat dir f)
+        with Unix.Unix_error _ | Sys_error _ -> ())
+    (env.readdir dir);
   (* Read every shard present, even past the requested count, so a store
      written under a larger shard setting loses nothing. *)
   let existing =
-    Array.to_list (Sys.readdir dir)
+    Array.to_list (env.readdir dir)
     |> List.filter_map (fun f ->
            if
              String.length f = String.length (shard_name 0)
@@ -125,11 +114,13 @@ let open_ ?(shards = 8) dir =
   let nshards = List.fold_left (fun a i -> max a (i + 1)) shards existing in
   let t =
     {
+      env;
       s_dir = dir;
       nshards;
       fds = [||];
       lock = Mutex.create ();
       tbl = Hashtbl.create 1024;
+      latest = Hashtbl.create 1024;
       closed = false;
       loaded = 0;
       served = 0;
@@ -146,10 +137,14 @@ let open_ ?(shards = 8) dir =
   if t.corrupt > 0 then Vmbp_obs.Registry.add m_corrupt t.corrupt;
   let fds =
     Array.init nshards (fun i ->
-        Unix.openfile (shard_path t i)
+        env.openfile (shard_path t i)
           [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ]
           0o644)
   in
+  (* Newly created shard files are directory entries: make them durable
+     now, or the first crash after an acked write could lose the whole
+     file rather than a record. *)
+  env.fsync_dir dir;
   { t with fds }
 
 let lookup t ~key ~fingerprint =
@@ -170,11 +165,18 @@ let mem t ~key ~fingerprint =
   Mutex.unlock t.lock;
   r
 
+let iter t f =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> Hashtbl.iter (fun _ e -> f e) t.tbl)
+
 let append t (e : Cellrec.entry) =
   let line = Frame.encode (Cellrec.to_line e) in
   Mutex.lock t.lock;
   (* The entry serves from memory either way; only durability can fail. *)
   Hashtbl.replace t.tbl (e.Cellrec.key, e.Cellrec.fingerprint) e;
+  Hashtbl.replace t.latest e.Cellrec.key e.Cellrec.fingerprint;
   let dropped = t.closed || !io_fault_hook () in
   if dropped then begin
     t.write_errors <- t.write_errors + 1;
@@ -183,8 +185,8 @@ let append t (e : Cellrec.entry) =
   else begin
     let fd = t.fds.(shard_of_key t e.Cellrec.key) in
     match
-      write_all fd line;
-      Unix.fsync fd
+      write_all t.env fd line;
+      if not !mutation_skip_fsync then t.env.fsync fd
     with
     | () ->
         t.appended <- t.appended + 1;
@@ -201,7 +203,18 @@ let compact t =
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
       if not t.closed then begin
-        (* Bucket the table by current shard mapping. *)
+        let env = t.env in
+        (* Drop records superseded by a newer fingerprint for the same
+           key, then bucket the survivors by current shard mapping. *)
+        let stale =
+          Hashtbl.fold
+            (fun (key, fp) _ acc ->
+              if Hashtbl.find_opt t.latest key <> Some fp then
+                (key, fp) :: acc
+              else acc)
+            t.tbl []
+        in
+        List.iter (Hashtbl.remove t.tbl) stale;
         let buckets = Array.make t.nshards [] in
         Hashtbl.iter
           (fun (key, _) e ->
@@ -211,30 +224,28 @@ let compact t =
         for i = 0 to t.nshards - 1 do
           let tmp = shard_path t i ^ ".tmp" in
           let fd =
-            Unix.openfile tmp
+            env.openfile tmp
               [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
               0o644
           in
           (try
              List.iter
-               (fun e -> write_all fd (Frame.encode (Cellrec.to_line e)))
+               (fun e -> write_all env fd (Frame.encode (Cellrec.to_line e)))
                (List.rev buckets.(i));
-             Unix.fsync fd
+             env.fsync fd
            with e ->
-             Unix.close fd;
+             env.close fd;
              raise e);
-          Unix.close fd;
+          env.close fd;
           (* The append descriptor must move to the new file: the rename
              unlinks the old inode, and writes to it would be lost. *)
-          Unix.rename tmp (shard_path t i);
+          env.rename tmp (shard_path t i);
           let old = t.fds.(i) in
           t.fds.(i) <-
-            Unix.openfile (shard_path t i)
-              [ Unix.O_WRONLY; Unix.O_APPEND ]
-              0o644;
-          try Unix.close old with Unix.Unix_error _ -> ()
+            env.openfile (shard_path t i) [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644;
+          try env.close old with Unix.Unix_error _ -> ()
         done;
-        fsync_dir t.s_dir;
+        if not !mutation_skip_dir_fsync then env.fsync_dir t.s_dir;
         t.compactions <- t.compactions + 1
       end)
 
@@ -263,7 +274,82 @@ let close t =
   if not t.closed then begin
     t.closed <- true;
     Array.iter
-      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun fd -> try t.env.close fd with Unix.Unix_error _ -> ())
       t.fds
   end;
   Mutex.unlock t.lock
+
+(* ------------------------------------------------------------------ *)
+(* Offline scrub: read-only shard scan, no store handle, no table.
+
+   A record is "stale" when a later record (in shard order, then line
+   order) carries the same key with a *different* fingerprint: its
+   result was computed under a configuration that has since changed, so
+   no current lookup can ever serve it.  Exact-duplicate supersessions
+   (same key and fingerprint appended twice) stay plain records -- the
+   in-memory table last-wins over them and compaction folds them away. *)
+
+type shard_report = {
+  sr_shard : string;
+  sr_records : int;
+  sr_corrupt : int;
+  sr_stale : int;
+}
+
+let scrub dir =
+  let env = !Vmbp_sim.Env.current in
+  let shard_files =
+    Array.to_list (try env.readdir dir with Unix.Unix_error _ | Sys_error _ -> [||])
+    |> List.filter (fun f ->
+           String.length f = String.length (shard_name 0)
+           && String.sub f 0 6 = "shard-"
+           && Filename.check_suffix f ".vcas")
+    |> List.sort compare
+  in
+  (* Pass 1: per-shard record lists, counting corruption as we go. *)
+  let scanned =
+    List.map
+      (fun f ->
+        let records = ref [] and corrupt = ref 0 in
+        (match env.read_file (Filename.concat dir f) with
+        | None -> ()
+        | Some contents ->
+            List.iter
+              (fun line ->
+                if String.trim line <> "" then
+                  match Frame.decode line with
+                  | Frame.Framed payload -> (
+                      match Cellrec.of_line payload with
+                      | Some e ->
+                          records :=
+                            (e.Cellrec.key, e.Cellrec.fingerprint) :: !records
+                      | None -> incr corrupt)
+                  | Frame.Legacy _ | Frame.Corrupt -> incr corrupt)
+              (Vmbp_sim.Env.lines_of_contents contents));
+        (f, List.rev !records, !corrupt))
+      shard_files
+  in
+  (* Pass 2: the last fingerprint seen for each key across the whole
+     store is the current one. *)
+  let current = Hashtbl.create 256 in
+  List.iter
+    (fun (_, records, _) ->
+      List.iter (fun (key, fp) -> Hashtbl.replace current key fp) records)
+    scanned;
+  List.map
+    (fun (f, records, corrupt) ->
+      let stale =
+        List.fold_left
+          (fun acc (key, fp) ->
+            match Hashtbl.find_opt current key with
+            | Some cur when cur <> fp -> acc + 1
+            | _ -> acc)
+          0 records
+      in
+      {
+        sr_shard = f;
+        sr_records = List.length records;
+        sr_corrupt = corrupt;
+        sr_stale = stale;
+      })
+    scanned

@@ -39,12 +39,26 @@ val io_fault_hook : (unit -> bool) ref
     never fires.  Kept as a hook because the store sits below the fault
     harness in the library graph. *)
 
+val mutation_skip_fsync : bool ref
+(** Mutation tooth: when [true], {!append} skips the per-record fsync --
+    reintroducing ack-before-durability.  Exists so the simulation
+    harness can prove its invariants catch the bug; never set it outside
+    tests. *)
+
+val mutation_skip_dir_fsync : bool ref
+(** Mutation tooth: when [true], {!compact} skips the final directory
+    fsync after its renames.  See {!mutation_skip_fsync}. *)
+
 val open_ : ?shards:int -> string -> t
 (** Open (creating if needed) the store directory.  Every existing shard
     file is scanned -- even when the directory holds more shards than
     [?shards] (default 8) requests, so a store is readable under any
     shard setting -- and stale temp files from a crashed compaction are
-    removed.  Raises [Unix.Unix_error] if the directory cannot be
+    removed.  Newly created shard files are made durable with a
+    directory fsync before the call returns.  All I/O goes through the
+    environment captured from {!Vmbp_sim.Env.current} at this moment,
+    which is how the simulation harness substitutes its faulty
+    filesystem.  Raises [Unix.Unix_error] if the directory cannot be
     created or a shard cannot be opened for appending. *)
 
 val lookup : t -> key:string -> fingerprint:string -> Cellrec.entry option
@@ -69,9 +83,32 @@ val compact : t -> unit
     rename (then the directory is fsync'd), so a crash mid-compaction
     loses nothing. *)
 
+val iter : t -> (Cellrec.entry -> unit) -> unit
+(** Apply a function to every live entry under the store lock.  The
+    callback must not call back into the store. *)
+
 val stats : t -> stats
 val dir : t -> string
 
 val close : t -> unit
 (** Close every shard descriptor; further appends count as write
     errors. *)
+
+(** {2 Offline scrub} *)
+
+type shard_report = {
+  sr_shard : string;  (** shard file name *)
+  sr_records : int;  (** well-formed records *)
+  sr_corrupt : int;  (** undecodable or unframed lines *)
+  sr_stale : int;
+      (** records whose key reappears later (shard order, then line
+          order) under a {e different} fingerprint: computed under a
+          configuration that has since changed, so unreachable by any
+          current lookup *)
+}
+
+val scrub : string -> shard_report list
+(** Read-only scan of a store directory, one report per shard file in
+    name order, without opening the store for writing.  Safe on a
+    directory another process has open.  [compact] (on an opened store)
+    repairs everything scrub counts. *)

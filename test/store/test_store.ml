@@ -293,6 +293,50 @@ let test_store_io_fault () =
     (Store.lookup t2 ~key:"dropped" ~fingerprint:"fp-1" = None);
   Store.close t2
 
+(* Satellite: offline scrub over a deliberately corrupted store.  The
+   per-shard reports must count exactly the damage we inflicted, and
+   compaction must repair everything scrub counts. *)
+let test_store_scrub () =
+  let dir = fresh_dir () in
+  let t = Store.open_ ~shards:4 dir in
+  for i = 0 to 11 do
+    Store.append t (sample_success (Printf.sprintf "cell-%03d" i))
+  done;
+  (* A stale record: same key re-appended under a new fingerprint. *)
+  Store.append t { (sample_success "cell-000") with Cellrec.fingerprint = "fp-2" };
+  Store.close t;
+  let clean = Store.scrub dir in
+  check_int "four shards scanned" 4 (List.length clean);
+  let total f reports = List.fold_left (fun a r -> a + f r) 0 reports in
+  check_int "13 records" 13 (total (fun r -> r.Store.sr_records) clean);
+  check_int "no corruption yet" 0 (total (fun r -> r.Store.sr_corrupt) clean);
+  check_int "one stale fingerprint" 1 (total (fun r -> r.Store.sr_stale) clean);
+  (* Smash one byte in the middle of the first shard. *)
+  (match shard_files dir with
+  | file :: _ ->
+      let fd = Unix.openfile file [ Unix.O_WRONLY ] 0o644 in
+      let mid = (Unix.stat file).Unix.st_size / 2 in
+      ignore (Unix.lseek fd mid Unix.SEEK_SET);
+      ignore (Unix.write_substring fd "\xff" 0 1);
+      Unix.close fd
+  | [] -> Alcotest.fail "no shard files");
+  let dirty = Store.scrub dir in
+  check_bool "corruption counted" true
+    (total (fun r -> r.Store.sr_corrupt) dirty > 0);
+  check_bool "damage stays in its shard" true
+    (List.length (List.filter (fun r -> r.Store.sr_corrupt > 0) dirty) = 1);
+  (* Repair in place, as [store scrub --compact] does. *)
+  let t = Store.open_ ~shards:4 dir in
+  Store.compact t;
+  Store.close t;
+  let repaired = Store.scrub dir in
+  check_int "compaction scrubbed corruption" 0
+    (total (fun r -> r.Store.sr_corrupt) repaired);
+  check_int "compaction dropped stale records" 0
+    (total (fun r -> r.Store.sr_stale) repaired);
+  check_bool "survivors intact" true
+    (total (fun r -> r.Store.sr_records) repaired >= 11)
+
 let () =
   Alcotest.run "store"
     [
@@ -316,5 +360,6 @@ let () =
           Alcotest.test_case "stale tmp removed" `Quick
             test_store_stale_tmp_removed;
           Alcotest.test_case "io fault" `Quick test_store_io_fault;
+          Alcotest.test_case "offline scrub" `Quick test_store_scrub;
         ] );
     ]
