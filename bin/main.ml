@@ -678,8 +678,41 @@ let serve_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Log per-event detail.")
   in
+  let flight_dir =
+    Arg.(
+      value & opt string "."
+      & info [ "flight-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory receiving vmbp-flight-*.json crash-flight-recorder \
+             dumps (degradation entry, unclean exit, SIGQUIT, the 'dump' \
+             verb).")
+  in
+  let serve_trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Collect end-to-end request-tracing spans (accept, parse, \
+             admission, compute batches, store appends, reply flushes, \
+             linked by request id) and write them to $(docv) as Chrome \
+             trace-event JSON at drain.")
+  in
+  let serve_metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the live telemetry registry (per-verb and per-phase \
+             latency histograms, queue/inflight/connection gauges, shed/\
+             coalesce counters) to $(docv) as vmbp-metrics/1 JSON at \
+             drain.  The same registry is queryable live via the \
+             'metrics' verb and $(b,vmbp top).")
+  in
   let run socket store store_shards jobs admission request_timeout
-      slow_reader degraded_after max_frame chaos verbose =
+      slow_reader degraded_after max_frame chaos verbose flight_dir
+      trace_out metrics =
     (match chaos with
     | None -> ()
     | Some spec -> (
@@ -702,13 +735,17 @@ let serve_cmd =
         max_request_frame = max_frame;
         verbose;
         quiet = false;
+        trace_out;
+        metrics_out = metrics;
+        flight_dir;
       }
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ store $ store_shards_arg $ jobs_arg
       $ admission $ request_timeout $ slow_reader $ degraded_after
-      $ max_frame $ chaos_arg $ verbose)
+      $ max_frame $ chaos_arg $ verbose $ flight_dir $ serve_trace_out
+      $ serve_metrics)
 
 let loadgen_cmd =
   let doc =
@@ -731,8 +768,18 @@ let loadgen_cmd =
       & info [ "zipf" ] ~docv:"S" ~doc:"Skew exponent; 0 = uniform.")
   in
   let scale = Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N") in
-  let run socket clients requests seed zipf scale =
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write a machine-readable run summary (schema vmbp-loadgen/1: \
+             statuses, throughput, latency quantiles) to $(docv).")
+  in
+  let run socket clients requests seed zipf scale json trace_out metrics =
     Vmbp_obs.Registry.reset ();
+    if trace_out <> None then Vmbp_obs.Span.enable ();
     Vmbp_service.Loadgen.run
       {
         Vmbp_service.Loadgen.socket;
@@ -741,10 +788,40 @@ let loadgen_cmd =
         seed;
         zipf;
         scale = max 1 scale;
-      }
+        json_out = json;
+      };
+    (match trace_out with
+    | None -> ()
+    | Some file ->
+        Vmbp_obs.Span.write ~file;
+        Printf.eprintf "wrote %d spans to %s\n" (Vmbp_obs.Span.count ()) file);
+    (match metrics with
+    | None -> ()
+    | Some file ->
+        Vmbp_obs.Registry.write ~file;
+        Printf.eprintf "wrote metrics to %s\n" file);
+    if trace_out <> None || metrics <> None then begin
+      let c name =
+        match Vmbp_obs.Registry.find_counter name with
+        | Some v -> Int64.to_string v
+        | None -> "0"
+      in
+      Printf.eprintf
+        "[obs] statuses ok=%s overloaded=%s degraded=%s timeout=%s \
+         conn-drop=%s rid-mismatch=%s; spans=%d\n"
+        (c "loadgen.status.ok")
+        (c "loadgen.status.overloaded")
+        (c "loadgen.status.degraded")
+        (c "loadgen.status.timeout")
+        (c "loadgen.status.conn-drop")
+        (c "loadgen.status.rid-mismatch")
+        (Vmbp_obs.Span.count ())
+    end
   in
   Cmd.v (Cmd.info "loadgen" ~doc)
-    Term.(const run $ socket_arg $ clients $ requests $ seed $ zipf $ scale)
+    Term.(
+      const run $ socket_arg $ clients $ requests $ seed $ zipf $ scale
+      $ json $ trace_out_arg $ metrics_arg)
 
 let client_cmd =
   let doc =
@@ -755,7 +832,7 @@ let client_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"VERB"
-          ~doc:"One of query, grid, stats, health, shutdown.")
+          ~doc:"One of query, grid, stats, health, metrics, dump, shutdown.")
   in
   let vm = Arg.(value & opt (some string) None & info [ "vm" ] ~docv:"VM") in
   let workload =
@@ -782,10 +859,18 @@ let client_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE"
           ~doc:
-            "For grid replies: write the embedded vmbp-cells document to \
-             $(docv) instead of printing the raw reply.")
+            "Write the reply's embedded document (a grid reply's \
+             vmbp-cells document, a metrics reply's body) to $(docv) \
+             instead of printing the raw reply.")
   in
-  let run socket verb vm workload technique cpu scale predictor out =
+  let format =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"For the metrics verb: json (default) or prometheus.")
+  in
+  let run socket verb vm workload technique cpu scale predictor out format =
     let payload =
       match verb with
       | "query" -> (
@@ -804,7 +889,14 @@ let client_cmd =
             (match scale with
             | Some n -> [ ("scale", Vmbp_service.Protocol.I n) ]
             | None -> []))
-      | ("stats" | "health" | "shutdown") as v ->
+      | "metrics" ->
+          Vmbp_service.Protocol.obj
+            (("verb", Vmbp_service.Protocol.S "metrics")
+            ::
+            (match format with
+            | Some f -> [ ("format", Vmbp_service.Protocol.S f) ]
+            | None -> []))
+      | ("stats" | "health" | "dump" | "shutdown") as v ->
           Vmbp_service.Protocol.obj [ ("verb", Vmbp_service.Protocol.S v) ]
       | v ->
           Printf.eprintf "vmbp: unknown verb %S\n" v;
@@ -826,15 +918,20 @@ let client_cmd =
           try Vmbp_store.Sjson.parse_line reply
           with Vmbp_store.Sjson.Bad -> []
         in
-        (match (out, Vmbp_store.Sjson.str_opt fields "cells") with
+        let doc =
+          match Vmbp_store.Sjson.str_opt fields "cells" with
+          | Some _ as d -> d
+          | None -> Vmbp_store.Sjson.str_opt fields "body"
+        in
+        (match (out, doc) with
         | Some file, Some doc ->
             let oc = open_out file in
             output_string oc doc;
             close_out oc;
-            Printf.eprintf "wrote cells document to %s\n" file
+            Printf.eprintf "wrote reply document to %s\n" file
         | Some _, None ->
             print_endline reply;
-            Printf.eprintf "vmbp: reply carries no cells document\n";
+            Printf.eprintf "vmbp: reply carries no embedded document\n";
             exit 1
         | None, _ -> print_endline reply);
         if Vmbp_store.Sjson.str_opt fields "status" <> Some "ok" then exit 1);
@@ -843,7 +940,33 @@ let client_cmd =
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
       const run $ socket_arg $ verb $ vm $ workload $ technique $ cpu $ scale
-      $ predictor $ out)
+      $ predictor $ out $ format)
+
+let top_cmd =
+  let doc =
+    "Live terminal monitor for a running report service: request rate, \
+     store-hit ratio, queue/inflight gauges and per-verb latency quantiles, \
+     polled from the service's 'metrics' verb."
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.
+      & info [ "interval" ] ~docv:"SEC" ~doc:"Seconds between polls.")
+  in
+  let count =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Draw $(docv) screens, then exit 0 (default: run forever).")
+  in
+  let run socket interval count =
+    exit
+      (Vmbp_service.Top.run ~socket
+         ~interval:(Float.max 0.1 interval)
+         ?iterations:count ())
+  in
+  Cmd.v (Cmd.info "top" ~doc) Term.(const run $ socket_arg $ interval $ count)
 
 (* ---------------- explain ---------------- *)
 
@@ -956,7 +1079,24 @@ let simulate_cmd =
       & info [ "trace-file" ] ~docv:"PATH"
           ~doc:"Where to write a failing schedule's trace.")
   in
-  let run seeds seed first mutate trace_file =
+  let span_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the last seed's span trace (Chrome trace-event JSON on \
+             the virtual clock; byte-identical across replays of the same \
+             seed) to $(docv).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write the last seed's metrics registry to $(docv).")
+  in
+  let run seeds seed first mutate trace_file span_out metrics_out =
     let mutation =
       match mutate with
       | None -> None
@@ -971,10 +1111,13 @@ let simulate_cmd =
       match seed with Some s -> (s, 1) | None -> (first, seeds)
     in
     exit
-      (Vmbp_service.Simulate.run ~first_seed ?mutation ?trace_file ~seeds ())
+      (Vmbp_service.Simulate.run ~first_seed ?mutation ?trace_file ?span_out
+         ?metrics_out ~seeds ())
   in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ seeds $ seed $ first $ mutate $ trace_file)
+    Term.(
+      const run $ seeds $ seed $ first $ mutate $ trace_file $ span_out
+      $ metrics_out)
 
 let store_cmd =
   let scrub_cmd =
@@ -1047,6 +1190,7 @@ let () =
             serve_cmd;
             loadgen_cmd;
             client_cmd;
+            top_cmd;
             simulate_cmd;
             store_cmd;
             explain_cmd;

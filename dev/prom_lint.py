@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text exposition (what the metrics verb exports).
+
+Usage: prom_lint.py EXPOSITION.txt
+
+Stdlib only.  Checks the subset of the exposition-format contract the
+registry promises:
+
+- every sample line parses as NAME{labels} VALUE with legal metric and
+  label names, quoted and escaped label values, and a float value;
+- at most one # TYPE per family, appearing before the family's samples,
+  with a known type;
+- no duplicate (name, labels) sample;
+- counter families end in _total;
+- histogram families expose _bucket/_sum/_count, bucket le bounds are
+  strictly increasing with cumulative counts non-decreasing, the +Inf
+  bucket is present and equals _count, for every label combination.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+problems = []
+
+
+def problem(lineno, msg):
+    problems.append(f"line {lineno}: {msg}")
+
+
+def parse_labels(lineno, text):
+    """The k="v" pairs inside one {...} block, or None on a parse error."""
+    labels = []
+    i, n = 0, len(text)
+    while i < n:
+        eq = text.find("=", i)
+        if eq < 0:
+            problem(lineno, f"label block {text!r}: missing '='")
+            return None
+        key = text[i:eq].strip()
+        if not LABEL_RE.match(key):
+            problem(lineno, f"illegal label name {key!r}")
+            return None
+        if eq + 1 >= n or text[eq + 1] != '"':
+            problem(lineno, f"label {key}: value not quoted")
+            return None
+        value = []
+        j = eq + 2
+        while j < n and text[j] != '"':
+            if text[j] == "\\":
+                if j + 1 >= n or text[j + 1] not in ('\\', '"', "n"):
+                    problem(lineno, f"label {key}: bad escape")
+                    return None
+                value.append({"n": "\n"}.get(text[j + 1], text[j + 1]))
+                j += 2
+            else:
+                value.append(text[j])
+                j += 1
+        if j >= n:
+            problem(lineno, f"label {key}: unterminated value")
+            return None
+        labels.append((key, "".join(value)))
+        i = j + 1
+        if i < n and text[i] == ",":
+            i += 1
+        elif i < n:
+            problem(lineno, f"label block {text!r}: junk after value")
+            return None
+    return tuple(labels)
+
+
+def family_of(name):
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    if len(sys.argv) != 2:
+        raise SystemExit(__doc__.strip().splitlines()[2])
+    with open(sys.argv[1]) as f:
+        lines = f.read().splitlines()
+
+    types = {}          # family -> declared type
+    seen_samples = {}   # (name, labels) -> lineno
+    family_sampled = set()
+    buckets = {}        # (family, labels-without-le) -> [(le, count)]
+    counts = {}         # (family, labels) -> value of _count
+    sums = set()        # (family, labels) with a _sum sample
+    n_samples = 0
+
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4:
+                    problem(lineno, "malformed # TYPE line")
+                    continue
+                fam, typ = parts[2], parts[3].strip()
+                if typ not in KNOWN_TYPES:
+                    problem(lineno, f"unknown type {typ!r} for {fam}")
+                if fam in types:
+                    problem(lineno, f"duplicate # TYPE for {fam}")
+                if fam in family_sampled:
+                    problem(lineno, f"# TYPE for {fam} after its samples")
+                types[fam] = typ
+            continue
+
+        m = re.match(r"([^{\s]+)(\{(.*)\})?\s+(\S+)(\s+\S+)?$", line)
+        if not m:
+            problem(lineno, f"unparseable sample line {line!r}")
+            continue
+        name, _, labeltext, valuetext, _ = m.groups()
+        if not NAME_RE.match(name):
+            problem(lineno, f"illegal metric name {name!r}")
+            continue
+        labels = parse_labels(lineno, labeltext) if labeltext else ()
+        if labels is None:
+            continue
+        try:
+            value = float(valuetext)
+        except ValueError:
+            problem(lineno, f"{name}: unparseable value {valuetext!r}")
+            continue
+
+        key = (name, labels)
+        if key in seen_samples:
+            problem(
+                lineno,
+                f"duplicate sample {name}{dict(labels)} "
+                f"(first at line {seen_samples[key]})",
+            )
+        seen_samples[key] = lineno
+        n_samples += 1
+
+        fam = family_of(name)
+        family_sampled.add(fam)
+        typ = types.get(fam)
+        if typ == "counter" and not name.endswith("_total"):
+            problem(lineno, f"counter sample {name} does not end in _total")
+        if typ == "histogram":
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    problem(lineno, f"{name}: bucket without le label")
+                else:
+                    bound = float("inf") if le == "+Inf" else float(le)
+                    rest = tuple(kv for kv in labels if kv[0] != "le")
+                    buckets.setdefault((fam, rest), []).append(
+                        (bound, value, lineno)
+                    )
+            elif name.endswith("_count"):
+                counts[(fam, labels)] = (value, lineno)
+            elif name.endswith("_sum"):
+                sums.add((fam, labels))
+
+    for (fam, rest), bs in buckets.items():
+        where = f"{fam}{dict(rest)}"
+        bounds = [b for b, _, _ in bs]
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            problem(bs[0][2], f"{where}: le bounds not strictly increasing")
+        cum = [c for _, c, _ in bs]
+        if any(a > b for a, b in zip(cum, cum[1:])):
+            problem(bs[0][2], f"{where}: cumulative counts decrease")
+        if bounds and bounds[-1] != float("inf"):
+            problem(bs[0][2], f"{where}: no +Inf bucket")
+        if (fam, rest) not in counts:
+            problem(bs[0][2], f"{where}: buckets without a _count sample")
+        elif bounds and bounds[-1] == float("inf"):
+            cval, cline = counts[(fam, rest)]
+            if cval != cum[-1]:
+                problem(
+                    cline,
+                    f"{where}: _count {cval:g} != +Inf bucket {cum[-1]:g}",
+                )
+        if (fam, rest) not in sums:
+            problem(bs[0][2], f"{where}: buckets without a _sum sample")
+
+    if problems:
+        for p in problems:
+            print(f"prom_lint: {p}", file=sys.stderr)
+        raise SystemExit(f"prom_lint: {len(problems)} problem(s)")
+    print(
+        f"prom_lint: {sys.argv[1]}: clean "
+        f"({n_samples} samples, {len(types)} typed families)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Check end-to-end request coverage in a server --trace-out dump.
+
+Usage: trace_check.py TRACE.json [--min-complete FRAC]
+
+Stdlib only.  Every span the service records carries its request id in
+args.trace; a request acknowledged to a client shows up as a flush span
+with status ok.  For each acked request id this checks the full path:
+
+  accept (on the parse span's connection) <= parse <= admit <= flush end
+
+all on one rid, well ordered, with no negative durations anywhere.  The
+run passes when at least --min-complete (default 0.99) of acked rids
+have a complete path.  When the trace contains compute-batch spans it
+additionally demands at least one of them ran on a different thread
+than the event loop's parse spans -- the cross-thread hop the per-rid
+trees hang off.
+"""
+
+import json
+import sys
+
+
+def main():
+    args = sys.argv[1:]
+    min_complete = 0.99
+    if "--min-complete" in args:
+        i = args.index("--min-complete")
+        min_complete = float(args[i + 1])
+        del args[i : i + 2]
+    if len(args) != 1:
+        raise SystemExit(__doc__.strip().splitlines()[2])
+
+    with open(args[0]) as f:
+        events = json.load(f)["traceEvents"]
+
+    for e in events:
+        if e.get("dur", 0) < 0:
+            raise SystemExit(
+                f"trace_check: negative duration on {e.get('name')!r}"
+            )
+
+    accepts = {}  # conn id -> earliest accept ts
+    by_rid = {}   # rid -> {name -> [event]}
+    for e in events:
+        a = e.get("args", {})
+        if e.get("name") == "accept" and "conn" in a:
+            c = a["conn"]
+            accepts[c] = min(accepts.get(c, e["ts"]), e["ts"])
+        rid = a.get("trace", "")
+        if rid:
+            by_rid.setdefault(rid, {}).setdefault(e["name"], []).append(e)
+
+    acked = [
+        rid
+        for rid, spans in by_rid.items()
+        if any(
+            e.get("args", {}).get("status") == "ok"
+            for e in spans.get("flush", [])
+        )
+    ]
+    if not acked:
+        raise SystemExit("trace_check: no acked request in the trace")
+
+    incomplete = []
+    for rid in acked:
+        spans = by_rid[rid]
+        parses = spans.get("parse", [])
+        admits = spans.get("admit", [])
+        flushes = spans.get("flush", [])
+        ok = bool(parses) and bool(admits) and bool(flushes)
+        if ok:
+            p0 = min(e["ts"] for e in parses)
+            a0 = min(e["ts"] for e in admits)
+            f1 = max(e["ts"] + e.get("dur", 0) for e in flushes)
+            ok = p0 <= a0 <= f1
+            conn = parses[0].get("args", {}).get("conn")
+            ok = ok and conn in accepts and accepts[conn] <= p0
+        if not ok:
+            incomplete.append(rid)
+
+    frac = 1 - len(incomplete) / len(acked)
+    if frac < min_complete:
+        for rid in incomplete[:20]:
+            print(f"trace_check: incomplete path for rid {rid}",
+                  file=sys.stderr)
+        raise SystemExit(
+            f"trace_check: only {frac:.1%} of {len(acked)} acked rids "
+            f"have a complete accept->reply path (need {min_complete:.1%})"
+        )
+
+    batches = [e for e in events if e.get("name") == "compute-batch"]
+    if batches:
+        parse_tids = {
+            e["tid"] for e in events if e.get("name") == "parse"
+        }
+        if not any(e["tid"] not in parse_tids for e in batches):
+            raise SystemExit(
+                "trace_check: no compute-batch span crosses off the "
+                "event-loop thread"
+            )
+
+    print(
+        f"trace_check: {args[0]}: {frac:.1%} of {len(acked)} acked rids "
+        f"complete, {len(batches)} compute batches"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a --trace-out, --metrics or --json dump against its schema.
+"""Validate a --trace-out, --metrics, --json or loadgen dump per schema.
 
 Usage: validate_obs.py SCHEMA.json DUMP.json
 
@@ -106,6 +106,8 @@ def main():
         kind, n = "metrics", len(dump.get("counters", {}))
     elif "results" in dump:
         kind, n = "cells", len(dump.get("results", []))
+    elif "statuses" in dump:
+        kind, n = "loadgen", len(dump.get("statuses", {}))
     else:
         kind, n = "trace", len(dump.get("traceEvents", []))
     print(f"validate_obs: {dump_file}: valid {kind} dump ({n} entries)")

@@ -122,11 +122,14 @@ let histogram_snapshot h =
   locked (fun () -> (Array.copy h.bounds, Array.copy h.counts, h.sum, h.n))
 
 (* Linear interpolation within the winning bucket, Prometheus-style: the
-   first bucket spans [0, bound0], the overflow bucket reports the last
-   bound (there is no upper edge to interpolate towards). *)
+   first bucket spans [0, bound0].  Two documented edge conventions:
+   an empty histogram has no quantiles, so the answer is [nan] (never a
+   misleading 0); and a quantile landing in the overflow bucket clamps to
+   the top bound (there is no upper edge to interpolate towards), so a
+   reported p99 can never exceed the instrument's largest bound. *)
 let histogram_quantile h q =
   let bounds, counts, _, n = histogram_snapshot h in
-  if n = 0 then 0.
+  if n = 0 then Float.nan
   else begin
     let q = Float.max 0. (Float.min 1. q) in
     let rank = q *. float_of_int n in
@@ -240,3 +243,136 @@ let write ~file =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_json ()))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition *)
+
+(* Registry names may carry labels in a ["base{k=v,k2=v2}"] suffix (the
+   service registers e.g. "service.verb_seconds{verb=query}"); the
+   exposition splits that back into a metric family plus labels so all
+   verbs share one family.  Because [sorted_entries] sorts raw names,
+   every series of a family is consecutive, which is what the exposition
+   format requires. *)
+let prom_split name =
+  match String.index_opt name '{' with
+  | Some i when String.length name > 1 && name.[String.length name - 1] = '}'
+    ->
+      let base = String.sub name 0 i in
+      let body = String.sub name (i + 1) (String.length name - i - 2) in
+      let labels =
+        String.split_on_char ',' body
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun kv ->
+               match String.index_opt kv '=' with
+               | Some j ->
+                   ( String.sub kv 0 j,
+                     String.sub kv (j + 1) (String.length kv - j - 1) )
+               | None -> (kv, ""))
+      in
+      (base, labels)
+  | _ -> (name, [])
+
+let prom_mangle base =
+  let b = Buffer.create (String.length base + 8) in
+  Buffer.add_string b "vmbp_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    base;
+  Buffer.contents b
+
+let prom_escape v =
+  let b = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let prom_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v))
+             labels)
+      ^ "}"
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let to_prometheus () =
+  let entries = sorted_entries () in
+  let b = Buffer.create 4096 in
+  let typed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let header family kind =
+    if not (Hashtbl.mem typed family) then begin
+      Hashtbl.add typed family ();
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" family kind)
+    end
+  in
+  locked (fun () ->
+      List.iter
+        (fun (name, inst) ->
+          let base, labels = prom_split name in
+          match inst with
+          | Counter c ->
+              let family = prom_mangle base ^ "_total" in
+              header family "counter";
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" family (prom_labels labels)
+                   (Int64.to_string c.c))
+          | Gauge g ->
+              let family = prom_mangle base in
+              header family "gauge";
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" family (prom_labels labels)
+                   (prom_float g.g))
+          | Histogram h ->
+              let family = prom_mangle base in
+              header family "histogram";
+              let cum = ref 0 in
+              Array.iteri
+                (fun i bound ->
+                  cum := !cum + h.counts.(i);
+                  Buffer.add_string b
+                    (Printf.sprintf "%s_bucket%s %d\n" family
+                       (prom_labels (labels @ [ ("le", prom_float bound) ]))
+                       !cum))
+                h.bounds;
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" family
+                   (prom_labels (labels @ [ ("le", "+Inf") ]))
+                   h.n);
+              Buffer.add_string b
+                (Printf.sprintf "%s_sum%s %s\n" family (prom_labels labels)
+                   (prom_float h.sum));
+              Buffer.add_string b
+                (Printf.sprintf "%s_count%s %d\n" family (prom_labels labels)
+                   h.n))
+        entries;
+      (* Gauge high-water marks as their own families, after the primary
+         series so each family's samples stay consecutive. *)
+      List.iter
+        (fun (name, inst) ->
+          match inst with
+          | Gauge g ->
+              let base, labels = prom_split name in
+              let family = prom_mangle base ^ "_max" in
+              header family "gauge";
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" family (prom_labels labels)
+                   (prom_float g.g_max))
+          | _ -> ())
+        entries);
+  Buffer.contents b

@@ -48,8 +48,11 @@ val histogram_snapshot : histogram -> float array * int array * float * int
 
 val histogram_quantile : histogram -> float -> float
 (** Approximate [q]-quantile ([0..1]) from the bucket counts, with linear
-    interpolation inside the winning bucket; observations in the overflow
-    bucket report the last bound.  [0.] for an empty histogram. *)
+    interpolation inside the winning bucket.  Two documented conventions:
+    an empty histogram returns [nan] (it has no quantiles -- never a
+    misleading 0), and a quantile landing in the overflow bucket clamps
+    to the top bound (no upper edge to interpolate towards), so reported
+    quantiles never exceed the instrument's largest bound. *)
 
 val reset : unit -> unit
 (** Zero every registered instrument in place. *)
@@ -66,3 +69,14 @@ val to_json : unit -> string
     byte-identically. *)
 
 val write : file:string -> unit
+
+val to_prometheus : unit -> string
+(** The whole registry in the Prometheus text exposition format.  Names
+    are mangled to [vmbp_<name>] with non-alphanumerics as underscores; a
+    registry name of the form ["base{k=v,...}"] splits into a metric
+    family plus labels, so e.g. ["service.verb_seconds{verb=query}"] and
+    ["...{verb=grid}"] render as two series of one
+    [vmbp_service_verb_seconds] histogram family.  Counters render as
+    [<family>_total]; gauges render their value plus a [<family>_max]
+    high-water family; histograms render cumulative [_bucket] series
+    (ending with [le="+Inf"]) plus [_sum] and [_count]. *)

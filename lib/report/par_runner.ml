@@ -738,21 +738,24 @@ let store_append c (t : timed) =
       | Ok r when (not t.from_journal) && t.attempts > 0 ->
           let key = store_key c and fingerprint = config_fingerprint c in
           if not (Vmbp_store.Store.mem s ~key ~fingerprint) then
-            Vmbp_store.Store.append s
-              {
-                Vmbp_store.Cellrec.key;
-                fingerprint;
-                outcome =
-                  Ok
-                    {
-                      Vmbp_store.Cellrec.metrics =
-                        Metrics.copy r.Runner.result.Engine.metrics;
-                      steps = r.Runner.result.Engine.steps;
-                      output = r.Runner.output;
-                    };
-                attempts = t.attempts;
-                timed_out = t.timed_out;
-              }
+            Vmbp_obs.Span.with_ ~name:"store-append"
+              ~args:[ ("key", key) ]
+              (fun () ->
+                Vmbp_store.Store.append s
+                  {
+                    Vmbp_store.Cellrec.key;
+                    fingerprint;
+                    outcome =
+                      Ok
+                        {
+                          Vmbp_store.Cellrec.metrics =
+                            Metrics.copy r.Runner.result.Engine.metrics;
+                          steps = r.Runner.result.Engine.steps;
+                          output = r.Runner.output;
+                        };
+                    attempts = t.attempts;
+                    timed_out = t.timed_out;
+                  })
       | _ -> ())
 
 (* ------------------------------------------------------------------ *)

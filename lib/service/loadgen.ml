@@ -7,10 +7,25 @@ type config = {
   seed : int;
   zipf : float;
   scale : int;
+  json_out : string option;
 }
 
 let default_config ~socket =
-  { socket; clients = 4; requests = 1000; seed = 1; zipf = 1.1; scale = 1 }
+  {
+    socket;
+    clients = 4;
+    requests = 1000;
+    seed = 1;
+    zipf = 1.1;
+    scale = 1;
+    json_out = None;
+  }
+
+(* Deterministic request ids, one per planned request: they tie the
+   server's spans to this run ([--trace-out] on the server side shows
+   one tree per rid) and let the client verify every reply echoes the
+   id of the request it answers. *)
+let rid_for cfg ~index ~n = Printf.sprintf "l%d-c%d-r%d" cfg.seed index n
 
 (* ------------------------------------------------------------------ *)
 (* Per-client determinism: splitmix64, the same generator the chaos
@@ -134,9 +149,10 @@ let client_loop cfg cdf universe index count =
     in
     go 100
   in
-  List.iter (fun (vm, workload, technique, cpu) ->
+  List.iteri (fun n (vm, workload, technique, cpu) ->
+    let rid = rid_for cfg ~index ~n in
     let payload =
-      P.query_payload ~vm ~workload ~technique ~cpu ~scale:cfg.scale ()
+      P.query_payload ~vm ~workload ~technique ~cpu ~scale:cfg.scale ~rid ()
     in
     let t0 = Unix.gettimeofday () in
     match
@@ -155,6 +171,16 @@ let client_loop cfg cdf universe index count =
             (Vmbp_store.Sjson.str_opt fields "status")
         in
         Vmbp_obs.Registry.add (status_counter status) 1;
+        (* A reply that echoes the wrong rid answered some other request
+           (a framing or attribution bug worth counting loudly). *)
+        (match Vmbp_store.Sjson.str_opt fields "rid" with
+        | Some r when r <> rid ->
+            Vmbp_obs.Registry.add (status_counter "rid-mismatch") 1
+        | _ -> ());
+        Vmbp_obs.Span.interval ~trace:rid
+          ~args:[ ("status", status); ("verb", "query") ]
+          ~name:"request" t0
+          (Unix.gettimeofday ());
         if Vmbp_store.Sjson.str_opt fields "source" = Some "store" then
           Vmbp_obs.Registry.observe h_hit dt
     | None ->
@@ -185,6 +211,59 @@ let quantile_line h =
       (Vmbp_obs.Registry.histogram_quantile h 0.9)
       (Vmbp_obs.Registry.histogram_quantile h 0.99)
 
+let statuses () =
+  List.filter_map
+    (fun name ->
+      match String.length name > 15 && String.sub name 0 15 = "loadgen.status." with
+      | true ->
+          Option.map
+            (fun v -> (String.sub name 15 (String.length name - 15), v))
+            (Vmbp_obs.Registry.find_counter name)
+      | false -> None)
+    (Vmbp_obs.Registry.names ())
+  |> List.sort compare
+
+(* The machine-readable run summary (schema vmbp-loadgen/1): everything
+   the human report prints, as one JSON document for CI gates. *)
+let json_summary cfg ~elapsed ~universe_size =
+  let b = Buffer.create 512 in
+  let jf f =
+    if Float.is_nan f then "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+  in
+  let hist name h =
+    let _, _, sum, n = Vmbp_obs.Registry.histogram_snapshot h in
+    let q p = Vmbp_obs.Registry.histogram_quantile h p in
+    Buffer.add_string b
+      (Printf.sprintf
+         "\"%s\":{\"n\":%d,\"mean\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
+         name n
+         (jf (if n = 0 then Float.nan else sum /. float_of_int n))
+         (jf (q 0.5)) (jf (q 0.9)) (jf (q 0.99)))
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":\"vmbp-loadgen/1\",\"requests\":%d,\"clients\":%d,\
+        \"seed\":%d,\"zipf\":%s,\"scale\":%d,\"universe\":%d,\
+        \"elapsed_seconds\":%s,\"rps\":%s,\"statuses\":{"
+       cfg.requests (max 1 cfg.clients) cfg.seed (jf cfg.zipf) cfg.scale
+       universe_size (jf elapsed)
+       (jf (float_of_int cfg.requests /. Float.max 1e-9 elapsed)));
+  List.iteri
+    (fun i (st, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\":%Ld" (Vmbp_store.Sjson.escape st) v))
+    (statuses ());
+  Buffer.add_string b "},\"latency\":{";
+  hist "all" h_all;
+  Buffer.add_char b ',';
+  hist "hits" h_hit;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
 let run cfg =
   let universe = Array.of_list (universe ()) in
   let cdf = zipf_cdf (Float.max 0. cfg.zipf) (Array.length universe) in
@@ -204,21 +283,19 @@ let run cfg =
     (float_of_int cfg.requests /. Float.max 1e-9 elapsed);
   Printf.printf "zipf s=%g over %d configurations, scale %d\n" cfg.zipf
     (Array.length universe) cfg.scale;
-  let statuses =
-    List.filter_map
-      (fun name ->
-        match String.length name > 15 && String.sub name 0 15 = "loadgen.status." with
-        | true ->
-            Option.map
-              (fun v -> (String.sub name 15 (String.length name - 15), v))
-              (Vmbp_obs.Registry.find_counter name)
-        | false -> None)
-      (Vmbp_obs.Registry.names ())
-  in
   Printf.printf "statuses:";
-  List.iter
-    (fun (st, v) -> Printf.printf " %s=%Ld" st v)
-    (List.sort compare statuses);
+  List.iter (fun (st, v) -> Printf.printf " %s=%Ld" st v) (statuses ());
   print_newline ();
   Printf.printf "latency (all):\n%s\n" (quantile_line h_all);
-  Printf.printf "latency (store hits):\n%s\n" (quantile_line h_hit)
+  Printf.printf "latency (store hits):\n%s\n" (quantile_line h_hit);
+  match cfg.json_out with
+  | None -> ()
+  | Some file ->
+      let doc =
+        json_summary cfg ~elapsed ~universe_size:(Array.length universe)
+      in
+      let oc = open_out file in
+      output_string oc doc;
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "wrote loadgen summary to %s\n" file

@@ -26,10 +26,23 @@ type config = {
   seed : int;  (** base of the per-client splitmix64 streams *)
   zipf : float;  (** skew exponent; 0 = uniform *)
   scale : int;  (** workload scale of every query *)
+  json_out : string option;
+      (** write a machine-readable run summary (schema vmbp-loadgen/1:
+          statuses, throughput, latency quantiles) here *)
 }
 
 val default_config : socket:string -> config
-(** 4 clients, 1000 requests, seed 1, zipf 1.1, scale 1. *)
+(** 4 clients, 1000 requests, seed 1, zipf 1.1, scale 1, no JSON. *)
+
+val rid_for : config -> index:int -> n:int -> string
+(** The deterministic request id client [index] attaches to its [n]th
+    query ([l<seed>-c<index>-r<n>]); the server echoes it and threads
+    it through its tracing spans, and a reply echoing any other rid is
+    counted under the [rid-mismatch] status. *)
+
+val json_summary : config -> elapsed:float -> universe_size:int -> string
+(** The vmbp-loadgen/1 summary document from the current registry
+    state; exposed for tests. *)
 
 val query_plan :
   config -> index:int -> count:int -> (string * string * string * string) list

@@ -93,6 +93,8 @@ type request =
   | Grid of { scale : int option }
   | Stats
   | Health
+  | Metrics of { format : [ `Json | `Prometheus ] }
+  | Dump
   | Shutdown
 
 let resolve_query fields =
@@ -162,10 +164,39 @@ let request_of_payload payload =
           Ok (Grid { scale = Vmbp_store.Sjson.int_opt fields "scale" })
       | Some "stats" -> Ok Stats
       | Some "health" -> Ok Health
+      | Some "metrics" -> (
+          match Vmbp_store.Sjson.str_opt fields "format" with
+          | None | Some "json" -> Ok (Metrics { format = `Json })
+          | Some "prometheus" -> Ok (Metrics { format = `Prometheus })
+          | Some f ->
+              Error
+                (Printf.sprintf "unknown metrics format %S (json|prometheus)"
+                   f))
+      | Some "dump" -> Ok Dump
       | Some "shutdown" -> Ok Shutdown
       | Some v -> Error (Printf.sprintf "unknown verb %S" v))
 
-let query_payload ~vm ~workload ~technique ~cpu ?scale ?predictor () =
+let rid_of_payload payload =
+  match Vmbp_store.Sjson.parse_line payload with
+  | exception Vmbp_store.Sjson.Bad -> None
+  | fields -> Vmbp_store.Sjson.str_opt fields "rid"
+
+(* Echo a request id into a reply payload without re-rendering it: every
+   reply is one flat JSON object, so the rid splices in before the
+   closing brace.  Batch results serving several coalesced requests share
+   one (possibly multi-megabyte) payload string; the splice is what lets
+   each waiter get its own rid without reparsing or copying fields. *)
+let with_rid payload rid =
+  let n = String.length payload in
+  if n < 2 || payload.[n - 1] <> '}' then payload
+  else
+    String.sub payload 0 (n - 1)
+    ^ (if payload.[n - 2] = '{' then "" else ",")
+    ^ "\"rid\":\""
+    ^ Vmbp_store.Sjson.escape rid
+    ^ "\"}"
+
+let query_payload ~vm ~workload ~technique ~cpu ?scale ?predictor ?rid () =
   obj
     (List.concat
        [
@@ -178,4 +209,5 @@ let query_payload ~vm ~workload ~technique ~cpu ?scale ?predictor () =
          ];
          (match scale with Some n -> [ ("scale", I n) ] | None -> []);
          (match predictor with Some p -> [ ("predictor", S p) ] | None -> []);
+         (match rid with Some r -> [ ("rid", S r) ] | None -> []);
        ])

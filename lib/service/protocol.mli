@@ -15,6 +15,16 @@
       a complete [vmbp-cells/7] document in the reply's ["cells"] field.
       Optional ["scale"] overrides every experiment's default.
     - [stats], [health], [shutdown]: no further fields.
+    - [metrics]: the live telemetry registry; optional ["format"] of
+      [json] (default, a [vmbp-metrics/1] document) or [prometheus]
+      (text exposition), returned in the reply's ["body"] field.
+    - [dump]: write the crash flight recorder to a [vmbp-flight-*.json]
+      artifact on the server and return its path.
+
+    Any request may additionally carry an optional ["rid"] -- an opaque
+    client-chosen request id.  The server echoes it in the reply and
+    threads it through its tracing spans, which is what links one RPC
+    end-to-end across client, event thread and compute domain.
 
     Every reply carries ["status"]: [ok], [overloaded] (admission control
     shed the request), [degraded] (the compute pool is wedged; only store
@@ -51,11 +61,24 @@ type request =
   | Grid of { scale : int option }
   | Stats
   | Health
+  | Metrics of { format : [ `Json | `Prometheus ] }
+  | Dump
   | Shutdown
 
 val request_of_payload : string -> (request, string) result
 (** Parse and resolve one request payload; [Error] names the offending
     field (unknown verb, unknown workload/technique/cpu, bad scale). *)
+
+val rid_of_payload : string -> string option
+(** The optional ["rid"] field of a request payload ([None] when absent
+    or the payload is malformed). *)
+
+val with_rid : string -> string -> string
+(** [with_rid payload rid] splices [,"rid":"..."] into a flat-JSON-object
+    payload before its closing brace (no reparse, no copy of the fields),
+    so one shared batch result can be echoed to each coalesced waiter
+    under that waiter's own request id.  Payloads that are not a JSON
+    object are returned unchanged. *)
 
 val query_payload :
   vm:string ->
@@ -64,7 +87,9 @@ val query_payload :
   cpu:string ->
   ?scale:int ->
   ?predictor:string ->
+  ?rid:string ->
   unit ->
   string
 (** The [query] request a client sends; names are passed through verbatim
-    (the server resolves them). *)
+    (the server resolves them).  [rid] is the optional client-side
+    request id echoed by the server. *)

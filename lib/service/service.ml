@@ -14,6 +14,9 @@ type config = {
   max_request_frame : int;
   verbose : bool;
   quiet : bool;
+  trace_out : string option;
+  metrics_out : string option;
+  flight_dir : string;
 }
 
 let default_config ~socket ~store_dir =
@@ -29,6 +32,9 @@ let default_config ~socket ~store_dir =
     max_request_frame = 64 * 1024;
     verbose = false;
     quiet = false;
+    trace_out = None;
+    metrics_out = None;
+    flight_dir = ".";
   }
 
 (* Registry instruments; the vmbp-cells/7 summary reads [coalesced],
@@ -40,8 +46,32 @@ let m_degraded_refused = Vmbp_obs.Registry.counter "service.degraded_refused"
 let m_request_timeouts = Vmbp_obs.Registry.counter "service.request_timeouts"
 let m_conn_drops = Vmbp_obs.Registry.counter "service.conn_drops"
 let m_slow_drops = Vmbp_obs.Registry.counter "service.slow_reader_drops"
+let m_flight_dumps = Vmbp_obs.Registry.counter "service.flight_dumps"
+let m_store_hits = Vmbp_obs.Registry.counter "service.store_hits"
 let g_degraded = Vmbp_obs.Registry.gauge "service.degraded_seconds"
 let g_connections = Vmbp_obs.Registry.gauge "service.connections"
+let g_queue = Vmbp_obs.Registry.gauge "service.queue_depth"
+let g_inflight = Vmbp_obs.Registry.gauge "service.inflight"
+
+(* Per-verb and per-phase latency histograms, one labelled series per
+   verb/phase ({!Vmbp_obs.Registry.to_prometheus} splits the label back
+   out).  [histogram] re-fetches an existing instrument by name, so
+   calling these per request is a hash lookup, not a re-registration. *)
+let lat_bounds = [| 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10.; 60. |]
+
+let verb_hist verb =
+  Vmbp_obs.Registry.histogram ~bounds:lat_bounds
+    (Printf.sprintf "service.verb_seconds{verb=%s}" verb)
+
+let phase_hist phase =
+  Vmbp_obs.Registry.histogram ~bounds:lat_bounds
+    (Printf.sprintf "service.phase_seconds{phase=%s}" phase)
+
+(* The per-request context threaded from frame receive to reply flush:
+   the client's request id (["" ] when it sent none), the resolved verb,
+   and the receive timestamp.  This is what links the parse, admit and
+   flush spans of one RPC and feeds the per-verb latency histogram. *)
+type rctx = { r_rid : string; r_verb : string; r_recv : float }
 
 (* ------------------------------------------------------------------ *)
 (* Replies *)
@@ -73,17 +103,22 @@ let payload_of_timed ~source (t : Par_runner.timed) =
         ]
   | Error msg -> reply_status ~error:msg "error"
 
+let status_of_timed (t : Par_runner.timed) =
+  match t.outcome with Ok _ -> "ok" | Error _ -> "error"
+
 (* ------------------------------------------------------------------ *)
 (* Event-loop <-> compute-pool plumbing *)
 
 type job =
-  | J_cells of (string * Par_runner.cell) list  (* in-flight key, cell *)
-  | J_grid of { g_id : int; g_scale : int option }
+  (* in-flight key, request id of the enqueuing waiter, cell *)
+  | J_cells of (string * string * Par_runner.cell) list
+  | J_grid of { g_id : int; g_rid : string; g_scale : int option }
   | J_stop
 
 type done_msg =
-  | D_cells of (string * string) list  (* in-flight key, reply payload *)
-  | D_grid of { d_id : int; d_payload : string }
+  (* in-flight key, reply payload, reply status *)
+  | D_cells of (string * string * string) list
+  | D_grid of { d_id : int; d_payload : string; d_status : string }
 
 type busy_kind = Busy_cells | Busy_grid
 
@@ -157,7 +192,8 @@ let compute_step (cfg : config) (env : Env.t) sh ~block =
     let grids =
       List.filter_map
         (function
-          | J_grid { g_id; g_scale } -> Some (g_id, g_scale) | _ -> None)
+          | J_grid { g_id; g_rid; g_scale } -> Some (g_id, g_rid, g_scale)
+          | _ -> None)
         batch
     in
     let stop = List.exists (function J_stop -> true | _ -> false) batch in
@@ -174,27 +210,62 @@ let compute_step (cfg : config) (env : Env.t) sh ~block =
     (match cells with
     | [] -> ()
     | _ ->
+        let n = List.length cells in
+        Vmbp_obs.Flight.note ~kind:"batch-start"
+          (Printf.sprintf "cells=%d" n);
+        (* The batch span fans in every request id it serves (waiters
+           that coalesce onto the in-flight key after this point link
+           through the key instead): one span on the compute domain's
+           track, with the per-cell spans from the runner nesting
+           beneath it. *)
         let results =
-          match Par_runner.run_cells ~jobs:cfg.jobs (List.map snd cells) with
-          | timeds ->
-              List.map2
-                (fun (k, _) t -> (k, payload_of_timed ~source:"computed" t))
-                cells timeds
-          | exception exn ->
-              let e = reply_status ~error:(Printexc.to_string exn) "error" in
-              List.map (fun (k, _) -> (k, e)) cells
+          Vmbp_obs.Span.with_ ~name:"compute-batch"
+            ~args:
+              [
+                ("cells", string_of_int n);
+                ("keys", String.concat ";" (List.map (fun (k, _, _) -> k) cells));
+                ( "rids",
+                  String.concat ";"
+                    (List.filter_map
+                       (fun (_, r, _) -> if r = "" then None else Some r)
+                       cells) );
+              ]
+            (fun () ->
+              match
+                Par_runner.run_cells ~jobs:cfg.jobs
+                  (List.map (fun (_, _, c) -> c) cells)
+              with
+              | timeds ->
+                  List.map2
+                    (fun (k, _, _) t ->
+                      ( k,
+                        payload_of_timed ~source:"computed" t,
+                        status_of_timed t ))
+                    cells timeds
+              | exception exn ->
+                  let e =
+                    reply_status ~error:(Printexc.to_string exn) "error"
+                  in
+                  List.map (fun (k, _, _) -> (k, e, "error")) cells)
         in
+        Vmbp_obs.Flight.note ~kind:"batch-end" (Printf.sprintf "cells=%d" n);
         env.Env.defer_done (fun () -> post sh (D_cells results)));
     List.iter
-      (fun (g_id, g_scale) ->
-        let payload =
-          match grid_doc cfg g_scale with
-          | doc -> P.obj [ ("status", P.S "ok"); ("cells", P.S doc) ]
-          | exception exn ->
-              reply_status ~error:(Printexc.to_string exn) "error"
+      (fun (g_id, g_rid, g_scale) ->
+        Vmbp_obs.Flight.note ~kind:"grid-start"
+          (Printf.sprintf "grid=%d" g_id);
+        let payload, status =
+          Vmbp_obs.Span.with_ ~name:"compute-grid" ~trace:g_rid
+            ~args:[ ("grid", string_of_int g_id) ]
+            (fun () ->
+              match grid_doc cfg g_scale with
+              | doc -> (P.obj [ ("status", P.S "ok"); ("cells", P.S doc) ], "ok")
+              | exception exn ->
+                  (reply_status ~error:(Printexc.to_string exn) "error", "error"))
         in
+        Vmbp_obs.Flight.note ~kind:"grid-end" (Printf.sprintf "grid=%d" g_id);
         env.Env.defer_done (fun () ->
-            post sh (D_grid { d_id = g_id; d_payload = payload })))
+            post sh (D_grid { d_id = g_id; d_payload = payload; d_status = status })))
       grids;
     env.Env.defer_done (fun () ->
         Mutex.lock sh.lock;
@@ -209,17 +280,31 @@ let compute_step (cfg : config) (env : Env.t) sh ~block =
 (* ------------------------------------------------------------------ *)
 (* Connections *)
 
+(* A reply waiting to clear the socket: once the connection's flushed
+   byte count passes [f_target], the reply has fully left the process
+   and its flush span + per-verb latency are recorded. *)
+type flush_item = {
+  f_rctx : rctx;
+  f_status : string;
+  f_enq : float;  (* when the reply was enqueued *)
+  f_target : int;  (* conn.sent_bytes at which the reply is fully out *)
+}
+
 type conn = {
   fd : Env.fd;
+  c_id : int;
   mutable inbuf : string;
   mutable outbuf : string;  (* unsent bytes only *)
   mutable stalled_until : float;  (* injected slow-client stall *)
   mutable last_progress : float;
   mutable closing : bool;  (* drop once outbuf drains *)
   mutable dropped : bool;
+  mutable enq_bytes : int;  (* bytes ever enqueued *)
+  mutable sent_bytes : int;  (* bytes ever flushed *)
+  mutable flushq : flush_item list;  (* oldest first *)
 }
 
-type waiter = { w_conn : conn; w_deadline : float }
+type waiter = { w_conn : conn; w_rctx : rctx; w_deadline : float }
 
 type state = {
   cfg : config;
@@ -230,12 +315,15 @@ type state = {
   inflight : (string, waiter list ref) Hashtbl.t;
   grid_waiters : (int, waiter) Hashtbl.t;
   mutable grid_next : int;
+  mutable conn_next : int;
+  mutable flight_next : int;
   mutable shutting : bool;
   mutable deg_since : float option;
   started : float;
 }
 
 let signal_shutdown = Atomic.make false
+let signal_dump = Atomic.make false
 
 let ikey c = Par_runner.store_key c ^ "\x00" ^ Par_runner.config_fingerprint c
 
@@ -246,11 +334,32 @@ let logf st fmt =
 let drop_conn st conn =
   if not conn.dropped then begin
     conn.dropped <- true;
+    Vmbp_obs.Flight.note ~kind:"conn-drop"
+      (Printf.sprintf "conn=%d pending=%d" conn.c_id (List.length conn.flushq));
+    conn.flushq <- [];
     (try st.env.Env.close conn.fd with Unix.Unix_error _ -> ());
     st.conns <- List.filter (fun c -> c != conn) st.conns
   end
 
-let send st conn payload =
+(* Replies whose last byte has cleared the socket: record the flush span
+   (reply enqueue -> fully written) and the end-to-end per-verb latency
+   (frame receive -> fully written). *)
+let flush_matured st conn =
+  let now = st.env.Env.now () in
+  let rec go = function
+    | fi :: rest when fi.f_target <= conn.sent_bytes ->
+        let rx = fi.f_rctx in
+        Vmbp_obs.Span.interval ~trace:rx.r_rid
+          ~args:[ ("verb", rx.r_verb); ("status", fi.f_status) ]
+          ~name:"flush" fi.f_enq now;
+        Vmbp_obs.Registry.observe (phase_hist "flush") (now -. fi.f_enq);
+        Vmbp_obs.Registry.observe (verb_hist rx.r_verb) (now -. rx.r_recv);
+        go rest
+    | rest -> conn.flushq <- rest
+  in
+  go conn.flushq
+
+let send st conn ?rctx ~status payload =
   if not conn.dropped then begin
     if Faults.conn_drop () then begin
       Vmbp_obs.Registry.add m_conn_drops 1;
@@ -263,8 +372,29 @@ let send st conn payload =
           logf st "chaos: stalling client writes for %gs" d;
           conn.stalled_until <- st.env.Env.now () +. d
       | None -> ());
-      if conn.outbuf = "" then conn.last_progress <- st.env.Env.now ();
-      conn.outbuf <- conn.outbuf ^ P.encode_frame payload
+      let now = st.env.Env.now () in
+      if conn.outbuf = "" then conn.last_progress <- now;
+      let payload =
+        match rctx with
+        | Some rx when rx.r_rid <> "" -> P.with_rid payload rx.r_rid
+        | _ -> payload
+      in
+      let frame = P.encode_frame payload in
+      conn.outbuf <- conn.outbuf ^ frame;
+      conn.enq_bytes <- conn.enq_bytes + String.length frame;
+      match rctx with
+      | Some rx ->
+          conn.flushq <-
+            conn.flushq
+            @ [
+                {
+                  f_rctx = rx;
+                  f_status = status;
+                  f_enq = now;
+                  f_target = conn.enq_bytes;
+                };
+              ]
+      | None -> ()
     end
   end
 
@@ -316,7 +446,57 @@ let service_stats st now =
       ("uptime_seconds", P.F (now -. st.started));
     ]
 
-let handle_request st conn req =
+(* Write the flight recorder ring to [flight_dir/vmbp-flight-<reason>-<n>.json]
+   through the environment's file ops, so simulated runs dump into the
+   simulated filesystem deterministically.  Never raises: a dump is a
+   diagnostic of last resort and must not take the server down (or mask
+   the exception it is documenting). *)
+let dump_flight st reason =
+  let env = st.env in
+  let n = st.flight_next in
+  st.flight_next <- n + 1;
+  try
+    Env.mkdir_p env st.cfg.flight_dir;
+    let path =
+      Filename.concat st.cfg.flight_dir
+        (Printf.sprintf "vmbp-flight-%s-%d.json" reason n)
+    in
+    let body = Vmbp_obs.Flight.to_json ~reason () in
+    let fd =
+      env.Env.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> try env.Env.close fd with _ -> ())
+      (fun () ->
+        let len = String.length body in
+        let rec go off =
+          if off < len then go (off + env.Env.write fd body off (len - off))
+        in
+        go 0);
+    Vmbp_obs.Registry.add m_flight_dumps 1;
+    logf st "flight recorder dumped to %s (%s)" path reason;
+    Some path
+  with _ -> None
+
+let refresh_gauges st =
+  Mutex.lock st.sh.lock;
+  let depth = Queue.length st.sh.jobs in
+  Mutex.unlock st.sh.lock;
+  Vmbp_obs.Registry.gauge_set g_queue (float_of_int depth);
+  Vmbp_obs.Registry.gauge_set g_inflight
+    (float_of_int (Hashtbl.length st.inflight));
+  Vmbp_obs.Registry.gauge_set g_connections
+    (float_of_int (List.length st.conns))
+
+(* One admission decision, recorded as the request's "admit" span. *)
+let admit st (rx : rctx) ?(args = []) decision t0 =
+  let t1 = st.env.Env.now () in
+  Vmbp_obs.Span.interval ~trace:rx.r_rid
+    ~args:(("decision", decision) :: args)
+    ~name:"admit" t0 t1;
+  Vmbp_obs.Registry.observe (phase_hist "admit") (t1 -. t0)
+
+let handle_request st conn rx req =
   let now = st.env.Env.now () in
   match req with
   | P.Health ->
@@ -325,66 +505,153 @@ let handle_request st conn req =
         else if degraded_now st now then "degraded"
         else "serving"
       in
-      send st conn
+      admit st rx "inline" now;
+      send st conn ~rctx:rx ~status:"ok"
         (P.obj
            [
              ("status", P.S "ok");
              ("state", P.S state_name);
              ("inflight", P.I (Hashtbl.length st.inflight));
            ])
-  | P.Stats -> send st conn (service_stats st now)
+  | P.Stats ->
+      admit st rx "inline" now;
+      send st conn ~rctx:rx ~status:"ok" (service_stats st now)
+  | P.Metrics { format } ->
+      refresh_gauges st;
+      let fmt, body =
+        match format with
+        | `Json -> ("json", Vmbp_obs.Registry.to_json ())
+        | `Prometheus -> ("prometheus", Vmbp_obs.Registry.to_prometheus ())
+      in
+      admit st rx "inline" now;
+      send st conn ~rctx:rx ~status:"ok"
+        (P.obj [ ("status", P.S "ok"); ("format", P.S fmt); ("body", P.S body) ])
+  | P.Dump -> (
+      admit st rx "inline" now;
+      match dump_flight st "dump" with
+      | Some path ->
+          send st conn ~rctx:rx ~status:"ok"
+            (P.obj
+               [
+                 ("status", P.S "ok");
+                 ("path", P.S path);
+                 ("entries", P.I (List.length (Vmbp_obs.Flight.entries ())));
+                 ("recorded", P.I (Vmbp_obs.Flight.recorded ()));
+               ])
+      | None ->
+          send st conn ~rctx:rx ~status:"error"
+            (reply_status ~error:"flight dump failed" "error"))
   | P.Shutdown ->
-      send st conn (reply_status "ok");
+      admit st rx "inline" now;
+      send st conn ~rctx:rx ~status:"ok" (reply_status "ok");
       st.shutting <- true;
+      Vmbp_obs.Flight.note ~kind:"shutdown"
+        (Printf.sprintf "inflight=%d" (Hashtbl.length st.inflight));
       logf st "shutdown requested; draining %d in-flight key(s)"
         (Hashtbl.length st.inflight)
   | P.Grid { scale } ->
-      if st.shutting || degraded_now st now then
-        send st conn
-          (reply_status (if st.shutting then "overloaded" else "degraded"))
+      if st.shutting || degraded_now st now then begin
+        let status = if st.shutting then "overloaded" else "degraded" in
+        admit st rx ~args:[ ("status", status) ] "refuse" now;
+        send st conn ~rctx:rx ~status (reply_status status)
+      end
       else begin
         let id = st.grid_next in
         st.grid_next <- id + 1;
+        admit st rx ~args:[ ("grid", string_of_int id) ] "grid" now;
         (* Grid replies are exempt from the per-request deadline: the
            client asked for the whole reproduction and waits for it. *)
         Hashtbl.replace st.grid_waiters id
-          { w_conn = conn; w_deadline = infinity };
-        enqueue st.sh (J_grid { g_id = id; g_scale = scale })
+          { w_conn = conn; w_rctx = rx; w_deadline = infinity };
+        enqueue st.sh (J_grid { g_id = id; g_rid = rx.r_rid; g_scale = scale })
       end
   | P.Query c -> (
       match Par_runner.store_lookup c with
-      | Some t -> send st conn (payload_of_timed ~source:"store" t)
+      | Some t ->
+          Vmbp_obs.Registry.add m_store_hits 1;
+          admit st rx "store-hit" now;
+          send st conn ~rctx:rx ~status:(status_of_timed t)
+            (payload_of_timed ~source:"store" t)
       | None ->
-          if st.shutting then send st conn (reply_status "overloaded")
+          if st.shutting then begin
+            admit st rx ~args:[ ("status", "overloaded") ] "refuse" now;
+            send st conn ~rctx:rx ~status:"overloaded"
+              (reply_status "overloaded")
+          end
           else if degraded_now st now then begin
             Vmbp_obs.Registry.add m_degraded_refused 1;
-            send st conn (reply_status "degraded")
+            admit st rx ~args:[ ("status", "degraded") ] "refuse" now;
+            send st conn ~rctx:rx ~status:"degraded" (reply_status "degraded")
           end
           else begin
             let key = ikey c in
             let w =
-              { w_conn = conn; w_deadline = now +. st.cfg.request_timeout }
+              {
+                w_conn = conn;
+                w_rctx = rx;
+                w_deadline = now +. st.cfg.request_timeout;
+              }
             in
             match Hashtbl.find_opt st.inflight key with
             | Some ws ->
                 ws := w :: !ws;
-                Vmbp_obs.Registry.add m_coalesced 1
+                Vmbp_obs.Registry.add m_coalesced 1;
+                Vmbp_obs.Flight.note ~kind:"coalesce"
+                  (Printf.sprintf "rid=%s waiters=%d" rx.r_rid
+                     (List.length !ws));
+                admit st rx ~args:[ ("key", key) ] "coalesce" now
             | None ->
                 if Hashtbl.length st.inflight >= st.cfg.admission then begin
                   Vmbp_obs.Registry.add m_shed 1;
-                  send st conn (reply_status "overloaded")
+                  Vmbp_obs.Flight.note ~kind:"shed"
+                    (Printf.sprintf "rid=%s inflight=%d" rx.r_rid
+                       (Hashtbl.length st.inflight));
+                  admit st rx ~args:[ ("status", "overloaded") ] "shed" now;
+                  send st conn ~rctx:rx ~status:"overloaded"
+                    (reply_status "overloaded")
                 end
                 else begin
                   Hashtbl.replace st.inflight key (ref [ w ]);
-                  enqueue st.sh (J_cells [ (key, c) ])
+                  Vmbp_obs.Flight.note ~kind:"enqueue"
+                    (Printf.sprintf "rid=%s inflight=%d" rx.r_rid
+                       (Hashtbl.length st.inflight));
+                  admit st rx ~args:[ ("key", key) ] "enqueue" now;
+                  enqueue st.sh (J_cells [ (key, rx.r_rid, c) ])
                 end
           end)
 
 let handle_payload st conn payload =
   Vmbp_obs.Registry.add m_requests 1;
+  let t0 = st.env.Env.now () in
+  let rid = Option.value ~default:"" (P.rid_of_payload payload) in
   match P.request_of_payload payload with
-  | Ok req -> handle_request st conn req
-  | Error msg -> send st conn (reply_status ~error:msg "bad-request")
+  | Ok req ->
+      let verb =
+        match req with
+        | P.Query _ -> "query"
+        | P.Grid _ -> "grid"
+        | P.Stats -> "stats"
+        | P.Health -> "health"
+        | P.Metrics _ -> "metrics"
+        | P.Dump -> "dump"
+        | P.Shutdown -> "shutdown"
+      in
+      let t1 = st.env.Env.now () in
+      Vmbp_obs.Span.interval ~trace:rid
+        ~args:[ ("verb", verb); ("conn", string_of_int conn.c_id) ]
+        ~name:"parse" t0 t1;
+      Vmbp_obs.Registry.observe (phase_hist "parse") (t1 -. t0);
+      handle_request st conn { r_rid = rid; r_verb = verb; r_recv = t0 } req
+  | Error msg ->
+      let t1 = st.env.Env.now () in
+      Vmbp_obs.Span.interval ~trace:rid
+        ~args:[ ("error", msg); ("conn", string_of_int conn.c_id) ]
+        ~name:"parse" t0 t1;
+      Vmbp_obs.Registry.observe (phase_hist "parse") (t1 -. t0);
+      send st conn
+        ~rctx:{ r_rid = rid; r_verb = "invalid"; r_recv = t0 }
+        ~status:"bad-request"
+        (reply_status ~error:msg "bad-request")
 
 let rec peel_frames st conn =
   if (not conn.dropped) && not conn.closing then
@@ -397,7 +664,7 @@ let rec peel_frames st conn =
     | exception P.Oversized n ->
         (* Reject and hang up: the rest of the stream is unframeable. *)
         conn.inbuf <- "";
-        send st conn
+        send st conn ~status:"bad-request"
           (reply_status
              ~error:(Printf.sprintf "oversized frame (%d bytes)" n)
              "bad-request");
@@ -427,7 +694,9 @@ let write_conn st conn =
   | n ->
       conn.outbuf <-
         String.sub conn.outbuf n (String.length conn.outbuf - n);
+      conn.sent_bytes <- conn.sent_bytes + n;
       conn.last_progress <- st.env.Env.now ();
+      flush_matured st conn;
       if conn.outbuf = "" && conn.closing then drop_conn st conn
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -438,15 +707,25 @@ let accept_conns st listen_fd =
     match st.env.Env.accept listen_fd with
     | Some fd ->
         let now = st.env.Env.now () in
+        let id = st.conn_next in
+        st.conn_next <- id + 1;
+        Vmbp_obs.Flight.note ~kind:"accept" (Printf.sprintf "conn=%d" id);
+        Vmbp_obs.Span.interval
+          ~args:[ ("conn", string_of_int id) ]
+          ~name:"accept" now now;
         st.conns <-
           {
             fd;
+            c_id = id;
             inbuf = "";
             outbuf = "";
             stalled_until = 0.;
             last_progress = now;
             closing = false;
             dropped = false;
+            enq_bytes = 0;
+            sent_bytes = 0;
+            flushq = [];
           }
           :: st.conns;
         go ()
@@ -457,21 +736,21 @@ let accept_conns st listen_fd =
 let distribute st = function
   | D_cells items ->
       List.iter
-        (fun (key, payload) ->
+        (fun (key, payload, status) ->
           match Hashtbl.find_opt st.inflight key with
           | None -> ()
           | Some ws ->
               Hashtbl.remove st.inflight key;
               List.iter
-                (fun w -> send st w.w_conn payload)
+                (fun w -> send st w.w_conn ~rctx:w.w_rctx ~status payload)
                 (List.rev !ws))
         items
-  | D_grid { d_id; d_payload } -> (
+  | D_grid { d_id; d_payload; d_status } -> (
       match Hashtbl.find_opt st.grid_waiters d_id with
       | None -> ()
       | Some w ->
           Hashtbl.remove st.grid_waiters d_id;
-          send st w.w_conn d_payload)
+          send st w.w_conn ~rctx:w.w_rctx ~status:d_status d_payload)
 
 let reap st now =
   (* Per-request deadlines: expired waiters get a [timeout] reply; the
@@ -484,7 +763,13 @@ let reap st now =
       if expired <> [] then begin
         ws := live;
         Vmbp_obs.Registry.add m_request_timeouts (List.length expired);
-        List.iter (fun w -> send st w.w_conn (reply_status "timeout")) expired
+        Vmbp_obs.Flight.note ~kind:"timeout"
+          (Printf.sprintf "waiters=%d" (List.length expired));
+        List.iter
+          (fun w ->
+            send st w.w_conn ~rctx:w.w_rctx ~status:"timeout"
+              (reply_status "timeout"))
+          expired
       end)
     st.inflight;
   (* Slow readers: outbound bytes pending, no progress for too long. *)
@@ -505,10 +790,18 @@ let update_degraded st now =
   match (st.deg_since, d) with
   | None, true ->
       st.deg_since <- Some now;
+      Vmbp_obs.Flight.note ~kind:"degraded-enter"
+        (Printf.sprintf "inflight=%d" (Hashtbl.length st.inflight));
+      (* Degradation entry is one of the flight recorder's dump
+         triggers: the ring at this instant holds the transitions that
+         led to the wedge. *)
+      ignore (dump_flight st "degraded");
       logf st "compute pool wedged; degrading to store-only service"
   | Some t0, false ->
       Vmbp_obs.Registry.gauge_add g_degraded (now -. t0);
       st.deg_since <- None;
+      Vmbp_obs.Flight.note ~kind:"degraded-exit"
+        (Printf.sprintf "after=%.3fs" (now -. t0));
       logf st "compute pool recovered after %.2fs; serving misses again"
         (now -. t0)
   | _ -> ()
@@ -561,12 +854,30 @@ let serve (cfg : config) =
       inflight = Hashtbl.create 64;
       grid_waiters = Hashtbl.create 4;
       grid_next = 0;
+      conn_next = 0;
+      flight_next = 0;
       shutting = false;
       deg_since = None;
       started = env.Env.now ();
     }
   in
+  (* Fresh-process semantics for the flight recorder, with every
+     timestamp drawn from this environment's clock: a simulated serve
+     records virtual time and dumps deterministically. *)
+  Vmbp_obs.Flight.set_clock env.Env.now;
+  Vmbp_obs.Flight.reset ();
+  Vmbp_obs.Flight.note ~kind:"listen" cfg.socket;
+  (* Request tracing: spans must share one clock with the deadlines and
+     the flush bookkeeping above, so when this serve owns the trace file
+     it re-anchors the span clock to the env.  (Under the simulator the
+     harness installs the virtual clock and enables spans itself;
+     [trace_out] stays [None] there.) *)
+  if cfg.trace_out <> None then begin
+    Vmbp_obs.Span.set_clock env.Env.now;
+    Vmbp_obs.Span.enable ()
+  end;
   Atomic.set signal_shutdown false;
+  Atomic.set signal_dump false;
   (* SIGINT and SIGTERM both mean drain-then-exit: finish in-flight
      work, flush replies, close the socket.  SIGTERM is what service
      managers send first, so treating it like a kill would turn every
@@ -579,14 +890,25 @@ let serve (cfg : config) =
             (Sys.Signal_handle (fun _ -> Atomic.set signal_shutdown true)) )
     with Invalid_argument _ | Sys_error _ -> None
   in
+  let install_dump signum =
+    try
+      Some
+        ( signum,
+          Sys.signal signum
+            (Sys.Signal_handle (fun _ -> Atomic.set signal_dump true)) )
+    with Invalid_argument _ | Sys_error _ -> None
+  in
   let prev_signals =
     (* A peer that vanished mid-reply (conn-drop chaos, a killed
        client) or a compute domain waking a just-closed pipe must
        surface as EPIPE for the error paths below, not kill the
-       process. *)
+       process.  SIGQUIT asks for a flight-recorder dump without
+       stopping the service (SIGKILL is uncatchable; the [dump] verb
+       covers on-demand dumps from a live client instead). *)
     (try [ (Sys.sigpipe, Sys.signal Sys.sigpipe Sys.Signal_ignore) ]
      with Invalid_argument _ | Sys_error _ -> [])
     @ List.filter_map install [ Sys.sigint; Sys.sigterm ]
+    @ List.filter_map install_dump [ Sys.sigquit ]
   in
   let pool = env.Env.spawn_compute (compute_step cfg env sh) in
   sh.pool <- Some pool;
@@ -597,7 +919,13 @@ let serve (cfg : config) =
   let rec loop () =
     if Atomic.get signal_shutdown && not st.shutting then begin
       st.shutting <- true;
+      Vmbp_obs.Flight.note ~kind:"signal" "drain";
       logf st "signal; draining"
+    end;
+    if Atomic.get signal_dump then begin
+      Atomic.set signal_dump false;
+      Vmbp_obs.Flight.note ~kind:"signal" "dump";
+      ignore (dump_flight st "signal")
     end;
     if drained st then ()
     else begin
@@ -650,8 +978,7 @@ let serve (cfg : config) =
       let now = env.Env.now () in
       reap st now;
       update_degraded st now;
-      Vmbp_obs.Registry.gauge_set g_connections
-        (float_of_int (List.length st.conns));
+      refresh_gauges st;
       loop ()
     end
   in
@@ -675,6 +1002,42 @@ let serve (cfg : config) =
           try Sys.set_signal signum h with _ -> ())
         prev_signals;
       Par_runner.clear_store ();
+      (match cfg.trace_out with
+      | Some file ->
+          Vmbp_obs.Span.disable ();
+          (try Vmbp_obs.Span.write ~file with Sys_error _ -> ());
+          Vmbp_obs.Span.set_clock Unix.gettimeofday
+      | None -> ());
+      (match cfg.metrics_out with
+      | Some file -> ( try Vmbp_obs.Registry.write ~file with Sys_error _ -> ())
+      | None -> ());
+      Vmbp_obs.Flight.set_clock Unix.gettimeofday;
+      if (cfg.trace_out <> None || cfg.metrics_out <> None) && not cfg.quiet
+      then begin
+        let c name =
+          match Vmbp_obs.Registry.find_counter name with
+          | Some v -> Int64.to_int v
+          | None -> 0
+        in
+        Printf.eprintf
+          "[obs] requests=%d coalesced=%d shed=%d degraded_refused=%d \
+           timeouts=%d conn_drops=%d flight_dumps=%d spans=%d\n\
+           %!"
+          (c "service.requests") (c "service.coalesced") (c "service.shed")
+          (c "service.degraded_refused")
+          (c "service.request_timeouts")
+          (c "service.conn_drops")
+          (c "service.flight_dumps")
+          (Vmbp_obs.Span.count ())
+      end;
       if not cfg.quiet then
         Printf.eprintf "[serve] drained; socket closed\n%!")
-    loop
+    (fun () ->
+      try loop ()
+      with exn ->
+        (* Unclean exit: whatever the loop was doing is in the ring --
+           dump it before the exception propagates.  [dump_flight]
+           cannot raise, so the original exception is preserved. *)
+        Vmbp_obs.Flight.note ~kind:"crash" (Printexc.to_string exn);
+        ignore (dump_flight st "crash");
+        raise exn)

@@ -54,11 +54,20 @@ type config = {
   max_request_frame : int;  (** request frames above this are rejected *)
   verbose : bool;
   quiet : bool;  (** suppress the listening/drained banner lines *)
+  trace_out : string option;
+      (** write request-tracing spans (Chrome trace-event JSON) here at
+          drain; also enables span collection on the env clock *)
+  metrics_out : string option;
+      (** write the [vmbp-metrics/1] registry dump here at drain *)
+  flight_dir : string;
+      (** directory for [vmbp-flight-*.json] crash-flight-recorder dumps
+          (degradation entry, unclean exit, SIGQUIT, the [dump] verb) *)
 }
 
 val default_config : socket:string -> store_dir:string -> config
 (** jobs 1, admission 64, request timeout 30s, slow-reader timeout 5s,
-    degraded after 2s, 64 KiB request frames. *)
+    degraded after 2s, 64 KiB request frames, no trace/metrics export,
+    flight dumps into ["."]. *)
 
 val serve : config -> unit
 (** Run until a [shutdown] request (or SIGINT/SIGTERM) and the drain

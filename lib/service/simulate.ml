@@ -64,6 +64,11 @@ let key_fp payload =
   | Ok (P.Query c) -> (PR.store_key c, PR.config_fingerprint c)
   | Ok _ | Error _ -> invalid_arg "simulate: universe payload did not resolve"
 
+(* Deterministic request ids: seed, client, plan index.  Resends reuse
+   the id (they are the same request), so the span path of an acked rid
+   is well-defined and byte-stable across replays of a seed. *)
+let rid_for ~seed ~client ~idx = Printf.sprintf "s%d-c%d-r%d" seed client idx
+
 (* ------------------------------------------------------------------ *)
 (* Reply normalization and grid signatures *)
 
@@ -86,10 +91,37 @@ let replace_all ~sub ~by s =
   go 0;
   Buffer.contents b
 
+(* Replies echo the request id of whichever waiter they were flushed to;
+   two schedules (and two waiters coalesced onto one compute) differ in
+   rids while serving identical results, so normalization strips the
+   echo.  The rid is always the last field ({!Protocol.with_rid} splices
+   it before the closing brace at send time). *)
+let strip_rid payload =
+  let marker = ",\"rid\":\"" in
+  let n = String.length payload in
+  let rec last i best =
+    match find_sub payload marker i with
+    | -1 -> best
+    | j -> last (j + 1) (Some j)
+  in
+  match last 0 None with
+  | None -> payload
+  | Some i ->
+      let v0 = i + String.length marker in
+      if
+        n >= v0 + 2
+        && payload.[n - 1] = '}'
+        && payload.[n - 2] = '"'
+        && not (String.contains (String.sub payload v0 (n - 2 - v0)) '"')
+      then String.sub payload 0 i ^ "}"
+      else payload
+
 (* A served result must be numerically identical whether it was just
-   computed or replayed from the store; only the provenance tag may
-   differ between schedules. *)
-let normalize_reply = replace_all ~sub:"\"source\":\"store\"" ~by:"\"source\":\"computed\""
+   computed or replayed from the store; only the provenance tag (and the
+   rid echo) may differ between schedules. *)
+let normalize_reply payload =
+  replace_all ~sub:"\"source\":\"store\"" ~by:"\"source\":\"computed\""
+    (strip_rid payload)
 
 (* The per-cell prefix of a grid document row: tag through code_bytes,
    i.e. every deterministic field.  The fields after ["mode"] (attempt
@@ -210,6 +242,7 @@ type outcome = {
   o_vtime : float;
   o_selects : int;
   o_trace : string;
+  o_spans : string;
 }
 
 type client = {
@@ -245,6 +278,11 @@ let run_seed ?mutation ~check_memo seed =
   let acks = ref 0 and grids = ref 0 in
   (* store_key -> normalized reply, for every ack of this schedule *)
   let acked : (string, string * string) Hashtbl.t = Hashtbl.create 16 in
+  (* rid -> store_key for every acked query; grid rids separately.  Fed
+     to the invariant-5 span-path check after the schedule drains. *)
+  let acked_rids : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let grid_rids = ref [] in
+  let span_json = ref "" in
 
   (* -------- seeded schedule parameters (drawn before any event) ---- *)
   let chaos =
@@ -265,7 +303,10 @@ let run_seed ?mutation ~check_memo seed =
     done;
     let reqs = List.rev !reqs in
     let reqs = if include_grid && i = 0 then reqs @ [ grid_payload ] else reqs in
-    Array.of_list reqs
+    Array.of_list
+      (List.mapi
+         (fun idx p -> P.with_rid p (rid_for ~seed ~client:i ~idx))
+         reqs)
   in
   let clients =
     let a =
@@ -342,9 +383,101 @@ let run_seed ?mutation ~check_memo seed =
         Store.close st
   in
 
+  (* Invariant 5: every acked request left a complete, well-ordered span
+     path behind -- parse, an admission decision, an [ok] flush, all
+     linked by the request id -- and a request that went through the
+     compute domain is covered by a [compute-batch] span naming its key
+     (the cross-domain fan-in link a trace viewer follows). *)
+  let check_spans () =
+    let events = Vmbp_obs.Span.events () in
+    let arg (e : Vmbp_obs.Span.event) k = List.assoc_opt k e.args in
+    let spans rid name =
+      List.filter
+        (fun (e : Vmbp_obs.Span.event) -> e.name = name && e.trace = rid)
+        events
+    in
+    List.iter
+      (fun (e : Vmbp_obs.Span.event) ->
+        if e.dur < 0.0 then
+          fail "span %s has a negative duration (invariant 5)" e.name)
+      events;
+    Hashtbl.iter
+      (fun rid key ->
+        let parses = spans rid "parse" in
+        let admits = spans rid "admit" in
+        let oks =
+          List.filter
+            (fun e -> arg e "status" = Some "ok")
+            (spans rid "flush")
+        in
+        if parses = [] || admits = [] || oks = [] then
+          fail
+            "acked %s lacks a complete parse/admit/flush span path \
+             (%d parse, %d admit, %d ok-flush, invariant 5)"
+            rid (List.length parses) (List.length admits) (List.length oks)
+        else begin
+          let first l =
+            List.fold_left
+              (fun a (e : Vmbp_obs.Span.event) -> Float.min a e.ts)
+              infinity l
+          in
+          let last_end l =
+            List.fold_left
+              (fun a (e : Vmbp_obs.Span.event) -> Float.max a (e.ts +. e.dur))
+              neg_infinity l
+          in
+          if not (first parses <= first admits && first admits <= last_end oks)
+          then fail "span path for %s is out of order (invariant 5)" rid;
+          let decided d =
+            List.exists (fun e -> arg e "decision" = Some d) admits
+          in
+          if decided "store-hit" then ()
+          else if not (decided "enqueue" || decided "coalesce") then
+            fail "acked %s has no serving admission decision (invariant 5)" rid
+          else if
+            not
+              (List.exists
+                 (fun (e : Vmbp_obs.Span.event) ->
+                   e.name = "compute-batch"
+                   &&
+                   match arg e "keys" with
+                   | Some ks -> find_sub ks key 0 >= 0
+                   | None -> false)
+                 events)
+          then
+            fail
+              "acked %s was enqueued but no compute-batch span covers its \
+               key (invariant 5)"
+              rid
+        end)
+      acked_rids;
+    List.iter
+      (fun rid ->
+        if spans rid "compute-grid" = [] then
+          fail "acked grid %s has no compute-grid span (invariant 5)" rid)
+      (List.sort_uniq compare !grid_rids)
+  in
+
   (* -------- the client / controller state machine ------------------ *)
   let shut_acked = ref false in
   let all_done () = Array.for_all (fun c -> c.c_done) clients in
+  let req_rid cl =
+    Option.value ~default:"" (P.rid_of_payload cl.c_plan.(cl.c_idx))
+  in
+  (* Every reply must echo the rid of the request it answers: a reply
+     attributed to the wrong request (a double-send shifting the stream
+     by one) now fails loudly instead of corrupting invariant 2. *)
+  let check_echo cl fields =
+    match Sjson.str_opt fields "rid" with
+    | Some r when r <> req_rid cl ->
+        fail "client %d: reply rid %S does not match request rid %S \
+              (invariant 5)"
+          cl.c_id r (req_rid cl)
+    | Some _ -> ()
+    | None ->
+        fail "client %d: reply to %S lost its rid echo (invariant 5)" cl.c_id
+          (req_rid cl)
+  in
   let rec send_current cl =
     if not cl.c_done then
       match cl.c_conn with
@@ -408,9 +541,11 @@ let run_seed ?mutation ~check_memo seed =
         fail "client %d: unparseable reply" cl.c_id;
         advance cl
     | fields -> (
+        check_echo cl fields;
         match Sjson.str_opt fields "status" with
         | Some "ok" when Sjson.str_opt fields "cells" <> None ->
             incr grids;
+            grid_rids := req_rid cl :: !grid_rids;
             let signature =
               grid_signature (Option.get (Sjson.str_opt fields "cells"))
             in
@@ -428,6 +563,7 @@ let run_seed ?mutation ~check_memo seed =
             | Some _ ->
                 incr acks;
                 let key, fp = key_fp cl.c_plan.(cl.c_idx) in
+                Hashtbl.replace acked_rids (req_rid cl) key;
                 let norm = normalize_reply payload in
                 (match Hashtbl.find_opt acked key with
                 | Some (_, prev) when prev <> norm ->
@@ -496,12 +632,27 @@ let run_seed ?mutation ~check_memo seed =
   let prev_env = !Env.current in
   let finally () =
     Env.current := prev_env;
+    (* Span collection must stop before the memo hammer spawns real
+       domains, or their spans would make the captured trace racy. *)
+    Vmbp_obs.Span.disable ();
+    Vmbp_obs.Span.set_clock Unix.gettimeofday;
+    Vmbp_obs.Flight.set_clock Unix.gettimeofday;
     Vmbp_report.Faults.reset ();
     PR.clear_store ()
   in
   Fun.protect ~finally (fun () ->
       Env.current := Sim.env w;
       Vmbp_obs.Registry.reset ();
+      (* Spans run on the virtual clock with ids reset per seed, so the
+         trace of a seed is a pure function of the seed (invariant 2 for
+         the observability layer itself).  That requires cold runner
+         caches: a trace or result memo retained from an earlier seed in
+         this process would skip the record/replay spans the first run
+         recorded. *)
+      PR.clear_trace_cache ();
+      PR.clear_result_cache ();
+      Vmbp_obs.Span.set_clock (fun () -> Sim.now w);
+      Vmbp_obs.Span.enable ();
       (match Vmbp_report.Faults.configure chaos with
       | Ok () -> ()
       | Error e -> fail "bad chaos spec %S: %s" chaos e);
@@ -533,6 +684,9 @@ let run_seed ?mutation ~check_memo seed =
           max_request_frame = 64 * 1024;
           verbose = false;
           quiet = true;
+          trace_out = None;
+          metrics_out = None;
+          flight_dir = "/sim/flight";
         }
       in
       let rec serve_loop budget =
@@ -558,13 +712,15 @@ let run_seed ?mutation ~check_memo seed =
         end
       in
       serve_loop 4;
+      span_json := Vmbp_obs.Span.to_json ();
       if !failures = [] then begin
         if not (all_done ()) then
           fail "server exited with unfinished clients (invariant 3)";
         if Sim.now w > 300.0 then
           fail "schedule overran the virtual-time bound (%.1fs, invariant 3)"
             (Sim.now w);
-        check_store "final"
+        check_store "final";
+        check_spans ()
       end);
   (if check_memo && !failures = [] then
      try memo_hammer (fun m -> fail "%s" m)
@@ -580,6 +736,7 @@ let run_seed ?mutation ~check_memo seed =
     o_vtime = Sim.now w;
     o_selects = Sim.selects w;
     o_trace = Sim.trace_contents w;
+    o_spans = !span_json;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -606,19 +763,49 @@ let print_failure ~trace_file outcome =
   let _ = dump_trace ~trace_file outcome in
   Printf.printf "replay with: vmbp simulate --seed %d\n" outcome.o_seed
 
-let run ?(first_seed = 1) ?mutation ?trace_file ~seeds () =
+let run ?(first_seed = 1) ?mutation ?trace_file ?span_out ?metrics_out ~seeds
+    () =
   reset_references ();
   let finally () = set_mutation None in
+  (* Observability exports cover the last seed that ran: its span trace
+     (byte-identical across replays of the same seed) and the registry
+     it left behind. *)
+  let write_artifacts (last : outcome option) =
+    (match (span_out, last) with
+    | Some path, Some o -> (
+        try
+          let oc = open_out path in
+          output_string oc o.o_spans;
+          close_out oc;
+          Printf.printf "[obs] spans of seed %d written to %s\n" o.o_seed path
+        with Sys_error e -> Printf.printf "[obs] could not write spans: %s\n" e)
+    | _ -> ());
+    (match metrics_out with
+    | Some path -> (
+        match Vmbp_obs.Registry.write ~file:path with
+        | () -> Printf.printf "[obs] metrics written to %s\n" path
+        | exception Sys_error e ->
+            Printf.printf "[obs] could not write metrics: %s\n" e)
+    | None -> ());
+    match (last, (span_out, metrics_out)) with
+    | Some o, (Some _, _ | _, Some _) ->
+        Printf.printf
+          "[obs] seed=%d acks=%d grids=%d crashes=%d selects=%d vtime=%.2fs\n"
+          o.o_seed o.o_acks o.o_grids o.o_crashes o.o_selects o.o_vtime
+    | _ -> ()
+  in
   Fun.protect ~finally (fun () ->
       match mutation with
       | None ->
           let failed = ref None in
+          let last = ref None in
           let crashes = ref 0 and acks = ref 0 and grids = ref 0 in
           let i = ref 0 in
           while !failed = None && !i < seeds do
             let seed = first_seed + !i in
             let check_memo = seed mod 5 = 0 in
             let o = run_seed ~check_memo seed in
+            last := Some o;
             crashes := !crashes + o.o_crashes;
             acks := !acks + o.o_acks;
             grids := !grids + o.o_grids;
@@ -631,6 +818,7 @@ let run ?(first_seed = 1) ?mutation ?trace_file ~seeds () =
             end;
             incr i
           done;
+          write_artifacts !last;
           (match !failed with
           | Some o ->
               print_failure ~trace_file o;
@@ -643,13 +831,16 @@ let run ?(first_seed = 1) ?mutation ?trace_file ~seeds () =
               0)
       | Some m ->
           let caught = ref None in
+          let last = ref None in
           let i = ref 0 in
           while !caught = None && !i < seeds do
             let seed = first_seed + !i in
             let o = run_seed ~mutation:m ~check_memo:(m = Memo_race) seed in
+            last := Some o;
             if o.o_failures <> [] then caught := Some o;
             incr i
           done;
+          write_artifacts !last;
           (match !caught with
           | Some o ->
               Printf.printf

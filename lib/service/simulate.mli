@@ -19,6 +19,13 @@
       virtual-time bound) and shutdown always drains.
     + {b Store integrity}: after any crash point the store loads
       without error and never surfaces a mis-framed record.
+    + {b Span completeness}: every acked request (all carry
+      deterministic request ids) left a complete, well-ordered
+      parse/admit/flush span path linked by its rid; requests that went
+      through the compute domain are covered by a [compute-batch] span
+      naming their key, and every reply echoes the rid of the request
+      it answers.  Spans run on the virtual clock with per-seed id
+      reset, so a seed's span trace is byte-identical across replays.
 
     The harness proves its own teeth by re-introducing three past bugs
     behind mutation flags --- acking before fsync, the unlocked memo
@@ -40,6 +47,9 @@ type outcome = {
   o_vtime : float;  (** virtual seconds the schedule spanned *)
   o_selects : int;  (** event-loop iterations consumed *)
   o_trace : string;  (** the schedule trace, for failure forensics *)
+  o_spans : string;
+      (** the schedule's span trace (Chrome trace-event JSON); a pure
+          function of the seed *)
 }
 
 val run_seed : ?mutation:mutation -> check_memo:bool -> int -> outcome
@@ -53,6 +63,8 @@ val run :
   ?first_seed:int ->
   ?mutation:mutation ->
   ?trace_file:string ->
+  ?span_out:string ->
+  ?metrics_out:string ->
   seeds:int ->
   unit ->
   int
@@ -65,4 +77,9 @@ val run :
     passes.  With [mutation]: seeds run with the bug re-introduced and
     the meaning flips --- return 0 as soon as a seed {e catches} the
     bug (printing the seed so the catch is replayable), 3 if the
-    budget runs dry. *)
+    budget runs dry.
+
+    [span_out] writes the last seed's span trace (Chrome trace-event
+    JSON; byte-identical across replays of that seed) and
+    [metrics_out] the registry it left behind; either also prints an
+    [\[obs\]] summary footer. *)

@@ -123,6 +123,60 @@ let test_reset_keeps_handles () =
   Registry.add c 1;
   Alcotest.(check int64) "handle alive" 1L (Registry.counter_value c)
 
+let test_histogram_quantile () =
+  Registry.reset ();
+  let h = Registry.histogram ~bounds:[| 1.; 2.; 4. |] "t.quant" in
+  (* No samples: nan, not an arbitrary bound. *)
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Registry.histogram_quantile h 0.5));
+  Registry.observe h 0.5;
+  Registry.observe h 1.5;
+  Registry.observe h 3.;
+  Registry.observe h 3.5;
+  (* Quantiles interpolate linearly within the target's bucket. *)
+  Alcotest.(check (float 1e-9)) "p25" 1. (Registry.histogram_quantile h 0.25);
+  Alcotest.(check (float 1e-9)) "p50" 2. (Registry.histogram_quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p99" 3.96
+    (Registry.histogram_quantile h 0.99);
+  (* Overflow samples clamp to the last finite bound rather than inventing
+     an infinite latency. *)
+  Registry.observe h 100.;
+  Registry.observe h 200.;
+  Registry.observe h 300.;
+  Alcotest.(check (float 0.)) "overflow clamps" 4.
+    (Registry.histogram_quantile h 0.99)
+
+let test_prometheus_exposition () =
+  Registry.reset ();
+  let c = Registry.counter "t.prom.count" in
+  Registry.add c 7;
+  let g = Registry.gauge "t.prom.gauge" in
+  Registry.gauge_set g 3.5;
+  Registry.gauge_set g 2.0;
+  let h =
+    Registry.histogram ~bounds:[| 1.; 10. |] "t.prom.lat{verb=query}"
+  in
+  Registry.observe h 0.5;
+  Registry.observe h 20.;
+  let p = Registry.to_prometheus () in
+  (* Names mangle to the vmbp_ namespace; counters gain _total. *)
+  Alcotest.(check bool) "counter" true
+    (contains p "vmbp_t_prom_count_total 7");
+  Alcotest.(check bool) "counter TYPE" true
+    (contains p "# TYPE vmbp_t_prom_count_total counter");
+  Alcotest.(check bool) "gauge value" true (contains p "vmbp_t_prom_gauge 2");
+  Alcotest.(check bool) "gauge high-water" true
+    (contains p "vmbp_t_prom_gauge_max 3.5");
+  (* The {k=v} suffix of the instrument name splits into real labels. *)
+  Alcotest.(check bool) "labelled bucket" true
+    (contains p "vmbp_t_prom_lat_bucket{verb=\"query\",le=\"1\"} 1");
+  Alcotest.(check bool) "+Inf bucket" true
+    (contains p "vmbp_t_prom_lat_bucket{verb=\"query\",le=\"+Inf\"} 2");
+  Alcotest.(check bool) "hist count" true
+    (contains p "vmbp_t_prom_lat_count{verb=\"query\"} 2");
+  (* Equal states expose byte-identically. *)
+  Alcotest.(check string) "deterministic" p (Registry.to_prometheus ())
+
 let test_registry_json () =
   Registry.reset ();
   let c = Registry.counter "t.json-counter" in
@@ -196,6 +250,113 @@ let test_span_enable_clears () =
   Fun.protect ~finally:Span.disable @@ fun () ->
   Alcotest.(check int) "cleared" 0 (Span.count ())
 
+let test_span_linkage () =
+  Span.enable ();
+  Fun.protect ~finally:Span.disable @@ fun () ->
+  Span.with_ ~name:"outer" ~trace:"r1" (fun () ->
+      Span.with_ ~name:"inner" (fun () -> ()));
+  Span.interval ~name:"flush" ~trace:"r1" 0.1 0.2;
+  let ev = Span.events () in
+  let find n = List.find (fun e -> e.Span.name = n) ev in
+  let outer = find "outer" and inner = find "inner" and fl = find "flush" in
+  (* Ids are allocated at span start from a counter reset by enable, so a
+     deterministic schedule yields deterministic ids: outer opens first. *)
+  Alcotest.(check int) "outer id" 0 outer.Span.id;
+  Alcotest.(check int) "inner id" 1 inner.Span.id;
+  Alcotest.(check int) "outer is a root" (-1) outer.Span.parent;
+  Alcotest.(check int) "inner's parent is outer" outer.Span.id
+    inner.Span.parent;
+  Alcotest.(check string) "trace threads" "r1" outer.Span.trace;
+  Alcotest.(check string) "inner unlinked" "" inner.Span.trace;
+  (* interval outside any with_ scope is a root too. *)
+  Alcotest.(check int) "interval parent" (-1) fl.Span.parent;
+  Alcotest.(check bool) "interval duration" true
+    (Float.abs (fl.Span.dur -. 0.1) < 1e-9);
+  (* The linkage renders as string-valued args (trace.schema.json keeps
+     args values strings for stock viewers). *)
+  let j = Span.to_json () in
+  Alcotest.(check bool) "span arg" true (contains j "\"span\":\"0\"");
+  Alcotest.(check bool) "parent arg" true (contains j "\"parent\":\"0\"");
+  Alcotest.(check bool) "trace arg" true (contains j "\"trace\":\"r1\"")
+
+let test_span_clock () =
+  Span.set_clock (fun () -> 42.0);
+  Span.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Span.disable ();
+      Span.set_clock Unix.gettimeofday)
+  @@ fun () ->
+  Alcotest.(check (float 0.)) "now reads the clock" 42.0 (Span.now ());
+  Span.with_ ~name:"tick" (fun () -> ());
+  let e = List.hd (Span.events ()) in
+  (* ts is relative to the enable-time origin, both on the same clock. *)
+  Alcotest.(check (float 0.)) "origin anchored" 0.0 e.Span.ts;
+  Alcotest.(check (float 0.)) "zero duration" 0.0 e.Span.dur
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+let test_flight_ring () =
+  Flight.reset ();
+  Alcotest.(check int) "empty" 0 (Flight.recorded ());
+  Flight.note ~kind:"accept" "conn=1";
+  Flight.note ~kind:"enqueue" "rid=r1";
+  Alcotest.(check int) "recorded" 2 (Flight.recorded ());
+  (match Flight.entries () with
+  | [ a; b ] ->
+      Alcotest.(check int) "seq 0" 0 a.Flight.seq;
+      Alcotest.(check int) "seq 1" 1 b.Flight.seq;
+      Alcotest.(check string) "kind" "accept" a.Flight.kind;
+      Alcotest.(check string) "detail" "rid=r1" b.Flight.detail
+  | l -> Alcotest.failf "unexpected entry count %d" (List.length l));
+  let j = Flight.to_json ~reason:"degraded" () in
+  Alcotest.(check bool) "schema" true (contains j "\"schema\":\"vmbp-flight/1\"");
+  Alcotest.(check bool) "reason" true (contains j "\"reason\":\"degraded\"");
+  Alcotest.(check bool) "dropped" true (contains j "\"dropped\":0");
+  Flight.reset ();
+  Alcotest.(check int) "reset clears" 0 (Flight.recorded ())
+
+let test_flight_wraparound () =
+  Flight.reset ();
+  let extra = 100 in
+  for i = 0 to Flight.capacity + extra - 1 do
+    Flight.note ~kind:"tick" (string_of_int i)
+  done;
+  Alcotest.(check int) "total recorded"
+    (Flight.capacity + extra)
+    (Flight.recorded ());
+  let es = Flight.entries () in
+  Alcotest.(check int) "ring is full" Flight.capacity (List.length es);
+  (* The oldest entries were overwritten: what survives is exactly the
+     most recent [capacity] notes, in sequence order. *)
+  let first = List.hd es and last = List.nth es (List.length es - 1) in
+  Alcotest.(check int) "oldest surviving seq" extra first.Flight.seq;
+  Alcotest.(check int) "newest seq"
+    (Flight.capacity + extra - 1)
+    last.Flight.seq;
+  Alcotest.(check bool) "dropped counted" true
+    (contains (Flight.to_json ()) (Printf.sprintf "\"dropped\":%d" extra));
+  Flight.reset ()
+
+let test_flight_concurrent () =
+  Flight.reset ();
+  let per = 1000 and domains = 4 in
+  let ds =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              Flight.note ~kind:"race" (Printf.sprintf "%d-%d" d i)
+            done))
+  in
+  Array.iter Domain.join ds;
+  Alcotest.(check int) "no lost notes" (per * domains) (Flight.recorded ());
+  (* Sequence numbers of the survivors are unique and ordered. *)
+  let seqs = List.map (fun e -> e.Flight.seq) (Flight.entries ()) in
+  Alcotest.(check (list int)) "unique ordered" (List.sort_uniq compare seqs)
+    seqs;
+  Flight.reset ()
+
 (* ------------------------------------------------------------------ *)
 (* Attribution *)
 
@@ -252,6 +413,10 @@ let () =
             test_histogram_rejects_bad_bounds;
           Alcotest.test_case "reset keeps handles" `Quick
             test_reset_keeps_handles;
+          Alcotest.test_case "quantiles: empty, interpolation, overflow"
+            `Quick test_histogram_quantile;
+          Alcotest.test_case "Prometheus exposition" `Quick
+            test_prometheus_exposition;
           Alcotest.test_case "JSON rendering" `Quick test_registry_json;
         ] );
       ( "span",
@@ -264,6 +429,17 @@ let () =
             test_span_exception_safety;
           Alcotest.test_case "Chrome trace JSON" `Quick test_span_json;
           Alcotest.test_case "enable clears" `Quick test_span_enable_clears;
+          Alcotest.test_case "ids, parents and trace linkage" `Quick
+            test_span_linkage;
+          Alcotest.test_case "substitutable clock" `Quick test_span_clock;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring bookkeeping and JSON" `Quick
+            test_flight_ring;
+          Alcotest.test_case "wraparound keeps the newest" `Quick
+            test_flight_wraparound;
+          Alcotest.test_case "concurrent notes" `Quick test_flight_concurrent;
         ] );
       ( "attribution",
         [

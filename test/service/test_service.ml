@@ -62,7 +62,7 @@ let source reply = Vmbp_store.Sjson.str_opt (fields_of reply) "source"
 (* Start a server in its own domain with a fresh socket and store; stop it
    (via the shutdown verb unless the test already did) and clean up. *)
 let with_server ?(chaos = "") ?(admission = 64) ?(degraded_after = 2.)
-    ?(request_timeout = 30.) f =
+    ?(request_timeout = 30.) ?flight_dir f =
   let id = uniq () in
   let socket = Filename.concat "/tmp" ("vmbp-svc-" ^ id ^ ".sock") in
   let store = Filename.concat "/tmp" ("vmbp-svc-store-" ^ id) in
@@ -77,6 +77,7 @@ let with_server ?(chaos = "") ?(admission = 64) ?(degraded_after = 2.)
       degraded_after;
       request_timeout;
       slow_reader_timeout = 2.;
+      flight_dir = Option.value ~default:"." flight_dir;
     }
   in
   let srv = Domain.spawn (fun () -> Service.serve cfg) in
@@ -309,6 +310,198 @@ let test_sigterm_drains_like_sigint () =
       | None -> Alcotest.fail "in-flight request dropped by SIGTERM");
       Unix.close q)
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_metrics_verb () =
+  with_server (fun socket ->
+      let fd = connect socket in
+      check_string "warm one cell" "ok" (status (rpc fd gray_query));
+      (* JSON format (the default): the registry dump rides in [body]. *)
+      let j = fields_of (rpc fd (P.obj [ ("verb", P.S "metrics") ])) in
+      check_bool "json status ok" true
+        (Vmbp_store.Sjson.str_opt j "status" = Some "ok");
+      check_bool "json format" true
+        (Vmbp_store.Sjson.str_opt j "format" = Some "json");
+      (match Vmbp_store.Sjson.str_opt j "body" with
+      | None -> Alcotest.fail "metrics reply carries no body"
+      | Some body ->
+          check_bool "registry schema" true (contains body "vmbp-metrics/1");
+          check_bool "request counter present" true
+            (contains body "service.requests"));
+      (* Prometheus format: the same bytes a scraper would pull. *)
+      let p =
+        fields_of
+          (rpc fd
+             (P.obj [ ("verb", P.S "metrics"); ("format", P.S "prometheus") ]))
+      in
+      check_bool "prom format" true
+        (Vmbp_store.Sjson.str_opt p "format" = Some "prometheus");
+      (match Vmbp_store.Sjson.str_opt p "body" with
+      | None -> Alcotest.fail "prometheus reply carries no body"
+      | Some body ->
+          check_bool "mangled counter exported" true
+            (contains body "vmbp_service_requests_total");
+          check_bool "typed" true (contains body "# TYPE");
+          check_bool "per-verb histogram exported" true
+            (contains body "vmbp_service_verb_seconds_bucket{verb=\"query\""));
+      Unix.close fd)
+
+let test_dump_verb () =
+  let id = uniq () in
+  let flight = Filename.concat "/tmp" ("vmbp-svc-flight-" ^ id) in
+  Fun.protect
+    ~finally:(fun () -> rm_rf flight)
+    (fun () ->
+      with_server ~flight_dir:flight (fun socket ->
+          let fd = connect socket in
+          check_string "traffic for the ring" "ok" (status (rpc fd gray_query));
+          let d = fields_of (rpc fd (P.obj [ ("verb", P.S "dump") ])) in
+          check_bool "dump acknowledged" true
+            (Vmbp_store.Sjson.str_opt d "status" = Some "ok");
+          (match Vmbp_store.Sjson.str_opt d "path" with
+          | None -> Alcotest.fail "dump reply carries no path"
+          | Some path ->
+              check_bool "dump file exists" true (Sys.file_exists path);
+              let ic = open_in path in
+              let body =
+                Fun.protect
+                  ~finally:(fun () -> close_in ic)
+                  (fun () -> really_input_string ic (in_channel_length ic))
+              in
+              check_bool "flight schema" true
+                (contains body "\"schema\":\"vmbp-flight/1\"");
+              check_bool "dump reason recorded" true
+                (contains body "\"reason\":\"dump\"");
+              check_bool "ring saw the query" true
+                (contains body "\"kind\":\"batch-start\""));
+          check_bool "entry count reported" true
+            (match Vmbp_store.Sjson.int_opt d "entries" with
+            | Some n -> n > 0
+            | None -> false);
+          Unix.close fd))
+
+let test_rid_echo_passivity () =
+  (* A rid must be purely additive: the reply to a rid-tagged query is
+     byte-identical to the untagged reply plus the spliced echo. *)
+  with_server (fun socket ->
+      let fd = connect socket in
+      check_string "warm" "ok" (status (rpc fd gray_query));
+      let plain = rpc fd gray_query in
+      check_bool "plain hit" true (source plain = Some "store");
+      let rid = "passivity-1" in
+      let tagged =
+        rpc fd
+          (P.query_payload ~vm:"forth" ~workload:"gray" ~technique:"switch"
+             ~cpu:"celeron-800" ~scale:1 ~rid ())
+      in
+      check_bool "rid echoed" true
+        (Vmbp_store.Sjson.str_opt (fields_of tagged) "rid" = Some rid);
+      check_string "tagged reply = plain reply + spliced rid"
+        (String.sub plain 0 (String.length plain - 1)
+        ^ ",\"rid\":\"" ^ rid ^ "\"}")
+        tagged;
+      Unix.close fd)
+
+let test_trace_links_coalesced_rids () =
+  (* Four rid-tagged duplicates of one cell under a wedged pool: each
+     rid's admit span names the in-flight key, and exactly one
+     compute-batch span serves that key -- the cross-thread fan-in the
+     trace view hangs the four request trees on. *)
+  with_server ~chaos:"pool-wedge=1@0.4" (fun socket ->
+      Vmbp_obs.Span.enable ();
+      Fun.protect
+        ~finally:(fun () -> Vmbp_obs.Span.disable ())
+        (fun () ->
+          let rids = List.init 4 (fun i -> Printf.sprintf "tc-r%d" i) in
+          let fds = List.map (fun _ -> connect socket) rids in
+          List.iter2
+            (fun fd rid ->
+              P.write_frame fd
+                (P.query_payload ~vm:"forth" ~workload:"gray"
+                   ~technique:"switch" ~cpu:"celeron-800" ~scale:1 ~rid ()))
+            fds rids;
+          List.iter2
+            (fun fd rid ->
+              match P.read_frame fd with
+              | None -> Alcotest.fail "dropped while coalescing"
+              | Some reply ->
+                  check_string "coalesced reply ok" "ok" (status reply);
+                  check_bool ("reply echoes " ^ rid) true
+                    (Vmbp_store.Sjson.str_opt (fields_of reply) "rid"
+                    = Some rid))
+            fds rids;
+          List.iter Unix.close fds;
+          let events = Vmbp_obs.Span.events () in
+          let arg (e : Vmbp_obs.Span.event) k =
+            Option.value ~default:"" (List.assoc_opt k e.Vmbp_obs.Span.args)
+          in
+          let batches =
+            List.filter
+              (fun (e : Vmbp_obs.Span.event) ->
+                e.Vmbp_obs.Span.name = "compute-batch")
+              events
+          in
+          check_int "exactly one compute batch" 1 (List.length batches);
+          let batch = List.hd batches in
+          check_string "batch of one cell" "1" (arg batch "cells");
+          (* Every rid admits onto the same key, and the batch span
+             names that key: the four request trees all link to the one
+             compute. *)
+          let keys =
+            List.map
+              (fun rid ->
+                match
+                  List.find_opt
+                    (fun (e : Vmbp_obs.Span.event) ->
+                      e.Vmbp_obs.Span.name = "admit"
+                      && e.Vmbp_obs.Span.trace = rid
+                      && (arg e "decision" = "enqueue"
+                         || arg e "decision" = "coalesce"))
+                    events
+                with
+                | Some e -> arg e "key"
+                | None -> Alcotest.failf "rid %s left no admit span" rid)
+              rids
+          in
+          let key = List.hd keys in
+          check_bool "admit key non-empty" true (key <> "");
+          List.iter (check_string "all rids admit the same key" key) keys;
+          check_bool "batch span serves the admitted key" true
+            (contains (arg batch "keys") key);
+          (* The enqueuing waiter's rid rides in the batch span itself;
+             spans on the compute domain record a different thread than
+             the event loop's, so the trace visibly crosses threads. *)
+          check_bool "enqueuer's rid in the batch span" true
+            (List.exists
+               (fun rid -> contains (arg batch "rids") rid)
+               rids);
+          let parse_tid =
+            match
+              List.find_opt
+                (fun (e : Vmbp_obs.Span.event) ->
+                  e.Vmbp_obs.Span.name = "parse"
+                  && List.mem e.Vmbp_obs.Span.trace rids)
+                events
+            with
+            | Some e -> e.Vmbp_obs.Span.tid
+            | None -> Alcotest.fail "no parse span for any rid"
+          in
+          check_bool "batch runs on another thread" true
+            (batch.Vmbp_obs.Span.tid <> parse_tid);
+          (* Every rid's reply left a flush span. *)
+          List.iter
+            (fun rid ->
+              check_bool (rid ^ " flushed") true
+                (List.exists
+                   (fun (e : Vmbp_obs.Span.event) ->
+                     e.Vmbp_obs.Span.name = "flush"
+                     && e.Vmbp_obs.Span.trace = rid)
+                   events))
+            rids))
+
 let test_loadgen_plan_determinism () =
   let cfg =
     { (Vmbp_service.Loadgen.default_config ~socket:"/unused") with
@@ -349,11 +542,99 @@ let test_loadgen_reconnects_under_conn_drop () =
           seed = 3;
           zipf = 1.1;
           scale = 1;
+          json_out = None;
         };
       check_bool "connections were dropped" true
         (counter "loadgen.status.conn-drop" - before > 0);
       check_bool "clients resumed and completed queries" true
         (counter "loadgen.status.ok" - ok_before > 0))
+
+let test_loadgen_json_summary () =
+  let cfg =
+    {
+      (Vmbp_service.Loadgen.default_config ~socket:"/unused") with
+      Vmbp_service.Loadgen.requests = 40;
+      clients = 2;
+      seed = 3;
+    }
+  in
+  let doc =
+    Vmbp_service.Loadgen.json_summary cfg ~elapsed:2.0 ~universe_size:665
+  in
+  check_bool "schema" true (contains doc "\"schema\":\"vmbp-loadgen/1\"");
+  check_bool "requests" true (contains doc "\"requests\":40");
+  check_bool "derived rps" true (contains doc "\"rps\":20");
+  check_bool "universe" true (contains doc "\"universe\":665");
+  check_bool "statuses object" true (contains doc "\"statuses\":{");
+  check_bool "latency families" true
+    (contains doc "\"latency\":{\"all\":{" && contains doc "\"hits\":{");
+  check_bool "one closed document" true
+    (String.length doc > 2 && doc.[0] = '{' && doc.[String.length doc - 1] = '}')
+
+(* ------------------------------------------------------------------ *)
+(* The [top] monitor's exposition parser and renderer, on hand-written
+   scrape text (pure functions, no server needed). *)
+
+let expo =
+  String.concat "\n"
+    [
+      "# HELP vmbp_service_requests_total requests";
+      "# TYPE vmbp_service_requests_total counter";
+      "vmbp_service_requests_total 120";
+      "vmbp_service_store_hits_total 60";
+      "vmbp_service_connections 3";
+      "vmbp_service_verb_seconds_bucket{verb=\"query\",le=\"0.001\"} 50";
+      "vmbp_service_verb_seconds_bucket{verb=\"query\",le=\"0.01\"} 90";
+      "vmbp_service_verb_seconds_bucket{verb=\"query\",le=\"+Inf\"} 100";
+      "vmbp_service_verb_seconds_sum{verb=\"query\"} 1.5";
+      "vmbp_service_verb_seconds_count{verb=\"query\"} 100";
+      "";
+    ]
+
+let test_top_parse () =
+  let module Top = Vmbp_service.Top in
+  let samples = Top.parse expo in
+  check_int "comments and blanks skipped" 8 (List.length samples);
+  check_bool "plain value" true
+    (Top.value samples "vmbp_service_requests_total" = 120.);
+  check_bool "gauge value" true
+    (Top.value samples "vmbp_service_connections" = 3.);
+  check_bool "absent series reads zero" true
+    (Top.value samples "vmbp_service_no_such" = 0.);
+  check_bool "labelled lookup" true
+    (Top.value
+       ~labels:[ ("verb", "query") ]
+       samples "vmbp_service_verb_seconds_count"
+    = 100.)
+
+let test_top_quantiles () =
+  let module Top = Vmbp_service.Top in
+  let samples = Top.parse expo in
+  let bs =
+    Top.buckets samples "vmbp_service_verb_seconds" ~label_key:"verb"
+      ~label_value:"query"
+  in
+  check_int "three buckets incl +Inf" 3 (List.length bs);
+  check_bool "p50 in the first bucket" true
+    (Top.bucket_quantile bs 0.5 = 0.001);
+  (* rank 95 of 100 lands past the last finite bound: clamp, not inf. *)
+  check_bool "overflow clamps to last finite bound" true
+    (Top.bucket_quantile bs 0.95 = 0.01);
+  check_bool "empty buckets give nan" true
+    (Float.is_nan (Top.bucket_quantile [] 0.5))
+
+let test_top_render () =
+  let module Top = Vmbp_service.Top in
+  let samples = Top.parse expo in
+  let out = Top.render ~dt:0. samples in
+  check_bool "header row" true (contains out "p99");
+  check_bool "request counter shown" true (contains out "requests 120");
+  check_bool "hit rate computed" true (contains out "50.0%");
+  check_bool "verb row present" true (contains out "query");
+  (* A second identical snapshot: zero traffic in the window, so the
+     quantiles fall back to the all-time distribution (no dashes). *)
+  let again = Top.render ~prev:samples ~dt:2. samples in
+  check_bool "idle window falls back to all-time" false (contains again "-\n")
 
 let () =
   Alcotest.run "service"
@@ -374,11 +655,27 @@ let () =
           Alcotest.test_case "SIGTERM drains like SIGINT" `Quick
             test_sigterm_drains_like_sigint;
         ] );
+      ( "observability",
+        [
+          Alcotest.test_case "metrics verb" `Quick test_metrics_verb;
+          Alcotest.test_case "dump verb" `Quick test_dump_verb;
+          Alcotest.test_case "rid echo is passive" `Quick
+            test_rid_echo_passivity;
+          Alcotest.test_case "trace links coalesced rids" `Quick
+            test_trace_links_coalesced_rids;
+        ] );
+      ( "top",
+        [
+          Alcotest.test_case "exposition parse" `Quick test_top_parse;
+          Alcotest.test_case "bucket quantiles" `Quick test_top_quantiles;
+          Alcotest.test_case "render" `Quick test_top_render;
+        ] );
       ( "loadgen",
         [
           Alcotest.test_case "plan determinism" `Quick
             test_loadgen_plan_determinism;
           Alcotest.test_case "reconnects under conn-drop" `Quick
             test_loadgen_reconnects_under_conn_drop;
+          Alcotest.test_case "json summary" `Quick test_loadgen_json_summary;
         ] );
     ]

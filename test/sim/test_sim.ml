@@ -195,7 +195,13 @@ let test_schedule_passes_and_replays () =
   check_string "trace replays identically" a.Simulate.o_trace
     b.Simulate.o_trace;
   check_int "same acks" a.Simulate.o_acks b.Simulate.o_acks;
-  check_int "same crashes" a.Simulate.o_crashes b.Simulate.o_crashes
+  check_int "same crashes" a.Simulate.o_crashes b.Simulate.o_crashes;
+  (* The span trace is a pure function of the seed: virtual clock plus
+     per-seed span-id reset make the whole Chrome JSON byte-stable. *)
+  check_bool "span trace non-trivial" true
+    (String.length a.Simulate.o_spans > 2);
+  check_string "span trace replays byte-identically" a.Simulate.o_spans
+    b.Simulate.o_spans
 
 let test_crashing_schedule_holds_invariants () =
   (* Walk seeds until one injects a crash, then demand a clean bill. *)
